@@ -1,0 +1,39 @@
+// Ablation: TCP slow start.  The paper's stacks (OSF/1 ca. 1994) ran
+// window-limited on a one-hop LAN; this ablation quantifies what
+// congestion-controlled senders would have changed about the measured
+// traffic — chiefly a ramp at the head of each burst.
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace fxtraf;
+  const bench::RunOptions options = bench::parse_options(argc, argv, 0.5);
+  bench::print_header("Ablation: TCP slow start on 2DFFT",
+                      "transport sensitivity of the measured shapes");
+
+  auto run_with = [&](bool slow_start) {
+    apps::TestbedConfig config = bench::paper_testbed(options);
+    config.host.tcp.slow_start = slow_start;
+    apps::Fft2dParams params;
+    params.iterations = bench::scaled(100, options.scale);
+    return bench::run_program("2DFFT", apps::make_fft2d(params), config,
+                              options, std::pair{1, 2});
+  };
+
+  for (bool slow_start : {false, true}) {
+    const auto run = run_with(slow_start);
+    const auto c = core::characterize(run.aggregate);
+    std::printf("\n%-22s runtime %7.1f s  avg bw %7.1f KB/s  fundamental "
+                "%5.3f Hz (harm %3.0f%%)\n",
+                slow_start ? "slow start" : "window-limited",
+                run.sim_seconds, core::average_bandwidth_kbs(run.aggregate),
+                c.fundamental.frequency_hz,
+                100 * c.fundamental.harmonic_power_fraction);
+  }
+  std::printf("\nexpectation: on a sub-millisecond-RTT LAN the window "
+              "opens within the first few exchanges of each connection, "
+              "so the measured shapes (periodicity, burst structure) are "
+              "robust to the transport's congestion policy — supporting "
+              "the paper's choice to characterize at the bandwidth level "
+              "rather than the transport level.\n");
+  return 0;
+}

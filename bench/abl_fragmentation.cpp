@@ -1,0 +1,40 @@
+// Ablation: PVM copy-loop vs fragment-list message assembly on T2DFFT
+// (paper section 4 / 6.1: the fragment list explains T2DFFT's packet-size
+// spread and its unusually unclear spectra).
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace fxtraf;
+  const bench::RunOptions options = bench::parse_options(argc, argv, 0.5);
+  bench::print_header(
+      "Ablation: copy-loop vs fragment-list assembly on T2DFFT",
+      "PVM message assembly, sections 4 and 6.1");
+
+  auto run_with = [&](pvm::AssemblyMode mode) {
+    apps::TestbedConfig config = bench::paper_testbed(options, mode);
+    apps::Tfft2dParams params;
+    params.iterations = bench::scaled(100, options.scale);
+    return bench::run_program("T2DFFT", apps::make_tfft2d(params), config,
+                              options, std::pair{0, 2});
+  };
+
+  for (auto mode : {pvm::AssemblyMode::kCopyLoop,
+                    pvm::AssemblyMode::kFragmentList}) {
+    const auto run = run_with(mode);
+    const auto sizes = core::packet_size_stats(*run.conn);
+    const auto modes = core::size_modes(*run.conn);
+    const auto c = core::characterize(run.aggregate);
+    std::printf("\n%s:\n", pvm::to_string(mode));
+    std::printf("  connection packet sizes: min %.0f max %.0f avg %.0f sd "
+                "%.0f  (%zu modes)\n",
+                sizes.min, sizes.max, sizes.mean, sizes.stddev, modes.size());
+    std::printf("  aggregate fundamental %.3f Hz, harmonic power %.0f%%\n",
+                c.fundamental.frequency_hz,
+                100 * c.fundamental.harmonic_power_fraction);
+    std::printf("  runtime %.1f s\n", run.sim_seconds);
+  }
+  std::printf("\npaper comparison: the measured T2DFFT (fragment list) "
+              "shows avg 1442 sd 158 on its connection and the least clear "
+              "spectra of all kernels.\n");
+  return 0;
+}

@@ -1,0 +1,76 @@
+// Ablation: the 4 AM measurement protocol.  The paper measured "in the
+// early morning hours (4-5 am) to avoid other traffic"; this ablation
+// quantifies what office-hours cross traffic would have done to the
+// spectral characterization.
+#include "bench_common.hpp"
+#include "core/characterization.hpp"
+#include "host/cross_traffic.hpp"
+
+namespace {
+
+using namespace fxtraf;
+
+core::TrafficCharacterization run_with_office_load(double on_off_rate,
+                                                   int sources) {
+  sim::Simulator simulator(4242);
+  apps::TestbedConfig config;
+  config.workstations = 4 + sources;
+  config.pvm.keepalives_enabled = false;
+  apps::Testbed testbed(simulator, config);
+  testbed.start();
+
+  std::vector<std::unique_ptr<host::CrossTrafficSource>> office;
+  for (int s = 0; s < sources; ++s) {
+    host::CrossTrafficConfig cross;
+    cross.model = host::CrossTrafficConfig::Model::kOnOff;
+    cross.rate_bytes_per_s = on_off_rate;
+    cross.destination = static_cast<net::HostId>(4 + (s + 1) % sources);
+    office.push_back(std::make_unique<host::CrossTrafficSource>(
+        testbed.workstation(4 + s), cross));
+    office.back()->start();
+  }
+
+  apps::HistParams params;
+  params.iterations = 120;
+  fx::run_program(testbed.vm(), apps::make_hist(params));
+
+  // The measurement only keeps the program's machines (0..3), as a
+  // port-filtered tcpdump would.
+  std::vector<trace::PacketRecord> program_traffic;
+  for (const auto& p : testbed.capture().packets()) {
+    if (p.src < 4 && p.dst < 4) program_traffic.push_back(p);
+  }
+  return core::characterize(program_traffic);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("==================================================\n");
+  std::printf("Ablation: 4 AM vs office-hours measurement (HIST)\n"
+              "  (methodology, section 5.1)\n");
+  std::printf("==================================================\n");
+
+  std::printf("\n%22s %14s %14s %14s\n", "office load", "fundamental",
+              "harm power", "avg KB/s");
+  struct Case {
+    const char* label;
+    double rate;
+    int sources;
+  };
+  for (const Case& c : {Case{"4 AM (none)", 0.0, 0},
+                        Case{"light (2x50KB/s)", 50e3, 2},
+                        Case{"moderate (3x150KB/s)", 150e3, 3},
+                        Case{"heavy (4x300KB/s)", 300e3, 4}}) {
+    const auto result = run_with_office_load(c.rate, c.sources);
+    std::printf("%22s %11.2f Hz %13.0f%% %14.1f\n", c.label,
+                result.fundamental.frequency_hz,
+                100 * result.fundamental.harmonic_power_fraction,
+                result.avg_bandwidth_kbs);
+  }
+  std::printf("\nexpectation: the program's burst comb survives light load "
+              "but smears as contention (collisions, deferrals) adds jitter "
+              "to every phase — validating the paper's quiet-hours "
+              "protocol.\n");
+  return 0;
+}

@@ -1,0 +1,43 @@
+// Ablation: PVM direct-TCP vs daemon-UDP routing (paper section 4 notes
+// the daemon path "tends to be somewhat slow"; all Fx programs use the
+// direct mechanism).
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace fxtraf;
+  const bench::RunOptions options = bench::parse_options(argc, argv, 0.5);
+  bench::print_header("Ablation: PVM direct-TCP vs daemon-UDP routing",
+                      "communication mechanisms of section 4");
+
+  auto run_with = [&](pvm::RouteMode route) {
+    apps::TestbedConfig config = bench::paper_testbed(options);
+    config.pvm.route = route;
+    apps::Fft2dParams params;
+    params.iterations = bench::scaled(100, options.scale);
+    return bench::run_program("2DFFT", apps::make_fft2d(params), config,
+                              options, std::pair{1, 2});
+  };
+
+  const auto direct = run_with(pvm::RouteMode::kDirect);
+  const auto daemon = run_with(pvm::RouteMode::kDaemon);
+
+  auto report = [](const char* label, const bench::KernelRun& run) {
+    int tcp = 0, udp = 0;
+    for (const auto& p : run.aggregate) {
+      (p.proto == net::IpProto::kUdp ? udp : tcp)++;
+    }
+    std::printf(
+        "%-12s runtime %8.1f s  packets %7zu (tcp %7d / udp %7d)  avg bw "
+        "%8.1f KB/s\n",
+        label, run.sim_seconds, run.aggregate.size(), tcp, udp,
+        fxtraf::core::average_bandwidth_kbs(run.aggregate));
+  };
+  std::printf("\n");
+  report("direct-tcp", direct);
+  report("daemon-udp", daemon);
+  std::printf("\nslowdown: %.2fx  (paper: daemon routing is 'somewhat "
+              "slow'; the extra IPC hops and windowed UDP acks stretch "
+              "every communication phase)\n",
+              daemon.sim_seconds / direct.sim_seconds);
+  return 0;
+}

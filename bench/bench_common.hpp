@@ -1,0 +1,164 @@
+// Shared harness for the figure-reproduction benches: runs each of the
+// paper's programs with its measured configuration and hands back the
+// aggregate trace and the representative-connection trace (section 6.1).
+#pragma once
+
+#include <cstdio>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "apps/airshed.hpp"
+#include "apps/fft2d.hpp"
+#include "apps/hist.hpp"
+#include "apps/seq.hpp"
+#include "apps/sor.hpp"
+#include "apps/testbed.hpp"
+#include "apps/tfft2d.hpp"
+#include "core/characterization.hpp"
+#include "core/packet_stats.hpp"
+#include "fx/runtime.hpp"
+#include "trace/record.hpp"
+
+namespace fxtraf::bench {
+
+struct KernelRun {
+  std::string name;
+  std::vector<trace::PacketRecord> aggregate;
+  /// Representative connection (machine pair), where the pattern has one.
+  std::optional<std::vector<trace::PacketRecord>> conn;
+  double sim_seconds = 0.0;
+};
+
+struct RunOptions {
+  /// Scales iteration counts (and AIRSHED hours) to trade fidelity for
+  /// bench wall-clock; 1.0 reproduces the paper's run lengths.
+  double scale = 1.0;
+  std::uint64_t seed = 424242;
+  double deschedule_probability = 0.01;
+};
+
+[[nodiscard]] inline int scaled(int iterations, double scale) {
+  const int n = static_cast<int>(iterations * scale + 0.5);
+  return n < 1 ? 1 : n;
+}
+
+inline apps::TestbedConfig paper_testbed(
+    const RunOptions& options,
+    pvm::AssemblyMode assembly = pvm::AssemblyMode::kCopyLoop) {
+  apps::TestbedConfig config;
+  config.workstations = 4;
+  config.host.deschedule_probability = options.deschedule_probability;
+  config.pvm.assembly = assembly;
+  return config;
+}
+
+inline KernelRun run_program(const std::string& name,
+                             const fx::FxProgram& program,
+                             const apps::TestbedConfig& config,
+                             const RunOptions& options,
+                             std::optional<std::pair<int, int>> conn_pair) {
+  sim::Simulator simulator(options.seed);
+  apps::Testbed testbed(simulator, config);
+  testbed.start();
+  const sim::SimTime end = fx::run_program(testbed.vm(), program);
+
+  KernelRun run;
+  run.name = name;
+  run.aggregate = testbed.capture().packets();
+  run.sim_seconds = end.seconds();
+  if (conn_pair) {
+    run.conn = trace::connection(run.aggregate,
+                                 static_cast<net::HostId>(conn_pair->first),
+                                 static_cast<net::HostId>(conn_pair->second));
+  }
+  return run;
+}
+
+// ---- The paper's five kernels with their measured configurations. ------
+
+inline KernelRun run_sor(const RunOptions& options) {
+  apps::SorParams params;
+  params.iterations = scaled(params.iterations, options.scale);
+  // Representative connection: between two arbitrary (adjacent) machines.
+  return run_program("SOR", apps::make_sor(params), paper_testbed(options),
+                     options, std::pair{1, 2});
+}
+
+inline KernelRun run_fft2d(const RunOptions& options) {
+  apps::Fft2dParams params;
+  params.iterations = scaled(params.iterations, options.scale);
+  return run_program("2DFFT", apps::make_fft2d(params),
+                     paper_testbed(options), options, std::pair{1, 2});
+}
+
+inline KernelRun run_tfft2d(const RunOptions& options) {
+  apps::Tfft2dParams params;
+  params.iterations = scaled(params.iterations, options.scale);
+  // Connection from the sending half to the receiving half.
+  return run_program(
+      "T2DFFT", apps::make_tfft2d(params),
+      paper_testbed(options, apps::Tfft2dParams::preferred_assembly()),
+      options, std::pair{0, 2});
+}
+
+inline KernelRun run_seq(const RunOptions& options) {
+  apps::SeqParams params;  // already only 5 iterations in the paper
+  params.iterations = scaled(params.iterations, options.scale);
+  return run_program("SEQ", apps::make_seq(params), paper_testbed(options),
+                     options, std::nullopt);
+}
+
+inline KernelRun run_hist(const RunOptions& options) {
+  apps::HistParams params;
+  params.iterations = scaled(params.iterations, options.scale);
+  return run_program("HIST", apps::make_hist(params), paper_testbed(options),
+                     options, std::nullopt);
+}
+
+inline KernelRun run_airshed(const RunOptions& options) {
+  apps::AirshedParams params;
+  params.hours = scaled(params.hours, options.scale);
+  return run_program("AIRSHED", apps::make_airshed(params),
+                     paper_testbed(options), options, std::pair{1, 2});
+}
+
+inline std::vector<KernelRun> run_all_kernels(const RunOptions& options) {
+  std::vector<KernelRun> runs;
+  runs.push_back(run_sor(options));
+  runs.push_back(run_fft2d(options));
+  runs.push_back(run_tfft2d(options));
+  runs.push_back(run_seq(options));
+  runs.push_back(run_hist(options));
+  return runs;
+}
+
+/// Parses a leading "--scale=X" argument (default from `fallback`).
+inline RunOptions parse_options(int argc, char** argv,
+                                double fallback_scale) {
+  RunOptions options;
+  options.scale = fallback_scale;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--scale=", 0) == 0) {
+      options.scale = std::stod(arg.substr(8));
+    } else if (arg.rfind("--seed=", 0) == 0) {
+      options.seed = std::stoull(arg.substr(7));
+    }
+  }
+  return options;
+}
+
+inline void print_header(const char* title, const char* paper_ref) {
+  std::printf("==================================================\n");
+  std::printf("%s\n  (reproduces %s)\n", title, paper_ref);
+  std::printf("==================================================\n");
+}
+
+inline void print_summary_row(const char* name, const core::Summary& s) {
+  std::printf("%-10s %10.1f %10.1f %10.1f %10.1f\n", name, s.min, s.max,
+              s.mean, s.stddev);
+}
+
+}  // namespace fxtraf::bench

@@ -1,0 +1,78 @@
+// Headline framing: "the traffic of parallel programs is fundamentally
+// different from the media traffic that is the current focus of QoS
+// research" (conclusions).  Side-by-side spectral and burst comparison
+// of 2DFFT against the era's typical traffic models: Poisson, VBR video
+// (intrinsic frame-rate periodicity, variable bursts), and self-similar
+// heavy-tailed on/off aggregates.
+#include "bench_common.hpp"
+#include "core/baselines.hpp"
+#include "core/burst_model.hpp"
+
+namespace {
+
+using namespace fxtraf;
+
+void report(const char* label, trace::TraceView packets,
+            const char* expectation) {
+  const auto c = core::characterize(packets);
+  core::BurstDetectionOptions opts;
+  opts.threshold_fraction = 0.2;  // separate genuine bursts from floor
+  const auto bursts = core::summarize_bursts(c.bandwidth, opts);
+  const double hurst = core::hurst_rs(c.bandwidth.kb_per_s);
+  const std::size_t strongest = c.spectrum.argmax_in_band(
+      0.05, c.spectrum.nyquist_hz());
+  const double spike_hz =
+      strongest < c.spectrum.size() ? c.spectrum.frequency_hz[strongest]
+                                    : 0.0;
+  const double spike_share =
+      strongest < c.spectrum.size()
+          ? c.spectrum.power[strongest] /
+                std::max(1e-12,
+                         c.spectrum.band_power(0.05, c.spectrum.nyquist_hz()))
+          : 0.0;
+  std::printf("%-14s spike %6.2f Hz (%4.1f%% of power)  bursts %5zu  "
+              "size CV %5.2f  Hurst %4.2f   [%s]\n",
+              label, spike_hz, 100 * spike_share, bursts.bursts,
+              bursts.size_cv, hurst, expectation);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bench::RunOptions options = bench::parse_options(argc, argv, 1.0);
+  std::printf("==================================================\n");
+  std::printf("Parallel-program traffic vs typical network traffic\n"
+              "  (the paper's framing claim, sections 1 and 8)\n");
+  std::printf("==================================================\n\n");
+
+  const auto fft = bench::run_fft2d(options);
+  const double duration = fft.sim_seconds;
+  sim::Rng rng(909);
+
+  report("2DFFT", fft.aggregate,
+         "periodicity from app parameters; constant bursts");
+
+  core::PoissonTrafficConfig poisson;
+  report("Poisson", core::poisson_traffic(duration, poisson, rng),
+         "no periodicity, Hurst ~0.5");
+
+  core::VbrVideoConfig video;
+  report("VBR video", core::vbr_video_traffic(duration, video, rng),
+         "intrinsic 30 Hz frame rate, variable bursts");
+
+  core::OnOffConfig onoff;
+  report("self-similar", core::self_similar_traffic(duration, onoff, rng),
+         "no spikes, Hurst > 0.5");
+
+  std::printf(
+      "\ndiscriminators:\n"
+      "  - the parallel program and the video are both periodic, but the\n"
+      "    video's frequency is intrinsic (frame rate) while 2DFFT's\n"
+      "    moves with N, P, and available bandwidth (see claim_bw_period);\n"
+      "  - the video's burst (frame) sizes vary with scene content while\n"
+      "    2DFFT's are compile-time constants (low burst-size CV);\n"
+      "  - Poisson and self-similar aggregates have no spectral spikes at\n"
+      "    all, and the heavy-tailed aggregate shows Hurst well above\n"
+      "    0.5 where the parallel program does not.\n");
+  return 0;
+}

@@ -1,0 +1,130 @@
+// Extension: co-scheduled parallel programs on one shared Ethernet.
+// The paper's negotiation model prices a program's admission by the
+// capacity other programs have committed (section 7.3 / the broker of
+// section 8's future work).  Here two Fx programs actually share the
+// medium: 2DFFT on workstations 0-3 and HIST on 4-7, solo and together,
+// with the broker's committed-fraction arithmetic alongside.
+#include <cstdio>
+
+#include "apps/fft2d.hpp"
+#include "apps/hist.hpp"
+#include "apps/testbed.hpp"
+#include "core/broker.hpp"
+#include "fx/runtime.hpp"
+#include "pvm/vm.hpp"
+
+namespace {
+
+using namespace fxtraf;
+
+struct Pair {
+  double fft_seconds = 0.0;
+  double hist_seconds = 0.0;
+};
+
+Pair run(bool with_fft, bool with_hist, int iterations) {
+  sim::Simulator simulator(1212);
+  eth::Segment segment(simulator);
+  std::vector<std::unique_ptr<host::Workstation>> hosts;
+  for (int i = 0; i < 8; ++i) {
+    hosts.push_back(std::make_unique<host::Workstation>(
+        simulator, segment, static_cast<net::HostId>(i),
+        host::WorkstationConfig{}));
+  }
+  pvm::PvmConfig pvm_config;
+  pvm_config.keepalives_enabled = false;
+
+  pvm::VirtualMachine vm_fft(
+      simulator,
+      {hosts[0].get(), hosts[1].get(), hosts[2].get(), hosts[3].get()},
+      pvm_config);
+  pvm::VirtualMachine vm_hist(
+      simulator,
+      {hosts[4].get(), hosts[5].get(), hosts[6].get(), hosts[7].get()},
+      pvm_config);
+  vm_fft.start();
+  vm_hist.start();
+
+  apps::Fft2dParams fft;
+  fft.iterations = iterations;
+  apps::HistParams hist;
+  hist.iterations = iterations * 10;  // HIST cycles ~10x faster
+
+  std::optional<fx::RunningProgram> running_fft, running_hist;
+  if (with_fft) {
+    running_fft.emplace(fx::launch(vm_fft, apps::make_fft2d(fft)));
+  }
+  if (with_hist) {
+    running_hist.emplace(fx::launch(vm_hist, apps::make_hist(hist)));
+  }
+  simulator.run();
+
+  Pair result;
+  if (running_fft) {
+    running_fft->rethrow_failures();
+    if (!running_fft->all_done()) throw std::runtime_error("fft stuck");
+    result.fft_seconds = running_fft->context().last_finish().seconds();
+  }
+  if (running_hist) {
+    running_hist->rethrow_failures();
+    if (!running_hist->all_done()) throw std::runtime_error("hist stuck");
+    result.hist_seconds = running_hist->context().last_finish().seconds();
+  }
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  using namespace fxtraf;
+  std::printf("==================================================\n");
+  std::printf("Co-scheduled programs on one collision domain\n"
+              "  (the admission problem of sections 7.3 and 8)\n");
+  std::printf("==================================================\n");
+
+  const int iterations = 30;
+  const Pair solo_fft = run(true, false, iterations);
+  const Pair solo_hist = run(false, true, iterations);
+  const Pair together = run(true, true, iterations);
+
+  std::printf("\n%-10s %12s %12s %12s\n", "program", "solo", "co-run",
+              "slowdown");
+  std::printf("%-10s %10.1f s %10.1f s %11.2fx\n", "2DFFT",
+              solo_fft.fft_seconds, together.fft_seconds,
+              together.fft_seconds / solo_fft.fft_seconds);
+  std::printf("%-10s %10.1f s %10.1f s %11.2fx\n", "HIST",
+              solo_hist.hist_seconds, together.hist_seconds,
+              together.hist_seconds / solo_hist.hist_seconds);
+
+  // What the broker would have said.
+  core::NetworkBroker broker;
+  const auto fft_spec = core::TrafficSpec::perfectly_parallel(
+      fx::PatternKind::kAllToAll, 2.0 * 9e6 * 4 / 25e6,
+      [](int p) { return 512.0 * 512.0 * 8.0 / (p * p); });
+  const auto hist_spec = core::TrafficSpec::perfectly_parallel(
+      fx::PatternKind::kTree, 4.0 * 5e6 / 25e6,
+      [](int) { return 2048.0; });
+  core::NetworkBroker b2(1.25e6, 4, 4);
+  const auto fft_admission = b2.admit("2DFFT", fft_spec);
+  const auto hist_admission = b2.admit("HIST", hist_spec);
+  std::printf("\nbroker view: 2DFFT commits %.0f%% of the medium "
+              "(duty-cycled), leaving HIST a t_bi of %.3f s (vs %.3f s on "
+              "an empty network)\n",
+              100 * fft_admission.network_committed_fraction,
+              hist_admission.point.burst_interval_seconds,
+              core::negotiate(hist_spec,
+                              {.capacity_bytes_per_s = 1.25e6,
+                               .committed_fraction = 0.0,
+                               .min_processors = 4,
+                               .max_processors = 4})
+                  .best.burst_interval_seconds);
+  std::printf("\nexpectation: because both programs are duty-cycled (the "
+              "paper's central observation — even 2DFFT leaves the medium "
+              "idle between bursts), their bursts mostly interleave and "
+              "mutual slowdown stays in the low percent range, which is "
+              "what the broker's committed-fraction arithmetic predicts "
+              "(HIST's t_bi moves ~1%%).  Contrast with claim_bw_period, "
+              "where a *continuous* 1 MB/s source has no idle phases to "
+              "hide in and stretches 2DFFT 2-3x.\n");
+  return 0;
+}

@@ -1,0 +1,73 @@
+// Figure 3: packet size statistics for the Fx kernels, aggregate and
+// representative connection, plus the modality analysis behind the
+// paper's "trimodal" observation.
+#include "bench_common.hpp"
+
+namespace {
+
+struct PaperRow {
+  const char* name;
+  double min, max, avg, sd;
+};
+
+constexpr PaperRow kPaperAggregate[] = {
+    {"SOR", 58, 1518, 473, 568},   {"2DFFT", 58, 1518, 969, 678},
+    {"T2DFFT", 58, 1518, 912, 663}, {"SEQ", 58, 90, 75, 14},
+    {"HIST", 58, 1518, 499, 575},
+};
+constexpr PaperRow kPaperConnection[] = {
+    {"SOR", 58, 1518, 577, 591},
+    {"2DFFT", 58, 1518, 977, 667},
+    {"T2DFFT", 134, 1518, 1442, 158},
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace fxtraf;
+  const bench::RunOptions options = bench::parse_options(argc, argv, 1.0);
+  bench::print_header("Packet size statistics for Fx kernels",
+                      "Figure 3 of CMU-CS-98-144 / ICPP'01");
+
+  const auto runs = bench::run_all_kernels(options);
+
+  std::printf("\n-- aggregate (measured) --\n");
+  std::printf("%-10s %10s %10s %10s %10s\n", "Program", "Min", "Max", "Avg",
+              "SD");
+  for (const auto& run : runs) {
+    bench::print_summary_row(run.name.c_str(),
+                             core::packet_size_stats(run.aggregate));
+  }
+  std::printf("\n-- aggregate (paper) --\n");
+  for (const auto& row : kPaperAggregate) {
+    std::printf("%-10s %10.0f %10.0f %10.0f %10.0f\n", row.name, row.min,
+                row.max, row.avg, row.sd);
+  }
+
+  std::printf("\n-- connection (measured) --\n");
+  std::printf("%-10s %10s %10s %10s %10s\n", "Program", "Min", "Max", "Avg",
+              "SD");
+  for (const auto& run : runs) {
+    if (!run.conn) continue;
+    bench::print_summary_row(run.name.c_str(),
+                             core::packet_size_stats(*run.conn));
+  }
+  std::printf("\n-- connection (paper) --\n");
+  for (const auto& row : kPaperConnection) {
+    std::printf("%-10s %10.0f %10.0f %10.0f %10.0f\n", row.name, row.min,
+                row.max, row.avg, row.sd);
+  }
+
+  std::printf("\n-- packet size modality (measured) --\n");
+  for (const auto& run : runs) {
+    const auto modes = core::size_modes(run.aggregate);
+    std::printf("%-10s %zu modes:", run.name.c_str(), modes.size());
+    for (const auto& m : modes) {
+      std::printf("  %uB (%.0f%%)", m.representative_bytes, 100 * m.share);
+    }
+    std::printf("\n");
+  }
+  std::printf("\npaper: SOR/2DFFT/HIST trimodal (max, remainder, ACK); "
+              "T2DFFT spread by PVM fragment list; SEQ all small.\n");
+  return 0;
+}

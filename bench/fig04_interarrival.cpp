@@ -1,0 +1,65 @@
+// Figure 4: packet interarrival time statistics for the Fx kernels,
+// aggregate and representative connection.
+#include "bench_common.hpp"
+
+namespace {
+
+struct PaperRow {
+  const char* name;
+  double min, max, avg, sd;
+};
+
+constexpr PaperRow kPaperAggregate[] = {
+    {"SOR", 0.0, 1728.7, 82.1, 234.9}, {"2DFFT", 0.0, 1395.8, 1.3, 10.8},
+    {"T2DFFT", 0.0, 1301.6, 1.5, 14.3}, {"SEQ", 0.0, 218.6, 1.3, 8.6},
+    {"HIST", 0.0, 449.9, 16.5, 45.5},
+};
+constexpr PaperRow kPaperConnection[] = {
+    {"SOR", 0.0, 1797.0, 614.2, 590.8},
+    {"2DFFT", 0.0, 2732.6, 15.1, 120.5},
+    {"T2DFFT", 0.0, 4216.7, 9.5, 127.3},
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace fxtraf;
+  const bench::RunOptions options = bench::parse_options(argc, argv, 1.0);
+  bench::print_header("Packet interarrival time statistics (ms)",
+                      "Figure 4 of CMU-CS-98-144 / ICPP'01");
+
+  const auto runs = bench::run_all_kernels(options);
+
+  std::printf("\n-- aggregate (measured) --\n");
+  std::printf("%-10s %10s %10s %10s %10s\n", "Program", "Min", "Max", "Avg",
+              "SD");
+  for (const auto& run : runs) {
+    bench::print_summary_row(run.name.c_str(),
+                             core::interarrival_ms_stats(run.aggregate));
+  }
+  std::printf("\n-- aggregate (paper) --\n");
+  for (const auto& row : kPaperAggregate) {
+    std::printf("%-10s %10.1f %10.1f %10.1f %10.1f\n", row.name, row.min,
+                row.max, row.avg, row.sd);
+  }
+
+  std::printf("\n-- connection (measured) --\n");
+  for (const auto& run : runs) {
+    if (!run.conn) continue;
+    bench::print_summary_row(run.name.c_str(),
+                             core::interarrival_ms_stats(*run.conn));
+  }
+  std::printf("\n-- connection (paper) --\n");
+  for (const auto& row : kPaperConnection) {
+    std::printf("%-10s %10.1f %10.1f %10.1f %10.1f\n", row.name, row.min,
+                row.max, row.avg, row.sd);
+  }
+
+  std::printf("\n-- max/avg interarrival ratio (burstiness signature) --\n");
+  for (const auto& run : runs) {
+    const auto s = core::interarrival_ms_stats(run.aggregate);
+    std::printf("%-10s %8.1fx  (paper notes this ratio is 'quite high')\n",
+                run.name.c_str(), s.mean > 0 ? s.max / s.mean : 0.0);
+  }
+  return 0;
+}

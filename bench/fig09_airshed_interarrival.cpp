@@ -1,0 +1,29 @@
+// Figure 9: AIRSHED packet interarrival statistics.  The paper's shape
+// claims: both max and avg are an order of magnitude above the kernels',
+// and the max/avg ratio stays very high (bursty).
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace fxtraf;
+  const bench::RunOptions options = bench::parse_options(argc, argv, 1.0);
+  bench::print_header("Packet interarrival time statistics for AIRSHED (ms)",
+                      "Figure 9 of CMU-CS-98-144 / ICPP'01");
+
+  const auto run = bench::run_airshed(options);
+  const auto agg = core::interarrival_ms_stats(run.aggregate);
+  const auto conn = core::interarrival_ms_stats(*run.conn);
+
+  std::printf("\n%-22s %10s %10s %10s %10s\n", "", "Min", "Max", "Avg", "SD");
+  bench::print_summary_row("aggregate", agg);
+  std::printf("%-10s %10.1f %10.1f %10.1f %10.1f   (paper)\n", "", 0.0,
+              23448.6, 26.8, 513.3);
+  bench::print_summary_row("connection", conn);
+  std::printf("%-10s %10.1f %10.1f %10.1f %10.1f   (paper)\n", "", 0.0,
+              37018.5, 317.4, 2353.6);
+
+  std::printf("\nmax/avg ratio: aggregate %.0fx, connection %.0fx  (paper: "
+              "'quite high, characteristic of bursty traffic')\n",
+              agg.mean > 0 ? agg.max / agg.mean : 0.0,
+              conn.mean > 0 ? conn.max / conn.mean : 0.0);
+  return 0;
+}

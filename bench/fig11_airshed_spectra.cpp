@@ -1,0 +1,79 @@
+// Figure 11: AIRSHED power spectra at three zoom levels.  The paper finds
+// three peak families: ~0.015 Hz (the simulation hour), ~0.2 Hz (the
+// chemistry/vertical step period), and ~5 Hz (the transport chunk fine
+// structure).
+#include "bench_common.hpp"
+#include "dsp/spectrogram.hpp"
+
+int main(int argc, char** argv) {
+  using namespace fxtraf;
+  const bench::RunOptions options = bench::parse_options(argc, argv, 1.0);
+  bench::print_header("Power spectrum of bandwidth of AIRSHED (10 ms bins)",
+                      "Figure 11 of CMU-CS-98-144 / ICPP'01");
+
+  const auto run = bench::run_airshed(options);
+
+  auto report = [&](const char* which, trace::TraceView packets) {
+    const auto c = core::characterize(packets);
+    std::printf("\n%s: %zu samples, resolution %.5f Hz\n", which,
+                c.spectrum.sample_count, c.spectrum.resolution_hz());
+    struct Band {
+      const char* label;
+      double lo, hi;
+      double paper_hz;
+    };
+    const Band bands[] = {
+        {"hour structure", 0.005, 0.05, 0.015},
+        {"step structure", 0.05, 0.5, 0.2},
+        {"chunk structure", 2.0, 10.0, 5.0},
+    };
+    for (const Band& band : bands) {
+      const std::size_t idx = c.spectrum.argmax_in_band(band.lo, band.hi);
+      if (idx >= c.spectrum.size()) continue;
+      std::printf(
+          "  %-16s strongest at %7.4f Hz (period %7.1f s)  paper ~%.3f Hz, "
+          "band power share %5.1f%%\n",
+          band.label, c.spectrum.frequency_hz[idx],
+          1.0 / c.spectrum.frequency_hz[idx], band.paper_hz,
+          100.0 * c.spectrum.band_power(band.lo, band.hi) /
+              c.spectrum.band_power(0.004, c.spectrum.nyquist_hz()));
+    }
+    std::printf("  top spikes overall:");
+    for (std::size_t k = 0; k < std::min<std::size_t>(8, c.peaks.size());
+         ++k) {
+      std::printf(" %.4gHz", c.peaks[k].frequency_hz);
+    }
+    std::printf("\n");
+  };
+
+  report("aggregate", run.aggregate);
+  report("connection", *run.conn);
+
+  // Beyond the paper: a spectrogram separates the hour's phases — the
+  // preprocessing/chemistry regions carry no ~5 Hz transport comb, the
+  // transpose regions do (STFT frames of ~2.5 s across the whole run).
+  const auto series = core::binned_bandwidth(run.aggregate,
+                                             sim::millis(10));
+  const auto sg = dsp::spectrogram(series.kb_per_s, series.interval_s,
+                                   {.window_samples = 256,
+                                    .hop_samples = 128});
+  int comb_frames = 0, quiet_frames = 0;
+  for (std::size_t f = 0; f < sg.frames(); ++f) {
+    double band = 0.0, total = 0.0;
+    for (std::size_t k = 0; k < sg.bins(); ++k) {
+      if (sg.frequency_hz[k] < 0.05) continue;
+      total += sg.power[f][k];
+      if (sg.frequency_hz[k] >= 3.5 && sg.frequency_hz[k] <= 6.0) {
+        band += sg.power[f][k];
+      }
+    }
+    if (total <= 0.0) continue;
+    (band / total > 0.25 ? comb_frames : quiet_frames)++;
+  }
+  std::printf("\nspectrogram (2.5 s frames): %d frames dominated by the "
+              "~5 Hz transport comb, %d without it (preprocessing / "
+              "chemistry phases) — the periodicity is phase-local, not "
+              "stationary.\n",
+              comb_frames, quiet_frames);
+  return 0;
+}

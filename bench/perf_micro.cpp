@@ -1,0 +1,127 @@
+// Google-benchmark microbenchmarks of the hot paths: FFT, periodogram,
+// event queue, Ethernet simulation, bandwidth binning, sliding window.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "apps/fft2d.hpp"
+#include "apps/testbed.hpp"
+#include "core/bandwidth.hpp"
+#include "dsp/fft.hpp"
+#include "dsp/periodogram.hpp"
+#include "fx/runtime.hpp"
+#include "simcore/event_queue.hpp"
+#include "simcore/rng.hpp"
+
+namespace {
+
+using namespace fxtraf;
+
+void BM_FftPow2(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  sim::Rng rng(1);
+  std::vector<dsp::Complex> x(n);
+  for (auto& v : x) v = {rng.next_double(), rng.next_double()};
+  for (auto _ : state) {
+    auto copy = x;
+    dsp::fft_pow2_inplace(copy, false);
+    benchmark::DoNotOptimize(copy.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_FftPow2)->Arg(1024)->Arg(16384)->Arg(262144);
+
+void BM_FftBluestein(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  sim::Rng rng(2);
+  std::vector<dsp::Complex> x(n);
+  for (auto& v : x) v = {rng.next_double(), rng.next_double()};
+  for (auto _ : state) {
+    auto out = dsp::fft(x);
+    benchmark::DoNotOptimize(out.data());
+  }
+}
+BENCHMARK(BM_FftBluestein)->Arg(1000)->Arg(33000);
+
+void BM_Periodogram(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  sim::Rng rng(3);
+  std::vector<double> x(n);
+  for (auto& v : x) v = rng.next_double() * 100;
+  for (auto _ : state) {
+    auto s = dsp::periodogram(x, 0.01);
+    benchmark::DoNotOptimize(s.power.data());
+  }
+}
+BENCHMARK(BM_Periodogram)->Arg(65536)->Arg(660000);
+
+void BM_EventQueue(benchmark::State& state) {
+  sim::Rng rng(4);
+  for (auto _ : state) {
+    sim::EventQueue q;
+    for (int i = 0; i < 10000; ++i) {
+      q.push(sim::SimTime{static_cast<std::int64_t>(rng.next_u64() % 1000000)},
+             [] {});
+    }
+    while (!q.empty()) q.pop();
+  }
+  state.SetItemsProcessed(state.iterations() * 10000);
+}
+BENCHMARK(BM_EventQueue);
+
+void BM_SimulatedFft2dIteration(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulator simulator(9);
+    apps::TestbedConfig config;
+    config.pvm.keepalives_enabled = false;
+    apps::Testbed testbed(simulator, config);
+    testbed.start();
+    apps::Fft2dParams params;
+    params.n = 256;
+    params.iterations = 2;
+    params.flops_per_phase = 1e6;
+    fx::run_program(testbed.vm(), apps::make_fft2d(params));
+    benchmark::DoNotOptimize(testbed.capture().size());
+    state.counters["events"] =
+        static_cast<double>(simulator.events_executed());
+    state.counters["packets"] = static_cast<double>(testbed.capture().size());
+  }
+}
+BENCHMARK(BM_SimulatedFft2dIteration)->Unit(benchmark::kMillisecond);
+
+std::vector<trace::PacketRecord> synthetic_packets(std::size_t n) {
+  sim::Rng rng(5);
+  std::vector<trace::PacketRecord> packets(n);
+  std::int64_t t = 0;
+  for (auto& p : packets) {
+    t += static_cast<std::int64_t>(rng.next_u64() % 2'000'000);
+    p.timestamp = sim::SimTime{t};
+    p.bytes = 58 + static_cast<std::uint32_t>(rng.next_u64() % 1460);
+  }
+  return packets;
+}
+
+void BM_BinnedBandwidth(benchmark::State& state) {
+  const auto packets = synthetic_packets(200000);
+  for (auto _ : state) {
+    auto series = core::binned_bandwidth(packets, sim::millis(10));
+    benchmark::DoNotOptimize(series.kb_per_s.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 200000);
+}
+BENCHMARK(BM_BinnedBandwidth);
+
+void BM_SlidingWindowBandwidth(benchmark::State& state) {
+  const auto packets = synthetic_packets(200000);
+  for (auto _ : state) {
+    auto series = core::sliding_window_bandwidth(packets, sim::millis(10));
+    benchmark::DoNotOptimize(series.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 200000);
+}
+BENCHMARK(BM_SlidingWindowBandwidth);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,63 @@
+// Section 7.2: truncated-Fourier-series analytic models.  For each kernel,
+// fit models with increasing numbers of spectral spikes, report the
+// reconstruction error (the paper's convergence claim), and round-trip a
+// synthetic trace through the characterization pipeline.
+#include "bench_common.hpp"
+#include "core/fourier_model.hpp"
+#include "core/synth.hpp"
+
+int main(int argc, char** argv) {
+  using namespace fxtraf;
+  const bench::RunOptions options = bench::parse_options(argc, argv, 0.25);
+  bench::print_header(
+      "Truncated Fourier-series traffic models: convergence and synthesis",
+      "section 7.2 of CMU-CS-98-144 / ICPP'01");
+
+  const auto runs = bench::run_all_kernels(options);
+  for (const auto& run : runs) {
+    const auto series = core::binned_bandwidth(run.aggregate,
+                                               sim::millis(10));
+    const auto sweep = core::convergence_sweep(series, 32);
+    std::printf("\n%s (%zu bandwidth samples)\n", run.name.c_str(),
+                series.size());
+    std::printf("  %10s %12s %18s\n", "spikes", "NRMSE",
+                "captured power");
+    for (const auto& point : sweep) {
+      if (point.components == 1 || point.components == 2 ||
+          point.components == 4 || point.components == 8 ||
+          point.components == 16 || point.components == 32 ||
+          point.components == sweep.back().components) {
+        std::printf("  %10zu %12.3f %17.1f%%\n", point.components,
+                    point.nrmse, 100 * point.captured_power_fraction);
+      }
+    }
+    const bool converging =
+        sweep.size() >= 2 && sweep.back().nrmse <= sweep.front().nrmse;
+    std::printf("  convergence: %s (paper: 'as the number of spikes chosen "
+                "increases, the approximation will converge')\n",
+                converging ? "yes" : "NO");
+  }
+
+  // Synthesis round trip on the most periodic kernel's trace.
+  std::printf("\n-- synthetic traffic from the SEQ model --\n");
+  const auto& seq = runs[3];
+  const auto series = core::binned_bandwidth(seq.aggregate, sim::millis(10));
+  const auto spectrum = dsp::periodogram(series.kb_per_s, series.interval_s);
+  const auto model = core::FourierTrafficModel::fit(spectrum, 12);
+  std::printf("model: mean %.1f KB/s + %zu components, strongest at "
+              "%.2f Hz\n",
+              model.mean_kbs(), model.components().size(),
+              model.components().empty()
+                  ? 0.0
+                  : model.components()[0].frequency_hz);
+  const double duration =
+      static_cast<double>(series.size()) * series.interval_s;
+  const auto synthetic = core::generate_trace(model, duration);
+  const auto c_orig = core::characterize(seq.aggregate);
+  const auto c_synth = core::characterize(synthetic);
+  std::printf("original : %8.1f KB/s avg, fundamental %.2f Hz\n",
+              c_orig.avg_bandwidth_kbs, c_orig.fundamental.frequency_hz);
+  std::printf("synthetic: %8.1f KB/s avg, fundamental %.2f Hz\n",
+              c_synth.avg_bandwidth_kbs, c_synth.fundamental.frequency_hz);
+  return 0;
+}

@@ -1,0 +1,78 @@
+// Section 7.3: the QoS negotiation model.  Sweeps t_bi = l(P) + N/B over
+// processor counts for each communication pattern, showing the tension
+// between parallelism and per-connection bandwidth — and the P the
+// network would return.
+#include <cstdio>
+
+#include "core/qos.hpp"
+#include "fx/patterns.hpp"
+
+int main() {
+  using namespace fxtraf;
+  std::printf("==================================================\n");
+  std::printf("QoS negotiation: t_bi = W/P + N/B over P\n"
+              "  (reproduces section 7.3 of CMU-CS-98-144 / ICPP'01)\n");
+  std::printf("==================================================\n");
+
+  core::NetworkState network;
+  network.min_processors = 2;
+  network.max_processors = 32;
+
+  struct Workload {
+    const char* name;
+    fx::PatternKind pattern;
+    double work_seconds;
+    std::function<double(int)> burst;
+  };
+  const double matrix_bytes = 512.0 * 512.0 * 8.0;  // the kernels' N=512
+  const Workload workloads[] = {
+      {"SOR-like (neighbor, N bytes/conn)", fx::PatternKind::kNeighbor, 120.0,
+       [](int) { return 512.0 * 8.0; }},
+      {"2DFFT-like (all-to-all transpose)", fx::PatternKind::kAllToAll, 60.0,
+       [matrix_bytes](int p) { return matrix_bytes / (p * p); }},
+      {"T2DFFT-like (partition)", fx::PatternKind::kPartition, 60.0,
+       [matrix_bytes](int p) { return 2.0 * matrix_bytes / (p * p); }},
+      {"SEQ-like (broadcast)", fx::PatternKind::kBroadcast, 10.0,
+       [](int) { return 32.0 * 64.0 * 64.0; }},
+      {"HIST-like (tree)", fx::PatternKind::kTree, 80.0,
+       [](int) { return 1024.0; }},
+  };
+
+  for (const Workload& w : workloads) {
+    const auto spec =
+        core::TrafficSpec::perfectly_parallel(w.pattern, w.work_seconds,
+                                              w.burst);
+    const auto result = core::negotiate(spec, network);
+    std::printf("\n%s  [pattern %s]\n", w.name, fx::to_string(w.pattern));
+    std::printf("  %4s %14s %10s %10s %10s\n", "P", "B (KB/s/conn)",
+                "t_b (s)", "l(P) (s)", "t_bi (s)");
+    for (const auto& point : result.sweep) {
+      if (point.processors == 2 || point.processors == 4 ||
+          point.processors == 8 || point.processors == 16 ||
+          point.processors == 32 ||
+          point.processors == result.best.processors) {
+        std::printf("  %4d %14.1f %10.4f %10.3f %10.3f%s\n",
+                    point.processors,
+                    point.burst_bandwidth_bytes_per_s / 1024.0,
+                    point.burst_seconds, point.local_seconds,
+                    point.burst_interval_seconds,
+                    point.processors == result.best.processors
+                        ? "   <- network returns this P"
+                        : "");
+      }
+    }
+  }
+
+  std::printf("\n-- effect of existing commitments (2DFFT-like) --\n");
+  const auto spec = core::TrafficSpec::perfectly_parallel(
+      fx::PatternKind::kAllToAll, 60.0,
+      [matrix_bytes](int p) { return matrix_bytes / (p * p); });
+  for (double committed : {0.0, 0.25, 0.5, 0.75}) {
+    network.committed_fraction = committed;
+    const auto result = core::negotiate(spec, network);
+    std::printf("  committed %3.0f%%: best P = %2d, t_bi = %.3f s\n",
+                100 * committed, result.best.processors,
+                result.best.burst_interval_seconds);
+  }
+  return 0;
+}

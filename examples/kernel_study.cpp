@@ -1,0 +1,88 @@
+// Kernel study: run all five Fx kernels (scaled down), print a compact
+// side-by-side traffic characterization — a miniature of the paper's
+// whole measurement section, driven entirely through the public API.
+#include <cstdio>
+#include <vector>
+
+#include "apps/fft2d.hpp"
+#include "apps/hist.hpp"
+#include "apps/seq.hpp"
+#include "apps/sor.hpp"
+#include "apps/testbed.hpp"
+#include "apps/tfft2d.hpp"
+#include "core/characterization.hpp"
+#include "fx/runtime.hpp"
+
+namespace {
+
+using namespace fxtraf;
+
+struct Result {
+  std::string name;
+  std::size_t packets;
+  core::TrafficCharacterization c;
+  double seconds;
+};
+
+Result run_one(const std::string& name, const fx::FxProgram& program,
+               pvm::AssemblyMode assembly = pvm::AssemblyMode::kCopyLoop) {
+  sim::Simulator simulator(1234);
+  apps::TestbedConfig config;
+  config.pvm.assembly = assembly;
+  apps::Testbed testbed(simulator, config);
+  testbed.start();
+  const sim::SimTime end = fx::run_program(testbed.vm(), program);
+  Result r;
+  r.name = name;
+  r.packets = testbed.capture().size();
+  r.c = core::characterize(testbed.capture().view());
+  r.seconds = end.seconds();
+  return r;
+}
+
+}  // namespace
+
+int main() {
+  using namespace fxtraf;
+  std::vector<Result> results;
+
+  apps::SorParams sor;
+  sor.iterations = 20;
+  results.push_back(run_one("SOR", apps::make_sor(sor)));
+
+  apps::Fft2dParams fft;
+  fft.iterations = 20;
+  results.push_back(run_one("2DFFT", apps::make_fft2d(fft)));
+
+  apps::Tfft2dParams tfft;
+  tfft.iterations = 20;
+  results.push_back(run_one("T2DFFT", apps::make_tfft2d(tfft),
+                            apps::Tfft2dParams::preferred_assembly()));
+
+  apps::SeqParams seq;
+  seq.iterations = 2;
+  results.push_back(run_one("SEQ", apps::make_seq(seq)));
+
+  apps::HistParams hist;
+  hist.iterations = 40;
+  results.push_back(run_one("HIST", apps::make_hist(hist)));
+
+  std::printf("%-8s %9s %9s %9s %10s %12s %10s\n", "kernel", "sim (s)",
+              "packets", "avg KB/s", "pkt avg B", "fundamental",
+              "harm power");
+  for (const Result& r : results) {
+    std::printf("%-8s %9.1f %9zu %9.1f %10.0f %9.2f Hz %9.0f%%\n",
+                r.name.c_str(), r.seconds, r.packets, r.c.avg_bandwidth_kbs,
+                r.c.packet_size.mean, r.c.fundamental.frequency_hz,
+                100 * r.c.fundamental.harmonic_power_fraction);
+  }
+  std::printf("\npacket size modes per kernel:\n");
+  for (const Result& r : results) {
+    std::printf("  %-8s", r.name.c_str());
+    for (const auto& m : r.c.modes) {
+      std::printf("  %uB(%.0f%%)", m.representative_bytes, 100 * m.share);
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

@@ -1,0 +1,47 @@
+#include "apps/airshed.hpp"
+
+namespace fxtraf::apps {
+
+namespace {
+
+/// One distribution transpose, shipped in chunks interleaved with the
+/// per-chunk transport compute.
+sim::Co<void> chunked_transpose(fx::FxContext& ctx, int rank,
+                                const AirshedParams& params) {
+  const std::size_t chunk_bytes =
+      params.transpose_bytes_per_pair() /
+      static_cast<std::size_t>(params.transpose_chunks);
+  for (int c = 0; c < params.transpose_chunks; ++c) {
+    co_await ctx.compute(rank, params.chunk_flops);
+    const int tag = ctx.next_tag(rank);
+    co_await ctx.collectives().all_to_all(rank, chunk_bytes, tag);
+  }
+}
+
+sim::Co<void> airshed_rank(fx::FxContext& ctx, int rank,
+                           AirshedParams params) {
+  for (int hour = 0; hour < params.hours; ++hour) {
+    // Stiffness matrix assembly + factorization: local, no traffic.
+    co_await ctx.compute(rank, params.preprocess_flops);
+    for (int step = 0; step < params.steps_per_hour; ++step) {
+      co_await ctx.compute(rank, params.horizontal_flops);
+      co_await chunked_transpose(ctx, rank, params);  // layer -> grid
+      co_await ctx.compute(rank, params.chemistry_flops);
+      co_await chunked_transpose(ctx, rank, params);  // grid -> layer
+    }
+  }
+}
+
+}  // namespace
+
+fx::FxProgram make_airshed(const AirshedParams& params) {
+  fx::FxProgram program;
+  program.name = "AIRSHED";
+  program.processors = params.processors;
+  program.rank_body = [params](fx::FxContext& ctx, int rank) {
+    return airshed_rank(ctx, rank, params);
+  };
+  return program;
+}
+
+}  // namespace fxtraf::apps

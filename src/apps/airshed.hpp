@@ -1,0 +1,58 @@
+// AIRSHED — skeleton of the multiscale air-quality model (paper 3.2).
+//
+// The simulation runs `hours` simulation-hours.  Each hour assembles and
+// factors the per-layer stiffness matrices (preprocessing, no traffic),
+// then performs `steps_per_hour` steps; each step is a horizontal
+// transport phase, an all-to-all distribution transpose, a chemistry /
+// vertical transport phase, and the reverse transpose.  Transport phases
+// process species in chunks, giving the transposes the ~200 ms fine
+// structure behind the paper's 5 Hz spectral peak; the step period gives
+// the 0.2 Hz peak and the hour period the 0.015 Hz peak (Figure 11).
+#pragma once
+
+#include "fx/runtime.hpp"
+#include "simcore/time.hpp"
+
+namespace fxtraf::apps {
+
+struct AirshedParams {
+  int processors = 4;
+  int species = 35;       ///< s
+  int grid_points = 1024;  ///< p
+  int layers = 4;          ///< l
+  int steps_per_hour = 5;  ///< k
+  int hours = 100;         ///< h
+
+  /// Word size of concentration data shipped in the transpose.  The Fx
+  /// skeleton the paper measured moved less than the full double-precision
+  /// array; 2-byte words calibrate the aggregate bandwidth to the
+  /// measured 32.7 KB/s.
+  std::size_t word_bytes = 2;
+
+  /// Stiffness-matrix assembly + factorization per hour (~13 s).
+  double preprocess_flops = 330e6;
+  /// Horizontal transport compute per step, excluding chunk compute
+  /// (~4.4 s — "slightly shorter" than the chemistry phase, section 6.2).
+  double horizontal_flops = 110e6;
+  /// Chemistry / vertical transport compute per step (~4.8 s, the
+  /// paper's 0.2 Hz intra-pair spacing).
+  double chemistry_flops = 120e6;
+  /// Each transpose ships its data in this many chunks, separated by
+  /// per-chunk transport compute (the ~200 ms / 5 Hz fine structure).
+  int transpose_chunks = 4;
+  double chunk_flops = 4.2e6;
+
+  /// Bytes each rank sends each other rank per *full* transpose:
+  /// O(p*s*l / P^2) of `word_bytes` words.
+  [[nodiscard]] std::size_t transpose_bytes_per_pair() const {
+    const auto p2 = static_cast<std::size_t>(processors) *
+                    static_cast<std::size_t>(processors);
+    return static_cast<std::size_t>(grid_points) *
+           static_cast<std::size_t>(species) *
+           static_cast<std::size_t>(layers) * word_bytes / p2;
+  }
+};
+
+[[nodiscard]] fx::FxProgram make_airshed(const AirshedParams& params = {});
+
+}  // namespace fxtraf::apps

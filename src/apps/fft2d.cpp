@@ -1,0 +1,28 @@
+#include "apps/fft2d.hpp"
+
+namespace fxtraf::apps {
+
+namespace {
+
+sim::Co<void> fft2d_rank(fx::FxContext& ctx, int rank, Fft2dParams params) {
+  for (int iter = 0; iter < params.iterations; ++iter) {
+    co_await ctx.compute(rank, params.flops_per_phase);  // row FFTs
+    const int tag = ctx.next_tag(rank);
+    co_await ctx.collectives().all_to_all(rank, params.block_bytes(), tag);
+    co_await ctx.compute(rank, params.flops_per_phase);  // column FFTs
+  }
+}
+
+}  // namespace
+
+fx::FxProgram make_fft2d(const Fft2dParams& params) {
+  fx::FxProgram program;
+  program.name = "2DFFT";
+  program.processors = params.processors;
+  program.rank_body = [params](fx::FxContext& ctx, int rank) {
+    return fft2d_rank(ctx, rank, params);
+  };
+  return program;
+}
+
+}  // namespace fxtraf::apps

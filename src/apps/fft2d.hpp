@@ -1,0 +1,29 @@
+// 2DFFT — data-parallel two-dimensional FFT, the paper's *all-to-all*
+// pattern kernel.  Local row FFTs, a full distribution transpose
+// (every rank ships an (N/P)^2 block to every other rank), local column
+// FFTs.
+#pragma once
+
+#include "fx/runtime.hpp"
+
+namespace fxtraf::apps {
+
+struct Fft2dParams {
+  int processors = 4;
+  std::size_t n = 512;
+  int iterations = 100;
+  /// Local FFT work per phase (rows, then columns).  Calibrated so one
+  /// iteration takes ~2 s including the saturated transpose, matching the
+  /// paper's ~0.5 Hz fundamental with ~5 bursts per 10 s plot window.
+  double flops_per_phase = 9.0e6;
+
+  /// Block each rank sends to each other rank during the transpose.
+  [[nodiscard]] std::size_t block_bytes() const {
+    const std::size_t per = n / static_cast<std::size_t>(processors);
+    return per * per * 8;
+  }
+};
+
+[[nodiscard]] fx::FxProgram make_fft2d(const Fft2dParams& params = {});
+
+}  // namespace fxtraf::apps

@@ -1,0 +1,33 @@
+#include "apps/hist.hpp"
+
+namespace fxtraf::apps {
+
+namespace {
+
+sim::Co<void> hist_rank(fx::FxContext& ctx, int rank, HistParams params) {
+  for (int iter = 0; iter < params.iterations; ++iter) {
+    co_await ctx.compute(rank, params.flops_per_iteration);
+    const int reduce_tag = ctx.next_tag(rank);
+    co_await ctx.collectives().tree_reduce(rank, params.histogram_bytes(),
+                                           reduce_tag);
+  }
+  // Processor 0 ends up with the complete histogram and broadcasts it to
+  // all the other processors once.
+  const int bcast_tag = ctx.next_tag(rank);
+  co_await ctx.collectives().broadcast(rank, /*root=*/0,
+                                       params.histogram_bytes(), bcast_tag);
+}
+
+}  // namespace
+
+fx::FxProgram make_hist(const HistParams& params) {
+  fx::FxProgram program;
+  program.name = "HIST";
+  program.processors = params.processors;
+  program.rank_body = [params](fx::FxContext& ctx, int rank) {
+    return hist_rank(ctx, rank, params);
+  };
+  return program;
+}
+
+}  // namespace fxtraf::apps

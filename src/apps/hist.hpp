@@ -1,0 +1,28 @@
+// HIST — 2D image histogram, the paper's *tree* pattern kernel.
+// Each processor histograms its rows locally; log P tree steps merge the
+// histogram vectors up to processor 0, which then broadcasts the result.
+#pragma once
+
+#include "fx/runtime.hpp"
+
+namespace fxtraf::apps {
+
+struct HistParams {
+  int processors = 4;
+  std::size_t n = 512;
+  int iterations = 100;
+  /// 512 four-byte bins: the 2 KB vector splits into one maximal packet
+  /// plus a remainder, giving HIST the paper's trimodal size histogram.
+  std::size_t histogram_bins = 512;
+  /// Local histogramming work; calibrated so the iteration period lands
+  /// near the paper's 5 Hz fundamental (~200 ms).
+  double flops_per_iteration = 5.0e6;
+
+  [[nodiscard]] std::size_t histogram_bytes() const {
+    return histogram_bins * 4;
+  }
+};
+
+[[nodiscard]] fx::FxProgram make_hist(const HistParams& params = {});
+
+}  // namespace fxtraf::apps

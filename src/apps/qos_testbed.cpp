@@ -1,0 +1,33 @@
+#include "apps/qos_testbed.hpp"
+
+namespace fxtraf::apps {
+
+QosTestbed::QosTestbed(sim::Simulator& simulator,
+                       const QosTestbedConfig& config)
+    : network_(simulator, config.port_rate_bits_per_s) {
+  std::vector<host::Workstation*> raw;
+  for (int i = 0; i < config.workstations; ++i) {
+    auto port = network_.add_port(static_cast<net::HostId>(i));
+    hosts_.push_back(std::make_unique<host::Workstation>(
+        simulator, std::move(port), config.host));
+    raw.push_back(hosts_.back().get());
+  }
+  vm_ = std::make_unique<pvm::VirtualMachine>(simulator, std::move(raw),
+                                              config.pvm);
+  network_.add_tap(capture_.tap());
+}
+
+QosTestbed::~QosTestbed() = default;
+
+void QosTestbed::reserve_all_pairs(double bytes_per_s) {
+  for (int s = 0; s < size(); ++s) {
+    for (int d = 0; d < size(); ++d) {
+      if (s != d) {
+        network_.reserve(static_cast<net::HostId>(s),
+                         static_cast<net::HostId>(d), bytes_per_s);
+      }
+    }
+  }
+}
+
+}  // namespace fxtraf::apps

@@ -1,0 +1,53 @@
+// Testbed variant on the QoS-capable switched network: the same
+// workstations, PVM, and capture, but the medium honors per-connection
+// reservations instead of arbitrating a collision domain.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "atm/qos_network.hpp"
+#include "host/workstation.hpp"
+#include "pvm/vm.hpp"
+#include "simcore/simulator.hpp"
+#include "trace/capture.hpp"
+
+namespace fxtraf::apps {
+
+struct QosTestbedConfig {
+  int workstations = 4;
+  double port_rate_bits_per_s = 10e6;  ///< same raw rate as the Ethernet
+  host::WorkstationConfig host;
+  pvm::PvmConfig pvm;
+};
+
+class QosTestbed {
+ public:
+  QosTestbed(sim::Simulator& simulator, const QosTestbedConfig& config);
+  ~QosTestbed();
+
+  QosTestbed(const QosTestbed&) = delete;
+  QosTestbed& operator=(const QosTestbed&) = delete;
+
+  [[nodiscard]] atm::QosNetwork& network() { return network_; }
+  [[nodiscard]] pvm::VirtualMachine& vm() { return *vm_; }
+  [[nodiscard]] trace::Capture& capture() { return capture_; }
+  [[nodiscard]] host::Workstation& workstation(int i) {
+    return *hosts_.at(static_cast<std::size_t>(i));
+  }
+  [[nodiscard]] int size() const { return static_cast<int>(hosts_.size()); }
+
+  /// Reserves `bytes_per_s` on every directed pair of the VM's hosts
+  /// (the all-to-all commitment the section-7.3 negotiation returns).
+  void reserve_all_pairs(double bytes_per_s);
+
+  void start() { vm_->start(); }
+
+ private:
+  atm::QosNetwork network_;
+  std::vector<std::unique_ptr<host::Workstation>> hosts_;
+  std::unique_ptr<pvm::VirtualMachine> vm_;
+  trace::Capture capture_;
+};
+
+}  // namespace fxtraf::apps

@@ -1,0 +1,75 @@
+#include "apps/registry.hpp"
+
+#include <algorithm>
+#include <cctype>
+
+#include "apps/airshed.hpp"
+#include "apps/fft2d.hpp"
+#include "apps/hist.hpp"
+#include "apps/seq.hpp"
+#include "apps/sor.hpp"
+#include "apps/tfft2d.hpp"
+
+namespace fxtraf::apps {
+
+namespace {
+
+int scaled(int n, double scale) {
+  const int s = static_cast<int>(n * scale + 0.5);
+  return s < 1 ? 1 : s;
+}
+
+}  // namespace
+
+std::vector<KernelEntry> all_kernels(double scale) {
+  std::vector<KernelEntry> kernels;
+
+  SorParams sor;
+  sor.iterations = scaled(sor.iterations, scale);
+  kernels.push_back({"sor", "2D successive overrelaxation", "neighbor",
+                     make_sor(sor), pvm::AssemblyMode::kCopyLoop});
+
+  Fft2dParams fft;
+  fft.iterations = scaled(fft.iterations, scale);
+  kernels.push_back({"2dfft", "2D data parallel FFT", "all-to-all",
+                     make_fft2d(fft), pvm::AssemblyMode::kCopyLoop});
+
+  Tfft2dParams tfft;
+  tfft.iterations = scaled(tfft.iterations, scale);
+  kernels.push_back({"t2dfft", "2D task parallel FFT", "partition",
+                     make_tfft2d(tfft),
+                     Tfft2dParams::preferred_assembly()});
+
+  SeqParams seq;
+  seq.iterations = scaled(seq.iterations, scale);
+  kernels.push_back({"seq", "Sequential I/O", "broadcast", make_seq(seq),
+                     pvm::AssemblyMode::kCopyLoop});
+
+  HistParams hist;
+  hist.iterations = scaled(hist.iterations, scale);
+  kernels.push_back({"hist", "2D image histogram", "tree", make_hist(hist),
+                     pvm::AssemblyMode::kCopyLoop});
+
+  AirshedParams airshed;
+  airshed.hours = scaled(airshed.hours, scale);
+  kernels.push_back({"airshed", "Air quality model skeleton", "all-to-all",
+                     make_airshed(airshed), pvm::AssemblyMode::kCopyLoop});
+
+  return kernels;
+}
+
+std::optional<KernelEntry> kernel_by_name(std::string_view name,
+                                          double scale) {
+  std::string key(name);
+  std::transform(key.begin(), key.end(), key.begin(), [](unsigned char c) {
+    return static_cast<char>(std::tolower(c));
+  });
+  if (key == "fft2d" || key == "fft") key = "2dfft";
+  if (key == "tfft2d" || key == "tfft") key = "t2dfft";
+  for (auto& entry : all_kernels(scale)) {
+    if (entry.name == key) return entry;
+  }
+  return std::nullopt;
+}
+
+}  // namespace fxtraf::apps

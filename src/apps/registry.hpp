@@ -1,0 +1,32 @@
+// Name-based kernel registry: look up any of the paper's programs by
+// name with optionally scaled iteration counts — used by the CLI tools
+// and by sweep harnesses.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "fx/runtime.hpp"
+#include "pvm/message.hpp"
+
+namespace fxtraf::apps {
+
+struct KernelEntry {
+  std::string name;         ///< lower-case lookup key
+  std::string description;  ///< Figure-2 description
+  std::string pattern;      ///< Figure-1 pattern name
+  fx::FxProgram program;
+  pvm::AssemblyMode assembly = pvm::AssemblyMode::kCopyLoop;
+};
+
+/// All six programs with paper parameters, iteration counts scaled by
+/// `scale` (minimum one iteration / simulation-hour).
+[[nodiscard]] std::vector<KernelEntry> all_kernels(double scale = 1.0);
+
+/// Case-insensitive lookup; std::nullopt if unknown.
+[[nodiscard]] std::optional<KernelEntry> kernel_by_name(
+    std::string_view name, double scale = 1.0);
+
+}  // namespace fxtraf::apps

@@ -1,0 +1,48 @@
+#include "apps/seq.hpp"
+
+#include "pvm/task.hpp"
+
+namespace fxtraf::apps {
+
+namespace {
+
+sim::Co<void> seq_rank(fx::FxContext& ctx, int rank, SeqParams params) {
+  const int p = ctx.processors();
+  pvm::Task& task = ctx.vm().task(rank);
+  const std::size_t elements_per_row = params.n;
+
+  for (int iter = 0; iter < params.iterations; ++iter) {
+    const int tag = ctx.next_tag(rank);
+    if (rank == 0) {
+      for (std::size_t row = 0; row < params.n; ++row) {
+        co_await ctx.workstation(rank).busy(params.row_io_time);
+        for (std::size_t e = 0; e < elements_per_row; ++e) {
+          for (int dst = 1; dst < p; ++dst) {
+            pvm::MessageBuilder builder = task.make_builder();
+            builder.pack_bytes(params.element_bytes);
+            co_await task.send(dst, builder.finish(tag));
+          }
+        }
+      }
+    } else {
+      const std::size_t expected = params.n * elements_per_row;
+      for (std::size_t e = 0; e < expected; ++e) {
+        co_await task.recv(0, tag);
+      }
+    }
+  }
+}
+
+}  // namespace
+
+fx::FxProgram make_seq(const SeqParams& params) {
+  fx::FxProgram program;
+  program.name = "SEQ";
+  program.processors = params.processors;
+  program.rank_body = [params](fx::FxContext& ctx, int rank) {
+    return seq_rank(ctx, rank, params);
+  };
+  return program;
+}
+
+}  // namespace fxtraf::apps

@@ -1,0 +1,29 @@
+// SEQ — sequential I/O, the paper's *broadcast* pattern kernel.
+// Processor 0 reads an N x N matrix row by row (paced by disk I/O) and
+// broadcasts each element as a tiny message to every other processor,
+// which collect the elements they need.  The program does no computation.
+#pragma once
+
+#include "fx/runtime.hpp"
+#include "simcore/time.hpp"
+
+namespace fxtraf::apps {
+
+struct SeqParams {
+  int processors = 4;
+  /// Matrix dimension; 40 calibrates the burst size (one row broadcast to
+  /// P-1 processors) to the paper's 58.3 KB/s average.
+  std::size_t n = 40;
+  int iterations = 5;  ///< paper: SEQ iterated five times
+  /// Element message payload: a single word (the PVM message header adds
+  /// its 32 bytes on the wire, giving the paper's ~90 B maximum packet).
+  std::size_t element_bytes = 4;
+  /// Disk time to fetch one row on processor 0; this pacing is what makes
+  /// SEQ "extremely periodic, with the four Hz harmonic being the most
+  /// important" (paper section 6.1).
+  sim::Duration row_io_time = sim::millis(240);
+};
+
+[[nodiscard]] fx::FxProgram make_seq(const SeqParams& params = {});
+
+}  // namespace fxtraf::apps

@@ -1,0 +1,36 @@
+#include "apps/sor.hpp"
+
+namespace fxtraf::apps {
+
+namespace {
+
+sim::Co<void> sor_rank(fx::FxContext& ctx, int rank, SorParams params) {
+  // Deterministic per-rank speed skew within +/- work_jitter.
+  const double skew =
+      1.0 + params.work_jitter *
+                (2.0 * static_cast<double>(rank) /
+                     static_cast<double>(ctx.processors() - 1 > 0
+                                             ? ctx.processors() - 1
+                                             : 1) -
+                 1.0);
+  for (int iter = 0; iter < params.iterations; ++iter) {
+    const int tag = ctx.next_tag(rank);
+    co_await ctx.collectives().neighbor_exchange(rank, params.row_bytes(),
+                                                 tag);
+    co_await ctx.compute(rank, params.flops_per_iteration * skew);
+  }
+}
+
+}  // namespace
+
+fx::FxProgram make_sor(const SorParams& params) {
+  fx::FxProgram program;
+  program.name = "SOR";
+  program.processors = params.processors;
+  program.rank_body = [params](fx::FxContext& ctx, int rank) {
+    return sor_rank(ctx, rank, params);
+  };
+  return program;
+}
+
+}  // namespace fxtraf::apps

@@ -1,0 +1,30 @@
+// SOR — 2D successive overrelaxation, the paper's *neighbor* pattern
+// kernel.  Rows of an N x N matrix are block-distributed; each iteration
+// every interior processor exchanges one boundary row with each neighbor
+// before updating its block.
+#pragma once
+
+#include "fx/runtime.hpp"
+
+namespace fxtraf::apps {
+
+struct SorParams {
+  int processors = 4;
+  std::size_t n = 512;   ///< matrix dimension (rows of 8-byte reals)
+  int iterations = 100;  ///< paper: outer loop iterated 100 times
+  /// Per-iteration local work.  Calibrated to a ~2.5 s iteration period,
+  /// which reproduces the paper's Figure 5 bandwidths (5.6 KB/s aggregate,
+  /// 0.9 KB/s per connection) with the 2 KB boundary-row messages.
+  double flops_per_iteration = 62.5e6;
+  /// Per-rank relative compute-speed jitter; SOR has no global barrier,
+  /// so heterogeneity lets neighbor exchanges drift out of phase, which
+  /// is why the paper sees a less periodic aggregate than connection.
+  double work_jitter = 0.02;
+
+  /// Boundary rows are single-precision REAL*4, as in the Fortran kernel.
+  [[nodiscard]] std::size_t row_bytes() const { return n * 4; }
+};
+
+[[nodiscard]] fx::FxProgram make_sor(const SorParams& params = {});
+
+}  // namespace fxtraf::apps

@@ -1,0 +1,20 @@
+#include "apps/testbed.hpp"
+
+namespace fxtraf::apps {
+
+Testbed::Testbed(sim::Simulator& simulator, const TestbedConfig& config)
+    : segment_(simulator), capture_(segment_) {
+  hosts_.reserve(static_cast<std::size_t>(config.workstations));
+  std::vector<host::Workstation*> raw;
+  for (int i = 0; i < config.workstations; ++i) {
+    hosts_.push_back(std::make_unique<host::Workstation>(
+        simulator, segment_, static_cast<net::HostId>(i), config.host));
+    raw.push_back(hosts_.back().get());
+  }
+  vm_ = std::make_unique<pvm::VirtualMachine>(simulator, std::move(raw),
+                                              config.pvm);
+}
+
+Testbed::~Testbed() = default;
+
+}  // namespace fxtraf::apps

@@ -1,0 +1,50 @@
+// Assembles the paper's measurement environment: DEC Alpha workstations
+// on one shared Ethernet, a PVM virtual machine across them, and a
+// promiscuous capture station.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "ethernet/segment.hpp"
+#include "host/workstation.hpp"
+#include "pvm/vm.hpp"
+#include "simcore/simulator.hpp"
+#include "trace/capture.hpp"
+
+namespace fxtraf::apps {
+
+struct TestbedConfig {
+  int workstations = 4;
+  host::WorkstationConfig host;
+  pvm::PvmConfig pvm;
+};
+
+class Testbed {
+ public:
+  Testbed(sim::Simulator& simulator, const TestbedConfig& config);
+  ~Testbed();
+
+  Testbed(const Testbed&) = delete;
+  Testbed& operator=(const Testbed&) = delete;
+
+  [[nodiscard]] eth::Segment& segment() { return segment_; }
+  [[nodiscard]] pvm::VirtualMachine& vm() { return *vm_; }
+  [[nodiscard]] trace::Capture& capture() { return capture_; }
+  [[nodiscard]] const trace::Capture& capture() const { return capture_; }
+  [[nodiscard]] host::Workstation& workstation(int i) {
+    return *hosts_.at(static_cast<std::size_t>(i));
+  }
+  [[nodiscard]] int size() const { return static_cast<int>(hosts_.size()); }
+
+  /// Starts PVM services (daemons, task accept loops).
+  void start() { vm_->start(); }
+
+ private:
+  eth::Segment segment_;
+  std::vector<std::unique_ptr<host::Workstation>> hosts_;
+  std::unique_ptr<pvm::VirtualMachine> vm_;
+  trace::Capture capture_;
+};
+
+}  // namespace fxtraf::apps

@@ -1,0 +1,42 @@
+// T2DFFT — pipelined task-parallel 2DFFT, the paper's *partition* pattern
+// kernel.  The first half of the ranks run row FFTs and stream the
+// transposed blocks to the second half, which run column FFTs.
+//
+// Distinctively (paper section 4), T2DFFT avoids the message copy loop by
+// packing many fragments per message, so PVM hands the socket layer a
+// series of fragments — run it on a VM configured with
+// AssemblyMode::kFragmentList to reproduce its packet-size spread.
+#pragma once
+
+#include "fx/runtime.hpp"
+#include "pvm/message.hpp"
+
+namespace fxtraf::apps {
+
+struct Tfft2dParams {
+  int processors = 4;
+  std::size_t n = 512;
+  int iterations = 100;
+  /// Work per pipeline stage on each rank; calibrated so the pipelined
+  /// stream averages near the paper's 607 KB/s.
+  double flops_per_stage = 26.0e6;
+  /// Packs per message (each becomes a PVM fragment under
+  /// kFragmentList; a copy-loop VM coalesces them).
+  int packs_per_message = 64;
+
+  /// Block each sender ships to each receiver: twice the 2DFFT block for
+  /// the same P, since only half the ranks hold the matrix (paper 3.1).
+  [[nodiscard]] std::size_t block_bytes() const {
+    const std::size_t per = n / static_cast<std::size_t>(processors);
+    return per * per * 8 * 2;
+  }
+
+  /// The assembly mode this kernel is meant to run under.
+  [[nodiscard]] static pvm::AssemblyMode preferred_assembly() {
+    return pvm::AssemblyMode::kFragmentList;
+  }
+};
+
+[[nodiscard]] fx::FxProgram make_tfft2d(const Tfft2dParams& params = {});
+
+}  // namespace fxtraf::apps

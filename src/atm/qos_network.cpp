@@ -1,0 +1,116 @@
+#include "atm/qos_network.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace fxtraf::atm {
+
+std::unique_ptr<QosNetwork::Port> QosNetwork::add_port(net::HostId host) {
+  if (outputs_.contains(host)) {
+    throw std::invalid_argument("QosNetwork::add_port: duplicate host");
+  }
+  auto port = std::make_unique<Port>(*this, host);
+  outputs_[host].port = port.get();
+  return port;
+}
+
+void QosNetwork::reserve(net::HostId src, net::HostId dst,
+                         double bytes_per_s) {
+  if (bytes_per_s <= 0.0) {
+    circuits_.erase({src, dst});
+    return;
+  }
+  circuits_[{src, dst}].rate_bytes_per_s = bytes_per_s;
+}
+
+double QosNetwork::reserved(net::HostId src, net::HostId dst) const {
+  auto it = circuits_.find({src, dst});
+  return it == circuits_.end() ? 0.0 : it->second.rate_bytes_per_s;
+}
+
+double QosNetwork::total_reserved_into(net::HostId dst) const {
+  double sum = 0.0;
+  for (const auto& [key, vc] : circuits_) {
+    if (key.second == dst) sum += vc.rate_bytes_per_s;
+  }
+  return sum;
+}
+
+void QosNetwork::ingress(eth::Frame frame) {
+  auto out_it = outputs_.find(frame.dst);
+  if (out_it == outputs_.end()) return;  // no such port: silently dropped
+  OutputPort& out = out_it->second;
+
+  auto vc_it = circuits_.find({frame.src, frame.dst});
+  if (vc_it != circuits_.end()) {
+    // Pace the VC at its reservation: a packet becomes eligible when the
+    // previous one's token allotment has accrued.
+    Vc& vc = vc_it->second;
+    const sim::SimTime earliest =
+        vc.next_eligible > sim_.now() ? vc.next_eligible : sim_.now();
+    Pending pending;
+    pending.eligible = earliest;
+    vc.next_eligible =
+        earliest + sim::seconds(static_cast<double>(frame.wire_bytes()) /
+                                vc.rate_bytes_per_s);
+    pending.frame = std::move(frame);
+    pending.seq = next_seq_++;
+    ++stats_.reserved_frames;
+    out.reserved.push_back(std::move(pending));
+    std::push_heap(out.reserved.begin(), out.reserved.end());
+  } else {
+    out.best_effort.push_back(std::move(frame));
+  }
+  try_transmit(out);
+}
+
+void QosNetwork::try_transmit(OutputPort& out) {
+  if (out.transmitting) return;
+  if (out.wakeup_armed) {
+    sim_.cancel(out.wakeup);
+    out.wakeup_armed = false;
+  }
+
+  eth::Frame frame;
+  if (!out.reserved.empty() &&
+      out.reserved.front().eligible <= sim_.now()) {
+    // Eligible reserved traffic has strict priority.
+    std::pop_heap(out.reserved.begin(), out.reserved.end());
+    frame = std::move(out.reserved.back().frame);
+    out.reserved.pop_back();
+  } else if (!out.best_effort.empty()) {
+    frame = std::move(out.best_effort.front());
+    out.best_effort.pop_front();
+  } else if (!out.reserved.empty()) {
+    // Idle until the next reserved packet matures.
+    out.wakeup = sim_.schedule_at(out.reserved.front().eligible,
+                                  [this, &out] {
+                                    out.wakeup_armed = false;
+                                    try_transmit(out);
+                                  });
+    out.wakeup_armed = true;
+    return;
+  } else {
+    return;
+  }
+
+  out.transmitting = true;
+  const sim::Duration serialization =
+      sim::seconds(static_cast<double>(frame.wire_bytes()) * 8.0 /
+                   port_rate_bps_);
+  sim_.schedule_in(serialization,
+                   [this, &out, f = std::move(frame)]() mutable {
+                     out.transmitting = false;
+                     deliver(out, std::move(f));
+                     try_transmit(out);
+                   });
+}
+
+void QosNetwork::deliver(OutputPort& out, eth::Frame frame) {
+  ++stats_.frames_switched;
+  stats_.bytes_switched += frame.recorded_bytes();
+  for (const eth::Tap& tap : taps_) tap(sim_.now(), frame);
+  out.port->deliver(frame);
+}
+
+}  // namespace fxtraf::atm

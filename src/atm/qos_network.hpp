@@ -1,0 +1,135 @@
+// QoS-capable switched LAN: the network class the paper's QoS proposal
+// targets ("next generation LANs, such as ATM, will supply quality of
+// service guarantees for connections", section 1).
+//
+// Model: a non-blocking output-queued switch with one full-duplex port
+// per workstation.  Each directed host pair may carry a *virtual
+// circuit* with a reserved rate; a reserved VC's packets are paced at
+// exactly its reservation (dedicated bandwidth, no contention), while
+// unreserved traffic shares each output port's leftover capacity FIFO at
+// line rate.  There is no collision domain: the medium itself is the
+// guarantee, which is what lets the section-7.3 negotiation's committed
+// burst bandwidth B actually hold.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "ethernet/frame.hpp"
+#include "ethernet/segment.hpp"
+#include "net/link.hpp"
+#include "simcore/simulator.hpp"
+
+namespace fxtraf::atm {
+
+struct QosNetworkStats {
+  std::uint64_t frames_switched = 0;
+  std::uint64_t bytes_switched = 0;
+  std::uint64_t reserved_frames = 0;
+};
+
+class QosNetwork {
+ public:
+  class Port;
+
+  explicit QosNetwork(sim::Simulator& simulator,
+                      double port_rate_bits_per_s = 10e6)
+      : sim_(simulator), port_rate_bps_(port_rate_bits_per_s) {}
+
+  QosNetwork(const QosNetwork&) = delete;
+  QosNetwork& operator=(const QosNetwork&) = delete;
+
+  /// Creates the port for `host`.  The caller owns the port (typically
+  /// handing it to a Workstation) and must keep it alive as long as the
+  /// network can deliver to it.
+  [[nodiscard]] std::unique_ptr<Port> add_port(net::HostId host);
+
+  /// Reserves a guaranteed rate for the directed pair; replaces any
+  /// previous reservation.  Zero removes the reservation.
+  void reserve(net::HostId src, net::HostId dst, double bytes_per_s);
+  [[nodiscard]] double reserved(net::HostId src, net::HostId dst) const;
+  [[nodiscard]] double total_reserved_into(net::HostId dst) const;
+
+  /// Promiscuous observer of every switched frame (monitor port).
+  void add_tap(eth::Tap tap) { taps_.push_back(std::move(tap)); }
+
+  [[nodiscard]] const QosNetworkStats& stats() const { return stats_; }
+  [[nodiscard]] double port_rate_bytes_per_s() const {
+    return port_rate_bps_ / 8.0;
+  }
+
+ private:
+  friend class Port;
+  struct OutputPort;
+
+  void ingress(eth::Frame frame);
+  void try_transmit(OutputPort& port);
+  void deliver(OutputPort& port, eth::Frame frame);
+
+  struct Vc {
+    double rate_bytes_per_s = 0.0;
+    sim::SimTime next_eligible = sim::SimTime::zero();
+  };
+
+  struct Pending {
+    eth::Frame frame;
+    sim::SimTime eligible;
+    std::uint64_t seq = 0;  // FIFO tie-break
+
+    // std::push_heap builds a max-heap; invert for earliest-first.
+    friend bool operator<(const Pending& a, const Pending& b) {
+      if (a.eligible != b.eligible) return a.eligible > b.eligible;
+      return a.seq > b.seq;
+    }
+  };
+
+  struct OutputPort {
+    Port* port = nullptr;
+    /// Reserved (paced) traffic, ordered by eligibility; takes strict
+    /// priority over best-effort once eligible, so guarantees hold under
+    /// arbitrary background load.
+    std::vector<Pending> reserved;  // heap
+    std::deque<eth::Frame> best_effort;
+    bool transmitting = false;
+    sim::EventId wakeup{};
+    bool wakeup_armed = false;
+  };
+
+  sim::Simulator& sim_;
+  double port_rate_bps_;
+  std::map<net::HostId, OutputPort> outputs_;
+  std::map<std::pair<net::HostId, net::HostId>, Vc> circuits_;
+  std::vector<eth::Tap> taps_;
+  std::uint64_t next_seq_ = 1;
+  QosNetworkStats stats_;
+};
+
+/// A host's attachment to the switch; plugs into net::Stack like a NIC.
+class QosNetwork::Port final : public net::LinkLayer {
+ public:
+  Port(QosNetwork& network, net::HostId host)
+      : network_(network), host_(host) {}
+
+  [[nodiscard]] net::HostId address() const override { return host_; }
+  void send(eth::Frame frame) override {
+    frame.src = host_;
+    network_.ingress(std::move(frame));
+  }
+  void set_receive_handler(ReceiveHandler handler) override {
+    receive_handler_ = std::move(handler);
+  }
+
+  void deliver(const eth::Frame& frame) {
+    if (receive_handler_) receive_handler_(frame);
+  }
+
+ private:
+  QosNetwork& network_;
+  net::HostId host_;
+  ReceiveHandler receive_handler_;
+};
+
+}  // namespace fxtraf::atm

@@ -1,0 +1,67 @@
+#include "core/bandwidth.hpp"
+
+#include <stdexcept>
+
+namespace fxtraf::core {
+
+std::vector<BandwidthPoint> sliding_window_bandwidth(trace::TraceView packets,
+                                                     sim::Duration window) {
+  if (window <= sim::Duration::zero()) {
+    throw std::invalid_argument("sliding_window_bandwidth: window <= 0");
+  }
+  std::vector<BandwidthPoint> series;
+  series.reserve(packets.size());
+  const double window_s = window.seconds();
+  std::uint64_t bytes_in_window = 0;
+  std::size_t tail = 0;  // first packet still inside the window
+  for (std::size_t i = 0; i < packets.size(); ++i) {
+    bytes_in_window += packets[i].bytes;
+    const sim::SimTime window_start = packets[i].timestamp - window;
+    while (tail < i && packets[tail].timestamp <= window_start) {
+      bytes_in_window -= packets[tail].bytes;
+      ++tail;
+    }
+    series.push_back(BandwidthPoint{
+        packets[i].timestamp,
+        static_cast<double>(bytes_in_window) / 1024.0 / window_s});
+  }
+  return series;
+}
+
+BinnedSeries binned_bandwidth(trace::TraceView packets,
+                              sim::Duration interval) {
+  if (packets.empty()) {
+    return BinnedSeries{sim::SimTime::zero(), interval.seconds(), {}};
+  }
+  return binned_bandwidth(packets, interval, packets.front().timestamp,
+                          packets.back().timestamp + sim::nanos(1));
+}
+
+BinnedSeries binned_bandwidth(trace::TraceView packets, sim::Duration interval,
+                              sim::SimTime from, sim::SimTime to) {
+  if (interval <= sim::Duration::zero()) {
+    throw std::invalid_argument("binned_bandwidth: interval <= 0");
+  }
+  if (to < from) throw std::invalid_argument("binned_bandwidth: to < from");
+
+  BinnedSeries series;
+  series.start = from;
+  series.interval_s = interval.seconds();
+  const std::int64_t span_ns = (to - from).ns();
+  const std::int64_t bins =
+      (span_ns + interval.ns() - 1) / interval.ns();  // ceil
+  series.kb_per_s.assign(static_cast<std::size_t>(bins > 0 ? bins : 0), 0.0);
+  if (series.kb_per_s.empty()) return series;
+
+  for (const trace::PacketRecord& p : packets) {
+    if (p.timestamp < from || p.timestamp >= to) continue;
+    const auto bin = static_cast<std::size_t>((p.timestamp - from).ns() /
+                                              interval.ns());
+    series.kb_per_s[bin] += static_cast<double>(p.bytes);
+  }
+  const double scale = 1.0 / 1024.0 / series.interval_s;
+  for (double& v : series.kb_per_s) v *= scale;
+  return series;
+}
+
+}  // namespace fxtraf::core

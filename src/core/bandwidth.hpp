@@ -1,0 +1,48 @@
+// Instantaneous average bandwidth of a packet trace.
+//
+// Two estimators, both from the paper's methodology (section 6.1):
+//   - a sliding window advanced one packet at a time, used for the
+//     time-domain plots of Figures 6 and 10;
+//   - static fixed-width bins, used as the evenly spaced input the power
+//     spectrum computation requires ("a close approximation to the
+//     sliding window bandwidth").
+#pragma once
+
+#include <vector>
+
+#include "simcore/time.hpp"
+#include "trace/record.hpp"
+
+namespace fxtraf::core {
+
+struct BandwidthPoint {
+  sim::SimTime time;
+  double kb_per_s = 0.0;
+};
+
+/// Bandwidth over a trailing window ending at each packet arrival.
+[[nodiscard]] std::vector<BandwidthPoint> sliding_window_bandwidth(
+    trace::TraceView packets, sim::Duration window = sim::millis(10));
+
+/// Evenly sampled bandwidth series.
+struct BinnedSeries {
+  sim::SimTime start;
+  double interval_s = 0.0;
+  std::vector<double> kb_per_s;
+
+  [[nodiscard]] std::size_t size() const { return kb_per_s.size(); }
+  [[nodiscard]] double time_of(std::size_t i) const {
+    return start.seconds() + interval_s * static_cast<double>(i);
+  }
+};
+
+/// Bins the whole trace (first packet to last) into fixed intervals.
+[[nodiscard]] BinnedSeries binned_bandwidth(
+    trace::TraceView packets, sim::Duration interval = sim::millis(10));
+
+/// Bins an explicit [from, to) span (packets outside are ignored).
+[[nodiscard]] BinnedSeries binned_bandwidth(trace::TraceView packets,
+                                            sim::Duration interval,
+                                            sim::SimTime from, sim::SimTime to);
+
+}  // namespace fxtraf::core

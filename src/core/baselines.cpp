@@ -1,0 +1,150 @@
+#include "core/baselines.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace fxtraf::core {
+
+namespace {
+
+trace::PacketRecord packet_at(double t, std::uint32_t bytes, net::HostId src,
+                              net::HostId dst) {
+  trace::PacketRecord r;
+  r.timestamp = sim::SimTime{static_cast<std::int64_t>(t * 1e9)};
+  r.bytes = bytes;
+  r.src = src;
+  r.dst = dst;
+  return r;
+}
+
+/// Pareto variate with tail index alpha and minimum xm.
+double pareto(sim::Rng& rng, double alpha, double xm) {
+  return xm / std::pow(1.0 - rng.next_double(), 1.0 / alpha);
+}
+
+}  // namespace
+
+std::vector<trace::PacketRecord> poisson_traffic(
+    double duration_s, const PoissonTrafficConfig& config, sim::Rng& rng) {
+  std::vector<trace::PacketRecord> packets;
+  double t = 0.0;
+  while (true) {
+    t += rng.next_exponential(1.0 / config.packets_per_s);
+    if (t >= duration_s) break;
+    packets.push_back(packet_at(t, config.packet_bytes, config.src,
+                                config.dst));
+  }
+  return packets;
+}
+
+std::vector<trace::PacketRecord> vbr_video_traffic(double duration_s,
+                                                   const VbrVideoConfig& config,
+                                                   sim::Rng& rng) {
+  std::vector<trace::PacketRecord> packets;
+  const double frame_interval = 1.0 / config.frames_per_s;
+  double scene_level = 0.0;  // log-scale multiplier, AR-style switching
+  for (double t = 0.0; t < duration_s; t += frame_interval) {
+    if (rng.next_bool(config.scene_change_per_frame)) {
+      scene_level = config.scene_sigma * (2.0 * rng.next_double() - 1.0);
+    }
+    // Per-frame jitter on top of the scene level.
+    const double jitter = 0.3 * (2.0 * rng.next_double() - 1.0);
+    const double frame_bytes =
+        config.mean_frame_bytes * std::exp(scene_level + jitter);
+    auto remaining = static_cast<std::int64_t>(frame_bytes);
+    // Packetize the frame over a small transmit window.
+    double offset = 0.0;
+    while (remaining > 0) {
+      const auto chunk = static_cast<std::uint32_t>(std::min<std::int64_t>(
+          remaining, config.packet_bytes));
+      packets.push_back(
+          packet_at(t + offset, chunk, config.src, config.dst));
+      remaining -= chunk;
+      offset += 1.3e-3;  // ~10 Mb/s pacing
+    }
+  }
+  return packets;
+}
+
+std::vector<trace::PacketRecord> self_similar_traffic(double duration_s,
+                                                      const OnOffConfig& config,
+                                                      sim::Rng& rng) {
+  std::vector<trace::PacketRecord> packets;
+  const double spacing =
+      static_cast<double>(config.packet_bytes) / config.rate_bytes_per_s;
+  for (int s = 0; s < config.sources; ++s) {
+    double t = rng.next_double() * config.min_period_s;
+    bool on = rng.next_bool(0.5);
+    const auto src = static_cast<net::HostId>(s % 8);
+    const auto dst = static_cast<net::HostId>(8 + s % 8);
+    while (t < duration_s) {
+      const double period =
+          pareto(rng, config.pareto_alpha, config.min_period_s);
+      if (on) {
+        const double end = std::min(t + period, duration_s);
+        for (double p = t; p < end; p += spacing) {
+          packets.push_back(packet_at(p, config.packet_bytes, src, dst));
+        }
+      }
+      t += period;
+      on = !on;
+    }
+  }
+  std::sort(packets.begin(), packets.end(),
+            [](const trace::PacketRecord& a, const trace::PacketRecord& b) {
+              return a.timestamp < b.timestamp;
+            });
+  return packets;
+}
+
+double hurst_rs(std::span<const double> series) {
+  const std::size_t n = series.size();
+  if (n < 32) return 0.5;
+
+  // R/S at a ladder of block sizes; slope of log(R/S) vs log(size).
+  std::vector<double> log_size;
+  std::vector<double> log_rs;
+  for (std::size_t block = 8; block <= n / 4; block *= 2) {
+    double rs_sum = 0.0;
+    std::size_t blocks = 0;
+    for (std::size_t start = 0; start + block <= n; start += block) {
+      double mean = 0.0;
+      for (std::size_t i = 0; i < block; ++i) mean += series[start + i];
+      mean /= static_cast<double>(block);
+      double cum = 0.0, min_cum = 0.0, max_cum = 0.0, var = 0.0;
+      for (std::size_t i = 0; i < block; ++i) {
+        const double dev = series[start + i] - mean;
+        cum += dev;
+        min_cum = std::min(min_cum, cum);
+        max_cum = std::max(max_cum, cum);
+        var += dev * dev;
+      }
+      const double sd = std::sqrt(var / static_cast<double>(block));
+      if (sd > 0.0) {
+        rs_sum += (max_cum - min_cum) / sd;
+        ++blocks;
+      }
+    }
+    if (blocks == 0) continue;
+    log_size.push_back(std::log(static_cast<double>(block)));
+    log_rs.push_back(std::log(rs_sum / static_cast<double>(blocks)));
+  }
+  if (log_size.size() < 2) return 0.5;
+
+  // Least squares slope.
+  double mx = 0.0, my = 0.0;
+  for (std::size_t i = 0; i < log_size.size(); ++i) {
+    mx += log_size[i];
+    my += log_rs[i];
+  }
+  mx /= static_cast<double>(log_size.size());
+  my /= static_cast<double>(log_size.size());
+  double sxy = 0.0, sxx = 0.0;
+  for (std::size_t i = 0; i < log_size.size(); ++i) {
+    sxy += (log_size[i] - mx) * (log_rs[i] - my);
+    sxx += (log_size[i] - mx) * (log_size[i] - mx);
+  }
+  return sxx > 0.0 ? sxy / sxx : 0.5;
+}
+
+}  // namespace fxtraf::core

@@ -1,0 +1,70 @@
+// Baseline traffic models the paper contrasts parallel programs against.
+//
+// Section 1: "Much of the work in traffic characterization has
+// concentrated on media streams", citing Garrett & Willinger's
+// self-similar VBR video.  The conclusions: "Unlike media traffic, there
+// is no intrinsic periodicity due to a frame rate.  Instead, the
+// periodicity is determined by application parameters and the network
+// itself."  To make that comparison runnable we implement the typical
+// traffic of the era:
+//   - Poisson packet arrivals (classic telephony-derived model),
+//   - VBR video: fixed frame rate, long-range-dependent frame sizes,
+//   - heavy-tailed on/off sources (whose aggregate is self-similar),
+// plus a rescaled-range (R/S) Hurst estimator to separate the classes.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "simcore/rng.hpp"
+#include "trace/record.hpp"
+
+namespace fxtraf::core {
+
+struct PoissonTrafficConfig {
+  double packets_per_s = 500.0;
+  std::uint32_t packet_bytes = 512;
+  net::HostId src = 0;
+  net::HostId dst = 1;
+};
+
+/// Memoryless packet arrivals: flat spectrum, Hurst ~0.5.
+[[nodiscard]] std::vector<trace::PacketRecord> poisson_traffic(
+    double duration_s, const PoissonTrafficConfig& config, sim::Rng& rng);
+
+struct VbrVideoConfig {
+  double frames_per_s = 30.0;  ///< the *intrinsic* frame-rate periodicity
+  double mean_frame_bytes = 20000.0;
+  /// Frame-size modulation: slow AR(1) scene process (long memory).
+  double scene_change_per_frame = 0.02;
+  double scene_sigma = 0.6;  ///< log-scale scene level spread
+  std::uint32_t packet_bytes = 1518;
+  net::HostId src = 0;
+  net::HostId dst = 1;
+};
+
+/// VBR video: frames every 1/fps seconds, sizes varying with a
+/// slowly-switching scene level — known periodicity, variable burst size
+/// (the exact opposite of the parallel programs' profile).
+[[nodiscard]] std::vector<trace::PacketRecord> vbr_video_traffic(
+    double duration_s, const VbrVideoConfig& config, sim::Rng& rng);
+
+struct OnOffConfig {
+  int sources = 16;
+  double rate_bytes_per_s = 40000.0;  ///< per source while on
+  double pareto_alpha = 1.4;          ///< heavy tail: 1 < alpha < 2
+  double min_period_s = 0.05;         ///< Pareto location for on/off times
+  std::uint32_t packet_bytes = 512;
+};
+
+/// Aggregate of heavy-tailed on/off sources: self-similar (Hurst
+/// H = (3 - alpha) / 2 > 0.5), no spectral spikes.
+[[nodiscard]] std::vector<trace::PacketRecord> self_similar_traffic(
+    double duration_s, const OnOffConfig& config, sim::Rng& rng);
+
+/// Rescaled-range (R/S) Hurst exponent estimate of a series: ~0.5 for
+/// short-range-dependent traffic, approaching 1 for self-similar.
+[[nodiscard]] double hurst_rs(std::span<const double> series);
+
+}  // namespace fxtraf::core

@@ -1,0 +1,53 @@
+#include "core/broker.hpp"
+
+#include <stdexcept>
+
+#include "fx/patterns.hpp"
+
+namespace fxtraf::core {
+
+double NetworkBroker::committed_bytes_per_s() const {
+  double sum = 0.0;
+  for (const auto& [id, r] : reservations_) sum += r.bandwidth;
+  return sum;
+}
+
+AdmissionResult NetworkBroker::admit(const std::string& name,
+                                     const TrafficSpec& spec) {
+  NetworkState state;
+  state.capacity_bytes_per_s = capacity_;
+  state.committed_fraction = committed_fraction();
+  state.min_processors = min_processors_;
+  state.max_processors = max_processors_;
+  if (state.committed_fraction >= 1.0) {
+    throw std::runtime_error("NetworkBroker: network fully committed");
+  }
+
+  const NegotiationResult negotiated = negotiate(spec, state);
+  const NegotiationPoint& point = negotiated.best;
+
+  // Duty cycle: the program bursts t_b out of every t_bi on every active
+  // connection at B each.
+  const int active =
+      fx::concurrent_connections(spec.pattern, point.processors);
+  const double duty = point.burst_interval_seconds > 0.0
+                          ? point.burst_seconds / point.burst_interval_seconds
+                          : 1.0;
+  const double committed = point.burst_bandwidth_bytes_per_s *
+                           static_cast<double>(active) * duty;
+
+  AdmissionResult result;
+  result.reservation_id = next_id_++;
+  result.point = point;
+  result.committed_bandwidth = committed;
+  reservations_.emplace(result.reservation_id,
+                        Reservation{name, committed});
+  result.network_committed_fraction = committed_fraction();
+  return result;
+}
+
+void NetworkBroker::release(std::uint64_t reservation_id) {
+  reservations_.erase(reservation_id);
+}
+
+}  // namespace fxtraf::core

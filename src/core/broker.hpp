@@ -1,0 +1,65 @@
+// Network broker: admission control built on the section-7.3 negotiation
+// model — the paper's proposed future work ("a service negotiation model
+// that allows the network to modulate application parameters ... given
+// the current network state").
+//
+// Programs present [l(), b(), c]; the broker negotiates each against the
+// capacity left after earlier admissions, returns the P the program
+// should run on, and commits that program's *duty-cycle* bandwidth
+// (burst share times the fraction of time it bursts).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/qos.hpp"
+
+namespace fxtraf::core {
+
+struct AdmissionResult {
+  std::uint64_t reservation_id = 0;
+  NegotiationPoint point;           ///< the negotiated P and timings
+  double committed_bandwidth = 0.0; ///< bytes/s this program now holds
+  double network_committed_fraction = 0.0;  ///< after this admission
+};
+
+class NetworkBroker {
+ public:
+  explicit NetworkBroker(double capacity_bytes_per_s = 1.25e6,
+                         int min_processors = 2, int max_processors = 32)
+      : capacity_(capacity_bytes_per_s),
+        min_processors_(min_processors),
+        max_processors_(max_processors) {}
+
+  /// Negotiates and admits a program.  Throws std::runtime_error when no
+  /// processor count fits the remaining capacity.
+  AdmissionResult admit(const std::string& name, const TrafficSpec& spec);
+
+  /// Releases a reservation (program finished); idempotent.
+  void release(std::uint64_t reservation_id);
+
+  [[nodiscard]] double capacity() const { return capacity_; }
+  [[nodiscard]] double committed_bytes_per_s() const;
+  [[nodiscard]] double committed_fraction() const {
+    return committed_bytes_per_s() / capacity_;
+  }
+  [[nodiscard]] std::size_t active_reservations() const {
+    return reservations_.size();
+  }
+
+ private:
+  struct Reservation {
+    std::string name;
+    double bandwidth = 0.0;
+  };
+
+  double capacity_;
+  int min_processors_;
+  int max_processors_;
+  std::map<std::uint64_t, Reservation> reservations_;
+  std::uint64_t next_id_ = 1;
+};
+
+}  // namespace fxtraf::core

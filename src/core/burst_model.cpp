@@ -1,0 +1,80 @@
+#include "core/burst_model.hpp"
+
+#include <algorithm>
+
+namespace fxtraf::core {
+
+std::vector<Burst> detect_bursts(const BinnedSeries& series,
+                                 const BurstDetectionOptions& options) {
+  std::vector<Burst> bursts;
+  const auto& s = series.kb_per_s;
+  if (s.empty()) return bursts;
+  const double peak = *std::max_element(s.begin(), s.end());
+  if (peak <= 0.0) return bursts;
+  const double threshold = options.threshold_fraction * peak;
+
+  Burst current;
+  bool in_burst = false;
+  std::size_t idle_run = 0;
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    const bool active = s[i] >= threshold;
+    if (active) {
+      if (!in_burst) {
+        if (!bursts.empty() && idle_run <= options.merge_gap_bins &&
+            bursts.back().first_bin + bursts.back().bins + idle_run == i) {
+          // Re-open the previous burst across the short gap.
+          current = bursts.back();
+          bursts.pop_back();
+          current.bins += idle_run;
+        } else {
+          current = Burst{i, 0, 0.0};
+        }
+        in_burst = true;
+      }
+      ++current.bins;
+      current.bytes += s[i] * 1024.0 * series.interval_s;
+      idle_run = 0;
+    } else {
+      if (in_burst) {
+        bursts.push_back(current);
+        in_burst = false;
+      }
+      ++idle_run;
+    }
+  }
+  if (in_burst) bursts.push_back(current);
+
+  std::erase_if(bursts,
+                [&](const Burst& b) { return b.bins < options.min_bins; });
+  return bursts;
+}
+
+BurstTrainSummary summarize_bursts(const BinnedSeries& series,
+                                   const BurstDetectionOptions& options) {
+  BurstTrainSummary summary;
+  const auto bursts = detect_bursts(series, options);
+  summary.bursts = bursts.size();
+  Welford size, duration, interval;
+  for (std::size_t i = 0; i < bursts.size(); ++i) {
+    size.add(bursts[i].bytes);
+    duration.add(bursts[i].duration_s(series.interval_s));
+    if (i > 0) {
+      interval.add(static_cast<double>(bursts[i].first_bin -
+                                       bursts[i - 1].first_bin) *
+                   series.interval_s);
+    }
+  }
+  summary.size_bytes = size.summary();
+  summary.duration_s = duration.summary();
+  summary.interval_s = interval.summary();
+  summary.size_cv = summary.size_bytes.mean > 0
+                        ? summary.size_bytes.stddev / summary.size_bytes.mean
+                        : 0.0;
+  summary.interval_cv =
+      summary.interval_s.mean > 0
+          ? summary.interval_s.stddev / summary.interval_s.mean
+          : 0.0;
+  return summary;
+}
+
+}  // namespace fxtraf::core

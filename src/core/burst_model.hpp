@@ -1,0 +1,52 @@
+// Burst-train analysis: detects bursts in a binned bandwidth series and
+// summarizes their sizes, lengths, and spacing.
+//
+// Quantifies two headline claims: "constant burst sizes" (the burst-size
+// coefficient of variation is small because message sizes are fixed at
+// compile time) and "periodic burstiness" (burst start spacing has a
+// small CV around the iteration period).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/bandwidth.hpp"
+#include "core/stats.hpp"
+
+namespace fxtraf::core {
+
+struct Burst {
+  std::size_t first_bin = 0;
+  std::size_t bins = 0;
+  double bytes = 0.0;
+
+  [[nodiscard]] double duration_s(double bin_s) const {
+    return static_cast<double>(bins) * bin_s;
+  }
+};
+
+struct BurstDetectionOptions {
+  /// A bin is active when above this fraction of the series' peak.
+  double threshold_fraction = 0.05;
+  /// Bursts separated by fewer than this many idle bins merge.
+  std::size_t merge_gap_bins = 2;
+  /// Bursts shorter than this are discarded as noise.
+  std::size_t min_bins = 1;
+};
+
+[[nodiscard]] std::vector<Burst> detect_bursts(
+    const BinnedSeries& series, const BurstDetectionOptions& options = {});
+
+struct BurstTrainSummary {
+  std::size_t bursts = 0;
+  Summary size_bytes;       ///< bytes per burst
+  Summary duration_s;       ///< burst length
+  Summary interval_s;       ///< spacing between burst starts
+  double size_cv = 0.0;     ///< stddev/mean of burst bytes
+  double interval_cv = 0.0; ///< stddev/mean of burst spacing
+};
+
+[[nodiscard]] BurstTrainSummary summarize_bursts(
+    const BinnedSeries& series, const BurstDetectionOptions& options = {});
+
+}  // namespace fxtraf::core

@@ -1,0 +1,25 @@
+#include "core/characterization.hpp"
+
+namespace fxtraf::core {
+
+TrafficCharacterization characterize(trace::TraceView packets,
+                                     const CharacterizationOptions& options) {
+  TrafficCharacterization c;
+  c.packet_size = packet_size_stats(packets);
+  c.interarrival_ms = interarrival_ms_stats(packets);
+  c.avg_bandwidth_kbs = average_bandwidth_kbs(packets);
+  c.modes = size_modes(packets);
+  c.bandwidth = binned_bandwidth(packets, options.bandwidth_bin);
+  if (!c.bandwidth.kb_per_s.empty()) {
+    c.spectrum = dsp::periodogram(c.bandwidth.kb_per_s,
+                                  c.bandwidth.interval_s,
+                                  options.periodogram);
+    c.peaks = dsp::find_peaks(c.spectrum, options.peaks);
+    c.fundamental = dsp::estimate_fundamental(
+        c.peaks,
+        options.fundamental_tolerance_bins * c.spectrum.resolution_hz());
+  }
+  return c;
+}
+
+}  // namespace fxtraf::core

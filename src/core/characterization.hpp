@@ -1,0 +1,40 @@
+// End-to-end traffic characterization of a trace: the paper's full
+// analysis pipeline for one program or one connection.
+#pragma once
+
+#include "core/bandwidth.hpp"
+#include "core/packet_stats.hpp"
+#include "core/stats.hpp"
+#include "dsp/peaks.hpp"
+#include "dsp/periodogram.hpp"
+#include "trace/record.hpp"
+
+namespace fxtraf::core {
+
+struct CharacterizationOptions {
+  sim::Duration bandwidth_bin = sim::millis(10);  ///< paper's 10 ms interval
+  dsp::PeriodogramOptions periodogram;
+  dsp::PeakOptions peaks{.min_relative_power = 1e-3,
+                         .min_separation_bins = 3,
+                         .skip_dc_bins = 2,
+                         .max_peaks = 24};
+  /// Tolerance when grouping peaks into a harmonic series, as a multiple
+  /// of the spectral resolution.
+  double fundamental_tolerance_bins = 2.0;
+};
+
+struct TrafficCharacterization {
+  Summary packet_size;        ///< bytes (Figure 3 / 8)
+  Summary interarrival_ms;    ///< milliseconds (Figure 4 / 9)
+  double avg_bandwidth_kbs = 0.0;  ///< lifetime average (Figure 5)
+  std::vector<SizeMode> modes;     ///< packet-size modality
+  BinnedSeries bandwidth;          ///< 10 ms instantaneous bw (Figure 6/10)
+  dsp::Spectrum spectrum;          ///< power spectrum (Figure 7 / 11)
+  std::vector<dsp::Peak> peaks;    ///< dominant spectral spikes
+  dsp::FundamentalEstimate fundamental;
+};
+
+[[nodiscard]] TrafficCharacterization characterize(
+    trace::TraceView packets, const CharacterizationOptions& options = {});
+
+}  // namespace fxtraf::core

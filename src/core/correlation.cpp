@@ -1,0 +1,121 @@
+#include "core/correlation.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <map>
+#include <stdexcept>
+
+namespace fxtraf::core {
+
+double pearson(std::span<const double> a, std::span<const double> b) {
+  if (a.size() != b.size() || a.empty()) {
+    throw std::invalid_argument("pearson: size mismatch");
+  }
+  const double n = static_cast<double>(a.size());
+  double ma = 0.0, mb = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    ma += a[i];
+    mb += b[i];
+  }
+  ma /= n;
+  mb /= n;
+  double cov = 0.0, va = 0.0, vb = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double da = a[i] - ma;
+    const double db = b[i] - mb;
+    cov += da * db;
+    va += da * da;
+    vb += db * db;
+  }
+  if (va == 0.0 || vb == 0.0) return 0.0;
+  return cov / std::sqrt(va * vb);
+}
+
+LagResult best_lag(std::span<const double> a, std::span<const double> b,
+                   int max_lag) {
+  if (a.size() != b.size() || a.empty()) {
+    throw std::invalid_argument("best_lag: size mismatch");
+  }
+  if (max_lag < 0 ||
+      static_cast<std::size_t>(max_lag) >= a.size()) {
+    throw std::invalid_argument("best_lag: bad max_lag");
+  }
+  LagResult best;
+  best.correlation = -std::numeric_limits<double>::infinity();
+  for (int lag = -max_lag; lag <= max_lag; ++lag) {
+    // Correlate a[i] with b[i + lag] over the overlapping region.
+    const std::size_t offset = static_cast<std::size_t>(std::abs(lag));
+    const std::size_t n = a.size() - offset;
+    std::span<const double> sa = lag >= 0 ? a.subspan(0, n) : a.subspan(offset, n);
+    std::span<const double> sb = lag >= 0 ? b.subspan(offset, n) : b.subspan(0, n);
+    const double r = pearson(sa, sb);
+    if (r > best.correlation) {
+      best.correlation = r;
+      best.lag_bins = lag;
+    }
+  }
+  return best;
+}
+
+ConnectionCorrelation correlate_connections(
+    trace::TraceView packets, const CorrelationOptions& options) {
+  ConnectionCorrelation result;
+  if (packets.empty()) return result;
+
+  std::map<ConnectionId, std::vector<trace::PacketRecord>> flows;
+  for (const trace::PacketRecord& p : packets) {
+    flows[ConnectionId{p.src, p.dst}].push_back(p);
+  }
+  const sim::SimTime from = packets.front().timestamp;
+  const sim::SimTime to = packets.back().timestamp + sim::nanos(1);
+
+  std::vector<std::vector<double>> series;
+  for (auto& [id, flow] : flows) {
+    if (flow.size() < options.min_packets) continue;
+    result.connections.push_back(id);
+    auto s = binned_bandwidth(flow, options.bin, from, to).kb_per_s;
+    if (options.binarize) {
+      for (double& v : s) v = v > 0.0 ? 1.0 : 0.0;
+      if (options.dilate_bins > 0) {
+        std::vector<double> dilated(s.size(), 0.0);
+        const int w = options.dilate_bins;
+        for (std::size_t i = 0; i < s.size(); ++i) {
+          if (s[i] == 0.0) continue;
+          const std::size_t lo =
+              i >= static_cast<std::size_t>(w) ? i - static_cast<std::size_t>(w) : 0;
+          const std::size_t hi =
+              std::min(s.size(), i + static_cast<std::size_t>(w) + 1);
+          for (std::size_t j = lo; j < hi; ++j) dilated[j] = 1.0;
+        }
+        s = std::move(dilated);
+      }
+    }
+    series.push_back(std::move(s));
+  }
+
+  const std::size_t n = result.connections.size();
+  result.matrix.assign(n * n, 1.0);
+  double sum = 0.0;
+  double mn = 1.0, mx = -1.0;
+  std::size_t pairs = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      if (i == j) continue;
+      const double r = pearson(series[i], series[j]);
+      result.matrix[i * n + j] = r;
+      sum += r;
+      mn = std::min(mn, r);
+      mx = std::max(mx, r);
+      ++pairs;
+    }
+  }
+  if (pairs > 0) {
+    result.mean_offdiagonal = sum / static_cast<double>(pairs);
+    result.min_offdiagonal = mn;
+    result.max_offdiagonal = mx;
+  }
+  return result;
+}
+
+}  // namespace fxtraf::core

@@ -1,0 +1,108 @@
+#include "core/fourier_model.hpp"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace fxtraf::core {
+
+FourierTrafficModel FourierTrafficModel::fit(
+    const dsp::Spectrum& spectrum, std::size_t max_components,
+    const dsp::PeakOptions& peak_options) {
+  FourierTrafficModel model;
+  model.mean_kbs_ = spectrum.mean;
+  if (spectrum.sample_count == 0) return model;
+
+  dsp::PeakOptions options = peak_options;
+  options.max_peaks = max_components;
+  const std::vector<dsp::Peak> peaks = dsp::find_peaks(spectrum, options);
+
+  const double n = static_cast<double>(spectrum.sample_count);
+  model.components_.reserve(peaks.size());
+  for (const dsp::Peak& peak : peaks) {
+    const auto& bin = spectrum.bins[peak.bin];
+    SpectralComponent c;
+    c.frequency_hz = peak.frequency_hz;
+    // One-sided cosine amplitude: 2|X_k|/n (the conjugate bin carries the
+    // other half of the power).
+    c.amplitude_kbs = 2.0 * std::abs(bin) / n;
+    c.phase_rad = std::arg(bin);
+    model.components_.push_back(c);
+  }
+  return model;
+}
+
+double FourierTrafficModel::evaluate(double t_seconds) const {
+  double x = mean_kbs_;
+  for (const SpectralComponent& c : components_) {
+    x += c.amplitude_kbs *
+         std::cos(2.0 * std::numbers::pi * c.frequency_hz * t_seconds +
+                  c.phase_rad);
+  }
+  return x;
+}
+
+std::vector<double> FourierTrafficModel::reconstruct(
+    std::size_t samples, double interval_s) const {
+  std::vector<double> out(samples);
+  for (std::size_t i = 0; i < samples; ++i) {
+    out[i] = evaluate(interval_s * static_cast<double>(i));
+  }
+  return out;
+}
+
+double reconstruction_nrmse(std::span<const double> measured,
+                            std::span<const double> model) {
+  if (measured.size() != model.size() || measured.empty()) {
+    throw std::invalid_argument("reconstruction_nrmse: size mismatch");
+  }
+  double err2 = 0.0;
+  double sig2 = 0.0;
+  double mean = 0.0;
+  for (double v : measured) mean += v;
+  mean /= static_cast<double>(measured.size());
+  for (std::size_t i = 0; i < measured.size(); ++i) {
+    const double e = measured[i] - model[i];
+    const double s = measured[i] - mean;
+    err2 += e * e;
+    sig2 += s * s;
+  }
+  if (sig2 == 0.0) return err2 == 0.0 ? 0.0 : 1.0;
+  return std::sqrt(err2 / sig2);
+}
+
+std::vector<ConvergencePoint> convergence_sweep(
+    const BinnedSeries& series, std::size_t max_components,
+    const dsp::PeakOptions& peak_options) {
+  std::vector<ConvergencePoint> sweep;
+  if (series.kb_per_s.empty()) return sweep;
+
+  const dsp::Spectrum spectrum =
+      dsp::periodogram(series.kb_per_s, series.interval_s);
+  double total_power = 0.0;
+  for (double p : spectrum.power) total_power += p;
+
+  for (std::size_t k = 1; k <= max_components; ++k) {
+    const FourierTrafficModel model =
+        FourierTrafficModel::fit(spectrum, k, peak_options);
+    const std::vector<double> reconstruction =
+        model.reconstruct(series.kb_per_s.size(), series.interval_s);
+    ConvergencePoint point;
+    point.components = model.components().size();
+    point.nrmse = reconstruction_nrmse(series.kb_per_s, reconstruction);
+    const double n = static_cast<double>(spectrum.sample_count);
+    double captured = 0.0;
+    for (const SpectralComponent& c : model.components()) {
+      // Invert a_k = 2|X_k|/n to recover |X_k|^2.
+      const double mag = c.amplitude_kbs * n / 2.0;
+      captured += mag * mag;
+    }
+    point.captured_power_fraction =
+        total_power > 0.0 ? captured / total_power : 0.0;
+    sweep.push_back(point);
+    if (point.components < k) break;  // no more spikes to add
+  }
+  return sweep;
+}
+
+}  // namespace fxtraf::core

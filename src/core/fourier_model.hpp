@@ -1,0 +1,69 @@
+// Truncated-Fourier-series analytic traffic model (paper section 7.2).
+//
+// The bandwidth spectra are sparse and spiky, so the Fourier series they
+// imply can be truncated to the dominant spikes:
+//     x(t) ~= mean + sum_k a_k cos(2 pi f_k t + phi_k)
+// with a_k and phi_k read off the complex DFT bins.  As more spikes are
+// kept the reconstruction converges to the measured signal.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "core/bandwidth.hpp"
+#include "dsp/peaks.hpp"
+#include "dsp/periodogram.hpp"
+
+namespace fxtraf::core {
+
+struct SpectralComponent {
+  double frequency_hz = 0.0;
+  double amplitude_kbs = 0.0;  ///< a_k (one-sided cosine amplitude)
+  double phase_rad = 0.0;      ///< phi_k
+};
+
+class FourierTrafficModel {
+ public:
+  /// Fits a model keeping the `max_components` strongest spikes.
+  [[nodiscard]] static FourierTrafficModel fit(
+      const dsp::Spectrum& spectrum, std::size_t max_components,
+      const dsp::PeakOptions& peak_options = {});
+
+  [[nodiscard]] double mean_kbs() const { return mean_kbs_; }
+  [[nodiscard]] const std::vector<SpectralComponent>& components() const {
+    return components_;
+  }
+
+  /// Model bandwidth at time t (may be negative between bursts; clamp at
+  /// the point of use if a physical rate is required).
+  [[nodiscard]] double evaluate(double t_seconds) const;
+
+  /// Samples the model on the same grid as a measured series.
+  [[nodiscard]] std::vector<double> reconstruct(std::size_t samples,
+                                                double interval_s) const;
+
+ private:
+  double mean_kbs_ = 0.0;
+  std::vector<SpectralComponent> components_;
+};
+
+/// Normalized RMS error between a measured series and a model series,
+/// relative to the measured RMS (0 = perfect; 1 = as bad as predicting
+/// the mean... for a zero-mean signal).
+[[nodiscard]] double reconstruction_nrmse(std::span<const double> measured,
+                                          std::span<const double> model);
+
+struct ConvergencePoint {
+  std::size_t components = 0;
+  double nrmse = 0.0;
+  double captured_power_fraction = 0.0;
+};
+
+/// Fits models with 1..max_components spikes against `series` and reports
+/// the error at each size — the paper's convergence claim, quantified.
+[[nodiscard]] std::vector<ConvergencePoint> convergence_sweep(
+    const BinnedSeries& series, std::size_t max_components,
+    const dsp::PeakOptions& peak_options = {});
+
+}  // namespace fxtraf::core

@@ -1,0 +1,74 @@
+#include "core/packet_stats.hpp"
+
+#include <algorithm>
+
+namespace fxtraf::core {
+
+Summary packet_size_stats(trace::TraceView packets) {
+  Welford w;
+  for (const trace::PacketRecord& p : packets) {
+    w.add(static_cast<double>(p.bytes));
+  }
+  return w.summary();
+}
+
+Summary interarrival_ms_stats(trace::TraceView packets) {
+  Welford w;
+  for (std::size_t i = 1; i < packets.size(); ++i) {
+    w.add((packets[i].timestamp - packets[i - 1].timestamp).millis());
+  }
+  return w.summary();
+}
+
+double average_bandwidth_kbs(trace::TraceView packets) {
+  const sim::Duration span = trace::span_of(packets);
+  if (span <= sim::Duration::zero()) return 0.0;
+  return static_cast<double>(trace::total_bytes(packets)) / 1024.0 /
+         span.seconds();
+}
+
+std::map<std::uint32_t, std::uint64_t> size_histogram(
+    trace::TraceView packets) {
+  std::map<std::uint32_t, std::uint64_t> hist;
+  for (const trace::PacketRecord& p : packets) ++hist[p.bytes];
+  return hist;
+}
+
+std::vector<SizeMode> size_modes(trace::TraceView packets,
+                                 std::uint32_t cluster_width,
+                                 double min_share) {
+  std::vector<SizeMode> modes;
+  if (packets.empty()) return modes;
+  const auto hist = size_histogram(packets);
+
+  // Walk sizes in order, merging neighbors closer than cluster_width.
+  SizeMode current;
+  std::uint32_t last_size = 0;
+  std::uint64_t current_peak_count = 0;
+  auto flush = [&] {
+    if (current.packets > 0) modes.push_back(current);
+    current = SizeMode{};
+    current_peak_count = 0;
+  };
+  for (const auto& [size, count] : hist) {
+    if (current.packets > 0 && size - last_size > cluster_width) flush();
+    current.packets += count;
+    if (count > current_peak_count) {
+      current_peak_count = count;
+      current.representative_bytes = size;
+    }
+    last_size = size;
+  }
+  flush();
+
+  const double total = static_cast<double>(packets.size());
+  for (SizeMode& m : modes) m.share = static_cast<double>(m.packets) / total;
+  std::erase_if(modes, [&](const SizeMode& m) { return m.share < min_share; });
+  std::sort(modes.begin(), modes.end(), [](const SizeMode& a,
+                                           const SizeMode& b) {
+    return a.packets > b.packets;
+  });
+  return modes;
+}
+
+}  // namespace fxtraf::core

@@ -1,0 +1,43 @@
+// Per-trace packet statistics: the rows of the paper's Figures 3, 4, 5,
+// 8 and 9, plus the size-modality analysis behind its "trimodal"
+// observation.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "core/stats.hpp"
+#include "trace/record.hpp"
+
+namespace fxtraf::core {
+
+/// Packet sizes in bytes (Figure 3 / 8 rows).
+[[nodiscard]] Summary packet_size_stats(trace::TraceView packets);
+
+/// Interarrival times in milliseconds (Figure 4 / 9 rows).
+[[nodiscard]] Summary interarrival_ms_stats(trace::TraceView packets);
+
+/// Lifetime average bandwidth in KB/s (Figure 5 rows): total bytes over
+/// the first-to-last-packet span.
+[[nodiscard]] double average_bandwidth_kbs(trace::TraceView packets);
+
+/// Exact histogram of packet sizes.
+[[nodiscard]] std::map<std::uint32_t, std::uint64_t> size_histogram(
+    trace::TraceView packets);
+
+struct SizeMode {
+  std::uint32_t representative_bytes = 0;  ///< most frequent size in mode
+  std::uint64_t packets = 0;
+  double share = 0.0;  ///< fraction of all packets
+};
+
+/// Clusters the size histogram into modes (sizes within `cluster_width`
+/// bytes merge) and returns those holding at least `min_share` of the
+/// packets, largest first.  The paper observes a *trimodal* distribution
+/// for SOR/2DFFT/HIST: maximal packets, the message remainder, and ACKs.
+[[nodiscard]] std::vector<SizeMode> size_modes(trace::TraceView packets,
+                                               std::uint32_t cluster_width = 64,
+                                               double min_share = 0.02);
+
+}  // namespace fxtraf::core

@@ -1,0 +1,64 @@
+#include "core/qos.hpp"
+
+#include <limits>
+#include <stdexcept>
+#include <utility>
+
+namespace fxtraf::core {
+
+TrafficSpec TrafficSpec::perfectly_parallel(
+    fx::PatternKind pattern, double total_work_seconds,
+    std::function<double(int)> burst_bytes) {
+  TrafficSpec spec;
+  spec.pattern = pattern;
+  spec.local_seconds = [total_work_seconds](int p) {
+    return total_work_seconds / static_cast<double>(p);
+  };
+  spec.burst_bytes = std::move(burst_bytes);
+  return spec;
+}
+
+NegotiationResult negotiate(const TrafficSpec& spec,
+                            const NetworkState& network) {
+  if (!spec.local_seconds || !spec.burst_bytes) {
+    throw std::invalid_argument("negotiate: spec functions not set");
+  }
+  if (network.min_processors < 1 ||
+      network.max_processors < network.min_processors) {
+    throw std::invalid_argument("negotiate: bad processor range");
+  }
+
+  const double available =
+      network.capacity_bytes_per_s * (1.0 - network.committed_fraction);
+  if (available <= 0.0) {
+    throw std::invalid_argument("negotiate: no available capacity");
+  }
+
+  NegotiationResult result;
+  double best_tbi = std::numeric_limits<double>::infinity();
+  for (int p = network.min_processors; p <= network.max_processors; ++p) {
+    const int active = fx::concurrent_connections(spec.pattern, p);
+    if (active <= 0) continue;
+    NegotiationPoint point;
+    point.processors = p;
+    // The burst bandwidth the network can commit per active connection
+    // without congestion: an equal share of the uncommitted capacity.
+    point.burst_bandwidth_bytes_per_s =
+        available / static_cast<double>(active);
+    const double burst = spec.burst_bytes(p);
+    point.burst_seconds = burst / point.burst_bandwidth_bytes_per_s;
+    point.local_seconds = spec.local_seconds(p);
+    point.burst_interval_seconds = point.local_seconds + point.burst_seconds;
+    result.sweep.push_back(point);
+    if (point.burst_interval_seconds < best_tbi) {
+      best_tbi = point.burst_interval_seconds;
+      result.best = point;
+    }
+  }
+  if (result.sweep.empty()) {
+    throw std::runtime_error("negotiate: no feasible processor count");
+  }
+  return result;
+}
+
+}  // namespace fxtraf::core

@@ -1,0 +1,58 @@
+// The paper's QoS negotiation model (section 7.3).
+//
+// A SPMD program characterizes its traffic as [l(), b(), c]: local
+// computation time as a function of P, burst size per connection as a
+// function of P, and the communication pattern.  Given what the network
+// can commit per connection, the burst length is t_b = N/B and the burst
+// interval t_bi = W/P + N/B.  Because both terms depend on P, "the
+// network is allowed to return the number of processors P the program
+// should run on" — the negotiation is an optimization over P.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "fx/patterns.hpp"
+
+namespace fxtraf::core {
+
+struct TrafficSpec {
+  fx::PatternKind pattern = fx::PatternKind::kAllToAll;  ///< c
+  /// l(P): local computation time per phase, seconds.
+  std::function<double(int)> local_seconds;
+  /// b(P): burst size along each connection, bytes.
+  std::function<double(int)> burst_bytes;
+
+  /// Convenience for perfectly-divisible work: l(P) = W/P seconds.
+  [[nodiscard]] static TrafficSpec perfectly_parallel(
+      fx::PatternKind pattern, double total_work_seconds,
+      std::function<double(int)> burst_bytes);
+};
+
+struct NetworkState {
+  double capacity_bytes_per_s = 1.25e6;  ///< the shared 10 Mb/s Ethernet
+  /// Fraction of capacity already committed to other flows.
+  double committed_fraction = 0.0;
+  int min_processors = 2;
+  int max_processors = 32;
+};
+
+struct NegotiationPoint {
+  int processors = 0;
+  double burst_bandwidth_bytes_per_s = 0.0;  ///< B per active connection
+  double burst_seconds = 0.0;                ///< t_b = N/B
+  double local_seconds = 0.0;                ///< l(P)
+  double burst_interval_seconds = 0.0;       ///< t_bi = l(P) + N/B
+};
+
+struct NegotiationResult {
+  NegotiationPoint best;
+  std::vector<NegotiationPoint> sweep;  ///< every evaluated P
+};
+
+/// Evaluates t_bi across the allowed processor range and returns the P
+/// minimizing it, with the full sweep for inspection.
+[[nodiscard]] NegotiationResult negotiate(const TrafficSpec& spec,
+                                          const NetworkState& network);
+
+}  // namespace fxtraf::core

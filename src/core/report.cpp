@@ -1,0 +1,101 @@
+#include "core/report.hpp"
+
+#include <cstdio>
+#include <map>
+#include <ostream>
+#include <sstream>
+
+#include "core/burst_model.hpp"
+
+namespace fxtraf::core {
+
+namespace {
+
+void line(std::ostream& out, const char* fmt, auto... args) {
+  char buffer[256];
+  std::snprintf(buffer, sizeof buffer, fmt, args...);
+  out << buffer << '\n';
+}
+
+void characterization_block(std::ostream& out, trace::TraceView packets,
+                            const ReportOptions& options) {
+  const TrafficCharacterization c =
+      characterize(packets, options.characterization);
+  line(out, "  packets      %zu over %.3f s", packets.size(),
+       trace::span_of(packets).seconds());
+  line(out, "  sizes        %.0f..%.0f B (avg %.1f, sd %.1f)",
+       c.packet_size.min, c.packet_size.max, c.packet_size.mean,
+       c.packet_size.stddev);
+  std::string modes;
+  for (const SizeMode& m : c.modes) {
+    char buffer[48];
+    std::snprintf(buffer, sizeof buffer, " %uB(%.0f%%)",
+                  m.representative_bytes, 100 * m.share);
+    modes += buffer;
+  }
+  line(out, "  modes       %s", modes.c_str());
+  line(out, "  interarrival avg %.2f ms, max %.0f ms (max/avg %.0fx)",
+       c.interarrival_ms.mean, c.interarrival_ms.max,
+       c.interarrival_ms.mean > 0
+           ? c.interarrival_ms.max / c.interarrival_ms.mean
+           : 0.0);
+  line(out, "  bandwidth    %.1f KB/s lifetime average",
+       c.avg_bandwidth_kbs);
+  line(out, "  fundamental  %.3f Hz (%.0f%% harmonic power)",
+       c.fundamental.frequency_hz,
+       100 * c.fundamental.harmonic_power_fraction);
+  std::string spikes;
+  for (std::size_t i = 0;
+       i < std::min(options.max_peaks, c.peaks.size()); ++i) {
+    char buffer[24];
+    std::snprintf(buffer, sizeof buffer, " %.3gHz",
+                  c.peaks[i].frequency_hz);
+    spikes += buffer;
+  }
+  line(out, "  spikes      %s", spikes.c_str());
+  const auto bursts = summarize_bursts(
+      c.bandwidth, {.merge_gap_bins = 8, .min_bins = 1});
+  line(out,
+       "  bursts       %zu (mean %.1f KB, size CV %.2f, interval %.3f s, "
+       "interval CV %.2f)",
+       bursts.bursts, bursts.size_bytes.mean / 1024.0, bursts.size_cv,
+       bursts.interval_s.mean, bursts.interval_cv);
+}
+
+}  // namespace
+
+void write_report(std::ostream& out, trace::TraceView packets,
+                  const std::string& title, const ReportOptions& options) {
+  out << "=== " << title << " ===\n";
+  if (packets.empty()) {
+    out << "  (empty trace)\n";
+    return;
+  }
+  out << "-- aggregate --\n";
+  characterization_block(out, packets, options);
+
+  if (!options.per_connection) return;
+  std::map<std::pair<net::HostId, net::HostId>,
+           std::vector<trace::PacketRecord>>
+      flows;
+  for (const trace::PacketRecord& p : packets) {
+    flows[{p.src, p.dst}].push_back(p);
+  }
+  for (const auto& [pair, flow] : flows) {
+    if (flow.size() < options.min_connection_packets) continue;
+    char heading[64];
+    std::snprintf(heading, sizeof heading, "-- connection %u -> %u --",
+                  pair.first, pair.second);
+    out << heading << '\n';
+    characterization_block(out, flow, options);
+  }
+}
+
+std::string report_string(trace::TraceView packets, const std::string& title,
+                          const ReportOptions& options) {
+  std::ostringstream out;
+  write_report(out, packets, title, options);
+  return out.str();
+}
+
+}  // namespace fxtraf::core

@@ -1,0 +1,34 @@
+// Paper-style text reports for arbitrary traces: everything Figures 3-7
+// show for one program, as a reusable library facility (the benches and
+// the trace_analyzer CLI print through this).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "core/characterization.hpp"
+#include "trace/record.hpp"
+
+namespace fxtraf::core {
+
+struct ReportOptions {
+  CharacterizationOptions characterization;
+  /// Also break the trace into machine-pair connections and report each
+  /// one's vital signs.
+  bool per_connection = true;
+  /// Connections with fewer packets than this are omitted.
+  std::size_t min_connection_packets = 20;
+  /// How many spectral spikes to list.
+  std::size_t max_peaks = 6;
+};
+
+/// Writes a multi-section characterization of `packets` to `out`.
+void write_report(std::ostream& out, trace::TraceView packets,
+                  const std::string& title, const ReportOptions& options = {});
+
+/// Convenience: the same report as a string.
+[[nodiscard]] std::string report_string(trace::TraceView packets,
+                                        const std::string& title,
+                                        const ReportOptions& options = {});
+
+}  // namespace fxtraf::core

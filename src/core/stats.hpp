@@ -1,0 +1,59 @@
+// Summary statistics in the form the paper's tables report:
+// minimum, maximum, average, standard deviation.
+#pragma once
+
+#include <cmath>
+#include <cstddef>
+#include <limits>
+#include <span>
+
+namespace fxtraf::core {
+
+struct Summary {
+  double min = 0.0;
+  double max = 0.0;
+  double mean = 0.0;
+  double stddev = 0.0;
+  std::size_t count = 0;
+};
+
+/// Streaming accumulator (Welford's algorithm, numerically stable for the
+/// long AIRSHED traces).
+class Welford {
+ public:
+  void add(double x) {
+    ++count_;
+    if (x < min_) min_ = x;
+    if (x > max_) max_ = x;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(count_);
+    m2_ += delta * (x - mean_);
+  }
+
+  [[nodiscard]] Summary summary() const {
+    Summary s;
+    s.count = count_;
+    if (count_ == 0) return s;
+    s.min = min_;
+    s.max = max_;
+    s.mean = mean_;
+    // Population standard deviation, matching a measurement-table usage.
+    s.stddev = count_ > 1 ? std::sqrt(m2_ / static_cast<double>(count_)) : 0.0;
+    return s;
+  }
+
+ private:
+  std::size_t count_ = 0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+};
+
+[[nodiscard]] inline Summary summarize(std::span<const double> values) {
+  Welford w;
+  for (double v : values) w.add(v);
+  return w.summary();
+}
+
+}  // namespace fxtraf::core

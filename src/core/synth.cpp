@@ -1,0 +1,58 @@
+#include "core/synth.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace fxtraf::core {
+
+std::vector<trace::PacketRecord> generate_trace(
+    const FourierTrafficModel& model, double duration_s,
+    const SynthesisOptions& options) {
+  std::vector<trace::PacketRecord> packets;
+  sim::Rng rng(options.seed);
+  const double bin_s = options.bin.seconds();
+  const auto bins = static_cast<std::size_t>(duration_s / bin_s);
+  double carry_bytes = 0.0;  // sub-packet residue carried between bins
+
+  // Zero-floored per-bin rates, optionally rescaled to the model mean.
+  std::vector<double> rates(bins);
+  double floored_sum = 0.0;
+  for (std::size_t b = 0; b < bins; ++b) {
+    const double t0 = bin_s * static_cast<double>(b);
+    rates[b] = std::max(0.0, model.evaluate(t0 + bin_s / 2.0));
+    floored_sum += rates[b];
+  }
+  if (options.preserve_mean && floored_sum > 0.0 && model.mean_kbs() > 0.0) {
+    const double scale = model.mean_kbs() * static_cast<double>(bins) /
+                         floored_sum;
+    for (double& r : rates) r *= scale;
+  }
+
+  for (std::size_t b = 0; b < bins; ++b) {
+    const double t0 = bin_s * static_cast<double>(b);
+    carry_bytes += rates[b] * 1024.0 * bin_s;
+    const auto whole =
+        static_cast<std::uint64_t>(carry_bytes / options.packet_bytes);
+    if (whole == 0) continue;
+    carry_bytes -= static_cast<double>(whole) * options.packet_bytes;
+
+    // Spread the bin's packets uniformly (sorted jitter keeps the trace
+    // monotone in time).
+    std::vector<double> offsets(whole);
+    for (double& o : offsets) o = rng.next_double() * bin_s;
+    std::sort(offsets.begin(), offsets.end());
+    for (double o : offsets) {
+      trace::PacketRecord r;
+      r.timestamp = sim::SimTime{
+          static_cast<std::int64_t>((t0 + o) * 1e9)};
+      r.bytes = static_cast<std::uint32_t>(options.packet_bytes);
+      r.proto = net::IpProto::kTcp;
+      r.src = options.src;
+      r.dst = options.dst;
+      packets.push_back(r);
+    }
+  }
+  return packets;
+}
+
+}  // namespace fxtraf::core

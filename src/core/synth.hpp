@@ -1,0 +1,34 @@
+// Synthetic traffic generation from an analytic model — the paper's
+// abstract: "these spectra ... can be simplified to form analytic models
+// to generate similar traffic."
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/fourier_model.hpp"
+#include "simcore/rng.hpp"
+#include "trace/record.hpp"
+
+namespace fxtraf::core {
+
+struct SynthesisOptions {
+  sim::Duration bin = sim::millis(10);  ///< model sampling granularity
+  double packet_bytes = 1024.0;         ///< nominal synthetic packet size
+  net::HostId src = 0;
+  net::HostId dst = 1;
+  std::uint64_t seed = 42;
+  /// Zero-flooring the model's negative excursions inflates the average
+  /// rate; when set, the floored series is rescaled so the synthetic
+  /// trace's mean matches the model's mean.
+  bool preserve_mean = true;
+};
+
+/// Emits a packet trace whose 10 ms binned bandwidth approximates the
+/// model over `duration_s` seconds.  Negative model excursions floor at
+/// zero; packets are uniformly jittered within each bin.
+[[nodiscard]] std::vector<trace::PacketRecord> generate_trace(
+    const FourierTrafficModel& model, double duration_s,
+    const SynthesisOptions& options = {});
+
+}  // namespace fxtraf::core

@@ -1,0 +1,62 @@
+#include "dsp/autocorr.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "dsp/fft.hpp"
+
+namespace fxtraf::dsp {
+
+std::vector<double> autocorrelation(std::span<const double> samples,
+                                    std::size_t max_lag) {
+  const std::size_t n = samples.size();
+  if (n == 0) return {};
+  max_lag = std::min(max_lag, n - 1);
+
+  const double mean =
+      std::accumulate(samples.begin(), samples.end(), 0.0) /
+      static_cast<double>(n);
+
+  // Wiener-Khinchin with zero padding to avoid circular wrap.
+  const std::size_t padded = next_pow2(2 * n);
+  std::vector<Complex> work(padded, Complex{});
+  for (std::size_t i = 0; i < n; ++i) work[i] = Complex{samples[i] - mean, 0};
+  fft_pow2_inplace(work, /*inverse=*/false);
+  for (auto& v : work) v = Complex{std::norm(v), 0.0};
+  fft_pow2_inplace(work, /*inverse=*/true);
+
+  std::vector<double> r(max_lag + 1);
+  const double r0 = work[0].real();
+  if (r0 <= 0.0) {
+    std::fill(r.begin(), r.end(), 0.0);
+    r[0] = 1.0;
+    return r;
+  }
+  for (std::size_t k = 0; k <= max_lag; ++k) r[k] = work[k].real() / r0;
+  return r;
+}
+
+PeriodEstimate estimate_period(std::span<const double> samples,
+                               std::size_t max_lag, double threshold) {
+  PeriodEstimate estimate;
+  const auto r = autocorrelation(samples, max_lag);
+  if (r.size() < 3) return estimate;
+
+  // Skip the zero-lag main lobe: wait until the autocorrelation first
+  // drops below the threshold, then take the tallest local maximum.
+  std::size_t start = 1;
+  while (start < r.size() && r[start] >= threshold) ++start;
+  double best = threshold;
+  for (std::size_t k = std::max<std::size_t>(start, 1); k + 1 < r.size();
+       ++k) {
+    if (r[k] >= r[k - 1] && r[k] > r[k + 1] && r[k] > best) {
+      best = r[k];
+      estimate.lag_samples = k;
+      estimate.correlation = r[k];
+    }
+  }
+  return estimate;
+}
+
+}  // namespace fxtraf::dsp

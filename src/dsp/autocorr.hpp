@@ -1,0 +1,27 @@
+// Autocorrelation-based period estimation: a time-domain cross-check of
+// the spectral fundamental (same burst comb, different estimator).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace fxtraf::dsp {
+
+/// Biased normalized autocorrelation r[k] for k in [0, max_lag],
+/// computed via FFT (O(n log n)); r[0] == 1 for non-constant input.
+[[nodiscard]] std::vector<double> autocorrelation(
+    std::span<const double> samples, std::size_t max_lag);
+
+struct PeriodEstimate {
+  std::size_t lag_samples = 0;  ///< 0: no periodic structure found
+  double correlation = 0.0;     ///< autocorrelation value at that lag
+};
+
+/// First dominant autocorrelation peak past lag zero (minimum lag 1),
+/// requiring it to exceed `threshold`.
+[[nodiscard]] PeriodEstimate estimate_period(std::span<const double> samples,
+                                             std::size_t max_lag,
+                                             double threshold = 0.2);
+
+}  // namespace fxtraf::dsp

@@ -1,0 +1,127 @@
+#include "dsp/fft.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace fxtraf::dsp {
+
+namespace {
+
+constexpr double kTwoPi = 2.0 * std::numbers::pi;
+
+void bit_reverse_permute(std::span<Complex> a) {
+  const std::size_t n = a.size();
+  for (std::size_t i = 1, j = 0; i < n; ++i) {
+    std::size_t bit = n >> 1;
+    for (; j & bit; bit >>= 1) j ^= bit;
+    j ^= bit;
+    if (i < j) std::swap(a[i], a[j]);
+  }
+}
+
+/// Bluestein chirp-z transform: expresses an arbitrary-length DFT as a
+/// convolution, evaluated with power-of-two FFTs.
+std::vector<Complex> bluestein(std::span<const Complex> x, bool inverse) {
+  const std::size_t n = x.size();
+  const double sign = inverse ? 1.0 : -1.0;
+
+  // Chirp factors w[k] = exp(sign * i*pi*k^2/n); k^2 mod 2n avoids the
+  // catastrophic angle growth for long traces.
+  std::vector<Complex> w(n);
+  for (std::size_t k = 0; k < n; ++k) {
+    const std::size_t k2 = static_cast<std::size_t>(
+        (static_cast<unsigned long long>(k) * k) % (2 * n));
+    const double angle = sign * std::numbers::pi * static_cast<double>(k2) /
+                         static_cast<double>(n);
+    w[k] = Complex{std::cos(angle), std::sin(angle)};
+  }
+
+  const std::size_t m = next_pow2(2 * n - 1);
+  std::vector<Complex> a(m, Complex{});
+  std::vector<Complex> b(m, Complex{});
+  for (std::size_t k = 0; k < n; ++k) a[k] = x[k] * w[k];
+  b[0] = std::conj(w[0]);
+  for (std::size_t k = 1; k < n; ++k) b[k] = b[m - k] = std::conj(w[k]);
+
+  fft_pow2_inplace(a, /*inverse=*/false);
+  fft_pow2_inplace(b, /*inverse=*/false);
+  for (std::size_t k = 0; k < m; ++k) a[k] *= b[k];
+  fft_pow2_inplace(a, /*inverse=*/true);
+
+  std::vector<Complex> result(n);
+  for (std::size_t k = 0; k < n; ++k) result[k] = a[k] * w[k];
+  if (inverse) {
+    for (auto& v : result) v /= static_cast<double>(n);
+  }
+  return result;
+}
+
+}  // namespace
+
+void fft_pow2_inplace(std::span<Complex> data, bool inverse) {
+  const std::size_t n = data.size();
+  if (n <= 1) return;
+  if (!is_pow2(n)) throw std::invalid_argument("fft_pow2: size not 2^k");
+
+  bit_reverse_permute(data);
+  for (std::size_t len = 2; len <= n; len <<= 1) {
+    const double angle = (inverse ? kTwoPi : -kTwoPi) /
+                         static_cast<double>(len);
+    const Complex wlen{std::cos(angle), std::sin(angle)};
+    for (std::size_t i = 0; i < n; i += len) {
+      Complex w{1.0, 0.0};
+      for (std::size_t j = 0; j < len / 2; ++j) {
+        const Complex u = data[i + j];
+        const Complex v = data[i + j + len / 2] * w;
+        data[i + j] = u + v;
+        data[i + j + len / 2] = u - v;
+        w *= wlen;
+      }
+    }
+  }
+  if (inverse) {
+    for (auto& v : data) v /= static_cast<double>(n);
+  }
+}
+
+std::vector<Complex> fft(std::span<const Complex> input, bool inverse) {
+  std::vector<Complex> data(input.begin(), input.end());
+  if (data.empty()) return data;
+  if (is_pow2(data.size())) {
+    fft_pow2_inplace(data, inverse);
+    return data;
+  }
+  return bluestein(data, inverse);
+}
+
+std::vector<Complex> rfft(std::span<const double> input) {
+  std::vector<Complex> complex_in(input.size());
+  for (std::size_t i = 0; i < input.size(); ++i) {
+    complex_in[i] = Complex{input[i], 0.0};
+  }
+  auto full = fft(complex_in, /*inverse=*/false);
+  full.resize(input.empty() ? 0 : input.size() / 2 + 1);
+  return full;
+}
+
+std::vector<Complex> dft_reference(std::span<const Complex> input,
+                                   bool inverse) {
+  const std::size_t n = input.size();
+  std::vector<Complex> out(n, Complex{});
+  const double sign = inverse ? 1.0 : -1.0;
+  for (std::size_t k = 0; k < n; ++k) {
+    for (std::size_t t = 0; t < n; ++t) {
+      const double angle = sign * kTwoPi * static_cast<double>(k) *
+                           static_cast<double>(t) / static_cast<double>(n);
+      out[k] += input[t] * Complex{std::cos(angle), std::sin(angle)};
+    }
+  }
+  if (inverse && n > 0) {
+    for (auto& v : out) v /= static_cast<double>(n);
+  }
+  return out;
+}
+
+}  // namespace fxtraf::dsp

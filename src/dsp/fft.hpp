@@ -1,0 +1,43 @@
+// Fast Fourier transforms used by the spectral traffic characterization.
+//
+// Self-contained: an iterative radix-2 Cooley-Tukey kernel for power-of-two
+// lengths plus Bluestein's chirp-z algorithm for arbitrary lengths, so the
+// periodogram can consume traces of any duration without padding bias.
+#pragma once
+
+#include <complex>
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace fxtraf::dsp {
+
+using Complex = std::complex<double>;
+
+[[nodiscard]] constexpr bool is_pow2(std::size_t n) {
+  return n != 0 && (n & (n - 1)) == 0;
+}
+
+[[nodiscard]] constexpr std::size_t next_pow2(std::size_t n) {
+  std::size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+/// In-place radix-2 FFT.  Precondition: size is a power of two (>= 1).
+/// The inverse transform includes the 1/n scaling.
+void fft_pow2_inplace(std::span<Complex> data, bool inverse);
+
+/// DFT of arbitrary length (Bluestein for non-power-of-two sizes).
+/// The inverse transform includes the 1/n scaling.
+[[nodiscard]] std::vector<Complex> fft(std::span<const Complex> input,
+                                       bool inverse = false);
+
+/// DFT of a real signal; returns the n/2+1 non-negative-frequency bins.
+[[nodiscard]] std::vector<Complex> rfft(std::span<const double> input);
+
+/// Naive O(n^2) DFT, kept as a test oracle for the fast paths.
+[[nodiscard]] std::vector<Complex> dft_reference(std::span<const Complex> input,
+                                                 bool inverse = false);
+
+}  // namespace fxtraf::dsp

@@ -1,0 +1,115 @@
+#include "dsp/peaks.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace fxtraf::dsp {
+
+std::vector<Peak> find_peaks(const Spectrum& spectrum,
+                             const PeakOptions& options) {
+  const auto& p = spectrum.power;
+  std::vector<Peak> maxima;
+  if (p.size() < 3) return maxima;
+
+  for (std::size_t i = std::max<std::size_t>(options.skip_dc_bins, 1);
+       i + 1 < p.size(); ++i) {
+    if (p[i] >= p[i - 1] && p[i] > p[i + 1]) {
+      maxima.push_back(Peak{i, spectrum.frequency_hz[i], p[i]});
+    }
+  }
+  if (maxima.empty()) return maxima;
+
+  std::sort(maxima.begin(), maxima.end(),
+            [](const Peak& a, const Peak& b) { return a.power > b.power; });
+
+  const double floor = maxima.front().power * options.min_relative_power;
+  std::vector<Peak> selected;
+  for (const Peak& candidate : maxima) {
+    if (candidate.power < floor) break;
+    const bool too_close = std::any_of(
+        selected.begin(), selected.end(), [&](const Peak& kept) {
+          const std::size_t d = kept.bin > candidate.bin
+                                    ? kept.bin - candidate.bin
+                                    : candidate.bin - kept.bin;
+          return d < options.min_separation_bins;
+        });
+    if (too_close) continue;
+    selected.push_back(candidate);
+    if (options.max_peaks != 0 && selected.size() >= options.max_peaks) break;
+  }
+  return selected;
+}
+
+FundamentalEstimate estimate_fundamental(const std::vector<Peak>& all_peaks,
+                                         double frequency_tolerance_hz,
+                                         double min_relative_power) {
+  FundamentalEstimate best;
+  if (all_peaks.empty()) return best;
+
+  double max_power = 0.0;
+  for (const Peak& p : all_peaks) max_power = std::max(max_power, p.power);
+  std::vector<Peak> peaks;
+  for (const Peak& p : all_peaks) {
+    if (p.power >= min_relative_power * max_power) peaks.push_back(p);
+  }
+
+  double total_power = 0.0;
+  for (const Peak& p : peaks) total_power += p.power;
+
+  // Candidate fundamentals: every strong peak frequency divided by 1..4.
+  // Candidates close to the tolerance are meaningless — their harmonic
+  // grid is dense enough to "match" any frequency — so require a few
+  // tolerance widths of separation between multiples.
+  std::vector<double> candidates;
+  for (const Peak& p : peaks) {
+    for (int divisor = 1; divisor <= 4; ++divisor) {
+      const double f = p.frequency_hz / divisor;
+      if (f > 3.0 * frequency_tolerance_hz) candidates.push_back(f);
+    }
+  }
+  if (candidates.empty() && !peaks.empty()) {
+    candidates.push_back(peaks.front().frequency_hz);
+  }
+
+  double best_score = -1.0;
+  for (double f0 : candidates) {
+    double explained = 0.0;
+    std::size_t matched = 0;
+    for (const Peak& p : peaks) {
+      const double ratio = p.frequency_hz / f0;
+      const double nearest = std::round(ratio);
+      if (nearest < 1.0) continue;
+      if (std::abs(p.frequency_hz - nearest * f0) <= frequency_tolerance_hz) {
+        explained += p.power;
+        ++matched;
+      }
+    }
+    // A subharmonic f0/k trivially explains everything f0 does, so weight
+    // by low-harmonic support: a genuine fundamental has detected peaks
+    // at (most of) its first few multiples, while f0/k leaves k-1 of
+    // every k low slots empty.
+    int low_supported = 0;
+    constexpr int kLowHarmonics = 4;
+    for (int h = 1; h <= kLowHarmonics; ++h) {
+      for (const Peak& p : peaks) {
+        if (std::abs(p.frequency_hz - h * f0) <= frequency_tolerance_hz) {
+          ++low_supported;
+          break;
+        }
+      }
+    }
+    const double support =
+        static_cast<double>(low_supported) / kLowHarmonics;
+    const double score = (explained / total_power) * (0.25 + 0.75 * support) +
+                         1e-6 * f0 / candidates.front();
+    if (score > best_score) {
+      best_score = score;
+      best.frequency_hz = f0;
+      best.harmonic_power_fraction = explained / total_power;
+      best.harmonics_matched = matched;
+    }
+  }
+  return best;
+}
+
+}  // namespace fxtraf::dsp

@@ -1,0 +1,57 @@
+// Spectral spike extraction (paper section 7.2).
+//
+// The paper observes that the bandwidth spectra are "sparse and spiky" and
+// proposes truncating the implied Fourier series to the dominant spikes.
+// This module finds those spikes: local maxima with sufficient prominence
+// and separation, plus a harmonic-aware fundamental-frequency estimator.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "dsp/periodogram.hpp"
+
+namespace fxtraf::dsp {
+
+struct Peak {
+  std::size_t bin = 0;
+  double frequency_hz = 0.0;
+  double power = 0.0;
+};
+
+struct PeakOptions {
+  /// Discard peaks below this fraction of the tallest peak's power.
+  double min_relative_power = 1e-4;
+  /// Merge maxima closer than this many bins (keep the taller one).
+  std::size_t min_separation_bins = 2;
+  /// Skip the first bins (residual DC / trend leakage).
+  std::size_t skip_dc_bins = 1;
+  /// Upper bound on the number of peaks returned (0 = unlimited).
+  std::size_t max_peaks = 0;
+};
+
+/// Extracts spikes from a spectrum, strongest first.
+[[nodiscard]] std::vector<Peak> find_peaks(const Spectrum& spectrum,
+                                           const PeakOptions& options = {});
+
+struct FundamentalEstimate {
+  double frequency_hz = 0.0;
+  /// Fraction of total peak power explained by harmonics of the estimate.
+  double harmonic_power_fraction = 0.0;
+  /// Number of detected peaks lying on harmonics of the estimate.
+  std::size_t harmonics_matched = 0;
+};
+
+/// Estimates the fundamental frequency behind a spiky spectrum.
+///
+/// Only peaks holding at least `min_relative_power` of the strongest
+/// peak's power participate (weaker maxima are broadband noise, not comb
+/// lines).  Candidate fundamentals are each strong peak's frequency and
+/// its integer subdivisions; the candidate explaining the most peak power
+/// through its harmonic series wins, weighted by how many of its first
+/// few harmonics actually carry peaks (subharmonic guard).
+[[nodiscard]] FundamentalEstimate estimate_fundamental(
+    const std::vector<Peak>& peaks, double frequency_tolerance_hz,
+    double min_relative_power = 0.05);
+
+}  // namespace fxtraf::dsp

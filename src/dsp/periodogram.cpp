@@ -1,0 +1,67 @@
+#include "dsp/periodogram.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+#include "dsp/fft.hpp"
+
+namespace fxtraf::dsp {
+
+double Spectrum::band_power(double lo_hz, double hi_hz) const {
+  double total = 0.0;
+  for (std::size_t i = 0; i < power.size(); ++i) {
+    if (frequency_hz[i] >= lo_hz && frequency_hz[i] <= hi_hz) {
+      total += power[i];
+    }
+  }
+  return total;
+}
+
+std::size_t Spectrum::argmax_in_band(double lo_hz, double hi_hz) const {
+  std::size_t best = size();
+  double best_power = -1.0;
+  for (std::size_t i = 0; i < power.size(); ++i) {
+    if (frequency_hz[i] < lo_hz || frequency_hz[i] > hi_hz) continue;
+    if (power[i] > best_power) {
+      best_power = power[i];
+      best = i;
+    }
+  }
+  return best;
+}
+
+Spectrum periodogram(std::span<const double> samples, double sample_interval_s,
+                     const PeriodogramOptions& options) {
+  if (sample_interval_s <= 0.0) {
+    throw std::invalid_argument("periodogram: non-positive sample interval");
+  }
+  const std::size_t n = samples.size();
+
+  Spectrum spectrum;
+  spectrum.sample_interval_s = sample_interval_s;
+  spectrum.sample_count = n;
+  if (n == 0) return spectrum;
+
+  std::vector<double> work(samples.begin(), samples.end());
+  spectrum.mean =
+      std::accumulate(work.begin(), work.end(), 0.0) / static_cast<double>(n);
+  if (options.detrend_mean) {
+    for (auto& v : work) v -= spectrum.mean;
+  }
+  apply_window(options.window, work);
+
+  spectrum.bins = rfft(work);
+  const std::size_t bins = spectrum.bins.size();
+  spectrum.frequency_hz.resize(bins);
+  spectrum.power.resize(bins);
+  const double df = 1.0 / (static_cast<double>(n) * sample_interval_s);
+  for (std::size_t k = 0; k < bins; ++k) {
+    spectrum.frequency_hz[k] = df * static_cast<double>(k);
+    spectrum.power[k] = std::norm(spectrum.bins[k]);
+  }
+  return spectrum;
+}
+
+}  // namespace fxtraf::dsp

@@ -1,0 +1,61 @@
+// Power spectra of evenly-sampled signals (paper Figures 7 and 11).
+//
+// The paper characterizes each program by the periodogram of its
+// instantaneous average bandwidth, sampled along static 10 ms intervals.
+// `Spectrum` carries the one-sided power values together with the
+// frequency axis and the complex DFT bins, so the Fourier-series traffic
+// model (core/fourier_model) can recover amplitude *and phase* of each
+// spectral spike.
+#pragma once
+
+#include <complex>
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "dsp/window.hpp"
+
+namespace fxtraf::dsp {
+
+struct PeriodogramOptions {
+  /// Subtract the mean before transforming; removes the (often enormous)
+  /// DC spike so that periodic structure dominates the plot, matching the
+  /// paper's figures whose spectra start rising above 0 Hz.
+  bool detrend_mean = true;
+  WindowKind window = WindowKind::kRectangular;
+};
+
+/// One-sided power spectrum of a real signal.
+struct Spectrum {
+  std::vector<double> frequency_hz;        ///< bin centers, k / (n*dt)
+  std::vector<double> power;               ///< |X_k|^2 (paper's (N*KB/s)^2)
+  std::vector<std::complex<double>> bins;  ///< raw DFT values X_k
+  double sample_interval_s = 0.0;
+  std::size_t sample_count = 0;
+  double mean = 0.0;  ///< mean removed by detrending (DC level)
+
+  [[nodiscard]] std::size_t size() const { return power.size(); }
+  /// Highest representable frequency, 1/(2*dt).
+  [[nodiscard]] double nyquist_hz() const {
+    return sample_interval_s > 0 ? 0.5 / sample_interval_s : 0.0;
+  }
+  /// Spacing between adjacent bins, 1/(n*dt).
+  [[nodiscard]] double resolution_hz() const {
+    return (sample_count > 0 && sample_interval_s > 0)
+               ? 1.0 / (static_cast<double>(sample_count) * sample_interval_s)
+               : 0.0;
+  }
+  /// Total power in [lo_hz, hi_hz].
+  [[nodiscard]] double band_power(double lo_hz, double hi_hz) const;
+  /// Index of the strongest bin in [lo_hz, hi_hz]; size() if the band is
+  /// empty.
+  [[nodiscard]] std::size_t argmax_in_band(double lo_hz, double hi_hz) const;
+};
+
+/// Computes the one-sided periodogram of `samples` taken every
+/// `sample_interval_s` seconds.
+[[nodiscard]] Spectrum periodogram(std::span<const double> samples,
+                                   double sample_interval_s,
+                                   const PeriodogramOptions& options = {});
+
+}  // namespace fxtraf::dsp

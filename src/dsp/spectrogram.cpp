@@ -1,0 +1,70 @@
+#include "dsp/spectrogram.hpp"
+
+#include <numeric>
+#include <stdexcept>
+
+#include "dsp/fft.hpp"
+
+namespace fxtraf::dsp {
+
+double Spectrogram::peak_frequency(std::size_t frame, double lo_hz,
+                                   double hi_hz) const {
+  if (frame >= power.size()) return -1.0;
+  double best_power = 0.0;
+  double best_freq = -1.0;
+  for (std::size_t k = 0; k < bins(); ++k) {
+    if (frequency_hz[k] < lo_hz || frequency_hz[k] > hi_hz) continue;
+    if (power[frame][k] > best_power) {
+      best_power = power[frame][k];
+      best_freq = frequency_hz[k];
+    }
+  }
+  return best_power > 0.0 ? best_freq : -1.0;
+}
+
+Spectrogram spectrogram(std::span<const double> samples,
+                        double sample_interval_s,
+                        const SpectrogramOptions& options) {
+  if (sample_interval_s <= 0.0) {
+    throw std::invalid_argument("spectrogram: bad sample interval");
+  }
+  if (options.window_samples < 2 || options.hop_samples == 0) {
+    throw std::invalid_argument("spectrogram: bad window/hop");
+  }
+  Spectrogram out;
+  const std::size_t w = options.window_samples;
+  if (samples.size() < w) return out;
+
+  const auto window = make_window(options.window, w);
+  const std::size_t bins = w / 2 + 1;
+  out.frequency_hz.resize(bins);
+  for (std::size_t k = 0; k < bins; ++k) {
+    out.frequency_hz[k] = static_cast<double>(k) /
+                          (static_cast<double>(w) * sample_interval_s);
+  }
+
+  std::vector<double> frame(w);
+  for (std::size_t start = 0; start + w <= samples.size();
+       start += options.hop_samples) {
+    for (std::size_t i = 0; i < w; ++i) frame[i] = samples[start + i];
+    if (options.detrend_mean) {
+      const double mean =
+          std::accumulate(frame.begin(), frame.end(), 0.0) /
+          static_cast<double>(w);
+      for (double& v : frame) v -= mean;
+    }
+    for (std::size_t i = 0; i < w; ++i) frame[i] *= window[i];
+    const auto spectrum_bins = rfft(frame);
+    std::vector<double> power(bins);
+    for (std::size_t k = 0; k < bins; ++k) {
+      power[k] = std::norm(spectrum_bins[k]);
+    }
+    out.power.push_back(std::move(power));
+    out.frame_time_s.push_back(
+        (static_cast<double>(start) + static_cast<double>(w) / 2.0) *
+        sample_interval_s);
+  }
+  return out;
+}
+
+}  // namespace fxtraf::dsp

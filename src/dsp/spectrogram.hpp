@@ -1,0 +1,39 @@
+// Short-time Fourier transform: time-resolved spectra for signals whose
+// periodic structure changes across phases (AIRSHED's preprocessing vs
+// stepping regions).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "dsp/window.hpp"
+
+namespace fxtraf::dsp {
+
+struct SpectrogramOptions {
+  std::size_t window_samples = 1024;
+  std::size_t hop_samples = 512;
+  WindowKind window = WindowKind::kHann;
+  bool detrend_mean = true;  ///< per-frame mean removal
+};
+
+struct Spectrogram {
+  std::vector<double> frame_time_s;    ///< center time of each frame
+  std::vector<double> frequency_hz;    ///< bin centers (shared)
+  std::vector<std::vector<double>> power;  ///< [frame][bin]
+
+  [[nodiscard]] std::size_t frames() const { return power.size(); }
+  [[nodiscard]] std::size_t bins() const { return frequency_hz.size(); }
+
+  /// Frequency of the strongest bin of a frame within [lo, hi] Hz;
+  /// -1 if the band is empty or the frame has no power.
+  [[nodiscard]] double peak_frequency(std::size_t frame, double lo_hz,
+                                      double hi_hz) const;
+};
+
+[[nodiscard]] Spectrogram spectrogram(std::span<const double> samples,
+                                      double sample_interval_s,
+                                      const SpectrogramOptions& options = {});
+
+}  // namespace fxtraf::dsp

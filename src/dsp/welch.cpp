@@ -1,0 +1,61 @@
+#include "dsp/welch.hpp"
+
+#include <numeric>
+#include <stdexcept>
+
+#include "dsp/fft.hpp"
+
+namespace fxtraf::dsp {
+
+Spectrum welch(std::span<const double> samples, double sample_interval_s,
+               const WelchOptions& options) {
+  if (sample_interval_s <= 0.0) {
+    throw std::invalid_argument("welch: non-positive sample interval");
+  }
+  if (options.segment_samples < 2 ||
+      options.overlap_samples >= options.segment_samples) {
+    throw std::invalid_argument("welch: bad segment/overlap");
+  }
+
+  Spectrum spectrum;
+  spectrum.sample_interval_s = sample_interval_s;
+  const std::size_t w = options.segment_samples;
+  if (samples.size() < w) return spectrum;
+  spectrum.sample_count = w;
+
+  const std::size_t hop = w - options.overlap_samples;
+  const auto window = make_window(options.window, w);
+  const std::size_t bins = w / 2 + 1;
+  spectrum.frequency_hz.resize(bins);
+  const double df = 1.0 / (static_cast<double>(w) * sample_interval_s);
+  for (std::size_t k = 0; k < bins; ++k) {
+    spectrum.frequency_hz[k] = df * static_cast<double>(k);
+  }
+  spectrum.power.assign(bins, 0.0);
+
+  std::vector<double> frame(w);
+  std::size_t segments = 0;
+  double total_mean = 0.0;
+  for (std::size_t start = 0; start + w <= samples.size(); start += hop) {
+    for (std::size_t i = 0; i < w; ++i) frame[i] = samples[start + i];
+    const double mean = std::accumulate(frame.begin(), frame.end(), 0.0) /
+                        static_cast<double>(w);
+    total_mean += mean;
+    if (options.detrend_mean) {
+      for (double& v : frame) v -= mean;
+    }
+    for (std::size_t i = 0; i < w; ++i) frame[i] *= window[i];
+    spectrum.bins = rfft(frame);
+    for (std::size_t k = 0; k < bins; ++k) {
+      spectrum.power[k] += std::norm(spectrum.bins[k]);
+    }
+    ++segments;
+  }
+  if (segments > 0) {
+    for (double& p : spectrum.power) p /= static_cast<double>(segments);
+    spectrum.mean = total_mean / static_cast<double>(segments);
+  }
+  return spectrum;
+}
+
+}  // namespace fxtraf::dsp

@@ -1,0 +1,28 @@
+// Welch's averaged periodogram: lower-variance spectral estimation for
+// noisy traces, used as an ablation against the paper's raw periodogram.
+#pragma once
+
+#include <span>
+
+#include "dsp/periodogram.hpp"
+#include "dsp/window.hpp"
+
+namespace fxtraf::dsp {
+
+struct WelchOptions {
+  std::size_t segment_samples = 4096;
+  std::size_t overlap_samples = 2048;
+  WindowKind window = WindowKind::kHann;
+  bool detrend_mean = true;
+};
+
+/// Averaged one-sided power spectrum.  Frequencies resolve to
+/// 1/(segment * dt); power values are the mean across segments of the
+/// per-segment |X_k|^2 (same units as the raw periodogram).  The `bins`
+/// field holds the *last* segment's complex DFT (phase information is not
+/// meaningful after averaging).
+[[nodiscard]] Spectrum welch(std::span<const double> samples,
+                             double sample_interval_s,
+                             const WelchOptions& options = {});
+
+}  // namespace fxtraf::dsp

@@ -1,0 +1,54 @@
+#include "dsp/window.hpp"
+
+#include <cmath>
+#include <numbers>
+
+namespace fxtraf::dsp {
+
+std::vector<double> make_window(WindowKind kind, std::size_t n) {
+  std::vector<double> w(n, 1.0);
+  if (n == 0 || kind == WindowKind::kRectangular) return w;
+  const double step = 2.0 * std::numbers::pi / static_cast<double>(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double x = step * static_cast<double>(i);
+    switch (kind) {
+      case WindowKind::kHann:
+        w[i] = 0.5 - 0.5 * std::cos(x);
+        break;
+      case WindowKind::kHamming:
+        w[i] = 0.54 - 0.46 * std::cos(x);
+        break;
+      case WindowKind::kBlackman:
+        w[i] = 0.42 - 0.5 * std::cos(x) + 0.08 * std::cos(2.0 * x);
+        break;
+      case WindowKind::kRectangular:
+        break;
+    }
+  }
+  return w;
+}
+
+void apply_window(WindowKind kind, std::span<double> samples) {
+  if (kind == WindowKind::kRectangular) return;
+  const auto w = make_window(kind, samples.size());
+  for (std::size_t i = 0; i < samples.size(); ++i) samples[i] *= w[i];
+}
+
+double window_power(WindowKind kind, std::size_t n) {
+  const auto w = make_window(kind, n);
+  double sum = 0.0;
+  for (double v : w) sum += v * v;
+  return sum;
+}
+
+const char* to_string(WindowKind kind) {
+  switch (kind) {
+    case WindowKind::kRectangular: return "rectangular";
+    case WindowKind::kHann: return "hann";
+    case WindowKind::kHamming: return "hamming";
+    case WindowKind::kBlackman: return "blackman";
+  }
+  return "?";
+}
+
+}  // namespace fxtraf::dsp

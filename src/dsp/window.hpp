@@ -1,0 +1,25 @@
+// Taper windows for spectral estimation.
+//
+// The paper computes raw periodograms (rectangular window); Hann and
+// Hamming are provided for the window-sensitivity ablation.
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace fxtraf::dsp {
+
+enum class WindowKind { kRectangular, kHann, kHamming, kBlackman };
+
+/// Window coefficients of length n (periodic form, suitable for spectra).
+[[nodiscard]] std::vector<double> make_window(WindowKind kind, std::size_t n);
+
+/// Multiplies `samples` by the window in place.
+void apply_window(WindowKind kind, std::span<double> samples);
+
+/// Sum of squared window coefficients (periodogram normalization term).
+[[nodiscard]] double window_power(WindowKind kind, std::size_t n);
+
+[[nodiscard]] const char* to_string(WindowKind kind);
+
+}  // namespace fxtraf::dsp

@@ -1,0 +1,64 @@
+// Ethernet frame model and 10BASE wire constants.
+//
+// Matches the paper's testbed: a multi-segment bridged Ethernet behaving
+// as a single 10 Mb/s collision domain with an aggregate 1.25 MB/s.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "net/datagram.hpp"
+#include "simcore/time.hpp"
+
+namespace fxtraf::eth {
+
+/// Station (NIC) number on the segment; identical to the host id.
+using StationId = net::HostId;
+
+// IEEE 802.3 10 Mb/s constants.
+inline constexpr double kBitRateBps = 10e6;
+inline constexpr std::size_t kHeaderBytes = 14;   ///< dst+src+ethertype
+inline constexpr std::size_t kTrailerBytes = 4;   ///< FCS
+inline constexpr std::size_t kPreambleBytes = 8;  ///< preamble + SFD
+inline constexpr std::size_t kMinWireBytes = 64;  ///< incl. header+FCS
+inline constexpr std::size_t kMaxWireBytes = 1518;
+inline constexpr std::size_t kMaxIpPayloadBytes = 1500;  ///< MTU
+
+inline constexpr sim::Duration kInterframeGap = sim::micros(9.6);
+inline constexpr sim::Duration kSlotTime = sim::micros(51.2);
+inline constexpr sim::Duration kJamTime = sim::micros(3.2);
+/// One-way propagation bound across the collision domain; two stations
+/// starting within this window of each other collide.
+inline constexpr sim::Duration kPropagationDelay = sim::micros(10.0);
+inline constexpr int kMaxBackoffExponent = 10;
+inline constexpr int kMaxTransmitAttempts = 16;
+
+[[nodiscard]] constexpr sim::Duration byte_time(std::size_t bytes) {
+  // 0.8 us per byte at 10 Mb/s.
+  return sim::Duration{static_cast<std::int64_t>(bytes) * 800};
+}
+
+struct Frame {
+  StationId src = 0;
+  StationId dst = 0;
+  net::DatagramPtr datagram;  ///< encapsulated IP packet
+
+  /// Frame size as the paper records it: headers + data + trailer,
+  /// without preamble and without minimum-size padding.
+  [[nodiscard]] std::size_t recorded_bytes() const {
+    return kHeaderBytes + datagram->total_bytes() + kTrailerBytes;
+  }
+
+  /// Bytes actually occupying the wire (padded to the 64-byte minimum).
+  [[nodiscard]] std::size_t wire_bytes() const {
+    const std::size_t framed = recorded_bytes();
+    return framed < kMinWireBytes ? kMinWireBytes : framed;
+  }
+
+  /// Time to clock the frame (with preamble) onto the wire.
+  [[nodiscard]] sim::Duration transmission_time() const {
+    return byte_time(wire_bytes() + kPreambleBytes);
+  }
+};
+
+}  // namespace fxtraf::eth

@@ -1,0 +1,100 @@
+#include "ethernet/nic.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "ethernet/segment.hpp"
+#include "simcore/log.hpp"
+
+namespace fxtraf::eth {
+
+Nic::Nic(sim::Simulator& simulator, Segment& segment, StationId station)
+    : sim_(simulator),
+      segment_(segment),
+      station_(station),
+      backoff_rng_(simulator.rng().fork(0x4e1cULL + station)) {
+  segment_.attach(*this);
+}
+
+void Nic::send(Frame frame) {
+  frame.src = station_;
+  queue_.push_back(std::move(frame));
+  if (state_ == State::kIdle) start_next_frame();
+}
+
+void Nic::start_next_frame() {
+  assert(!queue_.empty());
+  state_ = State::kContending;
+  attempts_ = 0;
+  attempt_transmission();
+}
+
+void Nic::attempt_transmission() {
+  assert(!queue_.empty());
+  if (segment_.appears_busy()) {
+    if (!waiting_registered_) {
+      waiting_registered_ = true;
+      segment_.register_waiter(*this);
+    }
+    return;
+  }
+  // 1-persistent: the medium must have been idle for a full interframe gap.
+  const sim::SimTime earliest = segment_.idle_since() + kInterframeGap;
+  if (sim_.now() < earliest) {
+    sim_.schedule_at(earliest, [this] { attempt_transmission(); });
+    return;
+  }
+  state_ = State::kTransmitting;
+  segment_.begin_transmission(*this, queue_.front());
+}
+
+void Nic::deliver(const Frame& frame) {
+  ++stats_.frames_received;
+  if (receive_handler_) receive_handler_(frame);
+}
+
+void Nic::on_medium_idle() {
+  waiting_registered_ = false;
+  if (state_ == State::kContending || state_ == State::kBackoff) {
+    attempt_transmission();
+  }
+}
+
+void Nic::on_collision() {
+  ++stats_.collisions;
+  ++attempts_;
+  if (attempts_ >= kMaxTransmitAttempts) {
+    // Excessive collisions: real adaptors give up; the transport layer's
+    // retransmission recovers the data.
+    ++stats_.excessive_collision_drops;
+    sim::Logger::log(sim::LogLevel::kWarn, sim_.now(), "eth",
+                     "station %u dropped frame after %d attempts", station_,
+                     attempts_);
+    queue_.pop_front();
+    if (!queue_.empty()) {
+      start_next_frame();
+    } else {
+      state_ = State::kIdle;
+    }
+    return;
+  }
+  state_ = State::kBackoff;
+  const int exponent = std::min(attempts_, kMaxBackoffExponent);
+  const std::uint64_t slots =
+      backoff_rng_.next_below(std::uint64_t{1} << exponent);
+  sim_.schedule_in(kSlotTime * static_cast<std::int64_t>(slots),
+                   [this] { attempt_transmission(); });
+}
+
+void Nic::on_transmit_complete() {
+  assert(state_ == State::kTransmitting);
+  ++stats_.frames_sent;
+  queue_.pop_front();
+  if (!queue_.empty()) {
+    start_next_frame();
+  } else {
+    state_ = State::kIdle;
+  }
+}
+
+}  // namespace fxtraf::eth

@@ -1,0 +1,71 @@
+// Network interface with transmit queue and CSMA/CD MAC state machine.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+
+#include "ethernet/frame.hpp"
+#include "net/link.hpp"
+#include "simcore/rng.hpp"
+#include "simcore/simulator.hpp"
+
+namespace fxtraf::eth {
+
+class Segment;
+
+struct NicStats {
+  std::uint64_t frames_sent = 0;
+  std::uint64_t frames_received = 0;
+  std::uint64_t collisions = 0;
+  std::uint64_t excessive_collision_drops = 0;
+};
+
+class Nic final : public net::LinkLayer {
+ public:
+  using ReceiveHandler = net::LinkLayer::ReceiveHandler;
+
+  Nic(sim::Simulator& simulator, Segment& segment, StationId station);
+
+  Nic(const Nic&) = delete;
+  Nic& operator=(const Nic&) = delete;
+
+  [[nodiscard]] StationId station() const { return station_; }
+  [[nodiscard]] net::HostId address() const override { return station_; }
+
+  /// Installs the upper-layer (IP stack) delivery callback.
+  void set_receive_handler(ReceiveHandler handler) override {
+    receive_handler_ = std::move(handler);
+  }
+
+  /// Enqueues a frame for transmission; the MAC drains the queue FIFO.
+  void send(Frame frame) override;
+
+  [[nodiscard]] std::size_t queue_depth() const { return queue_.size(); }
+  [[nodiscard]] const NicStats& stats() const { return stats_; }
+
+  // --- Segment-facing interface -------------------------------------
+  void deliver(const Frame& frame);  ///< successful frame addressed to us
+  void on_medium_idle();             ///< deferred transmission may resume
+  void on_collision();               ///< our transmission collided
+  void on_transmit_complete();       ///< our transmission succeeded
+
+ private:
+  enum class State { kIdle, kContending, kBackoff, kTransmitting };
+
+  void attempt_transmission();
+  void start_next_frame();
+
+  sim::Simulator& sim_;
+  Segment& segment_;
+  StationId station_;
+  sim::Rng backoff_rng_;
+  ReceiveHandler receive_handler_;
+  std::deque<Frame> queue_;
+  State state_ = State::kIdle;
+  int attempts_ = 0;
+  bool waiting_registered_ = false;
+  NicStats stats_;
+};
+
+}  // namespace fxtraf::eth

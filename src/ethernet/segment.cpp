@@ -1,0 +1,96 @@
+#include "ethernet/segment.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "ethernet/nic.hpp"
+#include "simcore/log.hpp"
+
+namespace fxtraf::eth {
+
+void Segment::attach(Nic& nic) { nics_.push_back(&nic); }
+
+bool Segment::appears_busy() const {
+  const sim::SimTime now = sim_.now();
+  if (now < idle_since_) return true;  // jam aftermath still on the wire
+  for (const ActiveTx& tx : active_) {
+    if (now >= tx.start + kPropagationDelay) return true;
+  }
+  return false;
+}
+
+void Segment::begin_transmission(Nic& nic, Frame frame) {
+  const sim::SimTime now = sim_.now();
+  if (!active_.empty()) {
+    // The newcomer started inside some transmission's vulnerable window;
+    // everything on the wire is destroyed.
+    assert(std::all_of(active_.begin(), active_.end(), [&](const ActiveTx& t) {
+      return now < t.start + kPropagationDelay;
+    }));
+    ++stats_.collisions;
+    const sim::SimTime jam_end = now + kJamTime;
+    sim::SimTime earliest_start = now;
+    for (ActiveTx& tx : active_) {
+      earliest_start = std::min(earliest_start, tx.start);
+      sim_.cancel(tx.end_event);
+      Nic* victim = tx.nic;
+      sim_.schedule_at(jam_end, [victim] { victim->on_collision(); });
+    }
+    active_.clear();
+    stats_.busy_ns += (jam_end - earliest_start).ns();
+    Nic* newcomer = &nic;
+    sim_.schedule_at(jam_end, [newcomer] { newcomer->on_collision(); });
+    resolve_collision(jam_end);
+    return;
+  }
+
+  ActiveTx tx;
+  tx.nic = &nic;
+  tx.frame = std::move(frame);
+  tx.start = now;
+  tx.end_event = sim_.schedule_in(tx.frame.transmission_time(),
+                                  [this] { finish_transmission(); });
+  active_.push_back(std::move(tx));
+}
+
+void Segment::register_waiter(Nic& nic) { waiters_.push_back(&nic); }
+
+void Segment::finish_transmission() {
+  assert(active_.size() == 1);
+  ActiveTx tx = std::move(active_.front());
+  active_.clear();
+  const sim::SimTime end = sim_.now();
+
+  stats_.busy_ns += tx.frame.transmission_time().ns();
+  if (fault_injector_ && fault_injector_(tx.frame)) {
+    sim::Logger::log(sim::LogLevel::kDebug, end, "eth",
+                     "injected fault: dropping %u -> %u", tx.frame.src,
+                     tx.frame.dst);
+  } else {
+    ++stats_.frames_delivered;
+    stats_.bytes_delivered += tx.frame.recorded_bytes();
+    sim::Logger::log(sim::LogLevel::kTrace, end, "eth", "%u -> %u, %zu bytes",
+                     tx.frame.src, tx.frame.dst, tx.frame.recorded_bytes());
+    for (const Tap& tap : taps_) tap(end, tx.frame);
+    for (Nic* nic : nics_) {
+      if (nic->station() == tx.frame.dst) nic->deliver(tx.frame);
+    }
+  }
+  // Record idleness before letting the sender contend again, so its next
+  // attempt sees the correct interframe-gap deadline.
+  become_idle(end);
+  tx.nic->on_transmit_complete();
+}
+
+void Segment::resolve_collision(sim::SimTime jam_end) { become_idle(jam_end); }
+
+void Segment::become_idle(sim::SimTime at) {
+  idle_since_ = at;
+  std::vector<Nic*> waiters;
+  waiters.swap(waiters_);
+  for (Nic* nic : waiters) {
+    sim_.schedule_at(at, [nic] { nic->on_medium_idle(); });
+  }
+}
+
+}  // namespace fxtraf::eth

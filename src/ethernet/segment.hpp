@@ -1,0 +1,95 @@
+// Shared 10 Mb/s collision domain.
+//
+// Models 1-persistent CSMA/CD at frame granularity: carrier sense with a
+// propagation-delay visibility window, collisions with jam, and successful
+// frames delivered to the destination NIC and to promiscuous taps at
+// end-of-frame time (as tcpdump timestamps them).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "ethernet/frame.hpp"
+#include "simcore/simulator.hpp"
+
+namespace fxtraf::eth {
+
+class Nic;
+
+/// Observer of every successfully delivered frame (promiscuous capture).
+using Tap = std::function<void(sim::SimTime end_of_frame, const Frame&)>;
+
+struct SegmentStats {
+  std::uint64_t frames_delivered = 0;
+  std::uint64_t bytes_delivered = 0;  ///< recorded (unpadded) bytes
+  std::uint64_t collisions = 0;
+  std::uint64_t busy_ns = 0;  ///< cumulative wire-occupied time
+};
+
+class Segment {
+ public:
+  explicit Segment(sim::Simulator& simulator) : sim_(simulator) {}
+
+  Segment(const Segment&) = delete;
+  Segment& operator=(const Segment&) = delete;
+
+  void attach(Nic& nic);
+  void add_tap(Tap tap) { taps_.push_back(std::move(tap)); }
+
+  /// Fault injection for tests: frames for which the predicate returns
+  /// true are corrupted in flight — they occupy the wire but are not
+  /// delivered to the destination (nor to taps, as a bad FCS frame is
+  /// discarded by the capture adaptor too).
+  using FaultInjector = std::function<bool(const Frame&)>;
+  void set_fault_injector(FaultInjector injector) {
+    fault_injector_ = std::move(injector);
+  }
+
+  /// True if a transmission is already visible at the station's location
+  /// (started at least a propagation delay ago, or jam in progress).
+  [[nodiscard]] bool appears_busy() const;
+
+  /// Instant the medium last became (or will become) idle; stations must
+  /// additionally wait one interframe gap past this before transmitting.
+  [[nodiscard]] sim::SimTime idle_since() const { return idle_since_; }
+
+  /// Called by a NIC that sensed the medium idle.  May still collide with
+  /// a transmission younger than the propagation delay.
+  void begin_transmission(Nic& nic, Frame frame);
+
+  /// Registers `nic` to be woken (via Nic::on_medium_idle) when the
+  /// current activity ends.
+  void register_waiter(Nic& nic);
+
+  [[nodiscard]] const SegmentStats& stats() const { return stats_; }
+  [[nodiscard]] double utilization(sim::SimTime over) const {
+    return over.ns() > 0
+               ? static_cast<double>(stats_.busy_ns) /
+                     static_cast<double>(over.ns())
+               : 0.0;
+  }
+
+ private:
+  struct ActiveTx {
+    Nic* nic = nullptr;
+    Frame frame;
+    sim::SimTime start;
+    sim::EventId end_event;
+  };
+
+  void finish_transmission();
+  void resolve_collision(sim::SimTime jam_end);
+  void become_idle(sim::SimTime at);
+
+  sim::Simulator& sim_;
+  std::vector<Nic*> nics_;
+  std::vector<Tap> taps_;
+  FaultInjector fault_injector_;
+  std::vector<ActiveTx> active_;
+  std::vector<Nic*> waiters_;
+  sim::SimTime idle_since_ = sim::SimTime::zero();
+  SegmentStats stats_;
+};
+
+}  // namespace fxtraf::eth

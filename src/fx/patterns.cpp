@@ -1,0 +1,128 @@
+#include "fx/patterns.hpp"
+
+#include <stdexcept>
+
+#include "pvm/task.hpp"
+
+namespace fxtraf::fx {
+
+int connections_used(PatternKind pattern, int processors) {
+  const int p = processors;
+  switch (pattern) {
+    case PatternKind::kNeighbor: return 2 * (p - 1);      // chain, duplex
+    case PatternKind::kAllToAll: return p * (p - 1);
+    case PatternKind::kPartition: return (p / 2) * (p - p / 2);
+    case PatternKind::kBroadcast: return p - 1;
+    case PatternKind::kTree: return 2 * (p - 1);  // up-sweep + down-sweep
+  }
+  return 0;
+}
+
+int concurrent_connections(PatternKind pattern, int processors) {
+  const int p = processors;
+  switch (pattern) {
+    case PatternKind::kNeighbor: return 2 * (p - 1);
+    case PatternKind::kAllToAll: return p;  // shift schedule: P at a time
+    case PatternKind::kPartition: return p / 2;
+    case PatternKind::kBroadcast: return 1;
+    case PatternKind::kTree: return p / 2;  // first up-sweep step
+  }
+  return 0;
+}
+
+sim::Co<void> Collectives::send_bytes(int from, int to, std::size_t bytes,
+                                      int tag) {
+  pvm::Task& task = vm.task(from);
+  pvm::MessageBuilder builder = task.make_builder();
+  builder.pack_bytes(bytes);
+  co_await task.send(to, builder.finish(tag));
+}
+
+sim::Co<void> Collectives::neighbor_exchange(int rank, std::size_t bytes,
+                                             int tag) {
+  const int p = processors;
+  if (rank > 0) co_await send_bytes(rank, rank - 1, bytes, tag);
+  if (rank < p - 1) co_await send_bytes(rank, rank + 1, bytes, tag);
+  if (rank > 0) co_await vm.task(rank).recv(rank - 1, tag);
+  if (rank < p - 1) co_await vm.task(rank).recv(rank + 1, tag);
+}
+
+sim::Co<void> Collectives::all_to_all(int rank, std::size_t bytes, int tag) {
+  const int p = processors;
+  for (int s = 1; s < p; ++s) {
+    const int dst = (rank + s) % p;
+    const int src = (rank - s + p) % p;
+    co_await send_bytes(rank, dst, bytes, tag);
+    co_await vm.task(rank).recv(src, tag);
+  }
+}
+
+sim::Co<void> Collectives::partition(int rank, std::size_t bytes, int tag) {
+  const int p = processors;
+  const int half = p / 2;
+  if (rank < half) {
+    // Shift schedule over the receiving half to avoid hot receivers.
+    for (int s = 0; s < p - half; ++s) {
+      const int dst = half + (rank + s) % (p - half);
+      co_await send_bytes(rank, dst, bytes, tag);
+    }
+  } else {
+    for (int s = 0; s < half; ++s) {
+      const int src = (rank - half + s) % half;
+      co_await vm.task(rank).recv(src, tag);
+    }
+  }
+}
+
+sim::Co<void> Collectives::broadcast(int rank, int root, std::size_t bytes,
+                                     int tag) {
+  const int p = processors;
+  if (rank == root) {
+    for (int dst = 0; dst < p; ++dst) {
+      if (dst == root) continue;
+      co_await send_bytes(rank, dst, bytes, tag);
+    }
+  } else {
+    co_await vm.task(rank).recv(root, tag);
+  }
+}
+
+sim::Co<void> Collectives::tree_reduce(int rank, std::size_t bytes, int tag) {
+  const int p = processors;
+  if ((p & (p - 1)) != 0) {
+    throw std::invalid_argument("tree_reduce requires power-of-two P");
+  }
+  for (int stride = 1; stride < p; stride <<= 1) {
+    if (rank % (2 * stride) == stride) {
+      co_await send_bytes(rank, rank - stride, bytes, tag);
+      co_return;  // dropped out of the reduction
+    }
+    if (rank % (2 * stride) == 0 && rank + stride < p) {
+      co_await vm.task(rank).recv(rank + stride, tag);
+    }
+  }
+}
+
+sim::Co<void> Collectives::barrier(int rank, int tag) {
+  co_await tree_reduce(rank, /*bytes=*/8, tag);
+  co_await tree_broadcast(rank, /*bytes=*/8, tag);
+}
+
+sim::Co<void> Collectives::tree_broadcast(int rank, std::size_t bytes,
+                                          int tag) {
+  const int p = processors;
+  if ((p & (p - 1)) != 0) {
+    throw std::invalid_argument("tree_broadcast requires power-of-two P");
+  }
+  bool have_data = (rank == 0);
+  for (int stride = p / 2; stride >= 1; stride /= 2) {
+    if (have_data && rank + stride < p && rank % (2 * stride) == 0) {
+      co_await send_bytes(rank, rank + stride, bytes, tag);
+    } else if (!have_data && rank % (2 * stride) == stride) {
+      co_await vm.task(rank).recv(rank - stride, tag);
+      have_data = true;
+    }
+  }
+}
+
+}  // namespace fxtraf::fx

@@ -1,0 +1,88 @@
+// The global collective communication patterns of Fx programs (paper
+// Figure 1): neighbor, all-to-all, partition, broadcast, and tree (up and
+// down sweeps), plus the shift schedule used to order all-to-all sends.
+//
+// Each collective is a coroutine executed by every rank with the same tag;
+// ranks that do not participate in a step simply skip it.  Message sizes
+// are given per directed pair.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "pvm/vm.hpp"
+#include "simcore/coro.hpp"
+
+namespace fxtraf::fx {
+
+enum class PatternKind : std::uint8_t {
+  kNeighbor,
+  kAllToAll,
+  kPartition,
+  kBroadcast,
+  kTree,
+};
+
+[[nodiscard]] constexpr const char* to_string(PatternKind p) {
+  switch (p) {
+    case PatternKind::kNeighbor: return "neighbor";
+    case PatternKind::kAllToAll: return "all-to-all";
+    case PatternKind::kPartition: return "partition";
+    case PatternKind::kBroadcast: return "broadcast";
+    case PatternKind::kTree: return "tree";
+  }
+  return "?";
+}
+
+/// Number of directed connections the pattern exercises with P processors
+/// (paper section 7.1: all-to-all P(P-1), neighbor at most 2P, equal
+/// partition P^2/4, broadcast P-1, tree 2(P-1) over both sweeps).
+[[nodiscard]] int connections_used(PatternKind pattern, int processors);
+
+/// Maximum number of connections that can burst simultaneously; drives
+/// the per-connection burst bandwidth in the QoS model (section 7.3).
+[[nodiscard]] int concurrent_connections(PatternKind pattern, int processors);
+
+/// Shared context for one running Fx program.
+struct Collectives {
+  pvm::VirtualMachine& vm;
+  int processors;
+
+  /// Exchange `bytes` with rank-1 and rank+1 (non-periodic chain).
+  [[nodiscard]] sim::Co<void> neighbor_exchange(int rank, std::size_t bytes,
+                                                int tag);
+
+  /// Every rank sends `bytes` to every other rank, shift schedule:
+  /// step s sends to (rank+s) mod P and receives from (rank-s) mod P.
+  [[nodiscard]] sim::Co<void> all_to_all(int rank, std::size_t bytes,
+                                         int tag);
+
+  /// Ranks [0, P/2) each send `bytes` to every rank in [P/2, P).
+  [[nodiscard]] sim::Co<void> partition(int rank, std::size_t bytes, int tag);
+
+  /// `root` sends `bytes` to every other rank.
+  [[nodiscard]] sim::Co<void> broadcast(int rank, int root, std::size_t bytes,
+                                        int tag);
+
+  /// Reduction up-sweep: at step i, ranks that are odd multiples of 2^i
+  /// send their `bytes` to the even multiple below and drop out.
+  [[nodiscard]] sim::Co<void> tree_reduce(int rank, std::size_t bytes,
+                                          int tag);
+
+  /// Broadcast down-sweep (reverse of the up-sweep).
+  [[nodiscard]] sim::Co<void> tree_broadcast(int rank, std::size_t bytes,
+                                             int tag);
+
+  /// Message-based barrier: tree up-sweep of empty messages followed by
+  /// the down-sweep.  Models the explicit barrier some communication
+  /// systems enforce before each communication phase (paper section 6.1,
+  /// citing Osborne and Stricker) — global synchronization by message
+  /// exchange, visible on the wire as 2(P-1) minimum-size messages.
+  [[nodiscard]] sim::Co<void> barrier(int rank, int tag);
+
+ private:
+  [[nodiscard]] sim::Co<void> send_bytes(int from, int to, std::size_t bytes,
+                                         int tag);
+};
+
+}  // namespace fxtraf::fx

@@ -1,0 +1,50 @@
+#include "fx/runtime.hpp"
+
+#include <stdexcept>
+
+namespace fxtraf::fx {
+
+namespace {
+
+/// Wraps a rank body so the context learns when the rank finished.
+/// Takes the body by value: the coroutine outlives the FxProgram object.
+sim::Co<void> tracked_body(
+    FxContext& ctx, int rank,
+    std::function<sim::Co<void>(FxContext&, int)> body) {
+  co_await body(ctx, rank);
+  ctx.note_finish(ctx.simulator().now());
+}
+
+}  // namespace
+
+RunningProgram launch(pvm::VirtualMachine& vm, const FxProgram& program) {
+  if (program.processors > vm.ntasks()) {
+    throw std::invalid_argument("launch: program needs more processors than "
+                                "the virtual machine has hosts");
+  }
+  auto context =
+      std::make_unique<FxContext>(vm, program.processors);
+  std::vector<sim::Process> processes;
+  processes.reserve(static_cast<std::size_t>(program.processors));
+  FxContext* ctx = context.get();
+  for (int rank = 0; rank < program.processors; ++rank) {
+    processes.push_back(
+        sim::spawn(tracked_body(*ctx, rank, program.rank_body)));
+  }
+  return RunningProgram{std::move(context), std::move(processes)};
+}
+
+sim::SimTime run_program(pvm::VirtualMachine& vm, const FxProgram& program) {
+  RunningProgram running = launch(vm, program);
+  vm.simulator().run();
+  running.rethrow_failures();
+  if (!running.all_done()) {
+    throw std::runtime_error("run_program: deadlock — event queue drained "
+                             "with unfinished ranks in " + program.name);
+  }
+  // Completion of the *program*, not of unrelated traffic (e.g. a
+  // cross-traffic backlog) still draining from the network.
+  return running.context().last_finish();
+}
+
+}  // namespace fxtraf::fx

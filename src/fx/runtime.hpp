@@ -1,0 +1,105 @@
+// The Fx SPMD runtime: launches one coroutine per processor, provides
+// compute phases, tag management, collectives, and an optional explicit
+// barrier, and verifies completion (deadlock detection) after the run.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "fx/patterns.hpp"
+#include "host/workstation.hpp"
+#include "pvm/vm.hpp"
+#include "simcore/coro.hpp"
+
+namespace fxtraf::fx {
+
+/// Per-program shared state handed to every rank's body.
+class FxContext {
+ public:
+  FxContext(pvm::VirtualMachine& vm, int processors)
+      : vm_(vm),
+        collectives_{vm, processors},
+        processors_(processors),
+        tags_(static_cast<std::size_t>(processors), 1) {}
+
+  [[nodiscard]] pvm::VirtualMachine& vm() { return vm_; }
+  [[nodiscard]] Collectives& collectives() { return collectives_; }
+  [[nodiscard]] int processors() const { return processors_; }
+  [[nodiscard]] sim::Simulator& simulator() { return vm_.simulator(); }
+  [[nodiscard]] host::Workstation& workstation(int rank) {
+    return vm_.workstation(rank);
+  }
+
+  /// Next collective tag for `rank`.  SPMD bodies call collectives in the
+  /// same order on every rank, so per-rank counters stay aligned.
+  [[nodiscard]] int next_tag(int rank) {
+    return tags_[static_cast<std::size_t>(rank)]++;
+  }
+
+  /// Records a rank's completion instant (called by the launch wrapper).
+  void note_finish(sim::SimTime at) {
+    if (at > last_finish_) last_finish_ = at;
+  }
+  /// Instant the last rank finished — the program's runtime, independent
+  /// of unrelated traffic still draining from the network afterwards.
+  [[nodiscard]] sim::SimTime last_finish() const { return last_finish_; }
+
+  /// Local computation phase on `rank`'s workstation (deschedulable).
+  [[nodiscard]] sim::Co<void> compute(int rank, double flops) {
+    return workstation(rank).compute(flops);
+  }
+
+ private:
+  pvm::VirtualMachine& vm_;
+  Collectives collectives_;
+  int processors_;
+  std::vector<int> tags_;
+  sim::SimTime last_finish_ = sim::SimTime::zero();
+};
+
+/// An Fx-compiled program: a name plus the per-rank SPMD body.
+struct FxProgram {
+  std::string name;
+  int processors = 4;
+  std::function<sim::Co<void>(FxContext&, int rank)> rank_body;
+};
+
+/// A launched program: keeps the context and process handles alive.
+class RunningProgram {
+ public:
+  RunningProgram(std::unique_ptr<FxContext> context,
+                 std::vector<sim::Process> processes)
+      : context_(std::move(context)), processes_(std::move(processes)) {}
+
+  [[nodiscard]] bool all_done() const {
+    for (const sim::Process& p : processes_) {
+      if (!p.done()) return false;
+    }
+    return true;
+  }
+
+  /// Throws the first failure raised inside any rank, if any.
+  void rethrow_failures() const {
+    for (const sim::Process& p : processes_) p.rethrow_if_failed();
+  }
+
+  [[nodiscard]] FxContext& context() { return *context_; }
+
+ private:
+  std::unique_ptr<FxContext> context_;
+  std::vector<sim::Process> processes_;
+};
+
+/// Spawns every rank of `program` on the virtual machine's workstations.
+/// The VM must already be started.
+[[nodiscard]] RunningProgram launch(pvm::VirtualMachine& vm,
+                                    const FxProgram& program);
+
+/// Convenience: launch, run the simulator to quiescence, and verify every
+/// rank completed (throws std::runtime_error on deadlock, rethrows rank
+/// exceptions).  Returns the finishing simulation time.
+sim::SimTime run_program(pvm::VirtualMachine& vm, const FxProgram& program);
+
+}  // namespace fxtraf::fx

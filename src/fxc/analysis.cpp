@@ -1,0 +1,225 @@
+#include "fxc/analysis.hpp"
+
+#include <cstdlib>
+#include <stdexcept>
+
+namespace fxtraf::fxc {
+
+const char* to_string(CommShape shape) {
+  switch (shape) {
+    case CommShape::kNone: return "none";
+    case CommShape::kNeighbor: return "neighbor";
+    case CommShape::kAllToAll: return "all-to-all";
+    case CommShape::kPartition: return "partition";
+    case CommShape::kBroadcast: return "broadcast";
+    case CommShape::kTree: return "tree";
+    case CommShape::kGeneral: return "general";
+  }
+  return "?";
+}
+
+CommShape classify(const CommMatrix& m) {
+  const int p = m.processors();
+  bool any = false;
+  bool only_adjacent = true;
+  bool single_source = true;
+  int source = -1;
+  std::vector<bool> sends(static_cast<std::size_t>(p), false);
+  std::vector<bool> receives(static_cast<std::size_t>(p), false);
+  int pairs = 0;
+
+  for (int s = 0; s < p; ++s) {
+    for (int d = 0; d < p; ++d) {
+      if (m.at(s, d) == 0) continue;
+      any = true;
+      ++pairs;
+      sends[static_cast<std::size_t>(s)] = true;
+      receives[static_cast<std::size_t>(d)] = true;
+      if (std::abs(s - d) != 1) only_adjacent = false;
+      if (source == -1) {
+        source = s;
+      } else if (source != s) {
+        single_source = false;
+      }
+    }
+  }
+  if (!any) return CommShape::kNone;
+
+  // All-to-all across the set of participating ranks.
+  int participants = 0;
+  for (int r = 0; r < p; ++r) {
+    participants += (sends[static_cast<std::size_t>(r)] ||
+                     receives[static_cast<std::size_t>(r)]);
+  }
+  if (pairs == participants * (participants - 1)) {
+    bool complete = true;
+    for (int s = 0; s < p && complete; ++s) {
+      for (int d = 0; d < p && complete; ++d) {
+        const bool in =
+            (sends[static_cast<std::size_t>(s)] ||
+             receives[static_cast<std::size_t>(s)]) &&
+            (sends[static_cast<std::size_t>(d)] ||
+             receives[static_cast<std::size_t>(d)]);
+        if (in && s != d && m.at(s, d) == 0) complete = false;
+      }
+    }
+    if (complete) return CommShape::kAllToAll;
+  }
+
+  if (single_source) return CommShape::kBroadcast;
+  if (only_adjacent) return CommShape::kNeighbor;
+
+  // Partition: senders and receivers are disjoint rank sets.
+  bool disjoint = true;
+  for (int r = 0; r < p; ++r) {
+    if (sends[static_cast<std::size_t>(r)] &&
+        receives[static_cast<std::size_t>(r)]) {
+      disjoint = false;
+      break;
+    }
+  }
+  if (disjoint) return CommShape::kPartition;
+  return CommShape::kGeneral;
+}
+
+CommMatrix stencil_communication(const ArrayDecl& array,
+                                 std::span<const int> max_offsets,
+                                 int total_processors) {
+  array.validate();
+  if (max_offsets.size() != array.rank()) {
+    throw std::invalid_argument("stencil: offset rank mismatch");
+  }
+  CommMatrix matrix(total_processors);
+  const int bdim = array.distribution.block_dim();
+  if (bdim < 0) return matrix;  // replicated: no exchange needed
+
+  const int halo = max_offsets[static_cast<std::size_t>(bdim)];
+  if (halo == 0) return matrix;
+  const int nprocs = static_cast<int>(array.processors.length());
+  const std::size_t block =
+      block_owned(array.extents[static_cast<std::size_t>(bdim)], 0, nprocs)
+          .length();
+  if (static_cast<std::size_t>(halo) >= block) {
+    throw std::invalid_argument(
+        "stencil: halo exceeds the block size; Fx shift communication "
+        "requires offsets within one block");
+  }
+
+  // Plane size: everything except the distributed dimension.
+  std::size_t plane = elem_bytes(array.type);
+  for (std::size_t d = 0; d < array.rank(); ++d) {
+    if (static_cast<int>(d) != bdim) plane *= array.extents[d];
+  }
+  const std::size_t halo_bytes = static_cast<std::size_t>(halo) * plane;
+
+  const int lo = static_cast<int>(array.processors.lo);
+  for (int local = 0; local < nprocs; ++local) {
+    const int rank = lo + local;
+    if (local > 0) matrix.at(rank, rank - 1) = halo_bytes;
+    if (local < nprocs - 1) matrix.at(rank, rank + 1) = halo_bytes;
+  }
+  return matrix;
+}
+
+namespace {
+
+/// Ownership interval of `rank` in dimension `d` under a distribution.
+Interval owned_in_dim(const ArrayDecl& array, const Distribution& dist,
+                      Interval procs, int rank, std::size_t d) {
+  if (static_cast<std::size_t>(rank) < procs.lo ||
+      static_cast<std::size_t>(rank) >= procs.hi) {
+    return Interval{};
+  }
+  const int bdim = dist.block_dim();
+  if (static_cast<int>(d) != bdim) return Interval{0, array.extents[d]};
+  return block_owned(array.extents[d], rank - static_cast<int>(procs.lo),
+                     static_cast<int>(procs.length()));
+}
+
+}  // namespace
+
+CommMatrix redistribution_communication(const ArrayDecl& array,
+                                        const Distribution& to,
+                                        Interval to_processors,
+                                        int total_processors) {
+  array.validate();
+  if (to.dims.size() != array.rank()) {
+    throw std::invalid_argument("redistribute: distribution rank mismatch");
+  }
+  if (to_processors.length() == 0) {
+    throw std::invalid_argument("redistribute: empty target processors");
+  }
+  CommMatrix matrix(total_processors);
+  for (int src = 0; src < total_processors; ++src) {
+    for (int dst = 0; dst < total_processors; ++dst) {
+      if (src == dst) continue;  // local movement stays off the wire
+      std::size_t elements = 1;
+      for (std::size_t d = 0; d < array.rank() && elements > 0; ++d) {
+        const Interval have = owned_in_dim(array, array.distribution,
+                                           array.processors, src, d);
+        const Interval need =
+            owned_in_dim(array, to, to_processors, dst, d);
+        elements *= intersect(have, need).length();
+      }
+      matrix.at(src, dst) = elements * elem_bytes(array.type);
+    }
+  }
+  return matrix;
+}
+
+PhaseAnalysis analyze(const SourceProgram& program,
+                      const Statement& statement) {
+  program.validate();
+  PhaseAnalysis result(program.processors);
+
+  if (const auto* stencil = std::get_if<StencilAssign>(&statement)) {
+    const ArrayDecl& decl = program.array(stencil->array);
+    result.matrix = stencil_communication(decl, stencil->max_offsets,
+                                          program.processors);
+    // Work: every rank updates the points it owns.
+    result.flops_per_processor =
+        stencil->flops_per_point *
+        static_cast<double>(decl.owned_elements(
+            static_cast<int>(decl.processors.lo)));
+  } else if (const auto* redist = std::get_if<Redistribute>(&statement)) {
+    const ArrayDecl& decl = program.array(redist->array);
+    result.matrix = redistribution_communication(
+        decl, redist->to, redist->to_processors, program.processors);
+  } else if (const auto* read = std::get_if<SequentialRead>(&statement)) {
+    const ArrayDecl& decl = program.array(read->array);
+    // Every element goes from rank 0 to each other holder of the array.
+    for (std::size_t q = decl.processors.lo; q < decl.processors.hi; ++q) {
+      if (q == 0) continue;
+      result.matrix.at(0, static_cast<int>(q)) =
+          decl.total_elements() * read->element_message_bytes;
+    }
+  } else if (const auto* reduce = std::get_if<Reduction>(&statement)) {
+    // Tree edges: odd multiples of 2^i send to the even multiple below.
+    const int p = program.processors;
+    for (int stride = 1; stride < p; stride <<= 1) {
+      for (int r = 0; r < p; ++r) {
+        if (r % (2 * stride) == stride) {
+          result.matrix.at(r, r - stride) = reduce->vector_bytes;
+        }
+      }
+    }
+    result.flops_per_processor = reduce->flops;
+  } else if (const auto* bcast = std::get_if<BroadcastStmt>(&statement)) {
+    for (int q = 0; q < program.processors; ++q) {
+      if (q != bcast->root) result.matrix.at(bcast->root, q) = bcast->bytes;
+    }
+  } else if (const auto* work = std::get_if<LocalWork>(&statement)) {
+    result.flops_per_processor = work->flops;
+  }
+
+  result.shape = classify(result.matrix);
+  // The reduction's matrix flattens log P steps into one; name it by its
+  // structure rather than the flattened footprint.
+  if (std::holds_alternative<Reduction>(statement) &&
+      result.shape != CommShape::kNone) {
+    result.shape = CommShape::kTree;
+  }
+  return result;
+}
+
+}  // namespace fxtraf::fxc

@@ -1,0 +1,95 @@
+// Communication generation: the compiler pass that turns distributed
+// array statements into per-processor-pair byte counts, and the
+// classifier that names the resulting Figure-1 pattern.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "fx/patterns.hpp"
+#include "fxc/ir.hpp"
+#include "fxc/types.hpp"
+
+namespace fxtraf::fxc {
+
+/// Dense P x P matrix of bytes each source rank ships to each
+/// destination rank for one communication phase.
+class CommMatrix {
+ public:
+  explicit CommMatrix(int processors)
+      : processors_(processors),
+        bytes_(static_cast<std::size_t>(processors) *
+               static_cast<std::size_t>(processors)) {}
+
+  [[nodiscard]] int processors() const { return processors_; }
+  [[nodiscard]] std::size_t& at(int src, int dst) {
+    return bytes_[static_cast<std::size_t>(src) *
+                      static_cast<std::size_t>(processors_) +
+                  static_cast<std::size_t>(dst)];
+  }
+  [[nodiscard]] std::size_t at(int src, int dst) const {
+    return bytes_[static_cast<std::size_t>(src) *
+                      static_cast<std::size_t>(processors_) +
+                  static_cast<std::size_t>(dst)];
+  }
+  [[nodiscard]] std::size_t total_bytes() const {
+    std::size_t sum = 0;
+    for (std::size_t b : bytes_) sum += b;
+    return sum;
+  }
+  [[nodiscard]] int nonzero_pairs() const {
+    int n = 0;
+    for (std::size_t b : bytes_) n += (b > 0);
+    return n;
+  }
+
+ private:
+  int processors_;
+  std::vector<std::size_t> bytes_;
+};
+
+/// What a communication phase looks like on the wire (Figure 1 naming,
+/// plus the degenerate and irregular cases).
+enum class CommShape {
+  kNone,       ///< fully local
+  kNeighbor,
+  kAllToAll,
+  kPartition,  ///< disjoint sender and receiver sets
+  kBroadcast,  ///< single source to everyone else
+  kTree,       ///< log P reduction sweep (multi-step; set structurally)
+  kGeneral,    ///< many-to-many without a recognized structure
+};
+
+[[nodiscard]] const char* to_string(CommShape shape);
+
+/// Names the pattern a communication matrix realizes.
+[[nodiscard]] CommShape classify(const CommMatrix& matrix);
+
+/// Boundary exchange a stencil assignment needs: `max_offsets[d]` planes
+/// of the distributed dimension from each neighbor.  Offsets along
+/// collapsed dimensions are free.  Requires the halo to fit inside one
+/// block (offset < block size), as Fx's shift communication does.
+[[nodiscard]] CommMatrix stencil_communication(
+    const ArrayDecl& array, std::span<const int> max_offsets,
+    int total_processors);
+
+/// Redistribution traffic: for every (src, dst) rank pair, the exact
+/// intersection of src's old ownership with dst's new ownership.
+[[nodiscard]] CommMatrix redistribution_communication(
+    const ArrayDecl& array, const Distribution& to, Interval to_processors,
+    int total_processors);
+
+/// Full static analysis of one statement.
+struct PhaseAnalysis {
+  CommShape shape = CommShape::kNone;
+  CommMatrix matrix;
+  double flops_per_processor = 0.0;
+
+  explicit PhaseAnalysis(int processors) : matrix(processors) {}
+};
+
+[[nodiscard]] PhaseAnalysis analyze(const SourceProgram& program,
+                                    const Statement& statement);
+
+}  // namespace fxtraf::fxc

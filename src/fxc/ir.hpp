@@ -1,0 +1,97 @@
+// Statement-level IR for the Fx compiler front end: the HPF-dialect
+// constructs whose compilation produces the paper's traffic.
+#pragma once
+
+#include <map>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "fxc/types.hpp"
+#include "simcore/time.hpp"
+
+namespace fxtraf::fxc {
+
+/// FORALL-style array assignment whose right-hand side reads the array
+/// at constant offsets (a stencil).  Fx generates boundary exchange for
+/// offsets along the distributed dimension.
+struct StencilAssign {
+  std::string array;
+  /// Maximum |offset| referenced per dimension, e.g. {1, 1} for a
+  /// five-point stencil.
+  std::vector<int> max_offsets;
+  double flops_per_point = 5.0;
+};
+
+/// Redistribution of an array to a new distribution and/or processor
+/// range (HPF REDISTRIBUTE; also the implicit transpose between phases).
+struct Redistribute {
+  std::string array;
+  Distribution to;
+  Interval to_processors;
+};
+
+/// Element-wise initialization of a distributed array from sequential
+/// I/O on processor 0 (paper's SEQ): each element travels as a tiny
+/// message to every owner; rows are paced by disk reads.
+struct SequentialRead {
+  std::string array;
+  std::size_t element_message_bytes = 4;
+  sim::Duration io_time_per_row = sim::millis(240);
+};
+
+/// Reduction of per-processor vectors to processor 0 over the tree
+/// pattern, preceded by local work (paper's HIST).
+struct Reduction {
+  std::size_t vector_bytes = 2048;
+  double flops = 5.0e6;
+};
+
+/// Broadcast of a buffer from `root` to all other processors.
+struct BroadcastStmt {
+  std::size_t bytes = 2048;
+  int root = 0;
+};
+
+/// Pure local computation (no traffic).
+struct LocalWork {
+  double flops = 0.0;
+};
+
+using Statement = std::variant<StencilAssign, Redistribute, SequentialRead,
+                               Reduction, BroadcastStmt, LocalWork>;
+
+/// A whole Fx source program: declarations plus an iterated body.
+struct SourceProgram {
+  std::string name;
+  int processors = 4;
+  std::map<std::string, ArrayDecl> arrays;
+  int iterations = 1;
+  std::vector<Statement> body;
+
+  ArrayDecl& array(const std::string& id) {
+    auto it = arrays.find(id);
+    if (it == arrays.end()) {
+      throw std::invalid_argument("SourceProgram: unknown array " + id);
+    }
+    return it->second;
+  }
+  [[nodiscard]] const ArrayDecl& array(const std::string& id) const {
+    return const_cast<SourceProgram*>(this)->array(id);
+  }
+
+  void validate() const {
+    if (processors < 1) {
+      throw std::invalid_argument("SourceProgram: processors < 1");
+    }
+    for (const auto& [id, decl] : arrays) {
+      decl.validate();
+      if (decl.processors.hi > static_cast<std::size_t>(processors)) {
+        throw std::invalid_argument("SourceProgram: array " + id +
+                                    " placed outside processor range");
+      }
+    }
+  }
+};
+
+}  // namespace fxtraf::fxc

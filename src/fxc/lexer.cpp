@@ -1,0 +1,141 @@
+#include "fxc/lexer.hpp"
+
+#include <cctype>
+#include <cstdlib>
+#include <stdexcept>
+
+namespace fxtraf::fxc {
+
+namespace {
+
+[[noreturn]] void fail(int line, int column, const std::string& message) {
+  throw std::runtime_error("fx source:" + std::to_string(line) + ":" +
+                           std::to_string(column) + ": " + message);
+}
+
+double unit_scale(std::string_view suffix, int line, int column) {
+  if (suffix.empty()) return 1.0;
+  if (suffix == "ms") return 1e-3;
+  if (suffix == "us") return 1e-6;
+  if (suffix == "s") return 1.0;
+  if (suffix == "k" || suffix == "kb") return 1e3;
+  if (suffix == "m" || suffix == "mb") return 1e6;
+  if (suffix == "g" || suffix == "gb") return 1e9;
+  fail(line, column, "unknown unit suffix '" + std::string(suffix) + "'");
+}
+
+}  // namespace
+
+std::vector<Token> lex(std::string_view source) {
+  std::vector<Token> tokens;
+  int line = 1;
+  int column = 1;
+  std::size_t i = 0;
+
+  auto advance = [&](std::size_t n = 1) {
+    for (std::size_t k = 0; k < n; ++k) {
+      if (i < source.size() && source[i] == '\n') {
+        ++line;
+        column = 1;
+      } else {
+        ++column;
+      }
+      ++i;
+    }
+  };
+
+  while (i < source.size()) {
+    const char c = source[i];
+    if (c == '!' || c == '#') {
+      while (i < source.size() && source[i] != '\n') advance();
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      advance();
+      continue;
+    }
+
+    Token token;
+    token.line = line;
+    token.column = column;
+
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      std::string word;
+      while (i < source.size() &&
+             (std::isalnum(static_cast<unsigned char>(source[i])) ||
+              source[i] == '_')) {
+        word.push_back(static_cast<char>(
+            std::tolower(static_cast<unsigned char>(source[i]))));
+        advance();
+      }
+      token.kind = TokenKind::kIdentifier;
+      token.text = std::move(word);
+    } else if (std::isdigit(static_cast<unsigned char>(c)) ||
+               (c == '.' && i + 1 < source.size() &&
+                std::isdigit(static_cast<unsigned char>(source[i + 1])))) {
+      std::string digits;
+      bool seen_exponent = false;
+      while (i < source.size()) {
+        const char d = source[i];
+        if (std::isdigit(static_cast<unsigned char>(d)) || d == '.') {
+          if (d == '.' && i + 1 < source.size() && source[i + 1] == '.') {
+            break;  // '..' range operator, not a decimal point
+          }
+          digits.push_back(d);
+          advance();
+        } else if ((d == 'e' || d == 'E') && !seen_exponent &&
+                   i + 1 < source.size() &&
+                   (std::isdigit(static_cast<unsigned char>(source[i + 1])) ||
+                    source[i + 1] == '+' || source[i + 1] == '-')) {
+          seen_exponent = true;
+          digits.push_back(d);
+          advance();
+          if (source[i] == '+' || source[i] == '-') {
+            digits.push_back(source[i]);
+            advance();
+          }
+        } else {
+          break;
+        }
+      }
+      std::string suffix;
+      while (i < source.size() &&
+             std::isalpha(static_cast<unsigned char>(source[i]))) {
+        suffix.push_back(static_cast<char>(
+            std::tolower(static_cast<unsigned char>(source[i]))));
+        advance();
+      }
+      token.kind = TokenKind::kNumber;
+      token.text = digits + suffix;
+      token.number = std::strtod(digits.c_str(), nullptr) *
+                     unit_scale(suffix, token.line, token.column);
+    } else if (c == '(') {
+      token.kind = TokenKind::kLParen;
+      advance();
+    } else if (c == ')') {
+      token.kind = TokenKind::kRParen;
+      advance();
+    } else if (c == ',') {
+      token.kind = TokenKind::kComma;
+      advance();
+    } else if (c == '*') {
+      token.kind = TokenKind::kStar;
+      advance();
+    } else if (c == '.' && i + 1 < source.size() && source[i + 1] == '.') {
+      token.kind = TokenKind::kDotDot;
+      advance(2);
+    } else {
+      fail(line, column, std::string("unexpected character '") + c + "'");
+    }
+    tokens.push_back(std::move(token));
+  }
+
+  Token end;
+  end.kind = TokenKind::kEnd;
+  end.line = line;
+  end.column = column;
+  tokens.push_back(end);
+  return tokens;
+}
+
+}  // namespace fxtraf::fxc

@@ -1,0 +1,36 @@
+// Lexer for the Fx source dialect (see parser.hpp for the grammar).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace fxtraf::fxc {
+
+enum class TokenKind {
+  kIdentifier,  ///< keywords and names (case-insensitive keywords)
+  kNumber,      ///< integer or floating literal, optional unit suffix
+  kLParen,
+  kRParen,
+  kComma,
+  kStar,        ///< '*' — the collapsed-distribution marker
+  kDotDot,      ///< '..' in processor ranges
+  kEnd,         ///< end of input
+};
+
+struct Token {
+  TokenKind kind = TokenKind::kEnd;
+  std::string text;    ///< identifier (lowercased) or literal spelling
+  double number = 0.0;  ///< value for kNumber (unit already applied)
+  int line = 0;
+  int column = 0;
+};
+
+/// Scans source text into tokens.  Comments run from '!' or '#' to end of
+/// line.  Number literals accept an optional unit suffix: ms, s, us
+/// (durations, converted to seconds), k/m/g (scale 1e3/1e6/1e9).
+/// Throws std::runtime_error with line/column on bad input.
+[[nodiscard]] std::vector<Token> lex(std::string_view source);
+
+}  // namespace fxtraf::fxc

@@ -1,0 +1,150 @@
+#include "fxc/lower.hpp"
+
+#include <memory>
+
+#include "pvm/task.hpp"
+
+namespace fxtraf::fxc {
+
+namespace {
+
+/// Everything the generated SPMD body needs, shared by all ranks.
+struct Plan {
+  int iterations = 1;
+  std::vector<Statement> statements;
+  std::vector<PhaseAnalysis> analyses;
+};
+
+/// Generic exchange driven by a communication matrix, on the shift
+/// schedule Fx uses for its synchronous collectives.
+sim::Co<void> matrix_exchange(fx::FxContext& ctx, int rank,
+                              const CommMatrix& matrix, int tag) {
+  const int p = matrix.processors();
+  pvm::Task& task = ctx.vm().task(rank);
+  for (int s = 1; s < p; ++s) {
+    const int dst = (rank + s) % p;
+    const int src = (rank - s + p) % p;
+    if (matrix.at(rank, dst) > 0) {
+      pvm::MessageBuilder builder = task.make_builder();
+      builder.pack_bytes(matrix.at(rank, dst));
+      co_await task.send(dst, builder.finish(tag));
+    }
+    if (matrix.at(src, rank) > 0) {
+      co_await task.recv(src, tag);
+    }
+  }
+}
+
+sim::Co<void> sequential_read(fx::FxContext& ctx, int rank,
+                              const SourceProgram& source,
+                              const SequentialRead& read, int tag) {
+  const ArrayDecl& decl = source.array(read.array);
+  const std::size_t rows = decl.extents.front();
+  const std::size_t per_row = decl.total_elements() / rows;
+  pvm::Task& task = ctx.vm().task(rank);
+
+  if (rank == 0) {
+    for (std::size_t row = 0; row < rows; ++row) {
+      co_await ctx.workstation(rank).busy(read.io_time_per_row);
+      for (std::size_t e = 0; e < per_row; ++e) {
+        for (std::size_t q = decl.processors.lo; q < decl.processors.hi;
+             ++q) {
+          if (q == 0) continue;
+          pvm::MessageBuilder builder = task.make_builder();
+          builder.pack_bytes(read.element_message_bytes);
+          co_await task.send(static_cast<int>(q), builder.finish(tag));
+        }
+      }
+    }
+  } else if (static_cast<std::size_t>(rank) >= decl.processors.lo &&
+             static_cast<std::size_t>(rank) < decl.processors.hi) {
+    for (std::size_t e = 0; e < rows * per_row; ++e) {
+      co_await task.recv(0, tag);
+    }
+  }
+}
+
+sim::Co<void> run_statement(fx::FxContext& ctx, int rank,
+                            const SourceProgram& source,
+                            const Statement& statement,
+                            const PhaseAnalysis& analysis) {
+  const int tag = ctx.next_tag(rank);
+  if (std::holds_alternative<StencilAssign>(statement)) {
+    co_await matrix_exchange(ctx, rank, analysis.matrix, tag);
+    if (analysis.flops_per_processor > 0) {
+      co_await ctx.compute(rank, analysis.flops_per_processor);
+    }
+  } else if (std::holds_alternative<Redistribute>(statement)) {
+    co_await matrix_exchange(ctx, rank, analysis.matrix, tag);
+  } else if (const auto* read = std::get_if<SequentialRead>(&statement)) {
+    co_await sequential_read(ctx, rank, source, *read, tag);
+  } else if (const auto* reduce = std::get_if<Reduction>(&statement)) {
+    if (reduce->flops > 0) co_await ctx.compute(rank, reduce->flops);
+    co_await ctx.collectives().tree_reduce(rank, reduce->vector_bytes, tag);
+  } else if (const auto* bcast = std::get_if<BroadcastStmt>(&statement)) {
+    co_await ctx.collectives().broadcast(rank, bcast->root, bcast->bytes,
+                                         tag);
+  } else if (const auto* work = std::get_if<LocalWork>(&statement)) {
+    if (work->flops > 0) co_await ctx.compute(rank, work->flops);
+  }
+}
+
+sim::Co<void> rank_body(fx::FxContext& ctx, int rank,
+                        std::shared_ptr<const SourceProgram> source,
+                        std::shared_ptr<const Plan> plan) {
+  for (int iter = 0; iter < plan->iterations; ++iter) {
+    for (std::size_t i = 0; i < plan->statements.size(); ++i) {
+      co_await run_statement(ctx, rank, *source, plan->statements[i],
+                             plan->analyses[i]);
+    }
+  }
+}
+
+}  // namespace
+
+CompiledProgram compile(const SourceProgram& source) {
+  source.validate();
+  CompiledProgram compiled;
+  compiled.name = source.name;
+  compiled.processors = source.processors;
+  compiled.iterations = source.iterations;
+
+  auto plan = std::make_shared<Plan>();
+  plan->iterations = source.iterations;
+  plan->statements = source.body;
+
+  // Communication analysis is *stateful*: a Redistribute changes where an
+  // array lives for every subsequent statement (and for the next
+  // iteration — HPF semantics require the loop body to restore the
+  // distribution it starts from, which our kernels do).
+  SourceProgram state = source;
+  for (const Statement& statement : source.body) {
+    CompiledPhase phase(source.processors);
+    phase.analysis = analyze(state, statement);
+    if (const auto* read = std::get_if<SequentialRead>(&statement)) {
+      const ArrayDecl& decl = state.array(read->array);
+      phase.read_rows = decl.extents.front();
+      phase.read_row_messages = decl.total_elements() / phase.read_rows;
+      phase.read_message_bytes = read->element_message_bytes;
+      phase.read_row_io = read->io_time_per_row;
+    }
+    if (const auto* redist = std::get_if<Redistribute>(&statement)) {
+      ArrayDecl& decl = state.array(redist->array);
+      decl.distribution = redist->to;
+      decl.processors = redist->to_processors;
+    }
+    plan->analyses.push_back(phase.analysis);
+    compiled.phases.push_back(std::move(phase));
+  }
+
+  auto shared_source = std::make_shared<SourceProgram>(source);
+  compiled.executable.name = source.name;
+  compiled.executable.processors = source.processors;
+  compiled.executable.rank_body = [shared_source, plan](fx::FxContext& ctx,
+                                                        int rank) {
+    return rank_body(ctx, rank, shared_source, plan);
+  };
+  return compiled;
+}
+
+}  // namespace fxtraf::fxc

@@ -1,0 +1,51 @@
+// Code generation: lowers an analyzed SourceProgram into a runnable
+// fx::FxProgram whose per-rank coroutine executes the derived compute
+// and communication phases on the simulated testbed.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "fx/runtime.hpp"
+#include "fxc/analysis.hpp"
+#include "fxc/ir.hpp"
+
+namespace fxtraf::fxc {
+
+/// One compiled phase: the statement's analysis plus anything the
+/// executor needs that the matrix alone cannot express.
+struct CompiledPhase {
+  PhaseAnalysis analysis;
+  /// SequentialRead pacing (zero for other statements).
+  std::size_t read_rows = 0;
+  std::size_t read_row_messages = 0;  ///< per destination, per row
+  std::size_t read_message_bytes = 0;
+  sim::Duration read_row_io = sim::Duration::zero();
+
+  explicit CompiledPhase(int processors) : analysis(processors) {}
+};
+
+/// The compiler's output: phase list plus the runnable program.
+struct CompiledProgram {
+  std::string name;
+  int processors = 0;
+  int iterations = 0;
+  std::vector<CompiledPhase> phases;  ///< one per body statement
+  fx::FxProgram executable;
+
+  /// Static per-iteration traffic estimate (bytes on the wire, before
+  /// transport overhead).
+  [[nodiscard]] std::size_t bytes_per_iteration() const {
+    std::size_t sum = 0;
+    for (const CompiledPhase& phase : phases) {
+      sum += phase.analysis.matrix.total_bytes();
+    }
+    return sum;
+  }
+};
+
+/// Runs communication analysis on every statement and emits the
+/// executable.  Throws std::invalid_argument on unsupported constructs.
+[[nodiscard]] CompiledProgram compile(const SourceProgram& source);
+
+}  // namespace fxtraf::fxc

@@ -1,0 +1,266 @@
+#include "fxc/parser.hpp"
+
+#include <stdexcept>
+
+#include "fxc/lexer.hpp"
+
+namespace fxtraf::fxc {
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::string_view source) : tokens_(lex(source)) {}
+
+  SourceProgram parse() {
+    SourceProgram program;
+    expect_keyword("program");
+    program.name = expect_identifier("program name");
+    expect_keyword("processors");
+    program.processors = expect_int("processor count");
+    if (accept_keyword("iterations")) {
+      program.iterations = expect_int("iteration count");
+    }
+    while (peek().kind != TokenKind::kEnd) {
+      const Token& t = peek();
+      if (t.kind != TokenKind::kIdentifier) {
+        fail(t, "expected a declaration or statement keyword");
+      }
+      if (t.text == "array") {
+        parse_array(program);
+      } else {
+        parse_statement(program);
+      }
+    }
+    try {
+      program.validate();
+    } catch (const std::exception& e) {
+      fail(peek(), e.what());
+    }
+    return program;
+  }
+
+ private:
+  [[noreturn]] void fail(const Token& at, const std::string& message) {
+    throw std::runtime_error("fx source:" + std::to_string(at.line) + ":" +
+                             std::to_string(at.column) + ": " + message +
+                             (at.kind == TokenKind::kIdentifier ||
+                                      at.kind == TokenKind::kNumber
+                                  ? " (got '" + at.text + "')"
+                                  : ""));
+  }
+
+  const Token& peek() const { return tokens_[pos_]; }
+  const Token& take() { return tokens_[pos_++]; }
+
+  bool accept_keyword(std::string_view keyword) {
+    if (peek().kind == TokenKind::kIdentifier && peek().text == keyword) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+  void expect_keyword(std::string_view keyword) {
+    if (!accept_keyword(keyword)) {
+      fail(peek(), "expected '" + std::string(keyword) + "'");
+    }
+  }
+  std::string expect_identifier(const std::string& what) {
+    if (peek().kind != TokenKind::kIdentifier) fail(peek(), "expected " + what);
+    return take().text;
+  }
+  double expect_number(const std::string& what) {
+    if (peek().kind != TokenKind::kNumber) fail(peek(), "expected " + what);
+    return take().number;
+  }
+  int expect_int(const std::string& what) {
+    const Token& at = peek();
+    const double v = expect_number(what);
+    if (v < 0 || v != static_cast<double>(static_cast<long long>(v))) {
+      fail(at, what + " must be a non-negative integer");
+    }
+    return static_cast<int>(v);
+  }
+  void expect(TokenKind kind, const char* what) {
+    if (peek().kind != kind) fail(peek(), std::string("expected ") + what);
+    ++pos_;
+  }
+
+  ElemType parse_type() {
+    const Token& at = peek();
+    const std::string name = expect_identifier("element type");
+    if (name == "real4") return ElemType::kReal4;
+    if (name == "real8") return ElemType::kReal8;
+    if (name == "complex8") return ElemType::kComplex8;
+    if (name == "complex16") return ElemType::kComplex16;
+    if (name == "int4") return ElemType::kInteger4;
+    fail(at, "unknown element type '" + name + "'");
+  }
+
+  Distribution parse_distribution(std::size_t rank) {
+    Distribution dist;
+    expect(TokenKind::kLParen, "'('");
+    for (;;) {
+      if (peek().kind == TokenKind::kStar) {
+        ++pos_;
+        dist.dims.push_back(DistKind::kCollapsed);
+      } else {
+        const Token& at = peek();
+        const std::string word = expect_identifier("'block' or '*'");
+        if (word != "block") fail(at, "unknown distribution '" + word + "'");
+        dist.dims.push_back(DistKind::kBlock);
+      }
+      if (peek().kind == TokenKind::kComma) {
+        ++pos_;
+        continue;
+      }
+      break;
+    }
+    expect(TokenKind::kRParen, "')'");
+    if (rank != 0 && dist.dims.size() != rank) {
+      fail(peek(), "distribution rank mismatch");
+    }
+    return dist;
+  }
+
+  Interval parse_on_range(int processors) {
+    const int lo = expect_int("range start");
+    expect(TokenKind::kDotDot, "'..'");
+    const Token& at = peek();
+    const int hi = expect_int("range end");
+    if (hi <= lo || hi > processors) {
+      fail(at, "invalid processor range");
+    }
+    return Interval{static_cast<std::size_t>(lo),
+                    static_cast<std::size_t>(hi)};
+  }
+
+  void parse_array(SourceProgram& program) {
+    expect_keyword("array");
+    ArrayDecl decl;
+    const Token& name_at = peek();
+    decl.name = expect_identifier("array name");
+    if (program.arrays.contains(decl.name)) {
+      fail(name_at, "duplicate array '" + decl.name + "'");
+    }
+    decl.type = parse_type();
+    expect(TokenKind::kLParen, "'('");
+    for (;;) {
+      decl.extents.push_back(
+          static_cast<std::size_t>(expect_int("array extent")));
+      if (peek().kind == TokenKind::kComma) {
+        ++pos_;
+        continue;
+      }
+      break;
+    }
+    expect(TokenKind::kRParen, "')'");
+    expect_keyword("distribute");
+    decl.distribution = parse_distribution(decl.extents.size());
+    decl.processors = accept_keyword("on")
+                          ? parse_on_range(program.processors)
+                          : Interval{0, static_cast<std::size_t>(
+                                            program.processors)};
+    try {
+      decl.validate();
+    } catch (const std::exception& e) {
+      fail(name_at, e.what());
+    }
+    program.arrays.emplace(decl.name, std::move(decl));
+  }
+
+  void require_array(const SourceProgram& program, const Token& at,
+                     const std::string& name) {
+    if (!program.arrays.contains(name)) {
+      fail(at, "unknown array '" + name + "'");
+    }
+  }
+
+  void parse_statement(SourceProgram& program) {
+    const Token& at = peek();
+    const std::string keyword = expect_identifier("statement");
+    if (keyword == "stencil") {
+      StencilAssign s;
+      const Token& name_at = peek();
+      s.array = expect_identifier("array name");
+      require_array(program, name_at, s.array);
+      expect_keyword("offsets");
+      expect(TokenKind::kLParen, "'('");
+      for (;;) {
+        s.max_offsets.push_back(expect_int("offset"));
+        if (peek().kind == TokenKind::kComma) {
+          ++pos_;
+          continue;
+        }
+        break;
+      }
+      expect(TokenKind::kRParen, "')'");
+      if (accept_keyword("flops")) {
+        s.flops_per_point = expect_number("flops per point");
+      }
+      if (s.max_offsets.size() != program.array(s.array).rank()) {
+        fail(name_at, "offset rank mismatch for '" + s.array + "'");
+      }
+      program.body.emplace_back(std::move(s));
+    } else if (keyword == "redistribute") {
+      Redistribute r;
+      const Token& name_at = peek();
+      r.array = expect_identifier("array name");
+      require_array(program, name_at, r.array);
+      r.to = parse_distribution(program.array(r.array).rank());
+      r.to_processors = accept_keyword("on")
+                            ? parse_on_range(program.processors)
+                            : Interval{0, static_cast<std::size_t>(
+                                              program.processors)};
+      program.body.emplace_back(std::move(r));
+    } else if (keyword == "read") {
+      SequentialRead r;
+      const Token& name_at = peek();
+      r.array = expect_identifier("array name");
+      require_array(program, name_at, r.array);
+      if (accept_keyword("element")) {
+        r.element_message_bytes =
+            static_cast<std::size_t>(expect_number("element bytes"));
+      }
+      if (accept_keyword("row_io")) {
+        r.io_time_per_row = sim::seconds(expect_number("row io time"));
+      }
+      program.body.emplace_back(std::move(r));
+    } else if (keyword == "reduce") {
+      Reduction r;
+      if (accept_keyword("bytes")) {
+        r.vector_bytes =
+            static_cast<std::size_t>(expect_number("vector bytes"));
+      }
+      if (accept_keyword("flops")) r.flops = expect_number("flops");
+      program.body.emplace_back(r);
+    } else if (keyword == "broadcast") {
+      BroadcastStmt b;
+      if (accept_keyword("bytes")) {
+        b.bytes = static_cast<std::size_t>(expect_number("bytes"));
+      }
+      if (accept_keyword("root")) b.root = expect_int("root rank");
+      if (b.root < 0 || b.root >= program.processors) {
+        fail(at, "broadcast root outside processor range");
+      }
+      program.body.emplace_back(b);
+    } else if (keyword == "local") {
+      LocalWork w;
+      w.flops = expect_number("flops");
+      program.body.emplace_back(w);
+    } else {
+      fail(at, "unknown statement '" + keyword + "'");
+    }
+  }
+
+  std::vector<Token> tokens_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+SourceProgram parse_source(std::string_view source) {
+  return Parser(source).parse();
+}
+
+}  // namespace fxtraf::fxc

@@ -1,0 +1,40 @@
+// Parser for the Fx source dialect: a compact, HPF-flavored language
+// covering the constructs whose compilation produces the paper's traffic.
+//
+// Grammar (keywords case-insensitive, newlines are whitespace,
+// '!'/'#' start comments):
+//
+//   program     := "program" NAME
+//                  "processors" INT
+//                  ["iterations" INT]
+//                  { array_decl } { statement }
+//   array_decl  := "array" NAME type "(" extents ")"
+//                  "distribute" "(" dist { "," dist } ")"
+//                  ["on" INT ".." INT]
+//   type        := "real4" | "real8" | "complex8" | "complex16" | "int4"
+//   dist        := "block" | "*"
+//   statement   := "stencil" NAME "offsets" "(" INT {"," INT} ")"
+//                    ["flops" NUMBER]
+//                | "redistribute" NAME "(" dist {"," dist} ")"
+//                    ["on" INT ".." INT]
+//                | "read" NAME ["element" NUMBER] ["row_io" NUMBER]
+//                | "reduce" ["bytes" NUMBER] ["flops" NUMBER]
+//                | "broadcast" ["bytes" NUMBER] ["root" INT]
+//                | "local" NUMBER                      ! flops
+//
+// Number literals take unit suffixes: ms/us/s (durations, in seconds)
+// and k/m/g (1e3/1e6/1e9).  Processor ranges are half-open: "on 0..2"
+// places an array on ranks {0, 1}.
+#pragma once
+
+#include <string_view>
+
+#include "fxc/ir.hpp"
+
+namespace fxtraf::fxc {
+
+/// Parses source text into a SourceProgram; throws std::runtime_error
+/// with line:column positions on syntax or semantic errors.
+[[nodiscard]] SourceProgram parse_source(std::string_view source);
+
+}  // namespace fxtraf::fxc

@@ -1,0 +1,91 @@
+#include "fxc/printer.hpp"
+
+#include <cstdio>
+#include <sstream>
+
+namespace fxtraf::fxc {
+
+namespace {
+
+const char* type_name(ElemType t) {
+  switch (t) {
+    case ElemType::kInteger4: return "int4";
+    case ElemType::kReal4: return "real4";
+    case ElemType::kReal8: return "real8";
+    case ElemType::kComplex8: return "complex8";
+    case ElemType::kComplex16: return "complex16";
+  }
+  return "?";
+}
+
+void print_distribution(std::ostream& out, const Distribution& dist) {
+  out << "(";
+  for (std::size_t d = 0; d < dist.dims.size(); ++d) {
+    if (d > 0) out << ", ";
+    out << (dist.dims[d] == DistKind::kBlock ? "block" : "*");
+  }
+  out << ")";
+}
+
+void print_range(std::ostream& out, Interval procs) {
+  out << " on " << procs.lo << ".." << procs.hi;
+}
+
+std::string number(double v) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof buffer, "%g", v);
+  return buffer;
+}
+
+}  // namespace
+
+std::string to_source(const SourceProgram& program) {
+  std::ostringstream out;
+  out << "program " << program.name << "\n";
+  out << "processors " << program.processors << "\n";
+  out << "iterations " << program.iterations << "\n\n";
+
+  for (const auto& [name, decl] : program.arrays) {
+    out << "array " << name << " " << type_name(decl.type) << " (";
+    for (std::size_t d = 0; d < decl.extents.size(); ++d) {
+      if (d > 0) out << ", ";
+      out << decl.extents[d];
+    }
+    out << ") distribute ";
+    print_distribution(out, decl.distribution);
+    print_range(out, decl.processors);
+    out << "\n";
+  }
+  out << "\n";
+
+  for (const Statement& statement : program.body) {
+    if (const auto* s = std::get_if<StencilAssign>(&statement)) {
+      out << "stencil " << s->array << " offsets (";
+      for (std::size_t d = 0; d < s->max_offsets.size(); ++d) {
+        if (d > 0) out << ", ";
+        out << s->max_offsets[d];
+      }
+      out << ") flops " << number(s->flops_per_point) << "\n";
+    } else if (const auto* r = std::get_if<Redistribute>(&statement)) {
+      out << "redistribute " << r->array << " ";
+      print_distribution(out, r->to);
+      print_range(out, r->to_processors);
+      out << "\n";
+    } else if (const auto* read = std::get_if<SequentialRead>(&statement)) {
+      out << "read " << read->array << " element "
+          << read->element_message_bytes << " row_io "
+          << number(read->io_time_per_row.seconds()) << "s\n";
+    } else if (const auto* reduce = std::get_if<Reduction>(&statement)) {
+      out << "reduce bytes " << reduce->vector_bytes << " flops "
+          << number(reduce->flops) << "\n";
+    } else if (const auto* bcast = std::get_if<BroadcastStmt>(&statement)) {
+      out << "broadcast bytes " << bcast->bytes << " root " << bcast->root
+          << "\n";
+    } else if (const auto* work = std::get_if<LocalWork>(&statement)) {
+      out << "local " << number(work->flops) << "\n";
+    }
+  }
+  return out.str();
+}
+
+}  // namespace fxtraf::fxc

@@ -1,0 +1,14 @@
+// Pretty-printer for the Fx source dialect: emits text that parses back
+// to an equivalent SourceProgram (round-trip property), used for
+// diagnostics and for persisting generated programs.
+#pragma once
+
+#include <string>
+
+#include "fxc/ir.hpp"
+
+namespace fxtraf::fxc {
+
+[[nodiscard]] std::string to_source(const SourceProgram& program);
+
+}  // namespace fxtraf::fxc

@@ -1,0 +1,161 @@
+// Array and distribution model for the Fx compiler front end.
+//
+// Fx parallelizes dense-matrix HPF programs by distributing array
+// dimensions over a one-dimensional processor arrangement (paper
+// section 2).  This header models what the compiler knows statically:
+// element types, extents, and per-dimension distributions, plus the
+// ownership arithmetic every communication-generation step relies on.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace fxtraf::fxc {
+
+enum class ElemType : std::uint8_t {
+  kInteger4,
+  kReal4,
+  kReal8,
+  kComplex8,
+  kComplex16,
+};
+
+[[nodiscard]] constexpr std::size_t elem_bytes(ElemType t) {
+  switch (t) {
+    case ElemType::kInteger4: return 4;
+    case ElemType::kReal4: return 4;
+    case ElemType::kReal8: return 8;
+    case ElemType::kComplex8: return 8;
+    case ElemType::kComplex16: return 16;
+  }
+  return 0;
+}
+
+[[nodiscard]] constexpr const char* to_string(ElemType t) {
+  switch (t) {
+    case ElemType::kInteger4: return "integer*4";
+    case ElemType::kReal4: return "real*4";
+    case ElemType::kReal8: return "real*8";
+    case ElemType::kComplex8: return "complex*8";
+    case ElemType::kComplex16: return "complex*16";
+  }
+  return "?";
+}
+
+/// HPF DISTRIBUTE directive kinds for one dimension.
+enum class DistKind : std::uint8_t {
+  kCollapsed,  ///< '*' — the whole extent on every processor
+  kBlock,      ///< BLOCK — contiguous chunks of ceil(n/P)
+};
+
+/// Per-array distribution: one entry per dimension; exactly one BLOCK
+/// dimension is supported (Fx's 1-D processor arrangements).
+struct Distribution {
+  std::vector<DistKind> dims;
+
+  [[nodiscard]] int block_dim() const {
+    int found = -1;
+    for (std::size_t d = 0; d < dims.size(); ++d) {
+      if (dims[d] == DistKind::kBlock) {
+        if (found >= 0) {
+          throw std::invalid_argument(
+              "Distribution: multiple BLOCK dimensions unsupported");
+        }
+        found = static_cast<int>(d);
+      }
+    }
+    return found;  // -1: fully replicated/collapsed
+  }
+
+  friend bool operator==(const Distribution&, const Distribution&) = default;
+};
+
+/// Half-open index interval [lo, hi).
+struct Interval {
+  std::size_t lo = 0;
+  std::size_t hi = 0;
+  [[nodiscard]] std::size_t length() const { return hi > lo ? hi - lo : 0; }
+};
+
+/// Intersection of two intervals.
+[[nodiscard]] inline Interval intersect(Interval a, Interval b) {
+  const std::size_t lo = a.lo > b.lo ? a.lo : b.lo;
+  const std::size_t hi = a.hi < b.hi ? a.hi : b.hi;
+  return lo < hi ? Interval{lo, hi} : Interval{};
+}
+
+/// The block of indices processor `p` of `nprocs` owns in an extent-`n`
+/// BLOCK dimension (HPF BLOCK: ceil(n/P)-sized chunks).
+[[nodiscard]] inline Interval block_owned(std::size_t n, int p, int nprocs) {
+  if (nprocs <= 0 || p < 0 || p >= nprocs) {
+    throw std::invalid_argument("block_owned: bad processor index");
+  }
+  const std::size_t chunk =
+      (n + static_cast<std::size_t>(nprocs) - 1) /
+      static_cast<std::size_t>(nprocs);
+  const std::size_t lo = chunk * static_cast<std::size_t>(p);
+  const std::size_t hi = lo + chunk;
+  return Interval{lo < n ? lo : n, hi < n ? hi : n};
+}
+
+/// A declared array: extents, element type, current distribution, and
+/// the processor subset holding it (Fx task parallelism places arrays on
+/// processor sub-ranges; [0, P) for pure data parallelism).
+struct ArrayDecl {
+  std::string name;
+  std::vector<std::size_t> extents;
+  ElemType type = ElemType::kReal8;
+  Distribution distribution;
+  Interval processors;  ///< half-open rank range holding the array
+
+  [[nodiscard]] std::size_t rank() const { return extents.size(); }
+  [[nodiscard]] std::size_t total_elements() const {
+    std::size_t n = 1;
+    for (std::size_t e : extents) n *= e;
+    return n;
+  }
+  [[nodiscard]] std::size_t total_bytes() const {
+    return total_elements() * elem_bytes(type);
+  }
+
+  /// Elements of the array owned by global rank `p` (0 if outside the
+  /// array's processor range).
+  [[nodiscard]] std::size_t owned_elements(int p) const {
+    if (static_cast<std::size_t>(p) < processors.lo ||
+        static_cast<std::size_t>(p) >= processors.hi) {
+      return 0;
+    }
+    const int nprocs = static_cast<int>(processors.length());
+    const int local = p - static_cast<int>(processors.lo);
+    std::size_t n = 1;
+    const int bdim = distribution.block_dim();
+    for (std::size_t d = 0; d < extents.size(); ++d) {
+      if (static_cast<int>(d) == bdim) {
+        n *= block_owned(extents[d], local, nprocs).length();
+      } else {
+        n *= extents[d];
+      }
+    }
+    return n;
+  }
+
+  void validate() const {
+    if (extents.empty()) {
+      throw std::invalid_argument("ArrayDecl " + name + ": no extents");
+    }
+    if (distribution.dims.size() != extents.size()) {
+      throw std::invalid_argument("ArrayDecl " + name +
+                                  ": distribution rank mismatch");
+    }
+    if (processors.length() == 0) {
+      throw std::invalid_argument("ArrayDecl " + name +
+                                  ": empty processor range");
+    }
+    (void)distribution.block_dim();  // throws on multiple BLOCK dims
+  }
+};
+
+}  // namespace fxtraf::fxc

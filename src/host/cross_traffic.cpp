@@ -1,0 +1,51 @@
+#include "host/cross_traffic.hpp"
+
+namespace fxtraf::host {
+
+CrossTrafficSource::CrossTrafficSource(Workstation& workstation,
+                                       const CrossTrafficConfig& config)
+    : ws_(workstation),
+      config_(config),
+      rng_(0xc505511ULL + workstation.id()) {}
+
+sim::Duration CrossTrafficSource::packet_spacing() const {
+  return sim::seconds(static_cast<double>(config_.packet_payload_bytes) /
+                      config_.rate_bytes_per_s);
+}
+
+void CrossTrafficSource::start() {
+  if (running_) return;
+  running_ = true;
+  process_ = sim::spawn(generator());
+}
+
+sim::Co<void> CrossTrafficSource::generator() {
+  sim::Simulator& simulator = ws_.stack().simulator();
+  const sim::Duration spacing = packet_spacing();
+  while (running_) {
+    if (config_.model == CrossTrafficConfig::Model::kOnOff) {
+      co_await sim::delay_background(
+          simulator,
+          sim::seconds(rng_.next_exponential(config_.mean_off.seconds())));
+      if (!running_) break;
+      const double on_s = rng_.next_exponential(config_.mean_on.seconds());
+      const auto burst_packets = static_cast<std::uint64_t>(
+          on_s / spacing.seconds());
+      for (std::uint64_t i = 0; i < burst_packets && running_; ++i) {
+        ws_.stack().udp_send(config_.destination, config_.port, config_.port,
+                             config_.packet_payload_bytes);
+        ++stats_.packets_sent;
+        stats_.bytes_sent += config_.packet_payload_bytes;
+        co_await sim::delay_background(simulator, spacing);
+      }
+    } else {
+      ws_.stack().udp_send(config_.destination, config_.port, config_.port,
+                           config_.packet_payload_bytes);
+      ++stats_.packets_sent;
+      stats_.bytes_sent += config_.packet_payload_bytes;
+      co_await sim::delay_background(simulator, spacing);
+    }
+  }
+}
+
+}  // namespace fxtraf::host

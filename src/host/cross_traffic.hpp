@@ -1,0 +1,65 @@
+// Background cross-traffic source.
+//
+// The paper's testbed machines were office workstations on a shared LAN;
+// measurements ran at 4-5 AM "to avoid other traffic".  This source
+// models the avoided traffic — CBR or exponential on/off UDP from a
+// non-VM workstation — enabling two studies the paper could not run:
+// measurement *during* office hours, and the bandwidth-dependent
+// periodicity claim (burst intervals stretch as cross-traffic commits
+// the medium).
+#pragma once
+
+#include <cstdint>
+
+#include "host/workstation.hpp"
+#include "simcore/coro.hpp"
+
+namespace fxtraf::host {
+
+struct CrossTrafficConfig {
+  enum class Model : std::uint8_t {
+    kCbr,    ///< constant bit rate
+    kOnOff,  ///< exponential on/off bursts (classic office-traffic model)
+  };
+  Model model = Model::kOnOff;
+  double rate_bytes_per_s = 100e3;  ///< rate while sending
+  std::size_t packet_payload_bytes = 512;
+  sim::Duration mean_on = sim::seconds(0.5);
+  sim::Duration mean_off = sim::seconds(2.0);
+  net::HostId destination = 0;
+  std::uint16_t port = 7;  ///< the discard service
+};
+
+struct CrossTrafficStats {
+  std::uint64_t packets_sent = 0;
+  std::uint64_t bytes_sent = 0;
+};
+
+/// Generates background UDP load from `workstation`.  Runs on background
+/// simulator events, so it never keeps a measurement alive by itself.
+class CrossTrafficSource {
+ public:
+  CrossTrafficSource(Workstation& workstation,
+                     const CrossTrafficConfig& config);
+
+  CrossTrafficSource(const CrossTrafficSource&) = delete;
+  CrossTrafficSource& operator=(const CrossTrafficSource&) = delete;
+
+  void start();
+  void stop() { running_ = false; }
+
+  [[nodiscard]] const CrossTrafficStats& stats() const { return stats_; }
+
+ private:
+  [[nodiscard]] sim::Co<void> generator();
+  [[nodiscard]] sim::Duration packet_spacing() const;
+
+  Workstation& ws_;
+  CrossTrafficConfig config_;
+  sim::Rng rng_;
+  bool running_ = false;
+  sim::Process process_;
+  CrossTrafficStats stats_;
+};
+
+}  // namespace fxtraf::host

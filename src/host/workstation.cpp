@@ -1,0 +1,59 @@
+#include "host/workstation.hpp"
+#include <stdexcept>
+
+namespace fxtraf::host {
+
+Workstation::Workstation(sim::Simulator& simulator, eth::Segment& segment,
+                         net::HostId id, const WorkstationConfig& config)
+    : sim_(simulator),
+      link_(std::make_unique<eth::Nic>(simulator, segment, id)),
+      stack_(simulator, *link_, config.tcp),
+      config_(config),
+      sched_rng_(simulator.rng().fork(0x5c4edULL + id)) {}
+
+Workstation::Workstation(sim::Simulator& simulator,
+                         std::unique_ptr<net::LinkLayer> link,
+                         const WorkstationConfig& config)
+    : sim_(simulator),
+      link_(std::move(link)),
+      stack_(simulator, *link_, config.tcp),
+      config_(config),
+      sched_rng_(simulator.rng().fork(0x5c4edULL + link_->address())) {}
+
+eth::Nic& Workstation::nic() {
+  auto* nic = dynamic_cast<eth::Nic*>(link_.get());
+  if (nic == nullptr) {
+    throw std::logic_error("Workstation::nic(): not Ethernet-backed");
+  }
+  return *nic;
+}
+
+sim::Duration Workstation::compute_time(double flops) const {
+  return sim::seconds(flops / (config_.mflops * 1e6));
+}
+
+sim::Co<void> Workstation::compute(double flops) {
+  ++stats_.compute_phases;
+  const sim::Duration base = compute_time(flops);
+  if (config_.deschedule_probability > 0.0 &&
+      sched_rng_.next_bool(config_.deschedule_probability)) {
+    ++stats_.deschedules;
+    const double split = sched_rng_.next_double();
+    const sim::Duration pause = sim::seconds(
+        sched_rng_.next_exponential(config_.mean_deschedule.seconds()));
+    stats_.descheduled_ns += pause.ns();
+    const auto first =
+        sim::Duration{static_cast<std::int64_t>(split * base.ns())};
+    co_await sim::delay(sim_, first);
+    co_await sim::delay(sim_, pause);
+    co_await sim::delay(sim_, base - first);
+    co_return;
+  }
+  co_await sim::delay(sim_, base);
+}
+
+sim::Co<void> Workstation::busy(sim::Duration d) {
+  co_await sim::delay(sim_, d);
+}
+
+}  // namespace fxtraf::host

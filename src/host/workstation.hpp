@@ -1,0 +1,80 @@
+// Workstation model: CPU (flops -> time), NIC + protocol stack, and an OS
+// scheduler that occasionally deschedules the measured program.
+//
+// The paper's testbed machines were shared office workstations; it
+// attributes merged communication bursts (2DFFT, Figure 6) to "some
+// processor [having] descheduled the program".  The deschedule injector
+// reproduces that artifact under experiment control.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "ethernet/nic.hpp"
+#include "ethernet/segment.hpp"
+#include "net/stack.hpp"
+#include "simcore/coro.hpp"
+#include "simcore/rng.hpp"
+
+namespace fxtraf::host {
+
+struct WorkstationConfig {
+  /// Sustained compute rate; a 133 MHz Alpha 21064 on dense-matrix Fortran
+  /// manages a couple of dozen MFLOPS.
+  double mflops = 25.0;
+  /// Probability that a compute phase suffers an OS deschedule.
+  double deschedule_probability = 0.0;
+  /// Mean duration of an injected deschedule (exponentially distributed).
+  sim::Duration mean_deschedule = sim::millis(120);
+  net::TcpConfig tcp;
+};
+
+struct WorkstationStats {
+  std::uint64_t compute_phases = 0;
+  std::uint64_t deschedules = 0;
+  std::int64_t descheduled_ns = 0;
+};
+
+class Workstation {
+ public:
+  /// Workstation on the shared Ethernet (constructs its own NIC).
+  Workstation(sim::Simulator& simulator, eth::Segment& segment, net::HostId id,
+              const WorkstationConfig& config);
+
+  /// Workstation on an externally built link layer (e.g. a port of the
+  /// QoS-capable switched network).
+  Workstation(sim::Simulator& simulator, std::unique_ptr<net::LinkLayer> link,
+              const WorkstationConfig& config);
+
+  Workstation(const Workstation&) = delete;
+  Workstation& operator=(const Workstation&) = delete;
+
+  [[nodiscard]] net::HostId id() const { return link_->address(); }
+  [[nodiscard]] net::LinkLayer& link() { return *link_; }
+  /// Precondition: the workstation is Ethernet-backed.
+  [[nodiscard]] eth::Nic& nic();
+  [[nodiscard]] net::Stack& stack() { return stack_; }
+  [[nodiscard]] const WorkstationConfig& config() const { return config_; }
+  [[nodiscard]] const WorkstationStats& stats() const { return stats_; }
+
+  /// Pure CPU time for `flops` of work, without scheduler noise.
+  [[nodiscard]] sim::Duration compute_time(double flops) const;
+
+  /// Runs a compute phase of `flops`; may be interrupted by an injected
+  /// deschedule at a random point within the phase.
+  [[nodiscard]] sim::Co<void> compute(double flops);
+
+  /// Occupies the CPU for a fixed duration (used for non-flop costs such
+  /// as message-assembly copy loops).
+  [[nodiscard]] sim::Co<void> busy(sim::Duration d);
+
+ private:
+  sim::Simulator& sim_;
+  std::unique_ptr<net::LinkLayer> link_;
+  net::Stack stack_;
+  WorkstationConfig config_;
+  sim::Rng sched_rng_;
+  WorkstationStats stats_;
+};
+
+}  // namespace fxtraf::host

@@ -1,0 +1,63 @@
+// Wire-format description of simulated IP datagrams.
+//
+// fxtraf does not move real bytes; a datagram is a metadata record whose
+// sizes drive transmission timing and whose fields drive demultiplexing
+// and trace capture.  Recorded packet sizes follow the paper's convention:
+// data + TCP/UDP header + IP header + Ethernet header and trailer, which
+// gives the familiar 58-byte minimum (pure TCP ACK) and 1518-byte maximum.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+namespace fxtraf::net {
+
+/// Identifies a workstation on the LAN; doubles as its IP address.
+using HostId = std::uint16_t;
+
+inline constexpr std::size_t kIpHeaderBytes = 20;
+inline constexpr std::size_t kTcpHeaderBytes = 20;
+inline constexpr std::size_t kUdpHeaderBytes = 8;
+
+enum class IpProto : std::uint8_t { kTcp, kUdp };
+
+[[nodiscard]] constexpr const char* to_string(IpProto p) {
+  return p == IpProto::kTcp ? "tcp" : "udp";
+}
+
+/// TCP control information carried by a segment.
+struct TcpSegmentInfo {
+  std::uint64_t seq = 0;  ///< first payload byte's sequence number
+  std::uint64_t ack = 0;  ///< cumulative acknowledgement
+  std::uint32_t window = 0;
+  bool syn = false;
+  bool fin = false;
+  bool has_ack = false;
+};
+
+struct IpDatagram {
+  HostId src = 0;
+  HostId dst = 0;
+  IpProto proto = IpProto::kTcp;
+  std::uint16_t src_port = 0;
+  std::uint16_t dst_port = 0;
+  std::size_t payload_bytes = 0;  ///< transport-layer payload only
+  TcpSegmentInfo tcp;             ///< meaningful iff proto == kTcp
+  /// Application-level sequence/tag carried *inside* the payload (e.g.
+  /// the pvmd fragment sequence number); pure model metadata, occupies
+  /// no extra wire bytes.
+  std::uint64_t app_seq = 0;
+
+  [[nodiscard]] std::size_t transport_header_bytes() const {
+    return proto == IpProto::kTcp ? kTcpHeaderBytes : kUdpHeaderBytes;
+  }
+  /// IP datagram size: IP header + transport header + payload.
+  [[nodiscard]] std::size_t total_bytes() const {
+    return kIpHeaderBytes + transport_header_bytes() + payload_bytes;
+  }
+};
+
+using DatagramPtr = std::shared_ptr<const IpDatagram>;
+
+}  // namespace fxtraf::net

@@ -1,0 +1,30 @@
+// Link-layer abstraction: the protocol stack runs identically over the
+// shared CSMA/CD Ethernet and over the QoS-capable switched network the
+// paper's motivation targets (ATM-style LANs with per-connection
+// guarantees).
+#pragma once
+
+#include <functional>
+
+#include "ethernet/frame.hpp"
+#include "net/datagram.hpp"
+
+namespace fxtraf::net {
+
+class LinkLayer {
+ public:
+  using ReceiveHandler = std::function<void(const eth::Frame&)>;
+
+  virtual ~LinkLayer() = default;
+
+  /// This interface's address (== host id on our flat LAN).
+  [[nodiscard]] virtual HostId address() const = 0;
+
+  /// Queues a frame for transmission toward frame.dst.
+  virtual void send(eth::Frame frame) = 0;
+
+  /// Installs the upper-layer delivery callback.
+  virtual void set_receive_handler(ReceiveHandler handler) = 0;
+};
+
+}  // namespace fxtraf::net

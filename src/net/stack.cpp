@@ -1,0 +1,99 @@
+#include "net/stack.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+#include "ethernet/frame.hpp"
+#include "simcore/log.hpp"
+
+namespace fxtraf::net {
+
+Stack::Stack(sim::Simulator& simulator, LinkLayer& link, TcpConfig tcp_config)
+    : sim_(simulator), link_(link), tcp_config_(tcp_config) {
+  link_.set_receive_handler([this](const eth::Frame& f) { on_frame(f); });
+}
+
+void Stack::transmit(IpDatagram datagram) {
+  datagram.src = host();
+  assert(datagram.total_bytes() <= eth::kMaxIpPayloadBytes &&
+         "datagram exceeds MTU; transport must segment");
+  eth::Frame frame;
+  frame.src = host();
+  frame.dst = datagram.dst;
+  frame.datagram = std::make_shared<const IpDatagram>(std::move(datagram));
+  link_.send(std::move(frame));
+}
+
+void Stack::udp_bind(std::uint16_t port, UdpHandler handler) {
+  udp_handlers_[port] = std::move(handler);
+}
+
+void Stack::udp_send(HostId dst, std::uint16_t src_port,
+                     std::uint16_t dst_port, std::size_t payload_bytes,
+                     std::uint64_t app_seq) {
+  IpDatagram d;
+  d.dst = dst;
+  d.proto = IpProto::kUdp;
+  d.src_port = src_port;
+  d.dst_port = dst_port;
+  d.payload_bytes = payload_bytes;
+  d.app_seq = app_seq;
+  transmit(std::move(d));
+}
+
+TcpConnection& Stack::tcp_connect(HostId remote, std::uint16_t remote_port) {
+  const std::uint16_t local_port = allocate_ephemeral_port();
+  auto connection = std::make_unique<TcpConnection>(
+      sim_, *this, host(), local_port, remote, remote_port, tcp_config_);
+  TcpConnection& ref = *connection;
+  connections_.emplace(ConnKey{local_port, remote, remote_port},
+                       std::move(connection));
+  return ref;
+}
+
+Stack::AcceptQueue& Stack::tcp_listen(std::uint16_t port) {
+  auto [it, inserted] =
+      listeners_.emplace(port, std::make_unique<AcceptQueue>());
+  if (!inserted) throw std::logic_error("tcp_listen: port already bound");
+  return *it->second;
+}
+
+void Stack::on_frame(const eth::Frame& frame) {
+  const IpDatagram& d = *frame.datagram;
+  if (d.dst != host()) return;  // promiscuous noise
+  switch (d.proto) {
+    case IpProto::kUdp: {
+      auto it = udp_handlers_.find(d.dst_port);
+      if (it != udp_handlers_.end()) it->second(d);
+      break;
+    }
+    case IpProto::kTcp:
+      on_tcp(d);
+      break;
+  }
+}
+
+void Stack::on_tcp(const IpDatagram& d) {
+  const ConnKey key{d.dst_port, d.src, d.src_port};
+  auto it = connections_.find(key);
+  if (it == connections_.end()) {
+    if (!d.tcp.syn) return;  // stray segment for a connection we dropped
+    auto listener = listeners_.find(d.dst_port);
+    if (listener == listeners_.end()) return;  // no listener: silently drop
+
+    auto connection = std::make_unique<TcpConnection>(
+        sim_, *this, host(), d.dst_port, d.src, d.src_port, tcp_config_);
+    TcpConnection* raw = connection.get();
+    AcceptQueue* queue = listener->second.get();
+    raw->set_established_hook(
+        [this, raw, queue] { queue->push(sim_, raw); });
+    // on_passive_open replies SYN+ACK; the triggering SYN carries nothing
+    // else, so it is fully consumed here.
+    raw->on_passive_open();
+    connections_.emplace(key, std::move(connection));
+    return;
+  }
+  it->second->on_segment(d);
+}
+
+}  // namespace fxtraf::net

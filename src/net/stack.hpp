@@ -1,0 +1,69 @@
+// Per-host protocol stack: demultiplexes frames to TCP connections and
+// UDP handlers, owns connection state, allocates ephemeral ports.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <tuple>
+
+#include "ethernet/nic.hpp"
+#include "net/datagram.hpp"
+#include "net/link.hpp"
+#include "net/tcp.hpp"
+#include "simcore/coro.hpp"
+
+namespace fxtraf::net {
+
+class Stack {
+ public:
+  using UdpHandler = std::function<void(const IpDatagram&)>;
+  using AcceptQueue = sim::CoQueue<TcpConnection*>;
+
+  Stack(sim::Simulator& simulator, LinkLayer& link, TcpConfig tcp_config = {});
+
+  Stack(const Stack&) = delete;
+  Stack& operator=(const Stack&) = delete;
+
+  [[nodiscard]] HostId host() const { return link_.address(); }
+  [[nodiscard]] const TcpConfig& tcp_config() const { return tcp_config_; }
+  [[nodiscard]] sim::Simulator& simulator() { return sim_; }
+
+  /// Hands a datagram to the link layer.
+  void transmit(IpDatagram datagram);
+
+  // --- UDP -----------------------------------------------------------
+  void udp_bind(std::uint16_t port, UdpHandler handler);
+  void udp_send(HostId dst, std::uint16_t src_port, std::uint16_t dst_port,
+                std::size_t payload_bytes, std::uint64_t app_seq = 0);
+
+  // --- TCP -----------------------------------------------------------
+  /// Creates a client endpoint; the caller must `co_await c.connect()`.
+  TcpConnection& tcp_connect(HostId remote, std::uint16_t remote_port);
+
+  /// Starts listening; established inbound connections appear in the
+  /// returned queue (stable reference for the stack's lifetime).
+  AcceptQueue& tcp_listen(std::uint16_t port);
+
+  [[nodiscard]] std::uint16_t allocate_ephemeral_port() {
+    return next_ephemeral_++;
+  }
+
+ private:
+  // (local port, remote host, remote port) -> connection.
+  using ConnKey = std::tuple<std::uint16_t, HostId, std::uint16_t>;
+
+  void on_frame(const eth::Frame& frame);
+  void on_tcp(const IpDatagram& datagram);
+
+  sim::Simulator& sim_;
+  LinkLayer& link_;
+  TcpConfig tcp_config_;
+  std::map<ConnKey, std::unique_ptr<TcpConnection>> connections_;
+  std::map<std::uint16_t, std::unique_ptr<AcceptQueue>> listeners_;
+  std::map<std::uint16_t, UdpHandler> udp_handlers_;
+  std::uint16_t next_ephemeral_ = 1024;
+};
+
+}  // namespace fxtraf::net

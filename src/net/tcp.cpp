@@ -1,0 +1,276 @@
+#include "net/tcp.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "net/stack.hpp"
+#include "simcore/log.hpp"
+
+namespace fxtraf::net {
+
+TcpConnection::TcpConnection(sim::Simulator& simulator, Stack& stack,
+                             HostId local, std::uint16_t local_port,
+                             HostId remote, std::uint16_t remote_port,
+                             const TcpConfig& config)
+    : sim_(simulator),
+      stack_(stack),
+      local_(local),
+      remote_(remote),
+      local_port_(local_port),
+      remote_port_(remote_port),
+      config_(config) {
+  cwnd_bytes_ = config_.slow_start
+                    ? config_.initial_cwnd_segments * config_.mss
+                    : config_.window_bytes;
+}
+
+sim::Co<void> TcpConnection::connect() {
+  assert(state_ == State::kClosed);
+  state_ = State::kSynSent;
+  emit_segment(/*seq=*/0, /*payload=*/0, /*syn=*/true, /*force_ack=*/false);
+  arm_retransmit_timer();
+  co_await established_.wait();
+}
+
+void TcpConnection::on_passive_open() {
+  assert(state_ == State::kClosed);
+  state_ = State::kSynReceived;
+  // SYN+ACK.
+  emit_segment(/*seq=*/0, /*payload=*/0, /*syn=*/true, /*force_ack=*/true);
+}
+
+void TcpConnection::send(std::size_t bytes) {
+  if (bytes == 0) return;
+  write_queue_.push_back(bytes);
+  total_written_ += bytes;
+  pump();
+}
+
+TcpConnection::WriteAwaiter TcpConnection::write(std::size_t bytes) {
+  return WriteAwaiter{*this, bytes};
+}
+
+TcpConnection::RecvAwaiter TcpConnection::recv(std::size_t bytes) {
+  return RecvAwaiter{*this, bytes};
+}
+
+TcpConnection::DrainAwaiter TcpConnection::wait_drained() {
+  return DrainAwaiter{*this};
+}
+
+void TcpConnection::pump() {
+  if (state_ != State::kEstablished) return;
+  const std::size_t effective_window =
+      std::min(config_.window_bytes, cwnd_bytes_);
+  while (!write_queue_.empty()) {
+    const std::uint64_t inflight = snd_nxt_ - snd_una_;
+    if (inflight >= effective_window) break;
+    const std::size_t window_space =
+        effective_window - static_cast<std::size_t>(inflight);
+    const std::size_t write_remaining =
+        write_queue_.front() - front_write_offset_;
+    const std::size_t payload = std::min(config_.mss, write_remaining);
+    // Silly-window avoidance: never split a segment just because the
+    // receive window is nearly full — wait for an ACK to open it.  Safe
+    // because the window is always at least one MSS wide.
+    if (payload > window_space) break;
+
+    emit_segment(snd_nxt_, payload, /*syn=*/false, /*force_ack=*/false);
+    unacked_.push_back(UnackedSegment{snd_nxt_, payload});
+    snd_nxt_ += payload;
+    front_write_offset_ += payload;
+    if (front_write_offset_ == write_queue_.front()) {
+      write_queue_.pop_front();
+      front_write_offset_ = 0;
+    }
+    if (!rto_armed_) arm_retransmit_timer();
+  }
+}
+
+void TcpConnection::emit_segment(std::uint64_t seq, std::size_t payload,
+                                 bool syn, bool force_ack) {
+  IpDatagram d;
+  d.src = local_;
+  d.dst = remote_;
+  d.proto = IpProto::kTcp;
+  d.src_port = local_port_;
+  d.dst_port = remote_port_;
+  d.payload_bytes = payload;
+  d.tcp.seq = seq;
+  d.tcp.syn = syn;
+  d.tcp.window = static_cast<std::uint32_t>(config_.window_bytes);
+  // Piggyback the acknowledgment on everything after the initial SYN.
+  d.tcp.has_ack = force_ack || !syn || state_ != State::kSynSent;
+  d.tcp.ack = rcv_nxt_;
+
+  if (d.tcp.has_ack) {
+    // Any ack-bearing segment satisfies the delayed-ack obligation.
+    if (delack_armed_) {
+      sim_.cancel(delack_event_);
+      delack_armed_ = false;
+    }
+    segments_since_ack_ = 0;
+  }
+
+  if (payload > 0) {
+    ++stats_.segments_sent;
+    stats_.bytes_sent += payload;
+  } else if (!syn) {
+    ++stats_.pure_acks_sent;
+  }
+  stack_.transmit(std::move(d));
+}
+
+void TcpConnection::send_pure_ack() {
+  emit_segment(snd_nxt_, 0, /*syn=*/false, /*force_ack=*/true);
+}
+
+void TcpConnection::arm_retransmit_timer() {
+  if (rto_armed_) sim_.cancel(rto_event_);
+  rto_event_ = sim_.schedule_in(config_.retransmit_timeout,
+                                [this] { on_retransmit_timeout(); });
+  rto_armed_ = true;
+}
+
+void TcpConnection::cancel_retransmit_timer() {
+  if (rto_armed_) {
+    sim_.cancel(rto_event_);
+    rto_armed_ = false;
+  }
+}
+
+void TcpConnection::on_retransmit_timeout() {
+  rto_armed_ = false;
+  if (state_ == State::kSynSent) {
+    emit_segment(0, 0, /*syn=*/true, /*force_ack=*/false);
+    arm_retransmit_timer();
+    return;
+  }
+  if (unacked_.empty()) return;
+  if (config_.slow_start) {
+    // Timeout: collapse the congestion window (classic slow start).
+    cwnd_bytes_ = config_.initial_cwnd_segments * config_.mss;
+  }
+  // Go-back-N: re-emit every unacknowledged segment with its original
+  // boundaries.
+  sim::Logger::log(sim::LogLevel::kDebug, sim_.now(), "tcp",
+                   "%u:%u rto, retransmitting %zu segments", local_,
+                   local_port_, unacked_.size());
+  for (const UnackedSegment& seg : unacked_) {
+    ++stats_.retransmissions;
+    emit_segment(seg.seq, seg.len, /*syn=*/false, /*force_ack=*/false);
+  }
+  arm_retransmit_timer();
+}
+
+void TcpConnection::arm_delayed_ack() {
+  if (delack_armed_) return;
+  delack_armed_ = true;
+  delack_event_ = sim_.schedule_in(config_.delayed_ack_timeout, [this] {
+    delack_armed_ = false;
+    send_pure_ack();
+  });
+}
+
+void TcpConnection::on_segment(const IpDatagram& d) {
+  assert(d.proto == IpProto::kTcp);
+  const TcpSegmentInfo& seg = d.tcp;
+
+  // --- Handshake progression ---------------------------------------
+  if (seg.syn) {
+    if (state_ == State::kSynSent && seg.has_ack) {
+      // SYN+ACK: complete with a pure ACK.
+      state_ = State::kEstablished;
+      cancel_retransmit_timer();
+      send_pure_ack();
+      established_.set(sim_);
+      if (established_hook_) established_hook_();
+      pump();
+    } else if (state_ == State::kSynReceived) {
+      // Duplicate SYN (our SYN+ACK was lost): resend it.
+      emit_segment(0, 0, /*syn=*/true, /*force_ack=*/true);
+    }
+    return;
+  }
+  if (state_ == State::kSynReceived && seg.has_ack) {
+    state_ = State::kEstablished;
+    established_.set(sim_);
+    if (established_hook_) established_hook_();
+    pump();
+    // Fall through: the ACK may carry data in theory (not in our model).
+  }
+  if (state_ != State::kEstablished) return;
+
+  // --- Sender side: process acknowledgment --------------------------
+  if (seg.has_ack && seg.ack > snd_una_) {
+    snd_una_ = seg.ack;
+    if (config_.slow_start && cwnd_bytes_ < config_.window_bytes) {
+      cwnd_bytes_ = std::min(cwnd_bytes_ + config_.mss,
+                             config_.window_bytes);
+    }
+    while (!unacked_.empty() &&
+           unacked_.front().seq + unacked_.front().len <= snd_una_) {
+      unacked_.pop_front();
+    }
+    if (unacked_.empty()) {
+      cancel_retransmit_timer();
+    } else {
+      arm_retransmit_timer();
+    }
+    try_release_drainers();
+    try_admit_writers();
+    pump();
+  }
+
+  // --- Receiver side: process payload --------------------------------
+  if (d.payload_bytes == 0) return;
+  if (seg.seq == rcv_nxt_) {
+    rcv_nxt_ += d.payload_bytes;
+    stats_.bytes_received += d.payload_bytes;
+    deliver_to_app(d.payload_bytes);
+    ++segments_since_ack_;
+    if (segments_since_ack_ >= config_.ack_every_segments) {
+      send_pure_ack();
+    } else {
+      arm_delayed_ack();
+    }
+  } else {
+    // Out-of-order (a preceding frame died) or duplicate: discard and
+    // re-advertise our expectation immediately.
+    send_pure_ack();
+  }
+}
+
+void TcpConnection::deliver_to_app(std::size_t bytes) {
+  recv_available_ += bytes;
+  try_satisfy_receivers();
+}
+
+void TcpConnection::try_satisfy_receivers() {
+  while (!recv_waiters_.empty() &&
+         recv_available_ >= recv_waiters_.front().needed) {
+    RecvWaiter waiter = recv_waiters_.front();
+    recv_waiters_.pop_front();
+    recv_available_ -= waiter.needed;
+    sim_.schedule_now([h = waiter.handle] { h.resume(); });
+  }
+}
+
+void TcpConnection::try_admit_writers() {
+  while (!write_waiters_.empty() && write_fits(write_waiters_.front().bytes)) {
+    WriteWaiter waiter = write_waiters_.front();
+    write_waiters_.pop_front();
+    send(waiter.bytes);
+    sim_.schedule_now([h = waiter.handle] { h.resume(); });
+  }
+}
+
+void TcpConnection::try_release_drainers() {
+  if (snd_una_ != total_written_) return;
+  for (auto h : drain_waiters_) {
+    sim_.schedule_now([h] { h.resume(); });
+  }
+  drain_waiters_.clear();
+}
+
+}  // namespace fxtraf::net

@@ -1,0 +1,230 @@
+// Simplified TCP for the simulated LAN.
+//
+// Faithful where it shapes traffic, simple where it does not:
+//   - MSS segmentation with write-boundary preservation (Nagle off, as
+//     PVM sets TCP_NODELAY): each application write is segmented
+//     independently, which is what makes PVM fragment-list messages
+//     (T2DFFT, paper section 4) produce many non-maximal packets;
+//   - fixed advertised receive window (no congestion control: a 1998
+//     office LAN's TCPs were ACK-clocked against a 32 KB window);
+//   - delayed ACKs, ack-every-other-segment (BSD behaviour), producing
+//     the pure 58-byte ACK mode of the paper's trimodal size histograms;
+//   - go-back-N retransmission on a fixed RTO, enough to recover the rare
+//     excessive-collision frame drop.
+#pragma once
+
+#include <cstdint>
+#include <coroutine>
+#include <deque>
+#include <functional>
+
+#include "net/datagram.hpp"
+#include "simcore/coro.hpp"
+#include "simcore/simulator.hpp"
+
+namespace fxtraf::net {
+
+class Stack;
+
+struct TcpConfig {
+  std::size_t mss = 1460;
+  std::size_t window_bytes = 32768;
+  std::size_t send_buffer_bytes = 65536;  ///< socket buffer (write blocks)
+  sim::Duration retransmit_timeout = sim::millis(300);
+  sim::Duration delayed_ack_timeout = sim::millis(200);
+  int ack_every_segments = 2;
+  /// Slow start: begin with a small congestion window that opens one MSS
+  /// per new ACK (and collapses on RTO).  Off by default: on a one-hop
+  /// LAN the era's stacks reached the receive window within a couple of
+  /// round trips, and the paper's traffic is window-limited, not
+  /// congestion-limited.  Provided for the transport ablation.
+  bool slow_start = false;
+  std::size_t initial_cwnd_segments = 2;
+};
+
+struct TcpStats {
+  std::uint64_t bytes_sent = 0;      ///< application payload transmitted
+  std::uint64_t bytes_received = 0;  ///< application payload delivered
+  std::uint64_t segments_sent = 0;
+  std::uint64_t pure_acks_sent = 0;
+  std::uint64_t retransmissions = 0;
+};
+
+/// One endpoint of a simulated TCP connection.
+///
+/// Owned by the host's Stack; obtained via Stack::tcp_connect (client) or
+/// a listener's accept queue (server).  All methods must be called from
+/// simulation context (event handlers or coroutines).
+class TcpConnection {
+ public:
+  TcpConnection(sim::Simulator& simulator, Stack& stack, HostId local,
+                std::uint16_t local_port, HostId remote,
+                std::uint16_t remote_port, const TcpConfig& config);
+
+  TcpConnection(const TcpConnection&) = delete;
+  TcpConnection& operator=(const TcpConnection&) = delete;
+
+  [[nodiscard]] HostId remote_host() const { return remote_; }
+  [[nodiscard]] std::uint16_t local_port() const { return local_port_; }
+  [[nodiscard]] std::uint16_t remote_port() const { return remote_port_; }
+  [[nodiscard]] bool established() const { return established_.is_set(); }
+  [[nodiscard]] const TcpStats& stats() const { return stats_; }
+
+  /// Client side: sends SYN; completes when the handshake finishes.
+  [[nodiscard]] sim::Co<void> connect();
+
+  /// Queues `bytes` of application data as one write.  Returns
+  /// immediately; transmission is driven by window and ACK arrival.
+  /// Bypasses send-buffer accounting — prefer write() in process code.
+  void send(std::size_t bytes);
+
+  /// Blocking write with socket-buffer backpressure: suspends while the
+  /// unacknowledged backlog exceeds the send buffer, like a blocking
+  /// socket write.  Writers are served FIFO.
+  struct WriteAwaiter;
+  [[nodiscard]] WriteAwaiter write(std::size_t bytes);
+
+  /// Awaits delivery of exactly `bytes` of in-order application data.
+  /// Concurrent receivers are served FIFO.
+  struct RecvAwaiter;
+  [[nodiscard]] RecvAwaiter recv(std::size_t bytes);
+
+  /// Awaits acknowledgment of everything written so far.
+  struct DrainAwaiter;
+  [[nodiscard]] DrainAwaiter wait_drained();
+
+  // --- Stack-facing -------------------------------------------------
+  void on_segment(const IpDatagram& datagram);
+  void on_passive_open();  ///< server endpoint created in response to SYN
+  /// Invoked once when the handshake completes (used for accept queues).
+  void set_established_hook(std::function<void()> hook) {
+    established_hook_ = std::move(hook);
+  }
+
+ private:
+  enum class State { kClosed, kSynSent, kSynReceived, kEstablished };
+
+  void pump();
+  void emit_segment(std::uint64_t seq, std::size_t payload, bool syn,
+                    bool force_ack);
+  void send_pure_ack();
+  void arm_retransmit_timer();
+  void cancel_retransmit_timer();
+  void on_retransmit_timeout();
+  void arm_delayed_ack();
+  void deliver_to_app(std::size_t bytes);
+  void try_satisfy_receivers();
+  void try_release_drainers();
+  void try_admit_writers();
+  [[nodiscard]] bool write_fits(std::size_t bytes) const {
+    const std::uint64_t backlog = total_written_ - snd_una_;
+    // Always admit at least one write so oversized writes make progress.
+    return backlog == 0 || backlog + bytes <= config_.send_buffer_bytes;
+  }
+
+  sim::Simulator& sim_;
+  Stack& stack_;
+  HostId local_;
+  HostId remote_;
+  std::uint16_t local_port_;
+  std::uint16_t remote_port_;
+  TcpConfig config_;
+  State state_ = State::kClosed;
+  sim::CoEvent established_;
+  std::function<void()> established_hook_;
+
+  // Sender state (application-byte sequence space starting at 0).
+  std::deque<std::size_t> write_queue_;  ///< pending write sizes
+  std::size_t front_write_offset_ = 0;
+  std::uint64_t total_written_ = 0;  ///< bytes accepted from the app
+  std::uint64_t snd_una_ = 0;
+  std::uint64_t snd_nxt_ = 0;
+  struct UnackedSegment {
+    std::uint64_t seq;
+    std::size_t len;
+  };
+  std::deque<UnackedSegment> unacked_;
+  std::size_t cwnd_bytes_ = 0;  ///< congestion window (slow start only)
+  sim::EventId rto_event_{};
+  bool rto_armed_ = false;
+
+  // Receiver state.
+  std::uint64_t rcv_nxt_ = 0;
+  int segments_since_ack_ = 0;
+  sim::EventId delack_event_{};
+  bool delack_armed_ = false;
+  std::size_t recv_available_ = 0;
+  struct RecvWaiter {
+    std::size_t needed;
+    std::coroutine_handle<> handle;
+  };
+  std::deque<RecvWaiter> recv_waiters_;
+  std::deque<std::coroutine_handle<>> drain_waiters_;
+  struct WriteWaiter {
+    std::size_t bytes;
+    std::coroutine_handle<> handle;
+  };
+  std::deque<WriteWaiter> write_waiters_;
+
+  TcpStats stats_;
+
+ public:
+  struct RecvAwaiter {
+    TcpConnection& connection;
+    std::size_t needed;
+
+    // Fast path: consume immediately if data is buffered and nobody is
+    // ahead of us in line (await_ready is evaluated exactly once).
+    bool await_ready() noexcept {
+      if (needed == 0) return true;
+      if (connection.recv_waiters_.empty() &&
+          connection.recv_available_ >= needed) {
+        connection.recv_available_ -= needed;
+        return true;
+      }
+      return false;
+    }
+    void await_suspend(std::coroutine_handle<> h) {
+      connection.recv_waiters_.push_back(RecvWaiter{needed, h});
+    }
+    void await_resume() const noexcept {
+      // Suspended path: try_satisfy_receivers() consumed our bytes before
+      // resuming us.
+    }
+  };
+
+  struct DrainAwaiter {
+    TcpConnection& connection;
+    bool await_ready() const noexcept {
+      return connection.snd_una_ == connection.total_written_;
+    }
+    void await_suspend(std::coroutine_handle<> h) {
+      connection.drain_waiters_.push_back(h);
+    }
+    void await_resume() const noexcept {}
+  };
+
+  struct WriteAwaiter {
+    TcpConnection& connection;
+    std::size_t bytes;
+
+    bool await_ready() noexcept {
+      // FIFO fairness: newcomers queue behind existing blocked writers.
+      if (connection.write_waiters_.empty() &&
+          connection.write_fits(bytes)) {
+        connection.send(bytes);
+        return true;
+      }
+      return false;
+    }
+    void await_suspend(std::coroutine_handle<> h) {
+      connection.write_waiters_.push_back(WriteWaiter{bytes, h});
+    }
+    void await_resume() const noexcept {
+      // Suspended path: try_admit_writers() performed the send before
+      // resuming us.
+    }
+  };
+};
+
+}  // namespace fxtraf::net

@@ -1,0 +1,172 @@
+#include "pvm/daemon.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "pvm/task.hpp"
+#include "pvm/vm.hpp"
+
+namespace fxtraf::pvm {
+
+Daemon::Daemon(VirtualMachine& vm, host::Workstation& workstation)
+    : vm_(vm), ws_(workstation) {}
+
+void Daemon::start() {
+  ws_.stack().udp_bind(kDaemonDataPort,
+                       [this](const net::IpDatagram& d) { on_data(d); });
+  ws_.stack().udp_bind(kDaemonAckPort,
+                       [this](const net::IpDatagram& d) { on_ack(d); });
+  ws_.stack().udp_bind(kDaemonControlPort, [](const net::IpDatagram&) {
+    // Keepalives carry no state we track beyond their wire presence.
+  });
+  if (vm_.config().keepalives_enabled) {
+    service_.push_back(sim::spawn(keepalive_loop()));
+  }
+}
+
+sim::Duration Daemon::ipc_time(std::size_t bytes) const {
+  const PvmConfig& cfg = vm_.config();
+  return cfg.ipc_overhead +
+         sim::seconds(static_cast<double>(bytes) / cfg.ipc_rate_bytes_per_s);
+}
+
+sim::Co<void> Daemon::keepalive_loop() {
+  sim::Simulator& simulator = vm_.simulator();
+  const PvmConfig& cfg = vm_.config();
+  // Stagger daemons so their keepalive bursts don't align artificially.
+  // Background delays: the daemons' heartbeat must never keep the
+  // simulation alive once the measured program has exited.
+  co_await sim::delay_background(
+      simulator, sim::seconds(simulator.rng().next_double() *
+                              cfg.keepalive_interval.seconds()));
+  for (;;) {
+    co_await sim::delay_background(simulator, cfg.keepalive_interval);
+    for (int t = 0; t < vm_.ntasks(); ++t) {
+      const net::HostId peer = vm_.host_of(t);
+      if (peer == host()) continue;
+      ws_.stack().udp_send(peer, kDaemonControlPort, kDaemonControlPort,
+                           cfg.keepalive_bytes);
+      ++stats_.keepalives_sent;
+    }
+  }
+}
+
+Daemon::PerSource& Daemon::per_source(net::HostId peer) {
+  return sources_[peer];
+}
+
+void Daemon::expect(net::HostId from, const Message& message) {
+  per_source(from).expected.push_back(message);
+}
+
+sim::Co<void> Daemon::route(Message message, int dst_tid) {
+  const PvmConfig& cfg = vm_.config();
+  sim::Simulator& simulator = vm_.simulator();
+  ++stats_.messages_routed;
+
+  // Task -> daemon IPC copy.
+  co_await ws_.busy(ipc_time(message.wire_bytes()));
+
+  const net::HostId peer_host = vm_.host_of(dst_tid);
+  Daemon& peer = vm_.daemon_of(peer_host);
+  peer.expect(host(), message);
+
+  // pvmd's reliable UDP: sequence-numbered fragments sent a window at a
+  // time, each window acknowledged cumulatively and retransmitted on ack
+  // timeout.  The MAC occasionally destroys frames outright (excessive
+  // collisions), so the protocol must recover both data and ack loss.
+  PerSource& flow = per_source(peer_host);
+  std::size_t remaining = message.wire_bytes();
+  std::vector<std::size_t> window_chunks;
+  while (remaining > 0) {
+    window_chunks.clear();
+    const std::uint64_t window_base = flow.next_send_seq;
+    while (remaining > 0 &&
+           window_chunks.size() <
+               static_cast<std::size_t>(cfg.daemon_window)) {
+      const std::size_t chunk =
+          std::min(cfg.daemon_fragment_bytes, remaining);
+      window_chunks.push_back(chunk);
+      remaining -= chunk;
+    }
+    const std::uint64_t window_end = window_base + window_chunks.size();
+    flow.next_send_seq = window_end;
+
+    auto send_window = [&] {
+      std::uint64_t seq = window_base;
+      for (std::size_t chunk : window_chunks) {
+        ws_.stack().udp_send(peer_host, kDaemonDataPort, kDaemonDataPort,
+                             chunk + cfg.daemon_fragment_header, seq++);
+        ++stats_.data_fragments_sent;
+      }
+    };
+    send_window();
+    // Per-fragment daemon processing cost.
+    co_await sim::delay(
+        simulator,
+        sim::micros(50.0 * static_cast<double>(window_chunks.size())));
+
+    int polls_without_ack = 0;
+    while (flow.highest_ack < window_end) {
+      co_await sim::delay(simulator, sim::millis(20));
+      if (flow.highest_ack >= window_end) break;
+      if (++polls_without_ack >= 10) {  // ~200 ms ack timeout
+        ++stats_.retransmissions;
+        send_window();
+        polls_without_ack = 0;
+      }
+    }
+  }
+}
+
+void Daemon::on_data(const net::IpDatagram& d) {
+  const PvmConfig& cfg = vm_.config();
+  PerSource& flow = per_source(d.src);
+  assert(d.payload_bytes >= cfg.daemon_fragment_header);
+
+  auto send_ack = [&] {
+    ws_.stack().udp_send(d.src, kDaemonAckPort, kDaemonAckPort,
+                         cfg.daemon_ack_bytes, flow.next_expected_seq);
+    ++stats_.acks_sent;
+    flow.fragments_since_ack = 0;
+  };
+
+  if (d.app_seq != flow.next_expected_seq) {
+    // Duplicate (retransmitted window after a lost ack) or out-of-order
+    // remnant: drop it and re-advertise our cumulative position.
+    ++stats_.duplicates_dropped;
+    send_ack();
+    return;
+  }
+  flow.next_expected_seq = d.app_seq + 1;
+  flow.bytes_accumulated += d.payload_bytes - cfg.daemon_fragment_header;
+
+  bool completed = false;
+  while (!flow.expected.empty() &&
+         flow.bytes_accumulated >= flow.expected.front().wire_bytes()) {
+    Message complete = std::move(flow.expected.front());
+    flow.expected.pop_front();
+    flow.bytes_accumulated -= complete.wire_bytes();
+    service_.push_back(sim::spawn(complete_delivery(std::move(complete))));
+    completed = true;
+  }
+
+  if (++flow.fragments_since_ack >=
+          static_cast<std::size_t>(cfg.daemon_window) ||
+      completed) {
+    send_ack();
+  }
+}
+
+sim::Co<void> Daemon::complete_delivery(Message message) {
+  // Daemon -> task IPC copy on the receiving host.
+  co_await ws_.busy(ipc_time(message.wire_bytes()));
+  vm_.task(vm_.tid_of(host())).deliver(std::move(message));
+}
+
+void Daemon::on_ack(const net::IpDatagram& d) {
+  PerSource& flow = per_source(d.src);
+  flow.highest_ack = std::max(flow.highest_ack, d.app_seq);
+}
+
+}  // namespace fxtraf::pvm

@@ -1,0 +1,76 @@
+// The pvmd daemon: UDP control traffic between daemons and the (slower)
+// daemon-routed message path, paper section 4.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <vector>
+
+#include "host/workstation.hpp"
+#include "pvm/message.hpp"
+#include "simcore/coro.hpp"
+
+namespace fxtraf::pvm {
+
+class VirtualMachine;
+
+struct DaemonStats {
+  std::uint64_t messages_routed = 0;
+  std::uint64_t data_fragments_sent = 0;
+  std::uint64_t acks_sent = 0;
+  std::uint64_t keepalives_sent = 0;
+  std::uint64_t retransmissions = 0;  ///< windows resent on ack timeout
+  std::uint64_t duplicates_dropped = 0;
+};
+
+class Daemon {
+ public:
+  Daemon(VirtualMachine& vm, host::Workstation& workstation);
+
+  Daemon(const Daemon&) = delete;
+  Daemon& operator=(const Daemon&) = delete;
+
+  [[nodiscard]] net::HostId host() const { return ws_.id(); }
+  [[nodiscard]] const DaemonStats& stats() const { return stats_; }
+
+  /// Binds UDP ports and spawns the keepalive loop.
+  void start();
+
+  /// Routes one message from the local task to `dst_tid`'s daemon:
+  /// IPC copy in, windowed UDP fragments across, IPC copy out.
+  [[nodiscard]] sim::Co<void> route(Message message, int dst_tid);
+
+  /// Sender side registers the message with this (receiving) daemon before
+  /// the first fragment leaves (wire metadata only).
+  void expect(net::HostId from, const Message& message);
+
+ private:
+  struct PerSource {
+    // Receiving side (data arriving *from* this peer).
+    std::deque<Message> expected;       ///< descriptors in arrival order
+    std::size_t bytes_accumulated = 0;  ///< payload bytes received
+    std::size_t fragments_since_ack = 0;
+    std::uint64_t next_expected_seq = 0;
+    // Sending side (data going *to* this peer).
+    std::uint64_t next_send_seq = 0;
+    /// Cumulative ack received from this peer: all fragments with
+    /// seq < highest_ack are known delivered.
+    std::uint64_t highest_ack = 0;
+  };
+
+  [[nodiscard]] sim::Co<void> keepalive_loop();
+  [[nodiscard]] sim::Co<void> complete_delivery(Message message);
+  void on_data(const net::IpDatagram& datagram);
+  void on_ack(const net::IpDatagram& datagram);
+  [[nodiscard]] PerSource& per_source(net::HostId peer);
+  [[nodiscard]] sim::Duration ipc_time(std::size_t bytes) const;
+
+  VirtualMachine& vm_;
+  host::Workstation& ws_;
+  std::map<net::HostId, PerSource> sources_;
+  std::vector<sim::Process> service_;
+  DaemonStats stats_;
+};
+
+}  // namespace fxtraf::pvm

@@ -1,0 +1,111 @@
+// PVM message model: pack API and fragment-list representation.
+//
+// Paper section 4: PVM stores a message as a list of fragments which are
+// handed to the socket layer independently.  Most Fx kernels assemble the
+// whole message in a copy loop first (one large fragment); T2DFFT performs
+// multiple packs per message and so sends many fragments, producing its
+// anomalous packet-size distribution.  Both assembly modes are modeled.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+namespace fxtraf::pvm {
+
+/// PVM message header carried in front of the first fragment (tag, source,
+/// encoding, length bookkeeping).
+inline constexpr std::size_t kMessageHeaderBytes = 32;
+
+/// Default pvmd data-buffer fragment limit.
+inline constexpr std::size_t kDefaultFragmentLimit = 4080;
+
+enum class AssemblyMode : std::uint8_t {
+  kCopyLoop,      ///< packs copied into one contiguous fragment
+  kFragmentList,  ///< each pack kept as an independent fragment
+};
+
+[[nodiscard]] constexpr const char* to_string(AssemblyMode m) {
+  return m == AssemblyMode::kCopyLoop ? "copy-loop" : "fragment-list";
+}
+
+/// An assembled message ready for transmission.
+struct Message {
+  int tag = 0;
+  int source_tid = -1;  ///< filled in by Task::send
+  std::vector<std::size_t> fragments;
+
+  [[nodiscard]] std::size_t payload_bytes() const {
+    return std::accumulate(fragments.begin(), fragments.end(),
+                           std::size_t{0});
+  }
+  /// Bytes crossing the transport, including the message header.
+  [[nodiscard]] std::size_t wire_bytes() const {
+    return payload_bytes() + kMessageHeaderBytes;
+  }
+};
+
+/// pvm_initsend/pvm_pk* analog: accumulates packed data.
+///
+/// Fragment-list mode models PVM's databuf behaviour: packs fill the
+/// current fragment up to the fragment limit and spill into fresh ones,
+/// so a multi-pack message becomes a chain of limit-sized fragments plus
+/// a tail.  Copy-loop mode coalesces everything into one large fragment
+/// (the intermediate application copy produces a single contiguous
+/// buffer, paper section 4).
+class MessageBuilder {
+ public:
+  explicit MessageBuilder(AssemblyMode mode,
+                          std::size_t fragment_limit = kDefaultFragmentLimit)
+      : mode_(mode), fragment_limit_(fragment_limit) {}
+
+  void pack_bytes(std::size_t n) {
+    if (n == 0) return;
+    ++pack_calls_;
+    total_ += n;
+    if (mode_ == AssemblyMode::kFragmentList) {
+      while (n > 0) {
+        if (fragments_.empty() || fragments_.back() == fragment_limit_) {
+          fragments_.push_back(0);
+        }
+        const std::size_t take =
+            std::min(n, fragment_limit_ - fragments_.back());
+        fragments_.back() += take;
+        n -= take;
+      }
+    }
+  }
+  void pack_doubles(std::size_t n) { pack_bytes(8 * n); }
+  void pack_floats(std::size_t n) { pack_bytes(4 * n); }
+  void pack_ints(std::size_t n) { pack_bytes(4 * n); }
+
+  [[nodiscard]] std::size_t pack_calls() const { return pack_calls_; }
+  [[nodiscard]] std::size_t total_bytes() const { return total_; }
+
+  /// Finalizes the message.  Copy-loop mode emits one fragment holding
+  /// everything packed so far.
+  [[nodiscard]] Message finish(int tag) {
+    Message m;
+    m.tag = tag;
+    if (mode_ == AssemblyMode::kCopyLoop) {
+      if (total_ > 0) m.fragments.push_back(total_);
+    } else {
+      m.fragments = std::move(fragments_);
+    }
+    fragments_.clear();
+    total_ = 0;
+    pack_calls_ = 0;
+    return m;
+  }
+
+ private:
+  AssemblyMode mode_;
+  std::size_t fragment_limit_;
+  std::vector<std::size_t> fragments_;
+  std::size_t total_ = 0;
+  std::size_t pack_calls_ = 0;
+};
+
+}  // namespace fxtraf::pvm

@@ -1,0 +1,130 @@
+#include "pvm/task.hpp"
+
+#include <cassert>
+
+#include "pvm/daemon.hpp"
+#include "pvm/vm.hpp"
+#include "simcore/log.hpp"
+
+namespace fxtraf::pvm {
+
+Task::Task(VirtualMachine& vm, host::Workstation& workstation, int tid)
+    : vm_(vm), ws_(workstation), tid_(tid) {}
+
+std::uint16_t Task::port() const {
+  return static_cast<std::uint16_t>(kTaskBasePort + tid_);
+}
+
+MessageBuilder Task::make_builder() const {
+  return MessageBuilder(vm_.config().assembly, vm_.config().fragment_limit);
+}
+
+void Task::start() { service_.push_back(sim::spawn(accept_loop())); }
+
+sim::Co<void> Task::accept_loop() {
+  auto& accept_queue = ws_.stack().tcp_listen(port());
+  for (;;) {
+    net::TcpConnection* conn = co_await accept_queue.pop();
+    service_.push_back(sim::spawn(connection_reader(conn)));
+  }
+}
+
+sim::Co<void> Task::connection_reader(net::TcpConnection* conn) {
+  sim::Simulator& simulator = vm_.simulator();
+  auto& descriptors = inbound_descriptors(conn->remote_host());
+  const PvmConfig& cfg = vm_.config();
+  for (;;) {
+    Message m = co_await descriptors.pop();
+    co_await conn->recv(m.wire_bytes());
+    // Unpack / task wakeup overhead on the receiving CPU.
+    co_await sim::delay(simulator, cfg.recv_overhead);
+    deliver(std::move(m));
+  }
+}
+
+sim::CoQueue<Message>& Task::inbound_descriptors(net::HostId from) {
+  auto& slot = inbound_[from];
+  if (!slot) slot = std::make_unique<sim::CoQueue<Message>>();
+  return *slot;
+}
+
+sim::CoQueue<Message>& Task::mailbox(int src_tid, int tag) {
+  auto& slot = mailboxes_[{src_tid, tag}];
+  if (!slot) slot = std::make_unique<sim::CoQueue<Message>>();
+  return *slot;
+}
+
+void Task::deliver(Message message) {
+  ++stats_.messages_received;
+  mailbox(message.source_tid, message.tag)
+      .push(vm_.simulator(), std::move(message));
+}
+
+sim::Co<net::TcpConnection*> Task::direct_connection(int dst_tid) {
+  auto it = outbound_.find(dst_tid);
+  if (it != outbound_.end()) {
+    // Another send may still be mid-handshake on this connection.
+    co_await outbound_connecting_[dst_tid].wait();
+    co_return it->second;
+  }
+  net::TcpConnection& conn = ws_.stack().tcp_connect(
+      vm_.host_of(dst_tid), vm_.task(dst_tid).port());
+  outbound_[dst_tid] = &conn;
+  sim::CoEvent& established = outbound_connecting_[dst_tid];
+  co_await conn.connect();
+  established.set(vm_.simulator());
+  co_return &conn;
+}
+
+sim::Co<void> Task::send(int dst_tid, Message message) {
+  assert(dst_tid >= 0 && dst_tid < vm_.ntasks());
+  const PvmConfig& cfg = vm_.config();
+  message.source_tid = tid_;
+
+  ++stats_.messages_sent;
+  stats_.bytes_sent += message.payload_bytes();
+
+  // Message assembly cost: copy-loop pays memcpy bandwidth; fragment-list
+  // pays per-pack bookkeeping instead (paper section 4).
+  sim::Duration assembly_cost = cfg.per_message_overhead;
+  if (cfg.assembly == AssemblyMode::kCopyLoop) {
+    assembly_cost += sim::seconds(
+        static_cast<double>(message.payload_bytes()) /
+        cfg.copy_rate_bytes_per_s);
+  } else {
+    assembly_cost += cfg.pack_overhead *
+                     static_cast<std::int64_t>(message.fragments.size());
+  }
+  co_await ws_.busy(assembly_cost);
+
+  if (dst_tid == tid_) {  // loopback, no network
+    deliver(std::move(message));
+    co_return;
+  }
+
+  if (cfg.route == RouteMode::kDaemon) {
+    co_await vm_.daemon_of(ws_.id()).route(std::move(message), dst_tid);
+    co_return;
+  }
+
+  net::TcpConnection* conn = co_await direct_connection(dst_tid);
+  Task& peer = vm_.task(dst_tid);
+  peer.inbound_descriptors(ws_.id()).push(vm_.simulator(), message);
+
+  // Hand each fragment to the socket layer independently; the message
+  // header travels in front of the first fragment.  write() blocks when
+  // the socket buffer fills, which is what paces a pipelined sender.
+  bool first = true;
+  for (std::size_t fragment : message.fragments) {
+    co_await conn->write(fragment + (first ? kMessageHeaderBytes : 0));
+    first = false;
+  }
+  if (first) co_await conn->write(kMessageHeaderBytes);  // empty message
+}
+
+sim::Co<Message> Task::recv(int src_tid, int tag) {
+  Message m = co_await mailbox(src_tid, tag).pop();
+  co_return m;
+}
+
+}  // namespace fxtraf::pvm

@@ -1,0 +1,80 @@
+// A PVM user task (one SPMD process), with message send/receive over the
+// configured route and tag-matched mailboxes.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <utility>
+
+#include "host/workstation.hpp"
+#include "net/stack.hpp"
+#include "pvm/message.hpp"
+#include "simcore/coro.hpp"
+
+namespace fxtraf::pvm {
+
+class VirtualMachine;
+
+struct TaskStats {
+  std::uint64_t messages_sent = 0;
+  std::uint64_t messages_received = 0;
+  std::uint64_t bytes_sent = 0;  ///< application payload
+};
+
+class Task {
+ public:
+  Task(VirtualMachine& vm, host::Workstation& workstation, int tid);
+
+  Task(const Task&) = delete;
+  Task& operator=(const Task&) = delete;
+
+  [[nodiscard]] int tid() const { return tid_; }
+  [[nodiscard]] host::Workstation& workstation() { return ws_; }
+  [[nodiscard]] const TaskStats& stats() const { return stats_; }
+
+  /// Listening port for inbound direct-route connections.
+  [[nodiscard]] std::uint16_t port() const;
+
+  /// Builder honoring the VM's configured assembly mode.
+  [[nodiscard]] MessageBuilder make_builder() const;
+
+  /// Spawns the direct-route accept loop.  Called by VirtualMachine.
+  void start();
+
+  /// pvm_send analog: models assembly CPU cost, then ships the message on
+  /// the configured route.  Completes when the data has been handed to
+  /// the transport (direct) or accepted by the remote daemon (daemon).
+  [[nodiscard]] sim::Co<void> send(int dst_tid, Message message);
+
+  /// pvm_recv analog: awaits a message from `src_tid` with `tag`.
+  [[nodiscard]] sim::Co<Message> recv(int src_tid, int tag);
+
+  /// Final delivery into the mailbox (used by routes and loopback).
+  void deliver(Message message);
+
+  /// Per-source descriptor stream for inbound direct connections; the
+  /// sender pushes, our connection reader pops (wire metadata only —
+  /// timing is governed by the TCP byte stream).
+  [[nodiscard]] sim::CoQueue<Message>& inbound_descriptors(net::HostId from);
+
+ private:
+  [[nodiscard]] sim::Co<void> accept_loop();
+  [[nodiscard]] sim::Co<void> connection_reader(net::TcpConnection* conn);
+  [[nodiscard]] sim::Co<net::TcpConnection*> direct_connection(int dst_tid);
+  [[nodiscard]] sim::CoQueue<Message>& mailbox(int src_tid, int tag);
+
+  VirtualMachine& vm_;
+  host::Workstation& ws_;
+  int tid_;
+
+  std::map<int, net::TcpConnection*> outbound_;        // dst tid -> conn
+  std::map<int, sim::CoEvent> outbound_connecting_;    // in-progress opens
+  std::map<net::HostId, std::unique_ptr<sim::CoQueue<Message>>> inbound_;
+  std::map<std::pair<int, int>, std::unique_ptr<sim::CoQueue<Message>>>
+      mailboxes_;
+  std::vector<sim::Process> service_;
+  TaskStats stats_;
+};
+
+}  // namespace fxtraf::pvm

@@ -1,0 +1,52 @@
+#include "pvm/vm.hpp"
+
+#include <stdexcept>
+
+#include "pvm/daemon.hpp"
+#include "pvm/task.hpp"
+
+namespace fxtraf::pvm {
+
+VirtualMachine::VirtualMachine(sim::Simulator& simulator,
+                               std::vector<host::Workstation*> hosts,
+                               PvmConfig config)
+    : sim_(simulator), hosts_(std::move(hosts)), config_(config) {
+  tasks_.reserve(hosts_.size());
+  daemons_.reserve(hosts_.size());
+  for (std::size_t i = 0; i < hosts_.size(); ++i) {
+    tasks_.push_back(
+        std::make_unique<Task>(*this, *hosts_[i], static_cast<int>(i)));
+    daemons_.push_back(std::make_unique<Daemon>(*this, *hosts_[i]));
+  }
+}
+
+VirtualMachine::~VirtualMachine() = default;
+
+void VirtualMachine::start() {
+  for (auto& daemon : daemons_) daemon->start();
+  for (auto& task : tasks_) task->start();
+}
+
+Task& VirtualMachine::task(int tid) {
+  return *tasks_.at(static_cast<std::size_t>(tid));
+}
+
+Daemon& VirtualMachine::daemon_of(net::HostId host) {
+  for (std::size_t i = 0; i < hosts_.size(); ++i) {
+    if (hosts_[i]->id() == host) return *daemons_[i];
+  }
+  throw std::out_of_range("daemon_of: host not in virtual machine");
+}
+
+Daemon& VirtualMachine::daemon_for_tid(int tid) {
+  return *daemons_.at(static_cast<std::size_t>(tid));
+}
+
+int VirtualMachine::tid_of(net::HostId host) const {
+  for (std::size_t i = 0; i < hosts_.size(); ++i) {
+    if (hosts_[i]->id() == host) return static_cast<int>(i);
+  }
+  throw std::out_of_range("tid_of: host not in virtual machine");
+}
+
+}  // namespace fxtraf::pvm

@@ -1,0 +1,97 @@
+// The "parallel virtual machine": host table, tasks, daemons, and the
+// communication-mechanism configuration of paper section 4.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "host/workstation.hpp"
+#include "pvm/message.hpp"
+#include "simcore/simulator.hpp"
+#include "simcore/time.hpp"
+
+namespace fxtraf::pvm {
+
+class Task;
+class Daemon;
+
+/// Which path a task-to-task message takes (user selectable in PVM).
+enum class RouteMode : std::uint8_t {
+  kDirect,  ///< task-to-task TCP (PvmRouteDirect); used by all Fx programs
+  kDaemon,  ///< via the pvmd daemons over UDP (PVM default)
+};
+
+[[nodiscard]] constexpr const char* to_string(RouteMode m) {
+  return m == RouteMode::kDirect ? "direct-tcp" : "daemon-udp";
+}
+
+struct PvmConfig {
+  RouteMode route = RouteMode::kDirect;
+  AssemblyMode assembly = AssemblyMode::kCopyLoop;
+  std::size_t fragment_limit = kDefaultFragmentLimit;
+
+  // Sender-side CPU costs.
+  double copy_rate_bytes_per_s = 80e6;  ///< copy-loop memcpy bandwidth
+  sim::Duration pack_overhead = sim::micros(4);        ///< per pack call
+  sim::Duration per_message_overhead = sim::micros(40);  ///< send syscall etc.
+  sim::Duration recv_overhead = sim::micros(30);         ///< unpack, wakeup
+
+  // Daemon (pvmd) parameters.
+  std::size_t daemon_fragment_bytes = 1400;  ///< UDP data chunk payload
+  std::size_t daemon_fragment_header = 16;
+  int daemon_window = 4;  ///< fragments in flight between acks
+  std::size_t daemon_ack_bytes = 16;
+  double ipc_rate_bytes_per_s = 60e6;  ///< task <-> daemon local IPC
+  sim::Duration ipc_overhead = sim::micros(60);
+  bool keepalives_enabled = true;
+  /// pvmd host-table pings are infrequent; frequent keepalives would
+  /// dominate the sparse kernels' traces, which the paper's tables rule
+  /// out (SOR's minimum packet is a TCP ACK, not a daemon ping).
+  sim::Duration keepalive_interval = sim::seconds(30);
+  std::size_t keepalive_bytes = 24;
+};
+
+inline constexpr std::uint16_t kTaskBasePort = 2000;
+inline constexpr std::uint16_t kDaemonDataPort = 1060;
+inline constexpr std::uint16_t kDaemonAckPort = 1061;
+inline constexpr std::uint16_t kDaemonControlPort = 1062;
+
+/// Owns one Task and one Daemon per workstation.  Task ids are dense
+/// 0..P-1 in host-table order, matching the Fx processor numbering.
+class VirtualMachine {
+ public:
+  VirtualMachine(sim::Simulator& simulator,
+                 std::vector<host::Workstation*> hosts, PvmConfig config);
+  ~VirtualMachine();
+
+  VirtualMachine(const VirtualMachine&) = delete;
+  VirtualMachine& operator=(const VirtualMachine&) = delete;
+
+  /// Spawns task accept loops and daemon service loops.  Call once before
+  /// running the simulator.
+  void start();
+
+  [[nodiscard]] sim::Simulator& simulator() { return sim_; }
+  [[nodiscard]] const PvmConfig& config() const { return config_; }
+  [[nodiscard]] int ntasks() const { return static_cast<int>(hosts_.size()); }
+  [[nodiscard]] Task& task(int tid);
+  [[nodiscard]] Daemon& daemon_of(net::HostId host);
+  [[nodiscard]] Daemon& daemon_for_tid(int tid);
+  [[nodiscard]] host::Workstation& workstation(int tid) {
+    return *hosts_.at(static_cast<std::size_t>(tid));
+  }
+  [[nodiscard]] net::HostId host_of(int tid) const {
+    return hosts_.at(static_cast<std::size_t>(tid))->id();
+  }
+  [[nodiscard]] int tid_of(net::HostId host) const;
+
+ private:
+  sim::Simulator& sim_;
+  std::vector<host::Workstation*> hosts_;
+  PvmConfig config_;
+  std::vector<std::unique_ptr<Task>> tasks_;
+  std::vector<std::unique_ptr<Daemon>> daemons_;
+};
+
+}  // namespace fxtraf::pvm

@@ -1,0 +1,368 @@
+// C++20 coroutine support for writing simulated processes.
+//
+// Model code (the Fx SPMD runtime, PVM tasks, the TCP stack's blocking
+// waits) is written as straight-line coroutines:
+//
+//     sim::Co<void> worker(sim::Simulator& s, ...) {
+//       co_await sim::delay(s, sim::millis(5));   // compute phase
+//       co_await queue.pop(s);                    // blocking receive
+//     }
+//
+// `Co<T>` is a lazily-started awaitable coroutine used for subroutines;
+// `spawn()` turns a `Co<void>` into a detached top-level `Process` whose
+// completion (or failure) is observable after the simulator runs.  All
+// resumptions are funnelled through the event queue at the current
+// timestamp, keeping execution order deterministic and stacks shallow.
+#pragma once
+
+#include <cassert>
+#include <coroutine>
+#include <deque>
+#include <exception>
+#include <memory>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "simcore/simulator.hpp"
+
+namespace fxtraf::sim {
+
+template <typename T = void>
+class Co;
+
+namespace detail {
+
+template <typename T>
+struct CoPromiseBase {
+  std::coroutine_handle<> continuation;  // resumed at final suspend
+  std::exception_ptr error;
+
+  std::suspend_always initial_suspend() noexcept { return {}; }
+
+  struct FinalAwaiter {
+    bool await_ready() noexcept { return false; }
+    template <typename Promise>
+    std::coroutine_handle<> await_suspend(
+        std::coroutine_handle<Promise> h) noexcept {
+      auto cont = h.promise().continuation;
+      return cont ? cont : std::noop_coroutine();
+    }
+    void await_resume() noexcept {}
+  };
+  FinalAwaiter final_suspend() noexcept { return {}; }
+
+  void unhandled_exception() { error = std::current_exception(); }
+};
+
+}  // namespace detail
+
+/// Lazily-started awaitable coroutine returning T.
+template <typename T>
+class [[nodiscard]] Co {
+ public:
+  struct promise_type : detail::CoPromiseBase<T> {
+    std::optional<T> value;
+
+    Co get_return_object() {
+      return Co{std::coroutine_handle<promise_type>::from_promise(*this)};
+    }
+    template <typename U>
+    void return_value(U&& v) {
+      value.emplace(std::forward<U>(v));
+    }
+  };
+
+  Co(Co&& o) noexcept : handle_(std::exchange(o.handle_, {})) {}
+  Co(const Co&) = delete;
+  Co& operator=(const Co&) = delete;
+  Co& operator=(Co&& o) noexcept {
+    if (this != &o) {
+      destroy();
+      handle_ = std::exchange(o.handle_, {});
+    }
+    return *this;
+  }
+  ~Co() { destroy(); }
+
+  bool await_ready() const noexcept { return false; }
+  std::coroutine_handle<> await_suspend(std::coroutine_handle<> awaiter) {
+    handle_.promise().continuation = awaiter;
+    return handle_;  // start the child; symmetric transfer
+  }
+  T await_resume() {
+    auto& p = handle_.promise();
+    if (p.error) std::rethrow_exception(p.error);
+    return std::move(*p.value);
+  }
+
+ private:
+  explicit Co(std::coroutine_handle<promise_type> h) : handle_(h) {}
+  void destroy() {
+    if (handle_) handle_.destroy();
+  }
+  std::coroutine_handle<promise_type> handle_;
+};
+
+template <>
+class [[nodiscard]] Co<void> {
+ public:
+  struct promise_type : detail::CoPromiseBase<void> {
+    Co get_return_object() {
+      return Co{std::coroutine_handle<promise_type>::from_promise(*this)};
+    }
+    void return_void() {}
+  };
+
+  Co(Co&& o) noexcept : handle_(std::exchange(o.handle_, {})) {}
+  Co(const Co&) = delete;
+  Co& operator=(const Co&) = delete;
+  Co& operator=(Co&& o) noexcept {
+    if (this != &o) {
+      destroy();
+      handle_ = std::exchange(o.handle_, {});
+    }
+    return *this;
+  }
+  ~Co() { destroy(); }
+
+  bool await_ready() const noexcept { return false; }
+  std::coroutine_handle<> await_suspend(std::coroutine_handle<> awaiter) {
+    handle_.promise().continuation = awaiter;
+    return handle_;
+  }
+  void await_resume() {
+    auto& p = handle_.promise();
+    if (p.error) std::rethrow_exception(p.error);
+  }
+
+ private:
+  friend class Process;
+  explicit Co(std::coroutine_handle<promise_type> h) : handle_(h) {}
+  void destroy() {
+    if (handle_) handle_.destroy();
+  }
+  std::coroutine_handle<promise_type> handle_;
+};
+
+/// Handle to a detached top-level coroutine process.
+///
+/// The process body starts running synchronously inside spawn() until its
+/// first suspension; from then on the event queue drives it.  After the
+/// simulator runs, `done()` distinguishes completion from deadlock, and
+/// `rethrow_if_failed()` surfaces exceptions thrown inside the process.
+class Process {
+ public:
+  Process() = default;
+
+  [[nodiscard]] bool done() const { return state_ && state_->done; }
+  [[nodiscard]] bool failed() const { return state_ && state_->error; }
+  void rethrow_if_failed() const {
+    if (state_ && state_->error) std::rethrow_exception(state_->error);
+  }
+
+  friend Process spawn(Co<void> body);
+
+ private:
+  struct State {
+    bool done = false;
+    std::exception_ptr error;
+  };
+
+  struct Detached {
+    struct promise_type {
+      Detached get_return_object() { return {}; }
+      std::suspend_never initial_suspend() noexcept { return {}; }
+      std::suspend_never final_suspend() noexcept { return {}; }
+      void return_void() {}
+      void unhandled_exception() { std::terminate(); }  // Co<> catches all
+    };
+  };
+
+  static Detached drive(Co<void> body, std::shared_ptr<State> state) {
+    try {
+      co_await std::move(body);
+    } catch (...) {
+      state->error = std::current_exception();
+    }
+    state->done = true;
+  }
+
+  std::shared_ptr<State> state_;
+};
+
+/// Launches `body` as a detached process; see Process.
+inline Process spawn(Co<void> body) {
+  Process p;
+  p.state_ = std::make_shared<Process::State>();
+  Process::drive(std::move(body), p.state_);
+  return p;
+}
+
+/// Awaitable that suspends the current coroutine for `d` of simulated time.
+struct DelayAwaiter {
+  Simulator& simulator;
+  Duration duration;
+
+  bool await_ready() const noexcept { return false; }
+  void await_suspend(std::coroutine_handle<> h) {
+    simulator.schedule_in(duration, [h] { h.resume(); });
+  }
+  void await_resume() const noexcept {}
+};
+
+[[nodiscard]] inline DelayAwaiter delay(Simulator& s, Duration d) {
+  return DelayAwaiter{s, d};
+}
+
+/// Background variant: the wakeup never keeps the simulator alive on its
+/// own (for service loops such as daemon keepalives).
+struct BackgroundDelayAwaiter {
+  Simulator& simulator;
+  Duration duration;
+
+  bool await_ready() const noexcept { return false; }
+  void await_suspend(std::coroutine_handle<> h) {
+    simulator.schedule_in_background(duration, [h] { h.resume(); });
+  }
+  void await_resume() const noexcept {}
+};
+
+[[nodiscard]] inline BackgroundDelayAwaiter delay_background(Simulator& s,
+                                                             Duration d) {
+  return BackgroundDelayAwaiter{s, d};
+}
+
+/// One-shot event: waiters suspend until set() fires; afterwards waiting
+/// completes immediately.
+class CoEvent {
+ public:
+  [[nodiscard]] bool is_set() const { return set_; }
+
+  void set(Simulator& s) {
+    if (set_) return;
+    set_ = true;
+    for (auto h : waiters_) s.schedule_now([h] { h.resume(); });
+    waiters_.clear();
+  }
+
+  struct Awaiter {
+    CoEvent& event;
+    bool await_ready() const noexcept { return event.set_; }
+    void await_suspend(std::coroutine_handle<> h) {
+      event.waiters_.push_back(h);
+    }
+    void await_resume() const noexcept {}
+  };
+  [[nodiscard]] Awaiter wait() { return Awaiter{*this}; }
+
+ private:
+  bool set_ = false;
+  std::vector<std::coroutine_handle<>> waiters_;
+};
+
+/// Unbounded FIFO channel between coroutines.
+///
+/// Invariant: at most one of (buffered items, suspended consumers) is
+/// non-empty.  Hand-off goes through the event queue so a push never runs
+/// consumer code inline.
+template <typename T>
+class CoQueue {
+ public:
+  void push(Simulator& s, T value) {
+    if (!waiters_.empty()) {
+      Waiter w = std::move(waiters_.front());
+      waiters_.pop_front();
+      w.slot->emplace(std::move(value));
+      s.schedule_now([h = w.handle] { h.resume(); });
+      return;
+    }
+    items_.push_back(std::move(value));
+  }
+
+  [[nodiscard]] std::size_t size() const { return items_.size(); }
+  [[nodiscard]] bool has_waiters() const { return !waiters_.empty(); }
+
+  /// Non-blocking pop (for poll-with-timeout protocols).
+  [[nodiscard]] std::optional<T> try_pop() {
+    if (items_.empty()) return std::nullopt;
+    T value = std::move(items_.front());
+    items_.pop_front();
+    return value;
+  }
+
+  struct PopAwaiter {
+    CoQueue& queue;
+    std::shared_ptr<std::optional<T>> slot =
+        std::make_shared<std::optional<T>>();
+
+    bool await_ready() noexcept {
+      if (queue.items_.empty()) return false;
+      slot->emplace(std::move(queue.items_.front()));
+      queue.items_.pop_front();
+      return true;
+    }
+    void await_suspend(std::coroutine_handle<> h) {
+      queue.waiters_.push_back(Waiter{h, slot});
+    }
+    T await_resume() {
+      assert(slot->has_value());
+      return std::move(**slot);
+    }
+  };
+
+  /// Awaitable removing the next item, FIFO among waiting consumers.
+  [[nodiscard]] PopAwaiter pop() { return PopAwaiter{*this}; }
+
+ private:
+  struct Waiter {
+    std::coroutine_handle<> handle;
+    std::shared_ptr<std::optional<T>> slot;
+  };
+
+  std::deque<T> items_;
+  std::deque<Waiter> waiters_;
+};
+
+/// Cyclic barrier for n coroutine participants.
+class CoBarrier {
+ public:
+  explicit CoBarrier(std::size_t parties) : parties_(parties) {}
+
+  [[nodiscard]] std::size_t parties() const { return parties_; }
+
+  struct Awaiter {
+    CoBarrier& barrier;
+    Simulator& simulator;
+
+    bool await_ready() const noexcept {
+      return barrier.parties_ <= 1;  // degenerate barrier never blocks
+    }
+    bool await_suspend(std::coroutine_handle<> h) {
+      barrier.waiting_.push_back(h);
+      if (barrier.waiting_.size() == barrier.parties_) {
+        for (auto w : barrier.waiting_) {
+          simulator.schedule_now([w] { w.resume(); });
+        }
+        barrier.waiting_.clear();
+        ++barrier.generation_;
+      }
+      return true;  // last arriver also resumes via the event queue
+    }
+    void await_resume() const noexcept {}
+  };
+
+  /// Awaitable that releases everyone once all parties have arrived.
+  [[nodiscard]] Awaiter arrive_and_wait(Simulator& s) {
+    return Awaiter{*this, s};
+  }
+
+  [[nodiscard]] std::uint64_t generation() const { return generation_; }
+
+ private:
+  std::size_t parties_;
+  std::vector<std::coroutine_handle<>> waiting_;
+  std::uint64_t generation_ = 0;
+};
+
+}  // namespace fxtraf::sim

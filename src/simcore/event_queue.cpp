@@ -1,0 +1,50 @@
+#include "simcore/event_queue.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace fxtraf::sim {
+
+EventId EventQueue::push(SimTime at, Action action, bool background) {
+  const std::uint64_t seq = next_seq_++;
+  heap_.push_back(Entry{at, seq, std::move(action)});
+  std::push_heap(heap_.begin(), heap_.end());
+  pending_.emplace(seq, background);
+  if (!background) ++foreground_count_;
+  return EventId{seq};
+}
+
+void EventQueue::cancel(EventId id) {
+  auto it = pending_.find(id.seq);
+  if (it == pending_.end()) return;
+  if (!it->second) --foreground_count_;
+  pending_.erase(it);
+}
+
+void EventQueue::drop_dead_prefix() {
+  while (!heap_.empty() && !pending_.contains(heap_.front().seq)) {
+    std::pop_heap(heap_.begin(), heap_.end());
+    heap_.pop_back();
+  }
+}
+
+SimTime EventQueue::next_time() {
+  drop_dead_prefix();
+  if (heap_.empty()) return SimTime::infinity();
+  return heap_.front().time;
+}
+
+std::pair<SimTime, EventQueue::Action> EventQueue::pop() {
+  drop_dead_prefix();
+  assert(!heap_.empty() && "pop() on empty EventQueue");
+  std::pop_heap(heap_.begin(), heap_.end());
+  Entry e = std::move(heap_.back());
+  heap_.pop_back();
+  auto it = pending_.find(e.seq);
+  assert(it != pending_.end());
+  if (!it->second) --foreground_count_;
+  pending_.erase(it);
+  return {e.time, std::move(e.action)};
+}
+
+}  // namespace fxtraf::sim

@@ -1,0 +1,75 @@
+// Pending-event set for the discrete-event simulator.
+//
+// A binary heap ordered by (time, sequence number).  The sequence number
+// makes ordering of same-timestamp events FIFO and therefore deterministic,
+// which the reproduction relies on for exact replayability.
+//
+// Events are *foreground* by default; *background* events (daemon
+// keepalive timers and other service heartbeats) never keep the simulator
+// alive on their own — `Simulator::run()` stops once only background
+// events remain, mirroring how a measurement ends when the measured
+// program exits even though the pvmds keep running.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "simcore/time.hpp"
+
+namespace fxtraf::sim {
+
+/// Token identifying a scheduled event, usable for cancellation.
+struct EventId {
+  std::uint64_t seq = 0;
+  friend constexpr bool operator==(EventId, EventId) = default;
+};
+
+class EventQueue {
+ public:
+  using Action = std::function<void()>;
+
+  /// Schedules `action` at absolute time `at`.  Returns a cancellation id.
+  EventId push(SimTime at, Action action, bool background = false);
+
+  /// Marks an event dead; it is skipped (and reclaimed) when reached.
+  /// Cancelling an already-fired or unknown event is a harmless no-op.
+  void cancel(EventId id);
+
+  [[nodiscard]] bool empty() const { return pending_.empty(); }
+  [[nodiscard]] std::size_t size() const { return pending_.size(); }
+  [[nodiscard]] std::size_t foreground_count() const {
+    return foreground_count_;
+  }
+
+  /// Earliest live pending event time; SimTime::infinity() when empty.
+  [[nodiscard]] SimTime next_time();
+
+  /// Removes and returns the earliest live event.  Precondition: !empty().
+  std::pair<SimTime, Action> pop();
+
+ private:
+  struct Entry {
+    SimTime time;
+    std::uint64_t seq;
+    Action action;
+
+    // Min-heap via std::push_heap's max-heap: invert the comparison.
+    friend bool operator<(const Entry& a, const Entry& b) {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  void drop_dead_prefix();
+
+  std::vector<Entry> heap_;
+  // seq -> background flag, for every event neither fired nor cancelled.
+  std::unordered_map<std::uint64_t, bool> pending_;
+  std::size_t foreground_count_ = 0;
+  std::uint64_t next_seq_ = 1;
+};
+
+}  // namespace fxtraf::sim

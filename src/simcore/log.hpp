@@ -1,0 +1,34 @@
+// Minimal leveled logging for simulation debugging.
+//
+// Off by default; experiments enable it with `Logger::set_level`.  All
+// output goes to stderr so trace/table output on stdout stays parseable.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "simcore/time.hpp"
+
+namespace fxtraf::sim {
+
+enum class LogLevel { kOff = 0, kError, kWarn, kInfo, kDebug, kTrace };
+
+class Logger {
+ public:
+  static LogLevel level() { return level_; }
+  static void set_level(LogLevel lvl) { level_ = lvl; }
+
+  template <typename... Args>
+  static void log(LogLevel lvl, SimTime t, const char* subsystem,
+                  const char* fmt, Args... args) {
+    if (lvl > level_) return;
+    std::fprintf(stderr, "[%14.6f] %-8s ", t.seconds(), subsystem);
+    std::fprintf(stderr, fmt, args...);
+    std::fputc('\n', stderr);
+  }
+
+ private:
+  inline static LogLevel level_ = LogLevel::kOff;
+};
+
+}  // namespace fxtraf::sim

@@ -1,0 +1,85 @@
+// Deterministic random number generation for the simulator.
+//
+// Every stochastic element (Ethernet backoff, OS deschedule injection,
+// synthetic traffic jitter) draws from an `Rng` seeded from the experiment
+// configuration, so runs are exactly reproducible.  The generator is
+// xoshiro256**, seeded through splitmix64 per the reference construction.
+#pragma once
+
+#include <cstdint>
+#include <cmath>
+
+namespace fxtraf::sim {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) { reseed(seed); }
+
+  void reseed(std::uint64_t seed) {
+    // splitmix64 expansion of the single seed word into generator state.
+    std::uint64_t x = seed;
+    for (auto& word : state_) {
+      x += 0x9e3779b97f4a7c15ULL;
+      std::uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+      word = z ^ (z >> 31);
+    }
+  }
+
+  /// Uniform 64-bit word.
+  std::uint64_t next_u64() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1).
+  double next_double() {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform integer in [0, bound) with rejection to remove modulo bias.
+  std::uint64_t next_below(std::uint64_t bound) {
+    if (bound <= 1) return 0;
+    const std::uint64_t threshold = -bound % bound;
+    for (;;) {
+      const std::uint64_t r = next_u64();
+      if (r >= threshold) return r % bound;
+    }
+  }
+
+  /// Bernoulli trial with success probability p.
+  bool next_bool(double p) { return next_double() < p; }
+
+  /// Exponential variate with the given mean.
+  double next_exponential(double mean) {
+    // 1 - u avoids log(0).
+    return -mean * std::log1p(-next_double());
+  }
+
+  /// Uniform double in [lo, hi).
+  double next_uniform(double lo, double hi) {
+    return lo + (hi - lo) * next_double();
+  }
+
+  /// Derive an independent stream for a named subsystem.
+  [[nodiscard]] Rng fork(std::uint64_t stream_id) {
+    return Rng{next_u64() ^ (0xd1342543de82ef95ULL * (stream_id + 1))};
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t state_[4] = {};
+};
+
+}  // namespace fxtraf::sim

@@ -1,0 +1,57 @@
+#include "simcore/simulator.hpp"
+
+#include <cassert>
+
+namespace fxtraf::sim {
+
+EventId Simulator::schedule_at(SimTime at, EventQueue::Action action) {
+  assert(at >= now_ && "scheduling into the past");
+  return queue_.push(at < now_ ? now_ : at, std::move(action));
+}
+
+EventId Simulator::schedule_in(Duration delay, EventQueue::Action action) {
+  if (delay < Duration::zero()) delay = Duration::zero();
+  return queue_.push(now_ + delay, std::move(action));
+}
+
+EventId Simulator::schedule_now(EventQueue::Action action) {
+  return queue_.push(now_, std::move(action));
+}
+
+EventId Simulator::schedule_in_background(Duration delay,
+                                          EventQueue::Action action) {
+  if (delay < Duration::zero()) delay = Duration::zero();
+  return queue_.push(now_ + delay, std::move(action), /*background=*/true);
+}
+
+std::uint64_t Simulator::run() {
+  stopping_ = false;
+  std::uint64_t ran = 0;
+  while (!stopping_ && queue_.foreground_count() > 0) {
+    auto [t, action] = queue_.pop();
+    now_ = t;
+    action();
+    ++ran;
+    ++executed_;
+  }
+  return ran;
+}
+
+std::uint64_t Simulator::run_until(SimTime deadline) {
+  stopping_ = false;
+  std::uint64_t ran = 0;
+  while (!stopping_ && !queue_.empty()) {
+    if (queue_.next_time() > deadline) break;
+    auto [t, action] = queue_.pop();
+    now_ = t;
+    action();
+    ++ran;
+    ++executed_;
+  }
+  if (queue_.empty() || queue_.next_time() > deadline) {
+    if (deadline != SimTime::infinity() && deadline > now_) now_ = deadline;
+  }
+  return ran;
+}
+
+}  // namespace fxtraf::sim

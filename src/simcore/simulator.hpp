@@ -1,0 +1,69 @@
+// The discrete-event simulator driving every fxtraf experiment.
+//
+// Single-threaded: events fire strictly in (time, insertion) order, so all
+// model state may be touched without synchronization and every run is
+// bit-reproducible given the same seed.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <utility>
+
+#include "simcore/event_queue.hpp"
+#include "simcore/rng.hpp"
+#include "simcore/time.hpp"
+
+namespace fxtraf::sim {
+
+class Simulator {
+ public:
+  explicit Simulator(std::uint64_t seed = 1) : rng_(seed) {}
+
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  [[nodiscard]] SimTime now() const { return now_; }
+  [[nodiscard]] Rng& rng() { return rng_; }
+
+  /// Schedules `action` at an absolute instant (must not be in the past).
+  EventId schedule_at(SimTime at, EventQueue::Action action);
+
+  /// Schedules `action` after `delay` (clamped to now for negative values).
+  EventId schedule_in(Duration delay, EventQueue::Action action);
+
+  /// Schedules `action` at the current instant, after already-queued
+  /// same-time events (used to break call chains deterministically).
+  EventId schedule_now(EventQueue::Action action);
+
+  /// Schedules a *background* event: it fires normally while the run is
+  /// alive, but never keeps the simulator running on its own (service
+  /// heartbeats such as pvmd keepalives use this).
+  EventId schedule_in_background(Duration delay, EventQueue::Action action);
+
+  void cancel(EventId id) { queue_.cancel(id); }
+
+  /// Runs until no foreground events remain or `stop()` is called.
+  /// Returns the number of events executed.
+  std::uint64_t run();
+
+  /// Runs until simulated time would exceed `deadline` (events at exactly
+  /// `deadline` still fire, background ones included); advances now() to
+  /// `deadline` if reached.  Unlike run(), background-only states keep
+  /// executing until the deadline.
+  std::uint64_t run_until(SimTime deadline);
+
+  /// Requests the run loop to return after the current event.
+  void stop() { stopping_ = true; }
+
+  [[nodiscard]] bool pending_events() { return !queue_.empty(); }
+  [[nodiscard]] std::uint64_t events_executed() const { return executed_; }
+
+ private:
+  EventQueue queue_;
+  SimTime now_ = SimTime::zero();
+  Rng rng_;
+  bool stopping_ = false;
+  std::uint64_t executed_ = 0;
+};
+
+}  // namespace fxtraf::sim

@@ -1,0 +1,18 @@
+#include "simcore/time.hpp"
+
+#include <cstdio>
+
+namespace fxtraf::sim {
+
+namespace {
+std::string format_seconds(double s) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.9fs", s);
+  return buf;
+}
+}  // namespace
+
+std::string to_string(SimTime t) { return format_seconds(t.seconds()); }
+std::string to_string(Duration d) { return format_seconds(d.seconds()); }
+
+}  // namespace fxtraf::sim

@@ -1,0 +1,108 @@
+// Simulated time for the fxtraf discrete-event simulator.
+//
+// Time is kept as integer nanoseconds since simulation start so that long
+// traces (the AIRSHED run simulates thousands of seconds) accumulate no
+// floating-point drift.  `SimTime` is an absolute instant, `Duration` a
+// signed difference; both are strong types so they cannot be mixed with
+// raw integers by accident.
+#pragma once
+
+#include <cstdint>
+#include <compare>
+#include <string>
+
+namespace fxtraf::sim {
+
+/// A signed span of simulated time, in nanoseconds.
+class Duration {
+ public:
+  constexpr Duration() = default;
+  constexpr explicit Duration(std::int64_t ns) : ns_(ns) {}
+
+  [[nodiscard]] constexpr std::int64_t ns() const { return ns_; }
+  [[nodiscard]] constexpr double seconds() const {
+    return static_cast<double>(ns_) * 1e-9;
+  }
+  [[nodiscard]] constexpr double millis() const {
+    return static_cast<double>(ns_) * 1e-6;
+  }
+  [[nodiscard]] constexpr double micros() const {
+    return static_cast<double>(ns_) * 1e-3;
+  }
+
+  [[nodiscard]] static constexpr Duration zero() { return Duration{0}; }
+
+  constexpr Duration& operator+=(Duration o) { ns_ += o.ns_; return *this; }
+  constexpr Duration& operator-=(Duration o) { ns_ -= o.ns_; return *this; }
+  friend constexpr Duration operator+(Duration a, Duration b) {
+    return Duration{a.ns_ + b.ns_};
+  }
+  friend constexpr Duration operator-(Duration a, Duration b) {
+    return Duration{a.ns_ - b.ns_};
+  }
+  friend constexpr Duration operator*(Duration a, std::int64_t k) {
+    return Duration{a.ns_ * k};
+  }
+  friend constexpr Duration operator*(std::int64_t k, Duration a) {
+    return a * k;
+  }
+  friend constexpr std::int64_t operator/(Duration a, Duration b) {
+    return a.ns_ / b.ns_;
+  }
+  friend constexpr auto operator<=>(Duration, Duration) = default;
+
+ private:
+  std::int64_t ns_ = 0;
+};
+
+/// An absolute instant of simulated time (nanoseconds since t=0).
+class SimTime {
+ public:
+  constexpr SimTime() = default;
+  constexpr explicit SimTime(std::int64_t ns) : ns_(ns) {}
+
+  [[nodiscard]] constexpr std::int64_t ns() const { return ns_; }
+  [[nodiscard]] constexpr double seconds() const {
+    return static_cast<double>(ns_) * 1e-9;
+  }
+
+  [[nodiscard]] static constexpr SimTime zero() { return SimTime{0}; }
+  /// Sentinel later than any reachable instant.
+  [[nodiscard]] static constexpr SimTime infinity() {
+    return SimTime{INT64_MAX};
+  }
+
+  friend constexpr SimTime operator+(SimTime t, Duration d) {
+    return SimTime{t.ns_ + d.ns()};
+  }
+  friend constexpr SimTime operator+(Duration d, SimTime t) { return t + d; }
+  friend constexpr SimTime operator-(SimTime t, Duration d) {
+    return SimTime{t.ns_ - d.ns()};
+  }
+  friend constexpr Duration operator-(SimTime a, SimTime b) {
+    return Duration{a.ns_ - b.ns_};
+  }
+  friend constexpr auto operator<=>(SimTime, SimTime) = default;
+
+ private:
+  std::int64_t ns_ = 0;
+};
+
+// Duration literal-style factories.  Fractional inputs are rounded to the
+// nearest nanosecond.
+[[nodiscard]] constexpr Duration nanos(std::int64_t n) { return Duration{n}; }
+[[nodiscard]] constexpr Duration micros(double us) {
+  return Duration{static_cast<std::int64_t>(us * 1e3 + (us >= 0 ? 0.5 : -0.5))};
+}
+[[nodiscard]] constexpr Duration millis(double ms) {
+  return Duration{static_cast<std::int64_t>(ms * 1e6 + (ms >= 0 ? 0.5 : -0.5))};
+}
+[[nodiscard]] constexpr Duration seconds(double s) {
+  return Duration{static_cast<std::int64_t>(s * 1e9 + (s >= 0 ? 0.5 : -0.5))};
+}
+
+/// "12.345678s"-style rendering used by the logger and trace dumps.
+[[nodiscard]] std::string to_string(SimTime t);
+[[nodiscard]] std::string to_string(Duration d);
+
+}  // namespace fxtraf::sim

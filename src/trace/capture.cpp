@@ -1,0 +1,25 @@
+#include "trace/capture.hpp"
+
+namespace fxtraf::trace {
+
+Capture::Capture() { packets_.reserve(1 << 16); }
+
+Capture::Capture(eth::Segment& segment) : Capture() {
+  segment.add_tap(tap());
+}
+
+void Capture::on_frame(sim::SimTime end_of_frame, const eth::Frame& frame) {
+  if (!enabled_) return;
+  const net::IpDatagram& d = *frame.datagram;
+  PacketRecord r;
+  r.timestamp = end_of_frame;
+  r.bytes = static_cast<std::uint32_t>(frame.recorded_bytes());
+  r.proto = d.proto;
+  r.src = d.src;
+  r.dst = d.dst;
+  r.src_port = d.src_port;
+  r.dst_port = d.dst_port;
+  packets_.push_back(r);
+}
+
+}  // namespace fxtraf::trace

@@ -1,0 +1,51 @@
+// Promiscuous-mode packet capture attached to the shared segment.
+//
+// Plays the role of the paper's dedicated measurement workstation running
+// TCPDUMP with the DEC packet filter: it records every successfully
+// delivered frame on the collision domain without generating traffic.
+#pragma once
+
+#include <vector>
+
+#include "ethernet/frame.hpp"
+#include "ethernet/segment.hpp"
+#include "trace/record.hpp"
+
+namespace fxtraf::trace {
+
+class Capture {
+ public:
+  /// Unattached capture: register `tap()` with any frame source (shared
+  /// segment, QoS switch monitor port, ...).
+  Capture();
+
+  /// Attaches to `segment` and begins recording immediately.
+  explicit Capture(eth::Segment& segment);
+
+  Capture(const Capture&) = delete;
+  Capture& operator=(const Capture&) = delete;
+
+  /// A tap closure feeding this capture; the capture must outlive every
+  /// registered copy.
+  [[nodiscard]] eth::Tap tap() {
+    return [this](sim::SimTime t, const eth::Frame& f) { on_frame(t, f); };
+  }
+
+  /// Pauses/resumes recording (the tap stays attached).
+  void set_enabled(bool enabled) { enabled_ = enabled; }
+
+  [[nodiscard]] const std::vector<PacketRecord>& packets() const {
+    return packets_;
+  }
+  [[nodiscard]] TraceView view() const { return packets_; }
+  [[nodiscard]] std::size_t size() const { return packets_.size(); }
+  void clear() { packets_.clear(); }
+
+ private:
+  void on_frame(sim::SimTime end_of_frame, const eth::Frame& frame);
+
+  std::vector<PacketRecord> packets_;
+  bool enabled_ = true;
+};
+
+}  // namespace fxtraf::trace

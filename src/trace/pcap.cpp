@@ -1,0 +1,175 @@
+#include "trace/pcap.hpp"
+
+#include <array>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace fxtraf::trace {
+
+namespace {
+
+constexpr std::uint32_t kMagic = 0xa1b2c3d4;  // microsecond timestamps
+constexpr std::uint32_t kLinkEthernet = 1;
+constexpr std::size_t kSnapLen = 96;  // headers are all we synthesize
+
+void put_u16(std::string& buf, std::uint16_t v) {
+  buf.push_back(static_cast<char>(v & 0xff));
+  buf.push_back(static_cast<char>((v >> 8) & 0xff));
+}
+void put_u32(std::string& buf, std::uint32_t v) {
+  put_u16(buf, static_cast<std::uint16_t>(v & 0xffff));
+  put_u16(buf, static_cast<std::uint16_t>(v >> 16));
+}
+void put_u16be(std::string& buf, std::uint16_t v) {
+  buf.push_back(static_cast<char>((v >> 8) & 0xff));
+  buf.push_back(static_cast<char>(v & 0xff));
+}
+
+std::uint16_t get_u16(const char* p) {
+  return static_cast<std::uint16_t>(
+      static_cast<unsigned char>(p[0]) |
+      (static_cast<unsigned char>(p[1]) << 8));
+}
+std::uint32_t get_u32(const char* p) {
+  return static_cast<std::uint32_t>(get_u16(p)) |
+         (static_cast<std::uint32_t>(get_u16(p + 2)) << 16);
+}
+std::uint16_t get_u16be(const unsigned char* p) {
+  return static_cast<std::uint16_t>((p[0] << 8) | p[1]);
+}
+
+}  // namespace
+
+void write_pcap(std::ostream& out, TraceView packets) {
+  std::string header;
+  put_u32(header, kMagic);
+  put_u16(header, 2);  // major
+  put_u16(header, 4);  // minor
+  put_u32(header, 0);  // thiszone
+  put_u32(header, 0);  // sigfigs
+  put_u32(header, kSnapLen);
+  put_u32(header, kLinkEthernet);
+  out.write(header.data(), static_cast<std::streamsize>(header.size()));
+
+  for (const PacketRecord& p : packets) {
+    // Synthesize Ethernet + IPv4 + transport headers.
+    std::string frame;
+    // Ethernet: dst mac, src mac, ethertype.
+    const std::array<char, 4> mac_prefix{0x02, 0x00, 0x0a, 0x00};
+    frame.append(mac_prefix.data(), 4);
+    put_u16be(frame, p.dst);
+    frame.append(mac_prefix.data(), 4);
+    put_u16be(frame, p.src);
+    put_u16be(frame, 0x0800);
+    // IPv4 header (20 bytes, no options).
+    const bool tcp = p.proto == net::IpProto::kTcp;
+    const std::size_t ip_total =
+        p.bytes >= 18 ? p.bytes - 18 : 20;  // strip eth header+fcs
+    frame.push_back(0x45);  // version+ihl
+    frame.push_back(0);     // tos
+    put_u16be(frame, static_cast<std::uint16_t>(ip_total));
+    put_u16be(frame, 0);  // id
+    put_u16be(frame, 0x4000);  // don't fragment
+    frame.push_back(64);       // ttl
+    frame.push_back(tcp ? 6 : 17);
+    put_u16be(frame, 0);  // checksum (unset)
+    // 10.0.0.x addresses.
+    frame.push_back(10); frame.push_back(0); frame.push_back(0);
+    frame.push_back(static_cast<char>(p.src & 0xff));
+    frame.push_back(10); frame.push_back(0); frame.push_back(0);
+    frame.push_back(static_cast<char>(p.dst & 0xff));
+    // Transport header.
+    put_u16be(frame, p.src_port);
+    put_u16be(frame, p.dst_port);
+    if (tcp) {
+      put_u32(frame, 0);  // seq (not modeled in records)
+      put_u32(frame, 0);  // ack
+      frame.push_back(0x50);  // data offset
+      frame.push_back(0x10);  // ACK flag
+      put_u16be(frame, 32768);  // window
+      put_u16be(frame, 0);      // checksum
+      put_u16be(frame, 0);      // urgent
+    } else {
+      put_u16be(frame, static_cast<std::uint16_t>(
+                           ip_total >= 20 ? ip_total - 20 : 8));  // length
+      put_u16be(frame, 0);  // checksum
+    }
+
+    const std::uint64_t us =
+        static_cast<std::uint64_t>(p.timestamp.ns()) / 1000;
+    std::string rec;
+    put_u32(rec, static_cast<std::uint32_t>(us / 1'000'000));
+    put_u32(rec, static_cast<std::uint32_t>(us % 1'000'000));
+    const auto caplen = static_cast<std::uint32_t>(frame.size());
+    // Original length: recorded bytes minus the 4-byte FCS pcap omits.
+    const std::uint32_t origlen = p.bytes >= 4 ? p.bytes - 4 : caplen;
+    put_u32(rec, caplen);
+    put_u32(rec, origlen < caplen ? caplen : origlen);
+    out.write(rec.data(), static_cast<std::streamsize>(rec.size()));
+    out.write(frame.data(), static_cast<std::streamsize>(frame.size()));
+  }
+}
+
+void write_pcap_file(const std::string& path, TraceView packets) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("write_pcap_file: cannot open " + path);
+  write_pcap(out, packets);
+}
+
+std::vector<PacketRecord> read_pcap(std::istream& in) {
+  std::vector<PacketRecord> packets;
+  char global[24];
+  if (!in.read(global, sizeof global)) {
+    throw std::runtime_error("read_pcap: truncated global header");
+  }
+  if (get_u32(global) != kMagic) {
+    throw std::runtime_error("read_pcap: bad magic (expect LE usec pcap)");
+  }
+  if (get_u32(global + 20) != kLinkEthernet) {
+    throw std::runtime_error("read_pcap: unsupported link type");
+  }
+
+  char rec[16];
+  while (in.read(rec, sizeof rec)) {
+    const std::uint32_t sec = get_u32(rec);
+    const std::uint32_t usec = get_u32(rec + 4);
+    const std::uint32_t caplen = get_u32(rec + 8);
+    const std::uint32_t origlen = get_u32(rec + 12);
+    std::string frame(caplen, '\0');
+    if (!in.read(frame.data(), caplen)) {
+      throw std::runtime_error("read_pcap: truncated packet record");
+    }
+    if (caplen < 14 + 20 + 4) continue;  // not a parseable IPv4 frame
+    const auto* bytes =
+        reinterpret_cast<const unsigned char*>(frame.data());
+    if (get_u16be(bytes + 12) != 0x0800) continue;  // not IPv4
+    const unsigned char protocol = bytes[14 + 9];
+    if (protocol != 6 && protocol != 17) continue;
+
+    PacketRecord r;
+    r.timestamp = sim::SimTime{static_cast<std::int64_t>(sec) * 1'000'000'000 +
+                               static_cast<std::int64_t>(usec) * 1000};
+    r.proto = protocol == 6 ? net::IpProto::kTcp : net::IpProto::kUdp;
+    r.src = bytes[14 + 15];  // last octet of 10.0.0.x
+    r.dst = bytes[14 + 19];
+    const std::size_t ihl = (bytes[14] & 0x0f) * 4u;
+    if (caplen >= 14 + ihl + 4) {
+      r.src_port = get_u16be(bytes + 14 + ihl);
+      r.dst_port = get_u16be(bytes + 14 + ihl + 2);
+    }
+    // Recorded size convention: original wire bytes + FCS.
+    r.bytes = origlen + 4;
+    packets.push_back(r);
+  }
+  return packets;
+}
+
+std::vector<PacketRecord> read_pcap_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("read_pcap_file: cannot open " + path);
+  return read_pcap(in);
+}
+
+}  // namespace fxtraf::trace

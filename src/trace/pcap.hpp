@@ -1,0 +1,28 @@
+// Binary pcap export/import (the classic libpcap 2.4 format), so
+// simulated traces open in tcpdump/Wireshark and real captures can be
+// fed into the analysis pipeline.
+//
+// Packets are written as synthesized Ethernet/IPv4/TCP|UDP headers with
+// the record's sizes; payload bytes are zeros (the simulation carries
+// none).  Host ids map to 10.0.0.x addresses and synthetic MACs.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "trace/record.hpp"
+
+namespace fxtraf::trace {
+
+/// Writes a standard little-endian pcap file (linktype Ethernet).
+void write_pcap(std::ostream& out, TraceView packets);
+void write_pcap_file(const std::string& path, TraceView packets);
+
+/// Reads a pcap produced by write_pcap (or any Ethernet/IPv4 capture
+/// with plain TCP/UDP); throws std::runtime_error on malformed input.
+[[nodiscard]] std::vector<PacketRecord> read_pcap(std::istream& in);
+[[nodiscard]] std::vector<PacketRecord> read_pcap_file(
+    const std::string& path);
+
+}  // namespace fxtraf::trace

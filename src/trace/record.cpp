@@ -1,0 +1,31 @@
+#include "trace/record.hpp"
+
+namespace fxtraf::trace {
+
+std::vector<PacketRecord> connection(TraceView packets, net::HostId src,
+                                     net::HostId dst) {
+  std::vector<PacketRecord> out;
+  for (const PacketRecord& p : packets) {
+    if (p.src == src && p.dst == dst) out.push_back(p);
+  }
+  return out;
+}
+
+std::vector<PacketRecord> by_protocol(TraceView packets, net::IpProto proto) {
+  std::vector<PacketRecord> out;
+  for (const PacketRecord& p : packets) {
+    if (p.proto == proto) out.push_back(p);
+  }
+  return out;
+}
+
+std::vector<PacketRecord> time_slice(TraceView packets, sim::SimTime from,
+                                     sim::SimTime to) {
+  std::vector<PacketRecord> out;
+  for (const PacketRecord& p : packets) {
+    if (p.timestamp >= from && p.timestamp < to) out.push_back(p);
+  }
+  return out;
+}
+
+}  // namespace fxtraf::trace

@@ -1,0 +1,58 @@
+// Packet trace records, the measurement substrate of the whole study.
+//
+// Matches what the paper's tcpdump setup captured: "a time stamp, size,
+// protocol, source and destination for each packet", with size counted as
+// data + TCP/UDP header + IP header + Ethernet header and trailer.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "net/datagram.hpp"
+#include "simcore/time.hpp"
+
+namespace fxtraf::trace {
+
+struct PacketRecord {
+  sim::SimTime timestamp;  ///< end-of-frame time, as tcpdump stamps it
+  std::uint32_t bytes = 0;
+  net::IpProto proto = net::IpProto::kTcp;
+  net::HostId src = 0;
+  net::HostId dst = 0;
+  std::uint16_t src_port = 0;
+  std::uint16_t dst_port = 0;
+};
+
+using TraceView = std::span<const PacketRecord>;
+
+/// Total recorded bytes in a trace view.
+[[nodiscard]] inline std::uint64_t total_bytes(TraceView packets) {
+  std::uint64_t sum = 0;
+  for (const PacketRecord& p : packets) sum += p.bytes;
+  return sum;
+}
+
+/// Time span [first, last] of the trace (zero duration when < 2 packets).
+[[nodiscard]] inline sim::Duration span_of(TraceView packets) {
+  if (packets.size() < 2) return sim::Duration::zero();
+  return packets.back().timestamp - packets.front().timestamp;
+}
+
+/// Extracts the paper's notion of a connection: the simplex machine-pair
+/// channel src -> dst, capturing message-passing TCP, reverse-channel
+/// ACKs, and PVM daemon UDP between those machines (paper section 6.1).
+[[nodiscard]] std::vector<PacketRecord> connection(TraceView packets,
+                                                   net::HostId src,
+                                                   net::HostId dst);
+
+/// All packets with the given protocol.
+[[nodiscard]] std::vector<PacketRecord> by_protocol(TraceView packets,
+                                                    net::IpProto proto);
+
+/// Packets whose timestamps fall within [from, to).
+[[nodiscard]] std::vector<PacketRecord> time_slice(TraceView packets,
+                                                   sim::SimTime from,
+                                                   sim::SimTime to);
+
+}  // namespace fxtraf::trace

@@ -1,0 +1,65 @@
+#include "trace/tracefile.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace fxtraf::trace {
+
+void write_trace(std::ostream& out, TraceView packets) {
+  out << "# fxtraf packet trace, " << packets.size() << " packets\n";
+  char line[160];
+  for (const PacketRecord& p : packets) {
+    std::snprintf(line, sizeof line, "%.9f %s %u:%u > %u:%u len %u\n",
+                  p.timestamp.seconds(), net::to_string(p.proto), p.src,
+                  p.src_port, p.dst, p.dst_port, p.bytes);
+    out << line;
+  }
+}
+
+void write_trace_file(const std::string& path, TraceView packets) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("write_trace_file: cannot open " + path);
+  write_trace(out, packets);
+}
+
+std::vector<PacketRecord> read_trace(std::istream& in) {
+  std::vector<PacketRecord> packets;
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty() || line[0] == '#') continue;
+    double t = 0.0;
+    char proto[8] = {};
+    unsigned src = 0, sport = 0, dst = 0, dport = 0, bytes = 0;
+    const int matched =
+        std::sscanf(line.c_str(), "%lf %7s %u:%u > %u:%u len %u", &t, proto,
+                    &src, &sport, &dst, &dport, &bytes);
+    if (matched != 7) {
+      throw std::runtime_error("read_trace: malformed line " +
+                               std::to_string(line_no) + ": " + line);
+    }
+    PacketRecord r;
+    r.timestamp = sim::SimTime{static_cast<std::int64_t>(t * 1e9 + 0.5)};
+    r.proto = std::string_view(proto) == "udp" ? net::IpProto::kUdp
+                                               : net::IpProto::kTcp;
+    r.src = static_cast<net::HostId>(src);
+    r.src_port = static_cast<std::uint16_t>(sport);
+    r.dst = static_cast<net::HostId>(dst);
+    r.dst_port = static_cast<std::uint16_t>(dport);
+    r.bytes = bytes;
+    packets.push_back(r);
+  }
+  return packets;
+}
+
+std::vector<PacketRecord> read_trace_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("read_trace_file: cannot open " + path);
+  return read_trace(in);
+}
+
+}  // namespace fxtraf::trace

@@ -1,0 +1,24 @@
+// Text serialization of packet traces (tcpdump-output analog).
+//
+// Format, one packet per line:
+//   <seconds> <proto> <src>:<sport> > <dst>:<dport> len <bytes>
+// Lines beginning with '#' are comments.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "trace/record.hpp"
+
+namespace fxtraf::trace {
+
+void write_trace(std::ostream& out, TraceView packets);
+void write_trace_file(const std::string& path, TraceView packets);
+
+/// Parses a trace; throws std::runtime_error on malformed lines.
+[[nodiscard]] std::vector<PacketRecord> read_trace(std::istream& in);
+[[nodiscard]] std::vector<PacketRecord> read_trace_file(
+    const std::string& path);
+
+}  // namespace fxtraf::trace

@@ -1,0 +1,221 @@
+// Tests for the second-wave analysis tools: Pearson/lag correlation,
+// autocorrelation period estimation, spectrograms, and the network
+// broker's admission control.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "core/broker.hpp"
+#include "core/correlation.hpp"
+#include "dsp/autocorr.hpp"
+#include "dsp/spectrogram.hpp"
+#include "simcore/rng.hpp"
+
+namespace fxtraf {
+namespace {
+
+std::vector<double> tone(double f, double dt, std::size_t n,
+                         double phase = 0.0, double dc = 0.0) {
+  std::vector<double> x(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    x[i] = dc + std::sin(2.0 * std::numbers::pi * f * dt *
+                             static_cast<double>(i) +
+                         phase);
+  }
+  return x;
+}
+
+TEST(CorrelationTest, PearsonBasics) {
+  std::vector<double> a{1, 2, 3, 4, 5};
+  std::vector<double> b{2, 4, 6, 8, 10};
+  std::vector<double> c{5, 4, 3, 2, 1};
+  EXPECT_NEAR(core::pearson(a, b), 1.0, 1e-12);
+  EXPECT_NEAR(core::pearson(a, c), -1.0, 1e-12);
+  std::vector<double> flat(5, 7.0);
+  EXPECT_DOUBLE_EQ(core::pearson(a, flat), 0.0);
+  EXPECT_THROW((void)core::pearson(a, std::vector<double>{1.0}),
+               std::invalid_argument);
+}
+
+TEST(CorrelationTest, UncorrelatedNoiseIsNearZero) {
+  sim::Rng rng(3);
+  std::vector<double> a(20000), b(20000);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    a[i] = rng.next_double();
+    b[i] = rng.next_double();
+  }
+  EXPECT_LT(std::abs(core::pearson(a, b)), 0.05);
+}
+
+TEST(CorrelationTest, BestLagRecoversShift) {
+  const auto a = tone(1.0, 0.01, 2000);
+  // b leads a by 25 samples: b[i] = a[i+25].
+  std::vector<double> b(2000);
+  for (std::size_t i = 0; i < b.size(); ++i) {
+    b[i] = std::sin(2.0 * std::numbers::pi * 1.0 * 0.01 *
+                    static_cast<double>(i + 25));
+  }
+  const auto result = core::best_lag(a, b, 40);
+  EXPECT_EQ(result.lag_bins, -25);  // a aligns with b shifted back
+  EXPECT_GT(result.correlation, 0.99);
+}
+
+TEST(CorrelationTest, InPhaseConnectionsCorrelate) {
+  // Two synthetic connections bursting together vs one out of phase.
+  auto make_flow = [](net::HostId src, net::HostId dst, double offset) {
+    std::vector<trace::PacketRecord> f;
+    for (double burst = offset; burst < 60.0; burst += 1.0) {
+      for (int i = 0; i < 20; ++i) {
+        trace::PacketRecord r;
+        r.timestamp =
+            sim::SimTime{static_cast<std::int64_t>((burst + i * 1e-3) * 1e9)};
+        r.bytes = 1518;
+        r.src = src;
+        r.dst = dst;
+        f.push_back(r);
+      }
+    }
+    return f;
+  };
+  auto all = make_flow(0, 1, 0.0);
+  auto f2 = make_flow(1, 2, 0.0);   // in phase
+  auto f3 = make_flow(2, 3, 0.5);   // anti-phase
+  all.insert(all.end(), f2.begin(), f2.end());
+  all.insert(all.end(), f3.begin(), f3.end());
+  std::sort(all.begin(), all.end(),
+            [](const auto& a, const auto& b) {
+              return a.timestamp < b.timestamp;
+            });
+  const auto study = core::correlate_connections(all, sim::millis(100));
+  ASSERT_EQ(study.connections.size(), 3u);
+  // (0,1) vs (1,2): in phase.
+  EXPECT_GT(study.at(0, 1), 0.9);
+  // (0,1) vs (2,3): opposite phase.
+  EXPECT_LT(study.at(0, 2), 0.0);
+  EXPECT_GT(study.max_offdiagonal, 0.9);
+  EXPECT_LT(study.min_offdiagonal, 0.0);
+}
+
+TEST(AutocorrTest, PeriodicSignalPeaksAtItsPeriod) {
+  const auto x = tone(2.0, 0.01, 8192, 0.0, 5.0);  // period 50 samples
+  const auto estimate = dsp::estimate_period(x, 400);
+  EXPECT_EQ(estimate.lag_samples, 50u);
+  EXPECT_GT(estimate.correlation, 0.95);
+}
+
+TEST(AutocorrTest, BurstCombPeriod) {
+  // Impulse train with period 73 samples.
+  std::vector<double> x(8192, 0.0);
+  for (std::size_t i = 0; i < x.size(); i += 73) x[i] = 100.0;
+  const auto estimate = dsp::estimate_period(x, 500);
+  EXPECT_EQ(estimate.lag_samples, 73u);
+}
+
+TEST(AutocorrTest, NoiseHasNoPeriod) {
+  sim::Rng rng(9);
+  std::vector<double> x(8192);
+  for (auto& v : x) v = rng.next_double();
+  const auto estimate = dsp::estimate_period(x, 500, 0.3);
+  EXPECT_EQ(estimate.lag_samples, 0u);
+}
+
+TEST(AutocorrTest, ZeroLagIsUnity) {
+  const auto x = tone(1.0, 0.01, 1000);
+  const auto r = dsp::autocorrelation(x, 10);
+  ASSERT_GE(r.size(), 1u);
+  EXPECT_NEAR(r[0], 1.0, 1e-9);
+}
+
+TEST(SpectrogramTest, TracksAChangingTone) {
+  // 5 Hz for the first half, 15 Hz for the second.
+  const double dt = 0.01;
+  std::vector<double> x;
+  auto first = tone(5.0, dt, 4096);
+  auto second = tone(15.0, dt, 4096);
+  x.insert(x.end(), first.begin(), first.end());
+  x.insert(x.end(), second.begin(), second.end());
+
+  const auto sg = dsp::spectrogram(x, dt, {.window_samples = 512,
+                                           .hop_samples = 256});
+  ASSERT_GT(sg.frames(), 20u);
+  EXPECT_NEAR(sg.peak_frequency(1, 1.0, 49.0), 5.0, 0.5);
+  EXPECT_NEAR(sg.peak_frequency(sg.frames() - 2, 1.0, 49.0), 15.0, 0.5);
+}
+
+TEST(SpectrogramTest, RejectsBadOptions) {
+  std::vector<double> x(100, 1.0);
+  EXPECT_THROW((void)dsp::spectrogram(x, 0.0), std::invalid_argument);
+  EXPECT_THROW((void)dsp::spectrogram(x, 0.01, {.window_samples = 1}),
+               std::invalid_argument);
+  EXPECT_THROW(
+      (void)dsp::spectrogram(x, 0.01, {.window_samples = 8, .hop_samples = 0}),
+      std::invalid_argument);
+}
+
+TEST(SpectrogramTest, ShortInputYieldsNoFrames) {
+  std::vector<double> x(10, 1.0);
+  const auto sg = dsp::spectrogram(x, 0.01, {.window_samples = 64});
+  EXPECT_EQ(sg.frames(), 0u);
+}
+
+// ---- NetworkBroker ----------------------------------------------------
+
+core::TrafficSpec transpose_spec(double work_s = 60.0) {
+  return core::TrafficSpec::perfectly_parallel(
+      fx::PatternKind::kAllToAll, work_s,
+      [](int p) { return 512.0 * 512.0 * 8.0 / (p * p); });
+}
+
+TEST(BrokerTest, AdmissionCommitsDutyCycleBandwidth) {
+  core::NetworkBroker broker;
+  const auto admitted = broker.admit("fft", transpose_spec());
+  EXPECT_GT(admitted.committed_bandwidth, 0.0);
+  EXPECT_LT(admitted.committed_bandwidth, broker.capacity());
+  EXPECT_NEAR(broker.committed_fraction(),
+              admitted.network_committed_fraction, 1e-12);
+  EXPECT_EQ(broker.active_reservations(), 1u);
+}
+
+TEST(BrokerTest, LaterAdmissionsSeeLessBandwidth) {
+  core::NetworkBroker broker;
+  const auto first = broker.admit("a", transpose_spec());
+  const auto second = broker.admit("b", transpose_spec());
+  // Same program, less capacity left: the burst stretches.
+  EXPECT_GE(second.point.burst_interval_seconds,
+            first.point.burst_interval_seconds);
+  EXPECT_GT(broker.committed_fraction(), first.network_committed_fraction);
+}
+
+TEST(BrokerTest, ReleaseReturnsCapacity) {
+  core::NetworkBroker broker;
+  const auto first = broker.admit("a", transpose_spec());
+  const double committed = broker.committed_fraction();
+  broker.release(first.reservation_id);
+  EXPECT_DOUBLE_EQ(broker.committed_fraction(), 0.0);
+  broker.release(first.reservation_id);  // idempotent
+  EXPECT_EQ(broker.active_reservations(), 0u);
+  EXPECT_GT(committed, 0.0);
+}
+
+TEST(BrokerTest, CommunicationBoundProgramsEventuallyRejected) {
+  core::NetworkBroker broker(1.25e6, 2, 4);
+  // A hog: almost no compute, enormous bursts -> duty cycle near 1.
+  const auto hog = core::TrafficSpec::perfectly_parallel(
+      fx::PatternKind::kAllToAll, 0.01,
+      [](int) { return 8.0 * 1024 * 1024; });
+  int admitted = 0;
+  try {
+    for (int i = 0; i < 64; ++i) {
+      broker.admit("hog", hog);
+      ++admitted;
+    }
+    FAIL() << "brokers must saturate eventually";
+  } catch (const std::exception&) {
+    EXPECT_GE(admitted, 1);
+    EXPECT_LT(admitted, 64);
+  }
+}
+
+}  // namespace
+}  // namespace fxtraf

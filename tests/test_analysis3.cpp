@@ -1,0 +1,214 @@
+// Tests for the third analysis wave: burst-train detection, baseline
+// traffic generators, Hurst estimation, Welch spectra, and pcap I/O.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+#include <sstream>
+
+#include "core/baselines.hpp"
+#include "core/burst_model.hpp"
+#include "core/characterization.hpp"
+#include "dsp/welch.hpp"
+#include "trace/pcap.hpp"
+
+namespace fxtraf {
+namespace {
+
+core::BinnedSeries series_from(std::vector<double> kbps, double dt = 0.01) {
+  core::BinnedSeries s;
+  s.start = sim::SimTime::zero();
+  s.interval_s = dt;
+  s.kb_per_s = std::move(kbps);
+  return s;
+}
+
+TEST(BurstModelTest, DetectsSeparatedBursts) {
+  std::vector<double> x(100, 0.0);
+  for (int b : {10, 40, 70}) {
+    for (int i = 0; i < 5; ++i) x[static_cast<std::size_t>(b + i)] = 1000.0;
+  }
+  const auto bursts = core::detect_bursts(series_from(x));
+  ASSERT_EQ(bursts.size(), 3u);
+  for (const auto& burst : bursts) {
+    EXPECT_EQ(burst.bins, 5u);
+    EXPECT_NEAR(burst.bytes, 5 * 1000.0 * 1024.0 * 0.01, 1e-6);
+  }
+}
+
+TEST(BurstModelTest, ShortGapsMerge) {
+  std::vector<double> x(40, 0.0);
+  for (int i = 5; i < 10; ++i) x[static_cast<std::size_t>(i)] = 100.0;
+  x[11] = 100.0;  // 1-bin dip inside what should be one burst
+  for (int i = 12; i < 15; ++i) x[static_cast<std::size_t>(i)] = 100.0;
+  core::BurstDetectionOptions opts;
+  opts.merge_gap_bins = 2;
+  const auto merged = core::detect_bursts(series_from(x), opts);
+  EXPECT_EQ(merged.size(), 1u);
+  opts.merge_gap_bins = 0;
+  const auto split = core::detect_bursts(series_from(x), opts);
+  EXPECT_EQ(split.size(), 2u);
+}
+
+TEST(BurstModelTest, SummaryOfRegularTrainHasLowCv) {
+  std::vector<double> x(1000, 0.0);
+  for (std::size_t b = 0; b < 1000; b += 100) {
+    for (std::size_t i = 0; i < 8; ++i) x[b + i] = 500.0;
+  }
+  const auto summary = core::summarize_bursts(series_from(x));
+  EXPECT_EQ(summary.bursts, 10u);
+  EXPECT_LT(summary.size_cv, 0.01);
+  EXPECT_LT(summary.interval_cv, 0.01);
+  EXPECT_NEAR(summary.interval_s.mean, 1.0, 1e-9);
+}
+
+TEST(BurstModelTest, EmptyAndFlatSeries) {
+  EXPECT_TRUE(core::detect_bursts(series_from({})).empty());
+  EXPECT_TRUE(core::detect_bursts(series_from({0, 0, 0})).empty());
+  const auto always_on = core::detect_bursts(series_from({5, 5, 5, 5}));
+  EXPECT_EQ(always_on.size(), 1u);
+}
+
+TEST(BaselinesTest, PoissonRateIsRight) {
+  sim::Rng rng(1);
+  core::PoissonTrafficConfig config;
+  config.packets_per_s = 1000.0;
+  const auto t = core::poisson_traffic(100.0, config, rng);
+  EXPECT_NEAR(static_cast<double>(t.size()), 100000.0, 2000.0);
+  // Interarrival CV ~ 1 for exponential.
+  const auto inter = core::interarrival_ms_stats(t);
+  EXPECT_NEAR(inter.stddev / inter.mean, 1.0, 0.05);
+}
+
+TEST(BaselinesTest, PoissonHasNoSpectralSpike) {
+  sim::Rng rng(2);
+  const auto t = core::poisson_traffic(120.0, {}, rng);
+  const auto c = core::characterize(t);
+  // No single bin dominates the spectrum.
+  const std::size_t argmax =
+      c.spectrum.argmax_in_band(0.05, c.spectrum.nyquist_hz());
+  const double share =
+      c.spectrum.power[argmax] /
+      c.spectrum.band_power(0.05, c.spectrum.nyquist_hz());
+  EXPECT_LT(share, 0.02);
+}
+
+TEST(BaselinesTest, VbrVideoSpikesAtFrameRate) {
+  sim::Rng rng(3);
+  core::VbrVideoConfig config;
+  const auto t = core::vbr_video_traffic(60.0, config, rng);
+  const auto c = core::characterize(t);
+  const std::size_t argmax = c.spectrum.argmax_in_band(1.0, 45.0);
+  EXPECT_NEAR(c.spectrum.frequency_hz[argmax], 30.0, 0.5);
+}
+
+TEST(BaselinesTest, VbrFrameSizesVary) {
+  sim::Rng rng(4);
+  core::VbrVideoConfig config;
+  const auto t = core::vbr_video_traffic(60.0, config, rng);
+  // Frame sizes modulate: per-frame byte totals have substantial CV.
+  const auto series = core::binned_bandwidth(t, sim::millis(500));
+  core::Welford w;
+  for (double v : series.kb_per_s) w.add(v);
+  const auto s = w.summary();
+  EXPECT_GT(s.stddev / s.mean, 0.15);
+}
+
+TEST(BaselinesTest, SelfSimilarHasHigherHurstThanPoisson) {
+  sim::Rng rng(5);
+  const auto poisson = core::poisson_traffic(300.0, {}, rng);
+  core::OnOffConfig onoff;
+  const auto heavy = core::self_similar_traffic(300.0, onoff, rng);
+  const auto hp = core::hurst_rs(
+      core::binned_bandwidth(poisson, sim::millis(10)).kb_per_s);
+  const auto hh = core::hurst_rs(
+      core::binned_bandwidth(heavy, sim::millis(10)).kb_per_s);
+  EXPECT_NEAR(hp, 0.55, 0.12);  // short-range dependent
+  EXPECT_GT(hh, hp + 0.1);      // long-range dependent
+}
+
+TEST(BaselinesTest, HurstOfShortSeriesFallsBack) {
+  std::vector<double> tiny(10, 1.0);
+  EXPECT_DOUBLE_EQ(core::hurst_rs(tiny), 0.5);
+}
+
+TEST(WelchTest, MatchesToneFrequency) {
+  const double dt = 0.01;
+  std::vector<double> x(20000);
+  sim::Rng rng(6);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    x[i] = 50.0 +
+           20.0 * std::cos(2.0 * std::numbers::pi * 4.0 * dt *
+                           static_cast<double>(i)) +
+           5.0 * rng.next_uniform(-1, 1);
+  }
+  const auto spectrum = dsp::welch(x, dt);
+  const std::size_t argmax = spectrum.argmax_in_band(0.5, 49.0);
+  EXPECT_NEAR(spectrum.frequency_hz[argmax], 4.0, spectrum.resolution_hz());
+}
+
+TEST(WelchTest, AveragingReducesNoiseVariance) {
+  const double dt = 0.01;
+  sim::Rng rng(7);
+  std::vector<double> x(65536);
+  for (auto& v : x) v = rng.next_uniform(0, 10);
+  const auto raw = dsp::periodogram(x, dt);
+  const auto averaged = dsp::welch(x, dt, {.segment_samples = 4096,
+                                           .overlap_samples = 2048});
+  auto rel_spread = [](const dsp::Spectrum& s) {
+    core::Welford w;
+    for (std::size_t k = 1; k < s.power.size(); ++k) w.add(s.power[k]);
+    const auto sum = w.summary();
+    return sum.stddev / sum.mean;
+  };
+  EXPECT_LT(rel_spread(averaged), 0.6 * rel_spread(raw));
+}
+
+TEST(WelchTest, RejectsBadOptions) {
+  std::vector<double> x(100, 1.0);
+  EXPECT_THROW((void)dsp::welch(x, 0.0), std::invalid_argument);
+  EXPECT_THROW((void)dsp::welch(x, 0.01, {.segment_samples = 1}),
+               std::invalid_argument);
+  EXPECT_THROW((void)dsp::welch(x, 0.01, {.segment_samples = 64,
+                                          .overlap_samples = 64}),
+               std::invalid_argument);
+}
+
+TEST(PcapTest, RoundTripsRecords) {
+  std::vector<trace::PacketRecord> packets;
+  for (int i = 0; i < 50; ++i) {
+    trace::PacketRecord r;
+    r.timestamp = sim::SimTime{static_cast<std::int64_t>(i) * 1'000'000 +
+                               123'000};
+    r.bytes = static_cast<std::uint32_t>(58 + i * 29);
+    r.proto = i % 3 == 0 ? net::IpProto::kUdp : net::IpProto::kTcp;
+    r.src = static_cast<net::HostId>(i % 4);
+    r.dst = static_cast<net::HostId>((i + 1) % 4);
+    r.src_port = static_cast<std::uint16_t>(1000 + i);
+    r.dst_port = static_cast<std::uint16_t>(2000 + i);
+    packets.push_back(r);
+  }
+  std::stringstream buffer(std::ios::in | std::ios::out | std::ios::binary);
+  trace::write_pcap(buffer, packets);
+  const auto parsed = trace::read_pcap(buffer);
+  ASSERT_EQ(parsed.size(), packets.size());
+  for (std::size_t i = 0; i < packets.size(); ++i) {
+    // Timestamps round to microseconds in pcap.
+    EXPECT_NEAR(parsed[i].timestamp.seconds(),
+                packets[i].timestamp.seconds(), 1e-6);
+    EXPECT_EQ(parsed[i].bytes, packets[i].bytes) << i;
+    EXPECT_EQ(parsed[i].proto, packets[i].proto) << i;
+    EXPECT_EQ(parsed[i].src, packets[i].src) << i;
+    EXPECT_EQ(parsed[i].dst, packets[i].dst) << i;
+    EXPECT_EQ(parsed[i].src_port, packets[i].src_port) << i;
+    EXPECT_EQ(parsed[i].dst_port, packets[i].dst_port) << i;
+  }
+}
+
+TEST(PcapTest, RejectsGarbage) {
+  std::stringstream garbage("this is not a pcap file at all............");
+  EXPECT_THROW((void)trace::read_pcap(garbage), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace fxtraf

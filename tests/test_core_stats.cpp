@@ -1,0 +1,264 @@
+// Tests for the core analysis pipeline: summary stats, packet stats,
+// bandwidth estimators, Fourier traffic model, synthesis, and the QoS
+// negotiation model.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "core/bandwidth.hpp"
+#include "core/characterization.hpp"
+#include "core/fourier_model.hpp"
+#include "core/packet_stats.hpp"
+#include "core/qos.hpp"
+#include "core/stats.hpp"
+#include "core/synth.hpp"
+
+namespace fxtraf::core {
+namespace {
+
+trace::PacketRecord packet(double t, std::uint32_t bytes,
+                           net::HostId src = 0, net::HostId dst = 1) {
+  trace::PacketRecord r;
+  r.timestamp = sim::SimTime{static_cast<std::int64_t>(t * 1e9)};
+  r.bytes = bytes;
+  r.src = src;
+  r.dst = dst;
+  return r;
+}
+
+TEST(StatsTest, WelfordMatchesClosedForm) {
+  Welford w;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) w.add(x);
+  const Summary s = w.summary();
+  EXPECT_EQ(s.count, 8u);
+  EXPECT_DOUBLE_EQ(s.min, 2.0);
+  EXPECT_DOUBLE_EQ(s.max, 9.0);
+  EXPECT_DOUBLE_EQ(s.mean, 5.0);
+  EXPECT_NEAR(s.stddev, 2.0, 1e-12);  // classic example set
+}
+
+TEST(StatsTest, EmptyAndSingleton) {
+  EXPECT_EQ(summarize({}).count, 0u);
+  const double one[] = {3.5};
+  const Summary s = summarize(one);
+  EXPECT_EQ(s.count, 1u);
+  EXPECT_DOUBLE_EQ(s.mean, 3.5);
+  EXPECT_DOUBLE_EQ(s.stddev, 0.0);
+}
+
+TEST(PacketStatsTest, SizeAndInterarrival) {
+  std::vector<trace::PacketRecord> t{packet(0.0, 58), packet(0.010, 1518),
+                                     packet(0.040, 1000)};
+  const Summary sizes = packet_size_stats(t);
+  EXPECT_DOUBLE_EQ(sizes.min, 58);
+  EXPECT_DOUBLE_EQ(sizes.max, 1518);
+  const Summary inter = interarrival_ms_stats(t);
+  EXPECT_EQ(inter.count, 2u);
+  EXPECT_DOUBLE_EQ(inter.min, 10.0);
+  EXPECT_DOUBLE_EQ(inter.max, 30.0);
+}
+
+TEST(PacketStatsTest, LifetimeAverageBandwidth) {
+  // 2048 bytes over 2 seconds = 1 KB/s.
+  std::vector<trace::PacketRecord> t{packet(0.0, 1024), packet(2.0, 1024)};
+  EXPECT_DOUBLE_EQ(average_bandwidth_kbs(t), 1.0);
+  EXPECT_DOUBLE_EQ(average_bandwidth_kbs({}), 0.0);
+}
+
+TEST(PacketStatsTest, TrimodalDistributionDetected) {
+  std::vector<trace::PacketRecord> t;
+  double time = 0.0;
+  for (int i = 0; i < 100; ++i) t.push_back(packet(time += 0.001, 1518));
+  for (int i = 0; i < 50; ++i) t.push_back(packet(time += 0.001, 1138));
+  for (int i = 0; i < 75; ++i) t.push_back(packet(time += 0.001, 58));
+  const auto modes = size_modes(t);
+  ASSERT_EQ(modes.size(), 3u);
+  EXPECT_EQ(modes[0].representative_bytes, 1518u);
+  EXPECT_EQ(modes[1].representative_bytes, 58u);
+  EXPECT_EQ(modes[2].representative_bytes, 1138u);
+}
+
+TEST(PacketStatsTest, NearbySizesClusterIntoOneMode) {
+  std::vector<trace::PacketRecord> t;
+  double time = 0.0;
+  for (std::uint32_t s : {1500u, 1510u, 1518u}) {
+    for (int i = 0; i < 30; ++i) t.push_back(packet(time += 0.001, s));
+  }
+  EXPECT_EQ(size_modes(t).size(), 1u);
+}
+
+TEST(BandwidthTest, BinnedSeriesConservesBytes) {
+  std::vector<trace::PacketRecord> t{packet(0.001, 1024), packet(0.005, 1024),
+                                     packet(0.015, 2048), packet(0.095, 512)};
+  const BinnedSeries series =
+      binned_bandwidth(t, sim::millis(10), sim::SimTime::zero(),
+                       sim::SimTime{100'000'000});
+  ASSERT_EQ(series.size(), 10u);
+  double total_bytes = 0.0;
+  for (double kbs : series.kb_per_s) total_bytes += kbs * 1024.0 * 0.01;
+  EXPECT_NEAR(total_bytes, 1024 + 1024 + 2048 + 512, 1e-6);
+  EXPECT_DOUBLE_EQ(series.kb_per_s[0], 2048.0 / 1024.0 / 0.01);
+}
+
+TEST(BandwidthTest, SlidingWindowTracksBursts) {
+  std::vector<trace::PacketRecord> t;
+  // Burst of 10 packets at t=1.0, silence, burst at t=2.0.
+  for (int i = 0; i < 10; ++i) t.push_back(packet(1.0 + i * 1e-4, 1024));
+  for (int i = 0; i < 10; ++i) t.push_back(packet(2.0 + i * 1e-4, 1024));
+  const auto series = sliding_window_bandwidth(t, sim::millis(10));
+  ASSERT_EQ(series.size(), t.size());
+  // Peak of the first burst: all 10 KB inside the window -> 1000 KB/s.
+  EXPECT_NEAR(series[9].kb_per_s, 1000.0, 1e-9);
+  // First packet of the second burst: the window only covers itself.
+  EXPECT_NEAR(series[10].kb_per_s, 100.0, 1e-9);
+}
+
+TEST(BandwidthTest, InvalidArgumentsThrow) {
+  std::vector<trace::PacketRecord> t{packet(0.0, 100)};
+  EXPECT_THROW(sliding_window_bandwidth(t, sim::Duration::zero()),
+               std::invalid_argument);
+  EXPECT_THROW(binned_bandwidth(t, sim::Duration::zero()),
+               std::invalid_argument);
+}
+
+std::vector<trace::PacketRecord> periodic_trace(double f0_hz, double duration,
+                                                std::uint32_t bytes) {
+  // A burst of packets every 1/f0 seconds.
+  std::vector<trace::PacketRecord> t;
+  for (double burst = 0.0; burst < duration; burst += 1.0 / f0_hz) {
+    for (int i = 0; i < 8; ++i) {
+      t.push_back(packet(burst + i * 0.0012, bytes));
+    }
+  }
+  return t;
+}
+
+TEST(CharacterizationTest, PeriodicTraceYieldsCorrectFundamental) {
+  const auto t = periodic_trace(5.0, 60.0, 1518);
+  const TrafficCharacterization c = characterize(t);
+  EXPECT_NEAR(c.fundamental.frequency_hz, 5.0, 0.1);
+  EXPECT_GT(c.fundamental.harmonic_power_fraction, 0.8);
+  EXPECT_GT(c.peaks.size(), 3u);  // a burst comb has many harmonics
+}
+
+TEST(FourierModelTest, RecoversSinusoidExactly) {
+  const double dt = 0.01;
+  const std::size_t n = 4096;
+  std::vector<double> x(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    // Bin-centered frequency so there is no leakage.
+    const double f = 25.0 / (static_cast<double>(n) * dt);
+    x[i] = 100.0 + 40.0 * std::cos(2.0 * std::numbers::pi * f * dt *
+                                       static_cast<double>(i) +
+                                   0.7);
+  }
+  const auto spectrum = dsp::periodogram(x, dt);
+  const auto model = FourierTrafficModel::fit(spectrum, 1);
+  ASSERT_EQ(model.components().size(), 1u);
+  EXPECT_NEAR(model.mean_kbs(), 100.0, 1e-9);
+  EXPECT_NEAR(model.components()[0].amplitude_kbs, 40.0, 1e-9);
+  EXPECT_NEAR(model.components()[0].phase_rad, 0.7, 1e-9);
+  const auto rebuilt = model.reconstruct(n, dt);
+  EXPECT_LT(reconstruction_nrmse(x, rebuilt), 1e-9);
+}
+
+TEST(FourierModelTest, ConvergenceSweepIsMonotoneIsh) {
+  const auto t = periodic_trace(2.0, 120.0, 1024);
+  const BinnedSeries series = binned_bandwidth(t, sim::millis(10));
+  const auto sweep = convergence_sweep(series, 16);
+  ASSERT_GE(sweep.size(), 8u);
+  EXPECT_GT(sweep.back().captured_power_fraction,
+            sweep.front().captured_power_fraction);
+  EXPECT_LT(sweep.back().nrmse, sweep.front().nrmse);
+  // Captured power fraction is a fraction.
+  for (const auto& pt : sweep) {
+    EXPECT_GE(pt.captured_power_fraction, 0.0);
+    EXPECT_LE(pt.captured_power_fraction, 1.0 + 1e-9);
+  }
+}
+
+TEST(SynthTest, GeneratedTrafficMatchesModelBandwidth) {
+  // Model: 200 KB/s mean with a 2 Hz, 150 KB/s swing.
+  const double dt = 0.01;
+  const std::size_t n = 8192;
+  std::vector<double> x(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    x[i] = 200.0 + 150.0 * std::cos(2.0 * std::numbers::pi * 2.0 * dt *
+                                    static_cast<double>(i));
+  }
+  const auto spectrum = dsp::periodogram(x, dt);
+  const auto model = FourierTrafficModel::fit(spectrum, 4);
+  const auto synthetic = generate_trace(model, 40.0);
+  ASSERT_GT(synthetic.size(), 100u);
+  // Average rate should be close to the model mean.
+  EXPECT_NEAR(average_bandwidth_kbs(synthetic), 200.0, 20.0);
+  // And the dominant periodicity should survive the round trip: the
+  // strongest spectral bin of the regenerated traffic sits at 2 Hz.
+  const auto c = characterize(synthetic);
+  const std::size_t argmax = c.spectrum.argmax_in_band(0.1, 20.0);
+  ASSERT_LT(argmax, c.spectrum.size());
+  EXPECT_NEAR(c.spectrum.frequency_hz[argmax], 2.0, 0.1);
+}
+
+TEST(QosTest, AllToAllPrefersFewerProcessorsThanNeighbor) {
+  // Fixed work, burst shrinking with P^2 (a transpose).
+  auto burst = [](int p) { return 4.0 * 1024 * 1024 / (p * p); };
+  const NetworkState network{.capacity_bytes_per_s = 1.25e6,
+                             .committed_fraction = 0.0,
+                             .min_processors = 2,
+                             .max_processors = 32};
+  const auto all2all = negotiate(
+      TrafficSpec::perfectly_parallel(fx::PatternKind::kAllToAll, 60.0, burst),
+      network);
+  const auto neighbor = negotiate(
+      TrafficSpec::perfectly_parallel(fx::PatternKind::kNeighbor, 60.0, burst),
+      network);
+  // The communication pattern determines how strong the tension is
+  // (section 7.3): all-to-all's per-connection bandwidth shrinks with P.
+  EXPECT_LE(all2all.best.processors, neighbor.best.processors);
+  EXPECT_EQ(all2all.sweep.size(), 31u);
+}
+
+TEST(QosTest, BurstIntervalFormulaHolds) {
+  auto burst = [](int) { return 1.25e5; };  // 0.1 s at full capacity
+  TrafficSpec spec = TrafficSpec::perfectly_parallel(
+      fx::PatternKind::kBroadcast, 10.0, burst);
+  NetworkState network;
+  network.min_processors = 4;
+  network.max_processors = 4;
+  const auto result = negotiate(spec, network);
+  // Broadcast: one active connection gets the full capacity.
+  EXPECT_DOUBLE_EQ(result.best.burst_bandwidth_bytes_per_s, 1.25e6);
+  EXPECT_DOUBLE_EQ(result.best.burst_seconds, 0.1);
+  EXPECT_DOUBLE_EQ(result.best.local_seconds, 2.5);
+  EXPECT_DOUBLE_EQ(result.best.burst_interval_seconds, 2.6);
+}
+
+TEST(QosTest, CommittedCapacityReducesBandwidth) {
+  auto burst = [](int) { return 1.25e5; };
+  TrafficSpec spec = TrafficSpec::perfectly_parallel(
+      fx::PatternKind::kBroadcast, 10.0, burst);
+  NetworkState network;
+  network.min_processors = 4;
+  network.max_processors = 4;
+  network.committed_fraction = 0.5;
+  const auto result = negotiate(spec, network);
+  EXPECT_DOUBLE_EQ(result.best.burst_bandwidth_bytes_per_s, 0.625e6);
+}
+
+TEST(QosTest, InvalidInputsThrow) {
+  NetworkState network;
+  EXPECT_THROW(negotiate(TrafficSpec{}, network), std::invalid_argument);
+  auto burst = [](int) { return 1.0; };
+  TrafficSpec spec = TrafficSpec::perfectly_parallel(
+      fx::PatternKind::kBroadcast, 1.0, burst);
+  network.committed_fraction = 1.0;
+  EXPECT_THROW(negotiate(spec, network), std::invalid_argument);
+  network.committed_fraction = 0.0;
+  network.max_processors = 0;
+  EXPECT_THROW(negotiate(spec, network), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace fxtraf::core

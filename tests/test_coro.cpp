@@ -1,0 +1,204 @@
+// Unit tests for the coroutine process layer: Co, spawn/Process, delay,
+// CoEvent, CoQueue, CoBarrier.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+#include "simcore/coro.hpp"
+
+namespace fxtraf::sim {
+namespace {
+
+Co<void> sleeper(Simulator& s, Duration d, int id, std::vector<int>& log) {
+  co_await delay(s, d);
+  log.push_back(id);
+}
+
+TEST(CoroTest, DelaysResumeInTimeOrder) {
+  Simulator sim;
+  std::vector<int> log;
+  auto p1 = spawn(sleeper(sim, millis(30), 3, log));
+  auto p2 = spawn(sleeper(sim, millis(10), 1, log));
+  auto p3 = spawn(sleeper(sim, millis(20), 2, log));
+  sim.run();
+  EXPECT_EQ(log, (std::vector<int>{1, 2, 3}));
+  EXPECT_TRUE(p1.done() && p2.done() && p3.done());
+}
+
+Co<int> add_later(Simulator& s, int a, int b) {
+  co_await delay(s, millis(1));
+  co_return a + b;
+}
+
+Co<void> caller(Simulator& s, int& out) {
+  out = co_await add_later(s, 2, 3);
+}
+
+TEST(CoroTest, NestedCoReturnsValue) {
+  Simulator sim;
+  int result = 0;
+  auto p = spawn(caller(sim, result));
+  sim.run();
+  EXPECT_TRUE(p.done());
+  EXPECT_EQ(result, 5);
+}
+
+Co<void> thrower(Simulator& s) {
+  co_await delay(s, millis(1));
+  throw std::runtime_error("boom");
+}
+
+TEST(CoroTest, ExceptionsSurfaceThroughProcess) {
+  Simulator sim;
+  auto p = spawn(thrower(sim));
+  sim.run();
+  EXPECT_TRUE(p.done());
+  EXPECT_TRUE(p.failed());
+  EXPECT_THROW(p.rethrow_if_failed(), std::runtime_error);
+}
+
+Co<void> outer_thrower(Simulator& s) {
+  co_await thrower(s);  // exception propagates across co_await
+}
+
+TEST(CoroTest, ExceptionsPropagateAcrossNestedAwait) {
+  Simulator sim;
+  auto p = spawn(outer_thrower(sim));
+  sim.run();
+  EXPECT_TRUE(p.failed());
+}
+
+Co<void> event_waiter(CoEvent& e, std::vector<int>& log, int id) {
+  co_await e.wait();
+  log.push_back(id);
+}
+
+TEST(CoroTest, EventReleasesAllWaiters) {
+  Simulator sim;
+  CoEvent event;
+  std::vector<int> log;
+  auto p1 = spawn(event_waiter(event, log, 1));
+  auto p2 = spawn(event_waiter(event, log, 2));
+  sim.schedule_at(SimTime{100}, [&] { event.set(sim); });
+  sim.run();
+  EXPECT_EQ(log.size(), 2u);
+  EXPECT_TRUE(p1.done() && p2.done());
+}
+
+TEST(CoroTest, EventWaitAfterSetCompletesImmediately) {
+  Simulator sim;
+  CoEvent event;
+  event.set(sim);
+  std::vector<int> log;
+  auto p = spawn(event_waiter(event, log, 7));
+  sim.run();
+  EXPECT_EQ(log, std::vector<int>{7});
+  EXPECT_TRUE(p.done());
+}
+
+Co<void> producer(Simulator& s, CoQueue<int>& q, int n) {
+  for (int i = 0; i < n; ++i) {
+    co_await delay(s, millis(1));
+    q.push(s, i);
+  }
+}
+
+Co<void> consumer(CoQueue<int>& q, int n, std::vector<int>& out) {
+  for (int i = 0; i < n; ++i) out.push_back(co_await q.pop());
+}
+
+TEST(CoroTest, QueueTransfersFifo) {
+  Simulator sim;
+  CoQueue<int> queue;
+  std::vector<int> received;
+  auto p = spawn(producer(sim, queue, 5));
+  auto c = spawn(consumer(queue, 5, received));
+  sim.run();
+  EXPECT_EQ(received, (std::vector<int>{0, 1, 2, 3, 4}));
+  EXPECT_TRUE(p.done() && c.done());
+}
+
+TEST(CoroTest, QueueBuffersWhenNoConsumer) {
+  Simulator sim;
+  CoQueue<int> queue;
+  queue.push(sim, 41);
+  queue.push(sim, 42);
+  EXPECT_EQ(queue.size(), 2u);
+  std::vector<int> received;
+  auto c = spawn(consumer(queue, 2, received));
+  sim.run();
+  EXPECT_EQ(received, (std::vector<int>{41, 42}));
+  EXPECT_TRUE(c.done());
+}
+
+TEST(CoroTest, QueueServesMultipleConsumersFifo) {
+  Simulator sim;
+  CoQueue<int> queue;
+  std::vector<int> a, b;
+  auto c1 = spawn(consumer(queue, 1, a));
+  auto c2 = spawn(consumer(queue, 1, b));
+  queue.push(sim, 10);
+  queue.push(sim, 20);
+  sim.run();
+  EXPECT_EQ(a, std::vector<int>{10});  // first waiter served first
+  EXPECT_EQ(b, std::vector<int>{20});
+  EXPECT_TRUE(c1.done() && c2.done());
+}
+
+Co<void> barrier_party(Simulator& s, CoBarrier& barrier, Duration arrive,
+                       std::vector<double>& release_times) {
+  co_await delay(s, arrive);
+  co_await barrier.arrive_and_wait(s);
+  release_times.push_back(s.now().seconds());
+}
+
+TEST(CoroTest, BarrierReleasesTogetherAtLastArrival) {
+  Simulator sim;
+  CoBarrier barrier(3);
+  std::vector<double> releases;
+  auto p1 = spawn(barrier_party(sim, barrier, millis(1), releases));
+  auto p2 = spawn(barrier_party(sim, barrier, millis(5), releases));
+  auto p3 = spawn(barrier_party(sim, barrier, millis(9), releases));
+  sim.run();
+  ASSERT_EQ(releases.size(), 3u);
+  for (double t : releases) EXPECT_DOUBLE_EQ(t, 0.009);
+  EXPECT_TRUE(p1.done() && p2.done() && p3.done());
+  EXPECT_EQ(barrier.generation(), 1u);
+}
+
+TEST(CoroTest, BarrierIsCyclic) {
+  Simulator sim;
+  CoBarrier barrier(2);
+  std::vector<double> releases;
+  auto p1 = spawn([](Simulator& s, CoBarrier& b,
+                     std::vector<double>& r) -> Co<void> {
+    for (int i = 0; i < 3; ++i) {
+      co_await delay(s, millis(1));
+      co_await b.arrive_and_wait(s);
+      r.push_back(s.now().seconds());
+    }
+  }(sim, barrier, releases));
+  auto p2 = spawn([](Simulator& s, CoBarrier& b) -> Co<void> {
+    for (int i = 0; i < 3; ++i) {
+      co_await delay(s, millis(2));
+      co_await b.arrive_and_wait(s);
+    }
+  }(sim, barrier));
+  sim.run();
+  EXPECT_EQ(releases.size(), 3u);
+  EXPECT_EQ(barrier.generation(), 3u);
+  EXPECT_TRUE(p1.done() && p2.done());
+}
+
+TEST(CoroTest, UnfinishedProcessReportsNotDone) {
+  Simulator sim;
+  CoQueue<int> queue;  // nobody ever pushes
+  std::vector<int> out;
+  auto c = spawn(consumer(queue, 1, out));
+  sim.run();  // queue drains immediately: consumer is stuck
+  EXPECT_FALSE(c.done());  // this is how run_program detects deadlock
+}
+
+}  // namespace
+}  // namespace fxtraf::sim

@@ -1,0 +1,232 @@
+// Unit + property tests for the DSP substrate: FFT (against the naive DFT
+// oracle), windows, periodogram, peak extraction, fundamental estimation.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "dsp/fft.hpp"
+#include "dsp/peaks.hpp"
+#include "dsp/periodogram.hpp"
+#include "dsp/window.hpp"
+#include "simcore/rng.hpp"
+
+namespace fxtraf::dsp {
+namespace {
+
+std::vector<Complex> random_signal(std::size_t n, std::uint64_t seed) {
+  sim::Rng rng(seed);
+  std::vector<Complex> x(n);
+  for (auto& v : x) {
+    v = Complex{rng.next_uniform(-1, 1), rng.next_uniform(-1, 1)};
+  }
+  return x;
+}
+
+double max_abs_diff(const std::vector<Complex>& a,
+                    const std::vector<Complex>& b) {
+  double m = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    m = std::max(m, std::abs(a[i] - b[i]));
+  }
+  return m;
+}
+
+TEST(FftTest, PowerOfTwoHelpers) {
+  EXPECT_TRUE(is_pow2(1));
+  EXPECT_TRUE(is_pow2(1024));
+  EXPECT_FALSE(is_pow2(0));
+  EXPECT_FALSE(is_pow2(12));
+  EXPECT_EQ(next_pow2(1), 1u);
+  EXPECT_EQ(next_pow2(5), 8u);
+  EXPECT_EQ(next_pow2(1024), 1024u);
+}
+
+class FftSizeTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(FftSizeTest, MatchesNaiveDft) {
+  const std::size_t n = GetParam();
+  const auto x = random_signal(n, 1000 + n);
+  const auto fast = fft(x);
+  const auto slow = dft_reference(x);
+  EXPECT_LT(max_abs_diff(fast, slow), 1e-8 * static_cast<double>(n))
+      << "size " << n;
+}
+
+TEST_P(FftSizeTest, InverseRoundTrips) {
+  const std::size_t n = GetParam();
+  const auto x = random_signal(n, 2000 + n);
+  const auto back = fft(fft(x), /*inverse=*/true);
+  EXPECT_LT(max_abs_diff(x, back), 1e-9 * static_cast<double>(n));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, FftSizeTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 7, 8, 12, 16, 30,
+                                           64, 100, 127, 128, 255, 256, 360,
+                                           1000, 1024));
+
+TEST(FftTest, ParsevalHoldsForLongNonPowerOfTwo) {
+  const std::size_t n = 3000;  // exercises Bluestein
+  const auto x = random_signal(n, 99);
+  const auto spectrum_bins = fft(x);
+  double time_energy = 0.0, freq_energy = 0.0;
+  for (const auto& v : x) time_energy += std::norm(v);
+  for (const auto& v : spectrum_bins) freq_energy += std::norm(v);
+  EXPECT_NEAR(freq_energy / static_cast<double>(n), time_energy,
+              1e-6 * time_energy);
+}
+
+TEST(FftTest, RfftMatchesFullTransformPrefix) {
+  sim::Rng rng(4);
+  std::vector<double> x(200);
+  for (auto& v : x) v = rng.next_uniform(-1, 1);
+  std::vector<Complex> cx(x.begin(), x.end());
+  const auto full = fft(cx);
+  const auto half = rfft(x);
+  ASSERT_EQ(half.size(), 101u);
+  for (std::size_t k = 0; k < half.size(); ++k) {
+    EXPECT_LT(std::abs(half[k] - full[k]), 1e-9);
+  }
+}
+
+TEST(FftTest, PureToneLandsInOneBin) {
+  const std::size_t n = 512;
+  std::vector<double> x(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    x[i] = std::sin(2.0 * std::numbers::pi * 8.0 * static_cast<double>(i) /
+                    static_cast<double>(n));
+  }
+  const auto bins = rfft(x);
+  for (std::size_t k = 0; k < bins.size(); ++k) {
+    if (k == 8) {
+      EXPECT_NEAR(std::abs(bins[k]), static_cast<double>(n) / 2.0, 1e-6);
+    } else {
+      EXPECT_LT(std::abs(bins[k]), 1e-6);
+    }
+  }
+}
+
+TEST(WindowTest, RectangularIsAllOnes) {
+  const auto w = make_window(WindowKind::kRectangular, 16);
+  for (double v : w) EXPECT_DOUBLE_EQ(v, 1.0);
+}
+
+TEST(WindowTest, HannEndpointsAndPeak) {
+  const auto w = make_window(WindowKind::kHann, 64);
+  EXPECT_NEAR(w[0], 0.0, 1e-12);
+  EXPECT_NEAR(w[32], 1.0, 1e-12);  // periodic Hann peaks at n/2
+}
+
+TEST(WindowTest, PowerMatchesDirectSum) {
+  for (auto kind : {WindowKind::kHann, WindowKind::kHamming,
+                    WindowKind::kBlackman}) {
+    const auto w = make_window(kind, 100);
+    double sum = 0.0;
+    for (double v : w) sum += v * v;
+    EXPECT_DOUBLE_EQ(window_power(kind, 100), sum);
+  }
+}
+
+TEST(PeriodogramTest, SinusoidPeaksAtItsFrequency) {
+  const double dt = 0.01;  // the paper's 10 ms interval
+  const double f0 = 5.0;
+  const std::size_t n = 4096;
+  std::vector<double> x(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    x[i] = 100.0 + 40.0 * std::cos(2.0 * std::numbers::pi * f0 * dt *
+                                   static_cast<double>(i));
+  }
+  const Spectrum s = periodogram(x, dt);
+  // The tone does not complete an integer number of cycles in the record,
+  // so the sample mean differs slightly from the true DC level.
+  EXPECT_NEAR(s.mean, 100.0, 0.1);
+  EXPECT_DOUBLE_EQ(s.nyquist_hz(), 50.0);
+  const std::size_t peak = s.argmax_in_band(0.1, 50.0);
+  ASSERT_LT(peak, s.size());
+  EXPECT_NEAR(s.frequency_hz[peak], f0, s.resolution_hz());
+}
+
+TEST(PeriodogramTest, DetrendRemovesDcSpike) {
+  std::vector<double> x(1024, 7.5);
+  const Spectrum s = periodogram(x, 0.01);
+  EXPECT_NEAR(s.power[0], 0.0, 1e-12);
+  EXPECT_NEAR(s.mean, 7.5, 1e-12);
+}
+
+TEST(PeriodogramTest, NoDetrendKeepsDc) {
+  std::vector<double> x(1024, 7.5);
+  PeriodogramOptions options;
+  options.detrend_mean = false;
+  const Spectrum s = periodogram(x, 0.01, options);
+  EXPECT_GT(s.power[0], 1.0);
+}
+
+TEST(PeriodogramTest, RejectsBadInterval) {
+  std::vector<double> x(8, 1.0);
+  EXPECT_THROW(periodogram(x, 0.0), std::invalid_argument);
+  EXPECT_THROW(periodogram(x, -1.0), std::invalid_argument);
+}
+
+TEST(PeriodogramTest, BandPowerPartitionsTotal) {
+  sim::Rng rng(17);
+  std::vector<double> x(2000);
+  for (auto& v : x) v = rng.next_uniform(0, 10);
+  const Spectrum s = periodogram(x, 0.01);
+  const double total = s.band_power(0.0, s.nyquist_hz() + 1.0);
+  const double low = s.band_power(0.0, 10.0);
+  const double high = s.band_power(10.0 + 1e-9, s.nyquist_hz() + 1.0);
+  EXPECT_NEAR(low + high, total, 1e-6 * total);
+}
+
+std::vector<double> harmonic_signal(double f0, int harmonics, double dt,
+                                    std::size_t n) {
+  std::vector<double> x(n, 50.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (int h = 1; h <= harmonics; ++h) {
+      x[i] += (30.0 / h) * std::cos(2.0 * std::numbers::pi * f0 * h * dt *
+                                    static_cast<double>(i));
+    }
+  }
+  return x;
+}
+
+TEST(PeaksTest, FindsAllHarmonics) {
+  const double dt = 0.01;
+  const auto x = harmonic_signal(5.0, 4, dt, 8192);
+  const Spectrum s = periodogram(x, dt);
+  const auto peaks = find_peaks(s, {.min_relative_power = 1e-4,
+                                    .min_separation_bins = 3,
+                                    .skip_dc_bins = 2,
+                                    .max_peaks = 8});
+  ASSERT_GE(peaks.size(), 4u);
+  // Strongest first; fundamental carries the most power.
+  EXPECT_NEAR(peaks[0].frequency_hz, 5.0, 2 * s.resolution_hz());
+}
+
+TEST(PeaksTest, FundamentalEstimateFromHarmonics) {
+  const double dt = 0.01;
+  const auto x = harmonic_signal(5.0, 4, dt, 8192);
+  const Spectrum s = periodogram(x, dt);
+  const auto peaks = find_peaks(s, {.max_peaks = 8});
+  const auto est = estimate_fundamental(peaks, 2 * s.resolution_hz());
+  EXPECT_NEAR(est.frequency_hz, 5.0, 2 * s.resolution_hz());
+  EXPECT_GT(est.harmonic_power_fraction, 0.95);
+  EXPECT_GE(est.harmonics_matched, 4u);
+}
+
+TEST(PeaksTest, EmptySpectrumYieldsNoPeaks) {
+  Spectrum s;
+  EXPECT_TRUE(find_peaks(s).empty());
+  EXPECT_EQ(estimate_fundamental({}, 0.1).frequency_hz, 0.0);
+}
+
+TEST(PeaksTest, MaxPeaksIsRespected) {
+  const double dt = 0.01;
+  const auto x = harmonic_signal(2.0, 8, dt, 8192);
+  const Spectrum s = periodogram(x, dt);
+  const auto peaks = find_peaks(s, {.max_peaks = 3});
+  EXPECT_EQ(peaks.size(), 3u);
+}
+
+}  // namespace
+}  // namespace fxtraf::dsp

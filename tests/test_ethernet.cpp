@@ -1,0 +1,154 @@
+// Unit tests for the CSMA/CD Ethernet model: frame sizing, serialization,
+// carrier sense, collisions with backoff resolution, promiscuous taps.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "ethernet/frame.hpp"
+#include "ethernet/nic.hpp"
+#include "ethernet/segment.hpp"
+#include "simcore/simulator.hpp"
+
+namespace fxtraf::eth {
+namespace {
+
+Frame make_frame(net::HostId src, net::HostId dst, std::size_t payload) {
+  net::IpDatagram d;
+  d.src = src;
+  d.dst = dst;
+  d.proto = net::IpProto::kTcp;
+  d.payload_bytes = payload;
+  Frame f;
+  f.src = src;
+  f.dst = dst;
+  f.datagram = std::make_shared<const net::IpDatagram>(d);
+  return f;
+}
+
+TEST(FrameTest, RecordedSizeMatchesPaperConvention) {
+  // Pure TCP ACK: 14 + 20 + 20 + 0 + 4 = 58 bytes, the paper's minimum.
+  EXPECT_EQ(make_frame(0, 1, 0).recorded_bytes(), 58u);
+  // Full MSS segment: 14 + 20 + 20 + 1460 + 4 = 1518, the paper's maximum.
+  EXPECT_EQ(make_frame(0, 1, 1460).recorded_bytes(), 1518u);
+}
+
+TEST(FrameTest, WireSizePadsToMinimum) {
+  EXPECT_EQ(make_frame(0, 1, 0).wire_bytes(), 64u);
+  EXPECT_EQ(make_frame(0, 1, 100).wire_bytes(), 158u);
+}
+
+TEST(FrameTest, TransmissionTimeAtTenMegabit) {
+  // 1518 + 8 preamble bytes at 0.8 us/byte = 1220.8 us.
+  EXPECT_EQ(make_frame(0, 1, 1460).transmission_time().ns(), 1'220'800);
+}
+
+struct Lan {
+  sim::Simulator sim{12345};
+  Segment segment{sim};
+  Nic nic0{sim, segment, 0};
+  Nic nic1{sim, segment, 1};
+  Nic nic2{sim, segment, 2};
+};
+
+TEST(SegmentTest, DeliversToDestinationOnly) {
+  Lan lan;
+  int at0 = 0, at1 = 0, at2 = 0;
+  lan.nic0.set_receive_handler([&](const Frame&) { ++at0; });
+  lan.nic1.set_receive_handler([&](const Frame&) { ++at1; });
+  lan.nic2.set_receive_handler([&](const Frame&) { ++at2; });
+  lan.nic0.send(make_frame(0, 1, 500));
+  lan.sim.run();
+  EXPECT_EQ(at0, 0);
+  EXPECT_EQ(at1, 1);
+  EXPECT_EQ(at2, 0);
+  EXPECT_EQ(lan.segment.stats().frames_delivered, 1u);
+}
+
+TEST(SegmentTest, TapSeesEveryFramePromiscuously) {
+  Lan lan;
+  int tapped = 0;
+  lan.segment.add_tap([&](sim::SimTime, const Frame&) { ++tapped; });
+  lan.nic0.send(make_frame(0, 1, 100));
+  lan.nic1.send(make_frame(1, 2, 100));
+  lan.nic2.send(make_frame(2, 0, 100));
+  lan.sim.run();
+  EXPECT_EQ(tapped, 3);
+}
+
+TEST(SegmentTest, BackToBackFramesAreSerializedWithIfg) {
+  Lan lan;
+  std::vector<sim::SimTime> ends;
+  lan.segment.add_tap(
+      [&](sim::SimTime t, const Frame&) { ends.push_back(t); });
+  lan.nic0.send(make_frame(0, 1, 1460));
+  lan.nic0.send(make_frame(0, 1, 1460));
+  lan.sim.run();
+  ASSERT_EQ(ends.size(), 2u);
+  const auto gap = ends[1] - ends[0];
+  // Second frame takes frame time + at least one interframe gap.
+  EXPECT_GE(gap, make_frame(0, 1, 1460).transmission_time() + kInterframeGap);
+}
+
+TEST(SegmentTest, SimultaneousSendersCollideThenResolve) {
+  Lan lan;
+  int delivered = 0;
+  lan.segment.add_tap([&](sim::SimTime, const Frame&) { ++delivered; });
+  // Both NICs sense idle at t=0 and transmit together: guaranteed
+  // collision, resolved by random backoff.
+  lan.nic0.send(make_frame(0, 2, 1000));
+  lan.nic1.send(make_frame(1, 2, 1000));
+  lan.sim.run();
+  EXPECT_EQ(delivered, 2);
+  EXPECT_GE(lan.segment.stats().collisions, 1u);
+  EXPECT_EQ(lan.nic0.stats().excessive_collision_drops, 0u);
+  EXPECT_EQ(lan.nic1.stats().excessive_collision_drops, 0u);
+}
+
+TEST(SegmentTest, ManyContendersAllEventuallyDeliver) {
+  sim::Simulator sim(99);
+  Segment segment(sim);
+  std::vector<std::unique_ptr<Nic>> nics;
+  for (net::HostId i = 0; i < 9; ++i) {
+    nics.push_back(std::make_unique<Nic>(sim, segment, i));
+  }
+  int delivered = 0;
+  segment.add_tap([&](sim::SimTime, const Frame&) { ++delivered; });
+  for (auto& nic : nics) {
+    for (int k = 0; k < 5; ++k) {
+      nic->send(make_frame(nic->station(),
+                           static_cast<net::HostId>((nic->station() + 1) % 9),
+                           700));
+    }
+  }
+  sim.run();
+  EXPECT_EQ(delivered, 9 * 5);
+}
+
+TEST(SegmentTest, UtilizationIsBoundedByOne) {
+  Lan lan;
+  for (int i = 0; i < 50; ++i) lan.nic0.send(make_frame(0, 1, 1460));
+  lan.sim.run();
+  const double u = lan.segment.utilization(lan.sim.now());
+  EXPECT_GT(u, 0.8);  // saturated one-way stream
+  EXPECT_LE(u, 1.0);
+}
+
+TEST(SegmentTest, DeferringStationWaitsForCarrier) {
+  Lan lan;
+  std::vector<std::pair<net::HostId, sim::SimTime>> log;
+  lan.segment.add_tap([&](sim::SimTime t, const Frame& f) {
+    log.emplace_back(f.src, t);
+  });
+  lan.nic0.send(make_frame(0, 2, 1460));
+  // nic1 wants to send mid-transmission: must defer, not collide.
+  lan.sim.schedule_at(sim::SimTime{500'000},
+                      [&] { lan.nic1.send(make_frame(1, 2, 100)); });
+  lan.sim.run();
+  ASSERT_EQ(log.size(), 2u);
+  EXPECT_EQ(lan.segment.stats().collisions, 0u);
+  EXPECT_EQ(log[0].first, 0);
+  EXPECT_EQ(log[1].first, 1);
+}
+
+}  // namespace
+}  // namespace fxtraf::eth

@@ -1,0 +1,285 @@
+// Tests for the Fx compiler front end: ownership arithmetic,
+// communication generation per statement kind, pattern classification,
+// and end-to-end compile-and-run against the simulated testbed.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "apps/testbed.hpp"
+#include "core/packet_stats.hpp"
+#include "fxc/analysis.hpp"
+#include "fxc/lower.hpp"
+#include "fxc/types.hpp"
+
+namespace fxtraf::fxc {
+namespace {
+
+ArrayDecl matrix_decl(std::string name, std::size_t n, ElemType type,
+                      int block_dim, int processors,
+                      Interval procs = Interval{}) {
+  ArrayDecl decl;
+  decl.name = std::move(name);
+  decl.extents = {n, n};
+  decl.type = type;
+  decl.distribution.dims = {DistKind::kCollapsed, DistKind::kCollapsed};
+  if (block_dim >= 0) {
+    decl.distribution.dims[static_cast<std::size_t>(block_dim)] =
+        DistKind::kBlock;
+  }
+  decl.processors = procs.length() > 0
+                        ? procs
+                        : Interval{0, static_cast<std::size_t>(processors)};
+  return decl;
+}
+
+TEST(TypesTest, BlockOwnershipCoversExtentExactly) {
+  for (std::size_t n : {16u, 17u, 100u, 512u}) {
+    for (int p : {1, 2, 3, 4, 7, 8}) {
+      std::size_t covered = 0;
+      for (int r = 0; r < p; ++r) covered += block_owned(n, r, p).length();
+      EXPECT_EQ(covered, n) << "n=" << n << " p=" << p;
+      // Contiguity.
+      for (int r = 0; r + 1 < p; ++r) {
+        EXPECT_EQ(block_owned(n, r, p).hi, block_owned(n, r + 1, p).lo);
+      }
+    }
+  }
+}
+
+TEST(TypesTest, OwnedElementsSumToArray) {
+  const auto decl = matrix_decl("a", 100, ElemType::kReal8, 0, 4);
+  std::size_t total = 0;
+  for (int r = 0; r < 4; ++r) total += decl.owned_elements(r);
+  EXPECT_EQ(total, 100u * 100u);
+  EXPECT_EQ(decl.owned_elements(4), 0u);  // outside the range
+}
+
+TEST(TypesTest, ValidationCatchesBadDeclarations) {
+  ArrayDecl decl = matrix_decl("a", 8, ElemType::kReal4, 0, 4);
+  decl.distribution.dims = {DistKind::kBlock, DistKind::kBlock};
+  EXPECT_THROW(decl.validate(), std::invalid_argument);
+  decl = matrix_decl("b", 8, ElemType::kReal4, 0, 4);
+  decl.processors = Interval{2, 2};
+  EXPECT_THROW(decl.validate(), std::invalid_argument);
+}
+
+TEST(AnalysisTest, StencilGeneratesNeighborExchange) {
+  // SOR: N x N real*4, rows block-distributed, 1-deep halo.
+  const auto decl = matrix_decl("u", 512, ElemType::kReal4, 0, 4);
+  const int offsets[] = {1, 1};
+  const auto m = stencil_communication(decl, offsets, 4);
+  EXPECT_EQ(classify(m), CommShape::kNeighbor);
+  // One row of 512 real*4 = 2048 bytes to each in-range neighbor.
+  EXPECT_EQ(m.at(1, 0), 2048u);
+  EXPECT_EQ(m.at(1, 2), 2048u);
+  EXPECT_EQ(m.at(0, 1), 2048u);
+  EXPECT_EQ(m.at(0, 2), 0u);  // not adjacent
+  EXPECT_EQ(m.at(3, 2), 2048u);
+  EXPECT_EQ(m.nonzero_pairs(), 6);
+}
+
+TEST(AnalysisTest, StencilAlongCollapsedDimIsFree) {
+  const auto decl = matrix_decl("u", 512, ElemType::kReal8, 0, 4);
+  const int offsets[] = {0, 3};  // only column offsets
+  const auto m = stencil_communication(decl, offsets, 4);
+  EXPECT_EQ(classify(m), CommShape::kNone);
+}
+
+TEST(AnalysisTest, StencilHaloMustFitOneBlock) {
+  const auto decl = matrix_decl("u", 16, ElemType::kReal8, 0, 4);
+  const int offsets[] = {4, 0};  // halo == block size of 4
+  EXPECT_THROW((void)stencil_communication(decl, offsets, 4),
+               std::invalid_argument);
+}
+
+TEST(AnalysisTest, TransposeRedistributionIsAllToAll) {
+  // 2DFFT: rows -> columns on the same four processors.
+  const auto decl = matrix_decl("a", 512, ElemType::kReal8, 0, 4);
+  Distribution to;
+  to.dims = {DistKind::kCollapsed, DistKind::kBlock};
+  const auto m = redistribution_communication(decl, to, Interval{0, 4}, 4);
+  EXPECT_EQ(classify(m), CommShape::kAllToAll);
+  // Each pair exchanges a (512/4) x (512/4) block of real*8.
+  for (int s = 0; s < 4; ++s) {
+    for (int d = 0; d < 4; ++d) {
+      if (s == d) continue;
+      EXPECT_EQ(m.at(s, d), 128u * 128u * 8u) << s << "->" << d;
+    }
+  }
+}
+
+TEST(AnalysisTest, CrossHalfRedistributionIsPartition) {
+  // T2DFFT: rows on ranks [0,2) -> columns on ranks [2,4).
+  const auto decl =
+      matrix_decl("a", 512, ElemType::kReal8, 0, 4, Interval{0, 2});
+  Distribution to;
+  to.dims = {DistKind::kCollapsed, DistKind::kBlock};
+  const auto m = redistribution_communication(decl, to, Interval{2, 4}, 4);
+  EXPECT_EQ(classify(m), CommShape::kPartition);
+  // Each sender owns 256 rows; each receiver needs 256 columns of them.
+  for (int s = 0; s < 2; ++s) {
+    for (int d = 2; d < 4; ++d) {
+      EXPECT_EQ(m.at(s, d), 256u * 256u * 8u);
+    }
+  }
+  EXPECT_EQ(m.nonzero_pairs(), 4);
+}
+
+TEST(AnalysisTest, RedistributionConservesBytes) {
+  // Total bytes moved + bytes staying local == whole array, for several
+  // processor counts (property check).
+  for (int p : {2, 4, 8}) {
+    auto decl = matrix_decl("a", 64, ElemType::kReal8, 0, p);
+    Distribution to;
+    to.dims = {DistKind::kCollapsed, DistKind::kBlock};
+    const auto m = redistribution_communication(
+        decl, to, Interval{0, static_cast<std::size_t>(p)}, p);
+    std::size_t local = 0;
+    for (int r = 0; r < p; ++r) {
+      const auto rows = block_owned(64, r, p);
+      const auto cols = block_owned(64, r, p);
+      local += rows.length() * cols.length() * 8;
+    }
+    EXPECT_EQ(m.total_bytes() + local, 64u * 64u * 8u) << "P=" << p;
+  }
+}
+
+TEST(AnalysisTest, SequentialReadIsBroadcastShaped) {
+  SourceProgram program;
+  program.name = "seq";
+  program.processors = 4;
+  auto decl = matrix_decl("a", 8, ElemType::kReal4, 0, 4);
+  program.arrays.emplace("a", decl);
+  SequentialRead read;
+  read.array = "a";
+  read.element_message_bytes = 4;
+  const auto analysis = analyze(program, Statement{read});
+  EXPECT_EQ(analysis.shape, CommShape::kBroadcast);
+  EXPECT_EQ(analysis.matrix.at(0, 1), 8u * 8u * 4u);
+}
+
+TEST(AnalysisTest, ReductionIsTreeShaped) {
+  SourceProgram program;
+  program.name = "hist";
+  program.processors = 4;
+  Reduction reduce;
+  reduce.vector_bytes = 1024;
+  const auto analysis = analyze(program, Statement{reduce});
+  EXPECT_EQ(analysis.shape, CommShape::kTree);
+  EXPECT_EQ(analysis.matrix.at(1, 0), 1024u);
+  EXPECT_EQ(analysis.matrix.at(3, 2), 1024u);
+  EXPECT_EQ(analysis.matrix.at(2, 0), 1024u);
+  EXPECT_EQ(analysis.matrix.nonzero_pairs(), 3);
+}
+
+// ---- end-to-end: compile a SOR-like source and run it ----------------
+
+SourceProgram sor_source() {
+  SourceProgram program;
+  program.name = "compiled-sor";
+  program.processors = 4;
+  program.iterations = 5;
+  program.arrays.emplace("u", matrix_decl("u", 256, ElemType::kReal4, 0, 4));
+  StencilAssign stencil;
+  stencil.array = "u";
+  stencil.max_offsets = {1, 1};
+  stencil.flops_per_point = 5.0;
+  program.body.emplace_back(stencil);
+  return program;
+}
+
+TEST(LowerTest, CompiledSorRunsWithNeighborTraffic) {
+  const CompiledProgram compiled = compile(sor_source());
+  ASSERT_EQ(compiled.phases.size(), 1u);
+  EXPECT_EQ(compiled.phases[0].analysis.shape, CommShape::kNeighbor);
+  EXPECT_EQ(compiled.bytes_per_iteration(), 6u * 256u * 4u);
+
+  sim::Simulator simulator(8);
+  apps::TestbedConfig config;
+  config.pvm.keepalives_enabled = false;
+  apps::Testbed testbed(simulator, config);
+  testbed.start();
+  fx::run_program(testbed.vm(), compiled.executable);
+
+  std::set<std::pair<int, int>> pairs;
+  for (const auto& p : testbed.capture().packets()) {
+    if (p.bytes > 58) pairs.emplace(p.src, p.dst);
+  }
+  const std::set<std::pair<int, int>> expected{
+      {0, 1}, {1, 0}, {1, 2}, {2, 1}, {2, 3}, {3, 2}};
+  EXPECT_EQ(pairs, expected);
+}
+
+TEST(LowerTest, CompiledFft2dMovesExactTransposeBytes) {
+  SourceProgram program;
+  program.name = "compiled-fft";
+  program.processors = 4;
+  program.iterations = 3;
+  program.arrays.emplace("a",
+                         matrix_decl("a", 128, ElemType::kReal8, 0, 4));
+  program.body.emplace_back(LocalWork{1e6});
+  Distribution cols;
+  cols.dims = {DistKind::kCollapsed, DistKind::kBlock};
+  program.body.emplace_back(Redistribute{"a", cols, Interval{0, 4}});
+  program.body.emplace_back(LocalWork{1e6});
+
+  const CompiledProgram compiled = compile(program);
+  EXPECT_EQ(compiled.bytes_per_iteration(), 12u * 32u * 32u * 8u);
+
+  sim::Simulator simulator(9);
+  apps::TestbedConfig config;
+  config.pvm.keepalives_enabled = false;
+  apps::Testbed testbed(simulator, config);
+  testbed.start();
+  fx::run_program(testbed.vm(), compiled.executable);
+  // TCP payload is the transpose bytes plus the PVM headers.
+  std::uint64_t payload = 0;
+  for (const auto& p : testbed.capture().packets()) {
+    if (p.bytes > 58) payload += p.bytes - 58;
+  }
+  const std::uint64_t expected = 3ull * 12ull * 32ull * 32ull * 8ull;
+  EXPECT_GT(payload, expected);
+  EXPECT_LT(payload, expected + 3 * 12 * 64 + 40000);
+}
+
+TEST(LowerTest, CompiledTaskParallelPipelineIsPartition) {
+  SourceProgram program;
+  program.name = "compiled-tfft";
+  program.processors = 4;
+  program.iterations = 2;
+  program.arrays.emplace(
+      "a", matrix_decl("a", 128, ElemType::kReal8, 0, 4, Interval{0, 2}));
+  Distribution cols;
+  cols.dims = {DistKind::kCollapsed, DistKind::kBlock};
+  program.body.emplace_back(Redistribute{"a", cols, Interval{2, 4}});
+
+  const CompiledProgram compiled = compile(program);
+  EXPECT_EQ(compiled.phases[0].analysis.shape, CommShape::kPartition);
+
+  sim::Simulator simulator(10);
+  apps::TestbedConfig config;
+  config.pvm.keepalives_enabled = false;
+  apps::Testbed testbed(simulator, config);
+  testbed.start();
+  fx::run_program(testbed.vm(), compiled.executable);
+  for (const auto& p : testbed.capture().packets()) {
+    if (p.bytes > 58) {
+      EXPECT_LT(p.src, 2);
+      EXPECT_GE(p.dst, 2);
+    }
+  }
+}
+
+TEST(LowerTest, UnknownArrayIsRejected) {
+  SourceProgram program;
+  program.name = "bad";
+  program.processors = 4;
+  StencilAssign stencil;
+  stencil.array = "nope";
+  stencil.max_offsets = {1, 1};
+  program.body.emplace_back(stencil);
+  EXPECT_THROW((void)compile(program), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace fxtraf::fxc

@@ -1,0 +1,188 @@
+// Tests for the Fx source dialect lexer and parser, including complete
+// source programs for the paper's kernels compiled and executed.
+#include <gtest/gtest.h>
+
+#include "apps/testbed.hpp"
+#include "fx/runtime.hpp"
+#include "fxc/lexer.hpp"
+#include "fxc/lower.hpp"
+#include "fxc/parser.hpp"
+
+namespace fxtraf::fxc {
+namespace {
+
+TEST(LexerTest, TokenKindsAndPositions) {
+  const auto tokens = lex("array U real4 (512, 512)\n! comment\non 0..4");
+  ASSERT_GE(tokens.size(), 11u);
+  EXPECT_EQ(tokens[0].kind, TokenKind::kIdentifier);
+  EXPECT_EQ(tokens[0].text, "array");
+  EXPECT_EQ(tokens[1].text, "u");  // identifiers fold to lowercase
+  EXPECT_EQ(tokens[3].kind, TokenKind::kLParen);
+  EXPECT_EQ(tokens[4].kind, TokenKind::kNumber);
+  EXPECT_DOUBLE_EQ(tokens[4].number, 512.0);
+  EXPECT_EQ(tokens[5].kind, TokenKind::kComma);
+  EXPECT_EQ(tokens[8].text, "on");
+  EXPECT_EQ(tokens[8].line, 3);
+  EXPECT_EQ(tokens[10].kind, TokenKind::kDotDot);
+}
+
+TEST(LexerTest, NumberUnits) {
+  const auto tokens = lex("240ms 5e6 1.5s 32k 10us 2m");
+  EXPECT_DOUBLE_EQ(tokens[0].number, 0.240);
+  EXPECT_DOUBLE_EQ(tokens[1].number, 5e6);
+  EXPECT_DOUBLE_EQ(tokens[2].number, 1.5);
+  EXPECT_DOUBLE_EQ(tokens[3].number, 32000.0);
+  EXPECT_DOUBLE_EQ(tokens[4].number, 1e-5);
+  EXPECT_DOUBLE_EQ(tokens[5].number, 2e6);
+}
+
+TEST(LexerTest, RangeDoesNotEatDecimalPoint) {
+  const auto tokens = lex("0..4 1.5");
+  EXPECT_DOUBLE_EQ(tokens[0].number, 0.0);
+  EXPECT_EQ(tokens[1].kind, TokenKind::kDotDot);
+  EXPECT_DOUBLE_EQ(tokens[2].number, 4.0);
+  EXPECT_DOUBLE_EQ(tokens[3].number, 1.5);
+}
+
+TEST(LexerTest, BadInputReportsPosition) {
+  try {
+    (void)lex("array u\n  @bad");
+    FAIL();
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find(":2:"), std::string::npos);
+  }
+  EXPECT_THROW((void)lex("10zz"), std::runtime_error);
+}
+
+constexpr const char* kSorSource = R"(
+! SOR: successive overrelaxation, the neighbor-pattern kernel.
+program sor
+processors 4
+iterations 8
+
+array u real4 (512, 512) distribute (block, *)
+
+stencil u offsets (1, 1) flops 5.0
+)";
+
+TEST(ParserTest, ParsesSorKernel) {
+  const SourceProgram program = parse_source(kSorSource);
+  EXPECT_EQ(program.name, "sor");
+  EXPECT_EQ(program.processors, 4);
+  EXPECT_EQ(program.iterations, 8);
+  const ArrayDecl& u = program.array("u");
+  EXPECT_EQ(u.extents, (std::vector<std::size_t>{512, 512}));
+  EXPECT_EQ(u.type, ElemType::kReal4);
+  EXPECT_EQ(u.distribution.block_dim(), 0);
+  ASSERT_EQ(program.body.size(), 1u);
+  const auto& stencil = std::get<StencilAssign>(program.body[0]);
+  EXPECT_EQ(stencil.max_offsets, (std::vector<int>{1, 1}));
+  EXPECT_DOUBLE_EQ(stencil.flops_per_point, 5.0);
+}
+
+constexpr const char* kFftSource = R"(
+program fft2d
+processors 4
+iterations 5
+array a real8 (256, 256) distribute (block, *)
+local 2e6
+redistribute a (*, block)
+local 2e6
+redistribute a (block, *)
+)";
+
+TEST(ParserTest, ParsesAndCompilesFft) {
+  const CompiledProgram compiled = compile(parse_source(kFftSource));
+  ASSERT_EQ(compiled.phases.size(), 4u);
+  EXPECT_EQ(compiled.phases[1].analysis.shape, CommShape::kAllToAll);
+  EXPECT_EQ(compiled.phases[3].analysis.shape, CommShape::kAllToAll);
+  EXPECT_EQ(compiled.bytes_per_iteration(), 2u * 12u * 64u * 64u * 8u);
+}
+
+constexpr const char* kTaskParallelSource = R"(
+program t2dfft
+processors 4
+iterations 3
+array a real8 (128, 128) distribute (block, *) on 0..2
+redistribute a (*, block) on 2..4
+)";
+
+TEST(ParserTest, ParsesTaskParallelPlacement) {
+  const SourceProgram program = parse_source(kTaskParallelSource);
+  EXPECT_EQ(program.array("a").processors.lo, 0u);
+  EXPECT_EQ(program.array("a").processors.hi, 2u);
+  const auto analysis = analyze(program, program.body[0]);
+  EXPECT_EQ(analysis.shape, CommShape::kPartition);
+}
+
+constexpr const char* kSeqSource = R"(
+program seq
+processors 4
+iterations 2
+array a real4 (8, 8) distribute (block, *)
+read a element 4 row_io 20ms
+)";
+
+TEST(ParserTest, ParsesSequentialRead) {
+  const SourceProgram program = parse_source(kSeqSource);
+  const auto& read = std::get<SequentialRead>(program.body[0]);
+  EXPECT_EQ(read.element_message_bytes, 4u);
+  EXPECT_EQ(read.io_time_per_row, sim::millis(20));
+}
+
+constexpr const char* kHistSource = R"(
+program hist
+processors 4
+iterations 4
+local 2e6
+reduce bytes 2048 flops 1e6
+broadcast bytes 2048 root 0
+)";
+
+TEST(ParserTest, ParsesReduceAndBroadcast) {
+  const SourceProgram program = parse_source(kHistSource);
+  ASSERT_EQ(program.body.size(), 3u);
+  EXPECT_EQ(std::get<Reduction>(program.body[1]).vector_bytes, 2048u);
+  EXPECT_EQ(std::get<BroadcastStmt>(program.body[2]).root, 0);
+}
+
+TEST(ParserTest, SourceProgramRunsEndToEnd) {
+  const CompiledProgram compiled = compile(parse_source(kFftSource));
+  sim::Simulator simulator(55);
+  apps::TestbedConfig config;
+  config.pvm.keepalives_enabled = false;
+  apps::Testbed testbed(simulator, config);
+  testbed.start();
+  fx::run_program(testbed.vm(), compiled.executable);
+  EXPECT_GT(testbed.capture().size(), 500u);
+}
+
+TEST(ParserTest, SemanticErrorsCarryPositions) {
+  EXPECT_THROW((void)parse_source("processors 4"), std::runtime_error);
+  EXPECT_THROW((void)parse_source("program p processors 4 stencil u "
+                                  "offsets (1, 1)"),
+               std::runtime_error);  // unknown array
+  EXPECT_THROW((void)parse_source("program p processors 4 broadcast root 9"),
+               std::runtime_error);  // root out of range
+  EXPECT_THROW(
+      (void)parse_source("program p processors 4\n"
+                         "array a real8 (8, 8) distribute (block, block)"),
+      std::runtime_error);  // two BLOCK dims
+  EXPECT_THROW(
+      (void)parse_source("program p processors 4\n"
+                         "array a real8 (8, 8) distribute (block, *) on 2..9"),
+      std::runtime_error);  // range beyond P
+  EXPECT_THROW(
+      (void)parse_source("program p processors 4\n"
+                         "array a real8 (8, 8) distribute (block, *)\n"
+                         "array a real8 (8, 8) distribute (block, *)"),
+      std::runtime_error);  // duplicate array
+  EXPECT_THROW(
+      (void)parse_source("program p processors 4\n"
+                         "array a real8 (8, 8) distribute (block, *)\n"
+                         "stencil a offsets (1)"),
+      std::runtime_error);  // offset rank mismatch
+}
+
+}  // namespace
+}  // namespace fxtraf::fxc

@@ -1,0 +1,103 @@
+// Unit tests for the workstation model: CPU timing, deschedule injection
+// statistics, and interaction with the scheduler configuration.
+#include <gtest/gtest.h>
+
+#include "apps/testbed.hpp"
+#include "host/workstation.hpp"
+
+namespace fxtraf::host {
+namespace {
+
+struct Rig {
+  sim::Simulator sim{42};
+  eth::Segment segment{sim};
+};
+
+TEST(WorkstationTest, ComputeTimeMapsFlopsLinearly) {
+  Rig rig;
+  WorkstationConfig config;
+  config.mflops = 25.0;
+  Workstation ws(rig.sim, rig.segment, 0, config);
+  EXPECT_DOUBLE_EQ(ws.compute_time(25e6).seconds(), 1.0);
+  EXPECT_DOUBLE_EQ(ws.compute_time(2.5e6).seconds(), 0.1);
+  EXPECT_DOUBLE_EQ(ws.compute_time(0).seconds(), 0.0);
+}
+
+TEST(WorkstationTest, ComputeWithoutDeschedulingIsExact) {
+  Rig rig;
+  WorkstationConfig config;
+  config.mflops = 10.0;
+  config.deschedule_probability = 0.0;
+  Workstation ws(rig.sim, rig.segment, 0, config);
+  auto p = sim::spawn(ws.compute(50e6));  // 5 seconds at 10 MFLOPS
+  rig.sim.run();
+  EXPECT_TRUE(p.done());
+  EXPECT_DOUBLE_EQ(rig.sim.now().seconds(), 5.0);
+  EXPECT_EQ(ws.stats().compute_phases, 1u);
+  EXPECT_EQ(ws.stats().deschedules, 0u);
+}
+
+sim::Co<void> compute_n(Workstation& ws, int n, double flops) {
+  for (int i = 0; i < n; ++i) co_await ws.compute(flops);
+}
+
+TEST(WorkstationTest, DeschedulingAddsTimeAndCountsEvents) {
+  Rig rig;
+  WorkstationConfig config;
+  config.mflops = 25.0;
+  config.deschedule_probability = 1.0;  // every phase pauses
+  config.mean_deschedule = sim::millis(50);
+  Workstation ws(rig.sim, rig.segment, 0, config);
+  auto p = sim::spawn(compute_n(ws, 100, 2.5e6));  // 100 x 0.1 s base
+  rig.sim.run();
+  EXPECT_TRUE(p.done());
+  EXPECT_EQ(ws.stats().deschedules, 100u);
+  const double base = 10.0;
+  const double extra = rig.sim.now().seconds() - base;
+  EXPECT_GT(extra, 1.0);  // ~100 x 50 ms on average
+  EXPECT_LT(extra, 20.0);
+  EXPECT_NEAR(static_cast<double>(ws.stats().descheduled_ns) * 1e-9, extra,
+              1e-6);
+}
+
+TEST(WorkstationTest, DeschedProbabilityScalesFrequency) {
+  auto deschedules_at = [](double prob) {
+    Rig rig;
+    WorkstationConfig config;
+    config.deschedule_probability = prob;
+    Workstation ws(rig.sim, rig.segment, 0, config);
+    auto p = sim::spawn(compute_n(ws, 1000, 1e5));
+    rig.sim.run();
+    EXPECT_TRUE(p.done());
+    return ws.stats().deschedules;
+  };
+  const auto low = deschedules_at(0.02);
+  const auto high = deschedules_at(0.5);
+  EXPECT_GT(high, low * 5);
+  EXPECT_NEAR(static_cast<double>(low), 20.0, 15.0);
+  EXPECT_NEAR(static_cast<double>(high), 500.0, 80.0);
+}
+
+TEST(WorkstationTest, BusyOccupiesExactDuration) {
+  Rig rig;
+  Workstation ws(rig.sim, rig.segment, 0, {});
+  auto p = sim::spawn(ws.busy(sim::millis(123)));
+  rig.sim.run();
+  EXPECT_TRUE(p.done());
+  EXPECT_DOUBLE_EQ(rig.sim.now().seconds(), 0.123);
+}
+
+TEST(TestbedTest, BuildsRequestedTopology) {
+  sim::Simulator simulator(1);
+  apps::TestbedConfig config;
+  config.workstations = 9;  // the paper's nine Alphas
+  apps::Testbed testbed(simulator, config);
+  EXPECT_EQ(testbed.size(), 9);
+  EXPECT_EQ(testbed.vm().ntasks(), 9);
+  for (int i = 0; i < 9; ++i) {
+    EXPECT_EQ(testbed.workstation(i).id(), i);
+  }
+}
+
+}  // namespace
+}  // namespace fxtraf::host

@@ -1,0 +1,299 @@
+// Integration tests: run the six Fx programs end to end (scaled down) on
+// the simulated testbed and check the traffic properties the paper
+// reports for each.
+#include <gtest/gtest.h>
+
+#include "apps/airshed.hpp"
+#include "apps/fft2d.hpp"
+#include "apps/hist.hpp"
+#include "apps/seq.hpp"
+#include "apps/sor.hpp"
+#include "apps/testbed.hpp"
+#include <sstream>
+
+#include "apps/tfft2d.hpp"
+#include "core/burst_model.hpp"
+#include "core/characterization.hpp"
+#include "dsp/autocorr.hpp"
+#include "dsp/welch.hpp"
+#include "fx/runtime.hpp"
+#include "trace/pcap.hpp"
+
+namespace fxtraf::apps {
+namespace {
+
+struct Experiment {
+  sim::Simulator sim;
+  Testbed testbed;
+
+  explicit Experiment(TestbedConfig config = default_config(),
+                      std::uint64_t seed = 5150)
+      : sim(seed), testbed(sim, config) {
+    testbed.start();
+  }
+
+  static TestbedConfig default_config() {
+    TestbedConfig c;
+    c.workstations = 4;
+    c.pvm.keepalives_enabled = false;
+    return c;
+  }
+
+  sim::SimTime run(const fx::FxProgram& program) {
+    return fx::run_program(testbed.vm(), program);
+  }
+};
+
+TEST(IntegrationTest, SorRunsAndUsesNeighborPairsOnly) {
+  Experiment e;
+  SorParams params;
+  params.iterations = 6;
+  params.flops_per_iteration = 5e6;  // shrink for test speed
+  e.run(make_sor(params));
+  const auto& packets = e.testbed.capture().packets();
+  ASSERT_GT(packets.size(), 50u);
+  for (const auto& p : packets) {
+    const int gap = std::abs(static_cast<int>(p.src) -
+                             static_cast<int>(p.dst));
+    EXPECT_EQ(gap, 1) << "SOR traffic must stay on the chain";
+  }
+}
+
+TEST(IntegrationTest, SorTrafficIsTrimodal) {
+  Experiment e;
+  SorParams params;
+  params.iterations = 10;
+  params.flops_per_iteration = 5e6;
+  e.run(make_sor(params));
+  const auto modes = core::size_modes(e.testbed.capture().view());
+  ASSERT_GE(modes.size(), 3u) << "full packets, remainder, ACKs";
+}
+
+TEST(IntegrationTest, Fft2dMovesTheWholeMatrixEachIteration) {
+  Experiment e;
+  Fft2dParams params;
+  params.n = 128;
+  params.iterations = 3;
+  params.flops_per_phase = 2e6;
+  e.run(make_fft2d(params));
+  // Each iteration: 12 blocks of (128/4)^2*8 = 8192 B + headers.
+  std::uint64_t tcp_payload = 0;
+  for (const auto& p : e.testbed.capture().packets()) {
+    if (p.bytes > 58) tcp_payload += p.bytes - 58;
+  }
+  const std::uint64_t expected = 3ull * 12ull * 8192ull;
+  EXPECT_GT(tcp_payload, expected);
+  EXPECT_LT(tcp_payload, expected + 3 * 12 * 256 + 20000);
+}
+
+TEST(IntegrationTest, Fft2dIsPeriodicAtItsIterationRate) {
+  Experiment e;
+  Fft2dParams params;
+  params.n = 256;
+  params.iterations = 24;
+  // ~0.25 s compute per phase (25 MFLOPS hosts) plus transpose.
+  params.flops_per_phase = 6.25e6;
+  e.run(make_fft2d(params));
+  const auto c = core::characterize(e.testbed.capture().view());
+  ASSERT_GT(c.peaks.size(), 0u);
+  // Iteration period ~0.5s compute + ~0.55s comm: fundamental in
+  // [0.5, 1.5] Hz.
+  EXPECT_GT(c.fundamental.frequency_hz, 0.4);
+  EXPECT_LT(c.fundamental.frequency_hz, 1.6);
+  EXPECT_GT(c.fundamental.harmonic_power_fraction, 0.5);
+}
+
+TEST(IntegrationTest, Tfft2dFragmentListWidensPacketSizes) {
+  auto run_with = [](pvm::AssemblyMode mode) {
+    TestbedConfig config = Experiment::default_config();
+    config.pvm.assembly = mode;
+    Experiment e(config);
+    Tfft2dParams params;
+    params.n = 256;
+    params.iterations = 4;
+    params.flops_per_stage = 2e6;
+    e.run(make_tfft2d(params));
+    std::vector<std::uint32_t> data_sizes;
+    for (const auto& p : e.testbed.capture().packets()) {
+      if (p.bytes > 58) data_sizes.push_back(p.bytes);
+    }
+    core::Welford w;
+    for (auto s : data_sizes) w.add(s);
+    return w.summary();
+  };
+  const auto frag = run_with(pvm::AssemblyMode::kFragmentList);
+  const auto copy = run_with(pvm::AssemblyMode::kCopyLoop);
+  // Fragment-list sends non-maximal packets at every pack boundary; the
+  // copy loop streams almost entirely full segments (paper section 6.1).
+  EXPECT_LT(frag.mean, copy.mean);
+}
+
+TEST(IntegrationTest, SeqOnlyRootSendsAndPacketsAreTiny) {
+  Experiment e;
+  SeqParams params;
+  params.n = 8;
+  params.iterations = 2;
+  params.row_io_time = sim::millis(20);
+  e.run(make_seq(params));
+  const auto& packets = e.testbed.capture().packets();
+  ASSERT_GT(packets.size(), 100u);
+  for (const auto& p : packets) {
+    if (p.bytes > 58) {
+      EXPECT_EQ(p.src, 0) << "only processor 0 sends data";
+    }
+    EXPECT_LE(p.bytes, 130u) << "SEQ packets are all small";
+  }
+}
+
+TEST(IntegrationTest, HistTreePlusBroadcastCompletes) {
+  Experiment e;
+  HistParams params;
+  params.iterations = 8;
+  params.flops_per_iteration = 2e6;
+  e.run(make_hist(params));
+  // Tree edges up: (1,0),(3,2),(2,0); broadcast down from 0.
+  std::set<std::pair<int, int>> data_pairs;
+  for (const auto& p : e.testbed.capture().packets()) {
+    if (p.bytes > 58) data_pairs.emplace(p.src, p.dst);
+  }
+  const std::set<std::pair<int, int>> expected{
+      {1, 0}, {3, 2}, {2, 0}, {0, 1}, {0, 2}, {0, 3}};
+  EXPECT_EQ(data_pairs, expected);
+}
+
+TEST(IntegrationTest, AirshedHasHourAndStepStructure) {
+  Experiment e;
+  AirshedParams params;
+  params.hours = 2;
+  params.steps_per_hour = 2;
+  params.preprocess_flops = 50e6;   // 2 s
+  params.horizontal_flops = 12.5e6;  // 0.5 s
+  params.chemistry_flops = 25e6;     // 1 s
+  params.transpose_chunks = 2;
+  params.chunk_flops = 2.5e6;  // 0.1 s
+  e.run(make_airshed(params));
+  const auto& packets = e.testbed.capture().packets();
+  ASSERT_GT(packets.size(), 100u);
+  // The preprocessing phases produce long silences: max interarrival far
+  // exceeds the average (paper: ratio is "quite high").
+  const auto inter = core::interarrival_ms_stats(packets);
+  EXPECT_GT(inter.max / inter.mean, 20.0);
+}
+
+TEST(IntegrationTest, AutocorrelationAgreesWithSpectrum) {
+  // Two independent period estimators — spectral fundamental and first
+  // autocorrelation peak — must agree on the burst comb.
+  Experiment e;
+  HistParams params;
+  params.iterations = 60;
+  e.run(make_hist(params));
+  const auto series = core::binned_bandwidth(e.testbed.capture().view(),
+                                             sim::millis(10));
+  const auto c = core::characterize(e.testbed.capture().view());
+  const auto period = dsp::estimate_period(series.kb_per_s, 400);
+  ASSERT_GT(period.lag_samples, 0u);
+  const double autocorr_hz =
+      1.0 / (static_cast<double>(period.lag_samples) * series.interval_s);
+  EXPECT_NEAR(autocorr_hz, c.fundamental.frequency_hz,
+              0.15 * c.fundamental.frequency_hz);
+}
+
+TEST(IntegrationTest, WelchAndPeriodogramAgreeOnTheFundamental) {
+  Experiment e;
+  SeqParams params;  // the most periodic kernel
+  e.run(make_seq(params));
+  const auto series = core::binned_bandwidth(e.testbed.capture().view(),
+                                             sim::millis(10));
+  const auto raw = dsp::periodogram(series.kb_per_s, series.interval_s);
+  const auto averaged = dsp::welch(series.kb_per_s, series.interval_s,
+                                   {.segment_samples = 1024,
+                                    .overlap_samples = 512});
+  const auto raw_peak = raw.frequency_hz[raw.argmax_in_band(1.0, 45.0)];
+  const auto welch_peak =
+      averaged.frequency_hz[averaged.argmax_in_band(1.0, 45.0)];
+  EXPECT_NEAR(raw_peak, welch_peak, averaged.resolution_hz());
+  EXPECT_NEAR(raw_peak, 4.1, 0.4);
+}
+
+TEST(IntegrationTest, PcapRoundTripPreservesCharacterization) {
+  Experiment e;
+  HistParams params;
+  params.iterations = 40;
+  e.run(make_hist(params));
+  std::stringstream buffer(std::ios::in | std::ios::out | std::ios::binary);
+  trace::write_pcap(buffer, e.testbed.capture().view());
+  const auto reloaded = trace::read_pcap(buffer);
+  const auto before = core::characterize(e.testbed.capture().view());
+  const auto after = core::characterize(reloaded);
+  EXPECT_EQ(reloaded.size(), e.testbed.capture().size());
+  EXPECT_NEAR(after.avg_bandwidth_kbs, before.avg_bandwidth_kbs, 0.01);
+  EXPECT_NEAR(after.fundamental.frequency_hz,
+              before.fundamental.frequency_hz, 0.05);
+}
+
+TEST(IntegrationTest, DeterministicAcrossRuns) {
+  auto run_once = [] {
+    Experiment e;
+    Fft2dParams params;
+    params.n = 128;
+    params.iterations = 3;
+    params.flops_per_phase = 2e6;
+    e.run(make_fft2d(params));
+    return e.testbed.capture().packets();
+  };
+  const auto a = run_once();
+  const auto b = run_once();
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].timestamp, b[i].timestamp) << i;
+    EXPECT_EQ(a[i].bytes, b[i].bytes) << i;
+  }
+}
+
+TEST(IntegrationTest, DeschedulesMergeBursts) {
+  // Paper Figure 6 (2DFFT): "the third and fourth burst are short
+  // because they are, in fact, a single communication phase where some
+  // processor descheduled the program" — heavy deschedule injection must
+  // reduce the distinct-burst count below the iteration count.
+  auto burst_count = [](double prob) {
+    TestbedConfig config = Experiment::default_config();
+    config.host.deschedule_probability = prob;
+    config.host.mean_deschedule = sim::millis(400);
+    Experiment e(config, /*seed=*/777);
+    Fft2dParams params;
+    params.n = 256;
+    params.iterations = 16;
+    params.flops_per_phase = 4e6;
+    e.run(make_fft2d(params));
+    const auto series = core::binned_bandwidth(e.testbed.capture().view(),
+                                               sim::millis(10));
+    return core::detect_bursts(series, {.threshold_fraction = 0.05,
+                                        .merge_gap_bins = 8,
+                                        .min_bins = 2})
+        .size();
+  };
+  const auto clean = burst_count(0.0);
+  const auto noisy = burst_count(0.9);
+  EXPECT_EQ(clean, 16u);
+  // A deschedule mid-phase splits/stalls a phase: bursts merge or split
+  // irregularly, so the clean one-burst-per-iteration structure is lost.
+  EXPECT_NE(noisy, clean);
+}
+
+TEST(IntegrationTest, DescheduleInjectionStretchesPhases) {
+  auto total_time = [](double prob) {
+    TestbedConfig config = Experiment::default_config();
+    config.host.deschedule_probability = prob;
+    config.host.mean_deschedule = sim::millis(200);
+    Experiment e(config);
+    Fft2dParams params;
+    params.n = 128;
+    params.iterations = 10;
+    params.flops_per_phase = 2e6;
+    return e.run(make_fft2d(params)).seconds();
+  };
+  EXPECT_GT(total_time(0.5), total_time(0.0));
+}
+
+}  // namespace
+}  // namespace fxtraf::apps

@@ -1,0 +1,127 @@
+// Parameterized sweep: every kernel completes at P = 2, 4, 8 with the
+// expected traffic footprint (no deadlocks, correct participants, data
+// proportional to the kernel's asymptotic message volume).
+#include <gtest/gtest.h>
+
+#include <set>
+#include <tuple>
+
+#include "apps/airshed.hpp"
+#include "apps/fft2d.hpp"
+#include "apps/hist.hpp"
+#include "apps/seq.hpp"
+#include "apps/sor.hpp"
+#include "apps/testbed.hpp"
+#include "apps/tfft2d.hpp"
+#include "fx/runtime.hpp"
+
+namespace fxtraf::apps {
+namespace {
+
+struct SweepCase {
+  const char* kernel;
+  int processors;
+};
+
+class KernelSweep : public ::testing::TestWithParam<SweepCase> {};
+
+fx::FxProgram build(const char* kernel, int p) {
+  if (std::string_view(kernel) == "sor") {
+    SorParams params;
+    params.processors = p;
+    params.n = 128;
+    params.iterations = 4;
+    params.flops_per_iteration = 2e6;
+    return make_sor(params);
+  }
+  if (std::string_view(kernel) == "2dfft") {
+    Fft2dParams params;
+    params.processors = p;
+    params.n = 128;
+    params.iterations = 3;
+    params.flops_per_phase = 1e6;
+    return make_fft2d(params);
+  }
+  if (std::string_view(kernel) == "t2dfft") {
+    Tfft2dParams params;
+    params.processors = p;
+    params.n = 128;
+    params.iterations = 3;
+    params.flops_per_stage = 1e6;
+    return make_tfft2d(params);
+  }
+  if (std::string_view(kernel) == "seq") {
+    SeqParams params;
+    params.processors = p;
+    params.n = 8;
+    params.iterations = 1;
+    params.row_io_time = sim::millis(5);
+    return make_seq(params);
+  }
+  if (std::string_view(kernel) == "hist") {
+    HistParams params;
+    params.processors = p;
+    params.iterations = 4;
+    params.flops_per_iteration = 1e6;
+    return make_hist(params);
+  }
+  AirshedParams params;
+  params.processors = p;
+  params.hours = 1;
+  params.steps_per_hour = 2;
+  params.preprocess_flops = 5e6;
+  params.horizontal_flops = 2e6;
+  params.chemistry_flops = 2e6;
+  params.transpose_chunks = 2;
+  params.chunk_flops = 1e6;
+  return make_airshed(params);
+}
+
+TEST_P(KernelSweep, CompletesWithSaneTraffic) {
+  const SweepCase scenario = GetParam();
+  sim::Simulator simulator(2026);
+  TestbedConfig config;
+  config.workstations = scenario.processors;
+  config.pvm.keepalives_enabled = false;
+  Testbed testbed(simulator, config);
+  testbed.start();
+
+  const sim::SimTime end = fx::run_program(
+      testbed.vm(), build(scenario.kernel, scenario.processors));
+  EXPECT_GT(end.seconds(), 0.0);
+  ASSERT_GT(testbed.capture().size(), 10u)
+      << scenario.kernel << " P=" << scenario.processors;
+
+  // Participants stay within the processor set, and every participating
+  // host both sends and receives something (all our kernels are global).
+  std::set<int> senders, receivers;
+  for (const auto& p : testbed.capture().packets()) {
+    EXPECT_LT(p.src, scenario.processors);
+    EXPECT_LT(p.dst, scenario.processors);
+    senders.insert(p.src);
+    receivers.insert(p.dst);
+  }
+  EXPECT_EQ(static_cast<int>(receivers.size()), scenario.processors)
+      << scenario.kernel;
+  EXPECT_GE(static_cast<int>(senders.size()), scenario.processors / 2)
+      << scenario.kernel;
+  EXPECT_EQ(testbed.vm().simulator().now().ns(), simulator.now().ns());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllKernelsAllP, KernelSweep,
+    ::testing::Values(
+        SweepCase{"sor", 2}, SweepCase{"sor", 4}, SweepCase{"sor", 8},
+        SweepCase{"2dfft", 2}, SweepCase{"2dfft", 4}, SweepCase{"2dfft", 8},
+        SweepCase{"t2dfft", 2}, SweepCase{"t2dfft", 4},
+        SweepCase{"t2dfft", 8}, SweepCase{"seq", 2}, SweepCase{"seq", 4},
+        SweepCase{"seq", 8}, SweepCase{"hist", 2}, SweepCase{"hist", 4},
+        SweepCase{"hist", 8}, SweepCase{"airshed", 2},
+        SweepCase{"airshed", 4}, SweepCase{"airshed", 8}),
+    [](const ::testing::TestParamInfo<SweepCase>& info) {
+      return std::string(info.param.kernel) + "_P" +
+             std::to_string(info.param.processors);
+    });
+
+}  // namespace
+}  // namespace fxtraf::apps

@@ -1,0 +1,187 @@
+// Tests for the Fx collectives: every Figure-1 pattern completes, moves
+// the right amount of data along the right directed pairs, and the
+// connection-count formulas of section 7.1 hold.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "apps/testbed.hpp"
+#include "fx/patterns.hpp"
+#include "fx/runtime.hpp"
+#include "pvm/task.hpp"
+
+namespace fxtraf::fx {
+namespace {
+
+struct Fixture {
+  sim::Simulator sim{33};
+  apps::Testbed testbed;
+
+  explicit Fixture(int hosts = 4) : testbed(sim, config(hosts)) {
+    testbed.start();
+  }
+  static apps::TestbedConfig config(int hosts) {
+    apps::TestbedConfig c;
+    c.workstations = hosts;
+    c.pvm.keepalives_enabled = false;  // keep traces pattern-only
+    return c;
+  }
+
+  /// Directed pairs that carried TCP *data* (not bare ACKs).
+  [[nodiscard]] std::set<std::pair<int, int>> data_pairs() const {
+    std::set<std::pair<int, int>> pairs;
+    for (const auto& p : testbed.capture().packets()) {
+      if (p.proto == net::IpProto::kTcp && p.bytes > 58) {
+        pairs.emplace(p.src, p.dst);
+      }
+    }
+    return pairs;
+  }
+};
+
+using PatternFn =
+    std::function<sim::Co<void>(Collectives&, int rank, std::size_t, int)>;
+
+RunningProgram run_pattern(Fixture& f, int processors, std::size_t bytes,
+                           PatternFn fn) {
+  FxProgram program;
+  program.name = "pattern-test";
+  program.processors = processors;
+  program.rank_body = [bytes, fn](FxContext& ctx, int rank) -> sim::Co<void> {
+    co_await fn(ctx.collectives(), rank, bytes, /*tag=*/1);
+  };
+  RunningProgram running = launch(f.testbed.vm(), program);
+  f.sim.run();
+  running.rethrow_failures();
+  EXPECT_TRUE(running.all_done());
+  return running;
+}
+
+TEST(PatternsTest, NeighborExchangesAlongChainOnly) {
+  Fixture f;
+  run_pattern(f, 4, 4096,
+              [](Collectives& c, int r, std::size_t b, int t) {
+                return c.neighbor_exchange(r, b, t);
+              });
+  const auto pairs = f.data_pairs();
+  const std::set<std::pair<int, int>> expected{
+      {0, 1}, {1, 0}, {1, 2}, {2, 1}, {2, 3}, {3, 2}};
+  EXPECT_EQ(pairs, expected);
+}
+
+TEST(PatternsTest, AllToAllUsesEveryDirectedPair) {
+  Fixture f;
+  run_pattern(f, 4, 8192, [](Collectives& c, int r, std::size_t b, int t) {
+    return c.all_to_all(r, b, t);
+  });
+  EXPECT_EQ(f.data_pairs().size(), 12u);  // P(P-1)
+}
+
+TEST(PatternsTest, PartitionSendsHalfToHalf) {
+  Fixture f;
+  run_pattern(f, 4, 8192, [](Collectives& c, int r, std::size_t b, int t) {
+    return c.partition(r, b, t);
+  });
+  const std::set<std::pair<int, int>> expected{
+      {0, 2}, {0, 3}, {1, 2}, {1, 3}};
+  EXPECT_EQ(f.data_pairs(), expected);
+}
+
+TEST(PatternsTest, BroadcastFansOutFromRoot) {
+  Fixture f;
+  run_pattern(f, 4, 2048, [](Collectives& c, int r, std::size_t b, int t) {
+    return c.broadcast(r, /*root=*/0, b, t);
+  });
+  const std::set<std::pair<int, int>> expected{{0, 1}, {0, 2}, {0, 3}};
+  EXPECT_EQ(f.data_pairs(), expected);
+}
+
+TEST(PatternsTest, TreeReduceFollowsTheTree) {
+  Fixture f;
+  run_pattern(f, 4, 1024, [](Collectives& c, int r, std::size_t b, int t) {
+    return c.tree_reduce(r, b, t);
+  });
+  const std::set<std::pair<int, int>> expected{{1, 0}, {3, 2}, {2, 0}};
+  EXPECT_EQ(f.data_pairs(), expected);
+}
+
+TEST(PatternsTest, TreeBroadcastIsReverseTree) {
+  Fixture f;
+  run_pattern(f, 4, 1024, [](Collectives& c, int r, std::size_t b, int t) {
+    return c.tree_broadcast(r, b, t);
+  });
+  const std::set<std::pair<int, int>> expected{{0, 2}, {0, 1}, {2, 3}};
+  EXPECT_EQ(f.data_pairs(), expected);
+}
+
+TEST(PatternsTest, TreeRequiresPowerOfTwo) {
+  Fixture f(6);
+  FxProgram program;
+  program.name = "bad-tree";
+  program.processors = 6;
+  program.rank_body = [](FxContext& ctx, int rank) -> sim::Co<void> {
+    co_await ctx.collectives().tree_reduce(rank, 64, 1);
+  };
+  RunningProgram running = launch(f.testbed.vm(), program);
+  f.sim.run();
+  EXPECT_THROW(running.rethrow_failures(), std::invalid_argument);
+}
+
+TEST(PatternsTest, EightRankAllToAllCompletes) {
+  Fixture f(8);
+  run_pattern(f, 8, 2048, [](Collectives& c, int r, std::size_t b, int t) {
+    return c.all_to_all(r, b, t);
+  });
+  EXPECT_EQ(f.data_pairs().size(), 56u);  // 8*7
+}
+
+TEST(ConnectionCountTest, MatchesSection71Formulas) {
+  EXPECT_EQ(connections_used(PatternKind::kAllToAll, 4), 12);
+  EXPECT_EQ(connections_used(PatternKind::kNeighbor, 4), 6);
+  EXPECT_EQ(connections_used(PatternKind::kPartition, 4), 4);
+  EXPECT_EQ(connections_used(PatternKind::kBroadcast, 4), 3);
+  EXPECT_EQ(connections_used(PatternKind::kTree, 4), 6);
+  // P^2/4 for an equal partition (paper's expression), any even P.
+  for (int p = 2; p <= 16; p += 2) {
+    EXPECT_EQ(connections_used(PatternKind::kPartition, p), p * p / 4);
+  }
+}
+
+TEST(ConnectionCountTest, ConcurrentConnectionsArePositive) {
+  for (auto kind : {PatternKind::kNeighbor, PatternKind::kAllToAll,
+                    PatternKind::kPartition, PatternKind::kBroadcast,
+                    PatternKind::kTree}) {
+    for (int p = 2; p <= 16; p *= 2) {
+      EXPECT_GT(concurrent_connections(kind, p), 0)
+          << to_string(kind) << " P=" << p;
+      EXPECT_LE(concurrent_connections(kind, p),
+                std::max(connections_used(kind, p), 1))
+          << to_string(kind) << " P=" << p;
+    }
+  }
+}
+
+TEST(RuntimeTest, DeadlockIsDetected) {
+  Fixture f;
+  FxProgram program;
+  program.name = "deadlock";
+  program.processors = 2;
+  // Rank 0 waits for a message nobody sends.
+  program.rank_body = [](FxContext& ctx, int rank) -> sim::Co<void> {
+    if (rank == 0) co_await ctx.vm().task(0).recv(1, 999);
+  };
+  EXPECT_THROW(run_program(f.testbed.vm(), program), std::runtime_error);
+}
+
+TEST(RuntimeTest, LaunchRejectsOversizedProgram) {
+  Fixture f;
+  FxProgram program;
+  program.name = "too-big";
+  program.processors = 99;
+  program.rank_body = [](FxContext&, int) -> sim::Co<void> { co_return; };
+  EXPECT_THROW((void)launch(f.testbed.vm(), program), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace fxtraf::fx

@@ -1,0 +1,265 @@
+// Parameterized property suites: invariants that must hold across sweeps
+// of station counts, transfer sizes, loss rates, processor counts, and
+// random seeds.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <numeric>
+
+#include "apps/fft2d.hpp"
+#include "apps/testbed.hpp"
+#include "core/bandwidth.hpp"
+#include "core/packet_stats.hpp"
+#include "ethernet/nic.hpp"
+#include "ethernet/segment.hpp"
+#include "fx/runtime.hpp"
+#include "fxc/lower.hpp"
+#include "net/stack.hpp"
+#include "pvm/task.hpp"
+#include "simcore/coro.hpp"
+
+namespace fxtraf {
+namespace {
+
+// ---- Ethernet: conservation under contention ---------------------------
+
+class EthernetContention : public ::testing::TestWithParam<int> {};
+
+TEST_P(EthernetContention, AllFramesDeliveredBytesConserved) {
+  const int stations = GetParam();
+  sim::Simulator simulator(1000 + static_cast<std::uint64_t>(stations));
+  eth::Segment segment(simulator);
+  std::vector<std::unique_ptr<eth::Nic>> nics;
+  for (int i = 0; i < stations; ++i) {
+    nics.push_back(std::make_unique<eth::Nic>(
+        simulator, segment, static_cast<net::HostId>(i)));
+  }
+  std::uint64_t sent_bytes = 0;
+  const int frames_each = 20;
+  for (auto& nic : nics) {
+    for (int f = 0; f < frames_each; ++f) {
+      net::IpDatagram d;
+      d.src = nic->station();
+      d.dst = static_cast<net::HostId>((nic->station() + 1) % stations);
+      d.payload_bytes = 200 + 97 * static_cast<std::size_t>(f);
+      eth::Frame frame;
+      frame.src = d.src;
+      frame.dst = d.dst;
+      frame.datagram = std::make_shared<const net::IpDatagram>(d);
+      sent_bytes += frame.recorded_bytes();
+      nic->send(std::move(frame));
+    }
+  }
+  simulator.run();
+  std::uint64_t drops = 0;
+  std::uint64_t delivered_frames = 0;
+  for (auto& nic : nics) {
+    drops += nic->stats().excessive_collision_drops;
+    delivered_frames += nic->stats().frames_received;
+  }
+  EXPECT_EQ(delivered_frames + drops,
+            static_cast<std::uint64_t>(stations) * frames_each);
+  if (drops == 0) {
+    EXPECT_EQ(segment.stats().bytes_delivered, sent_bytes);
+  }
+  EXPECT_LE(segment.utilization(simulator.now()), 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Stations, EthernetContention,
+                         ::testing::Values(2, 3, 4, 6, 9, 16));
+
+// ---- TCP: transfer-size sweep ------------------------------------------
+
+class TcpTransferSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(TcpTransferSweep, ExactDeliveryAndPacketAccounting) {
+  const std::size_t bytes = GetParam();
+  sim::Simulator simulator(2000 + bytes);
+  eth::Segment segment(simulator);
+  eth::Nic nic_a(simulator, segment, 0), nic_b(simulator, segment, 1);
+  net::Stack stack_a(simulator, nic_a), stack_b(simulator, nic_b);
+  std::uint64_t data_payload_on_wire = 0;
+  segment.add_tap([&](sim::SimTime, const eth::Frame& f) {
+    if (f.datagram->proto == net::IpProto::kTcp) {
+      data_payload_on_wire += f.datagram->payload_bytes;
+    }
+  });
+
+  auto& accept_queue = stack_b.tcp_listen(5000);
+  net::TcpConnection& client = stack_a.tcp_connect(1, 5000);
+  bool received = false;
+  auto writer = sim::spawn(
+      [](net::TcpConnection& c, std::size_t n) -> sim::Co<void> {
+        co_await c.connect();
+        c.send(n);
+        co_await c.wait_drained();
+      }(client, bytes));
+  auto reader = sim::spawn(
+      [](net::Stack::AcceptQueue& q, std::size_t n, bool& flag)
+          -> sim::Co<void> {
+        net::TcpConnection* server = co_await q.pop();
+        co_await server->recv(n);
+        flag = true;
+      }(accept_queue, bytes, received));
+  simulator.run();
+  EXPECT_TRUE(received);
+  EXPECT_TRUE(writer.done() && reader.done());
+  // Without loss, wire payload equals the application bytes exactly.
+  EXPECT_EQ(data_payload_on_wire, bytes);
+  EXPECT_EQ(client.stats().retransmissions, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, TcpTransferSweep,
+                         ::testing::Values(1, 100, 1459, 1460, 1461, 2920,
+                                           10000, 65536, 200000));
+
+// ---- TCP under random loss ---------------------------------------------
+
+class TcpLossSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(TcpLossSweep, DeliversDespitePeriodicFrameLoss) {
+  const int drop_every = GetParam();
+  sim::Simulator simulator(3000 + static_cast<std::uint64_t>(drop_every));
+  eth::Segment segment(simulator);
+  eth::Nic nic_a(simulator, segment, 0), nic_b(simulator, segment, 1);
+  net::Stack stack_a(simulator, nic_a), stack_b(simulator, nic_b);
+  int frames = 0;
+  segment.set_fault_injector([&](const eth::Frame& f) {
+    return f.datagram->payload_bytes > 0 && ++frames % drop_every == 0;
+  });
+  auto& accept_queue = stack_b.tcp_listen(5000);
+  net::TcpConnection& client = stack_a.tcp_connect(1, 5000);
+  const std::size_t bytes = 50000;
+  bool received = false;
+  auto writer = sim::spawn(
+      [](net::TcpConnection& c, std::size_t n) -> sim::Co<void> {
+        co_await c.connect();
+        c.send(n);
+        co_await c.wait_drained();
+      }(client, bytes));
+  auto reader = sim::spawn(
+      [](net::Stack::AcceptQueue& q, std::size_t n, bool& flag)
+          -> sim::Co<void> {
+        net::TcpConnection* server = co_await q.pop();
+        co_await server->recv(n);
+        flag = true;
+      }(accept_queue, bytes, received));
+  simulator.run();
+  EXPECT_TRUE(received) << "drop_every=" << drop_every;
+  EXPECT_TRUE(writer.done() && reader.done());
+  EXPECT_GE(client.stats().retransmissions, 1u);
+}
+
+INSTANTIATE_TEST_SUITE_P(LossRates, TcpLossSweep,
+                         ::testing::Values(5, 9, 17, 33));
+
+// ---- Bandwidth estimators: byte conservation across bin widths ---------
+
+class BandwidthBinSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(BandwidthBinSweep, BinnedSeriesConservesBytes) {
+  const double bin_ms = GetParam();
+  sim::Rng rng(7);
+  std::vector<trace::PacketRecord> packets;
+  std::int64_t t = 0;
+  for (int i = 0; i < 5000; ++i) {
+    t += static_cast<std::int64_t>(rng.next_u64() % 5'000'000);
+    trace::PacketRecord r;
+    r.timestamp = sim::SimTime{t};
+    r.bytes = 58 + static_cast<std::uint32_t>(rng.next_u64() % 1460);
+    packets.push_back(r);
+  }
+  const auto total = static_cast<double>(trace::total_bytes(packets));
+  const auto series = core::binned_bandwidth(packets, sim::millis(bin_ms));
+  double recovered = 0.0;
+  for (double kbps : series.kb_per_s) {
+    recovered += kbps * 1024.0 * series.interval_s;
+  }
+  EXPECT_NEAR(recovered, total, 1e-6 * total) << "bin " << bin_ms << " ms";
+}
+
+INSTANTIATE_TEST_SUITE_P(Bins, BandwidthBinSweep,
+                         ::testing::Values(1.0, 5.0, 10.0, 50.0, 250.0,
+                                           1000.0));
+
+// ---- fxc: analysis matches executed traffic across P -------------------
+
+class CompiledTransposeSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(CompiledTransposeSweep, StaticBytesMatchWire) {
+  const int p = GetParam();
+  fxc::SourceProgram source;
+  source.name = "sweep";
+  source.processors = p;
+  source.iterations = 2;
+  fxc::ArrayDecl a;
+  a.name = "a";
+  a.extents = {128, 128};
+  a.type = fxc::ElemType::kReal8;
+  a.distribution.dims = {fxc::DistKind::kBlock, fxc::DistKind::kCollapsed};
+  a.processors = fxc::Interval{0, static_cast<std::size_t>(p)};
+  source.arrays.emplace("a", a);
+  fxc::Distribution cols;
+  cols.dims = {fxc::DistKind::kCollapsed, fxc::DistKind::kBlock};
+  source.body.emplace_back(
+      fxc::Redistribute{"a", cols, fxc::Interval{0, static_cast<std::size_t>(p)}});
+
+  const auto compiled = fxc::compile(source);
+  sim::Simulator simulator(4000 + static_cast<std::uint64_t>(p));
+  apps::TestbedConfig config;
+  config.workstations = p;
+  config.pvm.keepalives_enabled = false;
+  apps::Testbed testbed(simulator, config);
+  testbed.start();
+  fx::run_program(testbed.vm(), compiled.executable);
+
+  std::uint64_t payload = 0;
+  std::uint64_t messages = 0;
+  for (const auto& pkt : testbed.capture().packets()) {
+    if (pkt.bytes > 58) payload += pkt.bytes - 58;
+  }
+  for (int r = 0; r < p; ++r) {
+    messages += testbed.vm().task(r).stats().messages_sent;
+  }
+  const std::uint64_t expected =
+      2ull * compiled.bytes_per_iteration() +
+      messages * pvm::kMessageHeaderBytes;
+  EXPECT_EQ(payload, expected) << "P=" << p;
+}
+
+INSTANTIATE_TEST_SUITE_P(Processors, CompiledTransposeSweep,
+                         ::testing::Values(2, 4, 8));
+
+// ---- Determinism across subsystems --------------------------------------
+
+class SeedSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SeedSweep, SameSeedSameTrace) {
+  auto run_once = [&] {
+    sim::Simulator simulator(GetParam());
+    apps::TestbedConfig config;
+    config.host.deschedule_probability = 0.2;  // exercise the RNG paths
+    apps::Testbed testbed(simulator, config);
+    testbed.start();
+    apps::Fft2dParams params;
+    params.n = 128;
+    params.iterations = 4;
+    params.flops_per_phase = 1e6;
+    fx::run_program(testbed.vm(), apps::make_fft2d(params));
+    return testbed.capture().packets();
+  };
+  const auto a = run_once();
+  const auto b = run_once();
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    ASSERT_EQ(a[i].timestamp, b[i].timestamp) << i;
+    ASSERT_EQ(a[i].bytes, b[i].bytes) << i;
+    ASSERT_EQ(a[i].src, b[i].src) << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SeedSweep,
+                         ::testing::Values(1ull, 42ull, 31337ull));
+
+}  // namespace
+}  // namespace fxtraf

@@ -1,0 +1,285 @@
+// Unit tests for the PVM layer: message assembly, direct and daemon
+// routing, tag-matched receive, loopback, daemon keepalives.
+#include <gtest/gtest.h>
+
+#include "apps/testbed.hpp"
+#include "pvm/daemon.hpp"
+#include "pvm/message.hpp"
+#include "pvm/task.hpp"
+#include "pvm/vm.hpp"
+
+namespace fxtraf::pvm {
+namespace {
+
+TEST(MessageBuilderTest, CopyLoopCoalescesPacks) {
+  MessageBuilder b(AssemblyMode::kCopyLoop);
+  b.pack_doubles(100);
+  b.pack_ints(10);
+  b.pack_bytes(5);
+  const Message m = b.finish(7);
+  EXPECT_EQ(m.tag, 7);
+  ASSERT_EQ(m.fragments.size(), 1u);
+  EXPECT_EQ(m.fragments[0], 845u);
+  EXPECT_EQ(m.payload_bytes(), 845u);
+  EXPECT_EQ(m.wire_bytes(), 845u + kMessageHeaderBytes);
+}
+
+TEST(MessageBuilderTest, FragmentListFillsDatabufsAcrossPacks) {
+  // PVM appends packs into the current databuf: three small packs share
+  // one fragment when they fit under the limit.
+  MessageBuilder b(AssemblyMode::kFragmentList, 1000);
+  b.pack_bytes(100);
+  b.pack_bytes(200);
+  b.pack_bytes(300);
+  const Message m = b.finish(1);
+  EXPECT_EQ(m.fragments, (std::vector<std::size_t>{600}));
+}
+
+TEST(MessageBuilderTest, FragmentListSplitsAtLimit) {
+  MessageBuilder b(AssemblyMode::kFragmentList, 1000);
+  b.pack_bytes(2500);
+  const Message m = b.finish(1);
+  EXPECT_EQ(m.fragments, (std::vector<std::size_t>{1000, 1000, 500}));
+}
+
+TEST(MessageBuilderTest, FragmentListSpillsPackTails) {
+  // A pack that leaves a partial databuf is continued by the next pack.
+  MessageBuilder b(AssemblyMode::kFragmentList, 1000);
+  b.pack_bytes(1500);  // 1000 + 500
+  b.pack_bytes(800);   // 500 completes the second databuf, 300 remains
+  const Message m = b.finish(1);
+  EXPECT_EQ(m.fragments, (std::vector<std::size_t>{1000, 1000, 300}));
+}
+
+TEST(MessageBuilderTest, EmptyMessageHasHeaderOnly) {
+  MessageBuilder b(AssemblyMode::kCopyLoop);
+  const Message m = b.finish(3);
+  EXPECT_TRUE(m.fragments.empty());
+  EXPECT_EQ(m.wire_bytes(), kMessageHeaderBytes);
+}
+
+TEST(MessageBuilderTest, BuilderIsReusableAfterFinish) {
+  MessageBuilder b(AssemblyMode::kFragmentList);
+  b.pack_bytes(10);
+  (void)b.finish(1);
+  b.pack_bytes(20);
+  const Message m = b.finish(2);
+  EXPECT_EQ(m.fragments, std::vector<std::size_t>{20});
+}
+
+struct VmFixture {
+  sim::Simulator sim{21};
+  apps::Testbed testbed;
+
+  explicit VmFixture(PvmConfig pvm_config = {}, int hosts = 4)
+      : testbed(sim, make_config(pvm_config, hosts)) {
+    testbed.start();
+  }
+
+  static apps::TestbedConfig make_config(PvmConfig pvm_config, int hosts) {
+    apps::TestbedConfig c;
+    c.workstations = hosts;
+    c.pvm = pvm_config;
+    return c;
+  }
+};
+
+sim::Co<void> send_one(Task& task, int dst, std::size_t bytes, int tag) {
+  MessageBuilder b = task.make_builder();
+  b.pack_bytes(bytes);
+  co_await task.send(dst, b.finish(tag));
+}
+
+sim::Co<void> recv_one(Task& task, int src, int tag, std::size_t& got) {
+  const Message m = co_await task.recv(src, tag);
+  got = m.payload_bytes();
+}
+
+TEST(PvmTaskTest, DirectRouteDelivers) {
+  VmFixture f;
+  std::size_t got = 0;
+  auto s = sim::spawn(send_one(f.testbed.vm().task(0), 1, 10000, 5));
+  auto r = sim::spawn(recv_one(f.testbed.vm().task(1), 0, 5, got));
+  f.sim.run();
+  EXPECT_TRUE(s.done() && r.done());
+  EXPECT_EQ(got, 10000u);
+}
+
+TEST(PvmTaskTest, TagMatchingSeparatesMessages) {
+  VmFixture f;
+  Task& t0 = f.testbed.vm().task(0);
+  Task& t1 = f.testbed.vm().task(1);
+  std::size_t got_a = 0, got_b = 0;
+  // Send tag 2 first, then tag 1; receives are posted in opposite order.
+  auto sender = sim::spawn([](Task& t) -> sim::Co<void> {
+    MessageBuilder b = t.make_builder();
+    b.pack_bytes(200);
+    co_await t.send(1, b.finish(2));
+    b.pack_bytes(100);
+    co_await t.send(1, b.finish(1));
+  }(t0));
+  auto receiver = sim::spawn(
+      [](Task& t, std::size_t& a, std::size_t& b2) -> sim::Co<void> {
+        const Message first = co_await t.recv(0, 1);
+        a = first.payload_bytes();
+        const Message second = co_await t.recv(0, 2);
+        b2 = second.payload_bytes();
+      }(t1, got_a, got_b));
+  f.sim.run();
+  EXPECT_TRUE(sender.done() && receiver.done());
+  EXPECT_EQ(got_a, 100u);
+  EXPECT_EQ(got_b, 200u);
+}
+
+TEST(PvmTaskTest, LoopbackSkipsTheNetwork) {
+  VmFixture f;
+  std::size_t got = 0;
+  auto s = sim::spawn(send_one(f.testbed.vm().task(2), 2, 4096, 9));
+  auto r = sim::spawn(recv_one(f.testbed.vm().task(2), 2, 9, got));
+  f.sim.run();
+  EXPECT_TRUE(s.done() && r.done());
+  EXPECT_EQ(got, 4096u);
+  for (const auto& p : f.testbed.capture().packets()) {
+    EXPECT_NE(p.src, p.dst);  // nothing from 2 to 2 on the wire
+  }
+}
+
+TEST(PvmTaskTest, ManyMessagesBothDirections) {
+  VmFixture f;
+  Task& t0 = f.testbed.vm().task(0);
+  Task& t1 = f.testbed.vm().task(1);
+  int received0 = 0, received1 = 0;
+  auto p0 = sim::spawn([](Task& me, int& count) -> sim::Co<void> {
+    for (int i = 0; i < 20; ++i) {
+      MessageBuilder b = me.make_builder();
+      b.pack_bytes(3000);
+      co_await me.send(1, b.finish(i));
+      co_await me.recv(1, i);
+      ++count;
+    }
+  }(t0, received0));
+  auto p1 = sim::spawn([](Task& me, int& count) -> sim::Co<void> {
+    for (int i = 0; i < 20; ++i) {
+      co_await me.recv(0, i);
+      MessageBuilder b = me.make_builder();
+      b.pack_bytes(3000);
+      co_await me.send(0, b.finish(i));
+      ++count;
+    }
+  }(t1, received1));
+  f.sim.run();
+  EXPECT_TRUE(p0.done() && p1.done());
+  EXPECT_EQ(received0, 20);
+  EXPECT_EQ(received1, 20);
+}
+
+TEST(PvmDaemonTest, DaemonRouteDeliversOverUdp) {
+  PvmConfig cfg;
+  cfg.route = RouteMode::kDaemon;
+  VmFixture f(cfg);
+  std::size_t got = 0;
+  auto s = sim::spawn(send_one(f.testbed.vm().task(0), 3, 50000, 4));
+  auto r = sim::spawn(recv_one(f.testbed.vm().task(3), 0, 4, got));
+  f.sim.run();
+  EXPECT_TRUE(s.done() && r.done());
+  EXPECT_EQ(got, 50000u);
+  // Everything crossed as UDP; daemon acks flowed back.
+  int udp = 0, tcp = 0;
+  for (const auto& p : f.testbed.capture().packets()) {
+    (p.proto == net::IpProto::kUdp ? udp : tcp)++;
+  }
+  EXPECT_GT(udp, 30);
+  EXPECT_EQ(tcp, 0);
+  EXPECT_GE(f.testbed.vm().daemon_of(3).stats().acks_sent, 8u);
+}
+
+TEST(PvmDaemonTest, DaemonRouteSurvivesFrameLoss) {
+  PvmConfig cfg;
+  cfg.route = RouteMode::kDaemon;
+  cfg.keepalives_enabled = false;
+  VmFixture f(cfg);
+  // Destroy every 9th UDP frame in flight: the daemons' reliable-UDP
+  // protocol (sequence numbers + ack-timeout retransmission) must
+  // recover both lost data fragments and lost acks.
+  int udp_frames = 0;
+  f.testbed.segment().set_fault_injector([&](const eth::Frame& frame) {
+    return frame.datagram->proto == net::IpProto::kUdp &&
+           ++udp_frames % 9 == 0;
+  });
+  std::size_t got01 = 0, got10 = 0;
+  auto s0 = sim::spawn(send_one(f.testbed.vm().task(0), 1, 60000, 4));
+  auto s1 = sim::spawn(send_one(f.testbed.vm().task(1), 0, 60000, 4));
+  auto r0 = sim::spawn(recv_one(f.testbed.vm().task(0), 1, 4, got10));
+  auto r1 = sim::spawn(recv_one(f.testbed.vm().task(1), 0, 4, got01));
+  f.sim.run();
+  EXPECT_TRUE(s0.done() && s1.done() && r0.done() && r1.done());
+  EXPECT_EQ(got01, 60000u);
+  EXPECT_EQ(got10, 60000u);
+  const auto& d0 = f.testbed.vm().daemon_of(0).stats();
+  const auto& d1 = f.testbed.vm().daemon_of(1).stats();
+  EXPECT_GE(d0.retransmissions + d1.retransmissions, 1u);
+}
+
+TEST(PvmDaemonTest, DaemonAllToAllUnderContentionCompletes) {
+  PvmConfig cfg;
+  cfg.route = RouteMode::kDaemon;
+  cfg.keepalives_enabled = false;
+  VmFixture f(cfg);
+  // All four tasks blast 100 KB to everyone simultaneously: heavy
+  // collision-domain contention, occasional MAC drops, full recovery.
+  std::vector<sim::Process> procs;
+  for (int r = 0; r < 4; ++r) {
+    procs.push_back(sim::spawn([](Task& me, int p) -> sim::Co<void> {
+      for (int s = 1; s < p; ++s) {
+        const int dst = (me.tid() + s) % p;
+        MessageBuilder b = me.make_builder();
+        b.pack_bytes(100000);
+        co_await me.send(dst, b.finish(1));
+      }
+      for (int s = 1; s < p; ++s) {
+        const int src = (me.tid() - s + p) % p;
+        const Message m = co_await me.recv(src, 1);
+        EXPECT_EQ(m.payload_bytes(), 100000u);
+      }
+    }(f.testbed.vm().task(r), 4)));
+  }
+  f.sim.run();
+  for (const auto& p : procs) EXPECT_TRUE(p.done());
+}
+
+TEST(PvmDaemonTest, KeepalivesFlowBetweenDaemons) {
+  PvmConfig cfg;
+  cfg.keepalive_interval = sim::seconds(1);
+  VmFixture f(cfg);
+  f.sim.run_until(sim::SimTime::zero() + sim::seconds(10));
+  int keepalives = 0;
+  for (const auto& p : f.testbed.capture().packets()) {
+    if (p.proto == net::IpProto::kUdp && p.dst_port == kDaemonControlPort) {
+      ++keepalives;
+    }
+  }
+  // 4 daemons x 3 peers x ~9-10 rounds.
+  EXPECT_GT(keepalives, 80);
+  EXPECT_LT(keepalives, 150);
+}
+
+TEST(PvmDaemonTest, KeepalivesCanBeDisabled) {
+  PvmConfig cfg;
+  cfg.keepalives_enabled = false;
+  VmFixture f(cfg);
+  f.sim.run_until(sim::SimTime::zero() + sim::seconds(10));
+  EXPECT_EQ(f.testbed.capture().size(), 0u);
+}
+
+TEST(PvmVmTest, HostTidMappingRoundTrips) {
+  VmFixture f;
+  auto& vm = f.testbed.vm();
+  for (int t = 0; t < vm.ntasks(); ++t) {
+    EXPECT_EQ(vm.tid_of(vm.host_of(t)), t);
+    EXPECT_EQ(vm.task(t).tid(), t);
+  }
+  EXPECT_THROW((void)vm.tid_of(250), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace fxtraf::pvm

@@ -1,0 +1,181 @@
+// Unit tests for simulated time, the event queue, and the simulator loop.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "simcore/event_queue.hpp"
+#include "simcore/rng.hpp"
+#include "simcore/simulator.hpp"
+#include "simcore/time.hpp"
+
+namespace fxtraf::sim {
+namespace {
+
+TEST(TimeTest, DurationFactoriesRoundCorrectly) {
+  EXPECT_EQ(seconds(1.0).ns(), 1'000'000'000);
+  EXPECT_EQ(millis(10.0).ns(), 10'000'000);
+  EXPECT_EQ(micros(9.6).ns(), 9'600);
+  EXPECT_EQ(nanos(7).ns(), 7);
+  EXPECT_EQ(seconds(-1.0).ns(), -1'000'000'000);
+}
+
+TEST(TimeTest, ArithmeticAndComparison) {
+  const SimTime t0 = SimTime::zero();
+  const SimTime t1 = t0 + seconds(2.5);
+  EXPECT_GT(t1, t0);
+  EXPECT_EQ((t1 - t0).seconds(), 2.5);
+  EXPECT_EQ(t1 - seconds(2.5), t0);
+  EXPECT_LT(t1, SimTime::infinity());
+}
+
+TEST(TimeTest, DurationScaling) {
+  EXPECT_EQ((millis(10) * 3).ns(), 30'000'000);
+  EXPECT_EQ(millis(30) / millis(10), 3);
+}
+
+TEST(EventQueueTest, PopsInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.push(SimTime{30}, [&] { order.push_back(3); });
+  q.push(SimTime{10}, [&] { order.push_back(1); });
+  q.push(SimTime{20}, [&] { order.push_back(2); });
+  while (!q.empty()) q.pop().second();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueueTest, SameTimestampIsFifo) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    q.push(SimTime{100}, [&order, i] { order.push_back(i); });
+  }
+  while (!q.empty()) q.pop().second();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<size_t>(i)], i);
+}
+
+TEST(EventQueueTest, CancelledEventsAreSkipped) {
+  EventQueue q;
+  int fired = 0;
+  q.push(SimTime{1}, [&] { ++fired; });
+  const EventId id = q.push(SimTime{2}, [&] { fired += 100; });
+  q.push(SimTime{3}, [&] { ++fired; });
+  q.cancel(id);
+  EXPECT_EQ(q.size(), 2u);
+  while (!q.empty()) q.pop().second();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(EventQueueTest, CancelAfterFireIsHarmless) {
+  EventQueue q;
+  const EventId id = q.push(SimTime{1}, [] {});
+  q.pop().second();
+  q.cancel(id);  // must not corrupt accounting
+  EXPECT_TRUE(q.empty());
+  q.push(SimTime{2}, [] {});
+  EXPECT_EQ(q.size(), 1u);
+}
+
+TEST(EventQueueTest, NextTimeSkipsDeadPrefix) {
+  EventQueue q;
+  const EventId id = q.push(SimTime{1}, [] {});
+  q.push(SimTime{5}, [] {});
+  q.cancel(id);
+  EXPECT_EQ(q.next_time(), SimTime{5});
+}
+
+TEST(SimulatorTest, AdvancesTimeMonotonically) {
+  Simulator sim;
+  std::vector<std::int64_t> times;
+  sim.schedule_at(SimTime{50}, [&] { times.push_back(sim.now().ns()); });
+  sim.schedule_at(SimTime{10}, [&] {
+    times.push_back(sim.now().ns());
+    sim.schedule_in(Duration{5}, [&] { times.push_back(sim.now().ns()); });
+  });
+  sim.run();
+  EXPECT_EQ(times, (std::vector<std::int64_t>{10, 15, 50}));
+}
+
+TEST(SimulatorTest, RunUntilStopsAtDeadlineAndAdvancesNow) {
+  Simulator sim;
+  int fired = 0;
+  sim.schedule_at(SimTime{100}, [&] { ++fired; });
+  sim.schedule_at(SimTime{200}, [&] { ++fired; });
+  sim.run_until(SimTime{150});
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sim.now(), SimTime{150});
+  sim.run();
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(sim.now(), SimTime{200});
+}
+
+TEST(SimulatorTest, StopHaltsTheLoop) {
+  Simulator sim;
+  int fired = 0;
+  sim.schedule_at(SimTime{1}, [&] {
+    ++fired;
+    sim.stop();
+  });
+  sim.schedule_at(SimTime{2}, [&] { ++fired; });
+  sim.run();
+  EXPECT_EQ(fired, 1);
+  EXPECT_TRUE(sim.pending_events());
+}
+
+TEST(SimulatorTest, ScheduleNowRunsAfterQueuedSameTimeEvents) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule_at(SimTime{10}, [&] {
+    order.push_back(1);
+    sim.schedule_now([&] { order.push_back(3); });
+    order.push_back(2);
+  });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.now(), SimTime{10});
+}
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (a.next_u64() == b.next_u64());
+  EXPECT_LT(same, 3);
+}
+
+TEST(RngTest, DoubleInUnitInterval) {
+  Rng r(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double x = r.next_double();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(RngTest, NextBelowRespectsBound) {
+  Rng r(9);
+  for (std::uint64_t bound : {1ull, 2ull, 7ull, 1000ull}) {
+    for (int i = 0; i < 1000; ++i) EXPECT_LT(r.next_below(bound), bound);
+  }
+}
+
+TEST(RngTest, ExponentialHasRoughlyRightMean) {
+  Rng r(11);
+  double sum = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) sum += r.next_exponential(0.5);
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(RngTest, ForkedStreamsAreIndependentlySeeded) {
+  Rng base(5);
+  Rng a = base.fork(1);
+  Rng b = base.fork(2);
+  EXPECT_NE(a.next_u64(), b.next_u64());
+}
+
+}  // namespace
+}  // namespace fxtraf::sim

@@ -1,0 +1,130 @@
+// Stress and fuzz-style tests: randomized event-queue workloads, lexer
+// robustness on garbage, and numeric edge cases in the statistics.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+
+#include "core/stats.hpp"
+#include "dsp/fft.hpp"
+#include "fxc/lexer.hpp"
+#include "simcore/event_queue.hpp"
+#include "simcore/rng.hpp"
+#include "simcore/simulator.hpp"
+
+namespace fxtraf {
+namespace {
+
+TEST(StressTest, EventQueueRandomizedOrderAndCancellation) {
+  sim::Rng rng(2024);
+  sim::EventQueue queue;
+  std::vector<sim::EventId> ids;
+  int fired = 0;
+  const int total = 20000;
+  for (int i = 0; i < total; ++i) {
+    ids.push_back(queue.push(
+        sim::SimTime{static_cast<std::int64_t>(rng.next_u64() % 1'000'000)},
+        [&fired] { ++fired; }));
+  }
+  // Cancel a random third (some twice, some after firing later).
+  int cancelled = 0;
+  for (int i = 0; i < total; ++i) {
+    if (rng.next_bool(1.0 / 3.0)) {
+      queue.cancel(ids[static_cast<std::size_t>(i)]);
+      ++cancelled;
+    }
+  }
+  sim::SimTime last = sim::SimTime::zero();
+  while (!queue.empty()) {
+    auto [t, action] = queue.pop();
+    EXPECT_GE(t, last);
+    last = t;
+    action();
+  }
+  EXPECT_EQ(fired, total - cancelled);
+  // Double-cancel after drain: harmless.
+  for (const auto& id : ids) queue.cancel(id);
+  EXPECT_TRUE(queue.empty());
+}
+
+TEST(StressTest, SimulatorHandlesSelfRescheduling) {
+  sim::Simulator simulator(5);
+  int ticks = 0;
+  std::function<void()> tick = [&] {
+    if (++ticks < 10000) simulator.schedule_in(sim::micros(10), tick);
+  };
+  simulator.schedule_now(tick);
+  simulator.run();
+  EXPECT_EQ(ticks, 10000);
+  EXPECT_NEAR(simulator.now().seconds(), 9999 * 10e-6, 1e-9);
+}
+
+TEST(FuzzTest, LexerNeverCrashesOnGarbage) {
+  sim::Rng rng(99);
+  const std::string alphabet =
+      "abz09 ._,()*!#\n\t$%@{}[]<>..e+-EMSmsuskg\"'";
+  for (int round = 0; round < 500; ++round) {
+    std::string input;
+    const auto length = rng.next_below(200);
+    for (std::uint64_t i = 0; i < length; ++i) {
+      input.push_back(alphabet[rng.next_below(alphabet.size())]);
+    }
+    try {
+      const auto tokens = fxc::lex(input);
+      ASSERT_FALSE(tokens.empty());
+      EXPECT_EQ(tokens.back().kind, fxc::TokenKind::kEnd);
+    } catch (const std::runtime_error&) {
+      // Rejection with a diagnostic is the other acceptable outcome.
+    }
+  }
+}
+
+TEST(FuzzTest, LexRoundTripOnValidNumbers) {
+  sim::Rng rng(7);
+  for (int i = 0; i < 200; ++i) {
+    const double value = rng.next_uniform(0.001, 1e7);
+    char literal[32];
+    std::snprintf(literal, sizeof literal, "%.6g", value);
+    const auto tokens = fxc::lex(literal);
+    ASSERT_EQ(tokens.size(), 2u) << literal;
+    EXPECT_NEAR(tokens[0].number, value, 1e-3 * value) << literal;
+  }
+}
+
+TEST(StressTest, WelfordStableOnLargeUniformStream) {
+  core::Welford w;
+  sim::Rng rng(3);
+  const int n = 1'000'000;
+  for (int i = 0; i < n; ++i) w.add(rng.next_uniform(100.0, 200.0));
+  const auto s = w.summary();
+  EXPECT_NEAR(s.mean, 150.0, 0.2);
+  EXPECT_NEAR(s.stddev, 100.0 / std::sqrt(12.0), 0.2);
+  EXPECT_GE(s.min, 100.0);
+  EXPECT_LT(s.max, 200.0);
+}
+
+TEST(StressTest, WelfordHandlesHugeOffsets) {
+  // Catastrophic cancellation check: tiny variance on a huge mean.
+  core::Welford w;
+  for (int i = 0; i < 1000; ++i) {
+    w.add(1e12 + (i % 2 == 0 ? 0.5 : -0.5));
+  }
+  const auto s = w.summary();
+  EXPECT_NEAR(s.mean, 1e12, 1.0);
+  EXPECT_NEAR(s.stddev, 0.5, 1e-3);
+}
+
+TEST(StressTest, LargeFftRoundTripAccuracy) {
+  sim::Rng rng(11);
+  std::vector<dsp::Complex> x(1 << 18);
+  for (auto& v : x) v = {rng.next_uniform(-1, 1), rng.next_uniform(-1, 1)};
+  auto back = dsp::fft(dsp::fft(x), /*inverse=*/true);
+  double worst = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    worst = std::max(worst, std::abs(x[i] - back[i]));
+  }
+  EXPECT_LT(worst, 1e-9);
+}
+
+}  // namespace
+}  // namespace fxtraf

@@ -1,0 +1,135 @@
+// Tests for the tooling layer: the fxc pretty-printer round trip, the
+// kernel registry, and the text report generator.
+#include <gtest/gtest.h>
+
+#include "apps/registry.hpp"
+#include "apps/testbed.hpp"
+#include "core/report.hpp"
+#include "fx/runtime.hpp"
+#include "fxc/lower.hpp"
+#include "fxc/parser.hpp"
+#include "fxc/printer.hpp"
+
+namespace fxtraf {
+namespace {
+
+constexpr const char* kRoundTripSource = R"(
+program roundtrip
+processors 4
+iterations 7
+array u real4 (512, 256) distribute (block, *) on 0..4
+array v complex16 (64, 64) distribute (*, block) on 2..4
+stencil u offsets (2, 0) flops 7.5
+local 3.25e6
+redistribute u (*, block) on 0..4
+read v element 8 row_io 120ms
+reduce bytes 1024 flops 2e6
+broadcast bytes 512 root 1
+)";
+
+TEST(PrinterTest, SourceRoundTripsThroughPrint) {
+  const fxc::SourceProgram original = fxc::parse_source(kRoundTripSource);
+  const std::string printed = fxc::to_source(original);
+  const fxc::SourceProgram reparsed = fxc::parse_source(printed);
+
+  EXPECT_EQ(reparsed.name, original.name);
+  EXPECT_EQ(reparsed.processors, original.processors);
+  EXPECT_EQ(reparsed.iterations, original.iterations);
+  ASSERT_EQ(reparsed.arrays.size(), original.arrays.size());
+  for (const auto& [name, decl] : original.arrays) {
+    const fxc::ArrayDecl& r = reparsed.array(name);
+    EXPECT_EQ(r.extents, decl.extents);
+    EXPECT_EQ(r.type, decl.type);
+    EXPECT_EQ(r.distribution, decl.distribution);
+    EXPECT_EQ(r.processors.lo, decl.processors.lo);
+    EXPECT_EQ(r.processors.hi, decl.processors.hi);
+  }
+  ASSERT_EQ(reparsed.body.size(), original.body.size());
+  // Equivalence of behaviour: identical per-phase analysis.
+  const auto a = fxc::compile(original);
+  const auto b = fxc::compile(reparsed);
+  ASSERT_EQ(a.phases.size(), b.phases.size());
+  for (std::size_t i = 0; i < a.phases.size(); ++i) {
+    EXPECT_EQ(a.phases[i].analysis.shape, b.phases[i].analysis.shape) << i;
+    EXPECT_EQ(a.phases[i].analysis.matrix.total_bytes(),
+              b.phases[i].analysis.matrix.total_bytes())
+        << i;
+  }
+}
+
+TEST(RegistryTest, AllSixKernelsPresent) {
+  const auto kernels = apps::all_kernels(0.1);
+  ASSERT_EQ(kernels.size(), 6u);
+  for (const auto& entry : kernels) {
+    EXPECT_FALSE(entry.description.empty());
+    EXPECT_TRUE(entry.program.rank_body != nullptr) << entry.name;
+    EXPECT_EQ(entry.program.processors, 4);
+  }
+}
+
+TEST(RegistryTest, LookupIsCaseInsensitiveWithAliases) {
+  EXPECT_TRUE(apps::kernel_by_name("SOR").has_value());
+  EXPECT_TRUE(apps::kernel_by_name("fft2d").has_value());
+  EXPECT_EQ(apps::kernel_by_name("fft")->name, "2dfft");
+  EXPECT_EQ(apps::kernel_by_name("tfft")->name, "t2dfft");
+  EXPECT_FALSE(apps::kernel_by_name("nope").has_value());
+}
+
+TEST(RegistryTest, RegistryKernelRuns) {
+  const auto entry = apps::kernel_by_name("hist", 0.05);
+  ASSERT_TRUE(entry.has_value());
+  sim::Simulator simulator(12);
+  apps::TestbedConfig config;
+  config.pvm.keepalives_enabled = false;
+  apps::Testbed testbed(simulator, config);
+  testbed.start();
+  fx::run_program(testbed.vm(), entry->program);
+  EXPECT_GT(testbed.capture().size(), 20u);
+}
+
+TEST(ReportTest, ContainsTheExpectedSections) {
+  // Small deterministic trace: bursts on two connections.
+  std::vector<trace::PacketRecord> packets;
+  for (int burst = 0; burst < 20; ++burst) {
+    for (int i = 0; i < 30; ++i) {
+      trace::PacketRecord r;
+      r.timestamp = sim::SimTime{
+          static_cast<std::int64_t>((burst * 0.5 + i * 1e-3) * 1e9)};
+      r.bytes = 1518;
+      r.src = static_cast<net::HostId>(i % 2);
+      r.dst = static_cast<net::HostId>(2 + i % 2);
+      packets.push_back(r);
+    }
+  }
+  const std::string report = core::report_string(packets, "demo");
+  EXPECT_NE(report.find("=== demo ==="), std::string::npos);
+  EXPECT_NE(report.find("-- aggregate --"), std::string::npos);
+  EXPECT_NE(report.find("-- connection 0 -> 2 --"), std::string::npos);
+  EXPECT_NE(report.find("-- connection 1 -> 3 --"), std::string::npos);
+  EXPECT_NE(report.find("fundamental"), std::string::npos);
+  EXPECT_NE(report.find("bursts"), std::string::npos);
+}
+
+TEST(ReportTest, EmptyTraceIsGraceful) {
+  const std::string report = core::report_string({}, "empty");
+  EXPECT_NE(report.find("(empty trace)"), std::string::npos);
+}
+
+TEST(ReportTest, PerConnectionCanBeDisabled) {
+  std::vector<trace::PacketRecord> packets;
+  for (int i = 0; i < 100; ++i) {
+    trace::PacketRecord r;
+    r.timestamp = sim::SimTime{static_cast<std::int64_t>(i) * 10'000'000};
+    r.bytes = 100;
+    r.src = 0;
+    r.dst = 1;
+    packets.push_back(r);
+  }
+  core::ReportOptions options;
+  options.per_connection = false;
+  const std::string report = core::report_string(packets, "agg", options);
+  EXPECT_EQ(report.find("-- connection"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace fxtraf

@@ -1,0 +1,98 @@
+// Tests for trace records, connection extraction, and text round-trip.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "trace/record.hpp"
+#include "trace/tracefile.hpp"
+
+namespace fxtraf::trace {
+namespace {
+
+PacketRecord make(double t, net::HostId src, net::HostId dst,
+                  std::uint32_t bytes,
+                  net::IpProto proto = net::IpProto::kTcp) {
+  PacketRecord r;
+  r.timestamp = sim::SimTime{static_cast<std::int64_t>(t * 1e9)};
+  r.src = src;
+  r.dst = dst;
+  r.bytes = bytes;
+  r.proto = proto;
+  r.src_port = 1000;
+  r.dst_port = 2000;
+  return r;
+}
+
+TEST(RecordTest, TotalsAndSpan) {
+  std::vector<PacketRecord> trace{make(1.0, 0, 1, 100), make(2.0, 1, 0, 58),
+                                  make(4.5, 0, 1, 1518)};
+  EXPECT_EQ(total_bytes(trace), 1676u);
+  EXPECT_DOUBLE_EQ(span_of(trace).seconds(), 3.5);
+  EXPECT_EQ(span_of(std::vector<PacketRecord>{}).ns(), 0);
+  EXPECT_EQ(span_of(std::vector<PacketRecord>{make(1, 0, 1, 9)}).ns(), 0);
+}
+
+TEST(RecordTest, ConnectionIsSimplexMachinePair) {
+  std::vector<PacketRecord> trace{
+      make(1.0, 0, 1, 100),                       // data 0->1
+      make(1.1, 1, 0, 58),                        // ack 1->0 (reverse)
+      make(1.2, 0, 1, 80, net::IpProto::kUdp),    // daemon udp 0->1
+      make(1.3, 2, 1, 500),                       // other source
+      make(1.4, 0, 2, 500),                       // other destination
+  };
+  const auto conn = connection(trace, 0, 1);
+  ASSERT_EQ(conn.size(), 2u);  // data + daemon udp, not the reverse ack
+  EXPECT_EQ(conn[0].bytes, 100u);
+  EXPECT_EQ(conn[1].proto, net::IpProto::kUdp);
+  const auto reverse = connection(trace, 1, 0);
+  ASSERT_EQ(reverse.size(), 1u);
+  EXPECT_EQ(reverse[0].bytes, 58u);
+}
+
+TEST(RecordTest, ProtocolAndTimeSliceFilters) {
+  std::vector<PacketRecord> trace{
+      make(1.0, 0, 1, 100),
+      make(2.0, 0, 1, 80, net::IpProto::kUdp),
+      make(3.0, 0, 1, 90),
+  };
+  EXPECT_EQ(by_protocol(trace, net::IpProto::kUdp).size(), 1u);
+  EXPECT_EQ(by_protocol(trace, net::IpProto::kTcp).size(), 2u);
+  const auto slice = time_slice(trace, sim::SimTime{static_cast<std::int64_t>(1.5e9)},
+                                sim::SimTime{static_cast<std::int64_t>(3e9)});
+  ASSERT_EQ(slice.size(), 1u);  // [1.5, 3.0) excludes the 3.0 packet
+  EXPECT_EQ(slice[0].proto, net::IpProto::kUdp);
+}
+
+TEST(TraceFileTest, RoundTripsExactly) {
+  std::vector<PacketRecord> trace{
+      make(0.000001, 0, 1, 58),
+      make(1.25, 3, 2, 1518),
+      make(100.999999999, 2, 3, 558, net::IpProto::kUdp),
+  };
+  std::stringstream buffer;
+  write_trace(buffer, trace);
+  const auto parsed = read_trace(buffer);
+  ASSERT_EQ(parsed.size(), trace.size());
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    EXPECT_EQ(parsed[i].timestamp, trace[i].timestamp) << i;
+    EXPECT_EQ(parsed[i].bytes, trace[i].bytes) << i;
+    EXPECT_EQ(parsed[i].proto, trace[i].proto) << i;
+    EXPECT_EQ(parsed[i].src, trace[i].src) << i;
+    EXPECT_EQ(parsed[i].dst, trace[i].dst) << i;
+  }
+}
+
+TEST(TraceFileTest, SkipsCommentsAndRejectsGarbage) {
+  std::stringstream good("# header comment\n0.5 tcp 0:1 > 1:2 len 100\n");
+  EXPECT_EQ(read_trace(good).size(), 1u);
+  std::stringstream bad("this is not a trace line\n");
+  EXPECT_THROW(read_trace(bad), std::runtime_error);
+}
+
+TEST(TraceFileTest, MissingFileThrows) {
+  EXPECT_THROW(read_trace_file("/nonexistent/path/trace.txt"),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace fxtraf::trace
