@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_barrier.dir/abl_barrier.cpp.o"
+  "CMakeFiles/abl_barrier.dir/abl_barrier.cpp.o.d"
+  "abl_barrier"
+  "abl_barrier.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_barrier.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

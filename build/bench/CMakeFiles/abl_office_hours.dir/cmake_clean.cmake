@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_office_hours.dir/abl_office_hours.cpp.o"
+  "CMakeFiles/abl_office_hours.dir/abl_office_hours.cpp.o.d"
+  "abl_office_hours"
+  "abl_office_hours.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_office_hours.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_routing.dir/abl_routing.cpp.o"
+  "CMakeFiles/abl_routing.dir/abl_routing.cpp.o.d"
+  "abl_routing"
+  "abl_routing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_routing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_window_size.dir/abl_window_size.cpp.o"
+  "CMakeFiles/abl_window_size.dir/abl_window_size.cpp.o.d"
+  "abl_window_size"
+  "abl_window_size.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_window_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/claim_bw_period.dir/claim_bw_period.cpp.o"
+  "CMakeFiles/claim_bw_period.dir/claim_bw_period.cpp.o.d"
+  "claim_bw_period"
+  "claim_bw_period.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/claim_bw_period.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for claim_bw_period.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/claim_constant_bursts.dir/claim_constant_bursts.cpp.o"
+  "CMakeFiles/claim_constant_bursts.dir/claim_constant_bursts.cpp.o.d"
+  "claim_constant_bursts"
+  "claim_constant_bursts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/claim_constant_bursts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

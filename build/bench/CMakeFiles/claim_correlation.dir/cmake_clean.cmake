@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/claim_correlation.dir/claim_correlation.cpp.o"
+  "CMakeFiles/claim_correlation.dir/claim_correlation.cpp.o.d"
+  "claim_correlation"
+  "claim_correlation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/claim_correlation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/claim_vs_media.dir/claim_vs_media.cpp.o"
+  "CMakeFiles/claim_vs_media.dir/claim_vs_media.cpp.o.d"
+  "claim_vs_media"
+  "claim_vs_media.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/claim_vs_media.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_coschedule.dir/ext_coschedule.cpp.o"
+  "CMakeFiles/ext_coschedule.dir/ext_coschedule.cpp.o.d"
+  "ext_coschedule"
+  "ext_coschedule.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_coschedule.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

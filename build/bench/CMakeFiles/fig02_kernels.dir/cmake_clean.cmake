@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig02_kernels.dir/fig02_kernels.cpp.o"
+  "CMakeFiles/fig02_kernels.dir/fig02_kernels.cpp.o.d"
+  "fig02_kernels"
+  "fig02_kernels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig02_kernels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig03_packet_sizes.dir/fig03_packet_sizes.cpp.o"
+  "CMakeFiles/fig03_packet_sizes.dir/fig03_packet_sizes.cpp.o.d"
+  "fig03_packet_sizes"
+  "fig03_packet_sizes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig03_packet_sizes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig04_interarrival.dir/fig04_interarrival.cpp.o"
+  "CMakeFiles/fig04_interarrival.dir/fig04_interarrival.cpp.o.d"
+  "fig04_interarrival"
+  "fig04_interarrival.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_interarrival.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

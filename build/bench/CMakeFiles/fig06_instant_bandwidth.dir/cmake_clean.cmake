@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_instant_bandwidth.dir/fig06_instant_bandwidth.cpp.o"
+  "CMakeFiles/fig06_instant_bandwidth.dir/fig06_instant_bandwidth.cpp.o.d"
+  "fig06_instant_bandwidth"
+  "fig06_instant_bandwidth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_instant_bandwidth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

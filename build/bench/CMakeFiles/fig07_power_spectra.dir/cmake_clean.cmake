@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_power_spectra.dir/fig07_power_spectra.cpp.o"
+  "CMakeFiles/fig07_power_spectra.dir/fig07_power_spectra.cpp.o.d"
+  "fig07_power_spectra"
+  "fig07_power_spectra.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_power_spectra.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

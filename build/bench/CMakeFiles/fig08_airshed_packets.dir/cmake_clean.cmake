@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_airshed_packets.dir/fig08_airshed_packets.cpp.o"
+  "CMakeFiles/fig08_airshed_packets.dir/fig08_airshed_packets.cpp.o.d"
+  "fig08_airshed_packets"
+  "fig08_airshed_packets.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_airshed_packets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_airshed_interarrival.dir/fig09_airshed_interarrival.cpp.o"
+  "CMakeFiles/fig09_airshed_interarrival.dir/fig09_airshed_interarrival.cpp.o.d"
+  "fig09_airshed_interarrival"
+  "fig09_airshed_interarrival.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_airshed_interarrival.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

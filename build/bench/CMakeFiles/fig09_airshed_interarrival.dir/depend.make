@@ -1,0 +1,2 @@
+# Empty dependencies file for fig09_airshed_interarrival.
+# This may be replaced when dependencies are built.

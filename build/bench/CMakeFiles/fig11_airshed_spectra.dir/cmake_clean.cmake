@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_airshed_spectra.dir/fig11_airshed_spectra.cpp.o"
+  "CMakeFiles/fig11_airshed_spectra.dir/fig11_airshed_spectra.cpp.o.d"
+  "fig11_airshed_spectra"
+  "fig11_airshed_spectra.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_airshed_spectra.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec72_model_accuracy.dir/sec72_model_accuracy.cpp.o"
+  "CMakeFiles/sec72_model_accuracy.dir/sec72_model_accuracy.cpp.o.d"
+  "sec72_model_accuracy"
+  "sec72_model_accuracy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec72_model_accuracy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

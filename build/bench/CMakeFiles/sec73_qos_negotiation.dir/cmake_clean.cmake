@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec73_qos_negotiation.dir/sec73_qos_negotiation.cpp.o"
+  "CMakeFiles/sec73_qos_negotiation.dir/sec73_qos_negotiation.cpp.o.d"
+  "sec73_qos_negotiation"
+  "sec73_qos_negotiation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec73_qos_negotiation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

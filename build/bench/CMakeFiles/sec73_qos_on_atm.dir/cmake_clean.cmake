@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec73_qos_on_atm.dir/sec73_qos_on_atm.cpp.o"
+  "CMakeFiles/sec73_qos_on_atm.dir/sec73_qos_on_atm.cpp.o.d"
+  "sec73_qos_on_atm"
+  "sec73_qos_on_atm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec73_qos_on_atm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for sec73_qos_on_atm.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/airshed_campaign.dir/airshed_campaign.cpp.o"
+  "CMakeFiles/airshed_campaign.dir/airshed_campaign.cpp.o.d"
+  "airshed_campaign"
+  "airshed_campaign.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/airshed_campaign.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

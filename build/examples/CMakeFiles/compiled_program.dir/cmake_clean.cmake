@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compiled_program.dir/compiled_program.cpp.o"
+  "CMakeFiles/compiled_program.dir/compiled_program.cpp.o.d"
+  "compiled_program"
+  "compiled_program.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compiled_program.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kernel_study.dir/kernel_study.cpp.o"
+  "CMakeFiles/kernel_study.dir/kernel_study.cpp.o.d"
+  "kernel_study"
+  "kernel_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kernel_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

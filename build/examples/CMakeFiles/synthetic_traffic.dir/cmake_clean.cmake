@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/synthetic_traffic.dir/synthetic_traffic.cpp.o"
+  "CMakeFiles/synthetic_traffic.dir/synthetic_traffic.cpp.o.d"
+  "synthetic_traffic"
+  "synthetic_traffic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/synthetic_traffic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("simcore")
+subdirs("dsp")
+subdirs("ethernet")
+subdirs("atm")
+subdirs("net")
+subdirs("host")
+subdirs("pvm")
+subdirs("trace")
+subdirs("fx")
+subdirs("fxc")
+subdirs("apps")
+subdirs("core")

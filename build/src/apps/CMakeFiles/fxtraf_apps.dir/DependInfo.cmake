@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/airshed.cpp" "src/apps/CMakeFiles/fxtraf_apps.dir/airshed.cpp.o" "gcc" "src/apps/CMakeFiles/fxtraf_apps.dir/airshed.cpp.o.d"
+  "/root/repo/src/apps/fft2d.cpp" "src/apps/CMakeFiles/fxtraf_apps.dir/fft2d.cpp.o" "gcc" "src/apps/CMakeFiles/fxtraf_apps.dir/fft2d.cpp.o.d"
+  "/root/repo/src/apps/hist.cpp" "src/apps/CMakeFiles/fxtraf_apps.dir/hist.cpp.o" "gcc" "src/apps/CMakeFiles/fxtraf_apps.dir/hist.cpp.o.d"
+  "/root/repo/src/apps/qos_testbed.cpp" "src/apps/CMakeFiles/fxtraf_apps.dir/qos_testbed.cpp.o" "gcc" "src/apps/CMakeFiles/fxtraf_apps.dir/qos_testbed.cpp.o.d"
+  "/root/repo/src/apps/registry.cpp" "src/apps/CMakeFiles/fxtraf_apps.dir/registry.cpp.o" "gcc" "src/apps/CMakeFiles/fxtraf_apps.dir/registry.cpp.o.d"
+  "/root/repo/src/apps/seq.cpp" "src/apps/CMakeFiles/fxtraf_apps.dir/seq.cpp.o" "gcc" "src/apps/CMakeFiles/fxtraf_apps.dir/seq.cpp.o.d"
+  "/root/repo/src/apps/sor.cpp" "src/apps/CMakeFiles/fxtraf_apps.dir/sor.cpp.o" "gcc" "src/apps/CMakeFiles/fxtraf_apps.dir/sor.cpp.o.d"
+  "/root/repo/src/apps/testbed.cpp" "src/apps/CMakeFiles/fxtraf_apps.dir/testbed.cpp.o" "gcc" "src/apps/CMakeFiles/fxtraf_apps.dir/testbed.cpp.o.d"
+  "/root/repo/src/apps/tfft2d.cpp" "src/apps/CMakeFiles/fxtraf_apps.dir/tfft2d.cpp.o" "gcc" "src/apps/CMakeFiles/fxtraf_apps.dir/tfft2d.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/fx/CMakeFiles/fxtraf_fx.dir/DependInfo.cmake"
+  "/root/repo/build/src/pvm/CMakeFiles/fxtraf_pvm.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/fxtraf_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/atm/CMakeFiles/fxtraf_atm.dir/DependInfo.cmake"
+  "/root/repo/build/src/host/CMakeFiles/fxtraf_host.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/fxtraf_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/ethernet/CMakeFiles/fxtraf_ethernet.dir/DependInfo.cmake"
+  "/root/repo/build/src/simcore/CMakeFiles/fxtraf_simcore.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fxtraf_apps.dir/airshed.cpp.o"
+  "CMakeFiles/fxtraf_apps.dir/airshed.cpp.o.d"
+  "CMakeFiles/fxtraf_apps.dir/fft2d.cpp.o"
+  "CMakeFiles/fxtraf_apps.dir/fft2d.cpp.o.d"
+  "CMakeFiles/fxtraf_apps.dir/hist.cpp.o"
+  "CMakeFiles/fxtraf_apps.dir/hist.cpp.o.d"
+  "CMakeFiles/fxtraf_apps.dir/qos_testbed.cpp.o"
+  "CMakeFiles/fxtraf_apps.dir/qos_testbed.cpp.o.d"
+  "CMakeFiles/fxtraf_apps.dir/registry.cpp.o"
+  "CMakeFiles/fxtraf_apps.dir/registry.cpp.o.d"
+  "CMakeFiles/fxtraf_apps.dir/seq.cpp.o"
+  "CMakeFiles/fxtraf_apps.dir/seq.cpp.o.d"
+  "CMakeFiles/fxtraf_apps.dir/sor.cpp.o"
+  "CMakeFiles/fxtraf_apps.dir/sor.cpp.o.d"
+  "CMakeFiles/fxtraf_apps.dir/testbed.cpp.o"
+  "CMakeFiles/fxtraf_apps.dir/testbed.cpp.o.d"
+  "CMakeFiles/fxtraf_apps.dir/tfft2d.cpp.o"
+  "CMakeFiles/fxtraf_apps.dir/tfft2d.cpp.o.d"
+  "libfxtraf_apps.a"
+  "libfxtraf_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fxtraf_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fxtraf_atm.dir/qos_network.cpp.o"
+  "CMakeFiles/fxtraf_atm.dir/qos_network.cpp.o.d"
+  "libfxtraf_atm.a"
+  "libfxtraf_atm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fxtraf_atm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,37 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/bandwidth.cpp" "src/core/CMakeFiles/fxtraf_core.dir/bandwidth.cpp.o" "gcc" "src/core/CMakeFiles/fxtraf_core.dir/bandwidth.cpp.o.d"
+  "/root/repo/src/core/baselines.cpp" "src/core/CMakeFiles/fxtraf_core.dir/baselines.cpp.o" "gcc" "src/core/CMakeFiles/fxtraf_core.dir/baselines.cpp.o.d"
+  "/root/repo/src/core/broker.cpp" "src/core/CMakeFiles/fxtraf_core.dir/broker.cpp.o" "gcc" "src/core/CMakeFiles/fxtraf_core.dir/broker.cpp.o.d"
+  "/root/repo/src/core/burst_model.cpp" "src/core/CMakeFiles/fxtraf_core.dir/burst_model.cpp.o" "gcc" "src/core/CMakeFiles/fxtraf_core.dir/burst_model.cpp.o.d"
+  "/root/repo/src/core/characterization.cpp" "src/core/CMakeFiles/fxtraf_core.dir/characterization.cpp.o" "gcc" "src/core/CMakeFiles/fxtraf_core.dir/characterization.cpp.o.d"
+  "/root/repo/src/core/correlation.cpp" "src/core/CMakeFiles/fxtraf_core.dir/correlation.cpp.o" "gcc" "src/core/CMakeFiles/fxtraf_core.dir/correlation.cpp.o.d"
+  "/root/repo/src/core/fourier_model.cpp" "src/core/CMakeFiles/fxtraf_core.dir/fourier_model.cpp.o" "gcc" "src/core/CMakeFiles/fxtraf_core.dir/fourier_model.cpp.o.d"
+  "/root/repo/src/core/packet_stats.cpp" "src/core/CMakeFiles/fxtraf_core.dir/packet_stats.cpp.o" "gcc" "src/core/CMakeFiles/fxtraf_core.dir/packet_stats.cpp.o.d"
+  "/root/repo/src/core/qos.cpp" "src/core/CMakeFiles/fxtraf_core.dir/qos.cpp.o" "gcc" "src/core/CMakeFiles/fxtraf_core.dir/qos.cpp.o.d"
+  "/root/repo/src/core/report.cpp" "src/core/CMakeFiles/fxtraf_core.dir/report.cpp.o" "gcc" "src/core/CMakeFiles/fxtraf_core.dir/report.cpp.o.d"
+  "/root/repo/src/core/synth.cpp" "src/core/CMakeFiles/fxtraf_core.dir/synth.cpp.o" "gcc" "src/core/CMakeFiles/fxtraf_core.dir/synth.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/trace/CMakeFiles/fxtraf_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/dsp/CMakeFiles/fxtraf_dsp.dir/DependInfo.cmake"
+  "/root/repo/build/src/fx/CMakeFiles/fxtraf_fx.dir/DependInfo.cmake"
+  "/root/repo/build/src/pvm/CMakeFiles/fxtraf_pvm.dir/DependInfo.cmake"
+  "/root/repo/build/src/host/CMakeFiles/fxtraf_host.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/fxtraf_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/ethernet/CMakeFiles/fxtraf_ethernet.dir/DependInfo.cmake"
+  "/root/repo/build/src/simcore/CMakeFiles/fxtraf_simcore.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fxtraf_core.dir/bandwidth.cpp.o"
+  "CMakeFiles/fxtraf_core.dir/bandwidth.cpp.o.d"
+  "CMakeFiles/fxtraf_core.dir/baselines.cpp.o"
+  "CMakeFiles/fxtraf_core.dir/baselines.cpp.o.d"
+  "CMakeFiles/fxtraf_core.dir/broker.cpp.o"
+  "CMakeFiles/fxtraf_core.dir/broker.cpp.o.d"
+  "CMakeFiles/fxtraf_core.dir/burst_model.cpp.o"
+  "CMakeFiles/fxtraf_core.dir/burst_model.cpp.o.d"
+  "CMakeFiles/fxtraf_core.dir/characterization.cpp.o"
+  "CMakeFiles/fxtraf_core.dir/characterization.cpp.o.d"
+  "CMakeFiles/fxtraf_core.dir/correlation.cpp.o"
+  "CMakeFiles/fxtraf_core.dir/correlation.cpp.o.d"
+  "CMakeFiles/fxtraf_core.dir/fourier_model.cpp.o"
+  "CMakeFiles/fxtraf_core.dir/fourier_model.cpp.o.d"
+  "CMakeFiles/fxtraf_core.dir/packet_stats.cpp.o"
+  "CMakeFiles/fxtraf_core.dir/packet_stats.cpp.o.d"
+  "CMakeFiles/fxtraf_core.dir/qos.cpp.o"
+  "CMakeFiles/fxtraf_core.dir/qos.cpp.o.d"
+  "CMakeFiles/fxtraf_core.dir/report.cpp.o"
+  "CMakeFiles/fxtraf_core.dir/report.cpp.o.d"
+  "CMakeFiles/fxtraf_core.dir/synth.cpp.o"
+  "CMakeFiles/fxtraf_core.dir/synth.cpp.o.d"
+  "libfxtraf_core.a"
+  "libfxtraf_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fxtraf_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

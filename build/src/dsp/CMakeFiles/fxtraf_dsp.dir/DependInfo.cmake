@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dsp/autocorr.cpp" "src/dsp/CMakeFiles/fxtraf_dsp.dir/autocorr.cpp.o" "gcc" "src/dsp/CMakeFiles/fxtraf_dsp.dir/autocorr.cpp.o.d"
+  "/root/repo/src/dsp/fft.cpp" "src/dsp/CMakeFiles/fxtraf_dsp.dir/fft.cpp.o" "gcc" "src/dsp/CMakeFiles/fxtraf_dsp.dir/fft.cpp.o.d"
+  "/root/repo/src/dsp/peaks.cpp" "src/dsp/CMakeFiles/fxtraf_dsp.dir/peaks.cpp.o" "gcc" "src/dsp/CMakeFiles/fxtraf_dsp.dir/peaks.cpp.o.d"
+  "/root/repo/src/dsp/periodogram.cpp" "src/dsp/CMakeFiles/fxtraf_dsp.dir/periodogram.cpp.o" "gcc" "src/dsp/CMakeFiles/fxtraf_dsp.dir/periodogram.cpp.o.d"
+  "/root/repo/src/dsp/spectrogram.cpp" "src/dsp/CMakeFiles/fxtraf_dsp.dir/spectrogram.cpp.o" "gcc" "src/dsp/CMakeFiles/fxtraf_dsp.dir/spectrogram.cpp.o.d"
+  "/root/repo/src/dsp/welch.cpp" "src/dsp/CMakeFiles/fxtraf_dsp.dir/welch.cpp.o" "gcc" "src/dsp/CMakeFiles/fxtraf_dsp.dir/welch.cpp.o.d"
+  "/root/repo/src/dsp/window.cpp" "src/dsp/CMakeFiles/fxtraf_dsp.dir/window.cpp.o" "gcc" "src/dsp/CMakeFiles/fxtraf_dsp.dir/window.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fxtraf_dsp.dir/autocorr.cpp.o"
+  "CMakeFiles/fxtraf_dsp.dir/autocorr.cpp.o.d"
+  "CMakeFiles/fxtraf_dsp.dir/fft.cpp.o"
+  "CMakeFiles/fxtraf_dsp.dir/fft.cpp.o.d"
+  "CMakeFiles/fxtraf_dsp.dir/peaks.cpp.o"
+  "CMakeFiles/fxtraf_dsp.dir/peaks.cpp.o.d"
+  "CMakeFiles/fxtraf_dsp.dir/periodogram.cpp.o"
+  "CMakeFiles/fxtraf_dsp.dir/periodogram.cpp.o.d"
+  "CMakeFiles/fxtraf_dsp.dir/spectrogram.cpp.o"
+  "CMakeFiles/fxtraf_dsp.dir/spectrogram.cpp.o.d"
+  "CMakeFiles/fxtraf_dsp.dir/welch.cpp.o"
+  "CMakeFiles/fxtraf_dsp.dir/welch.cpp.o.d"
+  "CMakeFiles/fxtraf_dsp.dir/window.cpp.o"
+  "CMakeFiles/fxtraf_dsp.dir/window.cpp.o.d"
+  "libfxtraf_dsp.a"
+  "libfxtraf_dsp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fxtraf_dsp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ethernet/nic.cpp" "src/ethernet/CMakeFiles/fxtraf_ethernet.dir/nic.cpp.o" "gcc" "src/ethernet/CMakeFiles/fxtraf_ethernet.dir/nic.cpp.o.d"
+  "/root/repo/src/ethernet/segment.cpp" "src/ethernet/CMakeFiles/fxtraf_ethernet.dir/segment.cpp.o" "gcc" "src/ethernet/CMakeFiles/fxtraf_ethernet.dir/segment.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/simcore/CMakeFiles/fxtraf_simcore.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fxtraf_ethernet.dir/nic.cpp.o"
+  "CMakeFiles/fxtraf_ethernet.dir/nic.cpp.o.d"
+  "CMakeFiles/fxtraf_ethernet.dir/segment.cpp.o"
+  "CMakeFiles/fxtraf_ethernet.dir/segment.cpp.o.d"
+  "libfxtraf_ethernet.a"
+  "libfxtraf_ethernet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fxtraf_ethernet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fx/patterns.cpp" "src/fx/CMakeFiles/fxtraf_fx.dir/patterns.cpp.o" "gcc" "src/fx/CMakeFiles/fxtraf_fx.dir/patterns.cpp.o.d"
+  "/root/repo/src/fx/runtime.cpp" "src/fx/CMakeFiles/fxtraf_fx.dir/runtime.cpp.o" "gcc" "src/fx/CMakeFiles/fxtraf_fx.dir/runtime.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/pvm/CMakeFiles/fxtraf_pvm.dir/DependInfo.cmake"
+  "/root/repo/build/src/host/CMakeFiles/fxtraf_host.dir/DependInfo.cmake"
+  "/root/repo/build/src/simcore/CMakeFiles/fxtraf_simcore.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/fxtraf_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/ethernet/CMakeFiles/fxtraf_ethernet.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fxtraf_fx.dir/patterns.cpp.o"
+  "CMakeFiles/fxtraf_fx.dir/patterns.cpp.o.d"
+  "CMakeFiles/fxtraf_fx.dir/runtime.cpp.o"
+  "CMakeFiles/fxtraf_fx.dir/runtime.cpp.o.d"
+  "libfxtraf_fx.a"
+  "libfxtraf_fx.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fxtraf_fx.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

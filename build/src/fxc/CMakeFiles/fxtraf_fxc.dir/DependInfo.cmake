@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fxc/analysis.cpp" "src/fxc/CMakeFiles/fxtraf_fxc.dir/analysis.cpp.o" "gcc" "src/fxc/CMakeFiles/fxtraf_fxc.dir/analysis.cpp.o.d"
+  "/root/repo/src/fxc/lexer.cpp" "src/fxc/CMakeFiles/fxtraf_fxc.dir/lexer.cpp.o" "gcc" "src/fxc/CMakeFiles/fxtraf_fxc.dir/lexer.cpp.o.d"
+  "/root/repo/src/fxc/lower.cpp" "src/fxc/CMakeFiles/fxtraf_fxc.dir/lower.cpp.o" "gcc" "src/fxc/CMakeFiles/fxtraf_fxc.dir/lower.cpp.o.d"
+  "/root/repo/src/fxc/parser.cpp" "src/fxc/CMakeFiles/fxtraf_fxc.dir/parser.cpp.o" "gcc" "src/fxc/CMakeFiles/fxtraf_fxc.dir/parser.cpp.o.d"
+  "/root/repo/src/fxc/printer.cpp" "src/fxc/CMakeFiles/fxtraf_fxc.dir/printer.cpp.o" "gcc" "src/fxc/CMakeFiles/fxtraf_fxc.dir/printer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/fx/CMakeFiles/fxtraf_fx.dir/DependInfo.cmake"
+  "/root/repo/build/src/pvm/CMakeFiles/fxtraf_pvm.dir/DependInfo.cmake"
+  "/root/repo/build/src/host/CMakeFiles/fxtraf_host.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/fxtraf_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/ethernet/CMakeFiles/fxtraf_ethernet.dir/DependInfo.cmake"
+  "/root/repo/build/src/simcore/CMakeFiles/fxtraf_simcore.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fxtraf_fxc.dir/analysis.cpp.o"
+  "CMakeFiles/fxtraf_fxc.dir/analysis.cpp.o.d"
+  "CMakeFiles/fxtraf_fxc.dir/lexer.cpp.o"
+  "CMakeFiles/fxtraf_fxc.dir/lexer.cpp.o.d"
+  "CMakeFiles/fxtraf_fxc.dir/lower.cpp.o"
+  "CMakeFiles/fxtraf_fxc.dir/lower.cpp.o.d"
+  "CMakeFiles/fxtraf_fxc.dir/parser.cpp.o"
+  "CMakeFiles/fxtraf_fxc.dir/parser.cpp.o.d"
+  "CMakeFiles/fxtraf_fxc.dir/printer.cpp.o"
+  "CMakeFiles/fxtraf_fxc.dir/printer.cpp.o.d"
+  "libfxtraf_fxc.a"
+  "libfxtraf_fxc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fxtraf_fxc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libfxtraf_fxc.a"
+)

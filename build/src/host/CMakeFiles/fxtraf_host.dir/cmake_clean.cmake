@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fxtraf_host.dir/cross_traffic.cpp.o"
+  "CMakeFiles/fxtraf_host.dir/cross_traffic.cpp.o.d"
+  "CMakeFiles/fxtraf_host.dir/workstation.cpp.o"
+  "CMakeFiles/fxtraf_host.dir/workstation.cpp.o.d"
+  "libfxtraf_host.a"
+  "libfxtraf_host.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fxtraf_host.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fxtraf_net.dir/stack.cpp.o"
+  "CMakeFiles/fxtraf_net.dir/stack.cpp.o.d"
+  "CMakeFiles/fxtraf_net.dir/tcp.cpp.o"
+  "CMakeFiles/fxtraf_net.dir/tcp.cpp.o.d"
+  "libfxtraf_net.a"
+  "libfxtraf_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fxtraf_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fxtraf_pvm.dir/daemon.cpp.o"
+  "CMakeFiles/fxtraf_pvm.dir/daemon.cpp.o.d"
+  "CMakeFiles/fxtraf_pvm.dir/task.cpp.o"
+  "CMakeFiles/fxtraf_pvm.dir/task.cpp.o.d"
+  "CMakeFiles/fxtraf_pvm.dir/vm.cpp.o"
+  "CMakeFiles/fxtraf_pvm.dir/vm.cpp.o.d"
+  "libfxtraf_pvm.a"
+  "libfxtraf_pvm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fxtraf_pvm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fxtraf_simcore.dir/event_queue.cpp.o"
+  "CMakeFiles/fxtraf_simcore.dir/event_queue.cpp.o.d"
+  "CMakeFiles/fxtraf_simcore.dir/simulator.cpp.o"
+  "CMakeFiles/fxtraf_simcore.dir/simulator.cpp.o.d"
+  "CMakeFiles/fxtraf_simcore.dir/time.cpp.o"
+  "CMakeFiles/fxtraf_simcore.dir/time.cpp.o.d"
+  "libfxtraf_simcore.a"
+  "libfxtraf_simcore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fxtraf_simcore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/trace/capture.cpp" "src/trace/CMakeFiles/fxtraf_trace.dir/capture.cpp.o" "gcc" "src/trace/CMakeFiles/fxtraf_trace.dir/capture.cpp.o.d"
+  "/root/repo/src/trace/pcap.cpp" "src/trace/CMakeFiles/fxtraf_trace.dir/pcap.cpp.o" "gcc" "src/trace/CMakeFiles/fxtraf_trace.dir/pcap.cpp.o.d"
+  "/root/repo/src/trace/record.cpp" "src/trace/CMakeFiles/fxtraf_trace.dir/record.cpp.o" "gcc" "src/trace/CMakeFiles/fxtraf_trace.dir/record.cpp.o.d"
+  "/root/repo/src/trace/tracefile.cpp" "src/trace/CMakeFiles/fxtraf_trace.dir/tracefile.cpp.o" "gcc" "src/trace/CMakeFiles/fxtraf_trace.dir/tracefile.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/simcore/CMakeFiles/fxtraf_simcore.dir/DependInfo.cmake"
+  "/root/repo/build/src/ethernet/CMakeFiles/fxtraf_ethernet.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

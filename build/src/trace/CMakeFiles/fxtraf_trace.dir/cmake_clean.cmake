@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fxtraf_trace.dir/capture.cpp.o"
+  "CMakeFiles/fxtraf_trace.dir/capture.cpp.o.d"
+  "CMakeFiles/fxtraf_trace.dir/pcap.cpp.o"
+  "CMakeFiles/fxtraf_trace.dir/pcap.cpp.o.d"
+  "CMakeFiles/fxtraf_trace.dir/record.cpp.o"
+  "CMakeFiles/fxtraf_trace.dir/record.cpp.o.d"
+  "CMakeFiles/fxtraf_trace.dir/tracefile.cpp.o"
+  "CMakeFiles/fxtraf_trace.dir/tracefile.cpp.o.d"
+  "libfxtraf_trace.a"
+  "libfxtraf_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fxtraf_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_analysis2.dir/test_analysis2.cpp.o"
+  "CMakeFiles/test_analysis2.dir/test_analysis2.cpp.o.d"
+  "test_analysis2"
+  "test_analysis2.pdb"
+  "test_analysis2[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_analysis2.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_analysis3.dir/test_analysis3.cpp.o"
+  "CMakeFiles/test_analysis3.dir/test_analysis3.cpp.o.d"
+  "test_analysis3"
+  "test_analysis3.pdb"
+  "test_analysis3[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_analysis3.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ethernet.dir/test_ethernet.cpp.o"
+  "CMakeFiles/test_ethernet.dir/test_ethernet.cpp.o.d"
+  "test_ethernet"
+  "test_ethernet.pdb"
+  "test_ethernet[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ethernet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_kernel_sweep.dir/test_kernel_sweep.cpp.o"
+  "CMakeFiles/test_kernel_sweep.dir/test_kernel_sweep.cpp.o.d"
+  "test_kernel_sweep"
+  "test_kernel_sweep.pdb"
+  "test_kernel_sweep[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_kernel_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_qos_network.dir/test_qos_network.cpp.o"
+  "CMakeFiles/test_qos_network.dir/test_qos_network.cpp.o.d"
+  "test_qos_network"
+  "test_qos_network.pdb"
+  "test_qos_network[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_qos_network.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_simcore[1]_include.cmake")
+include("/root/repo/build/tests/test_coro[1]_include.cmake")
+include("/root/repo/build/tests/test_dsp[1]_include.cmake")
+include("/root/repo/build/tests/test_ethernet[1]_include.cmake")
+include("/root/repo/build/tests/test_host[1]_include.cmake")
+include("/root/repo/build/tests/test_tcp[1]_include.cmake")
+include("/root/repo/build/tests/test_qos_network[1]_include.cmake")
+include("/root/repo/build/tests/test_pvm[1]_include.cmake")
+include("/root/repo/build/tests/test_patterns[1]_include.cmake")
+include("/root/repo/build/tests/test_fxc[1]_include.cmake")
+include("/root/repo/build/tests/test_fxc_parser[1]_include.cmake")
+include("/root/repo/build/tests/test_tools[1]_include.cmake")
+include("/root/repo/build/tests/test_trace[1]_include.cmake")
+include("/root/repo/build/tests/test_core_stats[1]_include.cmake")
+include("/root/repo/build/tests/test_analysis2[1]_include.cmake")
+include("/root/repo/build/tests/test_analysis3[1]_include.cmake")
+include("/root/repo/build/tests/test_integration[1]_include.cmake")
+include("/root/repo/build/tests/test_properties[1]_include.cmake")
+include("/root/repo/build/tests/test_stress[1]_include.cmake")
+include("/root/repo/build/tests/test_kernel_sweep[1]_include.cmake")
