@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fxc_lint.dir/fxc_lint.cpp.o"
+  "CMakeFiles/fxc_lint.dir/fxc_lint.cpp.o.d"
+  "fxc_lint"
+  "fxc_lint.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fxc_lint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -13,6 +13,6 @@ subdirs("host")
 subdirs("pvm")
 subdirs("trace")
 subdirs("fx")
+subdirs("core")
 subdirs("fxc")
 subdirs("apps")
-subdirs("core")

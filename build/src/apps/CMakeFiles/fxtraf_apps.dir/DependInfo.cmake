@@ -15,6 +15,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/apps/registry.cpp" "src/apps/CMakeFiles/fxtraf_apps.dir/registry.cpp.o" "gcc" "src/apps/CMakeFiles/fxtraf_apps.dir/registry.cpp.o.d"
   "/root/repo/src/apps/seq.cpp" "src/apps/CMakeFiles/fxtraf_apps.dir/seq.cpp.o" "gcc" "src/apps/CMakeFiles/fxtraf_apps.dir/seq.cpp.o.d"
   "/root/repo/src/apps/sor.cpp" "src/apps/CMakeFiles/fxtraf_apps.dir/sor.cpp.o" "gcc" "src/apps/CMakeFiles/fxtraf_apps.dir/sor.cpp.o.d"
+  "/root/repo/src/apps/source_registry.cpp" "src/apps/CMakeFiles/fxtraf_apps.dir/source_registry.cpp.o" "gcc" "src/apps/CMakeFiles/fxtraf_apps.dir/source_registry.cpp.o.d"
   "/root/repo/src/apps/testbed.cpp" "src/apps/CMakeFiles/fxtraf_apps.dir/testbed.cpp.o" "gcc" "src/apps/CMakeFiles/fxtraf_apps.dir/testbed.cpp.o.d"
   "/root/repo/src/apps/tfft2d.cpp" "src/apps/CMakeFiles/fxtraf_apps.dir/tfft2d.cpp.o" "gcc" "src/apps/CMakeFiles/fxtraf_apps.dir/tfft2d.cpp.o.d"
   )

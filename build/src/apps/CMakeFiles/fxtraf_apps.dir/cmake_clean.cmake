@@ -13,6 +13,8 @@ file(REMOVE_RECURSE
   "CMakeFiles/fxtraf_apps.dir/seq.cpp.o.d"
   "CMakeFiles/fxtraf_apps.dir/sor.cpp.o"
   "CMakeFiles/fxtraf_apps.dir/sor.cpp.o.d"
+  "CMakeFiles/fxtraf_apps.dir/source_registry.cpp.o"
+  "CMakeFiles/fxtraf_apps.dir/source_registry.cpp.o.d"
   "CMakeFiles/fxtraf_apps.dir/testbed.cpp.o"
   "CMakeFiles/fxtraf_apps.dir/testbed.cpp.o.d"
   "CMakeFiles/fxtraf_apps.dir/tfft2d.cpp.o"

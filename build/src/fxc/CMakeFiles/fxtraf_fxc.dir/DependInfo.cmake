@@ -13,16 +13,22 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/fxc/lower.cpp" "src/fxc/CMakeFiles/fxtraf_fxc.dir/lower.cpp.o" "gcc" "src/fxc/CMakeFiles/fxtraf_fxc.dir/lower.cpp.o.d"
   "/root/repo/src/fxc/parser.cpp" "src/fxc/CMakeFiles/fxtraf_fxc.dir/parser.cpp.o" "gcc" "src/fxc/CMakeFiles/fxtraf_fxc.dir/parser.cpp.o.d"
   "/root/repo/src/fxc/printer.cpp" "src/fxc/CMakeFiles/fxtraf_fxc.dir/printer.cpp.o" "gcc" "src/fxc/CMakeFiles/fxtraf_fxc.dir/printer.cpp.o.d"
+  "/root/repo/src/fxc/sema/diagnostics.cpp" "src/fxc/CMakeFiles/fxtraf_fxc.dir/sema/diagnostics.cpp.o" "gcc" "src/fxc/CMakeFiles/fxtraf_fxc.dir/sema/diagnostics.cpp.o.d"
+  "/root/repo/src/fxc/sema/passes.cpp" "src/fxc/CMakeFiles/fxtraf_fxc.dir/sema/passes.cpp.o" "gcc" "src/fxc/CMakeFiles/fxtraf_fxc.dir/sema/passes.cpp.o.d"
+  "/root/repo/src/fxc/sema/predictor.cpp" "src/fxc/CMakeFiles/fxtraf_fxc.dir/sema/predictor.cpp.o" "gcc" "src/fxc/CMakeFiles/fxtraf_fxc.dir/sema/predictor.cpp.o.d"
   )
 
 # Targets to which this target links.
 set(CMAKE_TARGET_LINKED_INFO_FILES
   "/root/repo/build/src/fx/CMakeFiles/fxtraf_fx.dir/DependInfo.cmake"
   "/root/repo/build/src/pvm/CMakeFiles/fxtraf_pvm.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/fxtraf_core.dir/DependInfo.cmake"
   "/root/repo/build/src/host/CMakeFiles/fxtraf_host.dir/DependInfo.cmake"
   "/root/repo/build/src/net/CMakeFiles/fxtraf_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/fxtraf_trace.dir/DependInfo.cmake"
   "/root/repo/build/src/ethernet/CMakeFiles/fxtraf_ethernet.dir/DependInfo.cmake"
   "/root/repo/build/src/simcore/CMakeFiles/fxtraf_simcore.dir/DependInfo.cmake"
+  "/root/repo/build/src/dsp/CMakeFiles/fxtraf_dsp.dir/DependInfo.cmake"
   )
 
 # Fortran module output directory.

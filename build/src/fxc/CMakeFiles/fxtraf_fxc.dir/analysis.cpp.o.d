@@ -1,6 +1,6 @@
 src/fxc/CMakeFiles/fxtraf_fxc.dir/analysis.cpp.o: \
  /root/repo/src/fxc/analysis.cpp /usr/include/stdc-predef.h \
- /root/repo/src/fxc/analysis.hpp /usr/include/c++/12/cstddef \
+ /root/repo/src/fxc/analysis.hpp /usr/include/c++/12/cassert \
  /usr/include/x86_64-linux-gnu/c++/12/bits/c++config.h \
  /usr/include/x86_64-linux-gnu/c++/12/bits/os_defines.h \
  /usr/include/features.h /usr/include/features-time64.h \
@@ -11,7 +11,8 @@ src/fxc/CMakeFiles/fxtraf_fxc.dir/analysis.cpp.o: \
  /usr/include/x86_64-linux-gnu/gnu/stubs.h \
  /usr/include/x86_64-linux-gnu/gnu/stubs-64.h \
  /usr/include/x86_64-linux-gnu/c++/12/bits/cpu_defines.h \
- /usr/include/c++/12/pstl/pstl_config.h \
+ /usr/include/c++/12/pstl/pstl_config.h /usr/include/assert.h \
+ /usr/include/c++/12/cstddef \
  /usr/lib/gcc/x86_64-linux-gnu/12/include/stddef.h \
  /usr/include/c++/12/span /usr/include/c++/12/array \
  /usr/include/c++/12/compare /usr/include/c++/12/concepts \
@@ -105,7 +106,6 @@ src/fxc/CMakeFiles/fxtraf_fxc.dir/analysis.cpp.o: \
  /usr/include/x86_64-linux-gnu/bits/atomic_wide_counter.h \
  /usr/include/x86_64-linux-gnu/bits/struct_mutex.h \
  /usr/include/x86_64-linux-gnu/bits/struct_rwlock.h /usr/include/alloca.h \
- /usr/include/x86_64-linux-gnu/bits/stdlib-bsearch.h \
  /usr/include/x86_64-linux-gnu/bits/stdlib-float.h \
  /usr/include/c++/12/bits/std_abs.h /root/repo/src/pvm/vm.hpp \
  /usr/include/c++/12/memory \
@@ -157,9 +157,9 @@ src/fxc/CMakeFiles/fxtraf_fxc.dir/analysis.cpp.o: \
  /usr/include/x86_64-linux-gnu/bits/types/struct_FILE.h \
  /usr/include/x86_64-linux-gnu/bits/types/cookie_io_functions_t.h \
  /usr/include/x86_64-linux-gnu/bits/stdio_lim.h \
- /usr/include/x86_64-linux-gnu/bits/stdio.h /usr/include/c++/12/cerrno \
- /usr/include/errno.h /usr/include/x86_64-linux-gnu/bits/errno.h \
- /usr/include/linux/errno.h /usr/include/x86_64-linux-gnu/asm/errno.h \
+ /usr/include/c++/12/cerrno /usr/include/errno.h \
+ /usr/include/x86_64-linux-gnu/bits/errno.h /usr/include/linux/errno.h \
+ /usr/include/x86_64-linux-gnu/asm/errno.h \
  /usr/include/asm-generic/errno.h /usr/include/asm-generic/errno-base.h \
  /usr/include/x86_64-linux-gnu/bits/types/error_t.h \
  /usr/include/c++/12/bits/charconv.h \
@@ -248,7 +248,6 @@ src/fxc/CMakeFiles/fxtraf_fxc.dir/analysis.cpp.o: \
  /usr/include/c++/12/bits/stl_map.h \
  /usr/include/c++/12/bits/stl_multimap.h /root/repo/src/net/tcp.hpp \
  /usr/include/c++/12/coroutine /root/repo/src/simcore/coro.hpp \
- /usr/include/c++/12/cassert /usr/include/assert.h \
  /usr/include/c++/12/optional /root/repo/src/pvm/message.hpp \
  /usr/include/c++/12/algorithm /usr/include/c++/12/bits/ranges_algo.h \
  /usr/include/c++/12/bits/ranges_util.h \

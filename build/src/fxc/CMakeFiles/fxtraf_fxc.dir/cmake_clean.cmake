@@ -9,6 +9,12 @@ file(REMOVE_RECURSE
   "CMakeFiles/fxtraf_fxc.dir/parser.cpp.o.d"
   "CMakeFiles/fxtraf_fxc.dir/printer.cpp.o"
   "CMakeFiles/fxtraf_fxc.dir/printer.cpp.o.d"
+  "CMakeFiles/fxtraf_fxc.dir/sema/diagnostics.cpp.o"
+  "CMakeFiles/fxtraf_fxc.dir/sema/diagnostics.cpp.o.d"
+  "CMakeFiles/fxtraf_fxc.dir/sema/passes.cpp.o"
+  "CMakeFiles/fxtraf_fxc.dir/sema/passes.cpp.o.d"
+  "CMakeFiles/fxtraf_fxc.dir/sema/predictor.cpp.o"
+  "CMakeFiles/fxtraf_fxc.dir/sema/predictor.cpp.o.d"
   "libfxtraf_fxc.a"
   "libfxtraf_fxc.pdb"
 )

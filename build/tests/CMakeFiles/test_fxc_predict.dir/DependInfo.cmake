@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_fxc_predict.cpp" "tests/CMakeFiles/test_fxc_predict.dir/test_fxc_predict.cpp.o" "gcc" "tests/CMakeFiles/test_fxc_predict.dir/test_fxc_predict.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/fxtraf_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/CMakeFiles/fxtraf_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/fxc/CMakeFiles/fxtraf_fxc.dir/DependInfo.cmake"
+  "/root/repo/build/src/fx/CMakeFiles/fxtraf_fx.dir/DependInfo.cmake"
+  "/root/repo/build/src/pvm/CMakeFiles/fxtraf_pvm.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/fxtraf_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/host/CMakeFiles/fxtraf_host.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/fxtraf_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/atm/CMakeFiles/fxtraf_atm.dir/DependInfo.cmake"
+  "/root/repo/build/src/ethernet/CMakeFiles/fxtraf_ethernet.dir/DependInfo.cmake"
+  "/root/repo/build/src/dsp/CMakeFiles/fxtraf_dsp.dir/DependInfo.cmake"
+  "/root/repo/build/src/simcore/CMakeFiles/fxtraf_simcore.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

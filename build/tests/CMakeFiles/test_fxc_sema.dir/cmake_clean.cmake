@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fxc_sema.dir/test_fxc_sema.cpp.o"
+  "CMakeFiles/test_fxc_sema.dir/test_fxc_sema.cpp.o.d"
+  "test_fxc_sema"
+  "test_fxc_sema.pdb"
+  "test_fxc_sema[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fxc_sema.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

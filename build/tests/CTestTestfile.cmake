@@ -15,6 +15,8 @@ include("/root/repo/build/tests/test_pvm[1]_include.cmake")
 include("/root/repo/build/tests/test_patterns[1]_include.cmake")
 include("/root/repo/build/tests/test_fxc[1]_include.cmake")
 include("/root/repo/build/tests/test_fxc_parser[1]_include.cmake")
+include("/root/repo/build/tests/test_fxc_sema[1]_include.cmake")
+include("/root/repo/build/tests/test_fxc_predict[1]_include.cmake")
 include("/root/repo/build/tests/test_tools[1]_include.cmake")
 include("/root/repo/build/tests/test_trace[1]_include.cmake")
 include("/root/repo/build/tests/test_core_stats[1]_include.cmake")

@@ -1,0 +1,122 @@
+// fxc-lint: run the Fx front end's static analysis over source programs
+// and render the structured diagnostics; with --predict, also print the
+// compile-time traffic model (per-phase matrices, period c, and the
+// truncated-Fourier bandwidth profile) derived without any simulation.
+//
+//   fxc_lint [--predict] <kernel-name|source-file>...
+//   fxc_lint [--predict] --all
+//
+// Exits nonzero when any error-severity diagnostic was reported.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "apps/source_registry.hpp"
+#include "fxc/parser.hpp"
+#include "fxc/sema/passes.hpp"
+#include "fxc/sema/predictor.hpp"
+
+namespace {
+
+using namespace fxtraf;
+
+std::optional<std::string> load_input(const std::string& arg) {
+  if (std::ifstream file{arg}) {
+    std::ostringstream text;
+    text << file.rdbuf();
+    return text.str();
+  }
+  if (const auto kernel = apps::source_kernel_by_name(arg)) {
+    return kernel->source;
+  }
+  return std::nullopt;
+}
+
+void print_prediction(const fxc::TrafficPrediction& prediction) {
+  std::printf("  traffic prediction (no simulation):\n");
+  std::printf("    %-5s %-11s %12s %12s %10s\n", "phase", "shape",
+              "payload B", "wire B", "seconds");
+  for (std::size_t i = 0; i < prediction.phases.size(); ++i) {
+    const fxc::PhasePrediction& phase = prediction.phases[i];
+    std::printf("    %-5zu %-11s %12zu %12zu %10.4f\n", i,
+                fxc::to_string(phase.analysis.shape), phase.payload_bytes,
+                phase.wire_bytes, phase.total_seconds());
+  }
+  std::printf("    bytes/iteration %zu, iteration %.4f s\n",
+              prediction.bytes_per_iteration, prediction.iteration_seconds);
+  std::printf("    period c = %.4f s (fundamental %.3f Hz), dominant %s\n",
+              prediction.period_seconds, prediction.fundamental_hz,
+              fxc::to_string(prediction.dominant_shape));
+  std::printf("    l = %.4f s/period, b = %.0f B/connection, mean %.1f KB/s\n",
+              prediction.local_seconds, prediction.burst_bytes,
+              prediction.mean_bandwidth_kbs);
+  for (const auto& c : prediction.bandwidth_model.components()) {
+    std::printf("    b(): %8.3f Hz  amplitude %8.1f KB/s\n", c.frequency_hz,
+                c.amplitude_kbs);
+  }
+}
+
+/// Lints one program; returns true when no error was reported.
+bool lint(const std::string& label, const std::string& source, bool predict) {
+  std::printf("== %s ==\n", label.c_str());
+  fxc::DiagnosticSink sink;
+  const std::optional<fxc::SourceProgram> program =
+      fxc::parse_source(source, sink);
+  if (program) {
+    fxc::run_sema(*program, sink);
+  }
+  if (sink.empty()) {
+    std::printf("  no diagnostics\n");
+  } else {
+    std::printf("%s", sink.render_all().c_str());
+  }
+  if (program && !sink.has_errors() && predict) {
+    print_prediction(fxc::predict_traffic(*program));
+  }
+  return !sink.has_errors();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool predict = false;
+  bool all = false;
+  std::vector<std::string> inputs;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--predict") == 0) {
+      predict = true;
+    } else if (std::strcmp(argv[i], "--all") == 0) {
+      all = true;
+    } else {
+      inputs.emplace_back(argv[i]);
+    }
+  }
+  if (!all && inputs.empty()) {
+    std::fprintf(stderr,
+                 "usage: fxc_lint [--predict] <kernel-name|source-file>...\n"
+                 "       fxc_lint [--predict] --all\n");
+    return 2;
+  }
+
+  bool clean = true;
+  if (all) {
+    for (const apps::SourceKernel& kernel : apps::source_kernels()) {
+      clean = lint(kernel.name, kernel.source, predict) && clean;
+    }
+  }
+  for (const std::string& input : inputs) {
+    const std::optional<std::string> source = load_input(input);
+    if (!source) {
+      std::fprintf(stderr, "fxc_lint: no file or kernel named '%s'\n",
+                   input.c_str());
+      clean = false;
+      continue;
+    }
+    clean = lint(input, *source, predict) && clean;
+  }
+  return clean ? 0 : 1;
+}

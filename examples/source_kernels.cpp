@@ -3,70 +3,21 @@
 // distributions, not hand-written), executed on the simulated LAN, and
 // checked against their Figure-1 patterns.
 #include <cstdio>
-#include <set>
 
+#include "apps/source_registry.hpp"
 #include "apps/testbed.hpp"
 #include "core/characterization.hpp"
 #include "fx/runtime.hpp"
 #include "fxc/lower.hpp"
 #include "fxc/parser.hpp"
 
-namespace {
-
-using namespace fxtraf;
-
-constexpr const char* kKernels[] = {
-    R"(! neighbor: boundary-row exchange each sweep
-program sor
-processors 4
-iterations 20
-array u real4 (512, 512) distribute (block, *)
-stencil u offsets (1, 1) flops 950
-)",
-    R"(! all-to-all: two distribution transposes per iteration
-program fft2d
-processors 4
-iterations 15
-array a real8 (512, 512) distribute (block, *)
-local 9e6
-redistribute a (*, block)
-local 9e6
-redistribute a (block, *)
-)",
-    R"(! partition: row half streams to column half
-program t2dfft
-processors 4
-iterations 15
-array a real8 (512, 512) distribute (block, *) on 0..2
-local 13e6
-redistribute a (*, block) on 2..4
-redistribute a (block, *) on 0..2
-)",
-    R"(! broadcast: element-wise sequential I/O from rank 0
-program seq
-processors 4
-iterations 2
-array c real4 (24, 24) distribute (block, *)
-read c element 4 row_io 60ms
-)",
-    R"(! tree: local histogram, log P merge, result broadcast
-program hist
-processors 4
-iterations 30
-local 5e6
-reduce bytes 2048 flops 0
-broadcast bytes 2048 root 0
-)",
-};
-
-}  // namespace
-
 int main() {
+  using namespace fxtraf;
   std::printf("%-8s %-36s %10s %12s %14s\n", "kernel", "phases (derived)",
               "packets", "avg KB/s", "fundamental");
-  for (const char* source_text : kKernels) {
+  for (const apps::SourceKernel& kernel : apps::source_kernels()) {
     const fxc::CompiledProgram compiled =
-        fxc::compile(fxc::parse_source(source_text));
+        fxc::compile(fxc::parse_source(kernel.source));
 
     std::string phases;
     for (const auto& phase : compiled.phases) {

@@ -1,0 +1,35 @@
+#!/usr/bin/env sh
+# Run clang-tidy (config in .clang-tidy) over the sources, plus the
+# project's own fxc-lint over every registered source kernel.
+#
+# Usage: scripts/lint.sh [build-dir]
+# The build dir must have a compile_commands.json; configure with
+#   cmake -B build -DCMAKE_EXPORT_COMPILE_COMMANDS=ON
+set -eu
+
+repo=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+build=${1:-"$repo/build"}
+status=0
+
+if command -v clang-tidy >/dev/null 2>&1; then
+  if [ ! -f "$build/compile_commands.json" ]; then
+    echo "lint.sh: no $build/compile_commands.json;" \
+         "configure with -DCMAKE_EXPORT_COMPILE_COMMANDS=ON" >&2
+    exit 2
+  fi
+  find "$repo/src" -name '*.cpp' -print | while read -r f; do
+    echo "== clang-tidy $f"
+    clang-tidy -p "$build" --quiet "$f" || true
+  done
+else
+  echo "lint.sh: clang-tidy not found; skipping static analysis" >&2
+fi
+
+if [ -x "$build/examples/fxc_lint" ]; then
+  echo "== fxc-lint --all"
+  "$build/examples/fxc_lint" --all || status=$?
+else
+  echo "lint.sh: $build/examples/fxc_lint not built; skipping" >&2
+fi
+
+exit "$status"

@@ -1,0 +1,86 @@
+#include "apps/source_registry.hpp"
+
+#include <algorithm>
+#include <cctype>
+
+namespace fxtraf::apps {
+
+const std::vector<SourceKernel>& source_kernels() {
+  static const std::vector<SourceKernel> kernels = {
+      {"sor", "red-black relaxation, boundary-row exchange each sweep",
+       "neighbor",
+       R"(! neighbor: boundary-row exchange each sweep
+program sor
+processors 4
+iterations 20
+array u real4 (512, 512) distribute (block, *)
+stencil u offsets (1, 1) flops 950
+)"},
+      {"fft2d", "2-D FFT, two distribution transposes per iteration",
+       "all-to-all",
+       R"(! all-to-all: two distribution transposes per iteration
+program fft2d
+processors 4
+iterations 15
+array a real8 (512, 512) distribute (block, *)
+local 9e6
+redistribute a (*, block)
+local 9e6
+redistribute a (block, *)
+)"},
+      {"t2dfft", "task-parallel FFT, row half streams to column half",
+       "partition",
+       R"(! partition: row half streams to column half
+program t2dfft
+processors 4
+iterations 15
+array a real8 (512, 512) distribute (block, *) on 0..2
+local 13e6
+redistribute a (*, block) on 2..4
+redistribute a (block, *) on 0..2
+)"},
+      {"seq", "element-wise sequential I/O from rank 0", "broadcast",
+       R"(! broadcast: element-wise sequential I/O from rank 0
+program seq
+processors 4
+iterations 2
+array c real4 (24, 24) distribute (block, *)
+read c element 4 row_io 60ms
+)"},
+      {"hist", "local histogram, log P merge, result broadcast", "tree",
+       R"(! tree: local histogram, log P merge, result broadcast
+program hist
+processors 4
+iterations 30
+local 5e6
+reduce bytes 2048 flops 0
+broadcast bytes 2048 root 0
+)"},
+      {"airshed",
+       "air-quality step: transport, transpose, chemistry, transpose back",
+       "all-to-all",
+       R"(! all-to-all: transport phase, transpose, chemistry, transpose back
+program airshed
+processors 4
+iterations 6
+array conc real4 (256, 280) distribute (block, *)
+local 1.1e8
+redistribute conc (*, block)
+local 1.2e8
+redistribute conc (block, *)
+)"},
+  };
+  return kernels;
+}
+
+std::optional<SourceKernel> source_kernel_by_name(std::string_view name) {
+  std::string key(name);
+  std::transform(key.begin(), key.end(), key.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  for (const SourceKernel& kernel : source_kernels()) {
+    if (kernel.name == key) return kernel;
+  }
+  return std::nullopt;
+}
+
+}  // namespace fxtraf::apps

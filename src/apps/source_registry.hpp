@@ -1,0 +1,28 @@
+// Fx-source kernel registry: the paper's programs expressed in the Fx
+// source dialect (the front end derives all communication from the
+// distributions).  Shared by the examples, the fxc-lint tool, and the
+// sema/predictor tests so everyone analyzes the same programs.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace fxtraf::apps {
+
+struct SourceKernel {
+  std::string name;         ///< lower-case lookup key
+  std::string description;  ///< Figure-2 description
+  std::string pattern;      ///< dominant Figure-1 pattern name
+  std::string source;       ///< Fx source text
+};
+
+/// All six programs in source form, paper-scaled parameters.
+[[nodiscard]] const std::vector<SourceKernel>& source_kernels();
+
+/// Case-insensitive lookup; std::nullopt if unknown.
+[[nodiscard]] std::optional<SourceKernel> source_kernel_by_name(
+    std::string_view name);
+
+}  // namespace fxtraf::apps

@@ -32,6 +32,14 @@ FourierTrafficModel FourierTrafficModel::fit(
   return model;
 }
 
+FourierTrafficModel FourierTrafficModel::from_components(
+    double mean_kbs, std::vector<SpectralComponent> components) {
+  FourierTrafficModel model;
+  model.mean_kbs_ = mean_kbs;
+  model.components_ = std::move(components);
+  return model;
+}
+
 double FourierTrafficModel::evaluate(double t_seconds) const {
   double x = mean_kbs_;
   for (const SpectralComponent& c : components_) {

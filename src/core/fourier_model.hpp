@@ -30,6 +30,12 @@ class FourierTrafficModel {
       const dsp::Spectrum& spectrum, std::size_t max_components,
       const dsp::PeakOptions& peak_options = {});
 
+  /// Builds a model from explicit components — the compile-time traffic
+  /// predictor derives these analytically from the IR instead of from a
+  /// measured spectrum, then evaluates/reconstructs them the same way.
+  [[nodiscard]] static FourierTrafficModel from_components(
+      double mean_kbs, std::vector<SpectralComponent> components);
+
   [[nodiscard]] double mean_kbs() const { return mean_kbs_; }
   [[nodiscard]] const std::vector<SpectralComponent>& components() const {
     return components_;

@@ -222,4 +222,19 @@ PhaseAnalysis analyze(const SourceProgram& program,
   return result;
 }
 
+std::vector<PhaseAnalysis> analyze_program(const SourceProgram& program) {
+  std::vector<PhaseAnalysis> analyses;
+  analyses.reserve(program.body.size());
+  SourceProgram state = program;
+  for (const Statement& statement : program.body) {
+    analyses.push_back(analyze(state, statement));
+    if (const auto* redist = std::get_if<Redistribute>(&statement)) {
+      ArrayDecl& decl = state.array(redist->array);
+      decl.distribution = redist->to;
+      decl.processors = redist->to_processors;
+    }
+  }
+  return analyses;
+}
+
 }  // namespace fxtraf::fxc

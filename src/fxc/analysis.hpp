@@ -3,6 +3,7 @@
 // classifier that names the resulting Figure-1 pattern.
 #pragma once
 
+#include <cassert>
 #include <cstddef>
 #include <span>
 #include <vector>
@@ -24,11 +25,15 @@ class CommMatrix {
 
   [[nodiscard]] int processors() const { return processors_; }
   [[nodiscard]] std::size_t& at(int src, int dst) {
+    assert(src >= 0 && src < processors_ && "CommMatrix: src out of range");
+    assert(dst >= 0 && dst < processors_ && "CommMatrix: dst out of range");
     return bytes_[static_cast<std::size_t>(src) *
                       static_cast<std::size_t>(processors_) +
                   static_cast<std::size_t>(dst)];
   }
   [[nodiscard]] std::size_t at(int src, int dst) const {
+    assert(src >= 0 && src < processors_ && "CommMatrix: src out of range");
+    assert(dst >= 0 && dst < processors_ && "CommMatrix: dst out of range");
     return bytes_[static_cast<std::size_t>(src) *
                       static_cast<std::size_t>(processors_) +
                   static_cast<std::size_t>(dst)];
@@ -91,5 +96,12 @@ struct PhaseAnalysis {
 
 [[nodiscard]] PhaseAnalysis analyze(const SourceProgram& program,
                                     const Statement& statement);
+
+/// Stateful whole-program analysis: one PhaseAnalysis per body statement,
+/// tracking how each Redistribute changes where arrays live for every
+/// subsequent statement.  Shared by lowering and the static traffic
+/// predictor so both see the identical per-phase matrices.
+[[nodiscard]] std::vector<PhaseAnalysis> analyze_program(
+    const SourceProgram& program);
 
 }  // namespace fxtraf::fxc

@@ -21,6 +21,7 @@ struct StencilAssign {
   /// five-point stencil.
   std::vector<int> max_offsets;
   double flops_per_point = 5.0;
+  SrcPos pos;
 };
 
 /// Redistribution of an array to a new distribution and/or processor
@@ -29,6 +30,7 @@ struct Redistribute {
   std::string array;
   Distribution to;
   Interval to_processors;
+  SrcPos pos;
 };
 
 /// Element-wise initialization of a distributed array from sequential
@@ -38,6 +40,7 @@ struct SequentialRead {
   std::string array;
   std::size_t element_message_bytes = 4;
   sim::Duration io_time_per_row = sim::millis(240);
+  SrcPos pos;
 };
 
 /// Reduction of per-processor vectors to processor 0 over the tree
@@ -45,21 +48,29 @@ struct SequentialRead {
 struct Reduction {
   std::size_t vector_bytes = 2048;
   double flops = 5.0e6;
+  SrcPos pos;
 };
 
 /// Broadcast of a buffer from `root` to all other processors.
 struct BroadcastStmt {
   std::size_t bytes = 2048;
   int root = 0;
+  SrcPos pos;
 };
 
 /// Pure local computation (no traffic).
 struct LocalWork {
   double flops = 0.0;
+  SrcPos pos;
 };
 
 using Statement = std::variant<StencilAssign, Redistribute, SequentialRead,
                                Reduction, BroadcastStmt, LocalWork>;
+
+/// Source position of any statement alternative.
+[[nodiscard]] inline SrcPos statement_pos(const Statement& statement) {
+  return std::visit([](const auto& s) { return s.pos; }, statement);
+}
 
 /// A whole Fx source program: declarations plus an iterated body.
 struct SourceProgram {

@@ -2,15 +2,16 @@
 
 #include <cctype>
 #include <cstdlib>
-#include <stdexcept>
+
+#include "fxc/sema/diagnostics.hpp"
 
 namespace fxtraf::fxc {
 
 namespace {
 
 [[noreturn]] void fail(int line, int column, const std::string& message) {
-  throw std::runtime_error("fx source:" + std::to_string(line) + ":" +
-                           std::to_string(column) + ": " + message);
+  throw ParseError(Diagnostic{Severity::kError, kRuleLex, message,
+                              SrcPos{line, column}, {}});
 }
 
 double unit_scale(std::string_view suffix, int line, int column) {

@@ -30,7 +30,7 @@ struct Token {
 /// Scans source text into tokens.  Comments run from '!' or '#' to end of
 /// line.  Number literals accept an optional unit suffix: ms, s, us
 /// (durations, converted to seconds), k/m/g (scale 1e3/1e6/1e9).
-/// Throws std::runtime_error with line/column on bad input.
+/// Throws ParseError (a std::runtime_error) with line/column on bad input.
 [[nodiscard]] std::vector<Token> lex(std::string_view source);
 
 }  // namespace fxtraf::fxc

@@ -2,6 +2,7 @@
 
 #include <memory>
 
+#include "fxc/sema/passes.hpp"
 #include "pvm/task.hpp"
 
 namespace fxtraf::fxc {
@@ -103,7 +104,14 @@ sim::Co<void> rank_body(fx::FxContext& ctx, int rank,
 }  // namespace
 
 CompiledProgram compile(const SourceProgram& source) {
-  source.validate();
+  // Lowering is gated on error-free sema: the structural problems this
+  // catches (unknown arrays, halo overflow, bad ranges...) would
+  // otherwise surface as bare throws deep inside analysis.
+  DiagnosticSink sink;
+  if (!run_sema(source, sink)) {
+    throw SemaError(sink.diagnostics());
+  }
+
   CompiledProgram compiled;
   compiled.name = source.name;
   compiled.processors = source.processors;
@@ -117,10 +125,12 @@ CompiledProgram compile(const SourceProgram& source) {
   // array lives for every subsequent statement (and for the next
   // iteration — HPF semantics require the loop body to restore the
   // distribution it starts from, which our kernels do).
+  plan->analyses = analyze_program(source);
   SourceProgram state = source;
-  for (const Statement& statement : source.body) {
+  for (std::size_t i = 0; i < source.body.size(); ++i) {
+    const Statement& statement = source.body[i];
     CompiledPhase phase(source.processors);
-    phase.analysis = analyze(state, statement);
+    phase.analysis = plan->analyses[i];
     if (const auto* read = std::get_if<SequentialRead>(&statement)) {
       const ArrayDecl& decl = state.array(read->array);
       phase.read_rows = decl.extents.front();
@@ -133,7 +143,6 @@ CompiledProgram compile(const SourceProgram& source) {
       decl.distribution = redist->to;
       decl.processors = redist->to_processors;
     }
-    plan->analyses.push_back(phase.analysis);
     compiled.phases.push_back(std::move(phase));
   }
 

@@ -44,8 +44,10 @@ struct CompiledProgram {
   }
 };
 
-/// Runs communication analysis on every statement and emits the
-/// executable.  Throws std::invalid_argument on unsupported constructs.
+/// Runs sema (structure verification + lint passes) and communication
+/// analysis on every statement and emits the executable.  Throws
+/// SemaError (a std::invalid_argument carrying the diagnostics) when any
+/// error-severity diagnostic is reported; warnings do not block.
 [[nodiscard]] CompiledProgram compile(const SourceProgram& source);
 
 }  // namespace fxtraf::fxc

@@ -1,8 +1,11 @@
 #include "fxc/parser.hpp"
 
+#include <algorithm>
+#include <optional>
 #include <stdexcept>
 
 #include "fxc/lexer.hpp"
+#include "fxc/sema/diagnostics.hpp"
 
 namespace fxtraf::fxc {
 
@@ -35,20 +38,25 @@ class Parser {
     try {
       program.validate();
     } catch (const std::exception& e) {
-      fail(peek(), e.what());
+      fail(peek(), e.what(), kRuleBadProgram);
     }
     return program;
   }
 
  private:
-  [[noreturn]] void fail(const Token& at, const std::string& message) {
-    throw std::runtime_error("fx source:" + std::to_string(at.line) + ":" +
-                             std::to_string(at.column) + ": " + message +
-                             (at.kind == TokenKind::kIdentifier ||
-                                      at.kind == TokenKind::kNumber
-                                  ? " (got '" + at.text + "')"
-                                  : ""));
+  [[noreturn]] void fail(const Token& at, const std::string& message,
+                         const char* rule = kRuleSyntax) {
+    throw ParseError(Diagnostic{
+        Severity::kError, rule,
+        message + (at.kind == TokenKind::kIdentifier ||
+                           at.kind == TokenKind::kNumber
+                       ? " (got '" + at.text + "')"
+                       : ""),
+        SrcPos{at.line, at.column},
+        {}});
   }
+
+  static SrcPos pos_of(const Token& t) { return SrcPos{t.line, t.column}; }
 
   const Token& peek() const { return tokens_[pos_]; }
   const Token& take() { return tokens_[pos_++]; }
@@ -94,7 +102,7 @@ class Parser {
     if (name == "complex8") return ElemType::kComplex8;
     if (name == "complex16") return ElemType::kComplex16;
     if (name == "int4") return ElemType::kInteger4;
-    fail(at, "unknown element type '" + name + "'");
+    fail(at, "unknown element type '" + name + "'", kRuleBadDeclaration);
   }
 
   Distribution parse_distribution(std::size_t rank) {
@@ -107,7 +115,15 @@ class Parser {
       } else {
         const Token& at = peek();
         const std::string word = expect_identifier("'block' or '*'");
-        if (word != "block") fail(at, "unknown distribution '" + word + "'");
+        if (word != "block") {
+          fail(at, "unknown distribution '" + word + "'",
+               kRuleBadDistribution);
+        }
+        if (std::count(dist.dims.begin(), dist.dims.end(),
+                       DistKind::kBlock) > 0) {
+          fail(at, "at most one dimension may be BLOCK-distributed",
+               kRuleBadDistribution);
+        }
         dist.dims.push_back(DistKind::kBlock);
       }
       if (peek().kind == TokenKind::kComma) {
@@ -118,7 +134,7 @@ class Parser {
     }
     expect(TokenKind::kRParen, "')'");
     if (rank != 0 && dist.dims.size() != rank) {
-      fail(peek(), "distribution rank mismatch");
+      fail(peek(), "distribution rank mismatch", kRuleBadDistribution);
     }
     return dist;
   }
@@ -129,7 +145,7 @@ class Parser {
     const Token& at = peek();
     const int hi = expect_int("range end");
     if (hi <= lo || hi > processors) {
-      fail(at, "invalid processor range");
+      fail(at, "invalid processor range", kRuleBadProcessorRange);
     }
     return Interval{static_cast<std::size_t>(lo),
                     static_cast<std::size_t>(hi)};
@@ -140,8 +156,10 @@ class Parser {
     ArrayDecl decl;
     const Token& name_at = peek();
     decl.name = expect_identifier("array name");
+    decl.pos = pos_of(name_at);
     if (program.arrays.contains(decl.name)) {
-      fail(name_at, "duplicate array '" + decl.name + "'");
+      fail(name_at, "duplicate array '" + decl.name + "'",
+           kRuleDuplicateArray);
     }
     decl.type = parse_type();
     expect(TokenKind::kLParen, "'('");
@@ -164,7 +182,7 @@ class Parser {
     try {
       decl.validate();
     } catch (const std::exception& e) {
-      fail(name_at, e.what());
+      fail(name_at, e.what(), kRuleBadDeclaration);
     }
     program.arrays.emplace(decl.name, std::move(decl));
   }
@@ -172,7 +190,7 @@ class Parser {
   void require_array(const SourceProgram& program, const Token& at,
                      const std::string& name) {
     if (!program.arrays.contains(name)) {
-      fail(at, "unknown array '" + name + "'");
+      fail(at, "unknown array '" + name + "'", kRuleUnknownArray);
     }
   }
 
@@ -181,6 +199,7 @@ class Parser {
     const std::string keyword = expect_identifier("statement");
     if (keyword == "stencil") {
       StencilAssign s;
+      s.pos = pos_of(at);
       const Token& name_at = peek();
       s.array = expect_identifier("array name");
       require_array(program, name_at, s.array);
@@ -199,11 +218,13 @@ class Parser {
         s.flops_per_point = expect_number("flops per point");
       }
       if (s.max_offsets.size() != program.array(s.array).rank()) {
-        fail(name_at, "offset rank mismatch for '" + s.array + "'");
+        fail(name_at, "offset rank mismatch for '" + s.array + "'",
+             kRuleOffsetRank);
       }
       program.body.emplace_back(std::move(s));
     } else if (keyword == "redistribute") {
       Redistribute r;
+      r.pos = pos_of(at);
       const Token& name_at = peek();
       r.array = expect_identifier("array name");
       require_array(program, name_at, r.array);
@@ -215,6 +236,7 @@ class Parser {
       program.body.emplace_back(std::move(r));
     } else if (keyword == "read") {
       SequentialRead r;
+      r.pos = pos_of(at);
       const Token& name_at = peek();
       r.array = expect_identifier("array name");
       require_array(program, name_at, r.array);
@@ -228,6 +250,7 @@ class Parser {
       program.body.emplace_back(std::move(r));
     } else if (keyword == "reduce") {
       Reduction r;
+      r.pos = pos_of(at);
       if (accept_keyword("bytes")) {
         r.vector_bytes =
             static_cast<std::size_t>(expect_number("vector bytes"));
@@ -236,20 +259,22 @@ class Parser {
       program.body.emplace_back(r);
     } else if (keyword == "broadcast") {
       BroadcastStmt b;
+      b.pos = pos_of(at);
       if (accept_keyword("bytes")) {
         b.bytes = static_cast<std::size_t>(expect_number("bytes"));
       }
       if (accept_keyword("root")) b.root = expect_int("root rank");
       if (b.root < 0 || b.root >= program.processors) {
-        fail(at, "broadcast root outside processor range");
+        fail(at, "broadcast root outside processor range", kRuleBadRoot);
       }
       program.body.emplace_back(b);
     } else if (keyword == "local") {
       LocalWork w;
+      w.pos = pos_of(at);
       w.flops = expect_number("flops");
       program.body.emplace_back(w);
     } else {
-      fail(at, "unknown statement '" + keyword + "'");
+      fail(at, "unknown statement '" + keyword + "'", kRuleUnknownStatement);
     }
   }
 
@@ -261,6 +286,16 @@ class Parser {
 
 SourceProgram parse_source(std::string_view source) {
   return Parser(source).parse();
+}
+
+std::optional<SourceProgram> parse_source(std::string_view source,
+                                          DiagnosticSink& sink) {
+  try {
+    return Parser(source).parse();
+  } catch (const ParseError& e) {
+    sink.report(e.diagnostic());
+    return std::nullopt;
+  }
 }
 
 }  // namespace fxtraf::fxc

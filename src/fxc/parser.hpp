@@ -27,14 +27,22 @@
 // places an array on ranks {0, 1}.
 #pragma once
 
+#include <optional>
 #include <string_view>
 
 #include "fxc/ir.hpp"
+#include "fxc/sema/diagnostics.hpp"
 
 namespace fxtraf::fxc {
 
-/// Parses source text into a SourceProgram; throws std::runtime_error
-/// with line:column positions on syntax or semantic errors.
+/// Parses source text into a SourceProgram; throws ParseError (a
+/// std::runtime_error whose what() keeps the "fx source:line:column:"
+/// text) carrying a structured Diagnostic on syntax or semantic errors.
 [[nodiscard]] SourceProgram parse_source(std::string_view source);
+
+/// Non-throwing variant: reports the error (the parser stops at the
+/// first one) into `sink` and returns std::nullopt.
+[[nodiscard]] std::optional<SourceProgram> parse_source(
+    std::string_view source, DiagnosticSink& sink);
 
 }  // namespace fxtraf::fxc

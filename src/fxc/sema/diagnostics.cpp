@@ -1,0 +1,56 @@
+#include "fxc/sema/diagnostics.hpp"
+
+namespace fxtraf::fxc {
+
+namespace {
+
+std::string position_prefix(SrcPos pos) {
+  std::string text = "fx source";
+  if (pos.known()) {
+    text += ":" + std::to_string(pos.line) + ":" + std::to_string(pos.column);
+  }
+  return text + ": ";
+}
+
+/// The legacy throwing format: no severity word, no rule tag.
+std::string legacy_text(const Diagnostic& d) {
+  return position_prefix(d.pos) + d.message;
+}
+
+}  // namespace
+
+std::string render(const Diagnostic& d) {
+  std::string text = position_prefix(d.pos);
+  text += to_string(d.severity);
+  text += ": ";
+  text += d.message;
+  if (!d.rule.empty()) text += " [" + d.rule + "]";
+  if (!d.fixit.empty()) text += "\n  fixit: " + d.fixit;
+  return text;
+}
+
+std::string DiagnosticSink::render_all() const {
+  std::string text;
+  for (const Diagnostic& d : diagnostics_) {
+    text += render(d);
+    text += '\n';
+  }
+  return text;
+}
+
+ParseError::ParseError(Diagnostic diagnostic)
+    : std::runtime_error(legacy_text(diagnostic)),
+      diagnostic_(std::move(diagnostic)) {}
+
+SemaError::SemaError(std::vector<Diagnostic> diagnostics)
+    : std::invalid_argument([&diagnostics] {
+        std::string text = "fx sema failed";
+        for (const Diagnostic& d : diagnostics) {
+          if (d.severity != Severity::kError) continue;
+          text += "\n  " + render(d);
+        }
+        return text;
+      }()),
+      diagnostics_(std::move(diagnostics)) {}
+
+}  // namespace fxtraf::fxc

@@ -1,0 +1,135 @@
+// Structured diagnostics for the Fx front end.
+//
+// Every problem the lexer, parser, or sema passes find is a Diagnostic:
+// a severity, a stable rule ID (e.g. "fxc-redundant-redistribute"), a
+// source position, the message, and an optional fix-it suggestion.  A
+// DiagnosticSink collects them; parse errors additionally surface as a
+// ParseError exception whose what() keeps the classic
+// "fx source:line:column: message" text.
+#pragma once
+
+#include <cstddef>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "fxc/types.hpp"
+
+namespace fxtraf::fxc {
+
+enum class Severity : std::uint8_t {
+  kNote,
+  kWarning,
+  kError,
+};
+
+[[nodiscard]] constexpr const char* to_string(Severity s) {
+  switch (s) {
+    case Severity::kNote: return "note";
+    case Severity::kWarning: return "warning";
+    case Severity::kError: return "error";
+  }
+  return "?";
+}
+
+// Stable rule IDs.  Lexer / parser / structural rules:
+inline constexpr const char* kRuleLex = "fxc-lex";
+inline constexpr const char* kRuleSyntax = "fxc-parse-syntax";
+inline constexpr const char* kRuleUnknownStatement = "fxc-unknown-statement";
+inline constexpr const char* kRuleUnknownArray = "fxc-unknown-array";
+inline constexpr const char* kRuleDuplicateArray = "fxc-duplicate-array";
+inline constexpr const char* kRuleBadDistribution = "fxc-bad-distribution";
+inline constexpr const char* kRuleBadProcessorRange =
+    "fxc-bad-processor-range";
+inline constexpr const char* kRuleOffsetRank = "fxc-offset-rank";
+inline constexpr const char* kRuleBadRoot = "fxc-bad-root";
+inline constexpr const char* kRuleBadDeclaration = "fxc-bad-declaration";
+inline constexpr const char* kRuleBadProgram = "fxc-bad-program";
+// Sema lint rules:
+inline constexpr const char* kRuleHaloOverflow = "fxc-halo-overflow";
+inline constexpr const char* kRuleDistributionMismatch =
+    "fxc-distribution-mismatch";
+inline constexpr const char* kRuleRedundantRedistribute =
+    "fxc-redundant-redistribute";
+inline constexpr const char* kRuleDeadWrite = "fxc-dead-write";
+inline constexpr const char* kRuleHoistableCollective =
+    "fxc-hoistable-collective";
+inline constexpr const char* kRuleLoadImbalance = "fxc-load-imbalance";
+
+struct Diagnostic {
+  Severity severity = Severity::kError;
+  std::string rule;     ///< stable ID, one of the kRule* constants
+  std::string message;
+  SrcPos pos;           ///< 0:0 when the program was built in IR form
+  std::string fixit;    ///< optional suggestion, empty if none
+};
+
+/// "fx source:3:7: error: message [rule-id]" (+ "  fixit: ..." if set);
+/// the position is omitted when unknown.
+[[nodiscard]] std::string render(const Diagnostic& diagnostic);
+
+/// Collects diagnostics from the parser and the sema passes.
+class DiagnosticSink {
+ public:
+  void report(Diagnostic diagnostic) {
+    diagnostics_.push_back(std::move(diagnostic));
+  }
+  void report(Severity severity, std::string rule, std::string message,
+              SrcPos pos = {}, std::string fixit = {}) {
+    report(Diagnostic{severity, std::move(rule), std::move(message), pos,
+                      std::move(fixit)});
+  }
+
+  [[nodiscard]] const std::vector<Diagnostic>& diagnostics() const {
+    return diagnostics_;
+  }
+  [[nodiscard]] std::size_t count(Severity severity) const {
+    std::size_t n = 0;
+    for (const Diagnostic& d : diagnostics_) n += (d.severity == severity);
+    return n;
+  }
+  [[nodiscard]] bool has_errors() const { return count(Severity::kError) > 0; }
+  [[nodiscard]] bool empty() const { return diagnostics_.empty(); }
+  void clear() { diagnostics_.clear(); }
+
+  /// First diagnostic carrying `rule`, or nullptr.
+  [[nodiscard]] const Diagnostic* find(std::string_view rule) const {
+    for (const Diagnostic& d : diagnostics_) {
+      if (d.rule == rule) return &d;
+    }
+    return nullptr;
+  }
+
+  /// Every diagnostic rendered, one per line.
+  [[nodiscard]] std::string render_all() const;
+
+ private:
+  std::vector<Diagnostic> diagnostics_;
+};
+
+/// Thrown by lex()/parse_source() on the first error.  what() keeps the
+/// pre-diagnostics format "fx source:line:column: message" that callers
+/// and tests match on; the structured form rides along.
+class ParseError : public std::runtime_error {
+ public:
+  explicit ParseError(Diagnostic diagnostic);
+  [[nodiscard]] const Diagnostic& diagnostic() const { return diagnostic_; }
+
+ private:
+  Diagnostic diagnostic_;
+};
+
+/// Thrown by compile() when sema finds error-severity diagnostics; an
+/// invalid_argument so pre-sema callers keep catching it.
+class SemaError : public std::invalid_argument {
+ public:
+  explicit SemaError(std::vector<Diagnostic> diagnostics);
+  [[nodiscard]] const std::vector<Diagnostic>& diagnostics() const {
+    return diagnostics_;
+  }
+
+ private:
+  std::vector<Diagnostic> diagnostics_;
+};
+
+}  // namespace fxtraf::fxc

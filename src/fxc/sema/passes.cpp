@@ -1,0 +1,382 @@
+#include "fxc/sema/passes.hpp"
+
+#include <stdexcept>
+#include <string>
+#include <variant>
+
+namespace fxtraf::fxc {
+
+namespace {
+
+std::string dist_text(const Distribution& dist) {
+  std::string text = "(";
+  for (std::size_t d = 0; d < dist.dims.size(); ++d) {
+    if (d > 0) text += ", ";
+    text += dist.dims[d] == DistKind::kBlock ? "block" : "*";
+  }
+  return text + ")";
+}
+
+bool same_interval(Interval a, Interval b) {
+  return a.lo == b.lo && a.hi == b.hi;
+}
+
+/// Name of the array a statement references, nullptr if none.
+const std::string* referenced_array(const Statement& statement) {
+  if (const auto* s = std::get_if<StencilAssign>(&statement)) return &s->array;
+  if (const auto* r = std::get_if<Redistribute>(&statement)) return &r->array;
+  if (const auto* r = std::get_if<SequentialRead>(&statement)) return &r->array;
+  return nullptr;
+}
+
+/// Applies a statement's effect on where arrays live (Redistribute moves
+/// them; everything else leaves the placement alone).
+void apply_statement(SourceProgram& state, const Statement& statement) {
+  if (const auto* redist = std::get_if<Redistribute>(&statement)) {
+    ArrayDecl& decl = state.array(redist->array);
+    decl.distribution = redist->to;
+    decl.processors = redist->to_processors;
+  }
+}
+
+/// Walks the body front to back, calling fn(state_before, statement, i).
+template <typename Fn>
+void walk(const SourceProgram& program, Fn&& fn) {
+  SourceProgram state = program;
+  for (std::size_t i = 0; i < program.body.size(); ++i) {
+    fn(state, program.body[i], i);
+    apply_statement(state, program.body[i]);
+  }
+}
+
+// ---- lint passes -----------------------------------------------------
+
+/// Stencil offsets reaching at or past the per-processor block of the
+/// distributed dimension: Fx's shift communication cannot generate the
+/// boundary exchange (lowering would reject the program anyway, but here
+/// the report carries the position and the numbers).
+class HaloOverflowPass final : public SemaPass {
+ public:
+  [[nodiscard]] std::string_view name() const override {
+    return "halo-overflow";
+  }
+  void run(const SourceProgram& program, DiagnosticSink& sink) const override {
+    walk(program, [&sink](const SourceProgram& state,
+                          const Statement& statement, std::size_t) {
+      const auto* stencil = std::get_if<StencilAssign>(&statement);
+      if (stencil == nullptr) return;
+      const ArrayDecl& decl = state.array(stencil->array);
+      const int bdim = decl.distribution.block_dim();
+      if (bdim < 0) return;
+      const int halo = stencil->max_offsets[static_cast<std::size_t>(bdim)];
+      const std::size_t block =
+          block_owned(decl.extents[static_cast<std::size_t>(bdim)], 0,
+                      static_cast<int>(decl.processors.length()))
+              .length();
+      if (halo > 0 && static_cast<std::size_t>(halo) >= block) {
+        sink.report(Severity::kError, kRuleHaloOverflow,
+                    "stencil offset " + std::to_string(halo) +
+                        " along the distributed dimension of '" +
+                        stencil->array + "' reaches past its block of " +
+                        std::to_string(block) +
+                        " (boundary exchange overflow)",
+                    stencil->pos,
+                    "reduce the offset below " + std::to_string(block) +
+                        " or distribute '" + stencil->array +
+                        "' over fewer processors");
+      }
+    });
+  }
+};
+
+/// Array distributed along a dimension the stencil needs halo exchange
+/// in, while another dimension is offset-free and would communicate
+/// nothing.
+class DistributionMismatchPass final : public SemaPass {
+ public:
+  [[nodiscard]] std::string_view name() const override {
+    return "distribution-mismatch";
+  }
+  void run(const SourceProgram& program, DiagnosticSink& sink) const override {
+    walk(program, [&sink](const SourceProgram& state,
+                          const Statement& statement, std::size_t) {
+      const auto* stencil = std::get_if<StencilAssign>(&statement);
+      if (stencil == nullptr) return;
+      const ArrayDecl& decl = state.array(stencil->array);
+      const int bdim = decl.distribution.block_dim();
+      if (bdim < 0 ||
+          stencil->max_offsets[static_cast<std::size_t>(bdim)] == 0) {
+        return;
+      }
+      for (std::size_t d = 0; d < stencil->max_offsets.size(); ++d) {
+        if (static_cast<int>(d) == bdim || stencil->max_offsets[d] != 0) {
+          continue;
+        }
+        sink.report(
+            Severity::kWarning, kRuleDistributionMismatch,
+            "'" + stencil->array + "' is distributed along dimension " +
+                std::to_string(bdim) + " where the stencil needs offset " +
+                std::to_string(
+                    stencil->max_offsets[static_cast<std::size_t>(bdim)]) +
+                ", but dimension " + std::to_string(d) + " is offset-free",
+            stencil->pos,
+            "distribute '" + stencil->array + "' along dimension " +
+                std::to_string(d) + " to eliminate the boundary exchange");
+        return;  // one report per stencil is enough
+      }
+    });
+  }
+};
+
+/// No-op redistributes, and adjacent pairs whose net effect is returning
+/// the array to the distribution it already had.
+class RedundantRedistributePass final : public SemaPass {
+ public:
+  [[nodiscard]] std::string_view name() const override {
+    return "redundant-redistribute";
+  }
+  void run(const SourceProgram& program, DiagnosticSink& sink) const override {
+    SourceProgram state = program;
+    for (std::size_t i = 0; i < program.body.size(); ++i) {
+      const auto* redist = std::get_if<Redistribute>(&program.body[i]);
+      if (redist != nullptr) {
+        const ArrayDecl& decl = state.array(redist->array);
+        if (redist->to == decl.distribution &&
+            same_interval(redist->to_processors, decl.processors)) {
+          sink.report(Severity::kWarning, kRuleRedundantRedistribute,
+                      "redistribute of '" + redist->array +
+                          "' to its current distribution " +
+                          dist_text(redist->to) + " is a no-op",
+                      redist->pos, "remove this statement");
+        } else if (i + 1 < program.body.size()) {
+          const auto* next = std::get_if<Redistribute>(&program.body[i + 1]);
+          if (next != nullptr && next->array == redist->array &&
+              next->to == decl.distribution &&
+              same_interval(next->to_processors, decl.processors)) {
+            sink.report(Severity::kWarning, kRuleRedundantRedistribute,
+                        "back-to-back redistributes of '" + redist->array +
+                            "' return it to " + dist_text(decl.distribution) +
+                            " with no use in between",
+                        redist->pos, "remove both redistributes");
+          }
+        }
+      }
+      apply_statement(state, program.body[i]);
+    }
+  }
+};
+
+/// Sequential read filling an array no other statement references: every
+/// byte of that broadcast-shaped traffic is dead.
+class DeadWritePass final : public SemaPass {
+ public:
+  [[nodiscard]] std::string_view name() const override { return "dead-write"; }
+  void run(const SourceProgram& program, DiagnosticSink& sink) const override {
+    for (std::size_t i = 0; i < program.body.size(); ++i) {
+      const auto* read = std::get_if<SequentialRead>(&program.body[i]);
+      if (read == nullptr) continue;
+      bool used = false;
+      for (std::size_t j = 0; j < program.body.size() && !used; ++j) {
+        if (j == i) continue;
+        const std::string* array = referenced_array(program.body[j]);
+        used = array != nullptr && *array == read->array;
+      }
+      if (!used) {
+        sink.report(Severity::kWarning, kRuleDeadWrite,
+                    "array '" + read->array +
+                        "' is filled by sequential read but never used "
+                        "afterwards (dead communication)",
+                    read->pos,
+                    "drop the read or add the statements consuming '" +
+                        read->array + "'");
+      }
+    }
+  }
+};
+
+/// Broadcast/reduce inside an iterated body containing no computation:
+/// every iteration repeats identical traffic, so the collective could be
+/// hoisted out of the loop.
+class HoistableCollectivePass final : public SemaPass {
+ public:
+  [[nodiscard]] std::string_view name() const override {
+    return "hoistable-collective";
+  }
+  void run(const SourceProgram& program, DiagnosticSink& sink) const override {
+    if (program.iterations <= 1) return;
+    for (const Statement& statement : program.body) {
+      if (const auto* work = std::get_if<LocalWork>(&statement)) {
+        if (work->flops > 0) return;
+      } else if (const auto* reduce = std::get_if<Reduction>(&statement)) {
+        if (reduce->flops > 0) return;
+      } else if (!std::holds_alternative<BroadcastStmt>(statement)) {
+        return;  // stencils and reads produce fresh data each iteration
+      }
+    }
+    for (const Statement& statement : program.body) {
+      const bool is_bcast = std::holds_alternative<BroadcastStmt>(statement);
+      const bool is_reduce = std::holds_alternative<Reduction>(statement);
+      if (!is_bcast && !is_reduce) continue;
+      sink.report(Severity::kWarning, kRuleHoistableCollective,
+                  std::string(is_bcast ? "broadcast" : "reduction") +
+                      " repeats identical traffic in all " +
+                      std::to_string(program.iterations) +
+                      " iterations of a compute-free body",
+                  statement_pos(statement),
+                  "hoist the collective out of the iterated body");
+    }
+  }
+};
+
+/// Processor count not dividing the distributed extent: HPF BLOCK hands
+/// out ceil(n/P) chunks, so the trailing processors own less work (or
+/// none at all) and the program's phases are imbalanced.
+class LoadImbalancePass final : public SemaPass {
+ public:
+  [[nodiscard]] std::string_view name() const override {
+    return "load-imbalance";
+  }
+  void run(const SourceProgram& program, DiagnosticSink& sink) const override {
+    for (const auto& [id, decl] : program.arrays) {
+      check(id, decl.extents, decl.distribution, decl.processors, decl.pos,
+            sink);
+    }
+    walk(program, [&sink](const SourceProgram& state,
+                          const Statement& statement, std::size_t) {
+      const auto* redist = std::get_if<Redistribute>(&statement);
+      if (redist == nullptr) return;
+      check(redist->array, state.array(redist->array).extents, redist->to,
+            redist->to_processors, redist->pos, sink);
+    });
+  }
+
+ private:
+  static void check(const std::string& id,
+                    const std::vector<std::size_t>& extents,
+                    const Distribution& dist, Interval procs, SrcPos pos,
+                    DiagnosticSink& sink) {
+    const int bdim = dist.block_dim();
+    if (bdim < 0) return;
+    const std::size_t n = extents[static_cast<std::size_t>(bdim)];
+    const std::size_t nprocs = procs.length();
+    if (nprocs == 0 || n % nprocs == 0) return;
+    const std::size_t chunk = (n + nprocs - 1) / nprocs;
+    const std::size_t busy = (n + chunk - 1) / chunk;  // ranks owning data
+    std::string message =
+        "extent " + std::to_string(n) + " of '" + id +
+        "' does not divide over " + std::to_string(nprocs) +
+        " processors (blocks of " + std::to_string(chunk) + ", last block " +
+        std::to_string(n - chunk * (busy - 1)) + ")";
+    if (busy < nprocs) {
+      message += "; " + std::to_string(nprocs - busy) +
+                 " processor(s) own no elements at all";
+    }
+    sink.report(Severity::kWarning, kRuleLoadImbalance, message, pos,
+                "choose an extent or processor count with " +
+                    std::to_string(nprocs) + " | " + std::to_string(n));
+  }
+};
+
+// ---- structural verification -----------------------------------------
+
+void verify_statement(const SourceProgram& program, const Statement& statement,
+                      DiagnosticSink& sink) {
+  const std::string* array = referenced_array(statement);
+  if (array != nullptr && !program.arrays.contains(*array)) {
+    sink.report(Severity::kError, kRuleUnknownArray,
+                "unknown array '" + *array + "'", statement_pos(statement));
+    return;
+  }
+  if (const auto* stencil = std::get_if<StencilAssign>(&statement)) {
+    const std::size_t rank = program.array(stencil->array).rank();
+    if (stencil->max_offsets.size() != rank) {
+      sink.report(Severity::kError, kRuleOffsetRank,
+                  "offset rank mismatch for '" + stencil->array + "' (got " +
+                      std::to_string(stencil->max_offsets.size()) +
+                      ", array rank " + std::to_string(rank) + ")",
+                  stencil->pos);
+    }
+  } else if (const auto* redist = std::get_if<Redistribute>(&statement)) {
+    if (redist->to.dims.size() != program.array(redist->array).rank()) {
+      sink.report(Severity::kError, kRuleBadDistribution,
+                  "distribution rank mismatch for '" + redist->array + "'",
+                  redist->pos);
+    }
+    try {
+      (void)redist->to.block_dim();
+    } catch (const std::exception& e) {
+      sink.report(Severity::kError, kRuleBadDistribution, e.what(),
+                  redist->pos);
+    }
+    if (redist->to_processors.length() == 0 ||
+        redist->to_processors.hi >
+            static_cast<std::size_t>(program.processors)) {
+      sink.report(Severity::kError, kRuleBadProcessorRange,
+                  "invalid processor range for redistribute of '" +
+                      redist->array + "'",
+                  redist->pos);
+    }
+  } else if (const auto* bcast = std::get_if<BroadcastStmt>(&statement)) {
+    if (bcast->root < 0 || bcast->root >= program.processors) {
+      sink.report(Severity::kError, kRuleBadRoot,
+                  "broadcast root " + std::to_string(bcast->root) +
+                      " outside processor range",
+                  bcast->pos);
+    }
+  }
+}
+
+}  // namespace
+
+const std::vector<std::unique_ptr<SemaPass>>& sema_passes() {
+  static const std::vector<std::unique_ptr<SemaPass>> passes = [] {
+    std::vector<std::unique_ptr<SemaPass>> p;
+    p.push_back(std::make_unique<HaloOverflowPass>());
+    p.push_back(std::make_unique<DistributionMismatchPass>());
+    p.push_back(std::make_unique<RedundantRedistributePass>());
+    p.push_back(std::make_unique<DeadWritePass>());
+    p.push_back(std::make_unique<HoistableCollectivePass>());
+    p.push_back(std::make_unique<LoadImbalancePass>());
+    return p;
+  }();
+  return passes;
+}
+
+bool verify_structure(const SourceProgram& program, DiagnosticSink& sink) {
+  const std::size_t before = sink.count(Severity::kError);
+  if (program.processors < 1) {
+    sink.report(Severity::kError, kRuleBadProgram, "processors < 1");
+  }
+  for (const auto& [id, decl] : program.arrays) {
+    try {
+      decl.validate();
+    } catch (const std::exception& e) {
+      sink.report(Severity::kError, kRuleBadDeclaration, e.what(), decl.pos);
+      continue;
+    }
+    if (decl.processors.hi > static_cast<std::size_t>(program.processors)) {
+      sink.report(Severity::kError, kRuleBadProcessorRange,
+                  "array '" + id + "' placed outside processor range",
+                  decl.pos);
+    }
+  }
+  if (sink.count(Severity::kError) == before) {
+    for (const Statement& statement : program.body) {
+      verify_statement(program, statement, sink);
+    }
+  }
+  return sink.count(Severity::kError) == before;
+}
+
+bool run_sema(const SourceProgram& program, DiagnosticSink& sink) {
+  const std::size_t before = sink.count(Severity::kError);
+  // Lint passes assume a structurally sound program; do not run them
+  // over one that is not.
+  if (!verify_structure(program, sink)) return false;
+  for (const auto& pass : sema_passes()) {
+    pass->run(program, sink);
+  }
+  return sink.count(Severity::kError) == before;
+}
+
+}  // namespace fxtraf::fxc

@@ -1,0 +1,60 @@
+// Static-analysis pass framework for the Fx front end.
+//
+// Sema runs between parsing and lowering: a structural verification pass
+// first (the checks compile() used to throw for, now reported as
+// diagnostics), then the lint rules over the IR — each tracking how
+// Redistribute statements move arrays, exactly as lowering does.
+//
+// Rules (stable IDs in sema/diagnostics.hpp):
+//   fxc-halo-overflow           stencil offsets reaching past one block
+//                               of the distributed dimension (error: the
+//                               boundary exchange cannot be generated)
+//   fxc-distribution-mismatch   array distributed along a dimension the
+//                               stencil has offsets in, while another
+//                               dimension is offset-free (warning)
+//   fxc-redundant-redistribute  no-op redistributes and adjacent pairs
+//                               that return the array to its original
+//                               distribution (warning)
+//   fxc-dead-write              sequential read filling an array no
+//                               other statement references — dead
+//                               communication (warning)
+//   fxc-hoistable-collective    broadcast/reduce repeating identical
+//                               traffic in a compute-free iterated body
+//                               (warning)
+//   fxc-load-imbalance          processor count not dividing the
+//                               distributed extent (warning)
+#pragma once
+
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "fxc/ir.hpp"
+#include "fxc/sema/diagnostics.hpp"
+
+namespace fxtraf::fxc {
+
+/// One analysis pass over a parsed or IR-built SourceProgram.
+class SemaPass {
+ public:
+  virtual ~SemaPass() = default;
+  [[nodiscard]] virtual std::string_view name() const = 0;
+  virtual void run(const SourceProgram& program,
+                   DiagnosticSink& sink) const = 0;
+};
+
+/// The lint passes, in execution order (structural verification is not
+/// in this list; run_sema performs it first and skips the lints when the
+/// program is not structurally sound).
+[[nodiscard]] const std::vector<std::unique_ptr<SemaPass>>& sema_passes();
+
+/// Structural verification only: everything that must hold for analysis
+/// and lowering to be meaningful (unknown arrays, rank mismatches, bad
+/// ranges...).  Returns true when no error was reported.
+bool verify_structure(const SourceProgram& program, DiagnosticSink& sink);
+
+/// Full sema: structure, then every lint pass.  Returns true when no
+/// error-severity diagnostic was reported (warnings do not fail sema).
+bool run_sema(const SourceProgram& program, DiagnosticSink& sink);
+
+}  // namespace fxtraf::fxc

@@ -1,0 +1,405 @@
+#include "fxc/sema/predictor.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <complex>
+#include <map>
+#include <numbers>
+#include <set>
+
+#include "fxc/sema/passes.hpp"
+
+namespace fxtraf::fxc {
+
+namespace {
+
+/// One burst on the wire: `bytes` spread over [start, start + width).
+struct Pulse {
+  double start = 0.0;
+  double width = 0.0;
+  double bytes = 0.0;
+};
+
+/// Footprint of one PVM message: payload + message header, cut into MSS
+/// segments, each framed, plus the delayed ACKs coming back.  `wire` is
+/// medium occupancy (with preamble and interframe gap); `capture` is
+/// what a packet capture records.
+struct MessageCost {
+  std::size_t wire = 0;
+  std::size_t capture = 0;
+};
+
+MessageCost message_cost(std::size_t payload, const PredictorConfig& config) {
+  const std::size_t stream = payload + config.message_header_bytes;
+  const std::size_t segments = (stream + config.mss - 1) / config.mss;
+  const std::size_t acks =
+      (segments + static_cast<std::size_t>(config.ack_every_segments) - 1) /
+      static_cast<std::size_t>(config.ack_every_segments);
+  MessageCost cost;
+  cost.wire = stream +
+              segments * (config.frame_overhead_bytes +
+                          config.frame_gap_bytes) +
+              acks * config.ack_wire_bytes;
+  cost.capture = stream + segments * config.frame_overhead_bytes +
+                 acks * config.ack_capture_bytes;
+  return cost;
+}
+
+/// Time a matrix exchange occupies the wire.  The shift schedule runs
+/// step s = (dst - src) mod P for every rank at once: within one step
+/// multiple senders keep the medium busy through each other's stalls,
+/// while a single-sender step (partition halves, broadcast roots) is
+/// limited by one TCP stream; each step also pays an unpipelined
+/// turnaround.  (For the reduction's flattened matrix the distinct
+/// shifts are exactly the log2 P tree levels.)
+double exchange_seconds(const CommMatrix& matrix,
+                        const PredictorConfig& config) {
+  const int p = matrix.processors();
+  struct Step {
+    std::size_t wire = 0;
+    std::set<int> senders;
+  };
+  std::map<int, Step> steps;
+  for (int s = 0; s < p; ++s) {
+    for (int d = 0; d < p; ++d) {
+      if (s == d || matrix.at(s, d) == 0) continue;
+      Step& step = steps[(d - s + p) % p];
+      step.wire += message_cost(matrix.at(s, d), config).wire;
+      step.senders.insert(s);
+    }
+  }
+  double seconds = 0.0;
+  for (const auto& [shift, step] : steps) {
+    const double efficiency = step.senders.size() > 1
+                                  ? config.medium_efficiency
+                                  : config.single_stream_efficiency;
+    seconds += static_cast<double>(step.wire) /
+                   (config.wire_bytes_per_s * efficiency) +
+               config.per_message_seconds;
+  }
+  return seconds;
+}
+
+double compute_seconds(double flops, const PredictorConfig& config) {
+  return flops / (config.mflops * 1e6);
+}
+
+/// Smallest period the pulse train repeats with inside one iteration of
+/// length `span`: the largest m such that shifting every pulse by span/m
+/// (cyclically) lands on another pulse of the same size.  2DFFT's two
+/// identical transpose halves give m = 2; SEQ's row-paced bursts give
+/// m = rows; most kernels give m = 1.
+double detect_period(const std::vector<Pulse>& pulses, double span) {
+  if (span <= 0.0) return 0.0;
+  if (pulses.size() < 2) return span;
+
+  // Tolerance matches the harmonic-grouping slack of the measurement
+  // pipeline: AIRSHED's transport and chemistry half-steps differ by a
+  // couple of percent yet the measured spectrum locks to the half-step.
+  const double tol = std::max(span * 0.025, 1e-4);
+  for (std::size_t m = pulses.size(); m >= 2; --m) {
+    const double shift = span / static_cast<double>(m);
+    bool invariant = true;
+    for (const Pulse& p : pulses) {
+      const double target = std::fmod(p.start + shift, span);
+      bool found = false;
+      for (const Pulse& q : pulses) {
+        double delta = std::fmod(std::abs(q.start - target), span);
+        delta = std::min(delta, span - delta);
+        if (delta > tol) continue;
+        if (std::abs(q.width - p.width) >
+            std::max(0.2 * std::max(p.width, q.width), tol)) {
+          continue;
+        }
+        const double big = std::max(p.bytes, q.bytes);
+        if (big > 0.0 && std::abs(q.bytes - p.bytes) > 0.25 * big) continue;
+        found = true;
+        break;
+      }
+      if (!found) {
+        invariant = false;
+        break;
+      }
+    }
+    if (invariant) return shift;
+  }
+  return span;
+}
+
+/// Analytic Fourier coefficients of the rectangular pulse train at the
+/// harmonics of the detected fundamental: for x(t) with period `span`,
+/// c_k = (1/span) * integral of x(t) e^{-i 2 pi k t / span}, and the
+/// one-sided cosine amplitude is 2|c_k|.  Heights are in KiB/s to match
+/// core's bandwidth unit.
+std::vector<core::SpectralComponent> fourier_components(
+    const std::vector<Pulse>& pulses, double span, double period,
+    std::size_t max_components) {
+  std::vector<core::SpectralComponent> components;
+  if (span <= 0.0 || period <= 0.0 || pulses.empty()) return components;
+
+  const int m = std::max(1, static_cast<int>(std::lround(span / period)));
+  for (std::size_t j = 1; j <= max_components; ++j) {
+    const int k = static_cast<int>(j) * m;
+    const double omega = 2.0 * std::numbers::pi * k / span;
+    std::complex<double> ck{0.0, 0.0};
+    for (const Pulse& p : pulses) {
+      if (p.bytes <= 0.0 || p.width <= 0.0) continue;
+      const double height = p.bytes / p.width / 1024.0;  // KiB/s
+      // integral of e^{-i w t} over [s, s+w] = (i/w)(e^{-i w t2}-e^{-i w t1})
+      const std::complex<double> i{0.0, 1.0};
+      const std::complex<double> seg =
+          (i / omega) * (std::exp(-i * omega * (p.start + p.width)) -
+                         std::exp(-i * omega * p.start));
+      ck += height * seg;
+    }
+    ck /= span;
+    core::SpectralComponent c;
+    c.frequency_hz = static_cast<double>(j) / period;
+    c.amplitude_kbs = 2.0 * std::abs(ck);
+    c.phase_rad = std::arg(ck);
+    components.push_back(c);
+  }
+  return components;
+}
+
+/// Rescales a program to run on `processors` ranks, mapping every
+/// processor interval proportionally, so l(P) and b(P) can be re-derived
+/// for QoS negotiation.
+SourceProgram scale_processors(const SourceProgram& program, int processors) {
+  SourceProgram scaled = program;
+  const double ratio = static_cast<double>(processors) /
+                       static_cast<double>(std::max(1, program.processors));
+  auto scale_interval = [&](Interval range) {
+    Interval out;
+    out.lo = static_cast<std::size_t>(
+        std::lround(static_cast<double>(range.lo) * ratio));
+    out.hi = static_cast<std::size_t>(
+        std::lround(static_cast<double>(range.hi) * ratio));
+    out.lo = std::min(out.lo, static_cast<std::size_t>(processors - 1));
+    out.hi = std::clamp(out.hi, out.lo + 1,
+                        static_cast<std::size_t>(processors));
+    return out;
+  };
+  scaled.processors = processors;
+  for (auto& [id, decl] : scaled.arrays) {
+    decl.processors = scale_interval(decl.processors);
+  }
+  for (Statement& statement : scaled.body) {
+    if (auto* redist = std::get_if<Redistribute>(&statement)) {
+      redist->to_processors = scale_interval(redist->to_processors);
+    } else if (auto* bcast = std::get_if<BroadcastStmt>(&statement)) {
+      bcast->root = std::min(bcast->root, processors - 1);
+    }
+  }
+  return scaled;
+}
+
+}  // namespace
+
+TrafficPrediction predict_traffic(const SourceProgram& program,
+                                  const PredictorConfig& config) {
+  DiagnosticSink sink;
+  if (!run_sema(program, sink)) {
+    throw SemaError(sink.diagnostics());
+  }
+
+  TrafficPrediction prediction;
+  prediction.program = program.name;
+  prediction.processors = program.processors;
+  prediction.iterations = program.iterations;
+
+  const std::vector<PhaseAnalysis> analyses = analyze_program(program);
+
+  // Walk the body once, pricing each phase and laying its bursts on a
+  // timeline; Redistribute updates tracked state exactly as lowering does.
+  SourceProgram state = program;
+  std::vector<Pulse> pulses;
+  double now = 0.0;
+  std::size_t max_connection_burst = 0;
+
+  for (std::size_t i = 0; i < program.body.size(); ++i) {
+    const Statement& statement = program.body[i];
+    PhasePrediction phase(program.processors);
+    phase.analysis = analyses[i];
+    phase.start_seconds = now;
+    phase.payload_bytes = phase.analysis.matrix.total_bytes();
+
+    const int p = program.processors;
+    for (int s = 0; s < p; ++s) {
+      for (int d = 0; d < p; ++d) {
+        const std::size_t bytes = phase.analysis.matrix.at(s, d);
+        if (s == d || bytes == 0) continue;
+        max_connection_burst = std::max(max_connection_burst, bytes);
+      }
+    }
+
+    if (const auto* read = std::get_if<SequentialRead>(&statement)) {
+      // Rank 0 reads a row, then fires it at every other owner as tiny
+      // per-element messages, each its own TCP segment (no coalescing:
+      // the stack transmits as soon as the window is open).  Row I/O
+      // paces the bursts; the wire drains in the shadow of the next
+      // row's read, so the row period is the larger of the two, plus
+      // rank 0's per-message send cost.
+      const ArrayDecl& decl = state.array(read->array);
+      const std::size_t rows = decl.extents.front();
+      const std::size_t per_row = decl.total_elements() / rows;
+      std::size_t dests = 0;
+      for (std::size_t q = decl.processors.lo; q < decl.processors.hi; ++q) {
+        dests += (q != 0);
+      }
+      const std::size_t row_segments = per_row * dests;
+      const std::size_t frame = read->element_message_bytes +
+                                config.message_header_bytes +
+                                config.frame_overhead_bytes;
+      const std::size_t row_acks =
+          dests *
+          ((per_row + static_cast<std::size_t>(config.ack_every_segments) -
+            1) /
+           static_cast<std::size_t>(config.ack_every_segments));
+      const std::size_t row_wire =
+          row_segments * (frame + config.frame_gap_bytes) +
+          row_acks * config.ack_wire_bytes;
+      const std::size_t row_capture =
+          row_segments * frame + row_acks * config.ack_capture_bytes;
+      const double row_comm =
+          static_cast<double>(row_wire) /
+          (config.wire_bytes_per_s * config.single_stream_efficiency);
+      const double row_io =
+          read->io_time_per_row.seconds() +
+          static_cast<double>(row_segments) * config.send_overhead_seconds;
+      const double row_slot = std::max(row_io, row_comm);
+
+      phase.messages = static_cast<int>(rows * row_segments);
+      phase.wire_bytes = rows * row_wire;
+      phase.capture_bytes = rows * row_capture;
+      phase.io_seconds = static_cast<double>(rows) * row_io;
+      phase.comm_seconds = static_cast<double>(rows) * row_comm;
+      for (std::size_t row = 0; row < rows; ++row) {
+        if (row_wire > 0) {
+          pulses.push_back({now + row_io, row_comm,
+                            static_cast<double>(row_capture)});
+        }
+        now += row_slot;
+      }
+    } else {
+      // Point-to-point phases: price every nonzero matrix entry as one
+      // message and serialize the schedule steps on the shared wire.
+      std::size_t wire = 0;
+      std::size_t capture = 0;
+      int messages = 0;
+      for (int s = 0; s < p; ++s) {
+        for (int d = 0; d < p; ++d) {
+          const std::size_t bytes = phase.analysis.matrix.at(s, d);
+          if (s == d || bytes == 0) continue;
+          const MessageCost cost = message_cost(bytes, config);
+          wire += cost.wire;
+          capture += cost.capture;
+          ++messages;
+        }
+      }
+      phase.wire_bytes = wire;
+      phase.capture_bytes = capture;
+      phase.messages = messages;
+      phase.compute_seconds =
+          compute_seconds(phase.analysis.flops_per_processor, config);
+      if (wire > 0) {
+        phase.comm_seconds =
+            exchange_seconds(phase.analysis.matrix, config) +
+            static_cast<double>(messages) * config.send_overhead_seconds;
+      }
+
+      // Lowering order: stencils exchange halos before computing; the
+      // reduction computes its local histogram first, then sweeps the
+      // tree; everything else is communicate-only or compute-only.
+      const bool compute_first = std::holds_alternative<Reduction>(statement);
+      if (compute_first) now += phase.compute_seconds;
+      if (phase.comm_seconds > 0.0) {
+        pulses.push_back({now, phase.comm_seconds,
+                          static_cast<double>(phase.capture_bytes)});
+        now += phase.comm_seconds;
+      }
+      if (!compute_first) now += phase.compute_seconds;
+    }
+
+    if (const auto* redist = std::get_if<Redistribute>(&statement)) {
+      ArrayDecl& decl = state.array(redist->array);
+      decl.distribution = redist->to;
+      decl.processors = redist->to_processors;
+    }
+    prediction.bytes_per_iteration += phase.payload_bytes;
+    prediction.phases.push_back(std::move(phase));
+  }
+
+  prediction.iteration_seconds = now;
+  prediction.period_seconds = detect_period(pulses, now);
+  prediction.fundamental_hz = prediction.period_seconds > 0.0
+                                  ? 1.0 / prediction.period_seconds
+                                  : 0.0;
+  prediction.burst_bytes = static_cast<double>(max_connection_burst);
+
+  double busy = 0.0;  // compute + io per iteration
+  double capture_total = 0.0;
+  std::size_t dominant_wire = 0;
+  for (const PhasePrediction& phase : prediction.phases) {
+    busy += phase.compute_seconds + phase.io_seconds;
+    capture_total += static_cast<double>(phase.capture_bytes);
+    if (phase.wire_bytes > dominant_wire) {
+      dominant_wire = phase.wire_bytes;
+      prediction.dominant_shape = phase.analysis.shape;
+    }
+  }
+  const double periods = prediction.period_seconds > 0.0
+                             ? now / prediction.period_seconds
+                             : 1.0;
+  prediction.local_seconds = busy / std::max(1.0, periods);
+  prediction.mean_bandwidth_kbs =
+      now > 0.0 ? capture_total / now / 1024.0 : 0.0;
+  prediction.bandwidth_model = core::FourierTrafficModel::from_components(
+      prediction.mean_bandwidth_kbs,
+      fourier_components(pulses, now, prediction.period_seconds,
+                         config.fourier_components));
+  return prediction;
+}
+
+core::TrafficSpec predicted_spec(const SourceProgram& program,
+                                 const PredictorConfig& config) {
+  const TrafficPrediction base = predict_traffic(program, config);
+
+  core::TrafficSpec spec;
+  switch (base.dominant_shape) {
+    case CommShape::kNeighbor: spec.pattern = fx::PatternKind::kNeighbor; break;
+    case CommShape::kPartition:
+      spec.pattern = fx::PatternKind::kPartition;
+      break;
+    case CommShape::kBroadcast:
+      spec.pattern = fx::PatternKind::kBroadcast;
+      break;
+    case CommShape::kTree: spec.pattern = fx::PatternKind::kTree; break;
+    case CommShape::kNone:
+    case CommShape::kAllToAll:
+    case CommShape::kGeneral: spec.pattern = fx::PatternKind::kAllToAll; break;
+  }
+
+  // A processor count the program cannot run at (halo overflow after
+  // rescaling, say) is priced prohibitively so negotiation avoids it.
+  constexpr double kInfeasible = 1e9;
+  spec.local_seconds = [program, config](int p) {
+    try {
+      return predict_traffic(scale_processors(program, p), config)
+          .local_seconds;
+    } catch (const std::exception&) {
+      return kInfeasible;
+    }
+  };
+  spec.burst_bytes = [program, config](int p) {
+    try {
+      return predict_traffic(scale_processors(program, p), config)
+          .burst_bytes;
+    } catch (const std::exception&) {
+      return kInfeasible;
+    }
+  };
+  return spec;
+}
+
+}  // namespace fxtraf::fxc

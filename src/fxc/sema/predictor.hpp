@@ -1,0 +1,108 @@
+// Compile-time traffic predictor: the paper's QoS negotiation (section
+// 7.3) needs the program's traffic model [l(), b(), c] *before* it runs.
+// This pass derives it straight from the IR — per-phase communication
+// matrices and Figure-1 shapes from the distribution analysis, phase
+// timing from the calibrated machine model, the fundamental period c
+// from the resulting burst train, and a truncated-Fourier bandwidth
+// profile b() — with no event simulation at all.  Tests cross-validate
+// the prediction against the spectra the simulator measures.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "core/fourier_model.hpp"
+#include "core/qos.hpp"
+#include "fxc/analysis.hpp"
+#include "fxc/ir.hpp"
+#include "pvm/message.hpp"
+
+namespace fxtraf::fxc {
+
+/// The machine model the predictor prices phases with.  Defaults mirror
+/// the simulated testbed: 25 MFLOPS Alphas on a 10 Mb/s shared Ethernet
+/// running PVM over the simplified TCP.
+struct PredictorConfig {
+  double mflops = 25.0;              ///< host::WorkstationConfig default
+  double wire_bytes_per_s = 1.25e6;  ///< 10 Mb/s medium
+  /// Fraction of the raw medium rate a schedule step with two or more
+  /// concurrent senders sustains (they keep the wire busy through each
+  /// other's protocol stalls).
+  double medium_efficiency = 0.94;
+  /// A lone TCP stream stalls on its receive window between bursts, so a
+  /// single-sender step utilizes the medium noticeably worse.
+  double single_stream_efficiency = 0.76;
+  std::size_t mss = 1460;                  ///< net::TcpConfig default
+  std::size_t frame_overhead_bytes = 58;   ///< Eth+IP+TCP headers+trailer
+  std::size_t frame_gap_bytes = 20;        ///< preamble + interframe gap
+  std::size_t ack_wire_bytes = 84;         ///< minimum frame + preamble/gap
+  std::size_t ack_capture_bytes = 64;      ///< what a packet capture sees
+  int ack_every_segments = 2;              ///< delayed-ACK policy
+  std::size_t message_header_bytes = pvm::kMessageHeaderBytes;
+  /// Per-schedule-step protocol turnaround not hidden by pipelining.
+  double per_message_seconds = 0.8e-3;
+  /// Sender-side stack cost per message; negligible except for SEQ's
+  /// per-element message storm.
+  double send_overhead_seconds = 38e-6;
+  /// Spikes kept in the truncated-Fourier bandwidth profile.
+  std::size_t fourier_components = 8;
+};
+
+/// One body statement, priced.
+struct PhasePrediction {
+  PhaseAnalysis analysis;       ///< shape + per-pair byte matrix
+  std::size_t payload_bytes = 0;  ///< matrix total (what lowering ships)
+  std::size_t wire_bytes = 0;   ///< + PVM headers, framing, ACKs, gaps
+  /// Bytes a packet capture would record (no preamble / interframe gap);
+  /// this is what measured bandwidth is computed from.
+  std::size_t capture_bytes = 0;
+  int messages = 0;             ///< point-to-point sends in the phase
+  double compute_seconds = 0.0;
+  double comm_seconds = 0.0;    ///< time the phase occupies the wire
+  double io_seconds = 0.0;      ///< SequentialRead row pacing
+  double start_seconds = 0.0;   ///< offset within one iteration
+
+  explicit PhasePrediction(int processors) : analysis(processors) {}
+
+  [[nodiscard]] double total_seconds() const {
+    return compute_seconds + comm_seconds + io_seconds;
+  }
+};
+
+/// The compile-time traffic model of a whole program.
+struct TrafficPrediction {
+  std::string program;
+  int processors = 0;
+  int iterations = 0;
+  std::vector<PhasePrediction> phases;  ///< one per body statement
+
+  /// Payload bytes per iteration; equals CompiledProgram::
+  /// bytes_per_iteration() exactly (both come from analyze_program).
+  std::size_t bytes_per_iteration = 0;
+  double iteration_seconds = 0.0;  ///< one full body execution
+  /// c: the smallest period the burst train repeats with.  Equal to
+  /// iteration_seconds unless the iteration itself is internally
+  /// periodic (2DFFT's two identical transposes, SEQ's row pacing).
+  double period_seconds = 0.0;
+  double fundamental_hz = 0.0;     ///< 1 / period_seconds
+  double local_seconds = 0.0;      ///< l: compute+io per period
+  double burst_bytes = 0.0;        ///< b: largest per-connection burst
+  CommShape dominant_shape = CommShape::kNone;  ///< c's pattern
+  double mean_bandwidth_kbs = 0.0;  ///< KiB/s, core's bandwidth unit
+  /// Truncated-Fourier bandwidth profile at harmonics of 1/c, same
+  /// representation core::FourierTrafficModel fits from measurements.
+  core::FourierTrafficModel bandwidth_model;
+};
+
+/// Derives the traffic model from the IR.  Throws SemaError when the
+/// program is not structurally sound (same gate as compile()).
+[[nodiscard]] TrafficPrediction predict_traffic(
+    const SourceProgram& program, const PredictorConfig& config = {});
+
+/// The [l(), b(), c] characterization for core::negotiate, with l and b
+/// re-derived from the IR at every candidate processor count.
+[[nodiscard]] core::TrafficSpec predicted_spec(
+    const SourceProgram& program, const PredictorConfig& config = {});
+
+}  // namespace fxtraf::fxc

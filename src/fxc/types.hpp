@@ -15,6 +15,16 @@
 
 namespace fxtraf::fxc {
 
+/// Position of a construct in its Fx source text (1-based; 0:0 for
+/// programs built directly in IR form).
+struct SrcPos {
+  int line = 0;
+  int column = 0;
+
+  [[nodiscard]] bool known() const { return line > 0; }
+  friend bool operator==(const SrcPos&, const SrcPos&) = default;
+};
+
 enum class ElemType : std::uint8_t {
   kInteger4,
   kReal4,
@@ -110,6 +120,7 @@ struct ArrayDecl {
   ElemType type = ElemType::kReal8;
   Distribution distribution;
   Interval processors;  ///< half-open rank range holding the array
+  SrcPos pos;           ///< declaration site (0:0 if built in IR form)
 
   [[nodiscard]] std::size_t rank() const { return extents.size(); }
   [[nodiscard]] std::size_t total_elements() const {

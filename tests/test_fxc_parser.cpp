@@ -157,6 +157,85 @@ TEST(ParserTest, SourceProgramRunsEndToEnd) {
   EXPECT_GT(testbed.capture().size(), 500u);
 }
 
+/// Rule ID and position of the ParseError a source snippet raises.
+Diagnostic failure_of(const char* source) {
+  try {
+    (void)parse_source(source);
+  } catch (const ParseError& e) {
+    return e.diagnostic();
+  }
+  ADD_FAILURE() << "expected a ParseError for:\n" << source;
+  return {};
+}
+
+TEST(ParserDiagnosticsTest, ErrorsCarryStableRuleIds) {
+  EXPECT_EQ(failure_of("program p processors 4\nfrobnicate").rule,
+            kRuleUnknownStatement);
+  EXPECT_EQ(failure_of("program p processors 4\n"
+                       "stencil u offsets (1, 1)")
+                .rule,
+            kRuleUnknownArray);
+  EXPECT_EQ(failure_of("program p processors 4\n"
+                       "array a real8 (8, 8) distribute (block, block)")
+                .rule,
+            kRuleBadDistribution);
+  EXPECT_EQ(failure_of("program p processors 4\n"
+                       "array a quux (8, 8) distribute (block, *)")
+                .rule,
+            kRuleBadDeclaration);
+  EXPECT_EQ(failure_of("program p processors 4\n"
+                       "array a real8 (8, 8) distribute (block, *) on 2..9")
+                .rule,
+            kRuleBadProcessorRange);
+  EXPECT_EQ(failure_of("program p processors 4\n"
+                       "array a real8 (8, 8) distribute (block, *)\n"
+                       "array a real8 (8, 8) distribute (block, *)")
+                .rule,
+            kRuleDuplicateArray);
+  EXPECT_EQ(failure_of("program p processors 4\n"
+                       "array a real8 (8, 8) distribute (block, *)\n"
+                       "stencil a offsets (1)")
+                .rule,
+            kRuleOffsetRank);
+  EXPECT_EQ(failure_of("program p processors 4\nbroadcast root 9").rule,
+            kRuleBadRoot);
+  EXPECT_EQ(failure_of("program p\nprocessors oops").rule, kRuleSyntax);
+}
+
+TEST(ParserDiagnosticsTest, ErrorsCarrySourcePositions) {
+  const Diagnostic unknown = failure_of(
+      "program p\nprocessors 4\n  frobnicate");
+  EXPECT_EQ(unknown.severity, Severity::kError);
+  EXPECT_EQ(unknown.pos.line, 3);
+  EXPECT_EQ(unknown.pos.column, 3);
+
+  const Diagnostic dup = failure_of(
+      "program p processors 4\n"
+      "array a real8 (8, 8) distribute (block, *)\n"
+      "array a real8 (8, 8) distribute (block, *)");
+  EXPECT_EQ(dup.pos.line, 3);
+
+  // The legacy what() text still carries line:column for old callers.
+  try {
+    (void)parse_source("program p\nprocessors 4\nfrobnicate");
+    FAIL();
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find(":3:"), std::string::npos);
+  }
+}
+
+TEST(ParserDiagnosticsTest, StatementsRecordPositions) {
+  const SourceProgram program = parse_source(
+      "program p\nprocessors 4\n"
+      "array a real8 (8, 8) distribute (block, *)\n"
+      "local 1e6\n"
+      "redistribute a (*, block)\n");
+  EXPECT_EQ(program.array("a").pos.line, 3);
+  ASSERT_EQ(program.body.size(), 2u);
+  EXPECT_EQ(statement_pos(program.body[0]).line, 4);
+  EXPECT_EQ(statement_pos(program.body[1]).line, 5);
+}
+
 TEST(ParserTest, SemanticErrorsCarryPositions) {
   EXPECT_THROW((void)parse_source("processors 4"), std::runtime_error);
   EXPECT_THROW((void)parse_source("program p processors 4 stencil u "

@@ -1,0 +1,200 @@
+// Tests for the compile-time traffic predictor: exact agreement with
+// lowering on per-phase bytes, period detection, and cross-validation of
+// the predicted fundamental and mean bandwidth against what the
+// simulator actually measures for the paper's kernels.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "apps/source_registry.hpp"
+#include "apps/testbed.hpp"
+#include "core/characterization.hpp"
+#include "core/qos.hpp"
+#include "fx/runtime.hpp"
+#include "fxc/lower.hpp"
+#include "fxc/parser.hpp"
+#include "fxc/sema/predictor.hpp"
+
+namespace fxtraf::fxc {
+namespace {
+
+SourceProgram kernel_program(const char* name) {
+  const auto kernel = apps::source_kernel_by_name(name);
+  EXPECT_TRUE(kernel.has_value()) << name;
+  return parse_source(kernel->source);
+}
+
+TEST(PredictorTest, PhaseBytesMatchLoweringExactly) {
+  for (const apps::SourceKernel& kernel : apps::source_kernels()) {
+    const SourceProgram program = parse_source(kernel.source);
+    const CompiledProgram compiled = compile(program);
+    const TrafficPrediction prediction = predict_traffic(program);
+
+    EXPECT_EQ(prediction.bytes_per_iteration, compiled.bytes_per_iteration())
+        << kernel.name;
+    ASSERT_EQ(prediction.phases.size(), compiled.phases.size())
+        << kernel.name;
+    for (std::size_t i = 0; i < prediction.phases.size(); ++i) {
+      EXPECT_EQ(prediction.phases[i].payload_bytes,
+                compiled.phases[i].analysis.matrix.total_bytes())
+          << kernel.name << " phase " << i;
+      EXPECT_EQ(prediction.phases[i].analysis.shape,
+                compiled.phases[i].analysis.shape)
+          << kernel.name << " phase " << i;
+    }
+  }
+}
+
+TEST(PredictorTest, DominantShapesMatchFigureOne) {
+  const struct {
+    const char* kernel;
+    CommShape shape;
+  } expected[] = {
+      {"sor", CommShape::kNeighbor},   {"fft2d", CommShape::kAllToAll},
+      {"t2dfft", CommShape::kPartition}, {"seq", CommShape::kBroadcast},
+      {"hist", CommShape::kTree},      {"airshed", CommShape::kAllToAll},
+  };
+  for (const auto& e : expected) {
+    const TrafficPrediction prediction =
+        predict_traffic(kernel_program(e.kernel));
+    EXPECT_EQ(prediction.dominant_shape, e.shape) << e.kernel;
+  }
+}
+
+TEST(PredictorTest, FftPeriodIsHalfTheIteration) {
+  // The 2DFFT body is two identical local+transpose halves, so the burst
+  // train repeats at twice the iteration rate.
+  const TrafficPrediction p = predict_traffic(kernel_program("fft2d"));
+  EXPECT_NEAR(p.period_seconds * 2.0, p.iteration_seconds,
+              1e-9 * p.iteration_seconds);
+}
+
+TEST(PredictorTest, SeqPeriodLocksToRowRate) {
+  // SEQ's fundamental is the row I/O pacing, not the iteration period:
+  // 24 row bursts per iteration.
+  const SourceProgram program = kernel_program("seq");
+  const TrafficPrediction p = predict_traffic(program);
+  const double rows =
+      static_cast<double>(program.array("c").extents.front());
+  EXPECT_NEAR(p.period_seconds * rows, p.iteration_seconds,
+              1e-9 * p.iteration_seconds);
+  // Row I/O is 60 ms, so the fundamental sits just under 1/60ms.
+  EXPECT_GT(p.fundamental_hz, 12.0);
+  EXPECT_LT(p.fundamental_hz, 1.0 / 0.060 + 0.1);
+}
+
+TEST(PredictorTest, SorPeriodIsTheWholeIteration) {
+  const TrafficPrediction p = predict_traffic(kernel_program("sor"));
+  EXPECT_NEAR(p.period_seconds, p.iteration_seconds,
+              1e-9 * p.iteration_seconds);
+}
+
+TEST(PredictorTest, FourierModelIsConsistent) {
+  const TrafficPrediction p = predict_traffic(kernel_program("fft2d"));
+  EXPECT_DOUBLE_EQ(p.bandwidth_model.mean_kbs(), p.mean_bandwidth_kbs);
+  ASSERT_EQ(p.bandwidth_model.components().size(), 8u);
+  // Components sit at harmonics of the fundamental.
+  for (std::size_t j = 0; j < p.bandwidth_model.components().size(); ++j) {
+    EXPECT_NEAR(p.bandwidth_model.components()[j].frequency_hz,
+                static_cast<double>(j + 1) * p.fundamental_hz,
+                1e-9 * p.fundamental_hz);
+  }
+  // The series integrates back to its mean over one period.
+  const std::size_t samples = 2048;
+  double sum = 0.0;
+  for (std::size_t i = 0; i < samples; ++i) {
+    sum += p.bandwidth_model.evaluate(p.period_seconds *
+                                      static_cast<double>(i) /
+                                      static_cast<double>(samples));
+  }
+  EXPECT_NEAR(sum / static_cast<double>(samples), p.mean_bandwidth_kbs,
+              0.02 * p.mean_bandwidth_kbs + 0.5);
+}
+
+TEST(PredictorTest, StructurallyBadProgramThrows) {
+  SourceProgram program;
+  program.name = "bad";
+  program.processors = 4;
+  program.body.push_back(StencilAssign{"ghost", {1, 1}, 5.0});
+  EXPECT_THROW((void)predict_traffic(program), SemaError);
+}
+
+TEST(PredictedSpecTest, PatternsAndFeasibility) {
+  EXPECT_EQ(predicted_spec(kernel_program("sor")).pattern,
+            fx::PatternKind::kNeighbor);
+  EXPECT_EQ(predicted_spec(kernel_program("hist")).pattern,
+            fx::PatternKind::kTree);
+
+  // A small stencil array stops scaling once blocks shrink below the
+  // halo; the spec prices such processor counts prohibitively.
+  const SourceProgram tiny = parse_source(
+      "program tiny\nprocessors 2\n"
+      "array u real4 (8, 8) distribute (block, *)\n"
+      "stencil u offsets (2, 0) flops 100\n");
+  const core::TrafficSpec spec = predicted_spec(tiny);
+  EXPECT_LT(spec.local_seconds(2), 1e6);   // feasible: block 4 > halo 2
+  EXPECT_GE(spec.local_seconds(8), 1e6);   // block 1 <= halo 2
+}
+
+TEST(PredictedSpecTest, NegotiatesOverProcessors) {
+  const core::TrafficSpec spec = predicted_spec(kernel_program("fft2d"));
+  core::NetworkState network;
+  network.min_processors = 2;
+  network.max_processors = 16;
+  const core::NegotiationResult result = core::negotiate(spec, network);
+  EXPECT_GE(result.best.processors, 2);
+  EXPECT_LE(result.best.processors, 16);
+  EXPECT_GT(result.best.burst_interval_seconds, 0.0);
+  EXPECT_EQ(result.sweep.size(), 15u);
+}
+
+// ---- cross-validation against the simulator ---------------------------
+
+struct MeasuredTraffic {
+  double dominant_peak_hz = 0.0;
+  double mean_kbs = 0.0;
+};
+
+MeasuredTraffic measure(const CompiledProgram& compiled) {
+  sim::Simulator simulator(321);
+  apps::TestbedConfig config;
+  config.pvm.keepalives_enabled = false;
+  apps::Testbed testbed(simulator, config);
+  testbed.start();
+  fx::run_program(testbed.vm(), compiled.executable);
+  const auto c = core::characterize(testbed.capture().view());
+  MeasuredTraffic measured;
+  measured.mean_kbs = c.avg_bandwidth_kbs;
+  double max_power = 0.0;
+  for (const auto& peak : c.peaks) {
+    if (peak.power > max_power) {
+      max_power = peak.power;
+      measured.dominant_peak_hz = peak.frequency_hz;
+    }
+  }
+  return measured;
+}
+
+TEST(PredictorValidationTest, FundamentalWithinTenPercentOfMeasured) {
+  for (const apps::SourceKernel& kernel : apps::source_kernels()) {
+    const SourceProgram program = parse_source(kernel.source);
+    const TrafficPrediction prediction = predict_traffic(program);
+    const MeasuredTraffic measured = measure(compile(program));
+
+    ASSERT_GT(measured.dominant_peak_hz, 0.0) << kernel.name;
+    // Predicted period c (equivalently the fundamental) vs the strongest
+    // spike of the simulator-measured spectrum.
+    EXPECT_NEAR(prediction.fundamental_hz, measured.dominant_peak_hz,
+                0.10 * measured.dominant_peak_hz)
+        << kernel.name << ": predicted " << prediction.fundamental_hz
+        << " Hz, measured " << measured.dominant_peak_hz << " Hz";
+    // The analytic mean bandwidth tracks the measured lifetime average.
+    EXPECT_NEAR(prediction.mean_bandwidth_kbs, measured.mean_kbs,
+                0.15 * measured.mean_kbs)
+        << kernel.name << ": predicted " << prediction.mean_bandwidth_kbs
+        << " KB/s, measured " << measured.mean_kbs << " KB/s";
+  }
+}
+
+}  // namespace
+}  // namespace fxtraf::fxc

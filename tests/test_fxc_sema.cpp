@@ -1,0 +1,277 @@
+// Tests for the sema diagnostics engine and every lint pass: each rule
+// has a positive case (fires) and a negative case (stays silent).
+#include <gtest/gtest.h>
+
+#include "apps/source_registry.hpp"
+#include "fxc/lower.hpp"
+#include "fxc/parser.hpp"
+#include "fxc/sema/passes.hpp"
+
+namespace fxtraf::fxc {
+namespace {
+
+DiagnosticSink lint(const char* source) {
+  DiagnosticSink sink;
+  const auto program = parse_source(source, sink);
+  EXPECT_TRUE(program.has_value()) << sink.render_all();
+  if (program) run_sema(*program, sink);
+  return sink;
+}
+
+TEST(DiagnosticsTest, RenderCarriesEverything) {
+  const Diagnostic d{Severity::kWarning, kRuleLoadImbalance, "uneven blocks",
+                     SrcPos{3, 7}, "use 4 processors"};
+  const std::string text = render(d);
+  EXPECT_NE(text.find("fx source:3:7"), std::string::npos);
+  EXPECT_NE(text.find("warning"), std::string::npos);
+  EXPECT_NE(text.find("uneven blocks"), std::string::npos);
+  EXPECT_NE(text.find("[fxc-load-imbalance]"), std::string::npos);
+  EXPECT_NE(text.find("fixit: use 4 processors"), std::string::npos);
+}
+
+TEST(DiagnosticsTest, RenderOmitsUnknownPosition) {
+  const Diagnostic d{Severity::kError, kRuleBadProgram, "boom", SrcPos{}, ""};
+  EXPECT_EQ(render(d).find(":0:0"), std::string::npos);
+}
+
+TEST(DiagnosticsTest, SinkCountsAndFinds) {
+  DiagnosticSink sink;
+  EXPECT_TRUE(sink.empty());
+  sink.report(Severity::kWarning, kRuleDeadWrite, "w");
+  sink.report(Severity::kError, kRuleHaloOverflow, "e", SrcPos{2, 1});
+  EXPECT_EQ(sink.count(Severity::kWarning), 1u);
+  EXPECT_EQ(sink.count(Severity::kError), 1u);
+  EXPECT_TRUE(sink.has_errors());
+  ASSERT_NE(sink.find(kRuleHaloOverflow), nullptr);
+  EXPECT_EQ(sink.find(kRuleHaloOverflow)->pos.line, 2);
+  EXPECT_EQ(sink.find("no-such-rule"), nullptr);
+}
+
+TEST(SemaPassTest, PassesHaveNames) {
+  for (const auto& pass : sema_passes()) {
+    EXPECT_FALSE(pass->name().empty());
+  }
+  EXPECT_GE(sema_passes().size(), 6u);
+}
+
+// --- fxc-halo-overflow ------------------------------------------------
+
+TEST(SemaPassTest, HaloOverflowFires) {
+  // Block size is 16/8 = 2; offset 3 cannot be served from one neighbor.
+  const auto sink = lint(
+      "program p\nprocessors 8\n"
+      "array u real4 (16, 16) distribute (block, *)\n"
+      "stencil u offsets (3, 0)\n");
+  ASSERT_NE(sink.find(kRuleHaloOverflow), nullptr);
+  EXPECT_EQ(sink.find(kRuleHaloOverflow)->severity, Severity::kError);
+  EXPECT_EQ(sink.find(kRuleHaloOverflow)->pos.line, 4);
+  EXPECT_TRUE(sink.has_errors());
+}
+
+TEST(SemaPassTest, HaloWithinBlockIsSilent) {
+  const auto sink = lint(
+      "program p\nprocessors 8\n"
+      "array u real4 (16, 16) distribute (block, *)\n"
+      "stencil u offsets (1, 0)\n");
+  EXPECT_EQ(sink.find(kRuleHaloOverflow), nullptr);
+}
+
+TEST(SemaPassTest, HaloOverflowTracksRedistribution) {
+  // Fine under (block, *) on 2 procs (block 8 > 2); after redistributing
+  // to 8-way blocks of 2 the same stencil overflows.
+  const auto sink = lint(
+      "program p\nprocessors 8\n"
+      "array u real4 (16, 16) distribute (block, *) on 0..2\n"
+      "stencil u offsets (2, 0)\n"
+      "redistribute u (block, *) on 0..8\n"
+      "stencil u offsets (2, 0)\n");
+  ASSERT_NE(sink.find(kRuleHaloOverflow), nullptr);
+  EXPECT_EQ(sink.find(kRuleHaloOverflow)->pos.line, 6);
+}
+
+// --- fxc-distribution-mismatch ----------------------------------------
+
+TEST(SemaPassTest, DistributionMismatchFires) {
+  // All offsets along the distributed rows; columns are offset-free.
+  const auto sink = lint(
+      "program p\nprocessors 4\n"
+      "array u real4 (64, 64) distribute (block, *)\n"
+      "stencil u offsets (2, 0)\n");
+  ASSERT_NE(sink.find(kRuleDistributionMismatch), nullptr);
+  EXPECT_EQ(sink.find(kRuleDistributionMismatch)->severity,
+            Severity::kWarning);
+  EXPECT_FALSE(sink.find(kRuleDistributionMismatch)->fixit.empty());
+  EXPECT_FALSE(sink.has_errors());
+}
+
+TEST(SemaPassTest, BalancedStencilIsSilent) {
+  const auto sink = lint(
+      "program p\nprocessors 4\n"
+      "array u real4 (64, 64) distribute (block, *)\n"
+      "stencil u offsets (1, 1)\n");
+  EXPECT_EQ(sink.find(kRuleDistributionMismatch), nullptr);
+}
+
+// --- fxc-redundant-redistribute ---------------------------------------
+
+TEST(SemaPassTest, NoOpRedistributeFires) {
+  const auto sink = lint(
+      "program p\nprocessors 4\n"
+      "array a real8 (64, 64) distribute (block, *)\n"
+      "redistribute a (block, *)\n");
+  ASSERT_NE(sink.find(kRuleRedundantRedistribute), nullptr);
+  EXPECT_EQ(sink.find(kRuleRedundantRedistribute)->pos.line, 4);
+}
+
+TEST(SemaPassTest, AdjacentRoundTripFires) {
+  const auto sink = lint(
+      "program p\nprocessors 4\n"
+      "array a real8 (64, 64) distribute (block, *)\n"
+      "redistribute a (*, block)\n"
+      "redistribute a (block, *)\n");
+  EXPECT_NE(sink.find(kRuleRedundantRedistribute), nullptr);
+}
+
+TEST(SemaPassTest, RedistributeWithUseBetweenIsSilent) {
+  const auto sink = lint(
+      "program p\nprocessors 4\n"
+      "array a real8 (64, 64) distribute (block, *)\n"
+      "redistribute a (*, block)\n"
+      "local 1e6\n"
+      "redistribute a (block, *)\n");
+  EXPECT_EQ(sink.find(kRuleRedundantRedistribute), nullptr);
+}
+
+// --- fxc-dead-write ---------------------------------------------------
+
+TEST(SemaPassTest, DeadWriteFires) {
+  const auto sink = lint(
+      "program p\nprocessors 4\n"
+      "array c real4 (8, 8) distribute (block, *)\n"
+      "read c element 4 row_io 10ms\n"
+      "local 1e6\n");
+  ASSERT_NE(sink.find(kRuleDeadWrite), nullptr);
+  EXPECT_EQ(sink.find(kRuleDeadWrite)->severity, Severity::kWarning);
+}
+
+TEST(SemaPassTest, ConsumedReadIsSilent) {
+  const auto sink = lint(
+      "program p\nprocessors 4\n"
+      "array c real4 (8, 8) distribute (block, *)\n"
+      "read c element 4 row_io 10ms\n"
+      "stencil c offsets (1, 1)\n");
+  EXPECT_EQ(sink.find(kRuleDeadWrite), nullptr);
+}
+
+// --- fxc-hoistable-collective -----------------------------------------
+
+TEST(SemaPassTest, HoistableCollectiveFires) {
+  const auto sink = lint(
+      "program p\nprocessors 4\niterations 10\n"
+      "broadcast bytes 2048 root 0\n");
+  ASSERT_NE(sink.find(kRuleHoistableCollective), nullptr);
+  EXPECT_EQ(sink.find(kRuleHoistableCollective)->severity,
+            Severity::kWarning);
+}
+
+TEST(SemaPassTest, CollectiveWithComputeIsSilent) {
+  const auto sink = lint(
+      "program p\nprocessors 4\niterations 10\n"
+      "local 5e6\n"
+      "broadcast bytes 2048 root 0\n");
+  EXPECT_EQ(sink.find(kRuleHoistableCollective), nullptr);
+}
+
+TEST(SemaPassTest, SingleIterationCollectiveIsSilent) {
+  const auto sink = lint(
+      "program p\nprocessors 4\niterations 1\n"
+      "broadcast bytes 2048 root 0\n");
+  EXPECT_EQ(sink.find(kRuleHoistableCollective), nullptr);
+}
+
+// --- fxc-load-imbalance -----------------------------------------------
+
+TEST(SemaPassTest, LoadImbalanceFires) {
+  // 100 rows over 8 processors: blocks of 13, last rank gets 9.
+  const auto sink = lint(
+      "program p\nprocessors 8\n"
+      "array u real4 (100, 16) distribute (block, *)\n"
+      "stencil u offsets (1, 1)\n");
+  ASSERT_NE(sink.find(kRuleLoadImbalance), nullptr);
+  EXPECT_EQ(sink.find(kRuleLoadImbalance)->severity, Severity::kWarning);
+}
+
+TEST(SemaPassTest, DivisibleExtentIsSilent) {
+  const auto sink = lint(
+      "program p\nprocessors 8\n"
+      "array u real4 (64, 16) distribute (block, *)\n"
+      "stencil u offsets (1, 1)\n");
+  EXPECT_EQ(sink.find(kRuleLoadImbalance), nullptr);
+}
+
+// --- structural gate ---------------------------------------------------
+
+TEST(SemaGateTest, CompileThrowsSemaErrorWithDiagnostics) {
+  SourceProgram program = parse_source(
+      "program p\nprocessors 8\n"
+      "array u real4 (16, 16) distribute (block, *)\n"
+      "stencil u offsets (3, 0)\n");
+  try {
+    (void)compile(program);
+    FAIL() << "halo overflow must fail compilation";
+  } catch (const SemaError& e) {
+    ASSERT_FALSE(e.diagnostics().empty());
+    EXPECT_EQ(e.diagnostics().front().rule, kRuleHaloOverflow);
+    EXPECT_NE(std::string(e.what()).find(kRuleHaloOverflow),
+              std::string::npos);
+  }
+}
+
+TEST(SemaGateTest, SemaErrorIsInvalidArgument) {
+  // Pre-sema callers catch std::invalid_argument; keep that contract.
+  SourceProgram program = parse_source(
+      "program p\nprocessors 8\n"
+      "array u real4 (16, 16) distribute (block, *)\n"
+      "stencil u offsets (3, 0)\n");
+  EXPECT_THROW((void)compile(program), std::invalid_argument);
+}
+
+TEST(SemaGateTest, StructuralErrorsSkipLints) {
+  // IR-built program with a statement referencing an unknown array: the
+  // structural pass reports it and the lint passes do not run (they
+  // would index the missing declaration).
+  SourceProgram program;
+  program.name = "p";
+  program.processors = 4;
+  program.body.push_back(StencilAssign{"ghost", {1, 1}, 5.0});
+  DiagnosticSink sink;
+  EXPECT_FALSE(run_sema(program, sink));
+  ASSERT_NE(sink.find(kRuleUnknownArray), nullptr);
+  EXPECT_TRUE(sink.has_errors());
+}
+
+TEST(SemaGateTest, RegistryKernelsHaveNoErrors) {
+  for (const apps::SourceKernel& kernel : apps::source_kernels()) {
+    DiagnosticSink sink;
+    const auto program = parse_source(kernel.source, sink);
+    ASSERT_TRUE(program.has_value()) << kernel.name;
+    run_sema(*program, sink);
+    EXPECT_FALSE(sink.has_errors())
+        << kernel.name << ":\n"
+        << sink.render_all();
+  }
+}
+
+// --- parse_source sink overload ---------------------------------------
+
+TEST(ParseSinkTest, ParseFailureLandsInSink) {
+  DiagnosticSink sink;
+  const auto program = parse_source("program p\nprocessors 4\nfrobnicate\n",
+                                    sink);
+  EXPECT_FALSE(program.has_value());
+  ASSERT_NE(sink.find(kRuleUnknownStatement), nullptr);
+  EXPECT_EQ(sink.find(kRuleUnknownStatement)->pos.line, 3);
+}
+
+}  // namespace
+}  // namespace fxtraf::fxc
