@@ -16,6 +16,7 @@
 #include "apps/sor.hpp"
 #include "apps/testbed.hpp"
 #include "apps/tfft2d.hpp"
+#include "apps/trial.hpp"
 #include "core/characterization.hpp"
 #include "core/packet_stats.hpp"
 #include "fx/runtime.hpp"
@@ -59,15 +60,18 @@ inline KernelRun run_program(const std::string& name,
                              const apps::TestbedConfig& config,
                              const RunOptions& options,
                              std::optional<std::pair<int, int>> conn_pair) {
-  sim::Simulator simulator(options.seed);
-  apps::Testbed testbed(simulator, config);
-  testbed.start();
-  const sim::SimTime end = fx::run_program(testbed.vm(), program);
+  apps::TrialScenario scenario;
+  scenario.kernel = name;
+  scenario.seed = options.seed;
+  scenario.testbed = config;
+  scenario.workstations = config.workstations;
+  scenario.make_program = [program] { return program; };
+  apps::TrialRun trial = apps::run_trial(scenario);
 
   KernelRun run;
   run.name = name;
-  run.aggregate = testbed.capture().packets();
-  run.sim_seconds = end.seconds();
+  run.aggregate = std::move(trial.packets);
+  run.sim_seconds = trial.sim_seconds;
   if (conn_pair) {
     run.conn = trace::connection(run.aggregate,
                                  static_cast<net::HostId>(conn_pair->first),

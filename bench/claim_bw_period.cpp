@@ -1,53 +1,76 @@
 // Headline claim: "bandwidth dependent periodicity" — the burst interval
 // t_bi = W/P + N/B depends on the bandwidth the network can provide.
 // Two sweeps on 2DFFT: (a) cross-traffic load shrinking the available
-// bandwidth B; (b) processor count P.  Each measured interval is compared
-// with the section-7.3 analytic model.
-#include "bench_common.hpp"
+// bandwidth B; (b) processor count P.  Both sweeps run as multi-seed
+// campaigns through the parallel engine, so every reported interval
+// carries a cross-seed mean +/- stddev, and each measured point is
+// compared with the section-7.3 analytic model.
+#include <cstdio>
+#include <vector>
+
+#include "apps/fft2d.hpp"
+#include "campaign/engine.hpp"
 #include "core/qos.hpp"
-#include "host/cross_traffic.hpp"
 
 namespace {
 
 using namespace fxtraf;
 
-struct Measured {
-  double period_s = 0.0;
-  double bandwidth_kbs = 0.0;
-};
+constexpr int kIterations = 20;
+constexpr std::size_t kSeedsPerPoint = 3;
 
-Measured run_fft(int processors, double cross_rate_bytes_per_s,
-                 std::uint64_t seed) {
-  sim::Simulator simulator(seed);
-  apps::TestbedConfig config;
-  // One extra workstation acts as the office cross-traffic source.
-  config.workstations = processors + 1;
-  config.pvm.keepalives_enabled = false;
-  apps::Testbed testbed(simulator, config);
-  testbed.start();
+campaign::TrialSpec fft_point(int processors, double cross_rate_bytes_per_s,
+                              const char* label) {
+  campaign::TrialSpec spec;
+  spec.label = label;
+  spec.scenario.kernel = "2dfft";
+  spec.scenario.cross_traffic_bytes_per_s = cross_rate_bytes_per_s;
+  // Match the original single-trial bench: P workstations plus the
+  // cross-traffic source host (the factory adds it), no keepalives.
+  spec.scenario.workstations = processors;
+  spec.scenario.testbed.pvm.keepalives_enabled = false;
+  spec.scenario.make_program = [processors] {
+    apps::Fft2dParams params;
+    params.processors = processors;
+    params.n = 512;
+    params.iterations = kIterations;
+    params.flops_per_phase = 9.0e6 * 4.0 / processors;  // fixed total work
+    return apps::make_fft2d(params);
+  };
+  return spec;
+}
 
-  host::CrossTrafficConfig cross;
-  cross.model = host::CrossTrafficConfig::Model::kCbr;
-  cross.rate_bytes_per_s =
-      cross_rate_bytes_per_s > 0 ? cross_rate_bytes_per_s : 1.0;
-  cross.packet_payload_bytes = 1024;
-  cross.destination = 0;
-  host::CrossTrafficSource source(testbed.workstation(processors), cross);
-  if (cross_rate_bytes_per_s > 0) source.start();
+void analyze_period(const campaign::TrialSpec&, const apps::TrialRun& run,
+                    std::map<std::string, double>& metrics) {
+  metrics["period_s"] = run.sim_seconds / kIterations;
+}
 
-  apps::Fft2dParams params;
-  params.processors = processors;
-  params.n = 512;
-  params.iterations = 20;
-  params.flops_per_phase = 9.0e6 * 4.0 / processors;  // fixed total work
-  const sim::SimTime end =
-      fx::run_program(testbed.vm(), apps::make_fft2d(params));
-
-  Measured m;
-  m.period_s = end.seconds() / params.iterations;
-  m.bandwidth_kbs =
-      core::average_bandwidth_kbs(testbed.capture().view());
-  return m;
+/// Runs every point x seed through one campaign and returns, per point,
+/// the aggregate over its seeds of `metric`.
+std::vector<campaign::MetricAggregate> sweep(
+    const std::vector<campaign::TrialSpec>& points, const char* metric,
+    std::uint64_t master_seed) {
+  std::vector<campaign::TrialSpec> specs;
+  for (const auto& point : points) {
+    for (const auto& seeded :
+         campaign::seed_sweep(point, kSeedsPerPoint, master_seed)) {
+      specs.push_back(seeded);
+    }
+  }
+  campaign::CampaignOptions options;
+  options.characterize = false;  // only the period is needed
+  const auto result =
+      campaign::run_campaign(specs, options, analyze_period);
+  std::vector<campaign::MetricAggregate> aggregates;
+  for (std::size_t p = 0; p < points.size(); ++p) {
+    std::vector<double> values;
+    for (std::size_t s = 0; s < kSeedsPerPoint; ++s) {
+      const auto& trial = result.trials[p * kSeedsPerPoint + s];
+      if (trial.ok) values.push_back(trial.metric(metric));
+    }
+    aggregates.push_back(campaign::aggregate(values));
+  }
+  return aggregates;
 }
 
 }  // namespace
@@ -55,42 +78,52 @@ Measured run_fft(int processors, double cross_rate_bytes_per_s,
 int main() {
   std::printf("==================================================\n");
   std::printf("Bandwidth-dependent periodicity of 2DFFT\n"
-              "  (headline claim + section 7.3 model check)\n");
+              "  (headline claim + section 7.3 model check;\n"
+              "   %zu seeds per point via the campaign engine)\n",
+              kSeedsPerPoint);
   std::printf("==================================================\n");
 
   std::printf("\n-- sweep (a): cross-traffic load at P=4 --\n");
-  std::printf("%16s %16s %18s\n", "cross (KB/s)", "period (s)",
-              "vs unloaded");
-  double base_period = 0.0;
-  for (double rate : {0.0, 100e3, 300e3, 600e3, 900e3}) {
-    const Measured m = run_fft(4, rate, 77);
-    if (rate == 0.0) base_period = m.period_s;
-    std::printf("%16.0f %16.3f %17.2fx\n", rate / 1024.0, m.period_s,
-                m.period_s / base_period);
+  std::printf("%16s %16s %12s %14s\n", "cross (KB/s)", "period (s)",
+              "+/- sd", "vs unloaded");
+  const double rates[] = {0.0, 100e3, 300e3, 600e3, 900e3};
+  std::vector<campaign::TrialSpec> load_points;
+  for (double rate : rates) load_points.push_back(fft_point(4, rate, "load"));
+  const auto load = sweep(load_points, "period_s", 77);
+  const double base_period = load[0].stats.mean;
+  for (std::size_t i = 0; i < load.size(); ++i) {
+    std::printf("%16.0f %16.3f %12.3f %13.2fx\n", rates[i] / 1024.0,
+                load[i].stats.mean, load[i].sample_stddev,
+                load[i].stats.mean / base_period);
   }
   std::printf("expectation: the burst interval stretches as cross traffic "
               "commits the medium (B falls, N/B grows).\n");
 
   std::printf("\n-- sweep (b): processor count, fixed problem --\n");
   const double total_work_s = 2.0 * 9.0e6 * 4.0 / 25e6;  // both phases, P=1x4
-  const auto spec = fxtraf::core::TrafficSpec::perfectly_parallel(
-      fxtraf::fx::PatternKind::kAllToAll, total_work_s,
+  const auto spec = core::TrafficSpec::perfectly_parallel(
+      fx::PatternKind::kAllToAll, total_work_s,
       [](int p) { return 512.0 * 512.0 * 8.0 / (p * p) + 32.0; });
   // The paper's t_bi covers one burst per connection; a 2DFFT iteration
   // runs P-1 shift steps, so the comparable iteration interval is
   // l(P) + (P-1) * N/B.
-  std::printf("%6s %16s %22s\n", "P", "measured (s)",
+  const int processor_counts[] = {2, 4, 8};
+  std::vector<campaign::TrialSpec> p_points;
+  for (int p : processor_counts) p_points.push_back(fft_point(p, 0.0, "P"));
+  const auto measured = sweep(p_points, "period_s", 78);
+  std::printf("%6s %16s %12s %22s\n", "P", "measured (s)", "+/- sd",
               "model l+(P-1)N/B (s)");
-  for (int p : {2, 4, 8}) {
-    const Measured m = run_fft(p, 0.0, 78);
-    fxtraf::core::NetworkState network;
+  for (std::size_t i = 0; i < measured.size(); ++i) {
+    const int p = processor_counts[i];
+    core::NetworkState network;
     network.min_processors = p;
     network.max_processors = p;
-    const auto negotiated = fxtraf::core::negotiate(spec, network);
+    const auto negotiated = core::negotiate(spec, network);
     const double model_iteration =
         negotiated.best.local_seconds +
         (p - 1) * negotiated.best.burst_seconds;
-    std::printf("%6d %16.3f %22.3f\n", p, m.period_s, model_iteration);
+    std::printf("%6d %16.3f %12.3f %22.3f\n", p, measured[i].stats.mean,
+                measured[i].sample_stddev, model_iteration);
   }
   std::printf("expectation: the model tracks the simulation's trend — the "
               "period is set jointly by P (compute share) and by the "

@@ -1,0 +1,117 @@
+// Multi-trial campaign sweep CLI: fans kernel x P x seed trials across a
+// thread pool, prints the aggregated statistics, optionally emits the
+// machine-readable JSON report, and can verify the parallel run against
+// a serial replay (bitwise per-trial capture digests).
+//
+//   campaign_sweep --kernel=2dfft --trials=16 --scale=0.5 --json=out.json
+//   campaign_sweep --kernel=sor --p=8 --trials=8 --threads=4 --serial-check
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "campaign/engine.hpp"
+#include "campaign/report.hpp"
+
+namespace {
+
+struct Cli {
+  std::string kernel = "2dfft";
+  std::size_t trials = 8;
+  unsigned threads = 0;  // hardware concurrency
+  double scale = 1.0;
+  int processors = 0;  // kernel default
+  std::uint64_t master_seed = 1;
+  double cross_kbs = 0.0;
+  std::string json_path;
+  bool serial_check = false;
+};
+
+bool parse(int argc, char** argv, Cli& cli) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto val = [&](const char* prefix) -> const char* {
+      const std::size_t n = std::strlen(prefix);
+      return arg.rfind(prefix, 0) == 0 ? arg.c_str() + n : nullptr;
+    };
+    if (const char* v = val("--kernel=")) {
+      cli.kernel = v;
+    } else if (const char* v = val("--trials=")) {
+      cli.trials = std::stoul(v);
+    } else if (const char* v = val("--threads=")) {
+      cli.threads = static_cast<unsigned>(std::stoul(v));
+    } else if (const char* v = val("--scale=")) {
+      cli.scale = std::stod(v);
+    } else if (const char* v = val("--p=")) {
+      cli.processors = std::stoi(v);
+    } else if (const char* v = val("--master-seed=")) {
+      cli.master_seed = std::stoull(v);
+    } else if (const char* v = val("--cross-kbs=")) {
+      cli.cross_kbs = std::stod(v);
+    } else if (const char* v = val("--json=")) {
+      cli.json_path = v;
+    } else if (arg == "--serial-check") {
+      cli.serial_check = true;
+    } else {
+      std::fprintf(stderr, "unknown argument: %s\n", arg.c_str());
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace fxtraf;
+  Cli cli;
+  if (!parse(argc, argv, cli)) return 2;
+
+  campaign::TrialSpec base;
+  base.scenario.kernel = cli.kernel;
+  base.scenario.scale = cli.scale;
+  base.scenario.processors = cli.processors;
+  base.scenario.cross_traffic_bytes_per_s = cli.cross_kbs * 1024.0;
+  base.label = cli.kernel;
+  const auto specs =
+      campaign::seed_sweep(base, cli.trials, cli.master_seed);
+
+  campaign::CampaignOptions options;
+  options.threads = cli.threads;
+  const auto result = campaign::run_campaign(specs, options);
+
+  std::printf("campaign: %s x %zu seeds (scale %.2f)\n", cli.kernel.c_str(),
+              cli.trials, cli.scale);
+  campaign::write_table(std::cout, result);
+
+  if (!cli.json_path.empty()) {
+    std::ofstream out(cli.json_path);
+    if (!out) {
+      std::fprintf(stderr, "cannot write %s\n", cli.json_path.c_str());
+      return 1;
+    }
+    campaign::write_json(out, result, cli.kernel + " seed sweep");
+    std::printf("JSON report written to %s\n", cli.json_path.c_str());
+  }
+
+  if (cli.serial_check) {
+    campaign::CampaignOptions serial = options;
+    serial.threads = 1;
+    const auto baseline = campaign::run_campaign(specs, serial);
+    bool identical = baseline.trials.size() == result.trials.size();
+    for (std::size_t i = 0; identical && i < result.trials.size(); ++i) {
+      identical = result.trials[i].digest == baseline.trials[i].digest;
+    }
+    std::printf("serial replay: %s, %.2f s wall vs %.2f s parallel "
+                "(speedup %.2fx on %u threads)\n",
+                identical ? "digests identical" : "DIGESTS DIFFER",
+                baseline.wall_seconds, result.wall_seconds,
+                result.wall_seconds > 0
+                    ? baseline.wall_seconds / result.wall_seconds
+                    : 0.0,
+                result.threads_used);
+    if (!identical) return 1;
+  }
+  return result.failures == 0 ? 0 : 1;
+}

@@ -1,0 +1,69 @@
+#include "apps/trial.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+#include "apps/registry.hpp"
+
+namespace fxtraf::apps {
+
+Trial::Trial(const TrialScenario& scenario) {
+  TestbedConfig config = scenario.testbed;
+  if (scenario.make_program) {
+    program_ = scenario.make_program();
+    kernel_ = scenario.kernel;
+  } else {
+    auto entry = kernel_by_name(scenario.kernel, scenario.scale);
+    if (!entry) {
+      throw std::invalid_argument("unknown kernel: " + scenario.kernel);
+    }
+    program_ = std::move(entry->program);
+    config.pvm.assembly = entry->assembly;
+    kernel_ = entry->name;
+  }
+  if (scenario.processors > 0) program_.processors = scenario.processors;
+
+  const bool cross = scenario.cross_traffic_bytes_per_s > 0;
+  config.workstations = scenario.workstations > 0 ? scenario.workstations
+                                                  : program_.processors;
+  if (cross) ++config.workstations;
+  if (config.workstations < program_.processors) {
+    throw std::invalid_argument("trial: fewer workstations than processors");
+  }
+
+  simulator_ = std::make_unique<sim::Simulator>(scenario.seed);
+  testbed_ = std::make_unique<Testbed>(*simulator_, config);
+  if (cross) {
+    host::CrossTrafficConfig load;
+    load.model = host::CrossTrafficConfig::Model::kCbr;
+    load.rate_bytes_per_s = scenario.cross_traffic_bytes_per_s;
+    load.packet_payload_bytes = scenario.cross_traffic_payload_bytes;
+    load.destination = 0;
+    cross_ = std::make_unique<host::CrossTrafficSource>(
+        testbed_->workstation(config.workstations - 1), load);
+  }
+}
+
+Trial::~Trial() = default;
+
+sim::SimTime Trial::run() {
+  testbed_->start();
+  if (cross_) cross_->start();
+  return fx::run_program(testbed_->vm(), program_);
+}
+
+TrialRun Trial::finish() {
+  const sim::SimTime end = run();
+  TrialRun result;
+  result.kernel = kernel_;
+  result.packets = testbed_->capture().packets();
+  result.sim_seconds = end.seconds();
+  result.events_executed = simulator_->events_executed();
+  return result;
+}
+
+TrialRun run_trial(const TrialScenario& scenario) {
+  return Trial(scenario).finish();
+}
+
+}  // namespace fxtraf::apps

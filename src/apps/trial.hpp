@@ -1,0 +1,90 @@
+// The reusable per-trial factory: one fully isolated simulation run.
+//
+// A `Trial` owns its own `Simulator`, testbed (hosts, segment, PVM), an
+// optional cross-traffic source, and the promiscuous capture — nothing
+// is shared between two Trial instances, so trials may be constructed
+// and run concurrently on different threads (the campaign engine's
+// shared-nothing contract).  `run_trial` is the one-shot convenience
+// used by benches and the campaign engine; callers needing mid-run
+// access (taps, per-host stats) build a `Trial` directly.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "apps/testbed.hpp"
+#include "fx/runtime.hpp"
+#include "host/cross_traffic.hpp"
+#include "trace/record.hpp"
+
+namespace fxtraf::apps {
+
+struct TrialScenario {
+  /// Kernel registry key ("sor", "2dfft", ...).  When `make_program` is
+  /// set this is only a display label.
+  std::string kernel = "2dfft";
+  /// Registry iteration scaling (1.0 = paper run lengths).
+  double scale = 1.0;
+  /// Overrides the program's processor count; 0 keeps the kernel default.
+  int processors = 0;
+  /// Workstations on the segment; 0 = exactly the processors the program
+  /// uses (+1 when cross traffic is enabled).
+  int workstations = 0;
+  std::uint64_t seed = 1;
+  /// Host / PVM knobs.  `testbed.workstations` is ignored — the count is
+  /// derived as above — and when the program comes from the registry its
+  /// preferred assembly mode wins over `testbed.pvm.assembly`.
+  TestbedConfig testbed;
+  /// When > 0, one extra workstation runs a CBR UDP source at this rate
+  /// toward host 0 (the claim_bw_period load model).
+  double cross_traffic_bytes_per_s = 0.0;
+  std::size_t cross_traffic_payload_bytes = 1024;
+  /// Custom program factory.  Must be thread-safe (capture parameters by
+  /// value); it is invoked once, inside the trial's own thread.
+  std::function<fx::FxProgram()> make_program;
+};
+
+/// Plain-data outcome of a finished trial.
+struct TrialRun {
+  std::string kernel;
+  std::vector<trace::PacketRecord> packets;
+  double sim_seconds = 0.0;
+  std::uint64_t events_executed = 0;
+};
+
+class Trial {
+ public:
+  /// Builds the whole environment; throws std::invalid_argument for an
+  /// unknown kernel and propagates anything the program factory throws.
+  explicit Trial(const TrialScenario& scenario);
+  ~Trial();
+
+  Trial(const Trial&) = delete;
+  Trial& operator=(const Trial&) = delete;
+
+  [[nodiscard]] sim::Simulator& simulator() { return *simulator_; }
+  [[nodiscard]] Testbed& testbed() { return *testbed_; }
+  [[nodiscard]] const fx::FxProgram& program() const { return program_; }
+
+  /// Starts services and runs the program to completion (throws on
+  /// deadlock or rank failure).  Returns the program finish time.
+  sim::SimTime run();
+
+  /// run() + capture extraction in one step.
+  [[nodiscard]] TrialRun finish();
+
+ private:
+  std::unique_ptr<sim::Simulator> simulator_;
+  std::unique_ptr<Testbed> testbed_;
+  std::unique_ptr<host::CrossTrafficSource> cross_;
+  fx::FxProgram program_;
+  std::string kernel_;
+};
+
+/// One-shot: build, run, and tear down a trial, returning its capture.
+[[nodiscard]] TrialRun run_trial(const TrialScenario& scenario);
+
+}  // namespace fxtraf::apps

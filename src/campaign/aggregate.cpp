@@ -1,0 +1,46 @@
+#include "campaign/aggregate.hpp"
+
+#include <cmath>
+#include <vector>
+
+namespace fxtraf::campaign {
+
+double student_t_975(std::size_t dof) {
+  // Two-sided 95% (upper 97.5% point), df = 1..30.
+  static constexpr double kTable[] = {
+      12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228,
+      2.201,  2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086,
+      2.080,  2.074, 2.069, 2.064, 2.060, 2.056, 2.052, 2.048, 2.045, 2.042};
+  if (dof == 0) return 0.0;
+  if (dof <= 30) return kTable[dof - 1];
+  return 1.959964;  // normal asymptote
+}
+
+MetricAggregate aggregate(std::span<const double> values) {
+  MetricAggregate agg;
+  core::Welford w;
+  for (double v : values) w.add(v);
+  agg.stats = w.summary();
+  const std::size_t n = agg.stats.count;
+  if (n > 1) {
+    // Summary carries the population stddev; rescale to the sample one.
+    const double nd = static_cast<double>(n);
+    agg.sample_stddev = agg.stats.stddev * std::sqrt(nd / (nd - 1.0));
+    agg.ci95_half_width =
+        student_t_975(n - 1) * agg.sample_stddev / std::sqrt(nd);
+  }
+  return agg;
+}
+
+std::map<std::string, MetricAggregate> aggregate_metrics(
+    std::span<const std::map<std::string, double>> rows) {
+  std::map<std::string, std::vector<double>> columns;
+  for (const auto& row : rows) {
+    for (const auto& [key, value] : row) columns[key].push_back(value);
+  }
+  std::map<std::string, MetricAggregate> out;
+  for (const auto& [key, values] : columns) out[key] = aggregate(values);
+  return out;
+}
+
+}  // namespace fxtraf::campaign

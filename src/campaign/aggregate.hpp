@@ -1,0 +1,36 @@
+// Cross-trial aggregation: mean / stddev / 95% confidence intervals.
+//
+// Campaign metrics are aggregated per key over the successful trials.
+// The confidence interval uses the Student-t quantile for the actual
+// sample size (trial counts are routinely 3-30, where the normal 1.96
+// understates the interval badly).
+#pragma once
+
+#include <map>
+#include <span>
+#include <string>
+
+#include "core/stats.hpp"
+
+namespace fxtraf::campaign {
+
+struct MetricAggregate {
+  core::Summary stats;            ///< min/max/mean + population stddev
+  double sample_stddev = 0.0;     ///< sqrt(sum (x-mean)^2 / (n-1))
+  double ci95_half_width = 0.0;   ///< t_{n-1,0.975} * sample_stddev/sqrt(n)
+};
+
+/// Two-sided 97.5% Student-t quantile for `dof` degrees of freedom
+/// (exact table through 30, normal asymptote beyond; 0 dof yields 0).
+[[nodiscard]] double student_t_975(std::size_t dof);
+
+/// Aggregates one metric over trial values.  Empty input yields zeros;
+/// a single value yields its mean with a zero-width interval.
+[[nodiscard]] MetricAggregate aggregate(std::span<const double> values);
+
+/// Per-key aggregation over rows of named metrics (rows from failed
+/// trials are expected to be filtered out by the caller).
+[[nodiscard]] std::map<std::string, MetricAggregate> aggregate_metrics(
+    std::span<const std::map<std::string, double>> rows);
+
+}  // namespace fxtraf::campaign

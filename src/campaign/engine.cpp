@@ -1,0 +1,130 @@
+#include "campaign/engine.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <exception>
+#include <thread>
+
+#include "campaign/seed.hpp"
+#include "core/characterization.hpp"
+#include "core/packet_stats.hpp"
+
+namespace fxtraf::campaign {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+TrialResult run_one(const TrialSpec& spec, std::size_t index,
+                    const CampaignOptions& options,
+                    const TrialAnalyzer& analyzer) {
+  TrialResult result;
+  result.index = index;
+  result.label = spec.label.empty() ? spec.scenario.kernel : spec.label;
+  result.seed = spec.scenario.seed;
+  const auto start = Clock::now();
+  try {
+    const apps::TrialRun run = apps::run_trial(spec.scenario);
+    result.digest = trace::digest_of(run.packets);
+    result.metrics["sim_seconds"] = run.sim_seconds;
+    result.metrics["packets"] =
+        static_cast<double>(result.digest.packet_count);
+    result.metrics["total_bytes"] =
+        static_cast<double>(result.digest.total_bytes);
+    result.metrics["avg_bandwidth_kbs"] =
+        core::average_bandwidth_kbs(run.packets);
+    if (options.characterize && !run.packets.empty()) {
+      const core::TrafficCharacterization c = core::characterize(run.packets);
+      result.metrics["mean_packet_bytes"] = c.packet_size.mean;
+      result.metrics["mean_interarrival_ms"] = c.interarrival_ms.mean;
+      result.metrics["fundamental_hz"] = c.fundamental.frequency_hz;
+      result.metrics["harmonic_power"] =
+          c.fundamental.harmonic_power_fraction;
+    }
+    if (analyzer) analyzer(spec, run, result.metrics);
+    result.ok = true;
+  } catch (const std::exception& e) {
+    result.ok = false;
+    result.error = e.what();
+    result.metrics.clear();
+  } catch (...) {
+    result.ok = false;
+    result.error = "unknown exception";
+    result.metrics.clear();
+  }
+  result.wall_seconds = seconds_since(start);
+  return result;
+}
+
+}  // namespace
+
+CampaignResult run_campaign(const std::vector<TrialSpec>& specs,
+                            const CampaignOptions& options,
+                            const TrialAnalyzer& analyzer) {
+  CampaignResult campaign;
+  campaign.trials.resize(specs.size());
+
+  unsigned threads = options.threads;
+  if (threads == 0) {
+    threads = std::thread::hardware_concurrency();
+    if (threads == 0) threads = 1;
+  }
+  if (threads > specs.size()) {
+    threads = specs.empty() ? 1 : static_cast<unsigned>(specs.size());
+  }
+  campaign.threads_used = threads;
+
+  const auto start = Clock::now();
+  // Claim trials off a shared atomic index; each result is written into
+  // its own pre-sized slot, so workers never touch common state.
+  std::atomic<std::size_t> next{0};
+  auto worker = [&] {
+    for (;;) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= specs.size()) return;
+      campaign.trials[i] = run_one(specs[i], i, options, analyzer);
+    }
+  };
+  if (threads <= 1) {
+    worker();
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(threads);
+    for (unsigned t = 0; t < threads; ++t) pool.emplace_back(worker);
+    for (std::thread& t : pool) t.join();
+  }
+  campaign.wall_seconds = seconds_since(start);
+
+  std::vector<std::map<std::string, double>> rows;
+  rows.reserve(campaign.trials.size());
+  for (const TrialResult& trial : campaign.trials) {
+    if (trial.ok) {
+      rows.push_back(trial.metrics);
+    } else {
+      ++campaign.failures;
+    }
+  }
+  campaign.metrics = aggregate_metrics(rows);
+  return campaign;
+}
+
+std::vector<TrialSpec> seed_sweep(const TrialSpec& base, std::size_t trials,
+                                  std::uint64_t master_seed) {
+  std::vector<TrialSpec> specs;
+  specs.reserve(trials);
+  for (std::size_t i = 0; i < trials; ++i) {
+    TrialSpec spec = base;
+    spec.scenario.seed = split_seed(master_seed, i);
+    const std::string stem =
+        base.label.empty() ? base.scenario.kernel : base.label;
+    spec.label = stem + "/seed=" + std::to_string(spec.scenario.seed);
+    specs.push_back(std::move(spec));
+  }
+  return specs;
+}
+
+}  // namespace fxtraf::campaign

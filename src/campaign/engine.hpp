@@ -1,0 +1,92 @@
+// The parallel multi-trial campaign engine.
+//
+// A campaign is a list of independent trials (kernel x P x seed x
+// configuration overrides).  The engine fans them across a std::thread
+// pool; each trial builds its own `apps::Trial` (simulator, hosts,
+// capture — shared-nothing, see apps/trial.hpp), so the only
+// synchronization is the atomic work-queue index and the join.  Results
+// land in spec order regardless of scheduling, and every trial's seed is
+// fixed in its spec before dispatch, so a parallel campaign is
+// bit-identical (per-trial capture digests) to a serial replay of the
+// same specs — the determinism tests assert exactly this.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "apps/trial.hpp"
+#include "campaign/aggregate.hpp"
+#include "trace/digest.hpp"
+
+namespace fxtraf::campaign {
+
+struct TrialSpec {
+  std::string label;  ///< e.g. "2dfft/P4/seed=7"; defaults to the kernel
+  apps::TrialScenario scenario;
+};
+
+/// Computes extra named metrics from a finished trial's capture (called
+/// on the worker thread; must be thread-safe and must not touch shared
+/// mutable state).
+using TrialAnalyzer = std::function<void(
+    const TrialSpec&, const apps::TrialRun&, std::map<std::string, double>&)>;
+
+struct TrialResult {
+  std::size_t index = 0;  ///< position in the spec list
+  std::string label;
+  std::uint64_t seed = 0;
+  bool ok = false;
+  std::string error;  ///< exception text when !ok
+  trace::TraceDigest digest;
+  double wall_seconds = 0.0;
+  /// Standard metrics ("sim_seconds", "packets", "total_bytes",
+  /// "avg_bandwidth_kbs", "mean_packet_bytes", "mean_interarrival_ms",
+  /// "fundamental_hz", "harmonic_power") plus analyzer extras.
+  std::map<std::string, double> metrics;
+
+  [[nodiscard]] double metric(const std::string& key) const {
+    auto it = metrics.find(key);
+    return it == metrics.end() ? 0.0 : it->second;
+  }
+};
+
+struct CampaignOptions {
+  /// Worker threads; 0 = std::thread::hardware_concurrency().  1 runs
+  /// everything inline on the calling thread (the serial baseline).
+  unsigned threads = 0;
+  /// Run the spectral characterization per trial (fundamental frequency
+  /// and harmonic power metrics); disable for digest-only campaigns.
+  bool characterize = true;
+};
+
+struct CampaignResult {
+  std::vector<TrialResult> trials;  ///< spec order
+  std::map<std::string, MetricAggregate> metrics;  ///< over ok trials
+  std::size_t failures = 0;
+  unsigned threads_used = 0;
+  double wall_seconds = 0.0;
+
+  [[nodiscard]] const MetricAggregate& metric(const std::string& key) const {
+    static const MetricAggregate kEmpty{};
+    auto it = metrics.find(key);
+    return it == metrics.end() ? kEmpty : it->second;
+  }
+};
+
+/// Runs every spec (possibly in parallel) and aggregates the metrics of
+/// the successful trials.  A trial that throws is reported failed in its
+/// slot and never poisons the aggregate or the other trials.
+[[nodiscard]] CampaignResult run_campaign(
+    const std::vector<TrialSpec>& specs, const CampaignOptions& options = {},
+    const TrialAnalyzer& analyzer = nullptr);
+
+/// Expands `base` into `trials` specs whose seeds are split_seed(master,
+/// i) and whose labels carry the seed, ready for run_campaign.
+[[nodiscard]] std::vector<TrialSpec> seed_sweep(const TrialSpec& base,
+                                                std::size_t trials,
+                                                std::uint64_t master_seed);
+
+}  // namespace fxtraf::campaign

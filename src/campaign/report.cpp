@@ -1,0 +1,94 @@
+#include "campaign/report.hpp"
+
+#include <cstdio>
+#include <ostream>
+#include <sstream>
+
+#include "core/json.hpp"
+
+namespace fxtraf::campaign {
+
+void write_json(std::ostream& out, const CampaignResult& campaign,
+                const std::string& title) {
+  core::JsonWriter json(out);
+  json.begin_object();
+  json.field("title", title);
+  json.field("trials", campaign.trials.size());
+  json.field("failures", campaign.failures);
+  json.field("threads", static_cast<std::uint64_t>(campaign.threads_used));
+  json.field("wall_seconds", campaign.wall_seconds);
+
+  json.key("results").begin_array();
+  for (const TrialResult& trial : campaign.trials) {
+    json.begin_object();
+    json.field("index", trial.index);
+    json.field("label", trial.label);
+    json.field("seed", trial.seed);
+    json.field("ok", trial.ok);
+    if (!trial.ok) json.field("error", trial.error);
+    json.key("digest").begin_object();
+    json.field("packets", trial.digest.packet_count)
+        .field("bytes", trial.digest.total_bytes);
+    char hash[20];
+    std::snprintf(hash, sizeof hash, "%016llx",
+                  static_cast<unsigned long long>(trial.digest.fnv1a));
+    json.field("fnv1a", hash);
+    json.end_object();
+    json.field("wall_seconds", trial.wall_seconds);
+    json.key("metrics").begin_object();
+    for (const auto& [key, value] : trial.metrics) json.field(key, value);
+    json.end_object();
+    json.end_object();
+  }
+  json.end_array();
+
+  json.key("aggregate").begin_object();
+  for (const auto& [key, agg] : campaign.metrics) {
+    json.key(key).begin_object();
+    json.field("mean", agg.stats.mean)
+        .field("stddev", agg.sample_stddev)
+        .field("ci95", agg.ci95_half_width)
+        .field("min", agg.stats.min)
+        .field("max", agg.stats.max)
+        .field("n", agg.stats.count);
+    json.end_object();
+  }
+  json.end_object();
+  json.end_object();
+  out << '\n';
+}
+
+std::string json_string(const CampaignResult& campaign,
+                        const std::string& title) {
+  std::ostringstream out;
+  write_json(out, campaign, title);
+  return out.str();
+}
+
+void write_table(std::ostream& out, const CampaignResult& campaign) {
+  char line[160];
+  std::snprintf(line, sizeof line,
+                "%zu trials, %zu failed, %u threads, %.2f s wall\n",
+                campaign.trials.size(), campaign.failures,
+                campaign.threads_used, campaign.wall_seconds);
+  out << line;
+  std::snprintf(line, sizeof line, "%-22s %12s %12s %12s %12s %12s %5s\n",
+                "metric", "mean", "stddev", "ci95", "min", "max", "n");
+  out << line;
+  for (const auto& [key, agg] : campaign.metrics) {
+    std::snprintf(line, sizeof line,
+                  "%-22s %12.4g %12.4g %12.4g %12.4g %12.4g %5zu\n",
+                  key.c_str(), agg.stats.mean, agg.sample_stddev,
+                  agg.ci95_half_width, agg.stats.min, agg.stats.max,
+                  agg.stats.count);
+    out << line;
+  }
+  for (const TrialResult& trial : campaign.trials) {
+    if (trial.ok) continue;
+    std::snprintf(line, sizeof line, "FAILED %s: %s\n", trial.label.c_str(),
+                  trial.error.c_str());
+    out << line;
+  }
+}
+
+}  // namespace fxtraf::campaign

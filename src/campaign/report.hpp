@@ -1,0 +1,25 @@
+// Campaign result reporting: a machine-readable JSON document and a
+// human-readable summary table, both fed by the same CampaignResult.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "campaign/engine.hpp"
+
+namespace fxtraf::campaign {
+
+/// One JSON object: campaign header (threads, wall time, failures),
+/// per-trial rows (label, seed, digest, metrics, error) and the
+/// aggregated mean/stddev/CI per metric.
+void write_json(std::ostream& out, const CampaignResult& campaign,
+                const std::string& title);
+
+[[nodiscard]] std::string json_string(const CampaignResult& campaign,
+                                      const std::string& title);
+
+/// Aggregate table ("metric  mean  stddev  ci95  min  max  n") plus a
+/// one-line entry per failed trial.
+void write_table(std::ostream& out, const CampaignResult& campaign);
+
+}  // namespace fxtraf::campaign

@@ -1,0 +1,59 @@
+// A small streaming JSON writer for machine-readable reports.
+//
+// Well-formed output by construction: the writer tracks the container
+// stack and inserts commas, and every number is rendered in a
+// locale-independent way (NaN/inf degrade to null, which strict JSON
+// requires).  This is deliberately a writer only — the repo emits
+// reports for external tooling and never needs to parse JSON back.
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace fxtraf::core {
+
+/// Escapes `s` for inclusion inside a JSON string literal (no quotes).
+[[nodiscard]] std::string json_escape(std::string_view s);
+
+class JsonWriter {
+ public:
+  explicit JsonWriter(std::ostream& out) : out_(out) {}
+
+  JsonWriter(const JsonWriter&) = delete;
+  JsonWriter& operator=(const JsonWriter&) = delete;
+
+  JsonWriter& begin_object();
+  JsonWriter& end_object();
+  JsonWriter& begin_array();
+  JsonWriter& end_array();
+
+  /// Emits an object key; the next value/begin_* call is its value.
+  JsonWriter& key(std::string_view name);
+
+  JsonWriter& value(std::string_view s);
+  JsonWriter& value(const char* s) { return value(std::string_view(s)); }
+  JsonWriter& value(double v);
+  JsonWriter& value(std::int64_t v);
+  JsonWriter& value(std::uint64_t v);
+  JsonWriter& value(int v) { return value(static_cast<std::int64_t>(v)); }
+  JsonWriter& value(bool v);
+
+  /// key + value in one call, for the common object-field case.
+  template <typename T>
+  JsonWriter& field(std::string_view name, T v) {
+    key(name);
+    return value(v);
+  }
+
+ private:
+  void separate();  // comma/newline bookkeeping before a new element
+
+  std::ostream& out_;
+  std::vector<bool> has_elements_;  // per open container
+  bool pending_key_ = false;
+};
+
+}  // namespace fxtraf::core

@@ -6,6 +6,7 @@
 #include <sstream>
 
 #include "core/burst_model.hpp"
+#include "core/json.hpp"
 
 namespace fxtraf::core {
 
@@ -96,6 +97,85 @@ std::string report_string(trace::TraceView packets, const std::string& title,
   std::ostringstream out;
   write_report(out, packets, title, options);
   return out.str();
+}
+
+namespace {
+
+void summary_json(JsonWriter& json, const char* name, const Summary& s) {
+  json.key(name).begin_object();
+  json.field("min", s.min)
+      .field("max", s.max)
+      .field("mean", s.mean)
+      .field("stddev", s.stddev)
+      .field("count", s.count);
+  json.end_object();
+}
+
+void characterization_json(JsonWriter& json, trace::TraceView packets,
+                           const ReportOptions& options) {
+  const TrafficCharacterization c =
+      characterize(packets, options.characterization);
+  json.field("packets", packets.size());
+  json.field("span_s", trace::span_of(packets).seconds());
+  json.field("total_bytes", trace::total_bytes(packets));
+  summary_json(json, "packet_size_bytes", c.packet_size);
+  json.key("modes").begin_array();
+  for (const SizeMode& m : c.modes) {
+    json.begin_object()
+        .field("bytes", static_cast<std::uint64_t>(m.representative_bytes))
+        .field("share", m.share)
+        .end_object();
+  }
+  json.end_array();
+  summary_json(json, "interarrival_ms", c.interarrival_ms);
+  json.field("avg_bandwidth_kbs", c.avg_bandwidth_kbs);
+  json.key("fundamental").begin_object();
+  json.field("frequency_hz", c.fundamental.frequency_hz)
+      .field("harmonic_power_fraction",
+             c.fundamental.harmonic_power_fraction);
+  json.end_object();
+  json.key("peaks_hz").begin_array();
+  for (std::size_t i = 0; i < std::min(options.max_peaks, c.peaks.size());
+       ++i) {
+    json.value(c.peaks[i].frequency_hz);
+  }
+  json.end_array();
+}
+
+}  // namespace
+
+void write_json_report(std::ostream& out, trace::TraceView packets,
+                       const std::string& title,
+                       const ReportOptions& options) {
+  JsonWriter json(out);
+  json.begin_object();
+  json.field("title", title);
+  if (packets.empty()) {
+    json.field("packets", std::uint64_t{0});
+    json.end_object();
+    return;
+  }
+  characterization_json(json, packets, options);
+
+  if (options.per_connection) {
+    std::map<std::pair<net::HostId, net::HostId>,
+             std::vector<trace::PacketRecord>>
+        flows;
+    for (const trace::PacketRecord& p : packets) {
+      flows[{p.src, p.dst}].push_back(p);
+    }
+    json.key("connections").begin_array();
+    for (const auto& [pair, flow] : flows) {
+      if (flow.size() < options.min_connection_packets) continue;
+      json.begin_object();
+      json.field("src", static_cast<std::uint64_t>(pair.first));
+      json.field("dst", static_cast<std::uint64_t>(pair.second));
+      characterization_json(json, flow, options);
+      json.end_object();
+    }
+    json.end_array();
+  }
+  json.end_object();
 }
 
 }  // namespace fxtraf::core

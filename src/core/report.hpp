@@ -31,4 +31,10 @@ void write_report(std::ostream& out, trace::TraceView packets,
                                         const std::string& title,
                                         const ReportOptions& options = {});
 
+/// The same characterization as one JSON object, for machine consumption
+/// (campaign reports and external plotting embed these verbatim).
+void write_json_report(std::ostream& out, trace::TraceView packets,
+                       const std::string& title,
+                       const ReportOptions& options = {});
+
 }  // namespace fxtraf::core

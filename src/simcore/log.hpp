@@ -2,8 +2,15 @@
 //
 // Off by default; experiments enable it with `Logger::set_level`.  All
 // output goes to stderr so trace/table output on stdout stays parseable.
+//
+// The level is the only process-wide state the simulator core keeps, and
+// the campaign engine runs many `Simulator` instances on different
+// threads, so it is atomic: concurrent set_level/log calls are races on
+// nothing.  (Interleaved *lines* from concurrent trials are accepted —
+// diagnostics only, never measurement output.)
 #pragma once
 
+#include <atomic>
 #include <cstdio>
 #include <string>
 
@@ -15,20 +22,22 @@ enum class LogLevel { kOff = 0, kError, kWarn, kInfo, kDebug, kTrace };
 
 class Logger {
  public:
-  static LogLevel level() { return level_; }
-  static void set_level(LogLevel lvl) { level_ = lvl; }
+  static LogLevel level() { return level_.load(std::memory_order_relaxed); }
+  static void set_level(LogLevel lvl) {
+    level_.store(lvl, std::memory_order_relaxed);
+  }
 
   template <typename... Args>
   static void log(LogLevel lvl, SimTime t, const char* subsystem,
                   const char* fmt, Args... args) {
-    if (lvl > level_) return;
+    if (lvl > level()) return;
     std::fprintf(stderr, "[%14.6f] %-8s ", t.seconds(), subsystem);
     std::fprintf(stderr, fmt, args...);
     std::fputc('\n', stderr);
   }
 
  private:
-  inline static LogLevel level_ = LogLevel::kOff;
+  inline static std::atomic<LogLevel> level_ = LogLevel::kOff;
 };
 
 }  // namespace fxtraf::sim

@@ -1,0 +1,48 @@
+#include "trace/digest.hpp"
+
+#include <cstdio>
+
+namespace fxtraf::trace {
+
+namespace {
+
+constexpr std::uint64_t kFnvPrime = 0x100000001b3ULL;
+
+constexpr std::uint64_t fold(std::uint64_t hash, std::uint64_t word) {
+  // Byte-at-a-time FNV-1a over the little-endian encoding of `word`, so
+  // the digest is independent of host endianness and struct layout.
+  for (int i = 0; i < 8; ++i) {
+    hash ^= (word >> (8 * i)) & 0xffu;
+    hash *= kFnvPrime;
+  }
+  return hash;
+}
+
+}  // namespace
+
+TraceDigest digest_of(TraceView packets) {
+  TraceDigest d;
+  for (const PacketRecord& p : packets) {
+    ++d.packet_count;
+    d.total_bytes += p.bytes;
+    d.fnv1a = fold(d.fnv1a, static_cast<std::uint64_t>(p.timestamp.ns()));
+    d.fnv1a = fold(d.fnv1a, p.bytes);
+    d.fnv1a = fold(d.fnv1a, static_cast<std::uint64_t>(p.proto));
+    d.fnv1a = fold(d.fnv1a, (static_cast<std::uint64_t>(p.src) << 32) |
+                                static_cast<std::uint64_t>(p.dst));
+    d.fnv1a = fold(d.fnv1a, (static_cast<std::uint64_t>(p.src_port) << 16) |
+                                static_cast<std::uint64_t>(p.dst_port));
+  }
+  return d;
+}
+
+std::string to_string(const TraceDigest& digest) {
+  char buffer[80];
+  std::snprintf(buffer, sizeof buffer, "n=%llu bytes=%llu fnv1a=%016llx",
+                static_cast<unsigned long long>(digest.packet_count),
+                static_cast<unsigned long long>(digest.total_bytes),
+                static_cast<unsigned long long>(digest.fnv1a));
+  return buffer;
+}
+
+}  // namespace fxtraf::trace

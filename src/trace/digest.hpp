@@ -1,0 +1,35 @@
+// Canonical digest of a packet trace, for determinism checking.
+//
+// Two simulation runs are "the same measurement" exactly when their
+// captures digest identically: same packet count, same total bytes, and
+// the same FNV-1a hash over every record field in capture order.  The
+// hash folds in timestamps at nanosecond resolution, so even a one-tick
+// reordering or retiming changes it — this is the golden-test and
+// serial-vs-parallel replay oracle for the campaign engine.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "trace/record.hpp"
+
+namespace fxtraf::trace {
+
+struct TraceDigest {
+  std::uint64_t packet_count = 0;
+  std::uint64_t total_bytes = 0;
+  std::uint64_t fnv1a = 0xcbf29ce484222325ULL;  ///< FNV-1a offset basis
+
+  friend constexpr bool operator==(const TraceDigest&,
+                                   const TraceDigest&) = default;
+};
+
+/// Digests `packets` in order; equal views produce equal digests and any
+/// field difference (time, size, protocol, endpoints, ports) changes the
+/// hash with overwhelming probability.
+[[nodiscard]] TraceDigest digest_of(TraceView packets);
+
+/// "n=1234 bytes=567890 fnv1a=0123456789abcdef" — stable, grep-friendly.
+[[nodiscard]] std::string to_string(const TraceDigest& digest);
+
+}  // namespace fxtraf::trace

@@ -1,0 +1,191 @@
+// Campaign engine unit tests: seed splitting, exact aggregation math,
+// failure isolation, and the JSON report.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+
+#include "campaign/aggregate.hpp"
+#include "campaign/engine.hpp"
+#include "campaign/report.hpp"
+#include "campaign/seed.hpp"
+
+namespace fxtraf::campaign {
+namespace {
+
+TEST(SeedSplitTest, DeterministicAndDistinct) {
+  EXPECT_EQ(split_seed(42, 7), split_seed(42, 7));
+  std::set<std::uint64_t> seen;
+  for (std::uint64_t master : {0ull, 1ull, 42ull}) {
+    for (std::uint64_t i = 0; i < 1000; ++i) {
+      seen.insert(split_seed(master, i));
+    }
+  }
+  EXPECT_EQ(seen.size(), 3000u);  // no collisions across masters/indices
+  EXPECT_NE(split_seed(0, 0), 0u);  // never the simulator's "unseeded" 0
+}
+
+TEST(SeedSplitTest, CounterStreamsDoNotAlias) {
+  // (master, i+1) must not equal (master+1, i) — the classic additive
+  // counter failure mode the two-round mix exists to prevent.
+  for (std::uint64_t m = 0; m < 50; ++m) {
+    for (std::uint64_t i = 0; i < 50; ++i) {
+      EXPECT_NE(split_seed(m, i + 1), split_seed(m + 1, i));
+    }
+  }
+}
+
+TEST(AggregateTest, KnownInputsExact) {
+  const double values[] = {1.0, 2.0, 3.0, 4.0};
+  const MetricAggregate agg = aggregate(values);
+  EXPECT_EQ(agg.stats.count, 4u);
+  EXPECT_DOUBLE_EQ(agg.stats.mean, 2.5);
+  EXPECT_DOUBLE_EQ(agg.stats.min, 1.0);
+  EXPECT_DOUBLE_EQ(agg.stats.max, 4.0);
+  // Population sd = sqrt(5/4); sample sd = sqrt(5/3).
+  EXPECT_NEAR(agg.stats.stddev, std::sqrt(1.25), 1e-12);
+  EXPECT_NEAR(agg.sample_stddev, std::sqrt(5.0 / 3.0), 1e-12);
+  // t_{3, 0.975} = 3.182 (table value) times sd / sqrt(4).
+  EXPECT_NEAR(agg.ci95_half_width, 3.182 * std::sqrt(5.0 / 3.0) / 2.0,
+              1e-9);
+}
+
+TEST(AggregateTest, EdgeCounts) {
+  const MetricAggregate empty = aggregate(std::span<const double>{});
+  EXPECT_EQ(empty.stats.count, 0u);
+  EXPECT_DOUBLE_EQ(empty.ci95_half_width, 0.0);
+  const double one[] = {7.5};
+  const MetricAggregate single = aggregate(one);
+  EXPECT_DOUBLE_EQ(single.stats.mean, 7.5);
+  EXPECT_DOUBLE_EQ(single.sample_stddev, 0.0);
+  EXPECT_DOUBLE_EQ(single.ci95_half_width, 0.0);
+}
+
+TEST(AggregateTest, StudentTQuantiles) {
+  EXPECT_DOUBLE_EQ(student_t_975(0), 0.0);
+  EXPECT_NEAR(student_t_975(1), 12.706, 1e-9);
+  EXPECT_NEAR(student_t_975(30), 2.042, 1e-9);
+  EXPECT_NEAR(student_t_975(1000), 1.959964, 1e-9);  // normal asymptote
+}
+
+TEST(AggregateTest, MetricsAggregateAcrossRows) {
+  const std::map<std::string, double> rows[] = {
+      {{"a", 1.0}, {"b", 10.0}},
+      {{"a", 3.0}, {"b", 30.0}},
+      {{"a", 5.0}},  // a row may miss a metric; "b" aggregates over 2
+  };
+  const auto out = aggregate_metrics(rows);
+  EXPECT_DOUBLE_EQ(out.at("a").stats.mean, 3.0);
+  EXPECT_EQ(out.at("a").stats.count, 3u);
+  EXPECT_DOUBLE_EQ(out.at("b").stats.mean, 20.0);
+  EXPECT_EQ(out.at("b").stats.count, 2u);
+}
+
+TrialSpec tiny_kernel(const char* label) {
+  TrialSpec spec;
+  spec.label = label;
+  spec.scenario.kernel = "seq";
+  spec.scenario.scale = 0.2;  // one iteration
+  spec.scenario.seed = 31337;
+  return spec;
+}
+
+TrialSpec throwing_trial() {
+  TrialSpec spec;
+  spec.label = "boom";
+  spec.scenario.kernel = "boom";
+  spec.scenario.make_program = []() -> fx::FxProgram {
+    throw std::runtime_error("trial exploded");
+  };
+  return spec;
+}
+
+TEST(EngineTest, FailedTrialIsIsolated) {
+  const std::vector<TrialSpec> specs = {tiny_kernel("ok-1"),
+                                        throwing_trial(),
+                                        tiny_kernel("ok-2")};
+  CampaignOptions options;
+  options.threads = 2;
+  options.characterize = false;
+  const CampaignResult result = run_campaign(specs, options);
+
+  ASSERT_EQ(result.trials.size(), 3u);
+  EXPECT_EQ(result.failures, 1u);
+  EXPECT_TRUE(result.trials[0].ok);
+  EXPECT_FALSE(result.trials[1].ok);
+  EXPECT_NE(result.trials[1].error.find("trial exploded"),
+            std::string::npos);
+  EXPECT_TRUE(result.trials[1].metrics.empty());
+  EXPECT_TRUE(result.trials[2].ok);
+  // Both ok trials ran the same kernel+seed; the aggregate covers
+  // exactly those two and is untouched by the failure.
+  const auto& packets = result.metric("packets");
+  EXPECT_EQ(packets.stats.count, 2u);
+  EXPECT_GT(packets.stats.mean, 0.0);
+  EXPECT_DOUBLE_EQ(packets.stats.stddev, 0.0);
+}
+
+TEST(EngineTest, UnknownKernelFailsCleanly) {
+  TrialSpec spec;
+  spec.scenario.kernel = "no-such-kernel";
+  const CampaignResult result = run_campaign({spec});
+  ASSERT_EQ(result.trials.size(), 1u);
+  EXPECT_FALSE(result.trials[0].ok);
+  EXPECT_NE(result.trials[0].error.find("unknown kernel"),
+            std::string::npos);
+}
+
+TEST(EngineTest, AnalyzerMetricsReachAggregate) {
+  const auto specs = seed_sweep(tiny_kernel("seq"), 3, 5);
+  CampaignOptions options;
+  options.threads = 1;
+  options.characterize = false;
+  const CampaignResult result = run_campaign(
+      specs, options,
+      [](const TrialSpec&, const apps::TrialRun& run,
+         std::map<std::string, double>& metrics) {
+        metrics["double_packets"] = 2.0 * static_cast<double>(
+                                              run.packets.size());
+      });
+  ASSERT_EQ(result.failures, 0u);
+  EXPECT_DOUBLE_EQ(result.metric("double_packets").stats.mean,
+                   2.0 * result.metric("packets").stats.mean);
+}
+
+TEST(ReportTest, JsonIsWellFormedAndComplete) {
+  const std::vector<TrialSpec> specs = {tiny_kernel("ok"),
+                                        throwing_trial()};
+  CampaignOptions options;
+  options.threads = 1;
+  options.characterize = false;
+  const CampaignResult result = run_campaign(specs, options);
+  const std::string json = json_string(result, "unit \"quoted\" title");
+
+  // Balanced braces/brackets outside strings => structurally sound.
+  int depth = 0;
+  bool in_string = false;
+  for (std::size_t i = 0; i < json.size(); ++i) {
+    const char c = json[i];
+    if (in_string) {
+      if (c == '\\') ++i;
+      else if (c == '"') in_string = false;
+      continue;
+    }
+    if (c == '"') in_string = true;
+    if (c == '{' || c == '[') ++depth;
+    if (c == '}' || c == ']') --depth;
+    ASSERT_GE(depth, 0);
+  }
+  EXPECT_EQ(depth, 0);
+  EXPECT_FALSE(in_string);
+  EXPECT_NE(json.find("\"unit \\\"quoted\\\" title\""), std::string::npos);
+  EXPECT_NE(json.find("\"failures\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"error\":\"trial exploded\""), std::string::npos);
+  EXPECT_NE(json.find("\"aggregate\""), std::string::npos);
+  EXPECT_NE(json.find("\"fnv1a\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace fxtraf::campaign

@@ -122,6 +122,53 @@ TEST(BandwidthTest, InvalidArgumentsThrow) {
                std::invalid_argument);
 }
 
+TEST(BandwidthTest, EmptyTraceYieldsEmptySeries) {
+  const std::vector<trace::PacketRecord> none;
+  const BinnedSeries series = binned_bandwidth(none, sim::millis(10));
+  EXPECT_EQ(series.size(), 0u);
+  EXPECT_DOUBLE_EQ(series.interval_s, 0.01);
+  EXPECT_TRUE(sliding_window_bandwidth(none, sim::millis(10)).empty());
+}
+
+TEST(BandwidthTest, SinglePacketTrace) {
+  // One packet: the implicit [first, last+1ns) span is a single bin
+  // holding all the bytes; the sliding window sees only the packet.
+  const std::vector<trace::PacketRecord> one{packet(1.0, 2048)};
+  const BinnedSeries series = binned_bandwidth(one, sim::millis(10));
+  ASSERT_EQ(series.size(), 1u);
+  EXPECT_NEAR(series.kb_per_s[0], 2048.0 / 1024.0 / 0.01, 1e-9);
+  const auto sliding = sliding_window_bandwidth(one, sim::millis(10));
+  ASSERT_EQ(sliding.size(), 1u);
+  EXPECT_NEAR(sliding[0].kb_per_s, 2048.0 / 1024.0 / 0.01, 1e-9);
+}
+
+TEST(BandwidthTest, BinBoundaryPacketsLandInTheRightBin) {
+  // Packets exactly on a 10 ms edge belong to the bin they open
+  // (half-open [edge, edge+10ms) bins), and a packet exactly at `to`
+  // is excluded, never written past the end of the series.
+  std::vector<trace::PacketRecord> t{packet(0.0, 100), packet(0.010, 200),
+                                     packet(0.020, 400), packet(0.030, 800)};
+  const BinnedSeries series =
+      binned_bandwidth(t, sim::millis(10), sim::SimTime::zero(),
+                       sim::SimTime{30'000'000});
+  ASSERT_EQ(series.size(), 3u);
+  const double to_kbs = 1.0 / 1024.0 / 0.01;
+  EXPECT_DOUBLE_EQ(series.kb_per_s[0], 100 * to_kbs);
+  EXPECT_DOUBLE_EQ(series.kb_per_s[1], 200 * to_kbs);
+  EXPECT_DOUBLE_EQ(series.kb_per_s[2], 400 * to_kbs);  // 0.030 excluded
+}
+
+TEST(BandwidthTest, DefaultSpanIncludesTheLastPacket) {
+  // Whole-trace binning widens the span by 1 ns so the final packet is
+  // counted even when the trace length is an exact bin multiple.
+  std::vector<trace::PacketRecord> t{packet(0.0, 100), packet(0.010, 200)};
+  const BinnedSeries series = binned_bandwidth(t, sim::millis(10));
+  ASSERT_EQ(series.size(), 2u);
+  double total_bytes = 0.0;
+  for (double kbs : series.kb_per_s) total_bytes += kbs * 1024.0 * 0.01;
+  EXPECT_NEAR(total_bytes, 300.0, 1e-9);
+}
+
 std::vector<trace::PacketRecord> periodic_trace(double f0_hz, double duration,
                                                 std::uint32_t bytes) {
   // A burst of packets every 1/f0 seconds.

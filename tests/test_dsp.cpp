@@ -65,6 +65,29 @@ INSTANTIATE_TEST_SUITE_P(Sizes, FftSizeTest,
                                            64, 100, 127, 128, 255, 256, 360,
                                            1000, 1024));
 
+class BluesteinOddLengthTest : public ::testing::TestWithParam<std::size_t> {
+};
+
+TEST_P(BluesteinOddLengthTest, MatchesNaiveDftOracle) {
+  // Odd and prime lengths never hit the power-of-two path, so the whole
+  // transform goes through the Bluestein chirp-z convolution; primes are
+  // the worst case (no factorization shortcut could ever apply).
+  const std::size_t n = GetParam();
+  const auto x = random_signal(n, 31337 + n);
+  const auto fast = fft(x);
+  const auto slow = dft_reference(x);
+  ASSERT_EQ(fast.size(), n);
+  EXPECT_LT(max_abs_diff(fast, slow), 1e-8 * static_cast<double>(n))
+      << "size " << n;
+  // And the inverse must round-trip through the same machinery.
+  const auto back = fft(fast, /*inverse=*/true);
+  EXPECT_LT(max_abs_diff(x, back), 1e-9 * static_cast<double>(n));
+}
+
+INSTANTIATE_TEST_SUITE_P(OddAndPrime, BluesteinOddLengthTest,
+                         ::testing::Values(11, 101, 251, 509, 1009, 2003,
+                                           999, 1215));
+
 TEST(FftTest, ParsevalHoldsForLongNonPowerOfTwo) {
   const std::size_t n = 3000;  // exercises Bluestein
   const auto x = random_signal(n, 99);

@@ -1,0 +1,96 @@
+// Thread-safety contract of the simulation core, written for
+// ThreadSanitizer: build with -DFXTRAF_SANITIZE=thread and any hidden
+// shared mutable state between concurrently running Simulators (a
+// global RNG, logger state, an event-queue static) shows up as a data
+// race.  Without TSan the test still verifies the shared-nothing
+// property behaviourally: concurrent trials digest identically to the
+// same trials run alone.
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "apps/trial.hpp"
+#include "simcore/log.hpp"
+#include "simcore/rng.hpp"
+#include "simcore/simulator.hpp"
+#include "trace/digest.hpp"
+
+namespace fxtraf {
+namespace {
+
+apps::TrialScenario scenario_for(std::uint64_t seed) {
+  apps::TrialScenario scenario;
+  scenario.kernel = "2dfft";
+  scenario.scale = 0.05;
+  scenario.seed = seed;
+  scenario.testbed.host.deschedule_probability = 0.02;  // RNG traffic
+  return scenario;
+}
+
+TEST(ThreadSafetyTest, ConcurrentSimulatorsDoNotInteract) {
+  constexpr int kThreads = 4;
+  // Reference digests, computed with no concurrency.
+  std::vector<trace::TraceDigest> expected;
+  for (int i = 0; i < kThreads; ++i) {
+    expected.push_back(
+        trace::digest_of(apps::run_trial(scenario_for(100 + i)).packets));
+  }
+
+  std::vector<trace::TraceDigest> observed(kThreads);
+  std::vector<std::thread> threads;
+  for (int i = 0; i < kThreads; ++i) {
+    threads.emplace_back([i, &observed] {
+      observed[static_cast<std::size_t>(i)] =
+          trace::digest_of(apps::run_trial(scenario_for(100 + i)).packets);
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  for (int i = 0; i < kThreads; ++i) {
+    EXPECT_EQ(observed[static_cast<std::size_t>(i)],
+              expected[static_cast<std::size_t>(i)])
+        << "trial " << i << " changed under concurrency";
+  }
+}
+
+TEST(ThreadSafetyTest, LoggerLevelIsAtomic) {
+  // set_level/level from many threads: a race here is UB on a plain
+  // static; with std::atomic TSan stays quiet and the final level is
+  // one of the written values.
+  std::vector<std::thread> threads;
+  for (int i = 0; i < 4; ++i) {
+    threads.emplace_back([i] {
+      for (int n = 0; n < 1000; ++n) {
+        sim::Logger::set_level(i % 2 == 0 ? sim::LogLevel::kOff
+                                          : sim::LogLevel::kError);
+        (void)sim::Logger::level();
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  const sim::LogLevel final_level = sim::Logger::level();
+  EXPECT_TRUE(final_level == sim::LogLevel::kOff ||
+              final_level == sim::LogLevel::kError);
+  sim::Logger::set_level(sim::LogLevel::kOff);
+}
+
+TEST(ThreadSafetyTest, RngInstancesAreIndependent) {
+  // Two Rng objects with the same seed, advanced on different threads,
+  // must march through the same sequence (no shared generator state).
+  std::vector<std::uint64_t> a(1000), b(1000);
+  std::thread ta([&a] {
+    sim::Rng rng(77);
+    for (auto& v : a) v = rng.next_u64();
+  });
+  std::thread tb([&b] {
+    sim::Rng rng(77);
+    for (auto& v : b) v = rng.next_u64();
+  });
+  ta.join();
+  tb.join();
+  EXPECT_EQ(a, b);
+}
+
+}  // namespace
+}  // namespace fxtraf
