@@ -1,0 +1,62 @@
+// Loss-sweep experiment (EXPERIMENTS.md): the measured spectra of all
+// six kernels under frame bit-error rates of 0, 1e-6, and 1e-5, with
+// cross-seed error bars from the campaign aggregates.  The question the
+// paper's methodology raises but cannot answer on clean hardware: how
+// robust are the traffic signatures (fundamental frequency, harmonic
+// power, average bandwidth) to link-layer loss once the transports are
+// doing recovery work?
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "campaign/engine.hpp"
+#include "campaign/seed.hpp"
+#include "fault/plan.hpp"
+
+int main(int argc, char** argv) {
+  using namespace fxtraf;
+  const bench::RunOptions options = bench::parse_options(argc, argv, 0.25);
+  bench::print_header("Loss sweep: kernel spectra under BER",
+                      "six kernels x BER {0, 1e-6, 1e-5}, 5 seeds each");
+
+  constexpr const char* kKernels[] = {"sor",  "2dfft", "t2dfft",
+                                      "seq",  "hist",  "airshed"};
+  constexpr double kBers[] = {0.0, 1e-6, 1e-5};
+  constexpr std::size_t kSeeds = 5;
+
+  std::printf("\n%-8s %8s | %18s | %16s | %10s %10s | %s\n", "kernel", "BER",
+              "fundamental (Hz)", "avg bw (KB/s)", "ber drops", "tcp rexmit",
+              "fail");
+  for (const char* kernel : kKernels) {
+    for (double ber : kBers) {
+      campaign::TrialSpec base;
+      base.scenario.kernel = kernel;
+      base.scenario.scale = options.scale;
+      base.scenario.testbed.host.deschedule_probability =
+          options.deschedule_probability;
+      base.scenario.faults.frame_ber = ber;
+      base.label = kernel;
+      const auto specs = campaign::seed_sweep(base, kSeeds, options.seed);
+      const auto result = campaign::run_campaign(specs);
+
+      const auto& fundamental = result.metric("fundamental_hz");
+      const auto& bandwidth = result.metric("avg_bandwidth_kbs");
+      std::printf("%-8s %8.0e | %7.3f +- %6.3f | %8.1f +- %5.1f | %10.1f "
+                  "%10.1f | %zu/%zu\n",
+                  kernel, ber, fundamental.stats.mean,
+                  fundamental.ci95_half_width, bandwidth.stats.mean,
+                  bandwidth.ci95_half_width,
+                  result.metric("drops_ber").stats.mean,
+                  result.metric("tcp_retransmissions").stats.mean,
+                  result.failures, specs.size());
+    }
+    std::printf("\n");
+  }
+  std::printf("expectation: at 1e-6 (about 1%% of full frames lost) the "
+              "fundamentals survive essentially unshifted — recovery is "
+              "fast-retransmit dominated and adds little dead time.  At "
+              "1e-5 (about 11%% of full frames) retransmission bursts and "
+              "RTO backoff stretch the compute/communicate period, pulling "
+              "the fundamental down and smearing harmonic power; the "
+              "signature degrades before it disappears.\n");
+  return 0;
+}

@@ -5,14 +5,20 @@
 //
 //   campaign_sweep --kernel=2dfft --trials=16 --scale=0.5 --json=out.json
 //   campaign_sweep --kernel=sor --p=8 --trials=8 --threads=4 --serial-check
+//
+// Fault injection (all deterministic per trial seed; see DESIGN.md §9):
+//   campaign_sweep --kernel=2dfft --ber=1e-5 --daemon-crash=1:0.2:0.3
+//   campaign_sweep --faults            # the issue's acceptance preset
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <sstream>
 #include <string>
 
 #include "campaign/engine.hpp"
 #include "campaign/report.hpp"
+#include "fault/plan.hpp"
 
 namespace {
 
@@ -26,7 +32,16 @@ struct Cli {
   double cross_kbs = 0.0;
   std::string json_path;
   bool serial_check = false;
+  fxtraf::fault::FaultPlan faults;
 };
+
+/// Parses "HOST:START:DURATION" triples (e.g. --daemon-crash=1:0.2:0.3).
+bool parse_triple(const char* v, int& host, double& start, double& dur) {
+  std::istringstream in(v);
+  char c1 = 0, c2 = 0;
+  return static_cast<bool>(in >> host >> c1 >> start >> c2 >> dur) &&
+         c1 == ':' && c2 == ':';
+}
 
 bool parse(int argc, char** argv, Cli& cli) {
   for (int i = 1; i < argc; ++i) {
@@ -53,6 +68,40 @@ bool parse(int argc, char** argv, Cli& cli) {
       cli.json_path = v;
     } else if (arg == "--serial-check") {
       cli.serial_check = true;
+    } else if (const char* v = val("--ber=")) {
+      cli.faults.frame_ber = std::stod(v);
+    } else if (const char* v = val("--fcs-every=")) {
+      cli.faults.corrupt_every_nth = std::stoull(v);
+    } else if (const char* v = val("--watchdog=")) {
+      cli.faults.watchdog_s = std::stod(v);
+    } else if (const char* v = val("--daemon-crash=")) {
+      int host = 0;
+      double start = 0, dur = 0;
+      if (!parse_triple(v, host, start, dur)) {
+        std::fprintf(stderr, "--daemon-crash wants HOST:START:DOWN\n");
+        return false;
+      }
+      cli.faults.daemon_outages.push_back({host, start, dur});
+    } else if (const char* v = val("--host-pause=")) {
+      int host = 0;
+      double start = 0, dur = 0;
+      if (!parse_triple(v, host, start, dur)) {
+        std::fprintf(stderr, "--host-pause wants HOST:START:DURATION\n");
+        return false;
+      }
+      cli.faults.host_faults.push_back({host, start, dur, 0.0, false});
+    } else if (const char* v = val("--host-crash=")) {
+      int host = 0;
+      double start = 0, dur = 0;
+      if (!parse_triple(v, host, start, dur)) {
+        std::fprintf(stderr, "--host-crash wants HOST:START:DURATION\n");
+        return false;
+      }
+      cli.faults.host_faults.push_back({host, start, dur, 0.0, true});
+    } else if (arg == "--faults") {
+      // The acceptance preset: BER 1e-5 plus one daemon crash/restart.
+      cli.faults.frame_ber = 1e-5;
+      cli.faults.daemon_outages.push_back({1, 0.2, 0.3});
     } else {
       std::fprintf(stderr, "unknown argument: %s\n", arg.c_str());
       return false;
@@ -73,6 +122,7 @@ int main(int argc, char** argv) {
   base.scenario.scale = cli.scale;
   base.scenario.processors = cli.processors;
   base.scenario.cross_traffic_bytes_per_s = cli.cross_kbs * 1024.0;
+  base.scenario.faults = cli.faults;
   base.label = cli.kernel;
   const auto specs =
       campaign::seed_sweep(base, cli.trials, cli.master_seed);
@@ -81,9 +131,18 @@ int main(int argc, char** argv) {
   options.threads = cli.threads;
   const auto result = campaign::run_campaign(specs, options);
 
-  std::printf("campaign: %s x %zu seeds (scale %.2f)\n", cli.kernel.c_str(),
-              cli.trials, cli.scale);
+  std::printf("campaign: %s x %zu seeds (scale %.2f)%s\n", cli.kernel.c_str(),
+              cli.trials, cli.scale,
+              cli.faults.active() ? " [faults active]" : "");
   campaign::write_table(std::cout, result);
+  if (cli.faults.active()) {
+    for (const auto& trial : result.trials) {
+      if (!trial.ok) {
+        std::printf("  failed %s: %s\n", trial.label.c_str(),
+                    trial.error.c_str());
+      }
+    }
+  }
 
   if (!cli.json_path.empty()) {
     std::ofstream out(cli.json_path);

@@ -7,7 +7,7 @@
 
 namespace fxtraf::apps {
 
-Trial::Trial(const TrialScenario& scenario) {
+Trial::Trial(const TrialScenario& scenario) : faults_(scenario.faults) {
   TestbedConfig config = scenario.testbed;
   if (scenario.make_program) {
     program_ = scenario.make_program();
@@ -33,6 +33,19 @@ Trial::Trial(const TrialScenario& scenario) {
 
   simulator_ = std::make_unique<sim::Simulator>(scenario.seed);
   testbed_ = std::make_unique<Testbed>(*simulator_, config);
+  // The auditor's tap must be registered before any frame moves, so it
+  // is built here rather than lazily at audit time.
+  auditor_ = std::make_unique<fault::Auditor>(testbed_->segment());
+  if (faults_.active()) {
+    fault::Injector::Wiring wiring;
+    wiring.segment = &testbed_->segment();
+    for (int i = 0; i < testbed_->size(); ++i) {
+      wiring.hosts.push_back(&testbed_->workstation(i));
+    }
+    wiring.vm = &testbed_->vm();
+    injector_ = std::make_unique<fault::Injector>(
+        *simulator_, std::move(wiring), faults_, scenario.seed);
+  }
   if (cross) {
     host::CrossTrafficConfig load;
     load.model = host::CrossTrafficConfig::Model::kCbr;
@@ -49,7 +62,20 @@ Trial::~Trial() = default;
 sim::SimTime Trial::run() {
   testbed_->start();
   if (cross_) cross_->start();
-  return fx::run_program(testbed_->vm(), program_);
+  fx::RunLimits limits;
+  if (faults_.active() && faults_.watchdog_s > 0) {
+    limits.watchdog = sim::seconds(faults_.watchdog_s);
+  }
+  return fx::run_program(testbed_->vm(), program_, limits);
+}
+
+fault::AuditReport Trial::audit() {
+  std::vector<host::Workstation*> hosts;
+  hosts.reserve(static_cast<std::size_t>(testbed_->size()));
+  for (int i = 0; i < testbed_->size(); ++i) {
+    hosts.push_back(&testbed_->workstation(i));
+  }
+  return auditor_->audit(hosts, testbed_->segment(), &testbed_->vm());
 }
 
 TrialRun Trial::finish() {
@@ -59,6 +85,10 @@ TrialRun Trial::finish() {
   result.packets = testbed_->capture().packets();
   result.sim_seconds = end.seconds();
   result.events_executed = simulator_->events_executed();
+  result.audit = audit();
+  if (!result.audit.ok) {
+    throw std::runtime_error("fault audit: " + result.audit.summary());
+  }
   return result;
 }
 

@@ -16,6 +16,9 @@
 #include <vector>
 
 #include "apps/testbed.hpp"
+#include "fault/auditor.hpp"
+#include "fault/injector.hpp"
+#include "fault/plan.hpp"
 #include "fx/runtime.hpp"
 #include "host/cross_traffic.hpp"
 #include "trace/record.hpp"
@@ -45,6 +48,9 @@ struct TrialScenario {
   /// Custom program factory.  Must be thread-safe (capture parameters by
   /// value); it is invoked once, inside the trial's own thread.
   std::function<fx::FxProgram()> make_program;
+  /// Deterministic fault schedule; an inactive (default) plan leaves the
+  /// trial bit-identical to a build without the fault subsystem.
+  fault::FaultPlan faults;
 };
 
 /// Plain-data outcome of a finished trial.
@@ -53,6 +59,9 @@ struct TrialRun {
   std::vector<trace::PacketRecord> packets;
   double sim_seconds = 0.0;
   std::uint64_t events_executed = 0;
+  /// Conservation audit + drop/recovery counters (always filled; the
+  /// interesting fields are nonzero only under faults or collisions).
+  fault::AuditReport audit;
 };
 
 class Trial {
@@ -73,15 +82,25 @@ class Trial {
   /// deadlock or rank failure).  Returns the program finish time.
   sim::SimTime run();
 
-  /// run() + capture extraction in one step.
+  /// run() + capture extraction in one step.  Throws if the auditor
+  /// finds a conservation violation (the trial must not silently feed a
+  /// corrupt capture into campaign aggregates).
   [[nodiscard]] TrialRun finish();
+
+  /// The end-of-run conservation audit (valid after run()).
+  [[nodiscard]] fault::AuditReport audit();
 
  private:
   std::unique_ptr<sim::Simulator> simulator_;
   std::unique_ptr<Testbed> testbed_;
   std::unique_ptr<host::CrossTrafficSource> cross_;
+  // Declared after testbed_: the segment's loss model and the hosts'
+  // fault windows reference the injector/auditor, destroy them first.
+  std::unique_ptr<fault::Auditor> auditor_;
+  std::unique_ptr<fault::Injector> injector_;
   fx::FxProgram program_;
   std::string kernel_;
+  fault::FaultPlan faults_;
 };
 
 /// One-shot: build, run, and tear down a trial, returning its capture.

@@ -37,6 +37,19 @@ TrialResult run_one(const TrialSpec& spec, std::size_t index,
         static_cast<double>(result.digest.total_bytes);
     result.metrics["avg_bandwidth_kbs"] =
         core::average_bandwidth_kbs(run.packets);
+    // Loss + recovery counters from the conservation audit.  Zero for
+    // clean trials, so campaigns without faults are unchanged apart
+    // from the extra (all-zero) rows.
+    result.metrics["drops_collision"] =
+        static_cast<double>(run.audit.drops_collision);
+    result.metrics["drops_ber"] = static_cast<double>(run.audit.drops_ber);
+    result.metrics["drops_fcs"] = static_cast<double>(run.audit.drops_fcs);
+    result.metrics["drops_crash"] =
+        static_cast<double>(run.audit.drops_crash);
+    result.metrics["tcp_retransmissions"] =
+        static_cast<double>(run.audit.tcp_retransmissions);
+    result.metrics["daemon_retransmissions"] =
+        static_cast<double>(run.audit.daemon_retransmissions);
     if (options.characterize && !run.packets.empty()) {
       const core::TrafficCharacterization c = core::characterize(run.packets);
       result.metrics["mean_packet_bytes"] = c.packet_size.mean;

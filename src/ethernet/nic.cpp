@@ -18,8 +18,16 @@ Nic::Nic(sim::Simulator& simulator, Segment& segment, StationId station)
 
 void Nic::send(Frame frame) {
   frame.src = station_;
+  ++stats_.frames_enqueued;
+  stats_.bytes_enqueued += frame.recorded_bytes();
   queue_.push_back(std::move(frame));
   if (state_ == State::kIdle) start_next_frame();
+}
+
+std::uint64_t Nic::queued_bytes() const {
+  std::uint64_t total = 0;
+  for (const Frame& frame : queue_) total += frame.recorded_bytes();
+  return total;
 }
 
 void Nic::start_next_frame() {
@@ -67,6 +75,7 @@ void Nic::on_collision() {
     // Excessive collisions: real adaptors give up; the transport layer's
     // retransmission recovers the data.
     ++stats_.excessive_collision_drops;
+    stats_.excessive_collision_drop_bytes += queue_.front().recorded_bytes();
     sim::Logger::log(sim::LogLevel::kWarn, sim_.now(), "eth",
                      "station %u dropped frame after %d attempts", station_,
                      attempts_);
@@ -89,6 +98,7 @@ void Nic::on_collision() {
 void Nic::on_transmit_complete() {
   assert(state_ == State::kTransmitting);
   ++stats_.frames_sent;
+  stats_.bytes_sent += queue_.front().recorded_bytes();
   queue_.pop_front();
   if (!queue_.empty()) {
     start_next_frame();

@@ -15,10 +15,14 @@ namespace fxtraf::eth {
 class Segment;
 
 struct NicStats {
+  std::uint64_t frames_enqueued = 0;  ///< accepted from the IP stack
+  std::uint64_t bytes_enqueued = 0;   ///< recorded bytes accepted
   std::uint64_t frames_sent = 0;
+  std::uint64_t bytes_sent = 0;  ///< recorded bytes on the wire
   std::uint64_t frames_received = 0;
   std::uint64_t collisions = 0;
   std::uint64_t excessive_collision_drops = 0;
+  std::uint64_t excessive_collision_drop_bytes = 0;
 };
 
 class Nic final : public net::LinkLayer {
@@ -42,6 +46,9 @@ class Nic final : public net::LinkLayer {
   void send(Frame frame) override;
 
   [[nodiscard]] std::size_t queue_depth() const { return queue_.size(); }
+  /// Recorded bytes still waiting in (or occupying) the transmit queue;
+  /// the "in flight at end of sim" term of the conservation invariant.
+  [[nodiscard]] std::uint64_t queued_bytes() const;
   [[nodiscard]] const NicStats& stats() const { return stats_; }
 
   // --- Segment-facing interface -------------------------------------

@@ -62,10 +62,25 @@ void Segment::finish_transmission() {
   const sim::SimTime end = sim_.now();
 
   stats_.busy_ns += tx.frame.transmission_time().ns();
-  if (fault_injector_ && fault_injector_(tx.frame)) {
+  // The loss model is consulted unconditionally (even when the legacy
+  // injector would already drop) so its RNG stream advances exactly once
+  // per frame regardless of other fault sources.
+  DropCause cause = loss_model_ ? loss_model_(tx.frame) : DropCause::kNone;
+  if (cause == DropCause::kNone && fault_injector_ &&
+      fault_injector_(tx.frame)) {
+    cause = DropCause::kInjected;
+  }
+  if (cause != DropCause::kNone) {
+    switch (cause) {
+      case DropCause::kInjected: ++stats_.frames_dropped_injected; break;
+      case DropCause::kBitError: ++stats_.frames_dropped_ber; break;
+      case DropCause::kForcedFcs: ++stats_.frames_dropped_fcs; break;
+      case DropCause::kNone: break;
+    }
+    stats_.bytes_dropped += tx.frame.recorded_bytes();
     sim::Logger::log(sim::LogLevel::kDebug, end, "eth",
-                     "injected fault: dropping %u -> %u", tx.frame.src,
-                     tx.frame.dst);
+                     "fault (cause %d): dropping %u -> %u",
+                     static_cast<int>(cause), tx.frame.src, tx.frame.dst);
   } else {
     ++stats_.frames_delivered;
     stats_.bytes_delivered += tx.frame.recorded_bytes();

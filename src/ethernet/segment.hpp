@@ -25,6 +25,25 @@ struct SegmentStats {
   std::uint64_t bytes_delivered = 0;  ///< recorded (unpadded) bytes
   std::uint64_t collisions = 0;
   std::uint64_t busy_ns = 0;  ///< cumulative wire-occupied time
+  // Frames that occupied the wire but were not delivered, by cause
+  // (fault-injection subsystem; all zero on a clean segment).
+  std::uint64_t frames_dropped_injected = 0;  ///< legacy bool injector
+  std::uint64_t frames_dropped_ber = 0;       ///< bit-error-rate model
+  std::uint64_t frames_dropped_fcs = 0;       ///< forced FCS corruption
+  std::uint64_t bytes_dropped = 0;  ///< recorded bytes across all causes
+
+  [[nodiscard]] std::uint64_t frames_dropped() const {
+    return frames_dropped_injected + frames_dropped_ber + frames_dropped_fcs;
+  }
+};
+
+/// Why a transmitted frame was not delivered (fault::Injector speaks
+/// this to the Segment through the loss model).
+enum class DropCause : std::uint8_t {
+  kNone = 0,
+  kInjected,   ///< legacy test predicate
+  kBitError,   ///< Bernoulli per-frame draw from the BER stream
+  kForcedFcs,  ///< scheduled FCS corruption
 };
 
 class Segment {
@@ -45,6 +64,13 @@ class Segment {
   void set_fault_injector(FaultInjector injector) {
     fault_injector_ = std::move(injector);
   }
+
+  /// Cause-aware loss model (fault::Injector).  Consulted once per
+  /// completed transmission, *before* the legacy bool injector, and
+  /// always exactly once per frame so the model's RNG stream position
+  /// depends only on the frame index — the determinism contract.
+  using LossModel = std::function<DropCause(const Frame&)>;
+  void set_loss_model(LossModel model) { loss_model_ = std::move(model); }
 
   /// True if a transmission is already visible at the station's location
   /// (started at least a propagation delay ago, or jam in progress).
@@ -86,6 +112,7 @@ class Segment {
   std::vector<Nic*> nics_;
   std::vector<Tap> taps_;
   FaultInjector fault_injector_;
+  LossModel loss_model_;
   std::vector<ActiveTx> active_;
   std::vector<Nic*> waiters_;
   sim::SimTime idle_since_ = sim::SimTime::zero();

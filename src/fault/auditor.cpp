@@ -1,0 +1,119 @@
+#include "fault/auditor.hpp"
+
+#include <sstream>
+
+#include "ethernet/nic.hpp"
+#include "pvm/daemon.hpp"
+
+namespace fxtraf::fault {
+
+Auditor::Auditor(eth::Segment& segment) {
+  segment.add_tap([this](sim::SimTime, const eth::Frame& frame) {
+    ++tap_frames_;
+    tap_bytes_ += frame.recorded_bytes();
+  });
+}
+
+AuditReport Auditor::audit(const std::vector<host::Workstation*>& hosts,
+                           const eth::Segment& segment,
+                           pvm::VirtualMachine* vm) const {
+  AuditReport report;
+  auto violate = [&report](std::string what) {
+    report.ok = false;
+    report.violations.push_back(std::move(what));
+  };
+
+  std::uint64_t frames_sent_total = 0;
+  report.collision_drops_by_station.reserve(hosts.size());
+  for (std::size_t i = 0; i < hosts.size(); ++i) {
+    const eth::Nic& nic = hosts[i]->nic();
+    const eth::NicStats& s = nic.stats();
+    report.frames_enqueued += s.frames_enqueued;
+    report.bytes_enqueued += s.bytes_enqueued;
+    report.frames_in_queue += nic.queue_depth();
+    report.bytes_in_queue += nic.queued_bytes();
+    report.drops_collision += s.excessive_collision_drops;
+    report.collision_drops_by_station.push_back(s.excessive_collision_drops);
+    frames_sent_total += s.frames_sent;
+
+    // Per-NIC conservation: accepted == transmitted + dropped + queued.
+    const std::uint64_t frames_accounted =
+        s.frames_sent + s.excessive_collision_drops + nic.queue_depth();
+    if (frames_accounted != s.frames_enqueued) {
+      violate("station " + std::to_string(i) + ": " +
+              std::to_string(s.frames_enqueued) + " frames enqueued but " +
+              std::to_string(frames_accounted) +
+              " accounted (sent + collision drops + queued)");
+    }
+    const std::uint64_t bytes_accounted = s.bytes_sent +
+                                          s.excessive_collision_drop_bytes +
+                                          nic.queued_bytes();
+    if (bytes_accounted != s.bytes_enqueued) {
+      violate("station " + std::to_string(i) + ": " +
+              std::to_string(s.bytes_enqueued) + " bytes enqueued but " +
+              std::to_string(bytes_accounted) + " accounted");
+    }
+
+    const net::TcpStats tcp = hosts[i]->stack().tcp_totals();
+    report.tcp_retransmissions += tcp.retransmissions;
+    report.tcp_timeouts += tcp.timeouts;
+    report.tcp_fast_retransmits += tcp.fast_retransmits;
+    report.drops_crash += hosts[i]->stack().inbound_filtered();
+  }
+
+  const eth::SegmentStats& seg = segment.stats();
+  report.frames_delivered = seg.frames_delivered;
+  report.bytes_delivered = seg.bytes_delivered;
+  report.drops_ber = seg.frames_dropped_ber;
+  report.drops_fcs = seg.frames_dropped_fcs;
+  report.drops_injected = seg.frames_dropped_injected;
+
+  // Segment conservation: every frame that finished transmission was
+  // either delivered or dropped with a cause.
+  if (frames_sent_total != seg.frames_delivered + seg.frames_dropped()) {
+    violate("segment: " + std::to_string(frames_sent_total) +
+            " frames transmitted but " +
+            std::to_string(seg.frames_delivered + seg.frames_dropped()) +
+            " delivered-or-dropped");
+  }
+  // Independent cross-check: the auditor's own promiscuous tap must have
+  // seen exactly the frames the segment claims it delivered.
+  if (tap_frames_ != seg.frames_delivered) {
+    violate("tap: saw " + std::to_string(tap_frames_) +
+            " frames, segment claims " +
+            std::to_string(seg.frames_delivered) + " delivered");
+  }
+  if (tap_bytes_ != seg.bytes_delivered) {
+    violate("tap: saw " + std::to_string(tap_bytes_) +
+            " bytes, segment claims " +
+            std::to_string(seg.bytes_delivered) + " delivered");
+  }
+
+  if (vm != nullptr) {
+    for (host::Workstation* ws : hosts) {
+      const pvm::DaemonStats& d = vm->daemon_of(ws->id()).stats();
+      report.daemon_retransmissions += d.retransmissions;
+      report.daemon_drops_while_down += d.dropped_while_down;
+    }
+  }
+  return report;
+}
+
+std::string AuditReport::summary() const {
+  std::ostringstream out;
+  out << "frames " << frames_enqueued << " enqueued / " << frames_delivered
+      << " delivered / " << drops_total() << " dropped (" << drops_collision
+      << " collision, " << drops_ber << " ber, " << drops_fcs << " fcs, "
+      << drops_injected << " injected) / " << frames_in_queue
+      << " in flight; crash-discards " << drops_crash
+      << "; tcp rexmit " << tcp_retransmissions << " (fast "
+      << tcp_fast_retransmits << ", rto " << tcp_timeouts
+      << "); daemon rexmit " << daemon_retransmissions;
+  if (!ok) {
+    out << "; VIOLATIONS:";
+    for (const std::string& v : violations) out << " [" << v << "]";
+  }
+  return out.str();
+}
+
+}  // namespace fxtraf::fault

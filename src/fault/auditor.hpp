@@ -1,0 +1,81 @@
+// Invariant auditor: an independent tap on the segment plus an
+// end-of-run conservation audit.
+//
+// The invariant: every recorded byte a NIC accepted from its stack is,
+// at end of sim, exactly one of delivered on the wire, dropped with an
+// attributed cause (excessive collisions, BER, forced FCS, legacy
+// injection), or still sitting in a transmit queue.  The tap
+// cross-checks the segment's own delivery counters, so a bug in either
+// bookkeeping path fails the audit rather than silently skewing the
+// measured traffic.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ethernet/segment.hpp"
+#include "host/workstation.hpp"
+#include "pvm/vm.hpp"
+
+namespace fxtraf::fault {
+
+struct AuditReport {
+  bool ok = true;
+  std::vector<std::string> violations;
+
+  // Link-layer conservation terms (recorded bytes).
+  std::uint64_t frames_enqueued = 0;
+  std::uint64_t frames_delivered = 0;
+  std::uint64_t frames_in_queue = 0;
+  std::uint64_t bytes_enqueued = 0;
+  std::uint64_t bytes_delivered = 0;
+  std::uint64_t bytes_in_queue = 0;
+
+  // Drops by cause.
+  std::uint64_t drops_collision = 0;  ///< NIC 16-attempt give-ups
+  std::uint64_t drops_ber = 0;
+  std::uint64_t drops_fcs = 0;
+  std::uint64_t drops_injected = 0;  ///< legacy bool injector (tests)
+  std::uint64_t drops_crash = 0;     ///< inbound discarded by crashed hosts
+  /// Excessive-collision drops per station, indexed like the testbed's
+  /// workstations (the paper's per-host view of MAC-layer loss).
+  std::vector<std::uint64_t> collision_drops_by_station;
+
+  // Recovery activity (how hard the transports worked).
+  std::uint64_t tcp_retransmissions = 0;
+  std::uint64_t tcp_timeouts = 0;
+  std::uint64_t tcp_fast_retransmits = 0;
+  std::uint64_t daemon_retransmissions = 0;
+  std::uint64_t daemon_drops_while_down = 0;
+
+  [[nodiscard]] std::uint64_t drops_total() const {
+    return drops_collision + drops_ber + drops_fcs + drops_injected;
+  }
+  [[nodiscard]] std::string summary() const;
+};
+
+/// Attach before the run (the constructor registers a promiscuous tap on
+/// the segment); call audit() after the simulator stops.
+class Auditor {
+ public:
+  explicit Auditor(eth::Segment& segment);
+
+  Auditor(const Auditor&) = delete;
+  Auditor& operator=(const Auditor&) = delete;
+
+  [[nodiscard]] std::uint64_t tap_frames() const { return tap_frames_; }
+
+  /// Checks conservation per NIC and across the segment, and gathers the
+  /// drop/recovery counters.  `hosts` must be the Ethernet-backed
+  /// workstations attached to the audited segment; vm is optional.
+  [[nodiscard]] AuditReport audit(const std::vector<host::Workstation*>& hosts,
+                                  const eth::Segment& segment,
+                                  pvm::VirtualMachine* vm = nullptr) const;
+
+ private:
+  std::uint64_t tap_frames_ = 0;
+  std::uint64_t tap_bytes_ = 0;
+};
+
+}  // namespace fxtraf::fault

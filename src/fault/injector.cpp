@@ -1,0 +1,147 @@
+#include "fault/injector.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+#include "pvm/daemon.hpp"
+#include "simcore/log.hpp"
+
+namespace fxtraf::fault {
+
+Injector::Injector(sim::Simulator& simulator, Wiring wiring, FaultPlan plan,
+                   std::uint64_t trial_seed)
+    : sim_(simulator),
+      wiring_(std::move(wiring)),
+      plan_(std::move(plan)),
+      ber_rng_(stream_seed(trial_seed, plan_.salt, kBerStream)) {
+  if (plan_.frame_ber < 0.0 || plan_.frame_ber >= 1.0) {
+    throw std::invalid_argument("FaultPlan: frame_ber must be in [0, 1)");
+  }
+  if (!std::is_sorted(plan_.corrupt_frames.begin(),
+                      plan_.corrupt_frames.end())) {
+    throw std::invalid_argument("FaultPlan: corrupt_frames must be sorted");
+  }
+  install_frame_faults();
+  install_host_faults();
+  install_daemon_outages();
+}
+
+void Injector::install_frame_faults() {
+  if (plan_.frame_ber <= 0.0 && plan_.corrupt_every_nth == 0 &&
+      plan_.corrupt_frames.empty()) {
+    return;
+  }
+  if (wiring_.segment == nullptr) {
+    throw std::invalid_argument(
+        "FaultPlan: frame faults require a wired segment");
+  }
+  wiring_.segment->set_loss_model(
+      [this](const eth::Frame& frame) { return classify(frame); });
+}
+
+eth::DropCause Injector::classify(const eth::Frame& frame) {
+  const std::uint64_t index = stats_.frames_seen++;
+  // One Bernoulli draw per frame, *unconditionally*, so the BER stream's
+  // position is a pure function of the frame index no matter which other
+  // fault sources are configured (the determinism contract).
+  bool ber_hit = false;
+  if (plan_.frame_ber > 0.0) {
+    const double bits = static_cast<double>(frame.wire_bytes()) * 8.0;
+    const double drop_p = -std::expm1(bits * std::log1p(-plan_.frame_ber));
+    ber_hit = ber_rng_.next_bool(drop_p);
+  }
+  const bool forced =
+      (plan_.corrupt_every_nth != 0 &&
+       (index + 1) % plan_.corrupt_every_nth == 0) ||
+      std::binary_search(plan_.corrupt_frames.begin(),
+                         plan_.corrupt_frames.end(), index);
+  if (forced) {
+    ++stats_.forced_fcs_drops;
+    return eth::DropCause::kForcedFcs;
+  }
+  if (ber_hit) {
+    ++stats_.ber_drops;
+    return eth::DropCause::kBitError;
+  }
+  return eth::DropCause::kNone;
+}
+
+void Injector::install_host_faults() {
+  if (plan_.host_faults.empty()) return;
+  std::map<int, std::vector<host::CpuFaultWindow>> per_host;
+  for (const HostFaultWindow& w : plan_.host_faults) {
+    if (w.host < 0 ||
+        w.host >= static_cast<int>(wiring_.hosts.size())) {
+      throw std::invalid_argument("FaultPlan: host fault for host " +
+                                  std::to_string(w.host) +
+                                  " out of range");
+    }
+    if (w.duration_s <= 0.0) {
+      throw std::invalid_argument("FaultPlan: host fault needs duration > 0");
+    }
+    host::CpuFaultWindow window;
+    window.start = sim::SimTime::zero() + sim::seconds(w.start_s);
+    window.end = window.start + sim::seconds(w.duration_s);
+    window.cpu_factor = w.cpu_factor;
+    window.network_down = w.network_down;
+    per_host[w.host].push_back(window);
+  }
+  for (auto& [host_index, windows] : per_host) {
+    std::sort(windows.begin(), windows.end(),
+              [](const host::CpuFaultWindow& a,
+                 const host::CpuFaultWindow& b) { return a.start < b.start; });
+    host::Workstation* ws = wiring_.hosts[static_cast<std::size_t>(host_index)];
+    ws->set_fault_windows(windows);  // validates disjointness
+    const bool any_network_down =
+        std::any_of(windows.begin(), windows.end(),
+                    [](const host::CpuFaultWindow& w) {
+                      return w.network_down;
+                    });
+    if (any_network_down) {
+      // Crash semantics: inbound traffic dies at the interface of a down
+      // host.  The filter reads the workstation's installed schedule so
+      // the two views can never drift apart.
+      ws->stack().set_inbound_filter([this, ws](const net::IpDatagram&) {
+        const sim::SimTime now = sim_.now();
+        for (const host::CpuFaultWindow& w : ws->fault_windows()) {
+          if (w.network_down && now >= w.start && now < w.end) return false;
+        }
+        return true;
+      });
+    }
+  }
+}
+
+void Injector::install_daemon_outages() {
+  if (plan_.daemon_outages.empty()) return;
+  if (wiring_.vm == nullptr) {
+    throw std::invalid_argument(
+        "FaultPlan: daemon outages require a wired virtual machine");
+  }
+  for (const DaemonOutage& outage : plan_.daemon_outages) {
+    if (outage.host < 0 ||
+        outage.host >= static_cast<int>(wiring_.hosts.size())) {
+      throw std::invalid_argument("FaultPlan: daemon outage for host " +
+                                  std::to_string(outage.host) +
+                                  " out of range");
+    }
+    const net::HostId host_id =
+        wiring_.hosts[static_cast<std::size_t>(outage.host)]->id();
+    pvm::Daemon* daemon = &wiring_.vm->daemon_of(host_id);
+    // Background events: a scheduled crash must never keep an otherwise
+    // finished simulation alive.
+    sim_.schedule_in_background(sim::seconds(outage.start_s),
+                                [daemon] { daemon->set_down(true); });
+    if (outage.down_s > 0.0) {
+      sim_.schedule_in_background(
+          sim::seconds(outage.start_s + outage.down_s),
+          [daemon] { daemon->set_down(false); });
+    }
+  }
+}
+
+}  // namespace fxtraf::fault

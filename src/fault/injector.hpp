@@ -1,0 +1,61 @@
+// Installs a FaultPlan into a built testbed: segment loss model (BER +
+// forced FCS), per-host CPU/network fault windows, and daemon
+// crash/restart schedules.  Construction is side-effecting; the injector
+// must outlive the simulation run (the segment's loss model captures it).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ethernet/segment.hpp"
+#include "fault/plan.hpp"
+#include "host/workstation.hpp"
+#include "pvm/vm.hpp"
+#include "simcore/rng.hpp"
+#include "simcore/simulator.hpp"
+
+namespace fxtraf::fault {
+
+struct InjectorStats {
+  std::uint64_t frames_seen = 0;  ///< completed transmissions classified
+  std::uint64_t ber_drops = 0;
+  std::uint64_t forced_fcs_drops = 0;
+};
+
+class Injector {
+ public:
+  /// The testbed surfaces the plan acts on.  vm may be null (no daemon
+  /// outages possible then).
+  struct Wiring {
+    eth::Segment* segment = nullptr;
+    std::vector<host::Workstation*> hosts;
+    pvm::VirtualMachine* vm = nullptr;
+  };
+
+  /// Validates the plan against the wiring and installs every hook.
+  /// Throws std::invalid_argument on out-of-range hosts or overlapping
+  /// windows.  All fault randomness derives from (trial_seed, plan.salt)
+  /// via fault::stream_seed — see plan.hpp for the determinism contract.
+  Injector(sim::Simulator& simulator, Wiring wiring, FaultPlan plan,
+           std::uint64_t trial_seed);
+
+  Injector(const Injector&) = delete;
+  Injector& operator=(const Injector&) = delete;
+
+  [[nodiscard]] const FaultPlan& plan() const { return plan_; }
+  [[nodiscard]] const InjectorStats& stats() const { return stats_; }
+
+ private:
+  void install_frame_faults();
+  void install_host_faults();
+  void install_daemon_outages();
+  [[nodiscard]] eth::DropCause classify(const eth::Frame& frame);
+
+  sim::Simulator& sim_;
+  Wiring wiring_;
+  FaultPlan plan_;
+  sim::Rng ber_rng_;
+  InjectorStats stats_;
+};
+
+}  // namespace fxtraf::fault

@@ -1,0 +1,92 @@
+// Declarative fault plans: the deterministic schedule of impairments a
+// trial runs under.
+//
+// Determinism contract (DESIGN.md section 9): every fault source draws
+// from its own RNG stream derived *statelessly* from (trial seed, plan
+// salt, stream id) via splitmix64 mixing.  Nothing here touches
+// Simulator::rng() or Rng::fork() on a shared generator -- forking
+// advances the parent state, so a plan that consumed shared randomness
+// would perturb the workstation/NIC streams and break bitwise replay of
+// the *fault-free* portions of a campaign.  Corollary: a default
+// (inactive) FaultPlan leaves a trial byte-identical to a run without
+// the fault subsystem compiled in at all.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace fxtraf::fault {
+
+/// Splits a per-fault-stream seed out of the trial seed without any
+/// shared RNG state.  Same mixer family as campaign::split_seed so the
+/// streams are decorrelated from the per-trial seed split as well.
+[[nodiscard]] constexpr std::uint64_t stream_seed(std::uint64_t trial_seed,
+                                                 std::uint64_t salt,
+                                                 std::uint64_t stream_id) {
+  std::uint64_t z = trial_seed + 0x9e3779b97f4a7c15ULL * (stream_id + 1) +
+                    (salt ^ 0x6a09e667f3bcc909ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// Well-known stream ids (keep stable: they are part of the replay
+/// contract -- changing one changes every faulted golden digest).
+inline constexpr std::uint64_t kBerStream = 1;
+
+/// A CPU/network impairment window on one workstation.  cpu_factor
+/// scales the host's effective compute rate inside [start_s, start_s +
+/// duration_s): 0 halts the CPU (pause/crash), 0.5 halves it
+/// (slowdown), 1 is a no-op.  network_down additionally models a crash:
+/// inbound frames addressed to the host are discarded for the window
+/// (the wire still carries them -- a dead host does not quiet the
+/// segment for anyone else).
+struct HostFaultWindow {
+  int host = 0;
+  double start_s = 0.0;
+  double duration_s = 0.0;
+  double cpu_factor = 0.0;
+  bool network_down = false;
+};
+
+/// A pvmd crash+restart on one host.  While down the daemon discards
+/// every datagram addressed to it (data, acks, keepalives) and sends
+/// nothing; route state survives the restart, so senders recover via
+/// their retry/backoff policy.  down_s <= 0 means the daemon never
+/// comes back -- senders must hit their retry bound and fail loudly.
+struct DaemonOutage {
+  int host = 0;
+  double start_s = 0.0;
+  double down_s = 0.0;
+};
+
+/// The full declarative schedule.  Value-semantic and cheap to copy so
+/// campaign TrialSpecs can carry one per trial.
+struct FaultPlan {
+  /// Independent per-bit error probability applied to every frame on
+  /// the segment (drop probability 1-(1-ber)^wire_bits, one Bernoulli
+  /// draw per frame from the BER stream).  0 disables.
+  double frame_ber = 0.0;
+  /// Force-corrupt the FCS of every Nth successfully transmitted frame
+  /// (1-based cadence; 0 disables).  Deterministic, RNG-free.
+  std::uint64_t corrupt_every_nth = 0;
+  /// Force-corrupt specific frame indices (0-based order of completed
+  /// transmissions on the segment).  Must be sorted ascending.
+  std::vector<std::uint64_t> corrupt_frames;
+  std::vector<HostFaultWindow> host_faults;
+  std::vector<DaemonOutage> daemon_outages;
+  /// Mixed into every stream seed so two plans on the same trial seed
+  /// draw unrelated fault streams.
+  std::uint64_t salt = 0;
+  /// Simulated-time budget before the watchdog declares a livelock and
+  /// stops the trial with a diagnosis.  <= 0 disables the watchdog.
+  double watchdog_s = 600.0;
+
+  [[nodiscard]] bool active() const {
+    return frame_ber > 0.0 || corrupt_every_nth != 0 ||
+           !corrupt_frames.empty() || !host_faults.empty() ||
+           !daemon_outages.empty();
+  }
+};
+
+}  // namespace fxtraf::fault

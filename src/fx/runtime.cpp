@@ -34,13 +34,43 @@ RunningProgram launch(pvm::VirtualMachine& vm, const FxProgram& program) {
   return RunningProgram{std::move(context), std::move(processes)};
 }
 
-sim::SimTime run_program(pvm::VirtualMachine& vm, const FxProgram& program) {
+sim::SimTime run_program(pvm::VirtualMachine& vm, const FxProgram& program,
+                         const RunLimits& limits) {
   RunningProgram running = launch(vm, program);
-  vm.simulator().run();
+  sim::Simulator& simulator = vm.simulator();
+  bool watchdog_fired = false;
+  if (limits.watchdog.ns() > 0) {
+    // Foreground event so run() cannot drain past it; cancelled the
+    // moment the last rank completes, so a healthy run's capture never
+    // sees watchdog-driven background activity (keepalives etc.).
+    const sim::EventId watchdog =
+        simulator.schedule_in(limits.watchdog, [&simulator, &watchdog_fired] {
+          watchdog_fired = true;
+          simulator.stop();
+        });
+    running.context().set_all_finished_hook(
+        [&simulator, watchdog] { simulator.cancel(watchdog); });
+  }
+  simulator.run();
   running.rethrow_failures();
   if (!running.all_done()) {
-    throw std::runtime_error("run_program: deadlock — event queue drained "
-                             "with unfinished ranks in " + program.name);
+    std::string diagnosis =
+        watchdog_fired
+            ? "run_program: watchdog — ranks still running after " +
+                  std::to_string(limits.watchdog.seconds()) +
+                  " s of simulated time (livelock or stalled kernel) in " +
+                  program.name
+            : "run_program: deadlock — event queue drained with unfinished "
+              "ranks in " +
+                  program.name;
+    diagnosis += "; unfinished ranks:";
+    for (int rank : running.unfinished_ranks()) {
+      diagnosis += " " + std::to_string(rank);
+    }
+    for (const std::string& failure : vm.service_failures()) {
+      diagnosis += "; " + failure;
+    }
+    throw std::runtime_error(diagnosis);
   }
   // Completion of the *program*, not of unrelated traffic (e.g. a
   // cross-traffic backlog) still draining from the network.

@@ -41,6 +41,15 @@ class FxContext {
   /// Records a rank's completion instant (called by the launch wrapper).
   void note_finish(sim::SimTime at) {
     if (at > last_finish_) last_finish_ = at;
+    if (++finished_ == processors_ && all_finished_hook_) {
+      all_finished_hook_();
+    }
+  }
+  /// Fired the instant the last rank completes (run_program uses it to
+  /// cancel the livelock watchdog so it never pollutes a healthy run).
+  void set_all_finished_hook(std::function<void()> hook) {
+    all_finished_hook_ = std::move(hook);
+    if (finished_ == processors_ && all_finished_hook_) all_finished_hook_();
   }
   /// Instant the last rank finished — the program's runtime, independent
   /// of unrelated traffic still draining from the network afterwards.
@@ -57,6 +66,8 @@ class FxContext {
   int processors_;
   std::vector<int> tags_;
   sim::SimTime last_finish_ = sim::SimTime::zero();
+  int finished_ = 0;
+  std::function<void()> all_finished_hook_;
 };
 
 /// An Fx-compiled program: a name plus the per-rank SPMD body.
@@ -85,6 +96,15 @@ class RunningProgram {
     for (const sim::Process& p : processes_) p.rethrow_if_failed();
   }
 
+  /// Ranks that had not completed when the simulator stopped.
+  [[nodiscard]] std::vector<int> unfinished_ranks() const {
+    std::vector<int> out;
+    for (std::size_t i = 0; i < processes_.size(); ++i) {
+      if (!processes_[i].done()) out.push_back(static_cast<int>(i));
+    }
+    return out;
+  }
+
   [[nodiscard]] FxContext& context() { return *context_; }
 
  private:
@@ -97,9 +117,20 @@ class RunningProgram {
 [[nodiscard]] RunningProgram launch(pvm::VirtualMachine& vm,
                                     const FxProgram& program);
 
+/// Execution bounds for run_program.  The watchdog is a *simulated-time*
+/// budget: if any rank is still running when it expires the run stops
+/// and fails with a livelock diagnosis (a fault that stalls a kernel
+/// must fail the trial loudly, never spin the event loop forever).  A
+/// zero watchdog disables it — the pre-fault behaviour.
+struct RunLimits {
+  sim::Duration watchdog{0};
+};
+
 /// Convenience: launch, run the simulator to quiescence, and verify every
-/// rank completed (throws std::runtime_error on deadlock, rethrows rank
-/// exceptions).  Returns the finishing simulation time.
-sim::SimTime run_program(pvm::VirtualMachine& vm, const FxProgram& program);
+/// rank completed (throws std::runtime_error on deadlock/livelock with
+/// unfinished ranks and service diagnoses, rethrows rank exceptions).
+/// Returns the finishing simulation time.
+sim::SimTime run_program(pvm::VirtualMachine& vm, const FxProgram& program,
+                         const RunLimits& limits = {});
 
 }  // namespace fxtraf::fx

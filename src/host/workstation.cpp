@@ -1,5 +1,9 @@
 #include "host/workstation.hpp"
+
+#include <algorithm>
+#include <cmath>
 #include <stdexcept>
+#include <utility>
 
 namespace fxtraf::host {
 
@@ -44,16 +48,65 @@ sim::Co<void> Workstation::compute(double flops) {
     stats_.descheduled_ns += pause.ns();
     const auto first =
         sim::Duration{static_cast<std::int64_t>(split * base.ns())};
-    co_await sim::delay(sim_, first);
+    co_await occupy(first);
     co_await sim::delay(sim_, pause);
-    co_await sim::delay(sim_, base - first);
+    co_await occupy(base - first);
     co_return;
   }
-  co_await sim::delay(sim_, base);
+  co_await occupy(base);
 }
 
-sim::Co<void> Workstation::busy(sim::Duration d) {
-  co_await sim::delay(sim_, d);
+sim::Co<void> Workstation::busy(sim::Duration d) { co_await occupy(d); }
+
+sim::Co<void> Workstation::occupy(sim::Duration work) {
+  if (fault_windows_.empty()) {
+    // The common path stays a plain delay — a faultless workstation is
+    // bit-identical to the pre-fault code.
+    co_await sim::delay(sim_, work);
+    co_return;
+  }
+  const sim::SimTime done = cpu_finish(sim_.now(), work);
+  co_await sim::delay(sim_, done - sim_.now());
+}
+
+void Workstation::set_fault_windows(std::vector<CpuFaultWindow> windows) {
+  for (std::size_t i = 1; i < windows.size(); ++i) {
+    if (windows[i].start < windows[i - 1].end) {
+      throw std::invalid_argument(
+          "set_fault_windows: windows must be sorted and disjoint");
+    }
+  }
+  fault_windows_ = std::move(windows);
+}
+
+sim::SimTime Workstation::cpu_finish(sim::SimTime start,
+                                     sim::Duration work) const {
+  std::int64_t t = start.ns();
+  double remaining = static_cast<double>(work.ns());  // CPU-ns still owed
+  for (const CpuFaultWindow& w : fault_windows_) {
+    if (remaining <= 0.0) break;
+    if (w.end.ns() <= t) continue;
+    if (t < w.start.ns()) {
+      const double free = static_cast<double>(w.start.ns() - t);
+      if (remaining <= free) {
+        return sim::SimTime{t + std::llround(remaining)};
+      }
+      remaining -= free;
+      t = w.start.ns();
+    }
+    if (w.cpu_factor <= 0.0) {
+      t = w.end.ns();  // halted: the whole window passes, no work done
+    } else {
+      const double span = static_cast<double>(w.end.ns() - t);
+      const double capacity = span * w.cpu_factor;
+      if (remaining <= capacity) {
+        return sim::SimTime{t + std::llround(remaining / w.cpu_factor)};
+      }
+      remaining -= capacity;
+      t = w.end.ns();
+    }
+  }
+  return sim::SimTime{t + std::llround(std::max(remaining, 0.0))};
 }
 
 }  // namespace fxtraf::host

@@ -9,6 +9,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <vector>
 
 #include "ethernet/nic.hpp"
 #include "ethernet/segment.hpp"
@@ -33,6 +34,16 @@ struct WorkstationStats {
   std::uint64_t compute_phases = 0;
   std::uint64_t deschedules = 0;
   std::int64_t descheduled_ns = 0;
+};
+
+/// A scheduled CPU impairment (fault::Injector): inside [start, end) the
+/// host computes at `cpu_factor` times its normal rate (0 = halted), and
+/// with network_down its stack discards inbound traffic (crash).
+struct CpuFaultWindow {
+  sim::SimTime start;
+  sim::SimTime end;
+  double cpu_factor = 0.0;
+  bool network_down = false;
 };
 
 class Workstation {
@@ -68,13 +79,29 @@ class Workstation {
   /// as message-assembly copy loops).
   [[nodiscard]] sim::Co<void> busy(sim::Duration d);
 
+  /// Installs the fault schedule.  Windows must be sorted by start and
+  /// non-overlapping; every CPU occupancy from then on stretches across
+  /// the impaired regions it intersects.
+  void set_fault_windows(std::vector<CpuFaultWindow> windows);
+  [[nodiscard]] const std::vector<CpuFaultWindow>& fault_windows() const {
+    return fault_windows_;
+  }
+  /// When `work` of CPU time starts at `start`, when does it complete
+  /// given the fault schedule?  (Identity +work with no windows.)
+  [[nodiscard]] sim::SimTime cpu_finish(sim::SimTime start,
+                                        sim::Duration work) const;
+
  private:
+  /// delay() that respects the fault schedule.
+  [[nodiscard]] sim::Co<void> occupy(sim::Duration work);
+
   sim::Simulator& sim_;
   std::unique_ptr<net::LinkLayer> link_;
   net::Stack stack_;
   WorkstationConfig config_;
   sim::Rng sched_rng_;
   WorkstationStats stats_;
+  std::vector<CpuFaultWindow> fault_windows_;
 };
 
 }  // namespace fxtraf::host

@@ -58,9 +58,28 @@ Stack::AcceptQueue& Stack::tcp_listen(std::uint16_t port) {
   return *it->second;
 }
 
+TcpStats Stack::tcp_totals() const {
+  TcpStats total;
+  for (const auto& [key, conn] : connections_) {
+    const TcpStats& s = conn->stats();
+    total.bytes_sent += s.bytes_sent;
+    total.bytes_received += s.bytes_received;
+    total.segments_sent += s.segments_sent;
+    total.pure_acks_sent += s.pure_acks_sent;
+    total.retransmissions += s.retransmissions;
+    total.timeouts += s.timeouts;
+    total.fast_retransmits += s.fast_retransmits;
+  }
+  return total;
+}
+
 void Stack::on_frame(const eth::Frame& frame) {
   const IpDatagram& d = *frame.datagram;
   if (d.dst != host()) return;  // promiscuous noise
+  if (inbound_filter_ && !inbound_filter_(d)) {
+    ++inbound_filtered_;  // crashed host: traffic dies at the interface
+    return;
+  }
   switch (d.proto) {
     case IpProto::kUdp: {
       auto it = udp_handlers_.find(d.dst_port);

@@ -30,6 +30,20 @@ class Stack {
   [[nodiscard]] const TcpConfig& tcp_config() const { return tcp_config_; }
   [[nodiscard]] sim::Simulator& simulator() { return sim_; }
 
+  /// Crash semantics (fault::Injector): while the filter returns false,
+  /// inbound datagrams addressed to this host are discarded before
+  /// demultiplexing — the wire carried them, the dead host ignored them.
+  using InboundFilter = std::function<bool(const IpDatagram&)>;
+  void set_inbound_filter(InboundFilter filter) {
+    inbound_filter_ = std::move(filter);
+  }
+  [[nodiscard]] std::uint64_t inbound_filtered() const {
+    return inbound_filtered_;
+  }
+
+  /// TCP counters summed over every connection this stack ever owned.
+  [[nodiscard]] TcpStats tcp_totals() const;
+
   /// Hands a datagram to the link layer.
   void transmit(IpDatagram datagram);
 
@@ -64,6 +78,8 @@ class Stack {
   std::map<std::uint16_t, std::unique_ptr<AcceptQueue>> listeners_;
   std::map<std::uint16_t, UdpHandler> udp_handlers_;
   std::uint16_t next_ephemeral_ = 1024;
+  InboundFilter inbound_filter_;
+  std::uint64_t inbound_filtered_ = 0;
 };
 
 }  // namespace fxtraf::net

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cstdlib>
 
 #include "net/stack.hpp"
 #include "simcore/log.hpp"
@@ -22,6 +23,7 @@ TcpConnection::TcpConnection(sim::Simulator& simulator, Stack& stack,
   cwnd_bytes_ = config_.slow_start
                     ? config_.initial_cwnd_segments * config_.mss
                     : config_.window_bytes;
+  rto_current_ = config_.retransmit_timeout;
 }
 
 sim::Co<void> TcpConnection::connect() {
@@ -30,6 +32,7 @@ sim::Co<void> TcpConnection::connect() {
   emit_segment(/*seq=*/0, /*payload=*/0, /*syn=*/true, /*force_ack=*/false);
   arm_retransmit_timer();
   co_await established_.wait();
+  if (aborted_) throw ConnectionAborted(abort_reason_);
 }
 
 void TcpConnection::on_passive_open() {
@@ -40,7 +43,7 @@ void TcpConnection::on_passive_open() {
 }
 
 void TcpConnection::send(std::size_t bytes) {
-  if (bytes == 0) return;
+  if (bytes == 0 || aborted_) return;
   write_queue_.push_back(bytes);
   total_written_ += bytes;
   pump();
@@ -75,6 +78,13 @@ void TcpConnection::pump() {
     // because the window is always at least one MSS wide.
     if (payload > window_space) break;
 
+    // Karn discipline: time at most one in-flight segment, and only a
+    // fresh (never retransmitted) one.
+    if (config_.adaptive_rto && !rtt_timing_) {
+      rtt_timing_ = true;
+      rtt_seq_ = snd_nxt_ + payload;
+      rtt_sent_at_ = sim_.now();
+    }
     emit_segment(snd_nxt_, payload, /*syn=*/false, /*force_ack=*/false);
     unacked_.push_back(UnackedSegment{snd_nxt_, payload});
     snd_nxt_ += payload;
@@ -83,7 +93,7 @@ void TcpConnection::pump() {
       write_queue_.pop_front();
       front_write_offset_ = 0;
     }
-    if (!rto_armed_) arm_retransmit_timer();
+    ensure_retransmit_timer();
   }
 }
 
@@ -127,9 +137,19 @@ void TcpConnection::send_pure_ack() {
 
 void TcpConnection::arm_retransmit_timer() {
   if (rto_armed_) sim_.cancel(rto_event_);
-  rto_event_ = sim_.schedule_in(config_.retransmit_timeout,
-                                [this] { on_retransmit_timeout(); });
+  rto_event_ =
+      sim_.schedule_in(rto_current_, [this] { on_retransmit_timeout(); });
   rto_armed_ = true;
+  armed_for_seq_ = unacked_.empty() ? 0 : unacked_.front().seq;
+}
+
+void TcpConnection::ensure_retransmit_timer() {
+  if (unacked_.empty()) {
+    cancel_retransmit_timer();
+    return;
+  }
+  if (rto_armed_ && armed_for_seq_ == unacked_.front().seq) return;
+  arm_retransmit_timer();
 }
 
 void TcpConnection::cancel_retransmit_timer() {
@@ -139,8 +159,97 @@ void TcpConnection::cancel_retransmit_timer() {
   }
 }
 
+void TcpConnection::note_rtt_sample(sim::Duration sample) {
+  if (!have_rtt_sample_) {
+    srtt_ = sample;
+    rttvar_ = sim::Duration{sample.ns() / 2};
+    have_rtt_sample_ = true;
+    return;
+  }
+  // RFC 6298: RTTVAR <- 3/4 RTTVAR + 1/4 |SRTT - R'|,
+  //           SRTT   <- 7/8 SRTT   + 1/8 R'.
+  const std::int64_t err = std::llabs(srtt_.ns() - sample.ns());
+  rttvar_ = sim::Duration{(3 * rttvar_.ns() + err) / 4};
+  srtt_ = sim::Duration{(7 * srtt_.ns() + sample.ns()) / 8};
+}
+
+sim::Duration TcpConnection::computed_rto() const {
+  if (!config_.adaptive_rto || !have_rtt_sample_) {
+    return config_.retransmit_timeout;
+  }
+  const std::int64_t var_term =
+      std::max<std::int64_t>(sim::millis(1).ns(), 4 * rttvar_.ns());
+  return std::clamp(sim::Duration{srtt_.ns() + var_term}, config_.min_rto,
+                    config_.max_rto);
+}
+
+void TcpConnection::go_back_n(const char* why) {
+  // Go-back-N: re-emit every unacknowledged segment with its original
+  // boundaries (the receiver discards out-of-order data, so resending
+  // only the head would leave the rest to the next timeout anyway).
+  sim::Logger::log(sim::LogLevel::kDebug, sim_.now(), "tcp",
+                   "%u:%u %s, retransmitting %zu segments", local_,
+                   local_port_, why, unacked_.size());
+  rtt_timing_ = false;  // Karn: no samples from retransmitted segments
+  for (const UnackedSegment& seg : unacked_) {
+    ++stats_.retransmissions;
+    emit_segment(seg.seq, seg.len, /*syn=*/false, /*force_ack=*/false);
+  }
+}
+
+void TcpConnection::abort_connection(const std::string& reason) {
+  if (aborted_) return;
+  aborted_ = true;
+  abort_reason_ = reason;
+  state_ = State::kClosed;
+  cancel_retransmit_timer();
+  if (delack_armed_) {
+    sim_.cancel(delack_event_);
+    delack_armed_ = false;
+  }
+  write_queue_.clear();
+  unacked_.clear();
+  sim::Logger::log(sim::LogLevel::kWarn, sim_.now(), "tcp",
+                   "%u:%u -> %u:%u aborted: %s", local_, local_port_,
+                   remote_, remote_port_, reason.c_str());
+  // Wake every parked coroutine; their awaiters observe aborted_ and
+  // throw ConnectionAborted instead of hanging on a dead peer.
+  established_.set(sim_);
+  for (const RecvWaiter& w : recv_waiters_) {
+    sim_.schedule_now([h = w.handle] { h.resume(); });
+  }
+  recv_waiters_.clear();
+  for (const WriteWaiter& w : write_waiters_) {
+    sim_.schedule_now([h = w.handle] { h.resume(); });
+  }
+  write_waiters_.clear();
+  for (auto h : drain_waiters_) {
+    sim_.schedule_now([h] { h.resume(); });
+  }
+  drain_waiters_.clear();
+}
+
 void TcpConnection::on_retransmit_timeout() {
   rto_armed_ = false;
+  ++stats_.timeouts;
+  ++consecutive_timeouts_;
+  if (config_.max_retries > 0 &&
+      consecutive_timeouts_ > config_.max_retries) {
+    abort_connection(state_ == State::kSynSent
+                         ? "connect: no SYN+ACK after " +
+                               std::to_string(config_.max_retries) +
+                               " retries (peer down or unreachable)"
+                         : "retransmission limit: " +
+                               std::to_string(config_.max_retries) +
+                               " consecutive timeouts with " +
+                               std::to_string(unacked_.size()) +
+                               " segments outstanding");
+    return;
+  }
+  // Karn: exponential backoff; the estimator catches up after recovery.
+  rto_current_ = std::min(sim::Duration{rto_current_.ns() * 2},
+                          config_.max_rto);
+  rtt_timing_ = false;
   if (state_ == State::kSynSent) {
     emit_segment(0, 0, /*syn=*/true, /*force_ack=*/false);
     arm_retransmit_timer();
@@ -151,15 +260,9 @@ void TcpConnection::on_retransmit_timeout() {
     // Timeout: collapse the congestion window (classic slow start).
     cwnd_bytes_ = config_.initial_cwnd_segments * config_.mss;
   }
-  // Go-back-N: re-emit every unacknowledged segment with its original
-  // boundaries.
-  sim::Logger::log(sim::LogLevel::kDebug, sim_.now(), "tcp",
-                   "%u:%u rto, retransmitting %zu segments", local_,
-                   local_port_, unacked_.size());
-  for (const UnackedSegment& seg : unacked_) {
-    ++stats_.retransmissions;
-    emit_segment(seg.seq, seg.len, /*syn=*/false, /*force_ack=*/false);
-  }
+  in_recovery_ = true;  // stale duplicates must not trigger another burst
+  recover_ = snd_nxt_;
+  go_back_n("rto");
   arm_retransmit_timer();
 }
 
@@ -174,6 +277,7 @@ void TcpConnection::arm_delayed_ack() {
 
 void TcpConnection::on_segment(const IpDatagram& d) {
   assert(d.proto == IpProto::kTcp);
+  if (aborted_) return;  // dead endpoint: ignore late segments
   const TcpSegmentInfo& seg = d.tcp;
 
   // --- Handshake progression ---------------------------------------
@@ -182,6 +286,8 @@ void TcpConnection::on_segment(const IpDatagram& d) {
       // SYN+ACK: complete with a pure ACK.
       state_ = State::kEstablished;
       cancel_retransmit_timer();
+      consecutive_timeouts_ = 0;
+      rto_current_ = computed_rto();
       send_pure_ack();
       established_.set(sim_);
       if (established_hook_) established_hook_();
@@ -203,7 +309,15 @@ void TcpConnection::on_segment(const IpDatagram& d) {
 
   // --- Sender side: process acknowledgment --------------------------
   if (seg.has_ack && seg.ack > snd_una_) {
+    if (rtt_timing_ && seg.ack >= rtt_seq_) {
+      note_rtt_sample(sim_.now() - rtt_sent_at_);
+      rtt_timing_ = false;
+    }
     snd_una_ = seg.ack;
+    consecutive_timeouts_ = 0;
+    dup_acks_ = 0;
+    if (in_recovery_ && snd_una_ >= recover_) in_recovery_ = false;
+    rto_current_ = computed_rto();
     if (config_.slow_start && cwnd_bytes_ < config_.window_bytes) {
       cwnd_bytes_ = std::min(cwnd_bytes_ + config_.mss,
                              config_.window_bytes);
@@ -212,14 +326,23 @@ void TcpConnection::on_segment(const IpDatagram& d) {
            unacked_.front().seq + unacked_.front().len <= snd_una_) {
       unacked_.pop_front();
     }
-    if (unacked_.empty()) {
-      cancel_retransmit_timer();
-    } else {
-      arm_retransmit_timer();
-    }
+    ensure_retransmit_timer();
     try_release_drainers();
     try_admit_writers();
     pump();
+  } else if (seg.has_ack && seg.ack == snd_una_ && !unacked_.empty() &&
+             d.payload_bytes == 0 && config_.dupack_threshold > 0 &&
+             !in_recovery_) {
+    // A pure ACK that does not advance while data is outstanding: the
+    // receiver saw an out-of-order arrival (something before it died).
+    if (++dup_acks_ == config_.dupack_threshold) {
+      dup_acks_ = 0;
+      ++stats_.fast_retransmits;
+      in_recovery_ = true;
+      recover_ = snd_nxt_;
+      go_back_n("fast retransmit");
+      arm_retransmit_timer();  // restart the clock for the resent head
+    }
   }
 
   // --- Receiver side: process payload --------------------------------
@@ -236,7 +359,8 @@ void TcpConnection::on_segment(const IpDatagram& d) {
     }
   } else {
     // Out-of-order (a preceding frame died) or duplicate: discard and
-    // re-advertise our expectation immediately.
+    // re-advertise our expectation immediately.  These immediate pure
+    // ACKs are what the peer counts as duplicates for fast retransmit.
     send_pure_ack();
   }
 }

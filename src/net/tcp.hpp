@@ -9,14 +9,19 @@
 //     office LAN's TCPs were ACK-clocked against a 32 KB window);
 //   - delayed ACKs, ack-every-other-segment (BSD behaviour), producing
 //     the pure 58-byte ACK mode of the paper's trimodal size histograms;
-//   - go-back-N retransmission on a fixed RTO, enough to recover the rare
-//     excessive-collision frame drop.
+//   - go-back-N retransmission on a Jacobson/Karn adaptive RTO
+//     (SRTT/RTTVAR, exponential backoff, retry bound) with fast
+//     retransmit on triple duplicate ACKs.  min_rto keeps the fault-free
+//     timeout at the legacy fixed value, so a clean LAN never sees a
+//     spurious retransmission.
 #pragma once
 
 #include <cstdint>
 #include <coroutine>
 #include <deque>
 #include <functional>
+#include <stdexcept>
+#include <string>
 
 #include "net/datagram.hpp"
 #include "simcore/coro.hpp"
@@ -26,10 +31,20 @@ namespace fxtraf::net {
 
 class Stack;
 
+/// Thrown from connect()/write()/recv()/wait_drained() when the
+/// connection gave up (retransmission retry bound exhausted).  Every
+/// parked coroutine observes the abort -- a dead peer never leaves a
+/// silent hang, it surfaces here with a diagnosis.
+class ConnectionAborted : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
 struct TcpConfig {
   std::size_t mss = 1460;
   std::size_t window_bytes = 32768;
   std::size_t send_buffer_bytes = 65536;  ///< socket buffer (write blocks)
+  /// Initial RTO; also the fixed RTO when adaptive_rto is off.
   sim::Duration retransmit_timeout = sim::millis(300);
   sim::Duration delayed_ack_timeout = sim::millis(200);
   int ack_every_segments = 2;
@@ -40,6 +55,18 @@ struct TcpConfig {
   /// congestion-limited.  Provided for the transport ablation.
   bool slow_start = false;
   std::size_t initial_cwnd_segments = 2;
+  /// Jacobson/Karn adaptive RTO (RFC 6298 constants).  The estimator
+  /// only ever matters under loss: min_rto pins the floor at the legacy
+  /// fixed timeout, so a loss-free trace is bit-identical either way.
+  bool adaptive_rto = true;
+  sim::Duration min_rto = sim::millis(300);
+  sim::Duration max_rto = sim::seconds(8);
+  /// Consecutive timeouts on the same outstanding data (or SYN) before
+  /// the connection aborts with ConnectionAborted.  <= 0: retry forever
+  /// (the pre-fault legacy behaviour).
+  int max_retries = 8;
+  /// Duplicate ACKs that trigger a fast retransmit (0 disables).
+  int dupack_threshold = 3;
 };
 
 struct TcpStats {
@@ -47,7 +74,9 @@ struct TcpStats {
   std::uint64_t bytes_received = 0;  ///< application payload delivered
   std::uint64_t segments_sent = 0;
   std::uint64_t pure_acks_sent = 0;
-  std::uint64_t retransmissions = 0;
+  std::uint64_t retransmissions = 0;  ///< data segments re-emitted
+  std::uint64_t timeouts = 0;         ///< RTO expirations
+  std::uint64_t fast_retransmits = 0; ///< dup-ACK triggered recoveries
 };
 
 /// One endpoint of a simulated TCP connection.
@@ -67,10 +96,19 @@ class TcpConnection {
   [[nodiscard]] HostId remote_host() const { return remote_; }
   [[nodiscard]] std::uint16_t local_port() const { return local_port_; }
   [[nodiscard]] std::uint16_t remote_port() const { return remote_port_; }
-  [[nodiscard]] bool established() const { return established_.is_set(); }
+  [[nodiscard]] bool established() const {
+    return state_ == State::kEstablished;
+  }
+  [[nodiscard]] bool aborted() const { return aborted_; }
+  [[nodiscard]] const std::string& abort_reason() const {
+    return abort_reason_;
+  }
   [[nodiscard]] const TcpStats& stats() const { return stats_; }
+  /// Current smoothed RTT estimate (zero until the first sample).
+  [[nodiscard]] sim::Duration srtt() const { return srtt_; }
 
   /// Client side: sends SYN; completes when the handshake finishes.
+  /// Throws ConnectionAborted if the SYN retry bound is exhausted.
   [[nodiscard]] sim::Co<void> connect();
 
   /// Queues `bytes` of application data as one write.  Returns
@@ -109,6 +147,10 @@ class TcpConnection {
                     bool force_ack);
   void send_pure_ack();
   void arm_retransmit_timer();
+  /// Re-arms only when the oldest unacked segment changed; cancels when
+  /// nothing is outstanding.  (The legacy code cancelled + rescheduled
+  /// on every ACK even with an unchanged queue head.)
+  void ensure_retransmit_timer();
   void cancel_retransmit_timer();
   void on_retransmit_timeout();
   void arm_delayed_ack();
@@ -116,6 +158,10 @@ class TcpConnection {
   void try_satisfy_receivers();
   void try_release_drainers();
   void try_admit_writers();
+  void note_rtt_sample(sim::Duration sample);
+  [[nodiscard]] sim::Duration computed_rto() const;
+  void go_back_n(const char* why);
+  void abort_connection(const std::string& reason);
   [[nodiscard]] bool write_fits(std::size_t bytes) const {
     const std::uint64_t backlog = total_written_ - snd_una_;
     // Always admit at least one write so oversized writes make progress.
@@ -130,6 +176,8 @@ class TcpConnection {
   std::uint16_t remote_port_;
   TcpConfig config_;
   State state_ = State::kClosed;
+  bool aborted_ = false;
+  std::string abort_reason_;
   sim::CoEvent established_;
   std::function<void()> established_hook_;
 
@@ -147,6 +195,26 @@ class TcpConnection {
   std::size_t cwnd_bytes_ = 0;  ///< congestion window (slow start only)
   sim::EventId rto_event_{};
   bool rto_armed_ = false;
+  std::uint64_t armed_for_seq_ = 0;  ///< queue head covered by the timer
+
+  // RTT estimation (Jacobson), Karn-disciplined: a segment that was
+  // retransmitted never yields a sample.
+  sim::Duration srtt_{};
+  sim::Duration rttvar_{};
+  bool have_rtt_sample_ = false;
+  bool rtt_timing_ = false;
+  std::uint64_t rtt_seq_ = 0;  ///< sample completes when ack covers this
+  sim::SimTime rtt_sent_at_{};
+  sim::Duration rto_current_{};  ///< backoff-adjusted timeout in force
+  int consecutive_timeouts_ = 0;
+  int dup_acks_ = 0;
+  // NewReno-style recovery gate: after any go-back-N burst, the stale
+  // duplicates still in flight would otherwise generate fresh dup-ACK
+  // triples and re-trigger full-window retransmission — an amplification
+  // storm that can jam the shared segment.  One burst per window: no new
+  // fast retransmit until the ACK clock passes the recovery point.
+  bool in_recovery_ = false;
+  std::uint64_t recover_ = 0;  ///< snd_nxt_ at the moment of the burst
 
   // Receiver state.
   std::uint64_t rcv_nxt_ = 0;
@@ -176,6 +244,7 @@ class TcpConnection {
     // Fast path: consume immediately if data is buffered and nobody is
     // ahead of us in line (await_ready is evaluated exactly once).
     bool await_ready() noexcept {
+      if (connection.aborted_) return true;
       if (needed == 0) return true;
       if (connection.recv_waiters_.empty() &&
           connection.recv_available_ >= needed) {
@@ -187,21 +256,29 @@ class TcpConnection {
     void await_suspend(std::coroutine_handle<> h) {
       connection.recv_waiters_.push_back(RecvWaiter{needed, h});
     }
-    void await_resume() const noexcept {
+    void await_resume() const {
       // Suspended path: try_satisfy_receivers() consumed our bytes before
-      // resuming us.
+      // resuming us -- unless the connection died while we were parked.
+      if (connection.aborted_) {
+        throw ConnectionAborted(connection.abort_reason_);
+      }
     }
   };
 
   struct DrainAwaiter {
     TcpConnection& connection;
     bool await_ready() const noexcept {
-      return connection.snd_una_ == connection.total_written_;
+      return connection.aborted_ ||
+             connection.snd_una_ == connection.total_written_;
     }
     void await_suspend(std::coroutine_handle<> h) {
       connection.drain_waiters_.push_back(h);
     }
-    void await_resume() const noexcept {}
+    void await_resume() const {
+      if (connection.aborted_) {
+        throw ConnectionAborted(connection.abort_reason_);
+      }
+    }
   };
 
   struct WriteAwaiter {
@@ -209,6 +286,7 @@ class TcpConnection {
     std::size_t bytes;
 
     bool await_ready() noexcept {
+      if (connection.aborted_) return true;  // await_resume throws
       // FIFO fairness: newcomers queue behind existing blocked writers.
       if (connection.write_waiters_.empty() &&
           connection.write_fits(bytes)) {
@@ -220,9 +298,12 @@ class TcpConnection {
     void await_suspend(std::coroutine_handle<> h) {
       connection.write_waiters_.push_back(WriteWaiter{bytes, h});
     }
-    void await_resume() const noexcept {
+    void await_resume() const {
       // Suspended path: try_admit_writers() performed the send before
-      // resuming us.
+      // resuming us -- unless the connection died while we were parked.
+      if (connection.aborted_) {
+        throw ConnectionAborted(connection.abort_reason_);
+      }
     }
   };
 };

@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <cassert>
+#include <stdexcept>
+
+#include "simcore/log.hpp"
 
 #include "pvm/task.hpp"
 #include "pvm/vm.hpp"
@@ -41,6 +44,7 @@ sim::Co<void> Daemon::keepalive_loop() {
                               cfg.keepalive_interval.seconds()));
   for (;;) {
     co_await sim::delay_background(simulator, cfg.keepalive_interval);
+    if (down_) continue;  // a crashed pvmd pings nobody
     for (int t = 0; t < vm_.ntasks(); ++t) {
       const net::HostId peer = vm_.host_of(t);
       if (peer == host()) continue;
@@ -53,6 +57,29 @@ sim::Co<void> Daemon::keepalive_loop() {
 
 Daemon::PerSource& Daemon::per_source(net::HostId peer) {
   return sources_[peer];
+}
+
+void Daemon::set_down(bool down) {
+  if (down && !down_) ++stats_.outages;
+  down_ = down;
+  sim::Logger::log(sim::LogLevel::kInfo, vm_.simulator().now(), "pvmd",
+                   "host %u daemon %s", host(), down ? "down" : "restarted");
+}
+
+std::vector<std::string> Daemon::service_failures() const {
+  std::vector<std::string> out;
+  for (const sim::Process& p : service_) {
+    if (!p.failed()) continue;
+    try {
+      p.rethrow_if_failed();
+    } catch (const std::exception& e) {
+      out.push_back("pvmd host " + std::to_string(host()) + ": " + e.what());
+    } catch (...) {
+      out.push_back("pvmd host " + std::to_string(host()) +
+                    ": unknown failure");
+    }
+  }
+  return out;
 }
 
 void Daemon::expect(net::HostId from, const Message& message) {
@@ -100,26 +127,53 @@ sim::Co<void> Daemon::route(Message message, int dst_tid) {
         ++stats_.data_fragments_sent;
       }
     };
+    // A crashed local daemon sends nothing until it restarts; route state
+    // survives, so the transfer resumes where it left off.
+    while (down_) co_await sim::delay(simulator, sim::millis(20));
     send_window();
     // Per-fragment daemon processing cost.
     co_await sim::delay(
         simulator,
         sim::micros(50.0 * static_cast<double>(window_chunks.size())));
 
-    int polls_without_ack = 0;
+    // Ack wait with retransmit on timeout, exponential backoff, and an
+    // explicit give-up bound: a dead peer fails the route loudly instead
+    // of livelocking the sender (determinism: the poll cadence is fixed,
+    // so the retry schedule is a pure function of ack arrival times).
+    sim::Duration ack_timeout = cfg.daemon_ack_timeout;
+    sim::SimTime wait_started = simulator.now();
+    int retries = 0;
     while (flow.highest_ack < window_end) {
       co_await sim::delay(simulator, sim::millis(20));
       if (flow.highest_ack >= window_end) break;
-      if (++polls_without_ack >= 10) {  // ~200 ms ack timeout
+      if (down_) {  // crashed mid-wait: hold retries until restart
+        while (down_) co_await sim::delay(simulator, sim::millis(20));
+        wait_started = simulator.now();
+        continue;
+      }
+      if (simulator.now() - wait_started >= ack_timeout) {
+        if (cfg.daemon_max_retries > 0 && ++retries > cfg.daemon_max_retries) {
+          throw std::runtime_error(
+              "pvmd route: host " + std::to_string(host()) + " -> " +
+              std::to_string(peer_host) + " gave up after " +
+              std::to_string(cfg.daemon_max_retries) +
+              " window retransmissions (peer daemon down?)");
+        }
         ++stats_.retransmissions;
         send_window();
-        polls_without_ack = 0;
+        ack_timeout = std::min(
+            sim::Duration{ack_timeout.ns() * 2}, cfg.daemon_max_ack_timeout);
+        wait_started = simulator.now();
       }
     }
   }
 }
 
 void Daemon::on_data(const net::IpDatagram& d) {
+  if (down_) {
+    ++stats_.dropped_while_down;
+    return;
+  }
   const PvmConfig& cfg = vm_.config();
   PerSource& flow = per_source(d.src);
   assert(d.payload_bytes >= cfg.daemon_fragment_header);
@@ -165,6 +219,10 @@ sim::Co<void> Daemon::complete_delivery(Message message) {
 }
 
 void Daemon::on_ack(const net::IpDatagram& d) {
+  if (down_) {
+    ++stats_.dropped_while_down;
+    return;
+  }
   PerSource& flow = per_source(d.src);
   flow.highest_ack = std::max(flow.highest_ack, d.app_seq);
 }

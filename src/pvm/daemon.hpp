@@ -5,6 +5,7 @@
 #include <cstdint>
 #include <deque>
 #include <map>
+#include <string>
 #include <vector>
 
 #include "host/workstation.hpp"
@@ -22,6 +23,8 @@ struct DaemonStats {
   std::uint64_t keepalives_sent = 0;
   std::uint64_t retransmissions = 0;  ///< windows resent on ack timeout
   std::uint64_t duplicates_dropped = 0;
+  std::uint64_t dropped_while_down = 0;  ///< datagrams ignored mid-crash
+  std::uint64_t outages = 0;             ///< crash windows entered
 };
 
 class Daemon {
@@ -44,6 +47,15 @@ class Daemon {
   /// Sender side registers the message with this (receiving) daemon before
   /// the first fragment leaves (wire metadata only).
   void expect(net::HostId from, const Message& message);
+
+  /// Crash/restart (fault::Injector).  A down daemon ignores every
+  /// datagram and sends nothing; flow state survives the restart, so
+  /// peers recover through their retransmit/backoff policy.
+  void set_down(bool down);
+  [[nodiscard]] bool down() const { return down_; }
+
+  /// Diagnoses from failed service processes (exhausted route retries).
+  [[nodiscard]] std::vector<std::string> service_failures() const;
 
  private:
   struct PerSource {
@@ -71,6 +83,7 @@ class Daemon {
   std::map<net::HostId, PerSource> sources_;
   std::vector<sim::Process> service_;
   DaemonStats stats_;
+  bool down_ = false;
 };
 
 }  // namespace fxtraf::pvm

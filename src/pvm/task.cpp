@@ -1,6 +1,7 @@
 #include "pvm/task.hpp"
 
 #include <cassert>
+#include <stdexcept>
 
 #include "pvm/daemon.hpp"
 #include "pvm/vm.hpp"
@@ -63,17 +64,44 @@ void Task::deliver(Message message) {
 sim::Co<net::TcpConnection*> Task::direct_connection(int dst_tid) {
   auto it = outbound_.find(dst_tid);
   if (it != outbound_.end()) {
-    // Another send may still be mid-handshake on this connection.
-    co_await outbound_connecting_[dst_tid].wait();
-    co_return it->second;
+    // Another send may still be mid-handshake on this connection; ready
+    // fires either way, so nobody waits on a connect that already died.
+    OutboundSlot& slot = *it->second;
+    co_await slot.ready.wait();
+    if (slot.failed || slot.conn->aborted()) co_return nullptr;
+    co_return slot.conn;
   }
+  auto& slot_ptr = outbound_[dst_tid];
+  slot_ptr = std::make_unique<OutboundSlot>();
+  OutboundSlot& slot = *slot_ptr;
   net::TcpConnection& conn = ws_.stack().tcp_connect(
       vm_.host_of(dst_tid), vm_.task(dst_tid).port());
-  outbound_[dst_tid] = &conn;
-  sim::CoEvent& established = outbound_connecting_[dst_tid];
-  co_await conn.connect();
-  established.set(vm_.simulator());
+  slot.conn = &conn;
+  try {
+    co_await conn.connect();
+  } catch (const net::ConnectionAborted& e) {
+    slot.failed = true;
+    slot.error = e.what();
+    slot.ready.set(vm_.simulator());
+    co_return nullptr;
+  }
+  slot.ready.set(vm_.simulator());
   co_return &conn;
+}
+
+std::vector<std::string> Task::service_failures() const {
+  std::vector<std::string> out;
+  for (const sim::Process& p : service_) {
+    if (!p.failed()) continue;
+    try {
+      p.rethrow_if_failed();
+    } catch (const std::exception& e) {
+      out.push_back("task " + std::to_string(tid_) + ": " + e.what());
+    } catch (...) {
+      out.push_back("task " + std::to_string(tid_) + ": unknown failure");
+    }
+  }
+  return out;
 }
 
 sim::Co<void> Task::send(int dst_tid, Message message) {
@@ -108,6 +136,23 @@ sim::Co<void> Task::send(int dst_tid, Message message) {
   }
 
   net::TcpConnection* conn = co_await direct_connection(dst_tid);
+  if (conn == nullptr) {
+    // Direct-route setup failed (peer crashed or unreachable): either
+    // fall back to the daemon route or fail the send explicitly — a dead
+    // peer must never hang the sender silently.
+    if (!vm_.config().direct_route_fallback) {
+      throw std::runtime_error("task " + std::to_string(tid_) +
+                               ": direct route to task " +
+                               std::to_string(dst_tid) +
+                               " failed and fallback is disabled");
+    }
+    ++stats_.direct_fallbacks;
+    sim::Logger::log(sim::LogLevel::kInfo, vm_.simulator().now(), "pvm",
+                     "task %d: direct route to %d failed, using daemon route",
+                     tid_, dst_tid);
+    co_await vm_.daemon_of(ws_.id()).route(std::move(message), dst_tid);
+    co_return;
+  }
   Task& peer = vm_.task(dst_tid);
   peer.inbound_descriptors(ws_.id()).push(vm_.simulator(), message);
 

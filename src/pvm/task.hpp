@@ -5,7 +5,9 @@
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <string>
 #include <utility>
+#include <vector>
 
 #include "host/workstation.hpp"
 #include "net/stack.hpp"
@@ -20,6 +22,8 @@ struct TaskStats {
   std::uint64_t messages_sent = 0;
   std::uint64_t messages_received = 0;
   std::uint64_t bytes_sent = 0;  ///< application payload
+  /// Sends re-routed via the daemons after direct-route setup failed.
+  std::uint64_t direct_fallbacks = 0;
 };
 
 class Task {
@@ -58,9 +62,24 @@ class Task {
   /// timing is governed by the TCP byte stream).
   [[nodiscard]] sim::CoQueue<Message>& inbound_descriptors(net::HostId from);
 
+  /// Diagnoses from failed service processes (connection readers killed
+  /// by a transport abort).  Empty on a healthy task.
+  [[nodiscard]] std::vector<std::string> service_failures() const;
+
  private:
+  /// One outbound direct-route connection attempt.  `ready` fires on
+  /// success *and* failure, so senders queued behind a connect to a dead
+  /// peer wake up and fall back instead of hanging forever.
+  struct OutboundSlot {
+    net::TcpConnection* conn = nullptr;
+    sim::CoEvent ready;
+    bool failed = false;
+    std::string error;
+  };
+
   [[nodiscard]] sim::Co<void> accept_loop();
   [[nodiscard]] sim::Co<void> connection_reader(net::TcpConnection* conn);
+  /// nullptr when setup failed (caller decides: fallback or fail).
   [[nodiscard]] sim::Co<net::TcpConnection*> direct_connection(int dst_tid);
   [[nodiscard]] sim::CoQueue<Message>& mailbox(int src_tid, int tag);
 
@@ -68,8 +87,7 @@ class Task {
   host::Workstation& ws_;
   int tid_;
 
-  std::map<int, net::TcpConnection*> outbound_;        // dst tid -> conn
-  std::map<int, sim::CoEvent> outbound_connecting_;    // in-progress opens
+  std::map<int, std::unique_ptr<OutboundSlot>> outbound_;  // dst tid -> slot
   std::map<net::HostId, std::unique_ptr<sim::CoQueue<Message>>> inbound_;
   std::map<std::pair<int, int>, std::unique_ptr<sim::CoQueue<Message>>>
       mailboxes_;

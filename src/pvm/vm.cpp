@@ -42,6 +42,19 @@ Daemon& VirtualMachine::daemon_for_tid(int tid) {
   return *daemons_.at(static_cast<std::size_t>(tid));
 }
 
+std::vector<std::string> VirtualMachine::service_failures() const {
+  std::vector<std::string> out;
+  for (const auto& task : tasks_) {
+    for (std::string& f : task->service_failures()) out.push_back(std::move(f));
+  }
+  for (const auto& daemon : daemons_) {
+    for (std::string& f : daemon->service_failures()) {
+      out.push_back(std::move(f));
+    }
+  }
+  return out;
+}
+
 int VirtualMachine::tid_of(net::HostId host) const {
   for (std::size_t i = 0; i < hosts_.size(); ++i) {
     if (hosts_[i]->id() == host) return static_cast<int>(i);

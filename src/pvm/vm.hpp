@@ -4,6 +4,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "host/workstation.hpp"
@@ -50,6 +51,19 @@ struct PvmConfig {
   /// out (SOR's minimum packet is a TCP ACK, not a daemon ping).
   sim::Duration keepalive_interval = sim::seconds(30);
   std::size_t keepalive_bytes = 24;
+
+  // Daemon-route retry policy: initial ack timeout before a window is
+  // retransmitted, exponential backoff cap, and the consecutive-retry
+  // bound after which the route fails with a diagnosis instead of
+  // retrying forever (the pre-fault code livelocked on a dead peer).
+  sim::Duration daemon_ack_timeout = sim::millis(200);
+  sim::Duration daemon_max_ack_timeout = sim::seconds(4);
+  int daemon_max_retries = 12;
+  /// Direct-route setup fallback: when the task-to-task TCP connect
+  /// aborts (peer crashed/unreachable), route via the daemons instead of
+  /// failing the send.  Mirrors PVM, which falls back to the default
+  /// daemon route when PvmRouteDirect negotiation fails.
+  bool direct_route_fallback = true;
 };
 
 inline constexpr std::uint16_t kTaskBasePort = 2000;
@@ -85,6 +99,11 @@ class VirtualMachine {
     return hosts_.at(static_cast<std::size_t>(tid))->id();
   }
   [[nodiscard]] int tid_of(net::HostId host) const;
+
+  /// Diagnoses from failed task/daemon service processes (connection
+  /// reader aborts, exhausted daemon-route retries, ...).  Empty on a
+  /// healthy machine.
+  [[nodiscard]] std::vector<std::string> service_failures() const;
 
  private:
   sim::Simulator& sim_;

@@ -86,6 +86,38 @@ TEST(CampaignDeterminism, SerialAndParallelDigestsMatch) {
   }
 }
 
+TEST(CampaignDeterminism, FaultedSerialAndParallelDigestsMatch) {
+  // The replay contract must survive an active fault plan: fault streams
+  // are derived statelessly per trial, so a parallel campaign under BER,
+  // forced FCS corruption, and a daemon crash replays bitwise.
+  auto specs = sweep_specs(4);
+  for (auto& spec : specs) {
+    spec.scenario.faults.frame_ber = 1e-6;
+    spec.scenario.faults.corrupt_every_nth = 151;
+    spec.scenario.faults.daemon_outages.push_back({/*host=*/1, 0.3, 0.2});
+    spec.scenario.faults.watchdog_s = 300.0;
+  }
+  campaign::CampaignOptions serial;
+  serial.threads = 1;
+  serial.characterize = false;
+  campaign::CampaignOptions parallel = serial;
+  parallel.threads = 4;
+
+  const auto a = campaign::run_campaign(specs, serial);
+  const auto b = campaign::run_campaign(specs, parallel);
+  ASSERT_EQ(a.trials.size(), b.trials.size());
+  double drops = 0.0;
+  for (std::size_t i = 0; i < a.trials.size(); ++i) {
+    EXPECT_EQ(a.trials[i].ok, b.trials[i].ok) << a.trials[i].label;
+    EXPECT_EQ(a.trials[i].digest, b.trials[i].digest)
+        << a.trials[i].label << ": " << trace::to_string(a.trials[i].digest)
+        << " vs " << trace::to_string(b.trials[i].digest);
+    drops += a.trials[i].metric("drops_ber") + a.trials[i].metric("drops_fcs");
+  }
+  // The plan must actually have bitten, or this golden proves nothing.
+  EXPECT_GT(drops, 0.0);
+}
+
 TEST(CampaignDeterminism, SixteenTrialSweepSpeedup) {
   // Acceptance criterion: a 16-trial 2DFFT seed sweep on >= 8 hardware
   // threads completes >= 4x faster than the serial loop with identical

@@ -1,0 +1,246 @@
+// Loss-recovery tests for the simulated TCP, driven through a lossy
+// segment with programmable drop predicates: single data loss, ACK
+// loss, burst loss, dup-ACK fast retransmit, and the retry-bound abort
+// path.  Every recovery test asserts delivered-byte-stream integrity —
+// the receiver's application sees exactly the bytes written, once.
+#include <gtest/gtest.h>
+
+#include "ethernet/nic.hpp"
+#include "ethernet/segment.hpp"
+#include "net/stack.hpp"
+#include "net/tcp.hpp"
+#include "simcore/coro.hpp"
+
+namespace fxtraf::net {
+namespace {
+
+struct TwoHosts {
+  sim::Simulator sim{7};
+  eth::Segment segment{sim};
+  eth::Nic nic_a{sim, segment, 0};
+  eth::Nic nic_b{sim, segment, 1};
+  Stack stack_a{sim, nic_a};
+  Stack stack_b{sim, nic_b};
+};
+
+/// One-directional bulk transfer with app-level byte accounting.
+struct LossyTransfer {
+  TwoHosts net;
+  TcpConnection* client = nullptr;
+  TcpConnection* server = nullptr;
+  std::size_t received_by_app = 0;
+  std::vector<sim::Process> procs;
+
+  explicit LossyTransfer(std::size_t bytes, std::size_t chunk = 0) {
+    if (chunk == 0) chunk = bytes;
+    auto& accept_queue = net.stack_b.tcp_listen(5000);
+    client = &net.stack_a.tcp_connect(1, 5000);
+    procs.push_back(sim::spawn(
+        [](TcpConnection& c, std::size_t total, std::size_t n) -> sim::Co<void> {
+          co_await c.connect();
+          for (std::size_t sent = 0; sent < total; sent += n) {
+            c.send(std::min(n, total - sent));
+          }
+          co_await c.wait_drained();
+        }(*client, bytes, chunk)));
+    procs.push_back(sim::spawn(
+        [](Stack::AcceptQueue& q, LossyTransfer& t, std::size_t total,
+           std::size_t n) -> sim::Co<void> {
+          t.server = co_await q.pop();
+          while (t.received_by_app < total) {
+            const std::size_t want = std::min(n, total - t.received_by_app);
+            co_await t.server->recv(want);
+            t.received_by_app += want;
+          }
+        }(accept_queue, *this, bytes, chunk)));
+  }
+
+  [[nodiscard]] bool all_done() const {
+    for (const auto& p : procs) {
+      if (!p.done()) return false;
+    }
+    return true;
+  }
+};
+
+bool is_data(const eth::Frame& f) {
+  return f.datagram->proto == IpProto::kTcp && f.datagram->payload_bytes > 0;
+}
+
+bool is_pure_ack(const eth::Frame& f) {
+  return f.datagram->proto == IpProto::kTcp &&
+         f.datagram->payload_bytes == 0 && !f.datagram->tcp.syn;
+}
+
+TEST(TcpLossTest, SingleDataLossDeliversExactByteStream) {
+  LossyTransfer t(60000, 4096);
+  int data_frames = 0;
+  t.net.segment.set_fault_injector([&](const eth::Frame& f) {
+    return is_data(f) && ++data_frames == 6;
+  });
+  t.net.sim.run();
+  EXPECT_TRUE(t.all_done());
+  EXPECT_EQ(t.received_by_app, 60000u);
+  EXPECT_EQ(t.server->stats().bytes_received, 60000u);
+  EXPECT_GE(t.client->stats().retransmissions, 1u);
+  EXPECT_FALSE(t.client->aborted());
+}
+
+TEST(TcpLossTest, FastRetransmitRecoversWithoutTimeout) {
+  // Lose one mid-window segment; the segments behind it generate the
+  // duplicate-ACK triple well inside the 300 ms RTO floor.
+  LossyTransfer t(120000);
+  int data_frames = 0;
+  t.net.segment.set_fault_injector([&](const eth::Frame& f) {
+    return is_data(f) && ++data_frames == 10;
+  });
+  t.net.sim.run();
+  EXPECT_TRUE(t.all_done());
+  EXPECT_EQ(t.received_by_app, 120000u);
+  EXPECT_GE(t.client->stats().fast_retransmits, 1u);
+  EXPECT_EQ(t.client->stats().timeouts, 0u);
+}
+
+TEST(TcpLossTest, LostAcksAreAbsorbedByCumulativeAcking) {
+  LossyTransfer t(60000, 4096);
+  int acks = 0;
+  t.net.segment.set_fault_injector([&](const eth::Frame& f) {
+    // Drop the server's first three pure ACKs; later cumulative ACKs
+    // (or at worst one go-back-N round) must cover the gap.
+    return f.src == 1 && is_pure_ack(f) && ++acks <= 3;
+  });
+  t.net.sim.run();
+  EXPECT_TRUE(t.all_done());
+  EXPECT_EQ(t.received_by_app, 60000u);
+  EXPECT_FALSE(t.client->aborted());
+  // ACK loss must never inflate the delivered stream.
+  EXPECT_EQ(t.server->stats().bytes_received, 60000u);
+}
+
+TEST(TcpLossTest, BurstLossRecoversAndPreservesIntegrity) {
+  LossyTransfer t(150000, 8192);
+  int data_frames = 0;
+  t.net.segment.set_fault_injector([&](const eth::Frame& f) {
+    if (!is_data(f)) return false;
+    const int n = ++data_frames;
+    return n >= 12 && n <= 19;  // eight consecutive data frames die
+  });
+  t.net.sim.run();
+  EXPECT_TRUE(t.all_done());
+  EXPECT_EQ(t.received_by_app, 150000u);
+  EXPECT_EQ(t.server->stats().bytes_received, 150000u);
+  EXPECT_GE(t.client->stats().retransmissions, 8u);
+  EXPECT_FALSE(t.client->aborted());
+}
+
+TEST(TcpLossTest, PeriodicLossLargeTransferCompletes) {
+  LossyTransfer t(400000, 16384);
+  int data_frames = 0;
+  t.net.segment.set_fault_injector([&](const eth::Frame& f) {
+    return is_data(f) && (++data_frames % 23) == 0;
+  });
+  t.net.sim.run();
+  EXPECT_TRUE(t.all_done());
+  EXPECT_EQ(t.received_by_app, 400000u);
+  EXPECT_GE(t.client->stats().retransmissions, 10u);
+  EXPECT_FALSE(t.client->aborted());
+}
+
+TEST(TcpLossTest, AdaptiveRtoLearnsRoundTrip) {
+  LossyTransfer t(120000);
+  t.net.sim.run();
+  EXPECT_TRUE(t.all_done());
+  // On a clean LAN the estimator must have converged to something real:
+  // positive, and far below the 300 ms floor it is clamped against.
+  EXPECT_GT(t.client->srtt().ns(), 0);
+  EXPECT_LT(t.client->srtt(), sim::millis(300));
+  EXPECT_EQ(t.client->stats().timeouts, 0u);
+  EXPECT_EQ(t.client->stats().retransmissions, 0u);
+}
+
+TEST(TcpLossTest, BlackholedDataAbortsAfterRetryBound) {
+  TwoHosts net;
+  // Handshake survives; every client data frame dies.  No server-side
+  // application coroutine: nothing must be left parked when the client
+  // gives up (detached coroutine frames would leak).
+  net.segment.set_fault_injector(
+      [](const eth::Frame& f) { return f.src == 0 && is_data(f); });
+  net.stack_b.tcp_listen(5000);
+  TcpConnection& client = net.stack_a.tcp_connect(1, 5000);
+  bool threw = false;
+  std::string reason;
+  auto writer = sim::spawn(
+      [](TcpConnection& c, bool& flag, std::string& why) -> sim::Co<void> {
+        co_await c.connect();
+        c.send(5000);
+        try {
+          co_await c.wait_drained();
+        } catch (const ConnectionAborted& e) {
+          flag = true;
+          why = e.what();
+        }
+      }(client, threw, reason));
+  net.sim.run();
+  EXPECT_TRUE(writer.done());
+  EXPECT_TRUE(threw);
+  EXPECT_TRUE(client.aborted());
+  EXPECT_NE(reason.find("retransmission limit"), std::string::npos);
+  // 8 retries with exponential backoff: the abort lands in tens of
+  // simulated seconds, not hours (backoff is capped at max_rto).
+  EXPECT_LT(net.sim.now().seconds(), 60.0);
+  EXPECT_EQ(client.stats().timeouts, 9u);  // max_retries + the fatal one
+}
+
+TEST(TcpLossTest, UnreachablePeerFailsConnect) {
+  TwoHosts net;
+  net.segment.set_fault_injector(
+      [](const eth::Frame& f) { return f.datagram->tcp.syn; });
+  net.stack_b.tcp_listen(5000);
+  TcpConnection& client = net.stack_a.tcp_connect(1, 5000);
+  bool threw = false;
+  std::string reason;
+  auto p = sim::spawn(
+      [](TcpConnection& c, bool& flag, std::string& why) -> sim::Co<void> {
+        try {
+          co_await c.connect();
+        } catch (const ConnectionAborted& e) {
+          flag = true;
+          why = e.what();
+        }
+      }(client, threw, reason));
+  net.sim.run();
+  EXPECT_TRUE(p.done());
+  EXPECT_TRUE(threw);
+  EXPECT_NE(reason.find("no SYN+ACK"), std::string::npos);
+  EXPECT_FALSE(client.established());
+}
+
+TEST(TcpLossTest, WriteAfterAbortThrowsInsteadOfHanging) {
+  TwoHosts net;
+  net.segment.set_fault_injector(
+      [](const eth::Frame& f) { return f.src == 0 && is_data(f); });
+  net.stack_b.tcp_listen(5000);
+  TcpConnection& client = net.stack_a.tcp_connect(1, 5000);
+  int aborts_seen = 0;
+  auto writer = sim::spawn(
+      [](TcpConnection& c, int& count) -> sim::Co<void> {
+        co_await c.connect();
+        c.send(5000);
+        try {
+          co_await c.wait_drained();
+        } catch (const ConnectionAborted&) {
+          ++count;
+        }
+        try {
+          co_await c.write(1000);  // dead connection: must throw, not park
+        } catch (const ConnectionAborted&) {
+          ++count;
+        }
+      }(client, aborts_seen));
+  net.sim.run();
+  EXPECT_TRUE(writer.done());
+  EXPECT_EQ(aborts_seen, 2);
+}
+
+}  // namespace
+}  // namespace fxtraf::net
