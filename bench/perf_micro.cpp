@@ -1,12 +1,24 @@
 // Google-benchmark microbenchmarks of the hot paths: FFT, periodogram,
-// event queue, Ethernet simulation, bandwidth binning, sliding window.
+// event queue, Ethernet simulation, bandwidth binning, sliding window —
+// plus the telemetry overhead benchmark (custom main below): the same
+// kernel trial with telemetry off and on, written to
+// BENCH_telemetry_overhead.json and assertable for CI smoke:
+//
+//   perf_micro --overhead-only --assert-overhead=10
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <cstring>
+#include <fstream>
 #include <memory>
+#include <string>
+#include <vector>
 
 #include "apps/fft2d.hpp"
 #include "apps/testbed.hpp"
+#include "apps/trial.hpp"
 #include "core/bandwidth.hpp"
+#include "core/json.hpp"
 #include "dsp/fft.hpp"
 #include "dsp/periodogram.hpp"
 #include "fx/runtime.hpp"
@@ -122,6 +134,145 @@ void BM_SlidingWindowBandwidth(benchmark::State& state) {
 }
 BENCHMARK(BM_SlidingWindowBandwidth);
 
+// ---- Telemetry overhead benchmark (the CI smoke target). --------------
+
+struct OverheadSample {
+  double wall_s = 0.0;
+  std::uint64_t events = 0;
+  std::uint64_t packets = 0;
+  trace::TraceDigest digest;
+
+  [[nodiscard]] double events_per_s() const {
+    return wall_s > 0 ? static_cast<double>(events) / wall_s : 0.0;
+  }
+  [[nodiscard]] double ns_per_packet() const {
+    return packets > 0 ? wall_s * 1e9 / static_cast<double>(packets) : 0.0;
+  }
+};
+
+OverheadSample run_once(double scale, bool telemetry) {
+  apps::TrialScenario scenario;
+  scenario.kernel = "2dfft";
+  scenario.scale = scale;
+  scenario.seed = 424242;
+  scenario.telemetry.enabled = telemetry;
+  const auto start = std::chrono::steady_clock::now();
+  const apps::TrialRun run = apps::run_trial(scenario);
+  OverheadSample sample;
+  sample.wall_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  sample.events = run.events_executed;
+  sample.packets =
+      run.packets_seen > 0 ? run.packets_seen : run.packets.size();
+  sample.digest = run.digest;
+  return sample;
+}
+
+/// Best-of-N trial pair with telemetry off and on; identical scenario and
+/// seed, so the digests must match bit-for-bit (asserted in the report).
+int run_overhead(double scale, int reps, double assert_pct,
+                 const std::string& json_path) {
+  run_once(scale, false);  // warm-up: page in code and allocator arenas
+  OverheadSample off, on;
+  for (int r = 0; r < reps; ++r) {
+    const OverheadSample a = run_once(scale, false);
+    const OverheadSample b = run_once(scale, true);
+    if (r == 0 || a.wall_s < off.wall_s) off = a;
+    if (r == 0 || b.wall_s < on.wall_s) on = b;
+  }
+  const bool digests_match = off.digest == on.digest;
+  const double overhead_pct =
+      off.wall_s > 0 ? 100.0 * (on.wall_s - off.wall_s) / off.wall_s : 0.0;
+
+  std::printf("telemetry overhead: 2dfft scale %.2f, best of %d\n", scale,
+              reps);
+  std::printf("  off  %8.3f s  %12.0f events/s  %8.1f ns/packet\n",
+              off.wall_s, off.events_per_s(), off.ns_per_packet());
+  std::printf("  on   %8.3f s  %12.0f events/s  %8.1f ns/packet\n",
+              on.wall_s, on.events_per_s(), on.ns_per_packet());
+  std::printf("  overhead %.2f%%, digests %s\n", overhead_pct,
+              digests_match ? "identical" : "DIFFER");
+
+  if (!json_path.empty()) {
+    std::ofstream out(json_path);
+    if (!out) {
+      std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+      return 1;
+    }
+    core::JsonWriter json(out);
+    json.begin_object();
+    json.field("benchmark", "telemetry_overhead");
+    json.field("kernel", "2dfft");
+    json.field("scale", scale);
+    json.field("reps", reps);
+    auto emit = [&json](const char* name, const OverheadSample& s) {
+      json.key(name).begin_object();
+      json.field("wall_s", s.wall_s);
+      json.field("events", s.events);
+      json.field("packets", s.packets);
+      json.field("events_per_s", s.events_per_s());
+      json.field("ns_per_packet", s.ns_per_packet());
+      json.end_object();
+    };
+    emit("telemetry_off", off);
+    emit("telemetry_on", on);
+    json.field("overhead_pct", overhead_pct);
+    json.field("digests_match", digests_match);
+    json.end_object();
+    out << "\n";
+    std::printf("  written to %s\n", json_path.c_str());
+  }
+
+  if (!digests_match) {
+    std::fprintf(stderr, "FAIL: telemetry changed the capture digest\n");
+    return 1;
+  }
+  if (assert_pct > 0 && overhead_pct > assert_pct) {
+    std::fprintf(stderr, "FAIL: overhead %.2f%% exceeds budget %.2f%%\n",
+                 overhead_pct, assert_pct);
+    return 1;
+  }
+  return 0;
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  bool overhead_only = false;
+  double overhead_scale = 0.1;
+  int overhead_reps = 3;
+  double assert_pct = 0.0;
+  std::string json_path = "BENCH_telemetry_overhead.json";
+
+  // Strip our flags before google-benchmark sees the rest.
+  std::vector<char*> passthrough{argv[0]};
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--overhead-only") {
+      overhead_only = true;
+    } else if (arg.rfind("--overhead-scale=", 0) == 0) {
+      overhead_scale = std::stod(arg.substr(17));
+    } else if (arg.rfind("--overhead-reps=", 0) == 0) {
+      overhead_reps = std::stoi(arg.substr(16));
+    } else if (arg.rfind("--assert-overhead=", 0) == 0) {
+      assert_pct = std::stod(arg.substr(18));
+    } else if (arg.rfind("--overhead-json=", 0) == 0) {
+      json_path = arg.substr(16);
+    } else {
+      passthrough.push_back(argv[i]);
+    }
+  }
+
+  if (!overhead_only) {
+    int bench_argc = static_cast<int>(passthrough.size());
+    benchmark::Initialize(&bench_argc, passthrough.data());
+    if (benchmark::ReportUnrecognizedArguments(bench_argc,
+                                               passthrough.data())) {
+      return 1;
+    }
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+  }
+  return run_overhead(overhead_scale, overhead_reps, assert_pct, json_path);
+}

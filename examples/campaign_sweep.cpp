@@ -9,6 +9,14 @@
 // Fault injection (all deterministic per trial seed; see DESIGN.md §9):
 //   campaign_sweep --kernel=2dfft --ber=1e-5 --daemon-crash=1:0.2:0.3
 //   campaign_sweep --faults            # the issue's acceptance preset
+//
+// Streaming telemetry (DESIGN.md §10):
+//   campaign_sweep --telemetry --metrics-out=metrics.prom
+//   campaign_sweep --no-store-packets --metrics-out=metrics.json
+//   campaign_sweep --faults --telemetry --flight-dump=/tmp/flight
+// --metrics-out writes the campaign-merged registry, Prometheus text or
+// JSON by extension; --no-store-packets runs bounded-memory trials (the
+// digests and fundamentals still come out identical to buffered runs).
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -19,6 +27,7 @@
 #include "campaign/engine.hpp"
 #include "campaign/report.hpp"
 #include "fault/plan.hpp"
+#include "telemetry/exporters.hpp"
 
 namespace {
 
@@ -32,6 +41,11 @@ struct Cli {
   double cross_kbs = 0.0;
   std::string json_path;
   bool serial_check = false;
+  bool telemetry = false;
+  bool store_packets = true;
+  std::size_t max_packets = 0;
+  std::string metrics_path;
+  std::string flight_prefix;
   fxtraf::fault::FaultPlan faults;
 };
 
@@ -68,6 +82,20 @@ bool parse(int argc, char** argv, Cli& cli) {
       cli.json_path = v;
     } else if (arg == "--serial-check") {
       cli.serial_check = true;
+    } else if (arg == "--telemetry") {
+      cli.telemetry = true;
+    } else if (arg == "--no-store-packets") {
+      // Bounded-memory trials need the streaming consumers.
+      cli.telemetry = true;
+      cli.store_packets = false;
+    } else if (const char* v = val("--max-packets=")) {
+      cli.max_packets = std::stoul(v);
+    } else if (const char* v = val("--metrics-out=")) {
+      cli.telemetry = true;
+      cli.metrics_path = v;
+    } else if (const char* v = val("--flight-dump=")) {
+      cli.telemetry = true;
+      cli.flight_prefix = v;
     } else if (const char* v = val("--ber=")) {
       cli.faults.frame_ber = std::stod(v);
     } else if (const char* v = val("--fcs-every=")) {
@@ -123,6 +151,10 @@ int main(int argc, char** argv) {
   base.scenario.processors = cli.processors;
   base.scenario.cross_traffic_bytes_per_s = cli.cross_kbs * 1024.0;
   base.scenario.faults = cli.faults;
+  base.scenario.telemetry.enabled = cli.telemetry;
+  base.scenario.telemetry.store_packets = cli.store_packets;
+  base.scenario.telemetry.capture_max_packets = cli.max_packets;
+  base.scenario.telemetry.flight_dump_prefix = cli.flight_prefix;
   base.label = cli.kernel;
   const auto specs =
       campaign::seed_sweep(base, cli.trials, cli.master_seed);
@@ -142,6 +174,16 @@ int main(int argc, char** argv) {
                     trial.error.c_str());
       }
     }
+  }
+
+  if (!cli.metrics_path.empty()) {
+    try {
+      telemetry::write_metrics_file(cli.metrics_path, result.telemetry);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "%s\n", e.what());
+      return 1;
+    }
+    std::printf("merged metrics written to %s\n", cli.metrics_path.c_str());
   }
 
   if (!cli.json_path.empty()) {

@@ -9,8 +9,17 @@
 //                  [--export-text out.txt]
 //   trace_analyzer --simulate <sor|2dfft|t2dfft|seq|hist|airshed>
 //                  [--scale F] [...analysis options]
+//   trace_analyzer <trace.pcap> --stream
+//
+// --stream replays the trace packet-by-packet through the telemetry
+// subsystem's streaming consumers (DESIGN.md §10) and cross-checks every
+// streamed statistic against the offline pipeline: digest, counts,
+// binned-bandwidth series, moments, and the Goertzel-bank spectrum
+// against dsp::welch with identical segmenting.  Exits nonzero on any
+// divergence — a standalone verifier for the bounded-memory trial mode.
 //
 // With no arguments, simulates a 2DFFT demo trace.
+#include <cmath>
 #include <cstdio>
 #include <cstring>
 #include <iostream>
@@ -23,7 +32,10 @@
 #include "core/characterization.hpp"
 #include "core/correlation.hpp"
 #include "core/report.hpp"
+#include "dsp/welch.hpp"
 #include "fx/runtime.hpp"
+#include "telemetry/streaming.hpp"
+#include "trace/digest.hpp"
 #include "trace/pcap.hpp"
 #include "trace/tracefile.hpp"
 
@@ -57,6 +69,81 @@ std::vector<trace::PacketRecord> simulate(const std::string& kernel,
   return testbed.capture().packets();
 }
 
+bool close_enough(double a, double b, double rel = 1e-9) {
+  const double scale = std::max({std::fabs(a), std::fabs(b), 1.0});
+  return std::fabs(a - b) <= rel * scale;
+}
+
+/// Replays the trace through the streaming consumers and cross-checks
+/// against the offline pipeline.  Returns 0 when every check passes.
+int stream_mode(const std::vector<trace::PacketRecord>& packets,
+                sim::Duration bin) {
+  // Offline reference first: its bin count picks a segment size that
+  // yields at least a few averaged segments on this trace.
+  core::CharacterizationOptions copts;
+  copts.bandwidth_bin = bin;
+  const auto offline = core::characterize(packets, copts);
+  const std::size_t bins = offline.bandwidth.kb_per_s.size();
+  std::size_t segment = 16;
+  while (segment * 2 <= bins && segment < 1024) segment *= 2;
+
+  telemetry::StreamingOptions sopts;
+  sopts.bandwidth_bin = bin;
+  sopts.spectral.segment_samples = segment;
+  sopts.spectral.overlap_samples = segment / 2;
+  sopts.keep_bandwidth_series = true;
+  telemetry::StreamingAnalyzer analyzer(sopts);
+  for (const trace::PacketRecord& p : packets) analyzer.on_packet(p);
+  const telemetry::StreamSummary s = analyzer.finish();
+
+  std::printf("streamed          %llu packets, %zu bins, %zu segments, "
+              "fundamental %.3f Hz\n",
+              static_cast<unsigned long long>(s.packets), s.bandwidth_bins,
+              s.spectral_segments, s.fundamental_hz);
+
+  int failures = 0;
+  auto check = [&](const char* what, bool ok) {
+    std::printf("  %-28s %s\n", what, ok ? "ok" : "MISMATCH");
+    if (!ok) ++failures;
+  };
+  check("digest", s.digest == trace::digest_of(packets));
+  check("packet count", s.packets == packets.size());
+  check("bandwidth bin count", s.bandwidth_bins == bins);
+  bool series_ok = s.bandwidth_series.size() == bins;
+  for (std::size_t i = 0; series_ok && i < bins; ++i) {
+    series_ok = close_enough(s.bandwidth_series[i],
+                             offline.bandwidth.kb_per_s[i]);
+  }
+  check("bandwidth series", series_ok);
+  check("packet size mean",
+        close_enough(s.packet_size.mean, offline.packet_size.mean));
+  check("interarrival mean",
+        close_enough(s.interarrival_ms.mean, offline.interarrival_ms.mean));
+  check("lifetime avg bandwidth",
+        close_enough(s.avg_bandwidth_kbs, offline.avg_bandwidth_kbs));
+
+  // The Goertzel bank against dsp::welch with identical segmenting: the
+  // grid powers agree to rounding, and the fundamental within 1%.
+  dsp::WelchOptions wopts;
+  wopts.segment_samples = segment;
+  wopts.overlap_samples = segment / 2;
+  const dsp::Spectrum welch =
+      dsp::welch(offline.bandwidth.kb_per_s, bin.seconds(), wopts);
+  const auto& grid = analyzer.bank().grid_power();
+  bool grid_ok = grid.size() == welch.power.size();
+  for (std::size_t k = 0; grid_ok && k < grid.size(); ++k) {
+    grid_ok = close_enough(grid[k], welch.power[k], 1e-6);
+  }
+  check("welch grid power", grid_ok);
+  const dsp::FundamentalEstimate welch_fundamental =
+      dsp::estimate_fundamental(dsp::find_peaks(welch),
+                                2.0 * welch.resolution_hz());
+  check("welch fundamental (1%)",
+        close_enough(s.fundamental_hz, welch_fundamental.frequency_hz,
+                     0.01));
+  return failures == 0 ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -66,6 +153,7 @@ int main(int argc, char** argv) {
   double bin_ms = 10.0;
   double scale = 0.25;
   bool full_report = false;
+  bool stream = false;
   std::string export_pcap, export_text;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -80,6 +168,8 @@ int main(int argc, char** argv) {
       scale = std::atof(argv[++i]);
     } else if (arg == "--report") {
       full_report = true;
+    } else if (arg == "--stream") {
+      stream = true;
     } else if (arg == "--export-pcap" && i + 1 < argc) {
       export_pcap = argv[++i];
     } else if (arg == "--export-text" && i + 1 < argc) {
@@ -119,6 +209,9 @@ int main(int argc, char** argv) {
   if (packets.empty()) {
     std::printf("trace is empty\n");
     return 0;
+  }
+  if (stream) {
+    return stream_mode(packets, sim::millis(bin_ms));
   }
 
   core::CharacterizationOptions copts;

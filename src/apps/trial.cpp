@@ -1,13 +1,18 @@
 #include "apps/trial.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 #include <utility>
 
 #include "apps/registry.hpp"
+#include "net/stack.hpp"
+#include "pvm/daemon.hpp"
+#include "pvm/task.hpp"
 
 namespace fxtraf::apps {
 
-Trial::Trial(const TrialScenario& scenario) : faults_(scenario.faults) {
+Trial::Trial(const TrialScenario& scenario)
+    : faults_(scenario.faults), telemetry_(scenario.telemetry) {
   TestbedConfig config = scenario.testbed;
   if (scenario.make_program) {
     program_ = scenario.make_program();
@@ -31,8 +36,51 @@ Trial::Trial(const TrialScenario& scenario) : faults_(scenario.faults) {
     throw std::invalid_argument("trial: fewer workstations than processors");
   }
 
+  if (telemetry_.enabled) {
+    metrics_ = std::make_shared<telemetry::MetricRegistry>();
+    telemetry::StreamingOptions stream_options;
+    stream_options.bandwidth_bin = telemetry_.bandwidth_bin;
+    stream_options.spectral.segment_samples = telemetry_.spectral_segment_bins;
+    stream_options.spectral.overlap_samples = telemetry_.spectral_overlap_bins;
+    stream_options.keep_bandwidth_series = telemetry_.keep_bandwidth_series;
+    analyzer_ = std::make_unique<telemetry::StreamingAnalyzer>(stream_options);
+    recorder_ = std::make_unique<telemetry::FlightRecorder>(
+        telemetry::FlightRecorderOptions{telemetry_.flight_packet_window,
+                                         telemetry_.flight_event_window});
+    // Every connection copies the config, so the hook reaches each TCP
+    // endpoint; `this` is stable (Trial is neither copyable nor movable).
+    config.host.tcp.abort_hook = [this](sim::SimTime at, net::HostId local,
+                                        net::HostId remote,
+                                        const std::string& reason) {
+      on_tcp_abort(at, local, remote, reason);
+    };
+  }
+
   simulator_ = std::make_unique<sim::Simulator>(scenario.seed);
   testbed_ = std::make_unique<Testbed>(*simulator_, config);
+  if (telemetry_.enabled) {
+    trace::Capture& capture = testbed_->capture();
+    capture.set_store_packets(telemetry_.store_packets);
+    capture.add_observer([analyzer = analyzer_.get()](
+                             sim::SimTime, const trace::PacketRecord& r) {
+      analyzer->on_packet(r);
+    });
+    capture.add_observer([recorder = recorder_.get()](
+                             sim::SimTime, const trace::PacketRecord& r) {
+      recorder->on_packet(r);
+    });
+  }
+  if (telemetry_.capture_max_packets > 0) {
+    testbed_->capture().set_max_packets(telemetry_.capture_max_packets);
+    if (!telemetry_.enabled) {
+      // Keep the digest-over-every-observed-packet contract even though
+      // the buffer will drop the tail and no streaming analyzer exists.
+      testbed_->capture().add_observer(
+          [this](sim::SimTime, const trace::PacketRecord& r) {
+            trace::fold_packet(capped_digest_, r);
+          });
+    }
+  }
   // The auditor's tap must be registered before any frame moves, so it
   // is built here rather than lazily at audit time.
   auditor_ = std::make_unique<fault::Auditor>(testbed_->segment());
@@ -66,6 +114,7 @@ sim::SimTime Trial::run() {
   if (faults_.active() && faults_.watchdog_s > 0) {
     limits.watchdog = sim::seconds(faults_.watchdog_s);
   }
+  if (telemetry_.enabled) limits.activity = &activity_;
   return fx::run_program(testbed_->vm(), program_, limits);
 }
 
@@ -78,15 +127,175 @@ fault::AuditReport Trial::audit() {
   return auditor_->audit(hosts, testbed_->segment(), &testbed_->vm());
 }
 
+void Trial::on_tcp_abort(sim::SimTime at, net::HostId local,
+                         net::HostId remote, const std::string& reason) {
+  if (!recorder_) return;
+  recorder_->note(at, "tcp abort " + std::to_string(local) + "->" +
+                          std::to_string(remote) + ": " + reason);
+  ++abort_dumps_;
+  dump_flight("tcpabort" + std::to_string(abort_dumps_), reason);
+}
+
+void Trial::dump_flight(const std::string& trigger,
+                        const std::string& reason) {
+  if (!recorder_ || telemetry_.flight_dump_prefix.empty()) return;
+  scrape_metrics();
+  recorder_->dump(
+      telemetry_.flight_dump_prefix + "-" + kernel_ + "-" + trigger, reason,
+      metrics_.get());
+}
+
+void Trial::scrape_metrics() {
+  using telemetry::GaugeMerge;
+  *metrics_ = telemetry::MetricRegistry{};
+  telemetry::MetricRegistry& reg = *metrics_;
+
+  reg.counter("fxtraf_sim_events_total").add(simulator_->events_executed());
+
+  const eth::SegmentStats& seg = testbed_->segment().stats();
+  reg.counter("fxtraf_segment_frames_delivered_total")
+      .add(seg.frames_delivered);
+  reg.counter("fxtraf_segment_bytes_delivered_total").add(seg.bytes_delivered);
+  reg.counter("fxtraf_segment_collisions_total").add(seg.collisions);
+  reg.counter(telemetry::labeled("fxtraf_segment_frames_dropped_total",
+                                 "cause", "injected"))
+      .add(seg.frames_dropped_injected);
+  reg.counter(telemetry::labeled("fxtraf_segment_frames_dropped_total",
+                                 "cause", "bit_error"))
+      .add(seg.frames_dropped_ber);
+  reg.counter(telemetry::labeled("fxtraf_segment_frames_dropped_total",
+                                 "cause", "fcs"))
+      .add(seg.frames_dropped_fcs);
+  reg.gauge("fxtraf_segment_utilization", GaugeMerge::kMax)
+      .set(testbed_->segment().utilization(simulator_->now()));
+
+  net::TcpStats tcp;
+  std::uint64_t nic_deferrals = 0;
+  std::uint64_t nic_collisions = 0;
+  std::uint64_t nic_excessive_drops = 0;
+  std::uint64_t queue_high_water = 0;
+  std::uint64_t deschedules = 0;
+  for (int i = 0; i < testbed_->size(); ++i) {
+    host::Workstation& ws = testbed_->workstation(i);
+    const eth::NicStats& nic = ws.nic().stats();
+    nic_deferrals += nic.deferrals;
+    nic_collisions += nic.collisions;
+    nic_excessive_drops += nic.excessive_collision_drops;
+    queue_high_water = std::max(queue_high_water, nic.queue_high_water);
+    deschedules += ws.stats().deschedules;
+    const net::TcpStats totals = ws.stack().tcp_totals();
+    tcp.segments_sent += totals.segments_sent;
+    tcp.pure_acks_sent += totals.pure_acks_sent;
+    tcp.retransmissions += totals.retransmissions;
+    tcp.timeouts += totals.timeouts;
+    tcp.fast_retransmits += totals.fast_retransmits;
+    tcp.dup_acks += totals.dup_acks;
+    tcp.aborts += totals.aborts;
+  }
+  reg.counter("fxtraf_nic_deferrals_total").add(nic_deferrals);
+  reg.counter("fxtraf_nic_collisions_total").add(nic_collisions);
+  reg.counter("fxtraf_nic_excessive_collision_drops_total")
+      .add(nic_excessive_drops);
+  reg.gauge("fxtraf_nic_queue_high_water_frames", GaugeMerge::kMax)
+      .set(static_cast<double>(queue_high_water));
+  reg.counter("fxtraf_host_deschedules_total").add(deschedules);
+
+  reg.counter("fxtraf_tcp_segments_sent_total").add(tcp.segments_sent);
+  reg.counter("fxtraf_tcp_pure_acks_sent_total").add(tcp.pure_acks_sent);
+  reg.counter("fxtraf_tcp_retransmissions_total").add(tcp.retransmissions);
+  reg.counter("fxtraf_tcp_rto_timeouts_total").add(tcp.timeouts);
+  reg.counter("fxtraf_tcp_fast_retransmits_total").add(tcp.fast_retransmits);
+  reg.counter("fxtraf_tcp_dup_acks_total").add(tcp.dup_acks);
+  reg.counter("fxtraf_tcp_aborts_total").add(tcp.aborts);
+
+  pvm::VirtualMachine& vm = testbed_->vm();
+  std::uint64_t messages = 0, fragments = 0, fallbacks = 0;
+  std::uint64_t daemon_retx = 0, daemon_fragments = 0, daemon_routed = 0;
+  for (int tid = 0; tid < vm.ntasks(); ++tid) {
+    const pvm::TaskStats& task = vm.task(tid).stats();
+    messages += task.messages_sent;
+    fragments += task.fragments_sent;
+    fallbacks += task.direct_fallbacks;
+    const pvm::DaemonStats& daemon =
+        vm.daemon_of(static_cast<net::HostId>(tid)).stats();
+    daemon_retx += daemon.retransmissions;
+    daemon_fragments += daemon.data_fragments_sent;
+    daemon_routed += daemon.messages_routed;
+  }
+  reg.counter("fxtraf_pvm_messages_sent_total").add(messages);
+  reg.counter("fxtraf_pvm_fragments_sent_total").add(fragments);
+  reg.counter("fxtraf_pvm_direct_route_fallbacks_total").add(fallbacks);
+  reg.counter("fxtraf_pvm_daemon_messages_routed_total").add(daemon_routed);
+  reg.counter("fxtraf_pvm_daemon_fragments_sent_total").add(daemon_fragments);
+  reg.counter("fxtraf_pvm_daemon_retransmissions_total").add(daemon_retx);
+
+  // Per-rank Fx runtime accounting: labeled counters for the per-rank
+  // view, histograms (microseconds) for mergeable campaign distributions.
+  telemetry::Histogram& barrier_us =
+      reg.histogram("fxtraf_fx_barrier_wait_us");
+  telemetry::Histogram& comm_us = reg.histogram("fxtraf_fx_comm_us");
+  for (std::size_t rank = 0; rank < activity_.comm_ns.size(); ++rank) {
+    const std::string label = std::to_string(rank);
+    reg.counter(telemetry::labeled("fxtraf_fx_barrier_wait_ns", "rank", label))
+        .add(activity_.barrier_wait_ns[rank]);
+    reg.counter(telemetry::labeled("fxtraf_fx_comm_ns", "rank", label))
+        .add(activity_.comm_ns[rank]);
+    barrier_us.observe(activity_.barrier_wait_ns[rank] / 1000);
+    comm_us.observe(activity_.comm_ns[rank] / 1000);
+  }
+
+  const trace::Capture& capture = testbed_->capture();
+  reg.counter("fxtraf_capture_packets_seen_total").add(capture.seen());
+  reg.counter("fxtraf_capture_packets_stored_total").add(capture.size());
+  reg.gauge("fxtraf_capture_truncated", GaugeMerge::kMax)
+      .set(capture.truncated() ? 1.0 : 0.0);
+}
+
 TrialRun Trial::finish() {
-  const sim::SimTime end = run();
   TrialRun result;
   result.kernel = kernel_;
+  try {
+    const sim::SimTime end = run();
+    result.sim_seconds = end.seconds();
+  } catch (const std::exception& failure) {
+    if (recorder_) {
+      recorder_->note(simulator_->now(),
+                      std::string("run failed: ") + failure.what());
+    }
+    dump_flight("failure", failure.what());
+    throw;
+  }
   result.packets = testbed_->capture().packets();
-  result.sim_seconds = end.seconds();
+  result.capture_truncated = testbed_->capture().truncated();
+  result.packets_seen = testbed_->capture().seen();
   result.events_executed = simulator_->events_executed();
   result.audit = audit();
+  if (analyzer_) {
+    result.stream = analyzer_->finish();
+    result.streamed = true;
+    // The streaming digest covers every observed packet even when the
+    // buffer is off or truncated — bounded mode keeps the same oracle.
+    result.digest = result.stream.digest;
+  } else if (telemetry_.capture_max_packets > 0) {
+    result.digest = capped_digest_;
+  } else {
+    result.digest = trace::digest_of(result.packets);
+  }
+  if (telemetry_.enabled) {
+    scrape_metrics();
+    metrics_->gauge("fxtraf_trial_sim_seconds", telemetry::GaugeMerge::kMax)
+        .set(result.sim_seconds);
+    if (result.streamed) {
+      telemetry::StreamingAnalyzer::export_metrics(result.stream, *metrics_);
+    }
+    result.metrics = metrics_;
+  }
   if (!result.audit.ok) {
+    if (recorder_) {
+      recorder_->note(simulator_->now(),
+                      "audit violation: " + result.audit.summary());
+    }
+    dump_flight("audit", result.audit.summary());
     throw std::runtime_error("fault audit: " + result.audit.summary());
   }
   return result;

@@ -7,6 +7,14 @@
 // shared-nothing contract).  `run_trial` is the one-shot convenience
 // used by benches and the campaign engine; callers needing mid-run
 // access (taps, per-host stats) build a `Trial` directly.
+//
+// With telemetry enabled the trial additionally owns a shared-nothing
+// MetricRegistry, streaming trace consumers fed from the capture tap,
+// and a flight recorder that dumps the last packets to pcap when the
+// run fails (audit violation, TCP abort, watchdog).  Streaming makes
+// the bounded-memory mode possible: store_packets=false keeps only the
+// consumers' constant-size state plus the running digest, with the
+// digest and campaign fundamentals bit-identical to a buffered run.
 #pragma once
 
 #include <cstdint>
@@ -21,10 +29,45 @@
 #include "fault/plan.hpp"
 #include "fx/runtime.hpp"
 #include "host/cross_traffic.hpp"
+#include "telemetry/flight_recorder.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/streaming.hpp"
+#include "trace/digest.hpp"
 #include "trace/record.hpp"
 
 namespace fxtraf::apps {
 
+/// Per-trial observability knobs.
+struct TelemetryConfig {
+  /// Master switch: streaming consumers, metric scrape, flight recorder.
+  bool enabled = false;
+  /// false = bounded-memory trial: the capture buffers nothing and the
+  /// streaming consumers are the only record of the trace (TrialRun's
+  /// `packets` comes back empty, `digest`/`stream` carry the results).
+  /// Only honoured when `enabled` — without the streaming digest there
+  /// would be nothing left to compare.
+  bool store_packets = true;
+  /// Cap on the buffered trace (0 = unbounded); excess packets still
+  /// reach the streaming consumers and set TrialRun::capture_truncated.
+  /// Applies with or without telemetry.
+  std::size_t capture_max_packets = 0;
+  /// Streaming bandwidth bin width (the paper's 10 ms interval).
+  sim::Duration bandwidth_bin = sim::millis(10);
+  /// Goertzel bank segmenting over the binned signal, in bins.
+  std::size_t spectral_segment_bins = 1024;
+  std::size_t spectral_overlap_bins = 512;
+  /// Retain the streamed bandwidth series in TrialRun::stream (cross
+  /// validation only; defeats bounded memory on unbounded traces).
+  bool keep_bandwidth_series = false;
+  /// Flight recorder windows (always recording while enabled).
+  std::size_t flight_packet_window = 512;
+  std::size_t flight_event_window = 64;
+  /// When nonempty, failures dump `<prefix>-<kernel>-<trigger>.pcap/.txt`
+  /// (audit trip, TCP abort, watchdog/deadlock).  Empty = record only.
+  std::string flight_dump_prefix;
+};
+
+/// Scenario for one trial.
 struct TrialScenario {
   /// Kernel registry key ("sor", "2dfft", ...).  When `make_program` is
   /// set this is only a display label.
@@ -51,17 +94,36 @@ struct TrialScenario {
   /// Deterministic fault schedule; an inactive (default) plan leaves the
   /// trial bit-identical to a build without the fault subsystem.
   fault::FaultPlan faults;
+  /// Streaming observability (off by default: zero overhead).
+  TelemetryConfig telemetry;
 };
 
 /// Plain-data outcome of a finished trial.
 struct TrialRun {
   std::string kernel;
+  /// Buffered capture; empty in bounded-memory mode, partial when
+  /// `capture_truncated` (always check it before offline analysis).
   std::vector<trace::PacketRecord> packets;
   double sim_seconds = 0.0;
   std::uint64_t events_executed = 0;
+  /// Digest over EVERY observed packet, regardless of buffering mode —
+  /// the determinism oracle the campaign engine compares.
+  trace::TraceDigest digest;
+  /// max_packets forced the buffer to drop the tail of the trace.
+  bool capture_truncated = false;
+  /// Packets the capture observed (>= packets.size() when truncated or
+  /// storage is off).
+  std::uint64_t packets_seen = 0;
   /// Conservation audit + drop/recovery counters (always filled; the
   /// interesting fields are nonzero only under faults or collisions).
   fault::AuditReport audit;
+  /// Streaming consumer results; meaningful when `streamed`.
+  bool streamed = false;
+  telemetry::StreamSummary stream;
+  /// Per-trial metric registry (null unless telemetry was enabled).
+  /// Shared so TrialRun stays copyable; each trial's registry is still
+  /// private to it until the campaign merges them.
+  std::shared_ptr<telemetry::MetricRegistry> metrics;
 };
 
 class Trial {
@@ -77,6 +139,10 @@ class Trial {
   [[nodiscard]] sim::Simulator& simulator() { return *simulator_; }
   [[nodiscard]] Testbed& testbed() { return *testbed_; }
   [[nodiscard]] const fx::FxProgram& program() const { return program_; }
+  /// Null unless telemetry is enabled.
+  [[nodiscard]] telemetry::FlightRecorder* flight_recorder() {
+    return recorder_.get();
+  }
 
   /// Starts services and runs the program to completion (throws on
   /// deadlock or rank failure).  Returns the program finish time.
@@ -84,14 +150,28 @@ class Trial {
 
   /// run() + capture extraction in one step.  Throws if the auditor
   /// finds a conservation violation (the trial must not silently feed a
-  /// corrupt capture into campaign aggregates).
+  /// corrupt capture into campaign aggregates); with a dump prefix
+  /// configured, every failure path writes a flight-recorder dump first.
   [[nodiscard]] TrialRun finish();
 
   /// The end-of-run conservation audit (valid after run()).
   [[nodiscard]] fault::AuditReport audit();
 
  private:
+  void on_tcp_abort(sim::SimTime at, net::HostId local, net::HostId remote,
+                    const std::string& reason);
+  void dump_flight(const std::string& trigger, const std::string& reason);
+  /// Rebuilds metrics_ from every layer's stats counters (cheap: a
+  /// fixed number of map insertions, no per-packet work).
+  void scrape_metrics();
+
   std::unique_ptr<sim::Simulator> simulator_;
+  // Streaming consumers are declared before testbed_: the capture (a
+  // testbed member) holds observer closures pointing at them, so they
+  // must be destroyed after it.
+  std::shared_ptr<telemetry::MetricRegistry> metrics_;
+  std::unique_ptr<telemetry::StreamingAnalyzer> analyzer_;
+  std::unique_ptr<telemetry::FlightRecorder> recorder_;
   std::unique_ptr<Testbed> testbed_;
   std::unique_ptr<host::CrossTrafficSource> cross_;
   // Declared after testbed_: the segment's loss model and the hosts'
@@ -99,8 +179,14 @@ class Trial {
   std::unique_ptr<fault::Auditor> auditor_;
   std::unique_ptr<fault::Injector> injector_;
   fx::FxProgram program_;
+  fx::RankActivity activity_;
+  /// Digest observer state for max_packets without telemetry (the
+  /// streaming analyzer owns the digest otherwise).
+  trace::TraceDigest capped_digest_;
   std::string kernel_;
   fault::FaultPlan faults_;
+  TelemetryConfig telemetry_;
+  int abort_dumps_ = 0;
 };
 
 /// One-shot: build, run, and tear down a trial, returning its capture.

@@ -29,14 +29,20 @@ TrialResult run_one(const TrialSpec& spec, std::size_t index,
   const auto start = Clock::now();
   try {
     const apps::TrialRun run = apps::run_trial(spec.scenario);
-    result.digest = trace::digest_of(run.packets);
+    // The trial computes the digest over every *observed* packet
+    // (streamed or buffered), so bounded-memory trials keep the same
+    // determinism oracle as buffered ones.
+    result.digest = run.digest;
+    result.telemetry = run.metrics;
     result.metrics["sim_seconds"] = run.sim_seconds;
     result.metrics["packets"] =
         static_cast<double>(result.digest.packet_count);
     result.metrics["total_bytes"] =
         static_cast<double>(result.digest.total_bytes);
     result.metrics["avg_bandwidth_kbs"] =
-        core::average_bandwidth_kbs(run.packets);
+        run.streamed ? run.stream.avg_bandwidth_kbs
+                     : core::average_bandwidth_kbs(run.packets);
+    if (run.capture_truncated) result.metrics["capture_truncated"] = 1.0;
     // Loss + recovery counters from the conservation audit.  Zero for
     // clean trials, so campaigns without faults are unchanged apart
     // from the extra (all-zero) rows.
@@ -50,13 +56,29 @@ TrialResult run_one(const TrialSpec& spec, std::size_t index,
         static_cast<double>(run.audit.tcp_retransmissions);
     result.metrics["daemon_retransmissions"] =
         static_cast<double>(run.audit.daemon_retransmissions);
-    if (options.characterize && !run.packets.empty()) {
-      const core::TrafficCharacterization c = core::characterize(run.packets);
-      result.metrics["mean_packet_bytes"] = c.packet_size.mean;
-      result.metrics["mean_interarrival_ms"] = c.interarrival_ms.mean;
-      result.metrics["fundamental_hz"] = c.fundamental.frequency_hz;
-      result.metrics["harmonic_power"] =
-          c.fundamental.harmonic_power_fraction;
+    if (options.characterize) {
+      if (run.streamed && run.stream.packets > 0) {
+        // Telemetry trials characterize from the streaming consumers,
+        // which saw every packet regardless of storage mode — a
+        // bounded-memory campaign therefore reports the exact same
+        // fundamentals as a buffered one.
+        result.metrics["mean_packet_bytes"] = run.stream.packet_size.mean;
+        result.metrics["mean_interarrival_ms"] =
+            run.stream.interarrival_ms.mean;
+        if (run.stream.spectral_segments > 0) {
+          result.metrics["fundamental_hz"] = run.stream.fundamental_hz;
+          result.metrics["harmonic_power"] =
+              run.stream.harmonic_power_fraction;
+        }
+      } else if (!run.packets.empty() && !run.capture_truncated) {
+        const core::TrafficCharacterization c =
+            core::characterize(run.packets);
+        result.metrics["mean_packet_bytes"] = c.packet_size.mean;
+        result.metrics["mean_interarrival_ms"] = c.interarrival_ms.mean;
+        result.metrics["fundamental_hz"] = c.fundamental.frequency_hz;
+        result.metrics["harmonic_power"] =
+            c.fundamental.harmonic_power_fraction;
+      }
     }
     if (analyzer) analyzer(spec, run, result.metrics);
     result.ok = true;
@@ -117,6 +139,11 @@ CampaignResult run_campaign(const std::vector<TrialSpec>& specs,
   for (const TrialResult& trial : campaign.trials) {
     if (trial.ok) {
       rows.push_back(trial.metrics);
+      // Registries stay trial-private while workers run; folding them
+      // here, serially in spec order, keeps the aggregate registry
+      // byte-identical between serial and parallel campaigns (merge is
+      // order-independent anyway, but spec order makes it obvious).
+      if (trial.telemetry) campaign.telemetry.merge(*trial.telemetry);
     } else {
       ++campaign.failures;
     }

@@ -14,11 +14,13 @@
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "apps/trial.hpp"
 #include "campaign/aggregate.hpp"
+#include "telemetry/metrics.hpp"
 #include "trace/digest.hpp"
 
 namespace fxtraf::campaign {
@@ -44,8 +46,16 @@ struct TrialResult {
   double wall_seconds = 0.0;
   /// Standard metrics ("sim_seconds", "packets", "total_bytes",
   /// "avg_bandwidth_kbs", "mean_packet_bytes", "mean_interarrival_ms",
-  /// "fundamental_hz", "harmonic_power") plus analyzer extras.
+  /// "fundamental_hz", "harmonic_power") plus analyzer extras.  In
+  /// bounded-memory trials (telemetry on, store_packets off) the
+  /// characterization metrics come from the streaming consumers instead
+  /// of the buffered capture, plus "capture_truncated" when a
+  /// max_packets cap dropped the buffered tail.
   std::map<std::string, double> metrics;
+  /// The trial's own metric registry (null unless the scenario enabled
+  /// telemetry).  Shared-nothing while the workers run; the campaign
+  /// merges them in spec order after the join.
+  std::shared_ptr<telemetry::MetricRegistry> telemetry;
 
   [[nodiscard]] double metric(const std::string& key) const {
     auto it = metrics.find(key);
@@ -65,6 +75,10 @@ struct CampaignOptions {
 struct CampaignResult {
   std::vector<TrialResult> trials;  ///< spec order
   std::map<std::string, MetricAggregate> metrics;  ///< over ok trials
+  /// Deterministic merge of every ok trial's registry, folded serially
+  /// in spec order after the workers join — byte-identical between
+  /// serial and parallel campaigns.  Empty when no trial had telemetry.
+  telemetry::MetricRegistry telemetry;
   std::size_t failures = 0;
   unsigned threads_used = 0;
   double wall_seconds = 0.0;

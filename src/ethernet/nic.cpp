@@ -21,6 +21,8 @@ void Nic::send(Frame frame) {
   ++stats_.frames_enqueued;
   stats_.bytes_enqueued += frame.recorded_bytes();
   queue_.push_back(std::move(frame));
+  stats_.queue_high_water =
+      std::max<std::uint64_t>(stats_.queue_high_water, queue_.size());
   if (state_ == State::kIdle) start_next_frame();
 }
 
@@ -41,6 +43,7 @@ void Nic::attempt_transmission() {
   assert(!queue_.empty());
   if (segment_.appears_busy()) {
     if (!waiting_registered_) {
+      ++stats_.deferrals;
       waiting_registered_ = true;
       segment_.register_waiter(*this);
     }

@@ -23,6 +23,11 @@ struct NicStats {
   std::uint64_t collisions = 0;
   std::uint64_t excessive_collision_drops = 0;
   std::uint64_t excessive_collision_drop_bytes = 0;
+  /// Transmission attempts that found the medium busy and had to wait
+  /// (the classic "deferred transmissions" MIB counter).
+  std::uint64_t deferrals = 0;
+  /// Deepest the transmit queue has ever been, in frames.
+  std::uint64_t queue_high_water = 0;
 };
 
 class Nic final : public net::LinkLayer {

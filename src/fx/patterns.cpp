@@ -30,6 +30,15 @@ int concurrent_connections(PatternKind pattern, int processors) {
   return 0;
 }
 
+void Collectives::note_comm(int rank, sim::SimTime start) const {
+  if (activity == nullptr ||
+      activity->in_barrier[static_cast<std::size_t>(rank)] != 0) {
+    return;
+  }
+  activity->comm_ns[static_cast<std::size_t>(rank)] +=
+      static_cast<std::uint64_t>((vm.simulator().now() - start).ns());
+}
+
 sim::Co<void> Collectives::send_bytes(int from, int to, std::size_t bytes,
                                       int tag) {
   pvm::Task& task = vm.task(from);
@@ -40,14 +49,17 @@ sim::Co<void> Collectives::send_bytes(int from, int to, std::size_t bytes,
 
 sim::Co<void> Collectives::neighbor_exchange(int rank, std::size_t bytes,
                                              int tag) {
+  const sim::SimTime t0 = vm.simulator().now();
   const int p = processors;
   if (rank > 0) co_await send_bytes(rank, rank - 1, bytes, tag);
   if (rank < p - 1) co_await send_bytes(rank, rank + 1, bytes, tag);
   if (rank > 0) co_await vm.task(rank).recv(rank - 1, tag);
   if (rank < p - 1) co_await vm.task(rank).recv(rank + 1, tag);
+  note_comm(rank, t0);
 }
 
 sim::Co<void> Collectives::all_to_all(int rank, std::size_t bytes, int tag) {
+  const sim::SimTime t0 = vm.simulator().now();
   const int p = processors;
   for (int s = 1; s < p; ++s) {
     const int dst = (rank + s) % p;
@@ -55,9 +67,11 @@ sim::Co<void> Collectives::all_to_all(int rank, std::size_t bytes, int tag) {
     co_await send_bytes(rank, dst, bytes, tag);
     co_await vm.task(rank).recv(src, tag);
   }
+  note_comm(rank, t0);
 }
 
 sim::Co<void> Collectives::partition(int rank, std::size_t bytes, int tag) {
+  const sim::SimTime t0 = vm.simulator().now();
   const int p = processors;
   const int half = p / 2;
   if (rank < half) {
@@ -72,10 +86,12 @@ sim::Co<void> Collectives::partition(int rank, std::size_t bytes, int tag) {
       co_await vm.task(rank).recv(src, tag);
     }
   }
+  note_comm(rank, t0);
 }
 
 sim::Co<void> Collectives::broadcast(int rank, int root, std::size_t bytes,
                                      int tag) {
+  const sim::SimTime t0 = vm.simulator().now();
   const int p = processors;
   if (rank == root) {
     for (int dst = 0; dst < p; ++dst) {
@@ -85,9 +101,11 @@ sim::Co<void> Collectives::broadcast(int rank, int root, std::size_t bytes,
   } else {
     co_await vm.task(rank).recv(root, tag);
   }
+  note_comm(rank, t0);
 }
 
 sim::Co<void> Collectives::tree_reduce(int rank, std::size_t bytes, int tag) {
+  const sim::SimTime t0 = vm.simulator().now();
   const int p = processors;
   if ((p & (p - 1)) != 0) {
     throw std::invalid_argument("tree_reduce requires power-of-two P");
@@ -95,21 +113,32 @@ sim::Co<void> Collectives::tree_reduce(int rank, std::size_t bytes, int tag) {
   for (int stride = 1; stride < p; stride <<= 1) {
     if (rank % (2 * stride) == stride) {
       co_await send_bytes(rank, rank - stride, bytes, tag);
+      note_comm(rank, t0);
       co_return;  // dropped out of the reduction
     }
     if (rank % (2 * stride) == 0 && rank + stride < p) {
       co_await vm.task(rank).recv(rank + stride, tag);
     }
   }
+  note_comm(rank, t0);
 }
 
 sim::Co<void> Collectives::barrier(int rank, int tag) {
+  const sim::SimTime t0 = vm.simulator().now();
+  const auto r = static_cast<std::size_t>(rank);
+  if (activity != nullptr) activity->in_barrier[r] = 1;
   co_await tree_reduce(rank, /*bytes=*/8, tag);
   co_await tree_broadcast(rank, /*bytes=*/8, tag);
+  if (activity != nullptr) {
+    activity->in_barrier[r] = 0;
+    activity->barrier_wait_ns[r] +=
+        static_cast<std::uint64_t>((vm.simulator().now() - t0).ns());
+  }
 }
 
 sim::Co<void> Collectives::tree_broadcast(int rank, std::size_t bytes,
                                           int tag) {
+  const sim::SimTime t0 = vm.simulator().now();
   const int p = processors;
   if ((p & (p - 1)) != 0) {
     throw std::invalid_argument("tree_broadcast requires power-of-two P");
@@ -123,6 +152,7 @@ sim::Co<void> Collectives::tree_broadcast(int rank, std::size_t bytes,
       have_data = true;
     }
   }
+  note_comm(rank, t0);
 }
 
 }  // namespace fxtraf::fx

@@ -9,11 +9,28 @@
 
 #include <cstdint>
 #include <functional>
+#include <vector>
 
 #include "pvm/vm.hpp"
 #include "simcore/coro.hpp"
 
 namespace fxtraf::fx {
+
+/// Per-rank communication/synchronization accounting, filled by the
+/// collectives when a trial attaches storage (nullptr = off, and the
+/// collectives pay nothing but a branch).  All times are simulated.
+struct RankActivity {
+  std::vector<std::uint64_t> barrier_wait_ns;  ///< inside barrier()
+  std::vector<std::uint64_t> comm_ns;          ///< inside other collectives
+  std::vector<std::uint8_t> in_barrier;        ///< nesting flag per rank
+
+  void resize(int processors) {
+    const auto n = static_cast<std::size_t>(processors);
+    barrier_wait_ns.assign(n, 0);
+    comm_ns.assign(n, 0);
+    in_barrier.assign(n, 0);
+  }
+};
 
 enum class PatternKind : std::uint8_t {
   kNeighbor,
@@ -47,6 +64,9 @@ enum class PatternKind : std::uint8_t {
 struct Collectives {
   pvm::VirtualMachine& vm;
   int processors;
+  /// Optional per-rank time accounting; must be resized to `processors`
+  /// and outlive the program when set.
+  RankActivity* activity = nullptr;
 
   /// Exchange `bytes` with rank-1 and rank+1 (non-periodic chain).
   [[nodiscard]] sim::Co<void> neighbor_exchange(int rank, std::size_t bytes,
@@ -83,6 +103,9 @@ struct Collectives {
  private:
   [[nodiscard]] sim::Co<void> send_bytes(int from, int to, std::size_t bytes,
                                          int tag);
+  /// Credits now() - start to `rank`'s communication time, unless the
+  /// span ran inside barrier() (which accounts the whole wait itself).
+  void note_comm(int rank, sim::SimTime start) const;
 };
 
 }  // namespace fxtraf::fx

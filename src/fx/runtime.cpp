@@ -17,13 +17,18 @@ sim::Co<void> tracked_body(
 
 }  // namespace
 
-RunningProgram launch(pvm::VirtualMachine& vm, const FxProgram& program) {
+RunningProgram launch(pvm::VirtualMachine& vm, const FxProgram& program,
+                      RankActivity* activity) {
   if (program.processors > vm.ntasks()) {
     throw std::invalid_argument("launch: program needs more processors than "
                                 "the virtual machine has hosts");
   }
   auto context =
       std::make_unique<FxContext>(vm, program.processors);
+  if (activity != nullptr) {
+    activity->resize(program.processors);
+    context->collectives().activity = activity;
+  }
   std::vector<sim::Process> processes;
   processes.reserve(static_cast<std::size_t>(program.processors));
   FxContext* ctx = context.get();
@@ -36,7 +41,7 @@ RunningProgram launch(pvm::VirtualMachine& vm, const FxProgram& program) {
 
 sim::SimTime run_program(pvm::VirtualMachine& vm, const FxProgram& program,
                          const RunLimits& limits) {
-  RunningProgram running = launch(vm, program);
+  RunningProgram running = launch(vm, program, limits.activity);
   sim::Simulator& simulator = vm.simulator();
   bool watchdog_fired = false;
   if (limits.watchdog.ns() > 0) {

@@ -113,9 +113,13 @@ class RunningProgram {
 };
 
 /// Spawns every rank of `program` on the virtual machine's workstations.
-/// The VM must already be started.
+/// The VM must already be started.  `activity`, when non-null, is
+/// resized to the program's processor count and attached to the
+/// collectives before any rank starts (rank bodies run synchronously to
+/// their first suspension inside this call).
 [[nodiscard]] RunningProgram launch(pvm::VirtualMachine& vm,
-                                    const FxProgram& program);
+                                    const FxProgram& program,
+                                    RankActivity* activity = nullptr);
 
 /// Execution bounds for run_program.  The watchdog is a *simulated-time*
 /// budget: if any rank is still running when it expires the run stops
@@ -124,6 +128,11 @@ class RunningProgram {
 /// zero watchdog disables it — the pre-fault behaviour.
 struct RunLimits {
   sim::Duration watchdog{0};
+  /// Optional per-rank barrier/communication time accounting.  When set
+  /// it is resized to the program's processor count and written in place
+  /// by the collectives, so the caller keeps its data even when the run
+  /// ends by throwing (watchdog, deadlock, rank failure).
+  RankActivity* activity = nullptr;
 };
 
 /// Convenience: launch, run the simulator to quiescence, and verify every

@@ -69,6 +69,8 @@ TcpStats Stack::tcp_totals() const {
     total.retransmissions += s.retransmissions;
     total.timeouts += s.timeouts;
     total.fast_retransmits += s.fast_retransmits;
+    total.dup_acks += s.dup_acks;
+    total.aborts += s.aborts;
   }
   return total;
 }

@@ -200,7 +200,11 @@ void TcpConnection::go_back_n(const char* why) {
 void TcpConnection::abort_connection(const std::string& reason) {
   if (aborted_) return;
   aborted_ = true;
+  ++stats_.aborts;
   abort_reason_ = reason;
+  if (config_.abort_hook) {
+    config_.abort_hook(sim_.now(), local_, remote_, reason);
+  }
   state_ = State::kClosed;
   cancel_retransmit_timer();
   if (delack_armed_) {
@@ -335,6 +339,7 @@ void TcpConnection::on_segment(const IpDatagram& d) {
              !in_recovery_) {
     // A pure ACK that does not advance while data is outstanding: the
     // receiver saw an out-of-order arrival (something before it died).
+    ++stats_.dup_acks;
     if (++dup_acks_ == config_.dupack_threshold) {
       dup_acks_ = 0;
       ++stats_.fast_retransmits;

@@ -67,6 +67,13 @@ struct TcpConfig {
   int max_retries = 8;
   /// Duplicate ACKs that trigger a fast retransmit (0 disables).
   int dupack_threshold = 3;
+  /// Observer invoked once per connection abort, before the parked
+  /// coroutines are woken — the telemetry flight recorder's trigger for
+  /// "last packets before the connection died".  Copied per connection
+  /// with the rest of the config; must outlive every connection.
+  std::function<void(sim::SimTime, HostId local, HostId remote,
+                     const std::string& reason)>
+      abort_hook;
 };
 
 struct TcpStats {
@@ -77,6 +84,8 @@ struct TcpStats {
   std::uint64_t retransmissions = 0;  ///< data segments re-emitted
   std::uint64_t timeouts = 0;         ///< RTO expirations
   std::uint64_t fast_retransmits = 0; ///< dup-ACK triggered recoveries
+  std::uint64_t dup_acks = 0;         ///< non-advancing pure ACKs received
+  std::uint64_t aborts = 0;           ///< connection give-ups (0 or 1)
 };
 
 /// One endpoint of a simulated TCP connection.

@@ -111,6 +111,7 @@ sim::Co<void> Task::send(int dst_tid, Message message) {
 
   ++stats_.messages_sent;
   stats_.bytes_sent += message.payload_bytes();
+  stats_.fragments_sent += message.fragments.size();
 
   // Message assembly cost: copy-loop pays memcpy bandwidth; fragment-list
   // pays per-pack bookkeeping instead (paper section 4).

@@ -22,6 +22,9 @@ struct TaskStats {
   std::uint64_t messages_sent = 0;
   std::uint64_t messages_received = 0;
   std::uint64_t bytes_sent = 0;  ///< application payload
+  /// Message fragments handed to the socket layer (>= messages over the
+  /// direct route; T2DFFT's multi-pack messages send many per message).
+  std::uint64_t fragments_sent = 0;
   /// Sends re-routed via the daemons after direct-route setup failed.
   std::uint64_t direct_fallbacks = 0;
 };

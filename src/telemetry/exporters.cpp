@@ -1,0 +1,119 @@
+#include "telemetry/exporters.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+#include <fstream>
+#include <ostream>
+#include <stdexcept>
+
+#include "core/json.hpp"
+
+namespace fxtraf::telemetry {
+
+namespace {
+
+// Prometheus sample values are floats; emit integers exactly and
+// doubles through the locale-independent %.17g used across the repo.
+std::string render(double v) {
+  char buffer[40];
+  std::snprintf(buffer, sizeof buffer, "%.17g", v);
+  return buffer;
+}
+
+std::string render(std::uint64_t v) {
+  char buffer[24];
+  std::snprintf(buffer, sizeof buffer, "%" PRIu64, v);
+  return buffer;
+}
+
+// "name_bucket{existing="x",le="42"}" — the exposition-format bucket
+// sample id: histogram name + "_bucket" suffix + the le label.
+std::string bucket_id(const MetricId& id, const std::string& le) {
+  MetricId copy = id;
+  copy.name += "_bucket";
+  copy.labels.emplace_back("le", le);
+  return copy.to_string();
+}
+
+}  // namespace
+
+void write_prometheus(std::ostream& out, const MetricRegistry& registry) {
+  for (const auto& [id, counter] : registry.counters()) {
+    out << id.to_string() << ' ' << render(counter.value()) << '\n';
+  }
+  for (const auto& [id, gauge] : registry.gauges()) {
+    out << id.to_string() << ' ' << render(gauge.value()) << '\n';
+  }
+  for (const auto& [id, histogram] : registry.histograms()) {
+    std::uint64_t cumulative = 0;
+    const auto& buckets = histogram.buckets();
+    for (std::size_t i = 0; i < buckets.size(); ++i) {
+      if (buckets[i] == 0) continue;  // sparse: only occupied buckets
+      cumulative += buckets[i];
+      out << bucket_id(id, render(Histogram::bucket_upper_bound(i) - 1))
+          << ' ' << render(cumulative) << '\n';
+    }
+    out << bucket_id(id, "+Inf") << ' ' << render(histogram.count()) << '\n';
+    out << id.to_string() << "_sum " << render(histogram.sum()) << '\n';
+    out << id.to_string() << "_count " << render(histogram.count()) << '\n';
+  }
+}
+
+void write_json(std::ostream& out, const MetricRegistry& registry) {
+  core::JsonWriter json(out);
+  json.begin_object();
+  json.key("counters").begin_object();
+  for (const auto& [id, counter] : registry.counters()) {
+    json.field(id.to_string(), counter.value());
+  }
+  json.end_object();
+  json.key("gauges").begin_object();
+  for (const auto& [id, gauge] : registry.gauges()) {
+    json.field(id.to_string(), gauge.value());
+  }
+  json.end_object();
+  json.key("histograms").begin_object();
+  for (const auto& [id, histogram] : registry.histograms()) {
+    json.key(id.to_string()).begin_object();
+    json.field("count", histogram.count());
+    json.field("sum", histogram.sum());
+    json.field("min", histogram.min());
+    json.field("max", histogram.max());
+    json.field("mean", histogram.mean());
+    json.field("p50", histogram.quantile(0.5));
+    json.field("p99", histogram.quantile(0.99));
+    json.key("buckets").begin_array();
+    const auto& buckets = histogram.buckets();
+    for (std::size_t i = 0; i < buckets.size(); ++i) {
+      if (buckets[i] == 0) continue;
+      json.begin_object();
+      json.field("lower", Histogram::bucket_lower_bound(i));
+      json.field("upper", Histogram::bucket_upper_bound(i) - 1);
+      json.field("count", buckets[i]);
+      json.end_object();
+    }
+    json.end_array();
+    json.end_object();
+  }
+  json.end_object();
+  json.end_object();
+  out << '\n';
+}
+
+void write_metrics_file(const std::string& path,
+                        const MetricRegistry& registry) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) {
+    throw std::runtime_error("write_metrics_file: cannot open " + path);
+  }
+  if (path.size() >= 5 && path.compare(path.size() - 5, 5, ".json") == 0) {
+    write_json(out, registry);
+  } else {
+    write_prometheus(out, registry);
+  }
+  if (!out) {
+    throw std::runtime_error("write_metrics_file: write failed: " + path);
+  }
+}
+
+}  // namespace fxtraf::telemetry

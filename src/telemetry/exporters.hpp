@@ -1,0 +1,30 @@
+// Metric exporters: Prometheus text exposition and JSON.
+//
+// Both walk the registry's ordered maps, so output is byte-stable across
+// runs for equal registries — diffs of exported files are a cheap
+// determinism check on top of the digest oracle.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "telemetry/metrics.hpp"
+
+namespace fxtraf::telemetry {
+
+/// Prometheus text exposition format (counters as `_total`-style plain
+/// samples, gauges as samples, histograms as cumulative `_bucket{le=}`
+/// series plus `_sum`/`_count`).
+void write_prometheus(std::ostream& out, const MetricRegistry& registry);
+
+/// JSON object {counters: {...}, gauges: {...}, histograms: {...}} with
+/// rendered metric ids as keys.
+void write_json(std::ostream& out, const MetricRegistry& registry);
+
+/// Writes `path` in the format its extension names: ".json" = JSON,
+/// anything else = Prometheus text.  Throws std::runtime_error when the
+/// file cannot be written.
+void write_metrics_file(const std::string& path,
+                        const MetricRegistry& registry);
+
+}  // namespace fxtraf::telemetry

@@ -1,0 +1,94 @@
+#include "telemetry/flight_recorder.hpp"
+
+#include <fstream>
+#include <stdexcept>
+#include <utility>
+
+#include "telemetry/exporters.hpp"
+#include "trace/pcap.hpp"
+
+namespace fxtraf::telemetry {
+
+FlightRecorder::FlightRecorder(const FlightRecorderOptions& options)
+    : options_(options) {
+  if (options.packet_window == 0 || options.event_window == 0) {
+    throw std::invalid_argument("FlightRecorder: zero window");
+  }
+  packets_.reserve(options.packet_window);
+  events_.reserve(options.event_window);
+}
+
+void FlightRecorder::on_packet(const trace::PacketRecord& record) {
+  ++packets_seen_;
+  if (packets_.size() < options_.packet_window) {
+    packets_.push_back(record);
+    return;
+  }
+  packets_[packet_head_] = record;
+  packet_head_ = (packet_head_ + 1) % options_.packet_window;
+}
+
+void FlightRecorder::note(sim::SimTime time, std::string what) {
+  ++events_seen_;
+  if (events_.size() < options_.event_window) {
+    events_.push_back(FlightEvent{time, std::move(what)});
+    return;
+  }
+  events_[event_head_] = FlightEvent{time, std::move(what)};
+  event_head_ = (event_head_ + 1) % options_.event_window;
+}
+
+std::vector<trace::PacketRecord> FlightRecorder::window() const {
+  std::vector<trace::PacketRecord> out;
+  out.reserve(packets_.size());
+  for (std::size_t i = 0; i < packets_.size(); ++i) {
+    out.push_back(packets_[(packet_head_ + i) % packets_.size()]);
+  }
+  return out;
+}
+
+std::vector<FlightEvent> FlightRecorder::events() const {
+  std::vector<FlightEvent> out;
+  out.reserve(events_.size());
+  for (std::size_t i = 0; i < events_.size(); ++i) {
+    out.push_back(events_[(event_head_ + i) % events_.size()]);
+  }
+  return out;
+}
+
+std::string FlightRecorder::dump(const std::string& prefix,
+                                 const std::string& reason,
+                                 const MetricRegistry* metrics) const {
+  const std::string pcap_path = prefix + ".pcap";
+  const std::vector<trace::PacketRecord> tail = window();
+  trace::write_pcap_file(pcap_path, tail);
+
+  const std::string text_path = prefix + ".txt";
+  std::ofstream out(text_path, std::ios::trunc);
+  if (!out) {
+    throw std::runtime_error("FlightRecorder: cannot write " + text_path);
+  }
+  out << "flight recorder dump\n";
+  out << "reason: " << reason << "\n";
+  out << "packets retained: " << tail.size() << " of " << packets_seen_
+      << " seen\n";
+  if (!tail.empty()) {
+    out << "window: " << tail.front().timestamp.ns() << " ns .. "
+        << tail.back().timestamp.ns() << " ns\n";
+  }
+  out << "\nlast events (" << events_.size() << " of " << events_seen_
+      << " seen):\n";
+  for (const FlightEvent& e : events()) {
+    out << "  [" << e.time.ns() << " ns] " << e.what << "\n";
+  }
+  if (metrics != nullptr && !metrics->empty()) {
+    out << "\nmetric snapshot:\n";
+    write_prometheus(out, *metrics);
+  }
+  if (!out) {
+    throw std::runtime_error("FlightRecorder: write failed: " + text_path);
+  }
+  return pcap_path;
+}
+
+}  // namespace fxtraf::telemetry

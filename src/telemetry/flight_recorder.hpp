@@ -1,0 +1,72 @@
+// Flight recorder: a fixed-size ring of the most recent packet records
+// and protocol events, dumped when something goes wrong.
+//
+// The paper's methodology depends on trusting the capture; when a trial
+// trips an invariant audit, aborts a TCP connection, or hangs until the
+// watchdog fires, the question is always "what were the last packets on
+// the wire?".  The recorder answers it post-hoc without the cost of
+// full buffering: it keeps the last N records (and a parallel ring of
+// annotated events such as retransmissions and aborts) in two circular
+// buffers, and dump() writes a Wireshark-readable pcap of the window
+// plus a text snapshot of the event tail and the trial's metrics.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "simcore/time.hpp"
+#include "telemetry/metrics.hpp"
+#include "trace/record.hpp"
+
+namespace fxtraf::telemetry {
+
+/// Annotated protocol/trial event kept alongside the packet window.
+struct FlightEvent {
+  sim::SimTime time;
+  std::string what;  ///< "tcp abort 3->1: retry budget exhausted", ...
+};
+
+struct FlightRecorderOptions {
+  std::size_t packet_window = 512;  ///< last-N packets retained
+  std::size_t event_window = 64;    ///< last-N events retained
+};
+
+class FlightRecorder {
+ public:
+  explicit FlightRecorder(const FlightRecorderOptions& options = {});
+
+  FlightRecorder(const FlightRecorder&) = delete;
+  FlightRecorder& operator=(const FlightRecorder&) = delete;
+
+  /// O(1): overwrites the oldest slot once the ring is full.
+  void on_packet(const trace::PacketRecord& record);
+  void note(sim::SimTime time, std::string what);
+
+  [[nodiscard]] std::uint64_t packets_seen() const { return packets_seen_; }
+  [[nodiscard]] std::uint64_t events_seen() const { return events_seen_; }
+
+  /// The retained window in arrival order (oldest first); at most
+  /// packet_window records, fewer before the ring first wraps.
+  [[nodiscard]] std::vector<trace::PacketRecord> window() const;
+  [[nodiscard]] std::vector<FlightEvent> events() const;
+
+  /// Writes `prefix`.pcap (the packet window, Wireshark-readable) and
+  /// `prefix`.txt (reason, event tail, metric snapshot).  Returns the
+  /// pcap path.  Throws std::runtime_error when the files cannot be
+  /// written — a dump that vanishes silently is worse than a crash.
+  std::string dump(const std::string& prefix, const std::string& reason,
+                   const MetricRegistry* metrics = nullptr) const;
+
+ private:
+  FlightRecorderOptions options_;
+  std::vector<trace::PacketRecord> packets_;  ///< ring storage
+  std::vector<FlightEvent> events_;           ///< ring storage
+  std::size_t packet_head_ = 0;
+  std::size_t event_head_ = 0;
+  std::uint64_t packets_seen_ = 0;
+  std::uint64_t events_seen_ = 0;
+};
+
+}  // namespace fxtraf::telemetry

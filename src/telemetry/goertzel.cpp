@@ -1,0 +1,119 @@
+#include "telemetry/goertzel.hpp"
+
+#include <cmath>
+#include <numbers>
+#include <numeric>
+#include <stdexcept>
+
+#include "dsp/fft.hpp"
+
+namespace fxtraf::telemetry {
+
+GoertzelBank::GoertzelBank(double sample_interval_s,
+                           const GoertzelOptions& options)
+    : sample_interval_s_(sample_interval_s), options_(options) {
+  if (sample_interval_s <= 0.0) {
+    throw std::invalid_argument("GoertzelBank: non-positive sample interval");
+  }
+  if (options.segment_samples < 2 ||
+      options.overlap_samples >= options.segment_samples) {
+    throw std::invalid_argument("GoertzelBank: bad segment/overlap");
+  }
+  const std::size_t w = options.segment_samples;
+  resolution_hz_ = 1.0 / (static_cast<double>(w) * sample_interval_s_);
+  window_ = dsp::make_window(options.window, w);
+  ring_.reserve(w);
+
+  const std::size_t bins = w / 2 + 1;
+  grid_power_sum_.assign(bins, 0.0);
+  grid_power_avg_.assign(bins, 0.0);
+
+  tracked_hz_ = options.tracked_hz;
+  tracked_coeff_.reserve(tracked_hz_.size());
+  for (double hz : tracked_hz_) {
+    const double omega = 2.0 * std::numbers::pi * hz * sample_interval_s_;
+    tracked_coeff_.push_back(2.0 * std::cos(omega));
+  }
+  tracked_power_sum_.assign(tracked_hz_.size(), 0.0);
+  tracked_power_avg_.assign(tracked_hz_.size(), 0.0);
+}
+
+void GoertzelBank::push(double sample) {
+  ++samples_seen_;
+  ring_.push_back(sample);
+  if (ring_.size() == options_.segment_samples) {
+    process_segment();
+    const std::size_t hop = options_.segment_samples - options_.overlap_samples;
+    ring_.erase(ring_.begin(),
+                ring_.begin() + static_cast<std::ptrdiff_t>(hop));
+  }
+}
+
+void GoertzelBank::process_segment() {
+  const std::size_t w = options_.segment_samples;
+  // Matching dsp::welch exactly: per-segment mean removal, then the
+  // taper window, then |DFT|^2 per frequency, averaged across segments.
+  const double mean = std::accumulate(ring_.begin(), ring_.end(), 0.0) /
+                      static_cast<double>(w);
+  mean_sum_ += mean;
+  const double shift = options_.detrend_mean ? mean : 0.0;
+
+  // Windowed frame; the recurrence consumes it once per frequency.
+  std::vector<double> frame(w);
+  for (std::size_t i = 0; i < w; ++i) {
+    frame[i] = (ring_[i] - shift) * window_[i];
+  }
+
+  // Grid frequencies via the same rFFT dsp::welch uses — O(w log w) per
+  // segment, bit-identical powers.  The Goertzel recurrence evaluates
+  // only the explicitly tracked (generally off-grid) frequencies, where
+  // a DFT bin does not exist: O(w) each, any frequency, no extra memory.
+  const std::vector<dsp::Complex> bins = dsp::rfft(frame);
+  for (std::size_t k = 0; k < grid_power_sum_.size(); ++k) {
+    grid_power_sum_[k] += std::norm(bins[k]);
+  }
+  for (std::size_t k = 0; k < tracked_coeff_.size(); ++k) {
+    const double coeff = tracked_coeff_[k];
+    double s1 = 0.0, s2 = 0.0;
+    for (std::size_t i = 0; i < w; ++i) {
+      const double s0 = frame[i] + coeff * s1 - s2;
+      s2 = s1;
+      s1 = s0;
+    }
+    tracked_power_sum_[k] += s1 * s1 + s2 * s2 - coeff * s1 * s2;
+  }
+  ++segments_;
+
+  const double inv = 1.0 / static_cast<double>(segments_);
+  for (std::size_t k = 0; k < grid_power_sum_.size(); ++k) {
+    grid_power_avg_[k] = grid_power_sum_[k] * inv;
+  }
+  for (std::size_t k = 0; k < tracked_power_sum_.size(); ++k) {
+    tracked_power_avg_[k] = tracked_power_sum_[k] * inv;
+  }
+  mean_avg_ = mean_sum_ * inv;
+}
+
+dsp::Spectrum GoertzelBank::spectrum() const {
+  dsp::Spectrum s;
+  s.sample_interval_s = sample_interval_s_;
+  if (segments_ == 0) return s;
+  s.sample_count = options_.segment_samples;
+  s.power = grid_power_avg_;
+  s.mean = mean_avg_;
+  s.frequency_hz.resize(grid_power_avg_.size());
+  for (std::size_t k = 0; k < s.frequency_hz.size(); ++k) {
+    s.frequency_hz[k] = resolution_hz_ * static_cast<double>(k);
+  }
+  return s;
+}
+
+dsp::FundamentalEstimate GoertzelBank::fundamental(
+    const dsp::PeakOptions& peaks, double tolerance_bins) const {
+  if (segments_ == 0) return {};
+  const dsp::Spectrum s = spectrum();
+  return dsp::estimate_fundamental(dsp::find_peaks(s, peaks),
+                                   tolerance_bins * s.resolution_hz());
+}
+
+}  // namespace fxtraf::telemetry

@@ -1,0 +1,104 @@
+// Streaming Goertzel filter bank: online spectral estimation of the
+// binned-bandwidth signal without storing the trace.
+//
+// The offline pipeline (dsp::welch) buffers the whole evenly-sampled
+// bandwidth series, then averages windowed periodograms over overlapping
+// segments.  This bank computes the same quantity online: samples stream
+// into a fixed ring of one segment; each time a hop completes, every
+// tracked frequency is evaluated over the windowed, mean-detrended
+// segment with the Goertzel recurrence
+//
+//   s[n] = x[n] + 2 cos(w) s[n-1] - s[n-2]
+//   |X(w)|^2 = s[N-1]^2 + s[N-2]^2 - 2 cos(w) s[N-1] s[N-2]
+//
+// which equals the DFT bin exactly when w is bin-centered.  The segment
+// grid itself is evaluated with the same rFFT dsp::welch uses (O(w log w)
+// per segment instead of Goertzel's O(w^2) full-grid scan), reproducing
+// welch's power values bit-for-bit — the equivalence the telemetry tests
+// assert — while the recurrence handles the arbitrary, generally
+// off-grid tracked frequencies (a kernel's predicted fundamental and its
+// harmonics) at O(w) each.  Memory stays at one segment of doubles
+// regardless of trace length either way.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "dsp/peaks.hpp"
+#include "dsp/periodogram.hpp"
+#include "dsp/window.hpp"
+
+namespace fxtraf::telemetry {
+
+struct GoertzelOptions {
+  /// Samples per analysis segment (ring capacity; the frequency grid
+  /// resolves to 1 / (segment_samples * sample_interval)).
+  std::size_t segment_samples = 1024;
+  /// Samples shared between consecutive segments (Welch 50% default).
+  std::size_t overlap_samples = 512;
+  dsp::WindowKind window = dsp::WindowKind::kHann;
+  bool detrend_mean = true;
+  /// Extra explicitly tracked frequencies (Hz) beyond the segment grid —
+  /// e.g. a kernel's statically predicted fundamental and harmonics.
+  std::vector<double> tracked_hz;
+};
+
+class GoertzelBank {
+ public:
+  GoertzelBank(double sample_interval_s, const GoertzelOptions& options = {});
+
+  void push(double sample);
+
+  /// Segments fully processed so far (power() is meaningful once > 0).
+  [[nodiscard]] std::size_t segments() const { return segments_; }
+  [[nodiscard]] std::uint64_t samples_seen() const { return samples_seen_; }
+
+  /// Average power at grid frequency k (k / (segment * dt)).
+  [[nodiscard]] const std::vector<double>& grid_power() const {
+    return grid_power_avg_;
+  }
+  [[nodiscard]] double grid_resolution_hz() const { return resolution_hz_; }
+
+  /// Average power at the explicitly tracked frequencies, in
+  /// options.tracked_hz order (empty when none configured).
+  [[nodiscard]] const std::vector<double>& tracked_power() const {
+    return tracked_power_avg_;
+  }
+  [[nodiscard]] const std::vector<double>& tracked_hz() const {
+    return tracked_hz_;
+  }
+
+  /// The bank's current estimate as an offline-compatible Spectrum
+  /// (grid frequencies and averaged powers; complex bins unavailable).
+  [[nodiscard]] dsp::Spectrum spectrum() const;
+
+  /// Peak extraction + harmonic fundamental over the streamed spectrum,
+  /// with the same knobs core::characterize uses offline.
+  [[nodiscard]] dsp::FundamentalEstimate fundamental(
+      const dsp::PeakOptions& peaks = {.min_relative_power = 1e-3,
+                                       .min_separation_bins = 3,
+                                       .skip_dc_bins = 2,
+                                       .max_peaks = 24},
+      double tolerance_bins = 2.0) const;
+
+ private:
+  void process_segment();
+
+  double sample_interval_s_;
+  GoertzelOptions options_;
+  double resolution_hz_ = 0.0;
+  std::vector<double> window_;
+  std::vector<double> ring_;           ///< fills to one segment, then hops
+  std::vector<double> tracked_hz_;
+  std::vector<double> tracked_coeff_;  ///< 2 cos(w) per tracked frequency
+  std::vector<double> grid_power_sum_;
+  std::vector<double> grid_power_avg_;
+  std::vector<double> tracked_power_sum_;
+  std::vector<double> tracked_power_avg_;
+  double mean_sum_ = 0.0;
+  double mean_avg_ = 0.0;
+  std::size_t segments_ = 0;
+  std::uint64_t samples_seen_ = 0;
+};
+
+}  // namespace fxtraf::telemetry

@@ -1,0 +1,138 @@
+#include "telemetry/metrics.hpp"
+
+#include <algorithm>
+#include <bit>
+
+namespace fxtraf::telemetry {
+
+std::string MetricId::to_string() const {
+  if (labels.empty()) return name;
+  std::string out = name;
+  out += '{';
+  bool first = true;
+  for (const auto& [k, v] : labels) {
+    if (!first) out += ',';
+    first = false;
+    out += k;
+    out += "=\"";
+    out += v;
+    out += '"';
+  }
+  out += '}';
+  return out;
+}
+
+std::size_t Histogram::bucket_index(std::uint64_t value) {
+  if (value < kSubBuckets) return static_cast<std::size_t>(value);
+  // Octave of the value, then kSubBuckets linear sub-buckets inside it:
+  // top bits in [kSubBuckets, 2*kSubBuckets) after shifting out the
+  // low-order precision the bucket does not keep.
+  const int exponent = std::bit_width(value) - 1;  // floor(log2(value))
+  const int shift = exponent - kSubBucketBits;
+  const std::uint64_t top = value >> shift;
+  return static_cast<std::size_t>(shift) * kSubBuckets +
+         static_cast<std::size_t>(top);
+}
+
+std::uint64_t Histogram::bucket_lower_bound(std::size_t index) {
+  if (index < kSubBuckets) return index;
+  const std::size_t shift = index / kSubBuckets - 1;
+  const std::uint64_t top = kSubBuckets + index % kSubBuckets;
+  return top << shift;
+}
+
+void Histogram::observe(std::uint64_t value) {
+  const std::size_t index = bucket_index(value);
+  if (index >= buckets_.size()) {
+    buckets_.resize(std::max(index + 1, buckets_.size() * 2));
+  }
+  ++buckets_[index];
+  ++count_;
+  sum_ += value;
+  if (value < min_) min_ = value;
+  if (value > max_) max_ = value;
+}
+
+void Histogram::merge(const Histogram& other) {
+  if (other.buckets_.size() > buckets_.size()) {
+    buckets_.resize(other.buckets_.size());
+  }
+  for (std::size_t i = 0; i < other.buckets_.size(); ++i) {
+    buckets_[i] += other.buckets_[i];
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+std::uint64_t Histogram::quantile(double q) const {
+  if (count_ == 0) return 0;
+  q = std::clamp(q, 0.0, 1.0);
+  const auto target = static_cast<std::uint64_t>(
+      q * static_cast<double>(count_) + 0.5);
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    seen += buckets_[i];
+    if (seen >= target && buckets_[i] > 0) {
+      // Clamp to the observed maximum so q=1 reports max(), not the
+      // bucket's theoretical upper edge.
+      return std::min(bucket_upper_bound(i) - 1, max_);
+    }
+  }
+  return max_;
+}
+
+Counter& MetricRegistry::counter(MetricId id) {
+  return counters_[std::move(id)];
+}
+
+Gauge& MetricRegistry::gauge(MetricId id, GaugeMerge merge) {
+  auto [it, inserted] = gauges_.try_emplace(std::move(id));
+  if (inserted) {
+    it->second.merge_ = merge;
+    if (merge == GaugeMerge::kMin) {
+      it->second.value_ = 0.0;  // caller overwrites; merged via policy
+    }
+  }
+  return it->second;
+}
+
+Histogram& MetricRegistry::histogram(MetricId id) {
+  return histograms_[std::move(id)];
+}
+
+void MetricRegistry::merge(const MetricRegistry& other) {
+  for (const auto& [id, c] : other.counters_) {
+    counters_[id].value_ += c.value_;
+  }
+  for (const auto& [id, g] : other.gauges_) {
+    auto [it, inserted] = gauges_.try_emplace(id);
+    if (inserted) {
+      it->second = g;
+      continue;
+    }
+    switch (g.merge_) {
+      case GaugeMerge::kSum: it->second.value_ += g.value_; break;
+      case GaugeMerge::kMax:
+        it->second.value_ = std::max(it->second.value_, g.value_);
+        break;
+      case GaugeMerge::kMin:
+        it->second.value_ = std::min(it->second.value_, g.value_);
+        break;
+    }
+  }
+  for (const auto& [id, h] : other.histograms_) {
+    histograms_[id].merge(h);
+  }
+}
+
+std::uint64_t MetricRegistry::counter_value(
+    const std::string& rendered) const {
+  for (const auto& [id, c] : counters_) {
+    if (id.to_string() == rendered) return c.value();
+  }
+  return 0;
+}
+
+}  // namespace fxtraf::telemetry

@@ -1,0 +1,174 @@
+// Metric primitives for the streaming observability subsystem.
+//
+// A MetricRegistry is the shared-nothing per-trial home of counters,
+// gauges, and log-bucketed histograms.  Every metric is identified by a
+// Prometheus-style (name, sorted labels) pair; registries from many
+// trials merge deterministically (map iteration order, commutative and
+// associative per-metric combination), so a parallel campaign aggregates
+// to exactly the same registry as a serial replay — the same contract
+// the capture digests already enforce for the traces themselves.
+//
+// Cost model: a counter increment is one uint64 add on trial-local
+// memory; histogram observation is a bit-scan plus a vector increment.
+// Nothing here takes a lock, allocates on the hot path (buckets grow
+// geometrically and are typically reused), or touches global state.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace fxtraf::telemetry {
+
+/// Prometheus-style metric identity: a name plus sorted label pairs.
+struct MetricId {
+  std::string name;
+  std::vector<std::pair<std::string, std::string>> labels;
+
+  friend bool operator<(const MetricId& a, const MetricId& b) {
+    if (a.name != b.name) return a.name < b.name;
+    return a.labels < b.labels;
+  }
+  friend bool operator==(const MetricId&, const MetricId&) = default;
+
+  /// "name{k1="v1",k2="v2"}" — the exposition-format rendering.
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// How a gauge combines across trials when registries merge.
+enum class GaugeMerge : std::uint8_t { kSum, kMax, kMin };
+
+/// Monotone event count.
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) { value_ += n; }
+  [[nodiscard]] std::uint64_t value() const { return value_; }
+
+ private:
+  friend class MetricRegistry;
+  std::uint64_t value_ = 0;
+};
+
+/// Point-in-time level with a configurable merge policy.
+class Gauge {
+ public:
+  void set(double v) { value_ = v; }
+  void set_max(double v) {
+    if (v > value_) value_ = v;
+  }
+  [[nodiscard]] double value() const { return value_; }
+  [[nodiscard]] GaugeMerge merge_kind() const { return merge_; }
+
+ private:
+  friend class MetricRegistry;
+  double value_ = 0.0;
+  GaugeMerge merge_ = GaugeMerge::kSum;
+};
+
+/// Log-bucketed mergeable histogram of non-negative integer samples
+/// (HdrHistogram-style: exact below 2^kSubBucketBits, then kSubBuckets
+/// linear sub-buckets per octave, bounding relative error by
+/// 1/kSubBuckets).  Buckets are dense from zero, so merging is an
+/// elementwise add — associative and commutative by construction.
+class Histogram {
+ public:
+  static constexpr int kSubBucketBits = 3;
+  static constexpr std::uint64_t kSubBuckets = 1ull << kSubBucketBits;
+
+  /// Dense bucket index of `value` (monotone in value).
+  [[nodiscard]] static std::size_t bucket_index(std::uint64_t value);
+  /// Smallest value mapping to `index` (inverse lower bound).
+  [[nodiscard]] static std::uint64_t bucket_lower_bound(std::size_t index);
+  /// First value beyond `index`'s range (== lower bound of index+1).
+  [[nodiscard]] static std::uint64_t bucket_upper_bound(std::size_t index) {
+    return bucket_lower_bound(index + 1);
+  }
+
+  void observe(std::uint64_t value);
+  void merge(const Histogram& other);
+
+  [[nodiscard]] std::uint64_t count() const { return count_; }
+  [[nodiscard]] std::uint64_t sum() const { return sum_; }
+  [[nodiscard]] std::uint64_t min() const { return count_ ? min_ : 0; }
+  [[nodiscard]] std::uint64_t max() const { return max_; }
+  [[nodiscard]] double mean() const {
+    return count_ ? static_cast<double>(sum_) / static_cast<double>(count_)
+                  : 0.0;
+  }
+  /// Value below which `q` (in [0,1]) of the samples fall, resolved to
+  /// the containing bucket's upper bound (Prometheus-style).
+  [[nodiscard]] std::uint64_t quantile(double q) const;
+  [[nodiscard]] const std::vector<std::uint64_t>& buckets() const {
+    return buckets_;
+  }
+
+ private:
+  std::vector<std::uint64_t> buckets_;
+  std::uint64_t count_ = 0;
+  std::uint64_t sum_ = 0;
+  std::uint64_t min_ = UINT64_MAX;
+  std::uint64_t max_ = 0;
+};
+
+/// The per-trial metric namespace.  Lookup creates on first use; all
+/// metrics live for the registry's lifetime, so handles may be cached
+/// by the instrumented components.
+class MetricRegistry {
+ public:
+  MetricRegistry() = default;
+  MetricRegistry(MetricRegistry&&) = default;
+  MetricRegistry& operator=(MetricRegistry&&) = default;
+  MetricRegistry(const MetricRegistry&) = delete;
+  MetricRegistry& operator=(const MetricRegistry&) = delete;
+
+  Counter& counter(MetricId id);
+  Counter& counter(std::string name) { return counter(MetricId{std::move(name), {}}); }
+  Gauge& gauge(MetricId id, GaugeMerge merge = GaugeMerge::kSum);
+  Gauge& gauge(std::string name, GaugeMerge merge = GaugeMerge::kSum) {
+    return gauge(MetricId{std::move(name), {}}, merge);
+  }
+  Histogram& histogram(MetricId id);
+  Histogram& histogram(std::string name) {
+    return histogram(MetricId{std::move(name), {}});
+  }
+
+  /// Folds `other` into this registry: counters and histograms add,
+  /// gauges combine per their merge policy.  Deterministic: the result
+  /// depends only on the multiset of merged registries, never on merge
+  /// order (campaign serial == parallel).
+  void merge(const MetricRegistry& other);
+
+  [[nodiscard]] const std::map<MetricId, Counter>& counters() const {
+    return counters_;
+  }
+  [[nodiscard]] const std::map<MetricId, Gauge>& gauges() const {
+    return gauges_;
+  }
+  [[nodiscard]] const std::map<MetricId, Histogram>& histograms() const {
+    return histograms_;
+  }
+  [[nodiscard]] bool empty() const {
+    return counters_.empty() && gauges_.empty() && histograms_.empty();
+  }
+
+  /// Counter value by rendered id ("name" or "name{k="v"}"); 0 when
+  /// absent — convenient for tests and report plumbing.
+  [[nodiscard]] std::uint64_t counter_value(const std::string& rendered) const;
+
+ private:
+  std::map<MetricId, Counter> counters_;
+  std::map<MetricId, Gauge> gauges_;
+  std::map<MetricId, Histogram> histograms_;
+};
+
+/// Convenience: id with a single label.
+[[nodiscard]] inline MetricId labeled(std::string name, std::string key,
+                                      std::string value) {
+  MetricId id{std::move(name), {}};
+  id.labels.emplace_back(std::move(key), std::move(value));
+  return id;
+}
+
+}  // namespace fxtraf::telemetry

@@ -1,0 +1,124 @@
+#include "telemetry/streaming.hpp"
+
+#include <string>
+
+namespace fxtraf::telemetry {
+
+StreamingAnalyzer::StreamingAnalyzer(const StreamingOptions& options)
+    : options_(options),
+      bank_(options.bandwidth_bin.seconds(), options.spectral) {}
+
+void StreamingAnalyzer::close_bin(double kb_per_s) {
+  bandwidth_welford_.add(kb_per_s);
+  bank_.push(kb_per_s);
+  if (options_.keep_bandwidth_series) series_.push_back(kb_per_s);
+  ++bins_closed_;
+}
+
+void StreamingAnalyzer::advance_bins_to(std::size_t target_bin) {
+  const double scale = 1.0 / 1024.0 / options_.bandwidth_bin.seconds();
+  while (current_bin_ < target_bin) {
+    close_bin(current_bin_bytes_ * scale);
+    current_bin_bytes_ = 0.0;
+    ++current_bin_;
+  }
+}
+
+void StreamingAnalyzer::on_packet(const trace::PacketRecord& record) {
+  ++packets_;
+  bytes_ += record.bytes;
+  trace::fold_packet(digest_, record);
+  size_welford_.add(static_cast<double>(record.bytes));
+  sizes_.observe(record.bytes);
+
+  if (!have_first_) {
+    have_first_ = true;
+    first_ = record.timestamp;
+  } else {
+    interarrival_welford_.add((record.timestamp - last_).millis());
+  }
+  last_ = record.timestamp;
+
+  // Same bin geometry as core::binned_bandwidth over [first, last + 1ns):
+  // fixed-width bins anchored at the first packet, a packet lands in
+  // floor((t - first) / interval).  Bins between the previous packet and
+  // this one close as zeros, so the bank sees the full evenly-sampled
+  // signal even through silent stretches.
+  advance_bins_to(
+      static_cast<std::size_t>((record.timestamp - first_).ns() /
+                               options_.bandwidth_bin.ns()));
+  current_bin_bytes_ += static_cast<double>(record.bytes);
+
+  auto& account = conns_[{record.src, record.dst}];
+  if (account.packets == 0) {
+    account.src = record.src;
+    account.dst = record.dst;
+    account.first = record.timestamp;
+  }
+  ++account.packets;
+  account.bytes += record.bytes;
+  if (record.proto == net::IpProto::kTcp) ++account.tcp_packets;
+  if (record.proto == net::IpProto::kUdp) ++account.udp_packets;
+  account.last = record.timestamp;
+}
+
+StreamSummary StreamingAnalyzer::finish() {
+  if (!finished_ && have_first_) {
+    // The offline binning spans [first, last + 1ns); its bin count is
+    // always current_bin_ + 1, so only the in-progress bin remains open.
+    const double scale = 1.0 / 1024.0 / options_.bandwidth_bin.seconds();
+    close_bin(current_bin_bytes_ * scale);
+    current_bin_bytes_ = 0.0;
+  }
+  finished_ = true;
+
+  StreamSummary s;
+  s.packets = packets_;
+  s.bytes = bytes_;
+  s.digest = digest_;
+  s.packet_size = size_welford_.summary();
+  s.interarrival_ms = interarrival_welford_.summary();
+  s.bandwidth_kbs = bandwidth_welford_.summary();
+  s.bandwidth_bins = bins_closed_;
+  if (have_first_ && last_ > first_) {
+    s.span_s = (last_ - first_).seconds();
+    s.avg_bandwidth_kbs = static_cast<double>(bytes_) / 1024.0 / s.span_s;
+  }
+  s.connections.reserve(conns_.size());
+  for (const auto& [key, account] : conns_) s.connections.push_back(account);
+  s.spectral_segments = bank_.segments();
+  if (s.spectral_segments > 0) {
+    const dsp::FundamentalEstimate fundamental = bank_.fundamental();
+    s.fundamental_hz = fundamental.frequency_hz;
+    s.harmonic_power_fraction = fundamental.harmonic_power_fraction;
+    s.harmonics_matched = fundamental.harmonics_matched;
+  }
+  if (options_.keep_bandwidth_series) s.bandwidth_series = series_;
+  return s;
+}
+
+void StreamingAnalyzer::export_metrics(const StreamSummary& summary,
+                                       MetricRegistry& registry) {
+  registry.counter("fxtraf_stream_packets_total").add(summary.packets);
+  registry.counter("fxtraf_stream_bytes_total").add(summary.bytes);
+  registry.counter("fxtraf_stream_bandwidth_bins_total")
+      .add(summary.bandwidth_bins);
+  registry.counter("fxtraf_stream_spectral_segments_total")
+      .add(summary.spectral_segments);
+  registry.counter("fxtraf_stream_connections_total")
+      .add(summary.connections.size());
+  registry.gauge("fxtraf_stream_span_seconds", GaugeMerge::kMax)
+      .set(summary.span_s);
+  registry.gauge("fxtraf_stream_avg_bandwidth_kbs", GaugeMerge::kMax)
+      .set(summary.avg_bandwidth_kbs);
+  registry.gauge("fxtraf_stream_packet_size_mean_bytes", GaugeMerge::kMax)
+      .set(summary.packet_size.mean);
+  registry.gauge("fxtraf_stream_interarrival_mean_ms", GaugeMerge::kMax)
+      .set(summary.interarrival_ms.mean);
+  registry.gauge("fxtraf_stream_fundamental_hz", GaugeMerge::kMax)
+      .set(summary.fundamental_hz);
+  registry.gauge("fxtraf_stream_harmonic_power_fraction", GaugeMerge::kMax)
+      .set(summary.harmonic_power_fraction);
+}
+
+}  // namespace fxtraf::telemetry

@@ -1,0 +1,124 @@
+// Streaming trace consumers: the paper's offline analyses recast as
+// single-pass, bounded-memory folds over the capture tap.
+//
+// The offline pipeline stores every PacketRecord and post-processes
+// (core::characterize); trial memory therefore grows linearly with the
+// trace.  StreamingAnalyzer consumes each record once, as the simulated
+// tcpdump would, and keeps only constant-size state: Welford moments for
+// sizes and interarrivals, a log-bucketed size histogram, per-connection
+// accounting (bounded by the host count), the instantaneous-bandwidth
+// bin in progress, a Goertzel bank ring for the spectrum, and the
+// running FNV-1a trace digest.  With Capture storage off this is the
+// bounded-memory trial mode: a week-long simulated trace costs the same
+// memory as a one-second one.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "core/stats.hpp"
+#include "simcore/time.hpp"
+#include "telemetry/goertzel.hpp"
+#include "telemetry/metrics.hpp"
+#include "trace/digest.hpp"
+#include "trace/record.hpp"
+
+namespace fxtraf::telemetry {
+
+struct StreamingOptions {
+  /// Instantaneous-bandwidth bin width (the paper's 10 ms interval).
+  sim::Duration bandwidth_bin = sim::millis(10);
+  /// Spectral estimation over the binned bandwidth signal.
+  GoertzelOptions spectral;
+  /// Retain the full binned series (diagnostic cross-checks only; breaks
+  /// the bounded-memory guarantee for unbounded traces).
+  bool keep_bandwidth_series = false;
+};
+
+/// Per simplex (src, dst) machine-pair channel, the paper's connection.
+struct ConnectionAccount {
+  net::HostId src = 0;
+  net::HostId dst = 0;
+  std::uint64_t packets = 0;
+  std::uint64_t bytes = 0;
+  std::uint64_t tcp_packets = 0;
+  std::uint64_t udp_packets = 0;
+  sim::SimTime first{};
+  sim::SimTime last{};
+};
+
+/// Everything the streaming pass knows at end of trace.
+struct StreamSummary {
+  std::uint64_t packets = 0;
+  std::uint64_t bytes = 0;
+  double span_s = 0.0;
+  trace::TraceDigest digest;
+  core::Summary packet_size;       ///< bytes
+  core::Summary interarrival_ms;   ///< milliseconds
+  core::Summary bandwidth_kbs;     ///< over completed bins
+  double avg_bandwidth_kbs = 0.0;  ///< lifetime average
+  std::size_t bandwidth_bins = 0;
+  std::vector<ConnectionAccount> connections;  ///< (src, dst) order
+  // Spectral estimate from the Goertzel bank (zero until one full
+  // segment of bandwidth bins has streamed through).
+  std::size_t spectral_segments = 0;
+  double fundamental_hz = 0.0;
+  double harmonic_power_fraction = 0.0;
+  std::size_t harmonics_matched = 0;
+  std::vector<double> bandwidth_series;  ///< only when keep_* was set
+};
+
+class StreamingAnalyzer {
+ public:
+  explicit StreamingAnalyzer(const StreamingOptions& options = {});
+
+  StreamingAnalyzer(const StreamingAnalyzer&) = delete;
+  StreamingAnalyzer& operator=(const StreamingAnalyzer&) = delete;
+
+  /// Consumes one record; records must arrive in capture (time) order.
+  void on_packet(const trace::PacketRecord& record);
+
+  /// Closes the bandwidth bin in progress and returns the summary.
+  /// Idempotent once the trace has ended (packets after finish() would
+  /// corrupt bin accounting and are a caller bug).
+  [[nodiscard]] StreamSummary finish();
+
+  [[nodiscard]] std::uint64_t packets() const { return packets_; }
+  [[nodiscard]] const trace::TraceDigest& digest() const { return digest_; }
+  [[nodiscard]] const Histogram& size_histogram() const { return sizes_; }
+  [[nodiscard]] const GoertzelBank& bank() const { return bank_; }
+
+  /// Writes the summary's scalar results into `registry` under the
+  /// fxtraf_stream_* namespace.
+  static void export_metrics(const StreamSummary& summary,
+                             MetricRegistry& registry);
+
+ private:
+  void close_bin(double kb_per_s);
+  void advance_bins_to(std::size_t target_bin);
+
+  StreamingOptions options_;
+  GoertzelBank bank_;
+
+  std::uint64_t packets_ = 0;
+  std::uint64_t bytes_ = 0;
+  trace::TraceDigest digest_;
+  core::Welford size_welford_;
+  core::Welford interarrival_welford_;
+  core::Welford bandwidth_welford_;
+  Histogram sizes_;
+  std::map<std::pair<net::HostId, net::HostId>, ConnectionAccount> conns_;
+
+  bool have_first_ = false;
+  bool finished_ = false;
+  sim::SimTime first_{};
+  sim::SimTime last_{};
+  std::size_t current_bin_ = 0;   ///< index of the bin being accumulated
+  double current_bin_bytes_ = 0.0;
+  std::size_t bins_closed_ = 0;
+  std::vector<double> series_;    ///< only when keep_bandwidth_series
+};
+
+}  // namespace fxtraf::telemetry

@@ -1,8 +1,10 @@
 #include "trace/capture.hpp"
 
+#include <algorithm>
+
 namespace fxtraf::trace {
 
-Capture::Capture() { packets_.reserve(1 << 16); }
+Capture::Capture() = default;
 
 Capture::Capture(eth::Segment& segment) : Capture() {
   segment.add_tap(tap());
@@ -19,6 +21,21 @@ void Capture::on_frame(sim::SimTime end_of_frame, const eth::Frame& frame) {
   r.dst = d.dst;
   r.src_port = d.src_port;
   r.dst_port = d.dst_port;
+
+  ++seen_;
+  for (const CaptureObserver& observer : observers_) {
+    observer(end_of_frame, r);
+  }
+  if (!store_packets_) return;
+  if (max_packets_ != 0 && packets_.size() >= max_packets_) {
+    truncated_ = true;
+    return;
+  }
+  if (packets_.capacity() == 0) {
+    packets_.reserve(max_packets_ != 0
+                         ? std::min<std::size_t>(max_packets_, 1 << 16)
+                         : 1 << 16);
+  }
   packets_.push_back(r);
 }
 

@@ -3,8 +3,18 @@
 // Plays the role of the paper's dedicated measurement workstation running
 // TCPDUMP with the DEC packet filter: it records every successfully
 // delivered frame on the collision domain without generating traffic.
+//
+// Besides the buffered trace, the capture fans each record out to
+// registered observers in registration order — the hook the telemetry
+// subsystem's streaming consumers attach to.  Storage can be disabled
+// entirely (bounded-memory trial mode: observers still see everything)
+// or bounded with max_packets, which keeps the first N records and
+// raises a loud `truncated` flag instead of silently dropping the tail.
 #pragma once
 
+#include <cstddef>
+#include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "ethernet/frame.hpp"
@@ -12,6 +22,11 @@
 #include "trace/record.hpp"
 
 namespace fxtraf::trace {
+
+/// Streaming consumer of capture records, called once per recorded
+/// packet in capture order (before buffering, regardless of storage
+/// mode or truncation).
+using CaptureObserver = std::function<void(sim::SimTime, const PacketRecord&)>;
 
 class Capture {
  public:
@@ -34,18 +49,50 @@ class Capture {
   /// Pauses/resumes recording (the tap stays attached).
   void set_enabled(bool enabled) { enabled_ = enabled; }
 
+  /// Registers a streaming consumer; the observer must outlive the
+  /// capture's traffic.  Observers see every record even when storage
+  /// is off or the buffer is truncated.
+  void add_observer(CaptureObserver observer) {
+    observers_.push_back(std::move(observer));
+  }
+
+  /// Disables/enables buffering records in packets().  Observers are
+  /// unaffected — this is the bounded-memory trial mode switch.
+  void set_store_packets(bool store) { store_packets_ = store; }
+
+  /// Caps the buffered trace at `max` records (0 = unbounded).  Records
+  /// beyond the cap still reach observers and count in seen(), but the
+  /// buffer stops growing and truncated() turns true.
+  void set_max_packets(std::size_t max) { max_packets_ = max; }
+
   [[nodiscard]] const std::vector<PacketRecord>& packets() const {
     return packets_;
   }
   [[nodiscard]] TraceView view() const { return packets_; }
   [[nodiscard]] std::size_t size() const { return packets_.size(); }
-  void clear() { packets_.clear(); }
+  /// Records observed while enabled, including any not buffered.
+  [[nodiscard]] std::uint64_t seen() const { return seen_; }
+  /// True when max_packets forced the buffer to drop the tail; any
+  /// offline analysis of packets() is then partial and must say so.
+  [[nodiscard]] bool truncated() const { return truncated_; }
+
+  /// Drops the buffered trace AND releases its heap allocation (a
+  /// campaign holding many idle captures should not pin peak memory).
+  void clear() {
+    std::vector<PacketRecord>().swap(packets_);
+    truncated_ = false;
+  }
 
  private:
   void on_frame(sim::SimTime end_of_frame, const eth::Frame& frame);
 
   std::vector<PacketRecord> packets_;
+  std::vector<CaptureObserver> observers_;
+  std::uint64_t seen_ = 0;
+  std::size_t max_packets_ = 0;
   bool enabled_ = true;
+  bool store_packets_ = true;
+  bool truncated_ = false;
 };
 
 }  // namespace fxtraf::trace

@@ -20,19 +20,21 @@ constexpr std::uint64_t fold(std::uint64_t hash, std::uint64_t word) {
 
 }  // namespace
 
+void fold_packet(TraceDigest& d, const PacketRecord& p) {
+  ++d.packet_count;
+  d.total_bytes += p.bytes;
+  d.fnv1a = fold(d.fnv1a, static_cast<std::uint64_t>(p.timestamp.ns()));
+  d.fnv1a = fold(d.fnv1a, p.bytes);
+  d.fnv1a = fold(d.fnv1a, static_cast<std::uint64_t>(p.proto));
+  d.fnv1a = fold(d.fnv1a, (static_cast<std::uint64_t>(p.src) << 32) |
+                              static_cast<std::uint64_t>(p.dst));
+  d.fnv1a = fold(d.fnv1a, (static_cast<std::uint64_t>(p.src_port) << 16) |
+                              static_cast<std::uint64_t>(p.dst_port));
+}
+
 TraceDigest digest_of(TraceView packets) {
   TraceDigest d;
-  for (const PacketRecord& p : packets) {
-    ++d.packet_count;
-    d.total_bytes += p.bytes;
-    d.fnv1a = fold(d.fnv1a, static_cast<std::uint64_t>(p.timestamp.ns()));
-    d.fnv1a = fold(d.fnv1a, p.bytes);
-    d.fnv1a = fold(d.fnv1a, static_cast<std::uint64_t>(p.proto));
-    d.fnv1a = fold(d.fnv1a, (static_cast<std::uint64_t>(p.src) << 32) |
-                                static_cast<std::uint64_t>(p.dst));
-    d.fnv1a = fold(d.fnv1a, (static_cast<std::uint64_t>(p.src_port) << 16) |
-                                static_cast<std::uint64_t>(p.dst_port));
-  }
+  for (const PacketRecord& p : packets) fold_packet(d, p);
   return d;
 }
 

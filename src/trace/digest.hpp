@@ -24,6 +24,12 @@ struct TraceDigest {
                                    const TraceDigest&) = default;
 };
 
+/// Folds one record into `digest` in place.  digest_of(trace) is exactly
+/// this left-folded over the trace in order, so a streaming consumer
+/// hashing packets as the capture tap sees them reproduces the buffered
+/// digest bit for bit — the bounded-memory trial mode relies on it.
+void fold_packet(TraceDigest& digest, const PacketRecord& packet);
+
 /// Digests `packets` in order; equal views produce equal digests and any
 /// field difference (time, size, protocol, endpoints, ports) changes the
 /// hash with overwhelming probability.

@@ -1,0 +1,545 @@
+// Telemetry subsystem tests: histogram bucket math and merge algebra,
+// the Goertzel bank against the offline spectral pipeline, flight
+// recorder ring + pcap round-trip, bounded-memory streaming-vs-buffered
+// equivalence across all six kernels, and campaign metric-merge
+// determinism (serial == parallel), with and without faults.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <fstream>
+#include <numbers>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "apps/fft2d.hpp"
+#include "apps/trial.hpp"
+#include "campaign/engine.hpp"
+#include "core/bandwidth.hpp"
+#include "core/packet_stats.hpp"
+#include "dsp/peaks.hpp"
+#include "dsp/welch.hpp"
+#include "simcore/rng.hpp"
+#include "telemetry/exporters.hpp"
+#include "telemetry/flight_recorder.hpp"
+#include "telemetry/goertzel.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/streaming.hpp"
+#include "trace/digest.hpp"
+#include "trace/pcap.hpp"
+
+namespace fxtraf::telemetry {
+namespace {
+
+// ---- Histogram bucket math. -------------------------------------------
+
+TEST(HistogramTest, BucketBoundsInvertIndex) {
+  // Exact below 2^kSubBucketBits; bounded relative error above.
+  for (std::uint64_t v = 0; v < Histogram::kSubBuckets; ++v) {
+    const std::size_t i = Histogram::bucket_index(v);
+    EXPECT_EQ(Histogram::bucket_lower_bound(i), v);
+    EXPECT_EQ(Histogram::bucket_upper_bound(i), v + 1);
+  }
+  std::uint64_t prev_index = 0;
+  const std::uint64_t probes[] = {8,     9,     15,        16,
+                                  63,    64,    1000,      65535,
+                                  65536, 1ull << 40, UINT64_MAX >> 1};
+  for (std::uint64_t v : probes) {
+    const std::size_t i = Histogram::bucket_index(v);
+    const std::uint64_t lo = Histogram::bucket_lower_bound(i);
+    const std::uint64_t hi = Histogram::bucket_upper_bound(i);
+    EXPECT_LE(lo, v) << v;
+    EXPECT_LT(v, hi) << v;
+    EXPECT_GE(i, prev_index);  // monotone in value
+    prev_index = i;
+    // Relative bucket width <= 1/kSubBuckets for values past the exact
+    // range: width * kSubBuckets <= lower bound.
+    EXPECT_LE((hi - lo) * Histogram::kSubBuckets, lo) << v;
+  }
+}
+
+TEST(HistogramTest, ObserveQuantileAndMoments) {
+  Histogram h;
+  for (std::uint64_t v = 1; v <= 1000; ++v) h.observe(v);
+  EXPECT_EQ(h.count(), 1000u);
+  EXPECT_EQ(h.sum(), 500500u);
+  EXPECT_EQ(h.min(), 1u);
+  EXPECT_EQ(h.max(), 1000u);
+  EXPECT_DOUBLE_EQ(h.mean(), 500.5);
+  // Bucketed quantile resolves to the containing bucket's upper bound:
+  // within one bucket width (<= 1/8 relative) of the true quantile.
+  const double p50 = static_cast<double>(h.quantile(0.5));
+  EXPECT_GE(p50, 500.0);
+  EXPECT_LE(p50, 500.0 * (1.0 + 1.0 / Histogram::kSubBuckets) + 1);
+}
+
+TEST(HistogramTest, MergeIsAssociativeAndCommutative) {
+  sim::Rng rng(7);
+  Histogram parts[3];
+  for (int p = 0; p < 3; ++p) {
+    for (int i = 0; i < 500; ++i) {
+      parts[p].observe(rng.next_u64() % (1ull << (4 * (p + 1))));
+    }
+  }
+  Histogram left;  // (a + b) + c
+  left.merge(parts[0]);
+  left.merge(parts[1]);
+  left.merge(parts[2]);
+  Histogram right;  // c + (b + a)
+  Histogram ba;
+  ba.merge(parts[1]);
+  ba.merge(parts[0]);
+  right.merge(parts[2]);
+  right.merge(ba);
+  EXPECT_EQ(left.buckets(), right.buckets());
+  EXPECT_EQ(left.count(), right.count());
+  EXPECT_EQ(left.sum(), right.sum());
+  EXPECT_EQ(left.min(), right.min());
+  EXPECT_EQ(left.max(), right.max());
+}
+
+// ---- Registry merge determinism. --------------------------------------
+
+std::string prometheus_string(const MetricRegistry& registry) {
+  std::ostringstream out;
+  write_prometheus(out, registry);
+  return out.str();
+}
+
+MetricRegistry make_registry(std::uint64_t seed) {
+  MetricRegistry reg;
+  sim::Rng rng(seed);
+  reg.counter("events").add(rng.next_u64() % 1000);
+  reg.counter(labeled("drops", "cause", "ber")).add(rng.next_u64() % 10);
+  reg.gauge("utilization", GaugeMerge::kMax)
+      .set(static_cast<double>(rng.next_u64() % 100) / 100.0);
+  reg.gauge("first_time", GaugeMerge::kMin)
+      .set(static_cast<double>(rng.next_u64() % 50));
+  reg.gauge("total_load", GaugeMerge::kSum)
+      .set(static_cast<double>(rng.next_u64() % 7));
+  for (int i = 0; i < 100; ++i) reg.histogram("sizes").observe(rng.next_u64() % 1500);
+  return reg;
+}
+
+TEST(RegistryTest, MergeOrderIndependent) {
+  MetricRegistry forward;
+  for (std::uint64_t s : {1u, 2u, 3u, 4u}) forward.merge(make_registry(s));
+  MetricRegistry backward;
+  for (std::uint64_t s : {4u, 3u, 2u, 1u}) backward.merge(make_registry(s));
+  MetricRegistry nested;  // (1+2) + (3+4)
+  MetricRegistry a, b;
+  a.merge(make_registry(1));
+  a.merge(make_registry(2));
+  b.merge(make_registry(3));
+  b.merge(make_registry(4));
+  nested.merge(a);
+  nested.merge(b);
+  const std::string want = prometheus_string(forward);
+  EXPECT_EQ(want, prometheus_string(backward));
+  EXPECT_EQ(want, prometheus_string(nested));
+  EXPECT_FALSE(want.empty());
+}
+
+TEST(RegistryTest, GaugeMergePolicies) {
+  MetricRegistry a, b;
+  a.gauge("hw", GaugeMerge::kMax).set(3.0);
+  b.gauge("hw", GaugeMerge::kMax).set(7.0);
+  a.gauge("lo", GaugeMerge::kMin).set(3.0);
+  b.gauge("lo", GaugeMerge::kMin).set(7.0);
+  a.gauge("sum", GaugeMerge::kSum).set(3.0);
+  b.gauge("sum", GaugeMerge::kSum).set(7.0);
+  a.merge(b);
+  EXPECT_DOUBLE_EQ(a.gauge("hw", GaugeMerge::kMax).value(), 7.0);
+  EXPECT_DOUBLE_EQ(a.gauge("lo", GaugeMerge::kMin).value(), 3.0);
+  EXPECT_DOUBLE_EQ(a.gauge("sum", GaugeMerge::kSum).value(), 10.0);
+}
+
+// ---- Goertzel bank vs the offline spectral pipeline. ------------------
+
+TEST(GoertzelTest, MatchesWelchOnSyntheticTones) {
+  // Fundamental on the segment grid (bin 10 of 256 at dt = 10 ms) plus
+  // two harmonics, a DC offset, and deterministic noise.
+  const double dt = 0.01;
+  const std::size_t segment = 256;
+  const double f0 = 10.0 / (static_cast<double>(segment) * dt);
+  GoertzelOptions options;
+  options.segment_samples = segment;
+  options.overlap_samples = segment / 2;
+  options.tracked_hz = {f0, 2 * f0, 3 * f0};
+  GoertzelBank bank(dt, options);
+
+  sim::Rng rng(11);
+  std::vector<double> samples(2048);
+  for (std::size_t n = 0; n < samples.size(); ++n) {
+    const double t = static_cast<double>(n) * dt;
+    samples[n] = 50.0 +
+                 30.0 * std::sin(2 * std::numbers::pi * f0 * t) +
+                 12.0 * std::sin(2 * std::numbers::pi * 2 * f0 * t) +
+                 5.0 * std::sin(2 * std::numbers::pi * 3 * f0 * t) +
+                 0.5 * (rng.next_double() - 0.5);
+    bank.push(samples[n]);
+  }
+  ASSERT_GT(bank.segments(), 0u);
+
+  dsp::WelchOptions welch_options;
+  welch_options.segment_samples = segment;
+  welch_options.overlap_samples = segment / 2;
+  const dsp::Spectrum welch = dsp::welch(samples, dt, welch_options);
+  const auto& grid = bank.grid_power();
+  ASSERT_EQ(grid.size(), welch.power.size());
+  for (std::size_t k = 0; k < grid.size(); ++k) {
+    EXPECT_NEAR(grid[k], welch.power[k],
+                1e-9 * std::max(1.0, welch.power[k]))
+        << "grid bin " << k;
+  }
+
+  // The recurrence at an exactly-on-grid tracked frequency reproduces
+  // the DFT bin.
+  const auto& tracked = bank.tracked_power();
+  EXPECT_NEAR(tracked[0], grid[10], 1e-6 * grid[10]);
+
+  // Online fundamental within 1% of both the offline estimate and truth.
+  const dsp::FundamentalEstimate online = bank.fundamental();
+  const dsp::FundamentalEstimate offline = dsp::estimate_fundamental(
+      dsp::find_peaks(welch), 2.0 * welch.resolution_hz());
+  EXPECT_NEAR(online.frequency_hz, offline.frequency_hz, 0.01 * f0);
+  EXPECT_NEAR(online.frequency_hz, f0, 0.01 * f0);
+  EXPECT_GT(online.harmonic_power_fraction, 0.9);
+}
+
+TEST(GoertzelTest, TracksOffGridFrequencies) {
+  // An off-grid tone: no DFT bin lands on it, but the tracked recurrence
+  // measures it directly and beats both neighbouring grid bins.
+  const double dt = 0.01;
+  const double tone = 4.03;  // between grid bins at 256-sample segments
+  GoertzelOptions options;
+  options.segment_samples = 256;
+  options.overlap_samples = 128;
+  options.tracked_hz = {tone, tone * 1.37};
+  GoertzelBank bank(dt, options);
+  for (std::size_t n = 0; n < 1024; ++n) {
+    const double t = static_cast<double>(n) * dt;
+    bank.push(10.0 * std::sin(2 * std::numbers::pi * tone * t));
+  }
+  ASSERT_GT(bank.segments(), 0u);
+  EXPECT_GT(bank.tracked_power()[0], 100.0 * bank.tracked_power()[1]);
+}
+
+TEST(GoertzelTest, RejectsBadOptions) {
+  EXPECT_THROW(GoertzelBank(0.0, {}), std::invalid_argument);
+  GoertzelOptions bad;
+  bad.segment_samples = 64;
+  bad.overlap_samples = 64;
+  EXPECT_THROW(GoertzelBank(0.01, bad), std::invalid_argument);
+}
+
+// ---- Flight recorder. -------------------------------------------------
+
+trace::PacketRecord make_record(int i) {
+  trace::PacketRecord r;
+  // Microsecond-aligned so the pcap round-trip (us resolution) is exact.
+  r.timestamp = sim::SimTime{(1000 + 17 * static_cast<std::int64_t>(i)) * 1000};
+  r.bytes = 64 + static_cast<std::uint32_t>(i % 1400);
+  r.proto = (i % 3 == 0) ? net::IpProto::kUdp : net::IpProto::kTcp;
+  r.src = static_cast<net::HostId>(i % 4);
+  r.dst = static_cast<net::HostId>((i + 1) % 4);
+  r.src_port = static_cast<std::uint16_t>(5000 + i % 7);
+  r.dst_port = static_cast<std::uint16_t>(6000 + i % 5);
+  return r;
+}
+
+TEST(FlightRecorderTest, RingKeepsLastNInOrder) {
+  FlightRecorder recorder(FlightRecorderOptions{8, 4});
+  for (int i = 0; i < 21; ++i) recorder.on_packet(make_record(i));
+  for (int i = 0; i < 11; ++i) {
+    recorder.note(sim::SimTime{i * 1000}, "event " + std::to_string(i));
+  }
+  EXPECT_EQ(recorder.packets_seen(), 21u);
+  EXPECT_EQ(recorder.events_seen(), 11u);
+
+  const auto window = recorder.window();
+  ASSERT_EQ(window.size(), 8u);
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_EQ(window[static_cast<std::size_t>(i)].timestamp,
+              make_record(13 + i).timestamp);
+  }
+  const auto events = recorder.events();
+  ASSERT_EQ(events.size(), 4u);
+  EXPECT_EQ(events.front().what, "event 7");
+  EXPECT_EQ(events.back().what, "event 10");
+}
+
+TEST(FlightRecorderTest, PartialRingBeforeWrap) {
+  FlightRecorder recorder(FlightRecorderOptions{16, 4});
+  for (int i = 0; i < 5; ++i) recorder.on_packet(make_record(i));
+  const auto window = recorder.window();
+  ASSERT_EQ(window.size(), 5u);
+  EXPECT_EQ(window.front().timestamp, make_record(0).timestamp);
+  EXPECT_EQ(window.back().timestamp, make_record(4).timestamp);
+  EXPECT_THROW(FlightRecorder(FlightRecorderOptions{0, 4}),
+               std::invalid_argument);
+}
+
+TEST(FlightRecorderTest, DumpWritesReadablePcapAndSnapshot) {
+  FlightRecorder recorder(FlightRecorderOptions{16, 8});
+  for (int i = 0; i < 40; ++i) recorder.on_packet(make_record(i));
+  recorder.note(sim::SimTime{99000}, "tcp abort 1->2: retry budget exhausted");
+
+  MetricRegistry metrics;
+  metrics.counter("fxtraf_tcp_aborts_total").add(1);
+
+  const std::string prefix = ::testing::TempDir() + "flight-test";
+  const std::string pcap_path = recorder.dump(prefix, "unit test", &metrics);
+  EXPECT_EQ(pcap_path, prefix + ".pcap");
+
+  // Round-trip: the pcap holds exactly the retained window.
+  const auto loaded = trace::read_pcap_file(pcap_path);
+  const auto window = recorder.window();
+  ASSERT_EQ(loaded.size(), window.size());
+  for (std::size_t i = 0; i < window.size(); ++i) {
+    EXPECT_EQ(loaded[i].timestamp, window[i].timestamp);
+    EXPECT_EQ(loaded[i].bytes, window[i].bytes);
+    EXPECT_EQ(loaded[i].proto, window[i].proto);
+    EXPECT_EQ(loaded[i].src, window[i].src);
+    EXPECT_EQ(loaded[i].dst, window[i].dst);
+    EXPECT_EQ(loaded[i].src_port, window[i].src_port);
+    EXPECT_EQ(loaded[i].dst_port, window[i].dst_port);
+  }
+
+  std::ifstream txt(prefix + ".txt");
+  ASSERT_TRUE(txt.good());
+  std::stringstream contents;
+  contents << txt.rdbuf();
+  EXPECT_NE(contents.str().find("unit test"), std::string::npos);
+  EXPECT_NE(contents.str().find("retry budget exhausted"), std::string::npos);
+  EXPECT_NE(contents.str().find("fxtraf_tcp_aborts_total"), std::string::npos);
+
+  EXPECT_THROW(recorder.dump("/nonexistent-dir/zz/flight", "x"),
+               std::runtime_error);
+}
+
+// ---- Streaming vs buffered trials (the bounded-memory contract). ------
+
+apps::TrialScenario telemetry_scenario(const std::string& kernel,
+                                       double scale, bool store_packets) {
+  apps::TrialScenario scenario;
+  scenario.kernel = kernel;
+  scenario.scale = scale;
+  scenario.seed = 20260805;
+  scenario.telemetry.enabled = true;
+  scenario.telemetry.store_packets = store_packets;
+  // Short segments so even the briefest kernel trace completes a few.
+  scenario.telemetry.spectral_segment_bins = 64;
+  scenario.telemetry.spectral_overlap_bins = 32;
+  return scenario;
+}
+
+TEST(StreamingEquivalenceTest, AllSixKernelsDigestAndFundamentals) {
+  for (const char* kernel :
+       {"sor", "2dfft", "t2dfft", "seq", "hist", "airshed"}) {
+    SCOPED_TRACE(kernel);
+    const apps::TrialRun buffered =
+        apps::run_trial(telemetry_scenario(kernel, 0.05, true));
+    const apps::TrialRun bounded =
+        apps::run_trial(telemetry_scenario(kernel, 0.05, false));
+
+    // Bounded mode buffers nothing yet observes everything.
+    EXPECT_TRUE(bounded.packets.empty());
+    EXPECT_FALSE(buffered.packets.empty());
+    EXPECT_EQ(bounded.packets_seen, buffered.packets.size());
+
+    // Identical digests: streaming == buffered == offline recompute.
+    EXPECT_EQ(bounded.digest, buffered.digest);
+    EXPECT_EQ(buffered.digest, trace::digest_of(buffered.packets));
+
+    // Identical streamed statistics (same fold over the same packets).
+    EXPECT_EQ(bounded.stream.packets, buffered.stream.packets);
+    EXPECT_EQ(bounded.stream.bytes, buffered.stream.bytes);
+    EXPECT_EQ(bounded.stream.bandwidth_bins, buffered.stream.bandwidth_bins);
+    EXPECT_DOUBLE_EQ(bounded.stream.fundamental_hz,
+                     buffered.stream.fundamental_hz);
+    EXPECT_DOUBLE_EQ(bounded.stream.packet_size.mean,
+                     buffered.stream.packet_size.mean);
+
+    // The online fundamental against the offline Welch estimate over the
+    // offline-binned series, same segmenting: within 1%.
+    ASSERT_GT(buffered.stream.spectral_segments, 0u);
+    const core::BinnedSeries series =
+        core::binned_bandwidth(buffered.packets, sim::millis(10));
+    dsp::WelchOptions welch_options;
+    welch_options.segment_samples = 64;
+    welch_options.overlap_samples = 32;
+    const dsp::Spectrum welch =
+        dsp::welch(series.kb_per_s, series.interval_s, welch_options);
+    // Same peak-extraction knobs core::characterize and the streaming
+    // bank use — the comparison is about the spectra, not the extractor.
+    const dsp::PeakOptions peak_options{.min_relative_power = 1e-3,
+                                        .min_separation_bins = 3,
+                                        .skip_dc_bins = 2,
+                                        .max_peaks = 24};
+    const dsp::FundamentalEstimate offline = dsp::estimate_fundamental(
+        dsp::find_peaks(welch, peak_options), 2.0 * welch.resolution_hz());
+    if (offline.frequency_hz > 0) {
+      EXPECT_NEAR(buffered.stream.fundamental_hz, offline.frequency_hz,
+                  0.01 * offline.frequency_hz);
+    } else {
+      EXPECT_DOUBLE_EQ(buffered.stream.fundamental_hz, 0.0);
+    }
+  }
+}
+
+TEST(StreamingEquivalenceTest, BandwidthSeriesMatchesOfflineBinning) {
+  apps::TrialScenario scenario = telemetry_scenario("2dfft", 0.05, true);
+  scenario.telemetry.keep_bandwidth_series = true;
+  const apps::TrialRun run = apps::run_trial(scenario);
+  const core::BinnedSeries offline =
+      core::binned_bandwidth(run.packets, sim::millis(10));
+  ASSERT_EQ(run.stream.bandwidth_series.size(), offline.kb_per_s.size());
+  for (std::size_t i = 0; i < offline.kb_per_s.size(); ++i) {
+    EXPECT_NEAR(run.stream.bandwidth_series[i], offline.kb_per_s[i],
+                1e-9 * std::max(1.0, offline.kb_per_s[i]))
+        << "bin " << i;
+  }
+  EXPECT_NEAR(run.stream.avg_bandwidth_kbs,
+              core::average_bandwidth_kbs(run.packets), 1e-9);
+}
+
+TEST(StreamingEquivalenceTest, HundredIterationBoundedTrial) {
+  // The acceptance run: a 100-iteration kernel (2DFFT's paper default)
+  // in bounded-memory mode matches the buffered run bit-for-bit.
+  auto scenario = [](bool store) {
+    apps::TrialScenario s;
+    s.kernel = "2dfft";
+    s.seed = 99;
+    s.make_program = [] {
+      apps::Fft2dParams params;
+      params.n = 128;
+      params.iterations = 100;
+      params.flops_per_phase = 1e5;
+      return apps::make_fft2d(params);
+    };
+    s.telemetry.enabled = true;
+    s.telemetry.store_packets = store;
+    s.telemetry.spectral_segment_bins = 256;
+    s.telemetry.spectral_overlap_bins = 128;
+    return s;
+  };
+  const apps::TrialRun buffered = apps::run_trial(scenario(true));
+  const apps::TrialRun bounded = apps::run_trial(scenario(false));
+  EXPECT_TRUE(bounded.packets.empty());
+  EXPECT_EQ(bounded.digest, buffered.digest);
+  EXPECT_EQ(buffered.digest, trace::digest_of(buffered.packets));
+  ASSERT_GT(bounded.stream.spectral_segments, 0u);
+  EXPECT_DOUBLE_EQ(bounded.stream.fundamental_hz,
+                   buffered.stream.fundamental_hz);
+  EXPECT_GT(bounded.stream.fundamental_hz, 0.0);
+}
+
+TEST(CaptureBoundTest, MaxPacketsTruncatesLoudlyButKeepsDigest) {
+  apps::TrialScenario full = telemetry_scenario("2dfft", 0.05, true);
+  apps::TrialScenario capped = full;
+  capped.telemetry.capture_max_packets = 100;
+  const apps::TrialRun full_run = apps::run_trial(full);
+  const apps::TrialRun capped_run = apps::run_trial(capped);
+
+  EXPECT_FALSE(full_run.capture_truncated);
+  EXPECT_TRUE(capped_run.capture_truncated);
+  EXPECT_EQ(capped_run.packets.size(), 100u);
+  EXPECT_GT(capped_run.packets_seen, 100u);
+  // Observers saw the whole trace: the digest ignores the cap.
+  EXPECT_EQ(capped_run.digest, full_run.digest);
+  ASSERT_NE(capped_run.metrics, nullptr);
+  EXPECT_EQ(capped_run.metrics->counter_value("fxtraf_capture_packets_stored_total"),
+            100u);
+
+  // Without telemetry the cap still keeps the full-trace digest (the
+  // trial attaches a digest observer).
+  apps::TrialScenario plain_capped;
+  plain_capped.kernel = "2dfft";
+  plain_capped.scale = 0.05;
+  plain_capped.seed = full.seed;
+  plain_capped.telemetry.capture_max_packets = 100;
+  const apps::TrialRun plain_run = apps::run_trial(plain_capped);
+  EXPECT_TRUE(plain_run.capture_truncated);
+  EXPECT_EQ(plain_run.packets.size(), 100u);
+  EXPECT_EQ(plain_run.digest, full_run.digest);
+}
+
+// ---- Campaign-level determinism. --------------------------------------
+
+std::vector<campaign::TrialSpec> bounded_specs(std::size_t n,
+                                               bool with_faults) {
+  campaign::TrialSpec base;
+  base.scenario = telemetry_scenario("2dfft", 0.05, false);
+  if (with_faults) {
+    base.scenario.faults.frame_ber = 1e-5;
+    base.scenario.faults.daemon_outages.push_back({1, 0.2, 0.3});
+  }
+  base.label = "2dfft";
+  return campaign::seed_sweep(base, n, 77);
+}
+
+TEST(CampaignTelemetryTest, SerialEqualsParallel) {
+  const auto specs = bounded_specs(4, false);
+  campaign::CampaignOptions serial;
+  serial.threads = 1;
+  campaign::CampaignOptions parallel;
+  parallel.threads = 4;
+  const campaign::CampaignResult a = campaign::run_campaign(specs, serial);
+  const campaign::CampaignResult b = campaign::run_campaign(specs, parallel);
+  ASSERT_EQ(a.trials.size(), b.trials.size());
+  for (std::size_t i = 0; i < a.trials.size(); ++i) {
+    EXPECT_TRUE(a.trials[i].ok) << a.trials[i].error;
+    EXPECT_EQ(a.trials[i].digest, b.trials[i].digest);
+    EXPECT_EQ(a.trials[i].metrics, b.trials[i].metrics);
+  }
+  // The merged registries export byte-identically.
+  EXPECT_FALSE(a.telemetry.empty());
+  EXPECT_EQ(prometheus_string(a.telemetry), prometheus_string(b.telemetry));
+  // Streamed characterization made it into the campaign metrics even
+  // though no packets were buffered.
+  EXPECT_GT(a.metric("fundamental_hz").stats.count, 0u);
+  EXPECT_GT(a.metric("packets").stats.mean, 0.0);
+}
+
+TEST(CampaignTelemetryTest, FaultedCampaignStaysDeterministic) {
+  const auto specs = bounded_specs(3, true);
+  campaign::CampaignOptions serial;
+  serial.threads = 1;
+  campaign::CampaignOptions parallel;
+  parallel.threads = 3;
+  const campaign::CampaignResult a = campaign::run_campaign(specs, serial);
+  const campaign::CampaignResult b = campaign::run_campaign(specs, parallel);
+  ASSERT_EQ(a.trials.size(), b.trials.size());
+  for (std::size_t i = 0; i < a.trials.size(); ++i) {
+    EXPECT_EQ(a.trials[i].ok, b.trials[i].ok);
+    EXPECT_EQ(a.trials[i].digest, b.trials[i].digest);
+    EXPECT_EQ(a.trials[i].metrics, b.trials[i].metrics);
+  }
+  EXPECT_EQ(prometheus_string(a.telemetry), prometheus_string(b.telemetry));
+  // The faulted campaign actually exercised the recovery counters.
+  EXPECT_GT(a.telemetry.counter_value("fxtraf_tcp_retransmissions_total") +
+                a.telemetry.counter_value(
+                    "fxtraf_pvm_daemon_retransmissions_total"),
+            0u);
+}
+
+TEST(CampaignTelemetryTest, ExportersAreByteStableAndWellFormed) {
+  const auto specs = bounded_specs(2, false);
+  campaign::CampaignOptions options;
+  options.threads = 2;
+  const campaign::CampaignResult result =
+      campaign::run_campaign(specs, options);
+  const std::string prom = prometheus_string(result.telemetry);
+  EXPECT_NE(prom.find("fxtraf_stream_packets_total"), std::string::npos);
+  EXPECT_NE(prom.find("fxtraf_fx_comm_us_bucket"), std::string::npos);
+  EXPECT_NE(prom.find("le=\"+Inf\""), std::string::npos);
+  std::ostringstream json;
+  write_json(json, result.telemetry);
+  EXPECT_EQ(json.str().front(), '{');
+  EXPECT_NE(json.str().find("\"histograms\""), std::string::npos);
+  EXPECT_NE(json.str().find("fxtraf_sim_events_total"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace fxtraf::telemetry
