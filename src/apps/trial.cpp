@@ -151,6 +151,13 @@ void Trial::scrape_metrics() {
   telemetry::MetricRegistry& reg = *metrics_;
 
   reg.counter("fxtraf_sim_events_total").add(simulator_->events_executed());
+  const sim::EventQueueStats& sched = simulator_->scheduler_stats();
+  reg.counter("fxtraf_sim_events_scheduled_total").add(sched.scheduled);
+  reg.counter("fxtraf_sim_events_cancelled_total").add(sched.cancelled);
+  reg.counter("fxtraf_sim_heap_backed_actions_total")
+      .add(sched.heap_backed_actions);
+  reg.gauge("fxtraf_sim_allocations_per_event", GaugeMerge::kMax)
+      .set(sched.allocations_per_event());
 
   const eth::SegmentStats& seg = testbed_->segment().stats();
   reg.counter("fxtraf_segment_frames_delivered_total")
@@ -269,6 +276,8 @@ TrialRun Trial::finish() {
   result.capture_truncated = testbed_->capture().truncated();
   result.packets_seen = testbed_->capture().seen();
   result.events_executed = simulator_->events_executed();
+  result.allocations_per_event =
+      simulator_->scheduler_stats().allocations_per_event();
   result.audit = audit();
   if (analyzer_) {
     result.stream = analyzer_->finish();

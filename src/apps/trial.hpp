@@ -106,6 +106,12 @@ struct TrialRun {
   std::vector<trace::PacketRecord> packets;
   double sim_seconds = 0.0;
   std::uint64_t events_executed = 0;
+  /// Scheduler hot-path health: fraction of scheduled events whose
+  /// closure spilled past the inline action buffer to the heap.  Pure
+  /// function of the event schedule, so serial and parallel campaigns
+  /// report identical values.  ~0 is the contract; a rise means an
+  /// oversized closure crept into a hot timer path.
+  double allocations_per_event = 0.0;
   /// Digest over EVERY observed packet, regardless of buffering mode —
   /// the determinism oracle the campaign engine compares.
   trace::TraceDigest digest;

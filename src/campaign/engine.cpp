@@ -42,6 +42,9 @@ TrialResult run_one(const TrialSpec& spec, std::size_t index,
     result.metrics["avg_bandwidth_kbs"] =
         run.streamed ? run.stream.avg_bandwidth_kbs
                      : core::average_bandwidth_kbs(run.packets);
+    // Scheduler hot-path health; a pure function of the event schedule,
+    // so serial and parallel sweeps report bit-identical values.
+    result.metrics["allocations_per_event"] = run.allocations_per_event;
     if (run.capture_truncated) result.metrics["capture_truncated"] = 1.0;
     // Loss + recovery counters from the conservation audit.  Zero for
     // clean trials, so campaigns without faults are unchanged apart

@@ -1,0 +1,100 @@
+#include "ethernet/frame_pool.hpp"
+
+#include <cassert>
+#include <memory>
+#include <new>
+#include <vector>
+
+namespace fxtraf::eth {
+
+namespace {
+
+// Blocks above this count are returned to the system instead of cached;
+// bounds pool memory if a pathological episode floods the segment.
+constexpr std::size_t kMaxFreeBlocks = 4096;
+
+struct PoolState {
+  std::vector<void*> free_blocks;
+  std::size_t block_size = 0;  // fixed after the first allocation
+  FramePoolStats stats;
+
+  ~PoolState() {
+    for (void* b : free_blocks) ::operator delete(b);
+  }
+};
+
+PoolState& pool() {
+  thread_local PoolState state;
+  return state;
+}
+
+// Minimal allocator handed to allocate_shared.  allocate_shared rebinds
+// it to its internal combined control-block+payload type and asks for
+// exactly one object per call, so the pool sees a single fixed block
+// size per thread — exactly what a free list wants.
+template <typename T>
+struct PoolAllocator {
+  using value_type = T;
+
+  PoolAllocator() = default;
+  template <typename U>
+  PoolAllocator(const PoolAllocator<U>&) noexcept {}  // NOLINT
+
+  T* allocate(std::size_t n) {
+    PoolState& p = pool();
+    const std::size_t bytes = n * sizeof(T);
+    ++p.stats.acquired;
+    if (!p.free_blocks.empty() && p.block_size == bytes) {
+      void* block = p.free_blocks.back();
+      p.free_blocks.pop_back();
+      p.stats.free_blocks = p.free_blocks.size();
+      ++p.stats.reused;
+      return static_cast<T*>(block);
+    }
+    assert(p.block_size == 0 || p.block_size == bytes);
+    p.block_size = bytes;
+    ++p.stats.fresh;
+    return static_cast<T*>(::operator new(bytes));
+  }
+
+  void deallocate(T* ptr, std::size_t n) {
+    PoolState& p = pool();
+    const std::size_t bytes = n * sizeof(T);
+    if (bytes == p.block_size && p.free_blocks.size() < kMaxFreeBlocks) {
+      p.free_blocks.push_back(ptr);
+      p.stats.free_blocks = p.free_blocks.size();
+      ++p.stats.recycled;
+      return;
+    }
+    ::operator delete(ptr);
+  }
+
+  template <typename U>
+  friend bool operator==(const PoolAllocator&, const PoolAllocator<U>&) {
+    return true;  // stateless: any instance frees any other's blocks
+  }
+};
+
+}  // namespace
+
+net::DatagramPtr make_pooled_datagram(net::IpDatagram datagram) {
+  return std::allocate_shared<const net::IpDatagram>(
+      PoolAllocator<const net::IpDatagram>{}, std::move(datagram));
+}
+
+FramePoolStats frame_pool_stats() { return pool().stats; }
+
+void reset_frame_pool_stats() {
+  PoolState& p = pool();
+  p.stats = FramePoolStats{};
+  p.stats.free_blocks = p.free_blocks.size();
+}
+
+void trim_frame_pool() {
+  PoolState& p = pool();
+  for (void* b : p.free_blocks) ::operator delete(b);
+  p.free_blocks.clear();
+  p.stats.free_blocks = 0;
+}
+
+}  // namespace fxtraf::eth

@@ -1,0 +1,61 @@
+// Free-list recycling for per-frame datagram allocations.
+//
+// Every frame a stack transmits carries its IP datagram behind a
+// shared_ptr (the NIC may still hold the frame for retransmission after
+// a collision while the receiver is already demultiplexing it, so the
+// metadata record is shared, immutable, and reference counted).  The
+// straightforward make_shared in Stack::transmit paid one combined
+// control-block+payload allocation per packet — on a saturated segment
+// that is the single largest malloc source after the event queue.
+//
+// make_pooled_datagram() keeps that shared_ptr interface but services
+// the combined block from a thread-local free list: blocks are returned
+// to the list when the last reference drops and reused verbatim for the
+// next frame.  Steady-state transmission therefore touches malloc only
+// while the pool is still growing toward the episode's high-water mark.
+//
+// Thread safety: the campaign engine is shared-nothing — a trial's
+// frames are allocated, forwarded, and released on that trial's thread,
+// so a thread_local pool needs no locks.  Even if a block ever migrated,
+// each block is a plain ::operator new allocation, so cross-thread
+// release would be memory-safe (the block just joins the releasing
+// thread's list).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "net/datagram.hpp"
+
+namespace fxtraf::eth {
+
+/// Allocation accounting for the calling thread's datagram pool.
+struct FramePoolStats {
+  std::uint64_t acquired = 0;  ///< pooled datagrams handed out
+  std::uint64_t reused = 0;    ///< served from the free list
+  std::uint64_t fresh = 0;     ///< fell through to operator new
+  std::uint64_t recycled = 0;  ///< blocks returned to the free list
+  std::size_t free_blocks = 0; ///< blocks currently cached
+
+  /// Fraction of frames that avoided malloc entirely; approaches 1 once
+  /// the pool has warmed past the run's peak in-flight frame count.
+  [[nodiscard]] double reuse_ratio() const {
+    return acquired > 0
+               ? static_cast<double>(reused) / static_cast<double>(acquired)
+               : 0.0;
+  }
+};
+
+/// Wraps `datagram` in a pooled shared_ptr; drop-in for make_shared.
+[[nodiscard]] net::DatagramPtr make_pooled_datagram(net::IpDatagram datagram);
+
+/// This thread's pool counters (reset_frame_pool_stats zeroes them
+/// between bench phases without dropping the warmed free list).
+[[nodiscard]] FramePoolStats frame_pool_stats();
+void reset_frame_pool_stats();
+
+/// Releases every cached block back to the system allocator.  For
+/// leak-checked tests and ASan runs; never needed for correctness.
+void trim_frame_pool();
+
+}  // namespace fxtraf::eth

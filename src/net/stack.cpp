@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "ethernet/frame.hpp"
+#include "ethernet/frame_pool.hpp"
 #include "simcore/log.hpp"
 
 namespace fxtraf::net {
@@ -20,7 +21,7 @@ void Stack::transmit(IpDatagram datagram) {
   eth::Frame frame;
   frame.src = host();
   frame.dst = datagram.dst;
-  frame.datagram = std::make_shared<const IpDatagram>(std::move(datagram));
+  frame.datagram = eth::make_pooled_datagram(std::move(datagram));
   link_.send(std::move(frame));
 }
 

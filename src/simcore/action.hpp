@@ -1,0 +1,111 @@
+// Small-buffer-optimized, move-only callable for scheduled events.
+//
+// Every event the simulator fires is a closure captured at schedule time.
+// The std::function the event queue originally used has a 16-byte inline
+// buffer in libstdc++, so any capture beyond two pointers — a coroutine
+// handle plus context, a timer with its connection — fell back to the
+// heap, and the copyable-callable requirement forbade holding move-only
+// state at all.  UniqueAction keeps 48 bytes inline (every closure the
+// hot path schedules today fits), requires only move-constructibility,
+// and reports whether a given callable spilled to the heap so the event
+// queue can account allocations per event exactly.
+#pragma once
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace fxtraf::sim {
+
+class UniqueAction {
+ public:
+  /// Inline capture capacity: three cache-line quarters, enough for a
+  /// `this` pointer plus five words of context without touching malloc.
+  static constexpr std::size_t kInlineBytes = 48;
+
+  UniqueAction() = default;
+
+  template <typename F>
+    requires(!std::is_same_v<std::remove_cvref_t<F>, UniqueAction> &&
+             std::is_invocable_r_v<void, std::remove_cvref_t<F>&>)
+  UniqueAction(F&& f) {  // NOLINT(google-explicit-constructor)
+    using Fn = std::remove_cvref_t<F>;
+    if constexpr (sizeof(Fn) <= kInlineBytes &&
+                  alignof(Fn) <= alignof(std::max_align_t) &&
+                  std::is_nothrow_move_constructible_v<Fn>) {
+      ::new (static_cast<void*>(storage_)) Fn(std::forward<F>(f));
+      invoke_ = [](void* p) { (*static_cast<Fn*>(p))(); };
+      relocate_ = [](void* dst, void* src) {
+        Fn* from = static_cast<Fn*>(src);
+        ::new (dst) Fn(std::move(*from));
+        from->~Fn();
+      };
+      destroy_ = [](void* p) { static_cast<Fn*>(p)->~Fn(); };
+    } else {
+      ::new (static_cast<void*>(storage_)) Fn*(new Fn(std::forward<F>(f)));
+      invoke_ = [](void* p) { (**static_cast<Fn**>(p))(); };
+      relocate_ = [](void* dst, void* src) {
+        ::new (dst) Fn*(*static_cast<Fn**>(src));
+      };
+      destroy_ = [](void* p) { delete *static_cast<Fn**>(p); };
+      heap_backed_ = true;
+    }
+  }
+
+  UniqueAction(UniqueAction&& other) noexcept { steal(other); }
+
+  UniqueAction& operator=(UniqueAction&& other) noexcept {
+    if (this != &other) {
+      reset();
+      steal(other);
+    }
+    return *this;
+  }
+
+  UniqueAction(const UniqueAction&) = delete;
+  UniqueAction& operator=(const UniqueAction&) = delete;
+
+  ~UniqueAction() { reset(); }
+
+  void operator()() { invoke_(storage_); }
+
+  [[nodiscard]] explicit operator bool() const { return invoke_ != nullptr; }
+
+  /// True when the callable was too large (or not nothrow-movable) for
+  /// the inline buffer and lives behind a pointer.  The event queue sums
+  /// this into its allocations-per-event accounting.
+  [[nodiscard]] bool heap_backed() const { return heap_backed_; }
+
+  void reset() {
+    if (invoke_) {
+      destroy_(storage_);
+      invoke_ = nullptr;
+      relocate_ = nullptr;
+      destroy_ = nullptr;
+      heap_backed_ = false;
+    }
+  }
+
+ private:
+  void steal(UniqueAction& other) noexcept {
+    if (!other.invoke_) return;
+    other.relocate_(storage_, other.storage_);
+    invoke_ = other.invoke_;
+    relocate_ = other.relocate_;
+    destroy_ = other.destroy_;
+    heap_backed_ = other.heap_backed_;
+    other.invoke_ = nullptr;
+    other.relocate_ = nullptr;
+    other.destroy_ = nullptr;
+    other.heap_backed_ = false;
+  }
+
+  alignas(std::max_align_t) unsigned char storage_[kInlineBytes];
+  void (*invoke_)(void*) = nullptr;
+  void (*relocate_)(void* dst, void* src) = nullptr;
+  void (*destroy_)(void*) = nullptr;
+  bool heap_backed_ = false;
+};
+
+}  // namespace fxtraf::sim

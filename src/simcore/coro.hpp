@@ -19,7 +19,6 @@
 #include <coroutine>
 #include <deque>
 #include <exception>
-#include <memory>
 #include <optional>
 #include <utility>
 #include <vector>
@@ -151,9 +150,32 @@ class [[nodiscard]] Co<void> {
 /// first suspension; from then on the event queue drives it.  After the
 /// simulator runs, `done()` distinguishes completion from deadlock, and
 /// `rethrow_if_failed()` surfaces exceptions thrown inside the process.
+///
+/// The completion state is intrusively refcounted (plain int — the
+/// simulator is single-threaded by contract, so the shared_ptr this
+/// replaced paid for atomic increments nothing ever raced on).
 class Process {
  public:
   Process() = default;
+
+  Process(const Process& o) : state_(o.state_) { retain(); }
+  Process(Process&& o) noexcept : state_(std::exchange(o.state_, nullptr)) {}
+  Process& operator=(const Process& o) {
+    if (this != &o) {
+      release();
+      state_ = o.state_;
+      retain();
+    }
+    return *this;
+  }
+  Process& operator=(Process&& o) noexcept {
+    if (this != &o) {
+      release();
+      state_ = std::exchange(o.state_, nullptr);
+    }
+    return *this;
+  }
+  ~Process() { release(); }
 
   [[nodiscard]] bool done() const { return state_ && state_->done; }
   [[nodiscard]] bool failed() const { return state_ && state_->error; }
@@ -165,9 +187,18 @@ class Process {
 
  private:
   struct State {
+    int refs = 1;
     bool done = false;
     std::exception_ptr error;
   };
+
+  void retain() const {
+    if (state_) ++state_->refs;
+  }
+  void release() {
+    if (state_ && --state_->refs == 0) delete state_;
+    state_ = nullptr;
+  }
 
   struct Detached {
     struct promise_type {
@@ -179,23 +210,23 @@ class Process {
     };
   };
 
-  static Detached drive(Co<void> body, std::shared_ptr<State> state) {
+  static Detached drive(Co<void> body, Process holder) {
     try {
       co_await std::move(body);
     } catch (...) {
-      state->error = std::current_exception();
+      holder.state_->error = std::current_exception();
     }
-    state->done = true;
+    holder.state_->done = true;
   }
 
-  std::shared_ptr<State> state_;
+  State* state_ = nullptr;
 };
 
 /// Launches `body` as a detached process; see Process.
 inline Process spawn(Co<void> body) {
   Process p;
-  p.state_ = std::make_shared<Process::State>();
-  Process::drive(std::move(body), p.state_);
+  p.state_ = new Process::State{};
+  Process::drive(std::move(body), p);  // copy keeps state alive in the frame
   return p;
 }
 
@@ -250,6 +281,7 @@ class CoEvent {
     CoEvent& event;
     bool await_ready() const noexcept { return event.set_; }
     void await_suspend(std::coroutine_handle<> h) {
+      if (event.waiters_.empty()) event.waiters_.reserve(4);
       event.waiters_.push_back(h);
     }
     void await_resume() const noexcept {}
@@ -271,7 +303,7 @@ class CoQueue {
  public:
   void push(Simulator& s, T value) {
     if (!waiters_.empty()) {
-      Waiter w = std::move(waiters_.front());
+      Waiter w = waiters_.front();
       waiters_.pop_front();
       w.slot->emplace(std::move(value));
       s.schedule_now([h = w.handle] { h.resume(); });
@@ -291,23 +323,27 @@ class CoQueue {
     return value;
   }
 
+  /// The hand-off slot lives inside the awaiter, which lives inside the
+  /// suspended consumer's coroutine frame — stable for exactly as long
+  /// as a producer might fill it.  (The original design heap-allocated a
+  /// shared slot per blocking pop; on the PVM receive path that was one
+  /// malloc per message.)
   struct PopAwaiter {
     CoQueue& queue;
-    std::shared_ptr<std::optional<T>> slot =
-        std::make_shared<std::optional<T>>();
+    std::optional<T> slot{};
 
     bool await_ready() noexcept {
       if (queue.items_.empty()) return false;
-      slot->emplace(std::move(queue.items_.front()));
+      slot.emplace(std::move(queue.items_.front()));
       queue.items_.pop_front();
       return true;
     }
     void await_suspend(std::coroutine_handle<> h) {
-      queue.waiters_.push_back(Waiter{h, slot});
+      queue.waiters_.push_back(Waiter{h, &slot});
     }
     T await_resume() {
-      assert(slot->has_value());
-      return std::move(**slot);
+      assert(slot.has_value());
+      return std::move(*slot);
     }
   };
 
@@ -317,7 +353,7 @@ class CoQueue {
  private:
   struct Waiter {
     std::coroutine_handle<> handle;
-    std::shared_ptr<std::optional<T>> slot;
+    std::optional<T>* slot;
   };
 
   std::deque<T> items_;
@@ -327,7 +363,9 @@ class CoQueue {
 /// Cyclic barrier for n coroutine participants.
 class CoBarrier {
  public:
-  explicit CoBarrier(std::size_t parties) : parties_(parties) {}
+  explicit CoBarrier(std::size_t parties) : parties_(parties) {
+    waiting_.reserve(parties);
+  }
 
   [[nodiscard]] std::size_t parties() const { return parties_; }
 

@@ -5,26 +5,96 @@
 
 namespace fxtraf::sim {
 
+namespace {
+constexpr std::size_t kArity = 4;
+}  // namespace
+
 EventId EventQueue::push(SimTime at, Action action, bool background) {
   const std::uint64_t seq = next_seq_++;
-  heap_.push_back(Entry{at, seq, std::move(action)});
-  std::push_heap(heap_.begin(), heap_.end());
-  pending_.emplace(seq, background);
+  const std::uint32_t slot = acquire_slot();
+  Slot& s = slots_[slot];
+  s.action = std::move(action);
+  s.generation = seq;
+  s.background = background;
+
+  heap_.push_back(Entry{at, seq, slot});
+  sift_up(heap_.size() - 1);
+
+  ++live_count_;
   if (!background) ++foreground_count_;
-  return EventId{seq};
+  ++stats_.scheduled;
+  if (s.action.heap_backed()) ++stats_.heap_backed_actions;
+  return EventId{slot, seq};
 }
 
 void EventQueue::cancel(EventId id) {
-  auto it = pending_.find(id.seq);
-  if (it == pending_.end()) return;
-  if (!it->second) --foreground_count_;
-  pending_.erase(it);
+  if (id.generation == 0 || id.slot >= slots_.size()) return;
+  Slot& s = slots_[id.slot];
+  if (s.generation != id.generation) return;  // fired, cancelled, or reused
+  if (!s.background) --foreground_count_;
+  --live_count_;
+  ++stats_.cancelled;
+  release_slot(id.slot);
+  // The heap entry stays as a tombstone (its seq no longer matches the
+  // slot generation) and is discarded when it surfaces.
+}
+
+std::uint32_t EventQueue::acquire_slot() {
+  if (!free_slots_.empty()) {
+    const std::uint32_t slot = free_slots_.back();
+    free_slots_.pop_back();
+    return slot;
+  }
+  slots_.emplace_back();
+  return static_cast<std::uint32_t>(slots_.size() - 1);
+}
+
+void EventQueue::release_slot(std::uint32_t slot) {
+  Slot& s = slots_[slot];
+  s.action.reset();  // run closure destructors eagerly, not at reuse
+  s.generation = 0;
+  free_slots_.push_back(slot);
+}
+
+void EventQueue::sift_up(std::size_t pos) {
+  Entry moving = heap_[pos];
+  while (pos > 0) {
+    const std::size_t parent = (pos - 1) / kArity;
+    if (!entry_less(moving, heap_[parent])) break;
+    heap_[pos] = heap_[parent];
+    pos = parent;
+  }
+  heap_[pos] = moving;
+}
+
+void EventQueue::sift_down(std::size_t pos) {
+  const std::size_t n = heap_.size();
+  Entry moving = heap_[pos];
+  for (;;) {
+    const std::size_t first_child = pos * kArity + 1;
+    if (first_child >= n) break;
+    const std::size_t last_child = std::min(first_child + kArity, n);
+    std::size_t best = first_child;
+    for (std::size_t c = first_child + 1; c < last_child; ++c) {
+      if (entry_less(heap_[c], heap_[best])) best = c;
+    }
+    if (!entry_less(heap_[best], moving)) break;
+    heap_[pos] = heap_[best];
+    pos = best;
+  }
+  heap_[pos] = moving;
+}
+
+void EventQueue::pop_heap_top() {
+  heap_.front() = heap_.back();
+  heap_.pop_back();
+  if (!heap_.empty()) sift_down(0);
 }
 
 void EventQueue::drop_dead_prefix() {
-  while (!heap_.empty() && !pending_.contains(heap_.front().seq)) {
-    std::pop_heap(heap_.begin(), heap_.end());
-    heap_.pop_back();
+  while (!heap_.empty() &&
+         slots_[heap_.front().slot].generation != heap_.front().seq) {
+    pop_heap_top();
   }
 }
 
@@ -37,14 +107,15 @@ SimTime EventQueue::next_time() {
 std::pair<SimTime, EventQueue::Action> EventQueue::pop() {
   drop_dead_prefix();
   assert(!heap_.empty() && "pop() on empty EventQueue");
-  std::pop_heap(heap_.begin(), heap_.end());
-  Entry e = std::move(heap_.back());
-  heap_.pop_back();
-  auto it = pending_.find(e.seq);
-  assert(it != pending_.end());
-  if (!it->second) --foreground_count_;
-  pending_.erase(it);
-  return {e.time, std::move(e.action)};
+  const Entry top = heap_.front();
+  pop_heap_top();
+  Slot& s = slots_[top.slot];
+  assert(s.generation == top.seq);
+  Action action = std::move(s.action);
+  if (!s.background) --foreground_count_;
+  --live_count_;
+  release_slot(top.slot);
+  return {top.time, std::move(action)};
 }
 
 }  // namespace fxtraf::sim

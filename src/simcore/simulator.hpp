@@ -6,7 +6,6 @@
 #pragma once
 
 #include <cstdint>
-#include <functional>
 #include <utility>
 
 #include "simcore/event_queue.hpp"
@@ -57,6 +56,15 @@ class Simulator {
 
   [[nodiscard]] bool pending_events() { return !queue_.empty(); }
   [[nodiscard]] std::uint64_t events_executed() const { return executed_; }
+
+  /// Scheduler health: how many events were scheduled/cancelled and how
+  /// many closures spilled past the inline action buffer.  A steady
+  /// allocations_per_event() near zero is the hot-path contract; campaign
+  /// reports surface it so a regression (an oversized closure sneaking
+  /// into a timer path) is visible in every run.
+  [[nodiscard]] const EventQueueStats& scheduler_stats() const {
+    return queue_.stats();
+  }
 
  private:
   EventQueue queue_;

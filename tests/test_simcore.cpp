@@ -1,8 +1,11 @@
 // Unit tests for simulated time, the event queue, and the simulator loop.
 #include <gtest/gtest.h>
 
+#include <memory>
+#include <utility>
 #include <vector>
 
+#include "simcore/action.hpp"
 #include "simcore/event_queue.hpp"
 #include "simcore/rng.hpp"
 #include "simcore/simulator.hpp"
@@ -81,6 +84,88 @@ TEST(EventQueueTest, NextTimeSkipsDeadPrefix) {
   q.push(SimTime{5}, [] {});
   q.cancel(id);
   EXPECT_EQ(q.next_time(), SimTime{5});
+}
+
+// Generation-tag regression tests: slab slots are recycled, so a stale
+// EventId (fired or cancelled) must never reach an unrelated event that
+// happens to reuse the same slot.
+
+TEST(EventQueueTest, StaleIdAfterFireCannotCancelSlotReuser) {
+  EventQueue q;
+  int fired = 0;
+  const EventId stale = q.push(SimTime{1}, [&] { ++fired; });
+  q.pop().second();  // fires and frees the slot
+  // The very next push reuses the freed slot (LIFO free list).
+  const EventId fresh = q.push(SimTime{2}, [&] { fired += 10; });
+  EXPECT_EQ(fresh.slot, stale.slot);
+  EXPECT_NE(fresh.generation, stale.generation);
+  q.cancel(stale);  // must be a no-op, not kill the reuser
+  EXPECT_EQ(q.size(), 1u);
+  while (!q.empty()) q.pop().second();
+  EXPECT_EQ(fired, 11);
+}
+
+TEST(EventQueueTest, DoubleCancelIsIdempotent) {
+  EventQueue q;
+  int fired = 0;
+  const EventId id = q.push(SimTime{1}, [&] { fired += 100; });
+  q.push(SimTime{2}, [&] { ++fired; });
+  q.cancel(id);
+  q.cancel(id);  // second cancel: no double-count, no slot corruption
+  EXPECT_EQ(q.size(), 1u);
+  EXPECT_EQ(q.stats().cancelled, 1u);
+  // The slot freed by the cancel is handed to the next push; the twice-
+  // cancelled id must not reach it either.
+  const EventId reuser = q.push(SimTime{3}, [&] { fired += 10; });
+  EXPECT_EQ(reuser.slot, id.slot);
+  q.cancel(id);
+  while (!q.empty()) q.pop().second();
+  EXPECT_EQ(fired, 11);
+}
+
+TEST(EventQueueTest, CancelledSlotReleasesClosureEagerly) {
+  EventQueue q;
+  auto guard = std::make_shared<int>(7);
+  std::weak_ptr<int> watch = guard;
+  const EventId id = q.push(SimTime{1}, [g = std::move(guard)] { (void)g; });
+  EXPECT_FALSE(watch.expired());
+  q.cancel(id);
+  // The closure dies at cancel time, not when the tombstone surfaces.
+  EXPECT_TRUE(watch.expired());
+}
+
+TEST(EventQueueTest, StatsCountInlineAndHeapActions) {
+  EventQueue q;
+  q.push(SimTime{1}, [] {});  // trivially inline
+  EXPECT_EQ(q.stats().heap_backed_actions, 0u);
+  EXPECT_EQ(q.stats().allocations_per_event(), 0.0);
+  struct Big {
+    unsigned char bulk[UniqueAction::kInlineBytes + 1];
+  };
+  q.push(SimTime{2}, [big = Big{}] { (void)big; });
+  EXPECT_EQ(q.stats().scheduled, 2u);
+  EXPECT_EQ(q.stats().heap_backed_actions, 1u);
+  EXPECT_DOUBLE_EQ(q.stats().allocations_per_event(), 0.5);
+  while (!q.empty()) q.pop().second();
+}
+
+TEST(UniqueActionTest, MoveTransfersOwnershipAndInlineState) {
+  int calls = 0;
+  UniqueAction a([&] { ++calls; });
+  EXPECT_TRUE(static_cast<bool>(a));
+  EXPECT_FALSE(a.heap_backed());
+  UniqueAction b = std::move(a);
+  EXPECT_FALSE(static_cast<bool>(a));  // NOLINT(bugprone-use-after-move)
+  b();
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(UniqueActionTest, HoldsMoveOnlyCallables) {
+  auto token = std::make_unique<int>(41);
+  int got = 0;
+  UniqueAction a([t = std::move(token), &got] { got = *t + 1; });
+  a();
+  EXPECT_EQ(got, 42);
 }
 
 TEST(SimulatorTest, AdvancesTimeMonotonically) {

@@ -19,6 +19,7 @@
 #include "core/packet_stats.hpp"
 #include "dsp/peaks.hpp"
 #include "dsp/welch.hpp"
+#include "ethernet/frame_pool.hpp"
 #include "simcore/rng.hpp"
 #include "telemetry/exporters.hpp"
 #include "telemetry/flight_recorder.hpp"
@@ -402,6 +403,63 @@ TEST(StreamingEquivalenceTest, BandwidthSeriesMatchesOfflineBinning) {
   }
   EXPECT_NEAR(run.stream.avg_bandwidth_kbs,
               core::average_bandwidth_kbs(run.packets), 1e-9);
+}
+
+TEST(StreamingEquivalenceTest, SpectralBankBitIdenticalAcrossFramePool) {
+  // Frames carry their datagrams in pooled blocks recycled across runs.
+  // The first trial here allocates fresh blocks; the second reuses the
+  // first's recycled memory at different addresses.  The pool must be
+  // invisible to telemetry: every streamed number — digest, bandwidth
+  // bins, and the spectral bank's Welch grid — must come back
+  // bit-identical, not merely close.
+  apps::TrialScenario scenario = telemetry_scenario("2dfft", 0.05, true);
+  scenario.telemetry.keep_bandwidth_series = true;
+  const apps::TrialRun cold = apps::run_trial(scenario);
+  const std::uint64_t reused_before = eth::frame_pool_stats().reused;
+  const apps::TrialRun warm = apps::run_trial(scenario);
+  // The premise: the warm run really did run on recycled blocks.
+  EXPECT_GT(eth::frame_pool_stats().reused, reused_before);
+
+  EXPECT_EQ(cold.digest, warm.digest);
+  ASSERT_EQ(cold.stream.bandwidth_series.size(),
+            warm.stream.bandwidth_series.size());
+  for (std::size_t i = 0; i < cold.stream.bandwidth_series.size(); ++i) {
+    EXPECT_EQ(cold.stream.bandwidth_series[i],
+              warm.stream.bandwidth_series[i])
+        << "bin " << i;  // bitwise: EXPECT_EQ, no tolerance
+  }
+  EXPECT_EQ(cold.stream.fundamental_hz, warm.stream.fundamental_hz);
+  EXPECT_EQ(cold.stream.harmonic_power_fraction,
+            warm.stream.harmonic_power_fraction);
+
+  // Welch-grid micro-assert: rebuild the streaming bank over each run's
+  // series — bit-identical grids — and cross-check the grid against the
+  // offline Welch spectrum over the same series.
+  const double dt = sim::millis(10).seconds();
+  GoertzelOptions options;
+  options.segment_samples = 64;
+  options.overlap_samples = 32;
+  GoertzelBank cold_bank(dt, options), warm_bank(dt, options);
+  for (double v : cold.stream.bandwidth_series) cold_bank.push(v);
+  for (double v : warm.stream.bandwidth_series) warm_bank.push(v);
+  ASSERT_GT(cold_bank.segments(), 0u);
+  const auto& cold_grid = cold_bank.grid_power();
+  const auto& warm_grid = warm_bank.grid_power();
+  ASSERT_EQ(cold_grid.size(), warm_grid.size());
+  for (std::size_t k = 0; k < cold_grid.size(); ++k) {
+    EXPECT_EQ(cold_grid[k], warm_grid[k]) << "grid bin " << k;
+  }
+  dsp::WelchOptions welch_options;
+  welch_options.segment_samples = 64;
+  welch_options.overlap_samples = 32;
+  const dsp::Spectrum welch =
+      dsp::welch(cold.stream.bandwidth_series, dt, welch_options);
+  ASSERT_EQ(cold_grid.size(), welch.power.size());
+  for (std::size_t k = 0; k < cold_grid.size(); ++k) {
+    EXPECT_NEAR(cold_grid[k], welch.power[k],
+                1e-9 * std::max(1.0, welch.power[k]))
+        << "grid bin " << k;
+  }
 }
 
 TEST(StreamingEquivalenceTest, HundredIterationBoundedTrial) {
