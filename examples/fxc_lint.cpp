@@ -1,28 +1,48 @@
 // fxc-lint: run the Fx front end's static analysis over source programs
 // and render the structured diagnostics; with --predict, also print the
 // compile-time traffic model (per-phase matrices, period c, and the
-// truncated-Fourier bandwidth profile) derived without any simulation.
+// truncated-Fourier bandwidth profile) derived without any simulation,
+// and with --symbolic the closed-form l(N,P)/b(N,P)/c(N,P) envelopes.
 //
-//   fxc_lint [--predict] <kernel-name|source-file>...
-//   fxc_lint [--predict] --all
+//   fxc_lint [options] <kernel-name|source-file>...
+//   fxc_lint [options] --all
 //
-// Exits nonzero when any error-severity diagnostic was reported.
+// Options:
+//   --predict            print the numeric traffic prediction
+//   --symbolic           print the symbolic traffic envelopes
+//   --Werror             treat warnings as errors for the exit status
+//   --disable=<rule-id>  drop diagnostics with this rule ID (repeatable)
+//   --json               machine-readable output (one JSON document)
+//
+// Exits nonzero when any error-severity diagnostic survives filtering
+// (with --Werror, warnings count too).
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <iostream>
 #include <optional>
 #include <sstream>
 #include <string>
 #include <vector>
 
 #include "apps/source_registry.hpp"
+#include "core/json.hpp"
 #include "fxc/parser.hpp"
 #include "fxc/sema/passes.hpp"
 #include "fxc/sema/predictor.hpp"
+#include "fxc/sema/symbolic.hpp"
 
 namespace {
 
 using namespace fxtraf;
+
+struct Options {
+  bool predict = false;
+  bool symbolic = false;
+  bool werror = false;
+  bool json = false;
+  std::vector<std::string> disabled_rules;
+};
 
 std::optional<std::string> load_input(const std::string& arg) {
   if (std::ifstream file{arg}) {
@@ -60,52 +80,149 @@ void print_prediction(const fxc::TrafficPrediction& prediction) {
   }
 }
 
-/// Lints one program; returns true when no error was reported.
-bool lint(const std::string& label, const std::string& source, bool predict) {
-  std::printf("== %s ==\n", label.c_str());
+void print_symbolic(const fxc::SymbolicTraffic& model) {
+  std::printf("%s", model.describe().c_str());
+  std::printf("  envelope sweep:\n");
+  std::printf("    %4s %12s %14s %12s %12s\n", "P", "l (s)", "b (bytes)",
+              "c (s)", "1/c (Hz)");
+  for (int p = 2; p <= 16; p *= 2) {
+    const fxc::TrafficEnvelope env = model.evaluate(p);
+    std::printf("    %4d %12.4f %14.0f %12.4f %12.3f\n", p,
+                env.local_seconds, env.burst_bytes, env.period_seconds,
+                env.fundamental_hz);
+  }
+}
+
+bool rule_disabled(const Options& options, const std::string& rule) {
+  for (const std::string& disabled : options.disabled_rules) {
+    if (disabled == rule) return true;
+  }
+  return false;
+}
+
+struct LintResult {
+  std::string label;
+  std::vector<fxc::Diagnostic> diagnostics;  ///< post-filter, canonical
+  bool parsed = false;
+  std::size_t errors = 0;
+  std::size_t warnings = 0;
+};
+
+LintResult lint(const Options& options, const std::string& label,
+                const std::string& source) {
+  LintResult result;
+  result.label = label;
   fxc::DiagnosticSink sink;
   const std::optional<fxc::SourceProgram> program =
       fxc::parse_source(source, sink);
+  result.parsed = program.has_value();
   if (program) {
     fxc::run_sema(*program, sink);
   }
-  if (sink.empty()) {
-    std::printf("  no diagnostics\n");
-  } else {
-    std::printf("%s", sink.render_all().c_str());
+  sink.sort_canonical();
+  for (const fxc::Diagnostic& d : sink.diagnostics()) {
+    if (rule_disabled(options, d.rule)) continue;
+    result.errors += d.severity == fxc::Severity::kError;
+    result.warnings += d.severity == fxc::Severity::kWarning;
+    result.diagnostics.push_back(d);
   }
-  if (program && !sink.has_errors() && predict) {
-    print_prediction(fxc::predict_traffic(*program));
+
+  if (!options.json) {
+    std::printf("== %s ==\n", label.c_str());
+    if (result.diagnostics.empty()) {
+      std::printf("  no diagnostics\n");
+    } else {
+      for (const fxc::Diagnostic& d : result.diagnostics) {
+        std::printf("%s\n", fxc::render(d).c_str());
+      }
+    }
+    if (program && result.errors == 0) {
+      if (options.predict) print_prediction(fxc::predict_traffic(*program));
+      if (options.symbolic) {
+        print_symbolic(fxc::analyze_symbolic(*program));
+      }
+    }
   }
-  return !sink.has_errors();
+  return result;
+}
+
+void write_json(const std::vector<LintResult>& results) {
+  core::JsonWriter json(std::cout);
+  json.begin_array();
+  for (const LintResult& result : results) {
+    json.begin_object();
+    json.field("program", result.label);
+    json.field("parsed", result.parsed);
+    json.field("errors", static_cast<std::uint64_t>(result.errors));
+    json.field("warnings", static_cast<std::uint64_t>(result.warnings));
+    json.key("diagnostics").begin_array();
+    for (const fxc::Diagnostic& d : result.diagnostics) {
+      json.begin_object();
+      json.field("severity", fxc::to_string(d.severity));
+      json.field("rule", d.rule);
+      json.field("line", d.pos.line);
+      json.field("column", d.pos.column);
+      json.field("message", d.message);
+      if (!d.fixit.empty()) json.field("fixit", d.fixit);
+      json.end_object();
+    }
+    json.end_array();
+    json.end_object();
+  }
+  json.end_array();
+  std::cout << "\n";
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  bool predict = false;
+  Options options;
   bool all = false;
   std::vector<std::string> inputs;
   for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--predict") == 0) {
-      predict = true;
-    } else if (std::strcmp(argv[i], "--all") == 0) {
+    const std::string_view arg = argv[i];
+    if (arg == "--predict") {
+      options.predict = true;
+    } else if (arg == "--symbolic") {
+      options.symbolic = true;
+    } else if (arg == "--Werror") {
+      options.werror = true;
+    } else if (arg == "--json") {
+      options.json = true;
+    } else if (arg.rfind("--disable=", 0) == 0) {
+      const std::string_view rule = arg.substr(std::strlen("--disable="));
+      if (rule.empty()) {
+        std::fprintf(stderr, "fxc_lint: --disable= needs a rule ID\n");
+        return 2;
+      }
+      options.disabled_rules.emplace_back(rule);
+    } else if (arg == "--all") {
       all = true;
     } else {
-      inputs.emplace_back(argv[i]);
+      inputs.emplace_back(arg);
     }
   }
   if (!all && inputs.empty()) {
-    std::fprintf(stderr,
-                 "usage: fxc_lint [--predict] <kernel-name|source-file>...\n"
-                 "       fxc_lint [--predict] --all\n");
+    std::fprintf(
+        stderr,
+        "usage: fxc_lint [--predict] [--symbolic] [--Werror] [--json]\n"
+        "                [--disable=<rule-id>]... "
+        "<kernel-name|source-file>...\n"
+        "       fxc_lint [options] --all\n");
     return 2;
   }
 
+  std::vector<LintResult> results;
   bool clean = true;
+  auto consume = [&](const LintResult& result) {
+    const bool failed =
+        result.errors > 0 || (options.werror && result.warnings > 0);
+    clean = clean && !failed;
+    results.push_back(result);
+  };
   if (all) {
     for (const apps::SourceKernel& kernel : apps::source_kernels()) {
-      clean = lint(kernel.name, kernel.source, predict) && clean;
+      consume(lint(options, kernel.name, kernel.source));
     }
   }
   for (const std::string& input : inputs) {
@@ -116,7 +233,8 @@ int main(int argc, char** argv) {
       clean = false;
       continue;
     }
-    clean = lint(input, *source, predict) && clean;
+    consume(lint(options, input, *source));
   }
+  if (options.json) write_json(results);
   return clean ? 0 : 1;
 }

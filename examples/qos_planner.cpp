@@ -1,31 +1,71 @@
 // QoS planner: characterize a program as [l(), b(), c] (section 7.3),
 // ask the network for a commitment, and compare the negotiated P against
 // a brute-force simulation of the same workload at several P.
+//
+// The spec is no longer hand-written: the symbolic traffic engine
+// derives l(N,P) and b(N,P) as closed-form polynomials straight from
+// the Fx source of the 2DFFT kernel, so the broker can evaluate any
+// candidate P without re-running the compiler's numeric predictor.
 #include <cstdio>
 
-#include "apps/fft2d.hpp"
+#include "apps/source_registry.hpp"
 #include "apps/testbed.hpp"
-#include "core/packet_stats.hpp"
 #include "core/qos.hpp"
 #include "fx/runtime.hpp"
+#include "fxc/lower.hpp"
+#include "fxc/parser.hpp"
+#include "fxc/sema/predictor.hpp"
+#include "fxc/sema/symbolic.hpp"
+
+namespace {
+
+fxtraf::fx::PatternKind pattern_of(fxtraf::fxc::CommShape shape) {
+  using fxtraf::fx::PatternKind;
+  using fxtraf::fxc::CommShape;
+  switch (shape) {
+    case CommShape::kNeighbor: return PatternKind::kNeighbor;
+    case CommShape::kPartition: return PatternKind::kPartition;
+    case CommShape::kBroadcast: return PatternKind::kBroadcast;
+    case CommShape::kTree: return PatternKind::kTree;
+    default: return PatternKind::kAllToAll;
+  }
+}
+
+}  // namespace
 
 int main() {
   using namespace fxtraf;
 
-  // The program: a 2DFFT-like transpose workload, N=512.
-  const double n = 512.0;
-  const double total_work_seconds = 40.0;  // W at one processor
-  auto burst_bytes = [n](int p) { return n * n * 8.0 / (p * p); };
+  // The program: the registry's 2DFFT kernel, analyzed symbolically.
+  const auto kernel = apps::source_kernel_by_name("fft2d");
+  if (!kernel) {
+    std::fprintf(stderr, "qos_planner: fft2d kernel missing\n");
+    return 1;
+  }
+  const fxc::SourceProgram program = fxc::parse_source(kernel->source);
+  const fxc::SymbolicTraffic model = fxc::analyze_symbolic(program);
 
-  const auto spec = core::TrafficSpec::perfectly_parallel(
-      fx::PatternKind::kAllToAll, total_work_seconds, burst_bytes);
+  std::printf("symbolic envelope for '%s' (calibrated at P=%d):\n",
+              model.program.c_str(), model.ref_processors);
+  std::printf("  l(N,P) = %s  s/period\n", model.local_poly.to_string().c_str());
+  std::printf("  b(N,P) = %s  bytes\n", model.burst_poly.to_string().c_str());
+  std::printf("  c(N,P) = %s  s\n", model.period_poly.to_string().c_str());
+
+  core::TrafficSpec spec;
+  spec.pattern = pattern_of(model.dominant_shape);
+  spec.local_seconds = [&model](int p) {
+    return model.evaluate(p).local_seconds;
+  };
+  spec.burst_bytes = [&model](int p) {
+    return model.evaluate(p).burst_bytes;
+  };
 
   core::NetworkState network;
   network.min_processors = 2;
   network.max_processors = 8;
 
   const auto result = core::negotiate(spec, network);
-  std::printf("analytic negotiation (t_bi = W/P + N/B):\n");
+  std::printf("\nanalytic negotiation (t_bi = l(P) + N/B):\n");
   std::printf("  %4s %12s %12s %12s\n", "P", "t_b (s)", "l(P) (s)",
               "t_bi (s)");
   for (const auto& point : result.sweep) {
@@ -36,8 +76,8 @@ int main() {
                                                            : "");
   }
 
-  // Brute force: actually simulate at each even P and measure the burst
-  // interval (iteration period) from the trace.
+  // Brute force: compile the same source rescaled to each P and measure
+  // the iteration period from the trace.
   std::printf("\nsimulated check (iteration period from the trace):\n");
   for (int p = 2; p <= 8; p *= 2) {
     sim::Simulator simulator(3);
@@ -47,20 +87,18 @@ int main() {
     apps::Testbed testbed(simulator, config);
     testbed.start();
 
-    apps::Fft2dParams params;
-    params.processors = p;
-    params.n = static_cast<std::size_t>(n);
-    params.iterations = 12;
-    // Split W across both compute phases, scaled to this P.
-    params.flops_per_phase =
-        total_work_seconds / 2.0 * 25e6 / static_cast<double>(p);
+    const fxc::CompiledProgram compiled =
+        fxc::compile(fxc::scale_to_processors(program, p));
     const sim::SimTime end =
-        fx::run_program(testbed.vm(), apps::make_fft2d(params));
-    const double period = end.seconds() / params.iterations;
-    std::printf("  P=%d: measured burst interval %.3f s\n", p, period);
+        fx::run_program(testbed.vm(), compiled.executable);
+    const double measured =
+        end.seconds() / compiled.iterations / model.period_divisor;
+    const double predicted = model.evaluate(p).period_seconds;
+    std::printf("  P=%d: measured period %.3f s, symbolic c(P) %.3f s\n", p,
+                measured, predicted);
   }
-  std::printf("\nThe analytic model and the simulation agree on the trend: "
-              "more processors shrink l(P) but divide the all-to-all's "
-              "per-connection burst bandwidth.\n");
+  std::printf("\nThe closed-form envelope and the simulation agree on the "
+              "trend: more processors shrink l(P) but divide the "
+              "all-to-all's per-connection burst.\n");
   return 0;
 }

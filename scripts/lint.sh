@@ -1,6 +1,12 @@
 #!/usr/bin/env sh
-# Run clang-tidy (config in .clang-tidy) over the sources, plus the
-# project's own fxc-lint over every registered source kernel.
+# Static-analysis gate.  Two tiers:
+#
+#   1. clang-tidy over src/fxc with --warnings-as-errors='*': the
+#      compiler front end (parser, sema, predictor, symbolic engine,
+#      safety checkers) must be tidy-clean; any finding fails the run.
+#      The rest of src/ is linted advisory-only.
+#   2. The project's own fxc-lint with --Werror over every registered
+#      source kernel: the shipped kernels must produce zero diagnostics.
 #
 # Usage: scripts/lint.sh [build-dir]
 # The build dir must have a compile_commands.json; configure with
@@ -17,8 +23,13 @@ if command -v clang-tidy >/dev/null 2>&1; then
          "configure with -DCMAKE_EXPORT_COMPILE_COMMANDS=ON" >&2
     exit 2
   fi
-  find "$repo/src" -name '*.cpp' -print | while read -r f; do
-    echo "== clang-tidy $f"
+  find "$repo/src/fxc" -name '*.cpp' -print | while read -r f; do
+    echo "== clang-tidy (gate) $f"
+    clang-tidy -p "$build" --quiet --warnings-as-errors='*' "$f"
+  done || status=$?
+  find "$repo/src" -path "$repo/src/fxc" -prune -o -name '*.cpp' -print |
+  while read -r f; do
+    echo "== clang-tidy (advisory) $f"
     clang-tidy -p "$build" --quiet "$f" || true
   done
 else
@@ -26,8 +37,8 @@ else
 fi
 
 if [ -x "$build/examples/fxc_lint" ]; then
-  echo "== fxc-lint --all"
-  "$build/examples/fxc_lint" --all || status=$?
+  echo "== fxc-lint --all --Werror"
+  "$build/examples/fxc_lint" --all --Werror || status=$?
 else
   echo "lint.sh: $build/examples/fxc_lint not built; skipping" >&2
 fi

@@ -30,13 +30,14 @@ redistribute a (block, *)
 )"},
       {"t2dfft", "task-parallel FFT, row half streams to column half",
        "partition",
-       R"(! partition: row half streams to column half
+       R"(! partition: row half computes, streams to column half, and back
 program t2dfft
 processors 4
 iterations 15
 array a real8 (512, 512) distribute (block, *) on 0..2
-local 13e6
+local 13e6 on 0..2
 redistribute a (*, block) on 2..4
+local 13e6 on 2..4
 redistribute a (block, *) on 0..2
 )"},
       {"seq", "element-wise sequential I/O from rank 0", "broadcast",
@@ -46,6 +47,7 @@ processors 4
 iterations 2
 array c real4 (24, 24) distribute (block, *)
 read c element 4 row_io 60ms
+stencil c offsets (0, 0) flops 2
 )"},
       {"hist", "local histogram, log P merge, result broadcast", "tree",
        R"(! tree: local histogram, log P merge, result broadcast
@@ -71,6 +73,87 @@ redistribute conc (block, *)
 )"},
   };
   return kernels;
+}
+
+const std::vector<MutantKernel>& mutant_kernels() {
+  static const std::vector<MutantKernel> mutants = {
+      {"bcast-root-outside-guard",
+       "broadcast rooted at rank 0 but guarded to 2..4: the root never "
+       "enters the collective and the participants block",
+       "fxc-collective-mismatch",
+       R"(program bcast_root_outside
+processors 4
+iterations 5
+local 1e6
+broadcast bytes 2048 root 0 on 2..4
+)"},
+      {"reduce-guard-excludes-root",
+       "reduction guarded to 0..2 with root 3: the collecting rank sits "
+       "outside the participant set",
+       "fxc-collective-mismatch",
+       R"(program reduce_guard_excludes_root
+processors 4
+iterations 5
+local 1e6
+reduce bytes 2048 flops 0 root 3 on 0..2
+)"},
+      {"recv-without-send",
+       "recv with no producing send anywhere in the body: the receivers "
+       "wait on fragments that never arrive",
+       "fxc-unmatched-sendrecv",
+       R"(program recv_without_send
+processors 4
+iterations 5
+array a real8 (256, 256) distribute (block, *) on 0..2
+local 1e6
+recv a from 0..2 on 2..4
+)"},
+      {"sendrecv-range-mismatch",
+       "matched send/recv pair whose rank ranges disagree: the recv "
+       "claims sources 0..1 but ranks 0..2 send",
+       "fxc-unmatched-sendrecv",
+       R"(program sendrecv_range_mismatch
+processors 4
+iterations 5
+array a real8 (256, 256) distribute (block, *) on 0..2
+local 1e6
+send a to 2..4
+recv a from 0..1 on 2..4
+)"},
+      {"stale-root-rebroadcast",
+       "reduction collects at rank 2 but the result is re-broadcast from "
+       "rank 0, which never received it",
+       "fxc-unsynced-overlap",
+       R"(program stale_root_rebroadcast
+processors 4
+iterations 5
+local 1e6
+reduce bytes 2048 flops 0 root 2
+broadcast bytes 2048 root 0
+)"},
+      {"stencil-guard-off-owners",
+       "stencil guarded to ranks that own none of the array and nothing "
+       "delivered it to them: a read of remote data with no transfer",
+       "fxc-unsynced-overlap",
+       R"(program stencil_guard_off_owners
+processors 4
+iterations 5
+array u real4 (256, 256) distribute (block, *) on 0..2
+stencil u offsets (1, 0) flops 10 on 2..4
+)"},
+      {"send-never-received",
+       "send no recv ever consumes, inside an iterated body: the PVM "
+       "fragment list at the receivers grows every iteration",
+       "fxc-unbounded-fragment-growth",
+       R"(program send_never_received
+processors 4
+iterations 8
+array a real8 (256, 256) distribute (block, *) on 0..2
+local 1e6
+send a to 2..4
+)"},
+  };
+  return mutants;
 }
 
 std::optional<SourceKernel> source_kernel_by_name(std::string_view name) {

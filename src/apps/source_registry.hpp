@@ -25,4 +25,16 @@ struct SourceKernel {
 [[nodiscard]] std::optional<SourceKernel> source_kernel_by_name(
     std::string_view name);
 
+/// A deliberately broken kernel the communication-safety checkers must
+/// flag: a clean base program with one seeded communication bug.
+struct MutantKernel {
+  std::string name;          ///< lower-case lookup key
+  std::string description;   ///< what was broken and why it deadlocks
+  std::string expected_rule; ///< diagnostic rule ID the checkers emit
+  std::string source;        ///< Fx source text
+};
+
+/// The seeded-defect suite for the checker acceptance gate.
+[[nodiscard]] const std::vector<MutantKernel>& mutant_kernels();
+
 }  // namespace fxtraf::apps

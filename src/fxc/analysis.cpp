@@ -176,6 +176,20 @@ PhaseAnalysis analyze(const SourceProgram& program,
     const ArrayDecl& decl = program.array(stencil->array);
     result.matrix = stencil_communication(decl, stencil->max_offsets,
                                           program.processors);
+    // A guard restricts the exchange to the executing ranks (ranks
+    // outside neither produce nor consume halo planes; the safety
+    // checkers flag guards that drop owners).
+    if (stencil->guard.length() > 0) {
+      for (int s = 0; s < program.processors; ++s) {
+        for (int d = 0; d < program.processors; ++d) {
+          const bool s_in = static_cast<std::size_t>(s) >= stencil->guard.lo &&
+                            static_cast<std::size_t>(s) < stencil->guard.hi;
+          const bool d_in = static_cast<std::size_t>(d) >= stencil->guard.lo &&
+                            static_cast<std::size_t>(d) < stencil->guard.hi;
+          if (!s_in || !d_in) result.matrix.at(s, d) = 0;
+        }
+      }
+    }
     // Work: every rank updates the points it owns.
     result.flops_per_processor =
         stencil->flops_per_point *
@@ -194,23 +208,58 @@ PhaseAnalysis analyze(const SourceProgram& program,
           decl.total_elements() * read->element_message_bytes;
     }
   } else if (const auto* reduce = std::get_if<Reduction>(&statement)) {
-    // Tree edges: odd multiples of 2^i send to the even multiple below.
-    const int p = program.processors;
-    for (int stride = 1; stride < p; stride <<= 1) {
-      for (int r = 0; r < p; ++r) {
-        if (r % (2 * stride) == stride) {
-          result.matrix.at(r, r - stride) = reduce->vector_bytes;
+    // Tree edges over the participant range, relabeled so the root sits
+    // at relative position 0: odd multiples of 2^i send to the even
+    // multiple below.
+    const Interval guard =
+        reduce->guard.length() > 0
+            ? reduce->guard
+            : Interval{0, static_cast<std::size_t>(program.processors)};
+    const int k = static_cast<int>(guard.length());
+    const int base = static_cast<int>(guard.lo);
+    // A root outside the participants is a collective mismatch (the
+    // safety checker reports it); the matrix falls back to collecting at
+    // the first participant so analysis stays total.
+    int root_index = reduce->root - base;
+    if (root_index < 0 || root_index >= k) root_index = 0;
+    const auto unmap = [&](int rel) { return base + (rel + root_index) % k; };
+    for (int stride = 1; stride < k; stride <<= 1) {
+      for (int rel = 0; rel < k; ++rel) {
+        if (rel % (2 * stride) == stride) {
+          result.matrix.at(unmap(rel), unmap(rel - stride)) =
+              reduce->vector_bytes;
         }
       }
     }
     result.flops_per_processor = reduce->flops;
   } else if (const auto* bcast = std::get_if<BroadcastStmt>(&statement)) {
-    for (int q = 0; q < program.processors; ++q) {
-      if (q != bcast->root) result.matrix.at(bcast->root, q) = bcast->bytes;
+    const Interval guard =
+        bcast->guard.length() > 0
+            ? bcast->guard
+            : Interval{0, static_cast<std::size_t>(program.processors)};
+    for (std::size_t q = guard.lo; q < guard.hi; ++q) {
+      if (static_cast<int>(q) != bcast->root) {
+        result.matrix.at(bcast->root, static_cast<int>(q)) = bcast->bytes;
+      }
     }
   } else if (const auto* work = std::get_if<LocalWork>(&statement)) {
     result.flops_per_processor = work->flops;
+  } else if (const auto* send = std::get_if<SendStmt>(&statement)) {
+    // Each sending rank ships its owned block to the destination range,
+    // split exactly as a redistribution onto those ranks would be.
+    const ArrayDecl& decl = program.array(send->array);
+    ArrayDecl from = decl;
+    if (send->guard.length() > 0) {
+      from.processors = intersect(decl.processors, send->guard);
+    }
+    if (from.processors.length() > 0 && send->to.length() > 0) {
+      result.matrix = redistribution_communication(
+          from, decl.distribution, send->to, program.processors);
+    }
   }
+  // RecvStmt and SyncStmt generate no priced traffic here: the matching
+  // send's matrix carries the transfer, and barrier messages are
+  // minimum-size control traffic.
 
   result.shape = classify(result.matrix);
   // The reduction's matrix flattens log P steps into one; name it by its

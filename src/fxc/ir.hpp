@@ -4,6 +4,7 @@
 
 #include <map>
 #include <string>
+#include <type_traits>
 #include <variant>
 #include <vector>
 
@@ -22,6 +23,8 @@ struct StencilAssign {
   std::vector<int> max_offsets;
   double flops_per_point = 5.0;
   SrcPos pos;
+  /// Rank range executing the statement ({0,0} = all owners).
+  Interval guard;
 };
 
 /// Redistribution of an array to a new distribution and/or processor
@@ -43,12 +46,15 @@ struct SequentialRead {
   SrcPos pos;
 };
 
-/// Reduction of per-processor vectors to processor 0 over the tree
-/// pattern, preceded by local work (paper's HIST).
+/// Reduction of per-processor vectors to `root` over the tree pattern,
+/// preceded by local work (paper's HIST).
 struct Reduction {
   std::size_t vector_bytes = 2048;
   double flops = 5.0e6;
   SrcPos pos;
+  int root = 0;
+  /// Ranks participating in the reduction ({0,0} = all processors).
+  Interval guard;
 };
 
 /// Broadcast of a buffer from `root` to all other processors.
@@ -56,20 +62,66 @@ struct BroadcastStmt {
   std::size_t bytes = 2048;
   int root = 0;
   SrcPos pos;
+  /// Ranks participating in the broadcast ({0,0} = all processors).
+  Interval guard;
 };
 
 /// Pure local computation (no traffic).
 struct LocalWork {
   double flops = 0.0;
   SrcPos pos;
+  /// Ranks performing the work ({0,0} = all processors).
+  Interval guard;
 };
 
-using Statement = std::variant<StencilAssign, Redistribute, SequentialRead,
-                               Reduction, BroadcastStmt, LocalWork>;
+/// Point-to-point transfer of an array's owned blocks from the sending
+/// ranks to an explicit destination range (Fx task-parallel pipelines).
+struct SendStmt {
+  std::string array;
+  Interval to;   ///< destination rank range (half-open)
+  SrcPos pos;
+  /// Ranks issuing the send ({0,0} = the array's owners).
+  Interval guard;
+};
+
+/// Matching receive: ranks in `guard` (default the array's owners)
+/// accept the blocks sent from `from`.
+struct RecvStmt {
+  std::string array;
+  Interval from;  ///< source rank range (half-open)
+  SrcPos pos;
+  Interval guard;
+};
+
+/// Barrier synchronization across all processors.
+struct SyncStmt {
+  SrcPos pos;
+  Interval guard;  ///< documented intent only; all ranks synchronize
+};
+
+using Statement =
+    std::variant<StencilAssign, Redistribute, SequentialRead, Reduction,
+                 BroadcastStmt, LocalWork, SendStmt, RecvStmt, SyncStmt>;
 
 /// Source position of any statement alternative.
 [[nodiscard]] inline SrcPos statement_pos(const Statement& statement) {
   return std::visit([](const auto& s) { return s.pos; }, statement);
+}
+
+/// Guard interval of any statement alternative ({0,0} when the
+/// statement kind has no guard or none was written).
+[[nodiscard]] inline Interval statement_guard(const Statement& statement) {
+  return std::visit(
+      [](const auto& s) -> Interval {
+        using T = std::decay_t<decltype(s)>;
+        if constexpr (std::is_same_v<T, Redistribute> ||
+                      std::is_same_v<T, SequentialRead>) {
+          return Interval{};
+        } else {
+          return s.guard;
+        }
+      },
+      statement);
 }
 
 /// A whole Fx source program: declarations plus an iterated body.

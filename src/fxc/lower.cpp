@@ -65,14 +65,23 @@ sim::Co<void> sequential_read(fx::FxContext& ctx, int rank,
   }
 }
 
+/// True when `rank` falls inside a statement guard (an empty guard
+/// means every rank participates).
+bool guard_admits(Interval guard, int rank) {
+  return guard.length() == 0 ||
+         (static_cast<std::size_t>(rank) >= guard.lo &&
+          static_cast<std::size_t>(rank) < guard.hi);
+}
+
 sim::Co<void> run_statement(fx::FxContext& ctx, int rank,
                             const SourceProgram& source,
                             const Statement& statement,
                             const PhaseAnalysis& analysis) {
   const int tag = ctx.next_tag(rank);
-  if (std::holds_alternative<StencilAssign>(statement)) {
+  if (const auto* stencil = std::get_if<StencilAssign>(&statement)) {
     co_await matrix_exchange(ctx, rank, analysis.matrix, tag);
-    if (analysis.flops_per_processor > 0) {
+    if (analysis.flops_per_processor > 0 &&
+        guard_admits(stencil->guard, rank)) {
       co_await ctx.compute(rank, analysis.flops_per_processor);
     }
   } else if (std::holds_alternative<Redistribute>(statement)) {
@@ -80,13 +89,37 @@ sim::Co<void> run_statement(fx::FxContext& ctx, int rank,
   } else if (const auto* read = std::get_if<SequentialRead>(&statement)) {
     co_await sequential_read(ctx, rank, source, *read, tag);
   } else if (const auto* reduce = std::get_if<Reduction>(&statement)) {
-    if (reduce->flops > 0) co_await ctx.compute(rank, reduce->flops);
-    co_await ctx.collectives().tree_reduce(rank, reduce->vector_bytes, tag);
+    if (reduce->flops > 0 && guard_admits(reduce->guard, rank)) {
+      co_await ctx.compute(rank, reduce->flops);
+    }
+    if (reduce->guard.length() == 0 && reduce->root == 0) {
+      co_await ctx.collectives().tree_reduce(rank, reduce->vector_bytes,
+                                             tag);
+    } else {
+      // Guarded or re-rooted reductions run the relabeled tree the
+      // analysis pass emits, as a plain matrix exchange.
+      co_await matrix_exchange(ctx, rank, analysis.matrix, tag);
+    }
   } else if (const auto* bcast = std::get_if<BroadcastStmt>(&statement)) {
-    co_await ctx.collectives().broadcast(rank, bcast->root, bcast->bytes,
-                                         tag);
+    if (bcast->guard.length() == 0) {
+      co_await ctx.collectives().broadcast(rank, bcast->root, bcast->bytes,
+                                           tag);
+    } else {
+      co_await matrix_exchange(ctx, rank, analysis.matrix, tag);
+    }
   } else if (const auto* work = std::get_if<LocalWork>(&statement)) {
-    if (work->flops > 0) co_await ctx.compute(rank, work->flops);
+    if (work->flops > 0 && guard_admits(work->guard, rank)) {
+      co_await ctx.compute(rank, work->flops);
+    }
+  } else if (std::holds_alternative<SendStmt>(statement)) {
+    co_await matrix_exchange(ctx, rank, analysis.matrix, tag);
+  } else if (std::holds_alternative<RecvStmt>(statement)) {
+    // The matching send's matrix exchange already delivered (and
+    // blocked on) the transfer; the recv is where the fragments are
+    // unpacked, which costs nothing on the wire.
+    co_return;
+  } else if (std::get_if<SyncStmt>(&statement) != nullptr) {
+    co_await ctx.collectives().barrier(rank, tag);
   }
 }
 

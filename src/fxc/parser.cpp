@@ -151,6 +151,12 @@ class Parser {
                     static_cast<std::size_t>(hi)};
   }
 
+  /// Optional trailing `on l..h` statement guard; {0,0} when absent.
+  Interval parse_guard(const SourceProgram& program) {
+    return accept_keyword("on") ? parse_on_range(program.processors)
+                                : Interval{};
+  }
+
   void parse_array(SourceProgram& program) {
     expect_keyword("array");
     ArrayDecl decl;
@@ -217,6 +223,7 @@ class Parser {
       if (accept_keyword("flops")) {
         s.flops_per_point = expect_number("flops per point");
       }
+      s.guard = parse_guard(program);
       if (s.max_offsets.size() != program.array(s.array).rank()) {
         fail(name_at, "offset rank mismatch for '" + s.array + "'",
              kRuleOffsetRank);
@@ -256,6 +263,11 @@ class Parser {
             static_cast<std::size_t>(expect_number("vector bytes"));
       }
       if (accept_keyword("flops")) r.flops = expect_number("flops");
+      if (accept_keyword("root")) r.root = expect_int("root rank");
+      if (r.root < 0 || r.root >= program.processors) {
+        fail(at, "reduce root outside processor range", kRuleBadRoot);
+      }
+      r.guard = parse_guard(program);
       program.body.emplace_back(r);
     } else if (keyword == "broadcast") {
       BroadcastStmt b;
@@ -267,12 +279,39 @@ class Parser {
       if (b.root < 0 || b.root >= program.processors) {
         fail(at, "broadcast root outside processor range", kRuleBadRoot);
       }
+      b.guard = parse_guard(program);
       program.body.emplace_back(b);
     } else if (keyword == "local") {
       LocalWork w;
       w.pos = pos_of(at);
       w.flops = expect_number("flops");
+      w.guard = parse_guard(program);
       program.body.emplace_back(w);
+    } else if (keyword == "send") {
+      SendStmt s;
+      s.pos = pos_of(at);
+      const Token& name_at = peek();
+      s.array = expect_identifier("array name");
+      require_array(program, name_at, s.array);
+      expect_keyword("to");
+      s.to = parse_on_range(program.processors);
+      s.guard = parse_guard(program);
+      program.body.emplace_back(std::move(s));
+    } else if (keyword == "recv") {
+      RecvStmt r;
+      r.pos = pos_of(at);
+      const Token& name_at = peek();
+      r.array = expect_identifier("array name");
+      require_array(program, name_at, r.array);
+      expect_keyword("from");
+      r.from = parse_on_range(program.processors);
+      r.guard = parse_guard(program);
+      program.body.emplace_back(std::move(r));
+    } else if (keyword == "sync") {
+      SyncStmt s;
+      s.pos = pos_of(at);
+      s.guard = parse_guard(program);
+      program.body.emplace_back(s);
     } else {
       fail(at, "unknown statement '" + keyword + "'", kRuleUnknownStatement);
     }

@@ -14,17 +14,24 @@
 //   type        := "real4" | "real8" | "complex8" | "complex16" | "int4"
 //   dist        := "block" | "*"
 //   statement   := "stencil" NAME "offsets" "(" INT {"," INT} ")"
-//                    ["flops" NUMBER]
+//                    ["flops" NUMBER] [guard]
 //                | "redistribute" NAME "(" dist {"," dist} ")"
 //                    ["on" INT ".." INT]
 //                | "read" NAME ["element" NUMBER] ["row_io" NUMBER]
 //                | "reduce" ["bytes" NUMBER] ["flops" NUMBER]
-//                | "broadcast" ["bytes" NUMBER] ["root" INT]
-//                | "local" NUMBER                      ! flops
+//                    ["root" INT] [guard]
+//                | "broadcast" ["bytes" NUMBER] ["root" INT] [guard]
+//                | "local" NUMBER [guard]              ! flops
+//                | "send" NAME "to" INT ".." INT [guard]
+//                | "recv" NAME "from" INT ".." INT [guard]
+//                | "sync" [guard]
+//   guard       := "on" INT ".." INT   ! ranks executing the statement
 //
 // Number literals take unit suffixes: ms/us/s (durations, in seconds)
 // and k/m/g (1e3/1e6/1e9).  Processor ranges are half-open: "on 0..2"
-// places an array on ranks {0, 1}.
+// places an array on ranks {0, 1}.  An omitted guard means "all ranks
+// the statement naturally involves" (an array's owners, or every
+// processor for reduce/broadcast/local/sync).
 #pragma once
 
 #include <optional>

@@ -37,6 +37,10 @@ std::string number(double v) {
   return buffer;
 }
 
+void print_guard(std::ostream& out, Interval guard) {
+  if (guard.length() > 0) print_range(out, guard);
+}
+
 }  // namespace
 
 std::string to_source(const SourceProgram& program) {
@@ -59,31 +63,50 @@ std::string to_source(const SourceProgram& program) {
   out << "\n";
 
   for (const Statement& statement : program.body) {
-    if (const auto* s = std::get_if<StencilAssign>(&statement)) {
-      out << "stencil " << s->array << " offsets (";
-      for (std::size_t d = 0; d < s->max_offsets.size(); ++d) {
-        if (d > 0) out << ", ";
-        out << s->max_offsets[d];
-      }
-      out << ") flops " << number(s->flops_per_point) << "\n";
-    } else if (const auto* r = std::get_if<Redistribute>(&statement)) {
-      out << "redistribute " << r->array << " ";
-      print_distribution(out, r->to);
-      print_range(out, r->to_processors);
-      out << "\n";
-    } else if (const auto* read = std::get_if<SequentialRead>(&statement)) {
-      out << "read " << read->array << " element "
-          << read->element_message_bytes << " row_io "
-          << number(read->io_time_per_row.seconds()) << "s\n";
-    } else if (const auto* reduce = std::get_if<Reduction>(&statement)) {
-      out << "reduce bytes " << reduce->vector_bytes << " flops "
-          << number(reduce->flops) << "\n";
-    } else if (const auto* bcast = std::get_if<BroadcastStmt>(&statement)) {
-      out << "broadcast bytes " << bcast->bytes << " root " << bcast->root
-          << "\n";
-    } else if (const auto* work = std::get_if<LocalWork>(&statement)) {
-      out << "local " << number(work->flops) << "\n";
+    out << statement_source(statement) << "\n";
+  }
+  return out.str();
+}
+
+std::string statement_source(const Statement& statement) {
+  std::ostringstream out;
+  if (const auto* s = std::get_if<StencilAssign>(&statement)) {
+    out << "stencil " << s->array << " offsets (";
+    for (std::size_t d = 0; d < s->max_offsets.size(); ++d) {
+      if (d > 0) out << ", ";
+      out << s->max_offsets[d];
     }
+    out << ") flops " << number(s->flops_per_point);
+    print_guard(out, s->guard);
+  } else if (const auto* r = std::get_if<Redistribute>(&statement)) {
+    out << "redistribute " << r->array << " ";
+    print_distribution(out, r->to);
+    print_range(out, r->to_processors);
+  } else if (const auto* read = std::get_if<SequentialRead>(&statement)) {
+    out << "read " << read->array << " element "
+        << read->element_message_bytes << " row_io "
+        << number(read->io_time_per_row.seconds()) << "s";
+  } else if (const auto* reduce = std::get_if<Reduction>(&statement)) {
+    out << "reduce bytes " << reduce->vector_bytes << " flops "
+        << number(reduce->flops) << " root " << reduce->root;
+    print_guard(out, reduce->guard);
+  } else if (const auto* bcast = std::get_if<BroadcastStmt>(&statement)) {
+    out << "broadcast bytes " << bcast->bytes << " root " << bcast->root;
+    print_guard(out, bcast->guard);
+  } else if (const auto* work = std::get_if<LocalWork>(&statement)) {
+    out << "local " << number(work->flops);
+    print_guard(out, work->guard);
+  } else if (const auto* send = std::get_if<SendStmt>(&statement)) {
+    out << "send " << send->array << " to " << send->to.lo << ".."
+        << send->to.hi;
+    print_guard(out, send->guard);
+  } else if (const auto* recv = std::get_if<RecvStmt>(&statement)) {
+    out << "recv " << recv->array << " from " << recv->from.lo << ".."
+        << recv->from.hi;
+    print_guard(out, recv->guard);
+  } else if (const auto* sync = std::get_if<SyncStmt>(&statement)) {
+    out << "sync";
+    print_guard(out, sync->guard);
   }
   return out.str();
 }

@@ -11,4 +11,8 @@ namespace fxtraf::fxc {
 
 [[nodiscard]] std::string to_source(const SourceProgram& program);
 
+/// One statement rendered as a single source line (no trailing newline);
+/// the building block fix-it edits use for replacement text.
+[[nodiscard]] std::string statement_source(const Statement& statement);
+
 }  // namespace fxtraf::fxc

@@ -1,5 +1,8 @@
 #include "fxc/sema/diagnostics.hpp"
 
+#include <algorithm>
+#include <tuple>
+
 namespace fxtraf::fxc {
 
 namespace {
@@ -36,6 +39,69 @@ std::string DiagnosticSink::render_all() const {
     text += '\n';
   }
   return text;
+}
+
+void DiagnosticSink::sort_canonical() {
+  std::stable_sort(diagnostics_.begin(), diagnostics_.end(),
+                   [](const Diagnostic& a, const Diagnostic& b) {
+                     return std::tie(a.pos.line, a.pos.column, a.rule,
+                                     a.message) <
+                            std::tie(b.pos.line, b.pos.column, b.rule,
+                                     b.message);
+                   });
+}
+
+std::string apply_edits(const std::string& source,
+                        std::vector<FixItEdit> edits) {
+  std::vector<std::string> lines;
+  std::string current;
+  for (char c : source) {
+    if (c == '\n') {
+      lines.push_back(std::move(current));
+      current.clear();
+    } else {
+      current += c;
+    }
+  }
+  const bool had_trailing_newline = current.empty();
+  if (!current.empty()) lines.push_back(std::move(current));
+
+  // Bottom-up so each edit leaves the line numbers of the ones above it
+  // untouched; inserts before deletes at the same anchor.
+  std::stable_sort(edits.begin(), edits.end(),
+                   [](const FixItEdit& a, const FixItEdit& b) {
+                     if (a.line != b.line) return a.line > b.line;
+                     return static_cast<int>(a.kind) >
+                            static_cast<int>(b.kind);
+                   });
+  for (const FixItEdit& edit : edits) {
+    if (edit.line < 1 ||
+        static_cast<std::size_t>(edit.line) > lines.size()) {
+      throw std::invalid_argument("apply_edits: line " +
+                                  std::to_string(edit.line) +
+                                  " outside source");
+    }
+    const std::size_t index = static_cast<std::size_t>(edit.line) - 1;
+    switch (edit.kind) {
+      case FixItEdit::Kind::kReplaceLine:
+        lines[index] = edit.text;
+        break;
+      case FixItEdit::Kind::kDeleteLine:
+        lines.erase(lines.begin() + static_cast<std::ptrdiff_t>(index));
+        break;
+      case FixItEdit::Kind::kInsertAfter:
+        lines.insert(lines.begin() + static_cast<std::ptrdiff_t>(index) + 1,
+                     edit.text);
+        break;
+    }
+  }
+
+  std::string out;
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    out += lines[i];
+    if (i + 1 < lines.size() || had_trailing_newline) out += '\n';
+  }
+  return out;
 }
 
 ParseError::ParseError(Diagnostic diagnostic)

@@ -55,6 +55,28 @@ inline constexpr const char* kRuleDeadWrite = "fxc-dead-write";
 inline constexpr const char* kRuleHoistableCollective =
     "fxc-hoistable-collective";
 inline constexpr const char* kRuleLoadImbalance = "fxc-load-imbalance";
+// Communication-safety rules (phase-graph checkers):
+inline constexpr const char* kRuleCollectiveMismatch =
+    "fxc-collective-mismatch";
+inline constexpr const char* kRuleUnmatchedSendRecv =
+    "fxc-unmatched-sendrecv";
+inline constexpr const char* kRuleUnsyncedOverlap = "fxc-unsynced-overlap";
+inline constexpr const char* kRuleFragmentGrowth =
+    "fxc-unbounded-fragment-growth";
+
+/// A machine-applicable source edit attached to a diagnostic.  Edits are
+/// whole-line: the Fx grammar is line-oriented, so every fix replaces,
+/// removes, or inserts one statement line.
+struct FixItEdit {
+  enum class Kind : std::uint8_t {
+    kReplaceLine,  ///< swap line `line` for `text`
+    kDeleteLine,   ///< remove line `line`
+    kInsertAfter,  ///< add `text` as a new line after line `line`
+  };
+  Kind kind = Kind::kReplaceLine;
+  int line = 0;      ///< 1-based source line the edit anchors to
+  std::string text;  ///< replacement/insertion text (no trailing newline)
+};
 
 struct Diagnostic {
   Severity severity = Severity::kError;
@@ -62,7 +84,14 @@ struct Diagnostic {
   std::string message;
   SrcPos pos;           ///< 0:0 when the program was built in IR form
   std::string fixit;    ///< optional suggestion, empty if none
+  std::vector<FixItEdit> edits;  ///< machine-applicable form of `fixit`
 };
+
+/// Applies line-based fix-it edits to Fx source text and returns the
+/// rewritten program.  Edits may come from several diagnostics; they are
+/// applied bottom-up so earlier line numbers stay valid.
+[[nodiscard]] std::string apply_edits(const std::string& source,
+                                      std::vector<FixItEdit> edits);
 
 /// "fx source:3:7: error: message [rule-id]" (+ "  fixit: ..." if set);
 /// the position is omitted when unknown.
@@ -75,9 +104,10 @@ class DiagnosticSink {
     diagnostics_.push_back(std::move(diagnostic));
   }
   void report(Severity severity, std::string rule, std::string message,
-              SrcPos pos = {}, std::string fixit = {}) {
+              SrcPos pos = {}, std::string fixit = {},
+              std::vector<FixItEdit> edits = {}) {
     report(Diagnostic{severity, std::move(rule), std::move(message), pos,
-                      std::move(fixit)});
+                      std::move(fixit), std::move(edits)});
   }
 
   [[nodiscard]] const std::vector<Diagnostic>& diagnostics() const {
@@ -102,6 +132,11 @@ class DiagnosticSink {
 
   /// Every diagnostic rendered, one per line.
   [[nodiscard]] std::string render_all() const;
+
+  /// Stable-sorts diagnostics by (line, column, rule, message) so the
+  /// rendered output is byte-identical across runs and platforms
+  /// regardless of pass registration order.
+  void sort_canonical();
 
  private:
   std::vector<Diagnostic> diagnostics_;

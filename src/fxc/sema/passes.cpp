@@ -4,6 +4,9 @@
 #include <string>
 #include <variant>
 
+#include "fxc/printer.hpp"
+#include "fxc/sema/safety.hpp"
+
 namespace fxtraf::fxc {
 
 namespace {
@@ -26,6 +29,8 @@ const std::string* referenced_array(const Statement& statement) {
   if (const auto* s = std::get_if<StencilAssign>(&statement)) return &s->array;
   if (const auto* r = std::get_if<Redistribute>(&statement)) return &r->array;
   if (const auto* r = std::get_if<SequentialRead>(&statement)) return &r->array;
+  if (const auto* s = std::get_if<SendStmt>(&statement)) return &s->array;
+  if (const auto* r = std::get_if<RecvStmt>(&statement)) return &r->array;
   return nullptr;
 }
 
@@ -74,6 +79,15 @@ class HaloOverflowPass final : public SemaPass {
                       static_cast<int>(decl.processors.length()))
               .length();
       if (halo > 0 && static_cast<std::size_t>(halo) >= block) {
+        std::vector<FixItEdit> edits;
+        if (stencil->pos.known() && block > 1) {
+          StencilAssign clamped = *stencil;
+          clamped.max_offsets[static_cast<std::size_t>(bdim)] =
+              static_cast<int>(block) - 1;
+          edits.push_back(FixItEdit{FixItEdit::Kind::kReplaceLine,
+                                    stencil->pos.line,
+                                    statement_source(clamped)});
+        }
         sink.report(Severity::kError, kRuleHaloOverflow,
                     "stencil offset " + std::to_string(halo) +
                         " along the distributed dimension of '" +
@@ -83,7 +97,8 @@ class HaloOverflowPass final : public SemaPass {
                     stencil->pos,
                     "reduce the offset below " + std::to_string(block) +
                         " or distribute '" + stencil->array +
-                        "' over fewer processors");
+                        "' over fewer processors",
+                    std::move(edits));
       }
     });
   }
@@ -143,21 +158,35 @@ class RedundantRedistributePass final : public SemaPass {
         const ArrayDecl& decl = state.array(redist->array);
         if (redist->to == decl.distribution &&
             same_interval(redist->to_processors, decl.processors)) {
+          std::vector<FixItEdit> edits;
+          if (redist->pos.known()) {
+            edits.push_back(FixItEdit{FixItEdit::Kind::kDeleteLine,
+                                      redist->pos.line, {}});
+          }
           sink.report(Severity::kWarning, kRuleRedundantRedistribute,
                       "redistribute of '" + redist->array +
                           "' to its current distribution " +
                           dist_text(redist->to) + " is a no-op",
-                      redist->pos, "remove this statement");
+                      redist->pos, "remove this statement",
+                      std::move(edits));
         } else if (i + 1 < program.body.size()) {
           const auto* next = std::get_if<Redistribute>(&program.body[i + 1]);
           if (next != nullptr && next->array == redist->array &&
               next->to == decl.distribution &&
               same_interval(next->to_processors, decl.processors)) {
+            std::vector<FixItEdit> edits;
+            if (redist->pos.known() && next->pos.known()) {
+              edits.push_back(FixItEdit{FixItEdit::Kind::kDeleteLine,
+                                        redist->pos.line, {}});
+              edits.push_back(FixItEdit{FixItEdit::Kind::kDeleteLine,
+                                        next->pos.line, {}});
+            }
             sink.report(Severity::kWarning, kRuleRedundantRedistribute,
                         "back-to-back redistributes of '" + redist->array +
                             "' return it to " + dist_text(decl.distribution) +
                             " with no use in between",
-                        redist->pos, "remove both redistributes");
+                        redist->pos, "remove both redistributes",
+                        std::move(edits));
           }
         }
       }
@@ -182,13 +211,19 @@ class DeadWritePass final : public SemaPass {
         used = array != nullptr && *array == read->array;
       }
       if (!used) {
+        std::vector<FixItEdit> edits;
+        if (read->pos.known()) {
+          edits.push_back(
+              FixItEdit{FixItEdit::Kind::kDeleteLine, read->pos.line, {}});
+        }
         sink.report(Severity::kWarning, kRuleDeadWrite,
                     "array '" + read->array +
                         "' is filled by sequential read but never used "
                         "afterwards (dead communication)",
                     read->pos,
                     "drop the read or add the statements consuming '" +
-                        read->array + "'");
+                        read->array + "'",
+                    std::move(edits));
       }
     }
   }
@@ -323,6 +358,35 @@ void verify_statement(const SourceProgram& program, const Statement& statement,
                       " outside processor range",
                   bcast->pos);
     }
+  } else if (const auto* reduce = std::get_if<Reduction>(&statement)) {
+    if (reduce->root < 0 || reduce->root >= program.processors) {
+      sink.report(Severity::kError, kRuleBadRoot,
+                  "reduce root " + std::to_string(reduce->root) +
+                      " outside processor range",
+                  reduce->pos);
+    }
+  } else if (const auto* send = std::get_if<SendStmt>(&statement)) {
+    if (send->to.length() == 0 ||
+        send->to.hi > static_cast<std::size_t>(program.processors)) {
+      sink.report(Severity::kError, kRuleBadProcessorRange,
+                  "invalid destination range for send of '" + send->array +
+                      "'",
+                  send->pos);
+    }
+  } else if (const auto* recv = std::get_if<RecvStmt>(&statement)) {
+    if (recv->from.length() == 0 ||
+        recv->from.hi > static_cast<std::size_t>(program.processors)) {
+      sink.report(Severity::kError, kRuleBadProcessorRange,
+                  "invalid source range for recv of '" + recv->array + "'",
+                  recv->pos);
+    }
+  }
+  const Interval guard = statement_guard(statement);
+  if (guard.hi > 0 &&
+      (guard.length() == 0 ||
+       guard.hi > static_cast<std::size_t>(program.processors))) {
+    sink.report(Severity::kError, kRuleBadProcessorRange,
+                "invalid guard range", statement_pos(statement));
   }
 }
 
@@ -337,6 +401,7 @@ const std::vector<std::unique_ptr<SemaPass>>& sema_passes() {
     p.push_back(std::make_unique<DeadWritePass>());
     p.push_back(std::make_unique<HoistableCollectivePass>());
     p.push_back(std::make_unique<LoadImbalancePass>());
+    for (auto& pass : safety_passes()) p.push_back(std::move(pass));
     return p;
   }();
   return passes;
@@ -376,6 +441,8 @@ bool run_sema(const SourceProgram& program, DiagnosticSink& sink) {
   for (const auto& pass : sema_passes()) {
     pass->run(program, sink);
   }
+  // Byte-stable output: pass registration order must not show through.
+  sink.sort_canonical();
   return sink.count(Severity::kError) == before;
 }
 

@@ -23,6 +23,21 @@
 //                               (warning)
 //   fxc-load-imbalance          processor count not dividing the
 //                               distributed extent (warning)
+//
+// Communication-safety rules (sema/safety.hpp, built on the phase
+// graph of sema/phase_graph.hpp):
+//   fxc-collective-mismatch     collective whose participant set and
+//                               root disagree across ranks (error:
+//                               static deadlock)
+//   fxc-unmatched-sendrecv      recv with no matching send, or a
+//                               matched pair whose rank ranges disagree
+//                               (error)
+//   fxc-unsynced-overlap        phase reading distributed data it does
+//                               not own without an intervening
+//                               synchronizing transfer (error)
+//   fxc-unbounded-fragment-growth  sends never received: the PVM
+//                               fragment lists grow each iteration
+//                               (error when iterated, else warning)
 #pragma once
 
 #include <memory>

@@ -1,0 +1,212 @@
+#include "fxc/sema/phase_graph.hpp"
+
+#include <variant>
+
+namespace fxtraf::fxc {
+
+std::string RankSet::to_string() const {
+  // Render as comma-separated maximal runs: "{0..3, 5}".
+  std::string text = "{";
+  bool first = true;
+  std::size_t r = 0;
+  while (r < bits_.size()) {
+    if (!bits_[r]) {
+      ++r;
+      continue;
+    }
+    std::size_t end = r;
+    while (end + 1 < bits_.size() && bits_[end + 1]) ++end;
+    if (!first) text += ", ";
+    first = false;
+    text += std::to_string(r);
+    if (end > r) text += ".." + std::to_string(end);
+    r = end + 1;
+  }
+  return text + "}";
+}
+
+const char* to_string(PhaseKind kind) {
+  switch (kind) {
+    case PhaseKind::kCompute: return "compute";
+    case PhaseKind::kHaloExchange: return "halo-exchange";
+    case PhaseKind::kRedistribute: return "redistribute";
+    case PhaseKind::kSequentialRead: return "sequential-read";
+    case PhaseKind::kReduce: return "reduce";
+    case PhaseKind::kBroadcast: return "broadcast";
+    case PhaseKind::kSend: return "send";
+    case PhaseKind::kRecv: return "recv";
+    case PhaseKind::kSync: return "sync";
+  }
+  return "?";
+}
+
+namespace {
+
+RankSet guard_or(int processors, Interval guard, Interval fallback) {
+  return RankSet::range(processors,
+                        guard.length() > 0 ? guard : fallback);
+}
+
+RankSet all_ranks(int processors) {
+  return RankSet::range(
+      processors, Interval{0, static_cast<std::size_t>(processors)});
+}
+
+/// Sender/receiver sets read off the phase's communication matrix.
+void matrix_participants(const CommMatrix& matrix, RankSet& senders,
+                         RankSet& receivers) {
+  const int p = matrix.processors();
+  senders = RankSet(p);
+  receivers = RankSet(p);
+  for (int s = 0; s < p; ++s) {
+    for (int d = 0; d < p; ++d) {
+      if (matrix.at(s, d) == 0) continue;
+      senders.add(s);
+      receivers.add(d);
+    }
+  }
+}
+
+}  // namespace
+
+PhaseGraph build_phase_graph(const SourceProgram& program) {
+  program.validate();
+  const int p = program.processors;
+  PhaseGraph graph;
+  graph.processors = p;
+  graph.rank_sequence.assign(static_cast<std::size_t>(p), {});
+
+  SourceProgram state = program;
+  for (std::size_t i = 0; i < program.body.size(); ++i) {
+    const Statement& statement = program.body[i];
+    const PhaseAnalysis analysis = analyze(state, statement);
+
+    PhaseNode node;
+    node.statement = i;
+    node.pos = statement_pos(statement);
+    node.executing = RankSet(p);
+    node.payload_bytes = analysis.matrix.total_bytes();
+    node.shape = analysis.shape;
+    matrix_participants(analysis.matrix, node.senders, node.receivers);
+
+    if (const auto* stencil = std::get_if<StencilAssign>(&statement)) {
+      const ArrayDecl& decl = state.array(stencil->array);
+      node.kind = PhaseKind::kHaloExchange;
+      node.array = stencil->array;
+      node.executing = guard_or(p, stencil->guard, decl.processors);
+      node.dist_before = decl.distribution;
+      node.owners_before = decl.processors;
+    } else if (const auto* redist = std::get_if<Redistribute>(&statement)) {
+      const ArrayDecl& decl = state.array(redist->array);
+      node.kind = PhaseKind::kRedistribute;
+      node.array = redist->array;
+      // Both the old and the new holders take part in the exchange.
+      node.executing = RankSet::range(p, decl.processors);
+      for (std::size_t r = redist->to_processors.lo;
+           r < redist->to_processors.hi; ++r) {
+        node.executing.add(static_cast<int>(r));
+      }
+      node.synchronizing = true;
+      node.dist_before = decl.distribution;
+      node.owners_before = decl.processors;
+    } else if (const auto* read = std::get_if<SequentialRead>(&statement)) {
+      const ArrayDecl& decl = state.array(read->array);
+      node.kind = PhaseKind::kSequentialRead;
+      node.array = read->array;
+      node.executing = RankSet::range(p, decl.processors);
+      node.executing.add(0);  // the reading rank
+      node.synchronizing = true;
+      node.dist_before = decl.distribution;
+      node.owners_before = decl.processors;
+    } else if (const auto* reduce = std::get_if<Reduction>(&statement)) {
+      node.kind = PhaseKind::kReduce;
+      node.executing = guard_or(
+          p, reduce->guard, Interval{0, static_cast<std::size_t>(p)});
+      node.root = reduce->root;
+      node.synchronizing = true;
+    } else if (const auto* bcast = std::get_if<BroadcastStmt>(&statement)) {
+      node.kind = PhaseKind::kBroadcast;
+      node.executing = guard_or(
+          p, bcast->guard, Interval{0, static_cast<std::size_t>(p)});
+      node.root = bcast->root;
+      node.synchronizing = true;
+    } else if (const auto* work = std::get_if<LocalWork>(&statement)) {
+      node.kind = PhaseKind::kCompute;
+      node.executing = guard_or(
+          p, work->guard, Interval{0, static_cast<std::size_t>(p)});
+    } else if (const auto* send = std::get_if<SendStmt>(&statement)) {
+      const ArrayDecl& decl = state.array(send->array);
+      node.kind = PhaseKind::kSend;
+      node.array = send->array;
+      node.peer_range = send->to;
+      node.executing =
+          send->guard.length() > 0
+              ? RankSet::range(p, intersect(decl.processors, send->guard))
+              : RankSet::range(p, decl.processors);
+      node.dist_before = decl.distribution;
+      node.owners_before = decl.processors;
+    } else if (const auto* recv = std::get_if<RecvStmt>(&statement)) {
+      const ArrayDecl& decl = state.array(recv->array);
+      node.kind = PhaseKind::kRecv;
+      node.array = recv->array;
+      node.peer_range = recv->from;
+      node.executing = guard_or(p, recv->guard, decl.processors);
+      node.dist_before = decl.distribution;
+      node.owners_before = decl.processors;
+    } else if (std::get_if<SyncStmt>(&statement) != nullptr) {
+      node.kind = PhaseKind::kSync;
+      // PVM barriers involve every rank regardless of the written guard.
+      node.executing = all_ranks(p);
+      node.synchronizing = true;
+    }
+
+    graph.nodes.push_back(std::move(node));
+
+    if (const auto* redist = std::get_if<Redistribute>(&statement)) {
+      ArrayDecl& decl = state.array(redist->array);
+      decl.distribution = redist->to;
+      decl.processors = redist->to_processors;
+    }
+  }
+
+  // Per-rank sequences and the order edges they induce.
+  std::vector<std::size_t> last_on_rank(static_cast<std::size_t>(p),
+                                        kNoMatch);
+  std::vector<std::vector<bool>> edge_seen(
+      graph.nodes.size(), std::vector<bool>(graph.nodes.size(), false));
+  for (std::size_t i = 0; i < graph.nodes.size(); ++i) {
+    for (int r = 0; r < p; ++r) {
+      if (!graph.nodes[i].executing.contains(r)) continue;
+      graph.rank_sequence[static_cast<std::size_t>(r)].push_back(i);
+      const std::size_t prev = last_on_rank[static_cast<std::size_t>(r)];
+      if (prev != kNoMatch && !edge_seen[prev][i]) {
+        edge_seen[prev][i] = true;
+        graph.edges.push_back(PhaseEdge{prev, i, PhaseEdge::Kind::kOrder});
+      }
+      last_on_rank[static_cast<std::size_t>(r)] = i;
+    }
+  }
+
+  // Send/recv matching: a recv consumes the oldest unmatched send of the
+  // same array whose destination ranks intersect the receiving set.
+  graph.match.assign(graph.nodes.size(), kNoMatch);
+  for (std::size_t i = 0; i < graph.nodes.size(); ++i) {
+    if (graph.nodes[i].kind != PhaseKind::kRecv) continue;
+    const RankSet recv_ranks = graph.nodes[i].executing;
+    for (std::size_t j = 0; j < i; ++j) {
+      if (graph.nodes[j].kind != PhaseKind::kSend) continue;
+      if (graph.match[j] != kNoMatch) continue;
+      if (graph.nodes[j].array != graph.nodes[i].array) continue;
+      const RankSet dests =
+          RankSet::range(graph.processors, graph.nodes[j].peer_range);
+      if (!dests.intersects(recv_ranks)) continue;
+      graph.match[i] = j;
+      graph.match[j] = i;
+      graph.edges.push_back(PhaseEdge{j, i, PhaseEdge::Kind::kMatch});
+      break;
+    }
+  }
+  return graph;
+}
+
+}  // namespace fxtraf::fxc

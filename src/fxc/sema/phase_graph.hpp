@@ -1,0 +1,146 @@
+// Phase-graph construction over the fx IR (paper section 3: a compiled
+// program is an alternating sequence of compute and collective
+// communication phases).
+//
+// The pass recovers, for every rank, the ordered sequence of phases it
+// participates in, together with the sender/receiver rank sets and the
+// per-phase payload bytes the communication-generation pass assigns.
+// The communication-safety checkers (sema/safety.hpp) and the symbolic
+// traffic engine (sema/symbolic.hpp) both consume this graph instead of
+// re-deriving participant structure from raw statements.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "fxc/analysis.hpp"
+#include "fxc/ir.hpp"
+
+namespace fxtraf::fxc {
+
+/// Set of ranks out of a fixed universe [0, P).
+class RankSet {
+ public:
+  RankSet() = default;
+  explicit RankSet(int processors)
+      : bits_(static_cast<std::size_t>(processors), false) {}
+
+  /// The ranks of a half-open interval, clipped to [0, P).
+  [[nodiscard]] static RankSet range(int processors, Interval iv) {
+    RankSet set(processors);
+    for (std::size_t r = iv.lo; r < iv.hi && r < set.bits_.size(); ++r) {
+      set.bits_[r] = true;
+    }
+    return set;
+  }
+
+  void add(int r) {
+    if (r >= 0 && static_cast<std::size_t>(r) < bits_.size()) {
+      bits_[static_cast<std::size_t>(r)] = true;
+    }
+  }
+  [[nodiscard]] bool contains(int r) const {
+    return r >= 0 && static_cast<std::size_t>(r) < bits_.size() &&
+           bits_[static_cast<std::size_t>(r)];
+  }
+  [[nodiscard]] int processors() const {
+    return static_cast<int>(bits_.size());
+  }
+  [[nodiscard]] bool empty() const {
+    for (bool b : bits_) {
+      if (b) return false;
+    }
+    return true;
+  }
+  [[nodiscard]] int count() const {
+    int n = 0;
+    for (bool b : bits_) n += b;
+    return n;
+  }
+  [[nodiscard]] bool intersects(const RankSet& other) const {
+    const std::size_t n = std::min(bits_.size(), other.bits_.size());
+    for (std::size_t r = 0; r < n; ++r) {
+      if (bits_[r] && other.bits_[r]) return true;
+    }
+    return false;
+  }
+  [[nodiscard]] bool subset_of(const RankSet& other) const {
+    for (std::size_t r = 0; r < bits_.size(); ++r) {
+      if (bits_[r] && !other.contains(static_cast<int>(r))) return false;
+    }
+    return true;
+  }
+
+  /// "{0..3}" / "{0, 2, 5}" for diagnostics.
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  std::vector<bool> bits_;
+};
+
+/// What a phase does; finer-grained than CommShape because the checkers
+/// care about the statement's role, not just its matrix footprint.
+enum class PhaseKind : std::uint8_t {
+  kCompute,
+  kHaloExchange,
+  kRedistribute,
+  kSequentialRead,
+  kReduce,
+  kBroadcast,
+  kSend,
+  kRecv,
+  kSync,
+};
+
+[[nodiscard]] const char* to_string(PhaseKind kind);
+
+/// One phase: a body statement with its participant structure resolved
+/// against the array placement in effect when it executes.
+struct PhaseNode {
+  std::size_t statement = 0;  ///< index into SourceProgram::body
+  PhaseKind kind = PhaseKind::kCompute;
+  SrcPos pos;
+  std::string array;        ///< referenced array, empty if none
+  RankSet executing;        ///< ranks that run the phase
+  RankSet senders;          ///< ranks with a nonzero matrix row
+  RankSet receivers;        ///< ranks with a nonzero matrix column
+  Interval peer_range;      ///< SendStmt `to` / RecvStmt `from`
+  int root = -1;            ///< reduce/broadcast root, -1 otherwise
+  bool synchronizing = false;  ///< phase orders its whole executing set
+  Distribution dist_before;    ///< array placement before the statement
+  Interval owners_before;
+  std::size_t payload_bytes = 0;  ///< analysis-matrix total for the phase
+  CommShape shape = CommShape::kNone;
+};
+
+/// Order edge: `to` cannot start on the shared ranks before `from`
+/// retires.  Match edge: a recv consuming a send's fragments.
+struct PhaseEdge {
+  std::size_t from = 0;
+  std::size_t to = 0;
+  enum class Kind : std::uint8_t { kOrder, kMatch } kind = Kind::kOrder;
+};
+
+inline constexpr std::size_t kNoMatch = static_cast<std::size_t>(-1);
+
+struct PhaseGraph {
+  int processors = 0;
+  std::vector<PhaseNode> nodes;
+  std::vector<PhaseEdge> edges;
+  /// Per-rank phase sequence: rank_sequence[r] lists, in program order,
+  /// the nodes rank r participates in.
+  std::vector<std::vector<std::size_t>> rank_sequence;
+  /// match[i]: for a send node, the recv node consuming it (and vice
+  /// versa); kNoMatch when unpaired.
+  std::vector<std::size_t> match;
+};
+
+/// Builds the phase graph for one iteration of the program body.  The
+/// program must be structurally sound (verify_structure) — unknown
+/// arrays or bad ranges throw via the analysis layer.
+[[nodiscard]] PhaseGraph build_phase_graph(const SourceProgram& program);
+
+}  // namespace fxtraf::fxc

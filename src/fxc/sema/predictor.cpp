@@ -11,31 +11,14 @@
 
 namespace fxtraf::fxc {
 
-namespace {
-
-/// One burst on the wire: `bytes` spread over [start, start + width).
-struct Pulse {
-  double start = 0.0;
-  double width = 0.0;
-  double bytes = 0.0;
-};
-
-/// Footprint of one PVM message: payload + message header, cut into MSS
-/// segments, each framed, plus the delayed ACKs coming back.  `wire` is
-/// medium occupancy (with preamble and interframe gap); `capture` is
-/// what a packet capture records.
-struct MessageCost {
-  std::size_t wire = 0;
-  std::size_t capture = 0;
-};
-
-MessageCost message_cost(std::size_t payload, const PredictorConfig& config) {
+MessageWireCost priced_message(std::size_t payload,
+                               const PredictorConfig& config) {
   const std::size_t stream = payload + config.message_header_bytes;
   const std::size_t segments = (stream + config.mss - 1) / config.mss;
   const std::size_t acks =
       (segments + static_cast<std::size_t>(config.ack_every_segments) - 1) /
       static_cast<std::size_t>(config.ack_every_segments);
-  MessageCost cost;
+  MessageWireCost cost;
   cost.wire = stream +
               segments * (config.frame_overhead_bytes +
                           config.frame_gap_bytes) +
@@ -45,6 +28,83 @@ MessageCost message_cost(std::size_t payload, const PredictorConfig& config) {
   return cost;
 }
 
+SourceProgram scale_to_processors(const SourceProgram& program,
+                                  int processors) {
+  SourceProgram scaled = program;
+  const double ratio = static_cast<double>(processors) /
+                       static_cast<double>(std::max(1, program.processors));
+  auto scale_interval = [&](Interval range) {
+    Interval out;
+    out.lo = static_cast<std::size_t>(
+        std::lround(static_cast<double>(range.lo) * ratio));
+    out.hi = static_cast<std::size_t>(
+        std::lround(static_cast<double>(range.hi) * ratio));
+    out.lo = std::min(out.lo, static_cast<std::size_t>(processors - 1));
+    out.hi = std::clamp(out.hi, out.lo + 1,
+                        static_cast<std::size_t>(processors));
+    return out;
+  };
+  // The {0,0} guard sentinel means "no guard" and must stay empty.
+  auto scale_guard = [&](Interval guard) {
+    return guard.length() > 0 ? scale_interval(guard) : guard;
+  };
+  auto scale_root = [&](int root, Interval scaled_guard) {
+    int r = static_cast<int>(
+        std::lround(static_cast<double>(root) * ratio));
+    r = std::clamp(r, 0, processors - 1);
+    if (scaled_guard.length() > 0) {
+      r = std::clamp(r, static_cast<int>(scaled_guard.lo),
+                     static_cast<int>(scaled_guard.hi) - 1);
+    }
+    return r;
+  };
+  scaled.processors = processors;
+  for (auto& [id, decl] : scaled.arrays) {
+    decl.processors = scale_interval(decl.processors);
+  }
+  for (Statement& statement : scaled.body) {
+    if (auto* stencil = std::get_if<StencilAssign>(&statement)) {
+      stencil->guard = scale_guard(stencil->guard);
+    } else if (auto* redist = std::get_if<Redistribute>(&statement)) {
+      redist->to_processors = scale_interval(redist->to_processors);
+    } else if (auto* reduce = std::get_if<Reduction>(&statement)) {
+      reduce->guard = scale_guard(reduce->guard);
+      reduce->root = scale_root(reduce->root, reduce->guard);
+    } else if (auto* bcast = std::get_if<BroadcastStmt>(&statement)) {
+      bcast->guard = scale_guard(bcast->guard);
+      bcast->root = scale_root(bcast->root, bcast->guard);
+    } else if (auto* work = std::get_if<LocalWork>(&statement)) {
+      work->guard = scale_guard(work->guard);
+    } else if (auto* send = std::get_if<SendStmt>(&statement)) {
+      send->to = scale_interval(send->to);
+      send->guard = scale_guard(send->guard);
+    } else if (auto* recv = std::get_if<RecvStmt>(&statement)) {
+      recv->from = scale_interval(recv->from);
+      recv->guard = scale_guard(recv->guard);
+    } else if (auto* sync = std::get_if<SyncStmt>(&statement)) {
+      sync->guard = scale_guard(sync->guard);
+    }
+  }
+  return scaled;
+}
+
+namespace {
+
+/// One burst on the wire: `bytes` spread over [start, start + width).
+struct Pulse {
+  double start = 0.0;
+  double width = 0.0;
+  double bytes = 0.0;
+};
+
+/// Wire time and capture inflation of one matrix exchange.
+struct ExchangePricing {
+  double seconds = 0.0;
+  /// Retransmission factor on captured bytes when contention degrades
+  /// the exchange (1.0 otherwise).
+  double capture_scale = 1.0;
+};
+
 /// Time a matrix exchange occupies the wire.  The shift schedule runs
 /// step s = (dst - src) mod P for every rank at once: within one step
 /// multiple senders keep the medium busy through each other's stalls,
@@ -52,32 +112,84 @@ MessageCost message_cost(std::size_t payload, const PredictorConfig& config) {
 /// limited by one TCP stream; each step also pays an unpipelined
 /// turnaround.  (For the reduction's flattened matrix the distinct
 /// shifts are exactly the log2 P tree levels.)
-double exchange_seconds(const CommMatrix& matrix,
-                        const PredictorConfig& config) {
+///
+/// Two refinements come from the packet timelines of the simulated
+/// kernels.  First, when the sender and receiver sets are disjoint no
+/// receive ever gates a sender, so every message streams concurrently
+/// regardless of the schedule steps; when they overlap, the cyclic
+/// schedule keeps one outstanding stream per sender.  Past the
+/// contention-free stream count the concurrent streams collide, the
+/// aggregate rate drops linearly, and the lost frames return as
+/// retransmissions in the capture.  Second, a pure two-rank swap runs
+/// both directions at once and the bidirectional data/ACK interplay
+/// stalls each TCP window below the one-way multi-sender rate.
+ExchangePricing priced_exchange(const CommMatrix& matrix,
+                                const PredictorConfig& config) {
   const int p = matrix.processors();
   struct Step {
     std::size_t wire = 0;
     std::set<int> senders;
   };
   std::map<int, Step> steps;
+  std::set<int> senders;
+  std::set<int> receivers;
+  std::size_t total_wire = 0;
+  int messages = 0;
   for (int s = 0; s < p; ++s) {
     for (int d = 0; d < p; ++d) {
       if (s == d || matrix.at(s, d) == 0) continue;
       Step& step = steps[(d - s + p) % p];
-      step.wire += message_cost(matrix.at(s, d), config).wire;
+      const std::size_t wire = priced_message(matrix.at(s, d), config).wire;
+      step.wire += wire;
       step.senders.insert(s);
+      senders.insert(s);
+      receivers.insert(d);
+      total_wire += wire;
+      ++messages;
     }
   }
-  double seconds = 0.0;
-  for (const auto& [shift, step] : steps) {
-    const double efficiency = step.senders.size() > 1
-                                  ? config.medium_efficiency
-                                  : config.single_stream_efficiency;
-    seconds += static_cast<double>(step.wire) /
-                   (config.wire_bytes_per_s * efficiency) +
-               config.per_message_seconds;
+
+  ExchangePricing out;
+  if (senders == receivers && senders.size() == 2 && messages == 2) {
+    out.seconds = static_cast<double>(total_wire) /
+                      (config.wire_bytes_per_s *
+                       config.pair_exchange_efficiency) +
+                  static_cast<double>(steps.size()) *
+                      config.per_message_seconds;
+    return out;
   }
-  return seconds;
+
+  bool disjoint = true;
+  std::size_t step_senders = 0;
+  for (const auto& [shift, step] : steps) {
+    step_senders = std::max(step_senders, step.senders.size());
+  }
+  for (int s : senders) {
+    if (receivers.count(s) != 0) {
+      disjoint = false;
+      break;
+    }
+  }
+  const double streams = disjoint ? static_cast<double>(messages)
+                                  : static_cast<double>(step_senders);
+  const double contention = std::clamp(
+      1.0 - config.contention_per_stream *
+                (streams - config.contention_free_streams),
+      config.contention_floor, 1.0);
+
+  bool has_multi = false;
+  for (const auto& [shift, step] : steps) {
+    const bool multi = step.senders.size() > 1;
+    has_multi |= multi;
+    const double efficiency = multi
+                                  ? config.medium_efficiency * contention
+                                  : config.single_stream_efficiency;
+    out.seconds += static_cast<double>(step.wire) /
+                       (config.wire_bytes_per_s * efficiency) +
+                   config.per_message_seconds;
+  }
+  if (has_multi) out.capture_scale = 1.0 / contention;
+  return out;
 }
 
 double compute_seconds(double flops, const PredictorConfig& config) {
@@ -160,38 +272,6 @@ std::vector<core::SpectralComponent> fourier_components(
     components.push_back(c);
   }
   return components;
-}
-
-/// Rescales a program to run on `processors` ranks, mapping every
-/// processor interval proportionally, so l(P) and b(P) can be re-derived
-/// for QoS negotiation.
-SourceProgram scale_processors(const SourceProgram& program, int processors) {
-  SourceProgram scaled = program;
-  const double ratio = static_cast<double>(processors) /
-                       static_cast<double>(std::max(1, program.processors));
-  auto scale_interval = [&](Interval range) {
-    Interval out;
-    out.lo = static_cast<std::size_t>(
-        std::lround(static_cast<double>(range.lo) * ratio));
-    out.hi = static_cast<std::size_t>(
-        std::lround(static_cast<double>(range.hi) * ratio));
-    out.lo = std::min(out.lo, static_cast<std::size_t>(processors - 1));
-    out.hi = std::clamp(out.hi, out.lo + 1,
-                        static_cast<std::size_t>(processors));
-    return out;
-  };
-  scaled.processors = processors;
-  for (auto& [id, decl] : scaled.arrays) {
-    decl.processors = scale_interval(decl.processors);
-  }
-  for (Statement& statement : scaled.body) {
-    if (auto* redist = std::get_if<Redistribute>(&statement)) {
-      redist->to_processors = scale_interval(redist->to_processors);
-    } else if (auto* bcast = std::get_if<BroadcastStmt>(&statement)) {
-      bcast->root = std::min(bcast->root, processors - 1);
-    }
-  }
-  return scaled;
 }
 
 }  // namespace
@@ -291,7 +371,7 @@ TrafficPrediction predict_traffic(const SourceProgram& program,
         for (int d = 0; d < p; ++d) {
           const std::size_t bytes = phase.analysis.matrix.at(s, d);
           if (s == d || bytes == 0) continue;
-          const MessageCost cost = message_cost(bytes, config);
+          const MessageWireCost cost = priced_message(bytes, config);
           wire += cost.wire;
           capture += cost.capture;
           ++messages;
@@ -303,9 +383,13 @@ TrafficPrediction predict_traffic(const SourceProgram& program,
       phase.compute_seconds =
           compute_seconds(phase.analysis.flops_per_processor, config);
       if (wire > 0) {
+        const ExchangePricing priced =
+            priced_exchange(phase.analysis.matrix, config);
         phase.comm_seconds =
-            exchange_seconds(phase.analysis.matrix, config) +
+            priced.seconds +
             static_cast<double>(messages) * config.send_overhead_seconds;
+        phase.capture_bytes = static_cast<std::size_t>(std::llround(
+            static_cast<double>(capture) * priced.capture_scale));
       }
 
       // Lowering order: stencils exchange halos before computing; the
@@ -385,7 +469,7 @@ core::TrafficSpec predicted_spec(const SourceProgram& program,
   constexpr double kInfeasible = 1e9;
   spec.local_seconds = [program, config](int p) {
     try {
-      return predict_traffic(scale_processors(program, p), config)
+      return predict_traffic(scale_to_processors(program, p), config)
           .local_seconds;
     } catch (const std::exception&) {
       return kInfeasible;
@@ -393,7 +477,7 @@ core::TrafficSpec predicted_spec(const SourceProgram& program,
   };
   spec.burst_bytes = [program, config](int p) {
     try {
-      return predict_traffic(scale_processors(program, p), config)
+      return predict_traffic(scale_to_processors(program, p), config)
           .burst_bytes;
     } catch (const std::exception&) {
       return kInfeasible;

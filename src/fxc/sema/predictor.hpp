@@ -33,6 +33,18 @@ struct PredictorConfig {
   /// A lone TCP stream stalls on its receive window between bursts, so a
   /// single-sender step utilizes the medium noticeably worse.
   double single_stream_efficiency = 0.76;
+  /// Exactly two ranks swapping tiles run both streams concurrently, and
+  /// the bidirectional data/ACK interplay stalls each window well below
+  /// the one-way multi-sender rate (measured on the transpose at P = 2).
+  double pair_exchange_efficiency = 0.74;
+  /// Concurrent streams the shared medium absorbs before collision
+  /// backoff bites.  Beyond it, multi-sender throughput drops by
+  /// `contention_per_stream` per extra stream (down to the floor) and
+  /// the lost frames reappear in the capture as retransmissions, so
+  /// captured bytes inflate by the inverse factor.
+  double contention_free_streams = 4.0;
+  double contention_per_stream = 0.018;
+  double contention_floor = 0.75;
   std::size_t mss = 1460;                  ///< net::TcpConfig default
   std::size_t frame_overhead_bytes = 58;   ///< Eth+IP+TCP headers+trailer
   std::size_t frame_gap_bytes = 20;        ///< preamble + interframe gap
@@ -94,6 +106,25 @@ struct TrafficPrediction {
   /// representation core::FourierTrafficModel fits from measurements.
   core::FourierTrafficModel bandwidth_model;
 };
+
+/// Wire/capture footprint of one PVM message under the machine model:
+/// payload + message header, cut into MSS segments, each framed, plus
+/// the delayed ACKs.  Shared by the numeric predictor and the symbolic
+/// engine so both price messages identically.
+struct MessageWireCost {
+  std::size_t wire = 0;     ///< medium occupancy (preamble + gaps included)
+  std::size_t capture = 0;  ///< what a packet capture records
+};
+[[nodiscard]] MessageWireCost priced_message(std::size_t payload,
+                                             const PredictorConfig& config);
+
+/// Rescales a program to run on `processors` ranks: every processor
+/// interval (array placements, redistribute targets, statement guards,
+/// send/recv peer ranges) maps proportionally and roots are clamped.
+/// This is how l(P) and b(P) are re-derived at candidate processor
+/// counts, and how the P-sweep cross-validation builds its programs.
+[[nodiscard]] SourceProgram scale_to_processors(const SourceProgram& program,
+                                                int processors);
 
 /// Derives the traffic model from the IR.  Throws SemaError when the
 /// program is not structurally sound (same gate as compile()).

@@ -1,0 +1,328 @@
+#include "fxc/sema/safety.hpp"
+
+#include <string>
+#include <variant>
+
+#include "fxc/printer.hpp"
+#include "fxc/sema/phase_graph.hpp"
+
+namespace fxtraf::fxc {
+
+namespace {
+
+/// The contiguous interval a rank set spans ({0,0} when empty).  Phase
+/// participant sets come from half-open source ranges, so spans are the
+/// natural rendering for fix-it text.
+Interval to_interval(const RankSet& set) {
+  int lo = -1;
+  int hi = -1;
+  for (int r = 0; r < set.processors(); ++r) {
+    if (!set.contains(r)) continue;
+    if (lo < 0) lo = r;
+    hi = r;
+  }
+  if (lo < 0) return Interval{};
+  return Interval{static_cast<std::size_t>(lo),
+                  static_cast<std::size_t>(hi + 1)};
+}
+
+std::string range_text(Interval iv) {
+  return std::to_string(iv.lo) + ".." + std::to_string(iv.hi);
+}
+
+/// Phase graphs are only meaningful for programs the analysis layer
+/// accepts; a halo overflow (reported by its own lint) aborts the build.
+bool try_build(const SourceProgram& program, PhaseGraph& graph) {
+  try {
+    graph = build_phase_graph(program);
+    return true;
+  } catch (const std::exception&) {
+    return false;
+  }
+}
+
+std::vector<FixItEdit> replace_with(const Statement& statement, SrcPos pos) {
+  std::vector<FixItEdit> edits;
+  if (pos.known()) {
+    edits.push_back(FixItEdit{FixItEdit::Kind::kReplaceLine, pos.line,
+                              statement_source(statement)});
+  }
+  return edits;
+}
+
+// ---- fxc-collective-mismatch -----------------------------------------
+
+class CollectiveMismatchPass final : public SemaPass {
+ public:
+  [[nodiscard]] std::string_view name() const override {
+    return "collective-mismatch";
+  }
+  void run(const SourceProgram& program, DiagnosticSink& sink) const override {
+    PhaseGraph graph;
+    if (!try_build(program, graph)) return;
+    for (const PhaseNode& node : graph.nodes) {
+      const Statement& statement = program.body[node.statement];
+      if ((node.kind == PhaseKind::kReduce ||
+           node.kind == PhaseKind::kBroadcast) &&
+          node.root >= 0 && !node.executing.contains(node.root)) {
+        const bool is_reduce = node.kind == PhaseKind::kReduce;
+        Statement fixed = statement;
+        const Interval span = to_interval(node.executing);
+        if (auto* reduce = std::get_if<Reduction>(&fixed)) {
+          reduce->root = static_cast<int>(span.lo);
+        } else if (auto* bcast = std::get_if<BroadcastStmt>(&fixed)) {
+          bcast->root = static_cast<int>(span.lo);
+        }
+        sink.report(
+            Severity::kError, kRuleCollectiveMismatch,
+            std::string(is_reduce ? "reduce" : "broadcast") + " root " +
+                std::to_string(node.root) +
+                " is outside its participant ranks " +
+                node.executing.to_string() +
+                "; the participants block on a root that never enters the "
+                "collective (static deadlock)",
+            node.pos,
+            "move the root into the guard, e.g. root " +
+                std::to_string(span.lo),
+            replace_with(fixed, node.pos));
+      }
+      if (node.kind == PhaseKind::kHaloExchange) {
+        const auto* stencil = std::get_if<StencilAssign>(&statement);
+        if (stencil == nullptr || stencil->guard.length() == 0) continue;
+        const RankSet owners =
+            RankSet::range(graph.processors, node.owners_before);
+        if (owners.intersects(node.executing) &&
+            !owners.subset_of(node.executing)) {
+          StencilAssign fixed = *stencil;
+          fixed.guard = Interval{};
+          sink.report(
+              Severity::kError, kRuleCollectiveMismatch,
+              "stencil on '" + node.array + "' executes on ranks " +
+                  node.executing.to_string() + " but '" + node.array +
+                  "' is owned by " + owners.to_string() +
+                  "; the excluded owners never post their halo planes and "
+                  "the guarded ranks block waiting for them (static "
+                  "deadlock)",
+              node.pos, "drop the guard so every owner participates",
+              replace_with(Statement{fixed}, node.pos));
+        }
+      }
+    }
+  }
+};
+
+// ---- fxc-unmatched-sendrecv ------------------------------------------
+
+class UnmatchedSendRecvPass final : public SemaPass {
+ public:
+  [[nodiscard]] std::string_view name() const override {
+    return "unmatched-sendrecv";
+  }
+  void run(const SourceProgram& program, DiagnosticSink& sink) const override {
+    PhaseGraph graph;
+    if (!try_build(program, graph)) return;
+    for (std::size_t i = 0; i < graph.nodes.size(); ++i) {
+      const PhaseNode& node = graph.nodes[i];
+      if (node.kind != PhaseKind::kRecv) continue;
+      if (graph.match[i] == kNoMatch) {
+        std::vector<FixItEdit> edits;
+        if (node.pos.known()) {
+          edits.push_back(
+              FixItEdit{FixItEdit::Kind::kDeleteLine, node.pos.line, {}});
+        }
+        sink.report(Severity::kError, kRuleUnmatchedSendRecv,
+                    "recv of '" + node.array + "' from " +
+                        range_text(node.peer_range) +
+                        " has no matching send; the receiving ranks " +
+                        node.executing.to_string() +
+                        " block forever (static deadlock)",
+                    node.pos,
+                    "add the matching 'send " + node.array + " to " +
+                        range_text(to_interval(node.executing)) +
+                        "' or drop this recv",
+                    std::move(edits));
+        continue;
+      }
+      const PhaseNode& send = graph.nodes[graph.match[i]];
+      const RankSet claimed_sources =
+          RankSet::range(graph.processors, node.peer_range);
+      const RankSet dests =
+          RankSet::range(graph.processors, send.peer_range);
+      const bool sources_disagree =
+          !(send.executing.subset_of(claimed_sources) &&
+            claimed_sources.subset_of(send.executing));
+      const bool dests_disagree =
+          !(node.executing.subset_of(dests) &&
+            dests.subset_of(node.executing));
+      if (!sources_disagree && !dests_disagree) continue;
+      RecvStmt fixed;
+      fixed.array = node.array;
+      fixed.from = to_interval(send.executing);
+      fixed.guard = send.peer_range;
+      sink.report(
+          Severity::kError, kRuleUnmatchedSendRecv,
+          "recv of '" + node.array + "' expects sources " +
+              claimed_sources.to_string() + " on ranks " +
+              node.executing.to_string() + ", but the matching send ships "
+              "from " +
+              send.executing.to_string() + " to " + dests.to_string() +
+              "; the unpaired ranks block (static deadlock)",
+          node.pos,
+          "recv from " + range_text(to_interval(send.executing)) + " on " +
+              range_text(send.peer_range),
+          replace_with(Statement{fixed}, node.pos));
+    }
+  }
+};
+
+// ---- fxc-unsynced-overlap --------------------------------------------
+
+class UnsyncedOverlapPass final : public SemaPass {
+ public:
+  [[nodiscard]] std::string_view name() const override {
+    return "unsynced-overlap";
+  }
+  void run(const SourceProgram& program, DiagnosticSink& sink) const override {
+    PhaseGraph graph;
+    if (!try_build(program, graph)) return;
+    for (std::size_t i = 0; i < graph.nodes.size(); ++i) {
+      const PhaseNode& node = graph.nodes[i];
+      if (node.kind == PhaseKind::kHaloExchange) {
+        check_remote_read(program, graph, i, sink);
+      } else if (node.kind == PhaseKind::kReduce) {
+        check_stale_root(program, graph, i, sink);
+      }
+    }
+  }
+
+ private:
+  /// A guard placing a stencil entirely off the array's owners reads
+  /// remote data: unless an earlier transfer delivered the array to
+  /// those ranks, they compute on values no message ever carried.
+  static void check_remote_read(const SourceProgram& program,
+                                const PhaseGraph& graph, std::size_t i,
+                                DiagnosticSink& sink) {
+    const PhaseNode& node = graph.nodes[i];
+    const auto* stencil =
+        std::get_if<StencilAssign>(&program.body[node.statement]);
+    if (stencil == nullptr || stencil->guard.length() == 0) return;
+    const RankSet owners =
+        RankSet::range(graph.processors, node.owners_before);
+    if (owners.intersects(node.executing)) return;  // collective-mismatch
+    for (std::size_t j = 0; j < i; ++j) {
+      const PhaseNode& earlier = graph.nodes[j];
+      if (earlier.array != node.array) continue;
+      const bool delivers = earlier.kind == PhaseKind::kRecv ||
+                            earlier.kind == PhaseKind::kRedistribute ||
+                            earlier.kind == PhaseKind::kSequentialRead;
+      if (delivers && node.executing.subset_of(earlier.executing)) return;
+    }
+    StencilAssign fixed = *stencil;
+    fixed.guard = Interval{};
+    sink.report(
+        Severity::kError, kRuleUnsyncedOverlap,
+        "ranks " + node.executing.to_string() + " read '" + node.array +
+            "' owned by " + owners.to_string() +
+            " with no redistribute, recv, or read delivering it first "
+            "(remote access without synchronization)",
+        node.pos,
+        "run the stencil on the owning ranks or transfer '" + node.array +
+            "' to " + node.executing.to_string() + " first",
+        replace_with(Statement{fixed}, node.pos));
+  }
+
+  /// A reduction collects at one root; broadcasting the result from a
+  /// different root without moving it first publishes a stale value.
+  static void check_stale_root(const SourceProgram& program,
+                               const PhaseGraph& graph, std::size_t i,
+                               DiagnosticSink& sink) {
+    const PhaseNode& reduce = graph.nodes[i];
+    for (std::size_t j = i + 1; j < graph.nodes.size(); ++j) {
+      const PhaseNode& node = graph.nodes[j];
+      if (node.kind == PhaseKind::kBroadcast) {
+        if (node.root == reduce.root) return;
+        if (!node.executing.intersects(reduce.executing)) return;
+        Statement fixed = program.body[node.statement];
+        if (auto* bcast = std::get_if<BroadcastStmt>(&fixed)) {
+          bcast->root = reduce.root;
+        }
+        sink.report(
+            Severity::kError, kRuleUnsyncedOverlap,
+            "broadcast from rank " + std::to_string(node.root) +
+                " republishes the value the preceding reduce collected at "
+                "rank " +
+                std::to_string(reduce.root) +
+                " without an intervening transfer (stale read: the "
+                "broadcast ships data rank " +
+                std::to_string(node.root) + " never received)",
+            node.pos, "broadcast from root " + std::to_string(reduce.root),
+            replace_with(fixed, node.pos));
+        return;
+      }
+      // Any transfer that lands on the broadcast-to-be root re-syncs the
+      // value; conservatively, any data movement phase does.
+      if (node.kind != PhaseKind::kCompute) return;
+    }
+  }
+};
+
+// ---- fxc-unbounded-fragment-growth -----------------------------------
+
+class FragmentGrowthPass final : public SemaPass {
+ public:
+  [[nodiscard]] std::string_view name() const override {
+    return "fragment-growth";
+  }
+  void run(const SourceProgram& program, DiagnosticSink& sink) const override {
+    PhaseGraph graph;
+    if (!try_build(program, graph)) return;
+    for (std::size_t i = 0; i < graph.nodes.size(); ++i) {
+      const PhaseNode& node = graph.nodes[i];
+      if (node.kind != PhaseKind::kSend || graph.match[i] != kNoMatch) {
+        continue;
+      }
+      const bool iterated = program.iterations > 1;
+      RecvStmt matching;
+      matching.array = node.array;
+      matching.from = to_interval(node.executing);
+      matching.guard = node.peer_range;
+      std::vector<FixItEdit> edits;
+      if (node.pos.known()) {
+        edits.push_back(FixItEdit{FixItEdit::Kind::kInsertAfter,
+                                  node.pos.line,
+                                  statement_source(Statement{matching})});
+      }
+      std::string message =
+          "send of '" + node.array + "' to " + range_text(node.peer_range) +
+          " is never received";
+      if (iterated) {
+        message += "; PVM buffers every message, so all " +
+                   std::to_string(program.iterations) +
+                   " iterations append to the destinations' fragment "
+                   "lists without bound";
+      } else {
+        message += "; the payload sits in the destinations' fragment "
+                   "lists until teardown";
+      }
+      sink.report(iterated ? Severity::kError : Severity::kWarning,
+                  kRuleFragmentGrowth, message, node.pos,
+                  "add 'recv " + node.array + " from " +
+                      range_text(to_interval(node.executing)) + " on " +
+                      range_text(node.peer_range) + "'",
+                  std::move(edits));
+    }
+  }
+};
+
+}  // namespace
+
+std::vector<std::unique_ptr<SemaPass>> safety_passes() {
+  std::vector<std::unique_ptr<SemaPass>> passes;
+  passes.push_back(std::make_unique<CollectiveMismatchPass>());
+  passes.push_back(std::make_unique<UnmatchedSendRecvPass>());
+  passes.push_back(std::make_unique<UnsyncedOverlapPass>());
+  passes.push_back(std::make_unique<FragmentGrowthPass>());
+  return passes;
+}
+
+}  // namespace fxtraf::fxc

@@ -1,0 +1,36 @@
+// Communication-safety checkers over the phase graph.
+//
+// Each pass rebuilds the graph (cheap: body sizes are tiny) and reports
+// through the structured-diagnostics framework:
+//
+//   fxc-collective-mismatch       a collective whose root is outside its
+//                                 participant set, or a halo exchange
+//                                 whose guard drops owners — the absent
+//                                 ranks never enter the collective and
+//                                 the present ones block (static
+//                                 deadlock)
+//   fxc-unmatched-sendrecv        a recv no send feeds, or a matched
+//                                 send/recv pair whose rank ranges
+//                                 disagree
+//   fxc-unsynced-overlap          a phase reading distributed data its
+//                                 ranks do not own without a transfer
+//                                 delivering it, and collective chains
+//                                 whose data lands on one root but is
+//                                 re-broadcast from another
+//   fxc-unbounded-fragment-growth a send no recv ever consumes: PVM
+//                                 buffers it as a fragment list that
+//                                 grows every iteration
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "fxc/sema/passes.hpp"
+
+namespace fxtraf::fxc {
+
+/// The four checker passes, freshly constructed (sema_passes() splices
+/// them after the lint rules).
+[[nodiscard]] std::vector<std::unique_ptr<SemaPass>> safety_passes();
+
+}  // namespace fxtraf::fxc

@@ -1,0 +1,880 @@
+#include "fxc/sema/symbolic.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+#include <variant>
+
+#include "fxc/sema/passes.hpp"
+
+namespace fxtraf::fxc {
+
+// ---------------------------------------------------------------- SymPoly
+
+SymPoly::SymPoly(double constant) {
+  if (constant != 0.0) terms_.push_back({constant, 0, 0, 0});
+}
+
+SymPoly SymPoly::term(double coeff, int n_pow, int p_pow, int logp_pow) {
+  SymPoly poly;
+  if (coeff != 0.0) poly.terms_.push_back({coeff, n_pow, p_pow, logp_pow});
+  return poly;
+}
+
+void SymPoly::normalize() {
+  std::stable_sort(terms_.begin(), terms_.end(),
+                   [](const SymTerm& a, const SymTerm& b) {
+                     if (a.n_pow != b.n_pow) return a.n_pow > b.n_pow;
+                     if (a.p_pow != b.p_pow) return a.p_pow > b.p_pow;
+                     return a.logp_pow > b.logp_pow;
+                   });
+  std::vector<SymTerm> merged;
+  for (const SymTerm& t : terms_) {
+    if (!merged.empty() && merged.back().n_pow == t.n_pow &&
+        merged.back().p_pow == t.p_pow &&
+        merged.back().logp_pow == t.logp_pow) {
+      merged.back().coeff += t.coeff;
+    } else {
+      merged.push_back(t);
+    }
+  }
+  merged.erase(std::remove_if(merged.begin(), merged.end(),
+                              [](const SymTerm& t) {
+                                return std::abs(t.coeff) < 1e-300;
+                              }),
+               merged.end());
+  terms_ = std::move(merged);
+}
+
+SymPoly& SymPoly::operator+=(const SymPoly& other) {
+  terms_.insert(terms_.end(), other.terms_.begin(), other.terms_.end());
+  normalize();
+  return *this;
+}
+
+SymPoly& SymPoly::operator-=(const SymPoly& other) {
+  for (const SymTerm& t : other.terms_) {
+    terms_.push_back({-t.coeff, t.n_pow, t.p_pow, t.logp_pow});
+  }
+  normalize();
+  return *this;
+}
+
+SymPoly operator*(const SymPoly& a, const SymPoly& b) {
+  SymPoly out;
+  for (const SymTerm& x : a.terms_) {
+    for (const SymTerm& y : b.terms_) {
+      out.terms_.push_back({x.coeff * y.coeff, x.n_pow + y.n_pow,
+                            x.p_pow + y.p_pow, x.logp_pow + y.logp_pow});
+    }
+  }
+  out.normalize();
+  return out;
+}
+
+SymPoly SymPoly::scaled(double factor) const {
+  SymPoly out = *this;
+  for (SymTerm& t : out.terms_) t.coeff *= factor;
+  out.normalize();
+  return out;
+}
+
+SymPoly SymPoly::divided_by(const SymPoly& mono) const {
+  if (mono.terms_.size() != 1) {
+    throw std::invalid_argument("SymPoly::divided_by: not a monomial");
+  }
+  const SymTerm& d = mono.terms_.front();
+  SymPoly out = *this;
+  for (SymTerm& t : out.terms_) {
+    t.coeff /= d.coeff;
+    t.n_pow -= d.n_pow;
+    t.p_pow -= d.p_pow;
+    t.logp_pow -= d.logp_pow;
+  }
+  out.normalize();
+  return out;
+}
+
+double SymPoly::eval(double n, double p) const {
+  double sum = 0.0;
+  const double lp = p > 0.0 ? std::log2(p) : 0.0;
+  for (const SymTerm& t : terms_) {
+    double v = t.coeff;
+    if (t.n_pow != 0) v *= std::pow(n, t.n_pow);
+    if (t.p_pow != 0) v *= std::pow(p, t.p_pow);
+    if (t.logp_pow != 0) v *= std::pow(lp, t.logp_pow);
+    sum += v;
+  }
+  return sum;
+}
+
+bool SymPoly::near(const SymPoly& other, double rel_tol) const {
+  if (terms_.size() != other.terms_.size()) return false;
+  for (std::size_t i = 0; i < terms_.size(); ++i) {
+    const SymTerm& a = terms_[i];
+    const SymTerm& b = other.terms_[i];
+    if (a.n_pow != b.n_pow || a.p_pow != b.p_pow ||
+        a.logp_pow != b.logp_pow) {
+      return false;
+    }
+    const double big = std::max(std::abs(a.coeff), std::abs(b.coeff));
+    if (std::abs(a.coeff - b.coeff) > rel_tol * std::max(big, 1e-12)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+namespace {
+
+std::string format_coeff(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.6g", v);
+  return buf;
+}
+
+void append_factor(std::string& out, const char* symbol, int power) {
+  if (power == 0) return;
+  out += ' ';
+  out += symbol;
+  if (power != 1) {
+    out += '^';
+    out += std::to_string(power);
+  }
+}
+
+}  // namespace
+
+std::string SymPoly::to_string() const {
+  if (terms_.empty()) return "0";
+  std::string out;
+  for (std::size_t i = 0; i < terms_.size(); ++i) {
+    const SymTerm& t = terms_[i];
+    if (i > 0) out += t.coeff < 0.0 ? " - " : " + ";
+    out += format_coeff(i > 0 ? std::abs(t.coeff) : t.coeff);
+    append_factor(out, "N", t.n_pow);
+    append_factor(out, "P", t.p_pow);
+    append_factor(out, "lgP", t.logp_pow);
+  }
+  return out;
+}
+
+// ------------------------------------------------------- model building
+
+namespace {
+
+/// Facts read off the reference-binding communication matrix.
+struct MatrixFacts {
+  int messages = 0;
+  int steps = 0;  ///< distinct shift values (schedule steps)
+  std::size_t total = 0;
+  std::size_t max_pair = 0;
+  bool inplace = false;        ///< sender set == receiver set
+  bool disjoint = false;       ///< no rank both sends and receives
+  int max_step_senders = 0;    ///< largest per-step sender count
+};
+
+MatrixFacts matrix_facts(const CommMatrix& matrix) {
+  MatrixFacts facts;
+  const int p = matrix.processors();
+  std::vector<bool> shift_used(static_cast<std::size_t>(p), false);
+  std::vector<std::set<int>> step_senders(static_cast<std::size_t>(p));
+  std::set<int> senders;
+  std::set<int> receivers;
+  for (int s = 0; s < p; ++s) {
+    for (int d = 0; d < p; ++d) {
+      const std::size_t bytes = matrix.at(s, d);
+      if (s == d || bytes == 0) continue;
+      ++facts.messages;
+      facts.total += bytes;
+      facts.max_pair = std::max(facts.max_pair, bytes);
+      const auto shift = static_cast<std::size_t>((d - s + p) % p);
+      shift_used[shift] = true;
+      step_senders[shift].insert(s);
+      senders.insert(s);
+      receivers.insert(d);
+    }
+  }
+  for (bool used : shift_used) facts.steps += used;
+  facts.inplace = !senders.empty() && senders == receivers;
+  facts.disjoint = !senders.empty();
+  for (int s : senders) {
+    if (receivers.count(s) != 0) {
+      facts.disjoint = false;
+      break;
+    }
+  }
+  for (const std::set<int>& step : step_senders) {
+    facts.max_step_senders =
+        std::max(facts.max_step_senders, static_cast<int>(step.size()));
+  }
+  return facts;
+}
+
+/// The extent equal to the N binding becomes the symbol N; everything
+/// else stays a literal coefficient.
+SymPoly extent_poly(std::size_t extent, std::size_t n_binding) {
+  if (n_binding > 0 && extent == n_binding) return SymPoly::n();
+  return SymPoly(static_cast<double>(extent));
+}
+
+SymPoly elements_poly(const ArrayDecl& decl, std::size_t n_binding) {
+  SymPoly out(1.0);
+  for (std::size_t e : decl.extents) out = out * extent_poly(e, n_binding);
+  return out;
+}
+
+/// k(P) = (k_ref / P_ref) * P: processor subsets keep their fraction of
+/// the machine as the program is rescaled (exactly what
+/// scale_to_processors does to the intervals).
+SymPoly ranks_poly(std::size_t k_ref, int p_ref) {
+  return SymPoly::term(
+      static_cast<double>(k_ref) / static_cast<double>(p_ref), 0, 1);
+}
+
+/// Rescales `basis` so it reproduces `ref` exactly at the reference
+/// binding, absorbing ceil() and boundary effects into the coefficient.
+SymPoly calibrate(const SymPoly& basis, double ref, double n_ref,
+                  double p_ref) {
+  if (ref == 0.0) return SymPoly();
+  const double at_ref = basis.eval(n_ref, p_ref);
+  if (std::abs(at_ref) < 1e-12) return SymPoly(ref);
+  return basis.scaled(ref / at_ref);
+}
+
+struct PhaseEval {
+  double duration = 0.0;
+  double busy = 0.0;  ///< compute + io (what "local" accumulates)
+  double comm = 0.0;
+  double wire = 0.0;
+  double capture = 0.0;
+  double payload = 0.0;
+  double max_pair = 0.0;
+  double messages = 0.0;
+};
+
+/// Exact-arithmetic pricing of one phase at a concrete (n, p): the same
+/// segmentation, delayed-ACK, and per-step efficiency rules the numeric
+/// predictor applies to the concrete matrix.
+PhaseEval eval_phase(const SymbolicPhase& phase, double n, double p,
+                     const PredictorConfig& config) {
+  PhaseEval out;
+  const double rate = config.wire_bytes_per_s;
+
+  if (phase.io_paced) {
+    const auto rows =
+        static_cast<std::size_t>(std::max<long>(1, std::lround(
+            phase.rows.eval(n, p))));
+    const auto per_row =
+        static_cast<std::size_t>(std::max<long>(0, std::lround(
+            phase.per_row_elements.eval(n, p))));
+    const auto dests =
+        static_cast<std::size_t>(std::max<long>(0, std::lround(
+            phase.io_destinations.eval(n, p))));
+    const std::size_t frame = phase.element_bytes +
+                              config.message_header_bytes +
+                              config.frame_overhead_bytes;
+    const std::size_t row_segments = per_row * dests;
+    const std::size_t row_acks =
+        dests *
+        ((per_row + static_cast<std::size_t>(config.ack_every_segments) - 1) /
+         static_cast<std::size_t>(config.ack_every_segments));
+    const std::size_t row_wire =
+        row_segments * (frame + config.frame_gap_bytes) +
+        row_acks * config.ack_wire_bytes;
+    const std::size_t row_capture =
+        row_segments * frame + row_acks * config.ack_capture_bytes;
+    const double row_comm = static_cast<double>(row_wire) /
+                            (rate * config.single_stream_efficiency);
+    const double row_io =
+        phase.row_io_seconds +
+        static_cast<double>(row_segments) * config.send_overhead_seconds;
+    const double r = static_cast<double>(rows);
+    out.duration = r * std::max(row_io, row_comm);
+    out.busy = r * row_io;
+    out.comm = r * row_comm;
+    out.wire = r * static_cast<double>(row_wire);
+    out.capture = r * static_cast<double>(row_capture);
+    out.payload = r * static_cast<double>(row_segments) *
+                  static_cast<double>(phase.element_bytes);
+    out.max_pair = phase.max_pair_bytes.eval(n, p);
+    out.messages = r * static_cast<double>(row_segments);
+    return out;
+  }
+
+  const double compute = phase.compute_seconds.eval(n, p);
+  out.busy = compute;
+  out.duration = compute;
+
+  const double messages_raw = phase.messages.eval(n, p);
+  const double bytes_raw = phase.message_bytes.eval(n, p);
+  if (messages_raw < 0.5 || bytes_raw < 0.5) return out;
+  const double m = std::max(1.0, std::round(messages_raw));
+  const double s =
+      std::max(1.0, std::round(phase.steps.eval(n, p)));
+  const MessageWireCost cost = priced_message(
+      static_cast<std::size_t>(std::lround(bytes_raw)), config);
+
+  double singles = 0.0;
+  switch (phase.rule) {
+    case StepRule::kUniform:
+      singles = (m / s) > 1.5 ? 0.0 : m;
+      break;
+    case StepRule::kPartition:
+      singles = phase.min_split.eval(n, p) >= 1.5 ? std::min(2.0, m) : m;
+      break;
+    case StepRule::kTree:
+      singles = 1.0;
+      break;
+  }
+  singles = std::min(singles, m);
+  const double multi = m - singles;
+
+  out.wire = m * static_cast<double>(cost.wire);
+  out.capture = m * static_cast<double>(cost.capture);
+
+  // Same concurrency refinements as the numeric priced_exchange: the
+  // two-rank swap runs at the pair-exchange efficiency, and past the
+  // contention-free stream count multi-sender throughput degrades while
+  // retransmissions inflate the capture.
+  const bool pair = phase.inplace_exchange && m == 2.0 &&
+                    std::lround(phase.participants.eval(n, p)) == 2;
+  if (pair) {
+    out.comm = out.wire / (rate * config.pair_exchange_efficiency) +
+               s * config.per_message_seconds +
+               m * config.send_overhead_seconds;
+  } else {
+    const double streams =
+        std::max(1.0, std::round(phase.contention_streams.eval(n, p)));
+    const double contention = std::clamp(
+        1.0 - config.contention_per_stream *
+                  (streams - config.contention_free_streams),
+        config.contention_floor, 1.0);
+    out.comm = multi * static_cast<double>(cost.wire) /
+                   (rate * config.medium_efficiency * contention) +
+               singles * static_cast<double>(cost.wire) /
+                   (rate * config.single_stream_efficiency) +
+               s * config.per_message_seconds +
+               m * config.send_overhead_seconds;
+    if (multi > 0.0) out.capture /= contention;
+  }
+  out.payload = m * bytes_raw;
+  out.max_pair = phase.max_pair_bytes.eval(n, p);
+  out.messages = m;
+  out.duration += out.comm;
+  return out;
+}
+
+/// Smooth (branch-free) wire bytes per payload byte: segmentation and
+/// delayed ACKs averaged out, so the closed-form polynomials stay
+/// polynomials.
+double wire_expansion(const PredictorConfig& config) {
+  const double mss = static_cast<double>(config.mss);
+  return 1.0 +
+         static_cast<double>(config.frame_overhead_bytes +
+                             config.frame_gap_bytes) /
+             mss +
+         static_cast<double>(config.ack_wire_bytes) /
+             (mss * static_cast<double>(config.ack_every_segments));
+}
+
+/// Smooth closed-form duration of a phase (used for the published l/b/c
+/// polynomials; the efficiency branch is frozen at the reference
+/// binding).
+SymPoly smooth_duration(const SymbolicPhase& phase, double n_ref,
+                        double p_ref, const PredictorConfig& config) {
+  const double rate = config.wire_bytes_per_s;
+  if (phase.io_paced) {
+    // Row slot = max(io, comm); freeze the max at the reference binding.
+    const SymPoly segments = phase.per_row_elements * phase.io_destinations;
+    const double frame =
+        static_cast<double>(phase.element_bytes +
+                            config.message_header_bytes +
+                            config.frame_overhead_bytes);
+    SymPoly row_comm =
+        (segments.scaled(frame +
+                         static_cast<double>(config.frame_gap_bytes)) +
+         (phase.io_destinations * phase.per_row_elements)
+             .scaled(static_cast<double>(config.ack_wire_bytes) /
+                     static_cast<double>(config.ack_every_segments)))
+            .scaled(1.0 / (rate * config.single_stream_efficiency));
+    SymPoly row_io =
+        SymPoly(phase.row_io_seconds) +
+        segments.scaled(config.send_overhead_seconds);
+    const bool io_bound =
+        row_io.eval(n_ref, p_ref) >= row_comm.eval(n_ref, p_ref);
+    return phase.rows * (io_bound ? row_io : row_comm);
+  }
+
+  SymPoly duration = phase.compute_seconds;
+  if (phase.messages.is_zero() || phase.message_bytes.is_zero()) {
+    return duration;
+  }
+  const PhaseEval ref = eval_phase(phase, n_ref, p_ref, config);
+  const bool mostly_multi =
+      ref.messages > 0.0 && ref.comm > 0.0 &&
+      ref.wire / (rate * config.medium_efficiency) <= ref.comm;
+  const double eff = mostly_multi ? config.medium_efficiency
+                                  : config.single_stream_efficiency;
+  const SymPoly stream =
+      phase.messages * phase.message_bytes +
+      phase.messages.scaled(
+          static_cast<double>(config.message_header_bytes));
+  SymPoly comm = stream.scaled(wire_expansion(config) / (rate * eff));
+  // First-order expansion of the contention slowdown (1/contention ~=
+  // 1 + per_stream * (streams - free)), included only when the
+  // reference binding already sits at the knee so the polynomial stays
+  // exact there and bends upward with P like evaluate() does.
+  if (mostly_multi && !phase.contention_streams.is_zero() &&
+      phase.contention_streams.eval(n_ref, p_ref) >=
+          config.contention_free_streams - 0.5) {
+    const SymPoly slowdown =
+        SymPoly(1.0 - config.contention_per_stream *
+                          config.contention_free_streams) +
+        phase.contention_streams.scaled(config.contention_per_stream);
+    comm = comm * slowdown;
+  }
+  duration += comm;
+  duration += phase.steps.scaled(config.per_message_seconds);
+  duration += phase.messages.scaled(config.send_overhead_seconds);
+  return duration;
+}
+
+/// Can the body be split into `m` equal groups that repeat the same
+/// communication structure?  Mirrors detect_period's tolerance: kinds
+/// and traffic polynomials must agree exactly, group durations at the
+/// reference binding within 2.5% of the span.
+int structural_divisor(const std::vector<SymbolicPhase>& phases, double n_ref,
+                       double p_ref, const PredictorConfig& config) {
+  const std::size_t count = phases.size();
+  if (count < 2) return 1;
+
+  std::vector<double> durations(count);
+  std::vector<bool> communicates(count);
+  double span = 0.0;
+  for (std::size_t i = 0; i < count; ++i) {
+    const PhaseEval e = eval_phase(phases[i], n_ref, p_ref, config);
+    durations[i] = e.duration;
+    communicates[i] = e.wire > 0.0;
+    span += e.duration;
+  }
+  if (span <= 0.0) return 1;
+  const double tol = std::max(span * 0.025, 1e-4);
+
+  for (std::size_t m = count; m >= 2; --m) {
+    if (count % m != 0) continue;
+    const std::size_t group = count / m;
+    bool ok = true;
+    for (std::size_t i = 0; i < group && ok; ++i) {
+      const SymbolicPhase& first = phases[i];
+      for (std::size_t q = 1; q < m && ok; ++q) {
+        const SymbolicPhase& other = phases[q * group + i];
+        ok = other.kind == first.kind &&
+             other.messages.near(first.messages) &&
+             other.message_bytes.near(first.message_bytes) &&
+             other.payload_bytes.near(first.payload_bytes);
+      }
+    }
+    if (!ok) continue;
+    bool has_comm = false;
+    for (std::size_t i = 0; i < group; ++i) has_comm |= communicates[i];
+    if (!has_comm) continue;
+    for (std::size_t q = 0; q < m && ok; ++q) {
+      double group_duration = 0.0;
+      for (std::size_t i = 0; i < group; ++i) {
+        group_duration += durations[q * group + i];
+      }
+      ok = std::abs(group_duration - span / static_cast<double>(m)) <= tol;
+    }
+    if (ok) return static_cast<int>(m);
+  }
+  return 1;
+}
+
+}  // namespace
+
+// -------------------------------------------------------------- engine
+
+SymbolicTraffic analyze_symbolic(const SourceProgram& program,
+                                 const PredictorConfig& config) {
+  DiagnosticSink sink;
+  if (!run_sema(program, sink)) {
+    throw SemaError(sink.diagnostics());
+  }
+
+  SymbolicTraffic model;
+  model.program = program.name;
+  model.ref_processors = program.processors;
+  model.iterations = program.iterations;
+  model.config = config;
+  for (const auto& [id, decl] : program.arrays) {
+    for (std::size_t e : decl.extents) {
+      model.n_binding = std::max(model.n_binding, e);
+    }
+  }
+
+  const double n_ref = static_cast<double>(model.n_binding);
+  const double p_ref = static_cast<double>(program.processors);
+  const double flop_rate = config.mflops * 1e6;
+
+  // Concurrency facts for the contention model: every message streams
+  // at once when the sender and receiver sets are disjoint, one stream
+  // per sender when receives gate the cyclic schedule.  Call after the
+  // phase's message polynomial is set.
+  auto set_contention = [&](SymbolicPhase& ph, const MatrixFacts& f,
+                            const SymPoly& ranks) {
+    ph.inplace_exchange = f.inplace;
+    ph.participants = ranks;
+    ph.contention_streams =
+        f.disjoint
+            ? ph.messages
+            : calibrate(ranks, static_cast<double>(f.max_step_senders),
+                        n_ref, p_ref);
+  };
+
+  SourceProgram state = program;
+  for (std::size_t i = 0; i < program.body.size(); ++i) {
+    const Statement& statement = program.body[i];
+    const PhaseAnalysis analysis = analyze(state, statement);
+    const MatrixFacts facts = matrix_facts(analysis.matrix);
+
+    SymbolicPhase phase;
+    phase.statement = i;
+    phase.shape = analysis.shape;
+
+    if (const auto* stencil = std::get_if<StencilAssign>(&statement)) {
+      const ArrayDecl& decl = state.array(stencil->array);
+      phase.kind = facts.messages > 0 ? PhaseKind::kHaloExchange
+                                      : PhaseKind::kCompute;
+      phase.array = stencil->array;
+      Interval owners = decl.processors;
+      if (stencil->guard.length() > 0) {
+        owners = intersect(owners, stencil->guard);
+      }
+      const SymPoly k = ranks_poly(owners.length(), program.processors);
+      // Work shrinks as 1/P; the halo plane does not shrink at all.
+      phase.compute_seconds =
+          calibrate(elements_poly(decl, model.n_binding).divided_by(k),
+                    analysis.flops_per_processor, n_ref, p_ref)
+              .scaled(1.0 / flop_rate);
+      if (facts.messages > 0) {
+        const int bdim = decl.distribution.block_dim();
+        SymPoly plane = elements_poly(decl, model.n_binding);
+        if (bdim >= 0) {
+          plane = plane.divided_by(
+              extent_poly(decl.extents[static_cast<std::size_t>(bdim)],
+                          model.n_binding));
+        }
+        phase.messages =
+            calibrate(k - SymPoly(1.0), facts.messages, n_ref, p_ref);
+        phase.steps = SymPoly(static_cast<double>(facts.steps));
+        phase.message_bytes = calibrate(
+            plane,
+            static_cast<double>(facts.total) /
+                static_cast<double>(facts.messages),
+            n_ref, p_ref);
+        phase.max_pair_bytes = calibrate(
+            plane, static_cast<double>(facts.max_pair), n_ref, p_ref);
+        set_contention(phase, facts, k);
+      }
+    } else if (const auto* redist = std::get_if<Redistribute>(&statement)) {
+      const ArrayDecl& decl = state.array(redist->array);
+      phase.kind = PhaseKind::kRedistribute;
+      phase.array = redist->array;
+      const Interval src = decl.processors;
+      const Interval dst = redist->to_processors;
+      const std::size_t k1_ref = src.length();
+      const std::size_t k2_ref = dst.length();
+      const SymPoly k1 = ranks_poly(k1_ref, program.processors);
+      const SymPoly k2 = ranks_poly(k2_ref, program.processors);
+      const SymPoly total =
+          elements_poly(decl, model.n_binding)
+              .scaled(static_cast<double>(elem_bytes(decl.type)));
+
+      if (facts.messages > 0) {
+        const bool disjoint = intersect(src, dst).length() == 0;
+        if (src.lo == dst.lo && src.hi == dst.hi &&
+            facts.messages ==
+                static_cast<int>(k1_ref * (k1_ref - 1))) {
+          // In-place transpose: all pairs exchange T/k^2 tiles over a
+          // full shift rotation.
+          phase.messages = calibrate(k1 * k1 - k1,
+                                     facts.messages, n_ref, p_ref);
+          phase.steps = calibrate(k1 - SymPoly(1.0),
+                                  facts.steps, n_ref, p_ref);
+          phase.message_bytes = total.divided_by(k1 * k1);
+        } else if (disjoint &&
+                   facts.messages == static_cast<int>(k1_ref * k2_ref)) {
+          // Repartition onto a disjoint processor set: k1*k2 messages in
+          // a ramp of k1+k2-1 steps; the two end steps are single-sender
+          // once min(k1, k2) >= 2.
+          phase.messages = k1 * k2;
+          phase.steps = k1 + k2 - SymPoly(1.0);
+          phase.message_bytes = total.divided_by(k1 * k2);
+          phase.rule = StepRule::kPartition;
+          phase.min_split = k1_ref <= k2_ref ? k1 : k2;
+        } else if (facts.messages == static_cast<int>(k1_ref)) {
+          // Pure shift: each source rank ships its block to one peer.
+          phase.messages = k1;
+          phase.steps = SymPoly(static_cast<double>(facts.steps));
+          phase.message_bytes = total.divided_by(k1);
+        } else {
+          // Irregular overlap: scale message count with the sender set.
+          phase.messages = calibrate(k1, facts.messages, n_ref, p_ref);
+          phase.steps = SymPoly(static_cast<double>(facts.steps));
+          phase.message_bytes = calibrate(
+              total.divided_by(k1),
+              static_cast<double>(facts.total) /
+                  static_cast<double>(facts.messages),
+              n_ref, p_ref);
+        }
+        phase.message_bytes = calibrate(
+            phase.message_bytes,
+            static_cast<double>(facts.total) /
+                static_cast<double>(facts.messages),
+            n_ref, p_ref);
+        phase.max_pair_bytes =
+            calibrate(phase.message_bytes,
+                      static_cast<double>(facts.max_pair), n_ref, p_ref);
+        set_contention(phase, facts, k1);
+      }
+    } else if (const auto* read = std::get_if<SequentialRead>(&statement)) {
+      const ArrayDecl& decl = state.array(read->array);
+      phase.kind = PhaseKind::kSequentialRead;
+      phase.array = read->array;
+      phase.io_paced = true;
+      phase.rows = extent_poly(decl.extents.front(), model.n_binding);
+      phase.per_row_elements =
+          elements_poly(decl, model.n_binding).divided_by(phase.rows);
+      std::size_t dests_ref = 0;
+      for (std::size_t q = decl.processors.lo; q < decl.processors.hi;
+           ++q) {
+        dests_ref += (q != 0);
+      }
+      const SymPoly k =
+          ranks_poly(decl.processors.length(), program.processors);
+      phase.io_destinations =
+          k - SymPoly(static_cast<double>(decl.processors.length() -
+                                          dests_ref));
+      phase.row_io_seconds = read->io_time_per_row.seconds();
+      phase.element_bytes = read->element_message_bytes;
+      phase.max_pair_bytes =
+          elements_poly(decl, model.n_binding)
+              .scaled(static_cast<double>(read->element_message_bytes));
+      phase.messages =
+          phase.rows * phase.per_row_elements * phase.io_destinations;
+      phase.message_bytes =
+          SymPoly(static_cast<double>(read->element_message_bytes));
+    } else if (const auto* reduce = std::get_if<Reduction>(&statement)) {
+      phase.kind = PhaseKind::kReduce;
+      phase.rule = StepRule::kTree;
+      phase.compute_seconds = SymPoly(reduce->flops / flop_rate);
+      const Interval guard =
+          reduce->guard.length() > 0
+              ? reduce->guard
+              : Interval{0, static_cast<std::size_t>(program.processors)};
+      const std::size_t k_ref = guard.length();
+      const SymPoly k = ranks_poly(k_ref, program.processors);
+      if (facts.messages > 0) {
+        const double alpha = static_cast<double>(k_ref) / p_ref;
+        phase.messages =
+            calibrate(k - SymPoly(1.0), facts.messages, n_ref, p_ref);
+        phase.steps =
+            calibrate(SymPoly::term(1.0, 0, 0, 1) +
+                          SymPoly(std::log2(std::max(alpha, 1e-12))),
+                      facts.steps, n_ref, p_ref);
+        phase.message_bytes =
+            SymPoly(static_cast<double>(reduce->vector_bytes));
+        phase.max_pair_bytes = phase.message_bytes;
+        set_contention(phase, facts, k);
+      }
+    } else if (const auto* bcast = std::get_if<BroadcastStmt>(&statement)) {
+      phase.kind = PhaseKind::kBroadcast;
+      const Interval guard =
+          bcast->guard.length() > 0
+              ? bcast->guard
+              : Interval{0, static_cast<std::size_t>(program.processors)};
+      const SymPoly k = ranks_poly(guard.length(), program.processors);
+      if (facts.messages > 0) {
+        // One message per destination, each its own single-sender step.
+        phase.messages =
+            k - SymPoly(static_cast<double>(guard.length()) -
+                        static_cast<double>(facts.messages));
+        phase.steps = phase.messages;
+        phase.message_bytes = SymPoly(static_cast<double>(bcast->bytes));
+        phase.max_pair_bytes = phase.message_bytes;
+        set_contention(phase, facts, k);
+      }
+    } else if (const auto* work = std::get_if<LocalWork>(&statement)) {
+      phase.kind = PhaseKind::kCompute;
+      phase.compute_seconds = SymPoly(work->flops / flop_rate);
+    } else if (const auto* send = std::get_if<SendStmt>(&statement)) {
+      const ArrayDecl& decl = state.array(send->array);
+      phase.kind = PhaseKind::kSend;
+      phase.array = send->array;
+      Interval src = decl.processors;
+      if (send->guard.length() > 0) src = intersect(src, send->guard);
+      const Interval dst = send->to;
+      const std::size_t k1_ref = src.length();
+      const std::size_t k2_ref = dst.length();
+      if (facts.messages > 0 && k1_ref > 0 && k2_ref > 0) {
+        const SymPoly k1 = ranks_poly(k1_ref, program.processors);
+        const SymPoly k2 = ranks_poly(k2_ref, program.processors);
+        const SymPoly shipped = calibrate(
+            elements_poly(decl, model.n_binding)
+                .scaled(static_cast<double>(elem_bytes(decl.type))),
+            static_cast<double>(facts.total), n_ref, p_ref);
+        if (facts.messages == static_cast<int>(k1_ref) &&
+            facts.steps == 1) {
+          phase.messages = k1;
+          phase.steps = SymPoly(1.0);
+          phase.message_bytes = shipped.divided_by(k1);
+        } else if (facts.messages == static_cast<int>(k1_ref * k2_ref)) {
+          phase.messages = k1 * k2;
+          phase.steps = k1 + k2 - SymPoly(1.0);
+          phase.message_bytes = shipped.divided_by(k1 * k2);
+          phase.rule = StepRule::kPartition;
+          phase.min_split = k1_ref <= k2_ref ? k1 : k2;
+        } else {
+          phase.messages = calibrate(k1, facts.messages, n_ref, p_ref);
+          phase.steps = SymPoly(static_cast<double>(facts.steps));
+          phase.message_bytes = calibrate(
+              shipped.divided_by(k1),
+              static_cast<double>(facts.total) /
+                  static_cast<double>(facts.messages),
+              n_ref, p_ref);
+        }
+        phase.max_pair_bytes =
+            calibrate(phase.message_bytes,
+                      static_cast<double>(facts.max_pair), n_ref, p_ref);
+        set_contention(phase, facts, k1);
+      }
+    } else if (std::get_if<RecvStmt>(&statement) != nullptr) {
+      phase.kind = PhaseKind::kRecv;  // traffic priced at the send
+    } else if (std::get_if<SyncStmt>(&statement) != nullptr) {
+      phase.kind = PhaseKind::kSync;  // control traffic only
+    }
+
+    phase.payload_bytes = phase.io_paced
+                              ? phase.messages.scaled(static_cast<double>(
+                                    phase.element_bytes))
+                              : phase.messages * phase.message_bytes;
+    model.phases.push_back(std::move(phase));
+
+    if (const auto* redist = std::get_if<Redistribute>(&statement)) {
+      ArrayDecl& decl = state.array(redist->array);
+      decl.distribution = redist->to;
+      decl.processors = redist->to_processors;
+    }
+  }
+
+  // Structural period and SEQ row pacing.
+  model.period_divisor =
+      structural_divisor(model.phases, n_ref, p_ref, config);
+  for (const SymbolicPhase& phase : model.phases) {
+    model.io_paced |= phase.io_paced;
+  }
+
+  // Closed forms: Σ over phases, folded down to one period.
+  SymPoly iteration_poly;
+  SymPoly busy_poly;
+  SymPoly rows_poly(1.0);
+  double dominant_wire = -1.0;
+  double burst_ref = -1.0;
+  for (const SymbolicPhase& phase : model.phases) {
+    model.bytes_per_iteration += phase.payload_bytes;
+    iteration_poly += smooth_duration(phase, n_ref, p_ref, config);
+    busy_poly += phase.compute_seconds;
+    if (phase.io_paced) {
+      busy_poly += phase.rows.scaled(phase.row_io_seconds) +
+                   (phase.rows * phase.per_row_elements *
+                    phase.io_destinations)
+                       .scaled(config.send_overhead_seconds);
+      rows_poly = phase.rows;
+    }
+    const PhaseEval e = eval_phase(phase, n_ref, p_ref, config);
+    if (e.wire > dominant_wire && e.wire > 0.0) {
+      dominant_wire = e.wire;
+      model.dominant_shape = phase.shape;
+    }
+    if (e.max_pair > burst_ref) {
+      burst_ref = e.max_pair;
+      model.burst_poly = phase.max_pair_bytes;
+    }
+  }
+  if (model.io_paced) {
+    model.period_poly = iteration_poly.divided_by(rows_poly);
+    model.local_poly = busy_poly.divided_by(rows_poly);
+  } else {
+    const double inv_m = 1.0 / static_cast<double>(model.period_divisor);
+    model.period_poly = iteration_poly.scaled(inv_m);
+    model.local_poly = busy_poly.scaled(inv_m);
+  }
+  return model;
+}
+
+TrafficEnvelope SymbolicTraffic::evaluate(int processors) const {
+  return evaluate(static_cast<double>(n_binding), processors);
+}
+
+TrafficEnvelope SymbolicTraffic::evaluate(double n, int processors) const {
+  const double p = static_cast<double>(processors);
+  TrafficEnvelope env;
+  double rows = 0.0;
+  double busy = 0.0;
+  double capture = 0.0;
+  for (const SymbolicPhase& phase : phases) {
+    const PhaseEval e = eval_phase(phase, n, p, config);
+    env.iteration_seconds += e.duration;
+    busy += e.busy;
+    capture += e.capture;
+    env.bytes_per_iteration += e.payload;
+    env.burst_bytes = std::max(env.burst_bytes, e.max_pair);
+    if (phase.io_paced) rows = std::max(1.0, phase.rows.eval(n, p));
+  }
+  const double divisor =
+      io_paced && rows > 0.0 ? rows
+                             : static_cast<double>(period_divisor);
+  env.period_seconds =
+      env.iteration_seconds > 0.0 ? env.iteration_seconds / divisor : 0.0;
+  env.fundamental_hz =
+      env.period_seconds > 0.0 ? 1.0 / env.period_seconds : 0.0;
+  env.local_seconds = busy / divisor;
+  env.mean_bandwidth_kbs = env.iteration_seconds > 0.0
+                               ? capture / env.iteration_seconds / 1024.0
+                               : 0.0;
+  return env;
+}
+
+std::string SymbolicTraffic::describe() const {
+  std::ostringstream out;
+  out << "symbolic traffic model: " << program << " (calibrated at P="
+      << ref_processors << ", N=" << n_binding << ")\n";
+  for (const SymbolicPhase& phase : phases) {
+    out << "  phase " << phase.statement << " " << to_string(phase.kind);
+    if (!phase.array.empty()) out << " " << phase.array;
+    if (phase.io_paced) {
+      out << ": rows = " << phase.rows.to_string()
+          << ", messages/row = "
+          << (phase.per_row_elements * phase.io_destinations).to_string();
+    } else if (!phase.messages.is_zero()) {
+      out << ": messages = " << phase.messages.to_string()
+          << ", bytes/message = " << phase.message_bytes.to_string();
+    } else if (!phase.compute_seconds.is_zero()) {
+      out << ": compute s = " << phase.compute_seconds.to_string();
+    }
+    out << "\n";
+  }
+  out << "  l(N,P) s      = " << local_poly.to_string() << "\n";
+  out << "  b(N,P) bytes  = " << burst_poly.to_string() << "\n";
+  out << "  c(N,P) s      = " << period_poly.to_string() << "\n";
+  out << "  bytes/iter    = " << bytes_per_iteration.to_string() << "\n";
+  out << "  period divisor = " << period_divisor
+      << (io_paced ? " (row-paced)" : "") << "\n";
+  return out.str();
+}
+
+}  // namespace fxtraf::fxc

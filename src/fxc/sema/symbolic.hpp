@@ -1,0 +1,186 @@
+// Symbolic whole-program traffic analysis (paper sections 4-6): instead
+// of pricing phases at one concrete processor count, this engine runs an
+// abstract interpretation of the phase graph over a symbolic-polynomial
+// domain in the problem size N and the processor count P, and emits the
+// program's traffic envelope
+//
+//   l(N, P)  local (compute + io) seconds per period
+//   b(N, P)  largest per-connection burst, bytes
+//   c(N, P)  fundamental period, seconds
+//
+// as closed-form polynomials evaluable at any P — the form a QoS broker
+// needs to negotiate a processor count without re-running the predictor
+// per candidate.  Each phase is abstracted to {message count, schedule
+// steps, bytes per message} polynomials whose coefficients are
+// calibrated against the exact communication matrix at the program's
+// declared (reference) processor count, so evaluation at the reference
+// binding reproduces the numeric predictor and evaluation elsewhere
+// follows the shape's analytic scaling law (halo planes are
+// P-invariant, transposes ship T/k^2 per pair, trees take log2 k
+// levels, ...).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "fxc/analysis.hpp"
+#include "fxc/ir.hpp"
+#include "fxc/sema/phase_graph.hpp"
+#include "fxc/sema/predictor.hpp"
+
+namespace fxtraf::fxc {
+
+/// One monomial: coeff * N^n * P^p * log2(P)^l.  Negative P exponents
+/// express per-processor quantities (block sizes, transpose tiles); the
+/// log2 factor carries reduction-tree depths.
+struct SymTerm {
+  double coeff = 0.0;
+  int n_pow = 0;
+  int p_pow = 0;
+  int logp_pow = 0;
+};
+
+/// Sparse polynomial over SymTerm, normalized (like terms merged, zero
+/// terms dropped, exponent-lexicographic order) so equality of phase
+/// signatures is structural.
+class SymPoly {
+ public:
+  SymPoly() = default;
+  explicit SymPoly(double constant);
+  [[nodiscard]] static SymPoly term(double coeff, int n_pow, int p_pow,
+                                    int logp_pow = 0);
+  [[nodiscard]] static SymPoly n() { return term(1.0, 1, 0); }
+  [[nodiscard]] static SymPoly p() { return term(1.0, 0, 1); }
+
+  SymPoly& operator+=(const SymPoly& other);
+  SymPoly& operator-=(const SymPoly& other);
+  [[nodiscard]] friend SymPoly operator+(SymPoly a, const SymPoly& b) {
+    a += b;
+    return a;
+  }
+  [[nodiscard]] friend SymPoly operator-(SymPoly a, const SymPoly& b) {
+    a -= b;
+    return a;
+  }
+  friend SymPoly operator*(const SymPoly& a, const SymPoly& b);
+  [[nodiscard]] SymPoly scaled(double factor) const;
+  /// Division by a single-term polynomial: exponents subtract.  Throws
+  /// std::invalid_argument when `mono` is not a nonzero monomial.
+  [[nodiscard]] SymPoly divided_by(const SymPoly& mono) const;
+
+  [[nodiscard]] double eval(double n, double p) const;
+  [[nodiscard]] bool is_zero() const { return terms_.empty(); }
+  [[nodiscard]] bool near(const SymPoly& other, double rel_tol = 1e-9) const;
+  [[nodiscard]] const std::vector<SymTerm>& terms() const { return terms_; }
+  /// "1024 N P^-2 + 64" — N/P/lgP factors with signed exponents.
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  void normalize();
+  std::vector<SymTerm> terms_;
+};
+
+/// How single-sender schedule steps (priced at the lone-stream
+/// efficiency) are counted when the phase is evaluated at a concrete P.
+enum class StepRule : std::uint8_t {
+  /// Messages spread evenly over the steps: every step is single-sender
+  /// when messages/steps <= 1 (broadcast), multi-sender otherwise.
+  kUniform,
+  /// Partition ramp 1, 2, ..., min(k1,k2), ..., 2, 1: exactly the two
+  /// end steps are single-sender once min(k1,k2) >= 2.
+  kPartition,
+  /// Reduction tree: sender count halves per level; only the final
+  /// level's lone message is single-sender.
+  kTree,
+};
+
+/// One body statement abstracted over (N, P).
+struct SymbolicPhase {
+  std::size_t statement = 0;
+  PhaseKind kind = PhaseKind::kCompute;
+  CommShape shape = CommShape::kNone;
+  std::string array;
+
+  SymPoly compute_seconds;
+  SymPoly messages;        ///< point-to-point messages per execution
+  SymPoly steps;           ///< shift-schedule steps
+  SymPoly message_bytes;   ///< payload per message
+  SymPoly payload_bytes;   ///< total payload (messages * message_bytes)
+  SymPoly max_pair_bytes;  ///< largest single-connection transfer
+  StepRule rule = StepRule::kUniform;
+  SymPoly min_split;       ///< partition min(k1, k2); kPartition only
+
+  /// Concurrent wire streams the exchange keeps in flight: the full
+  /// message count when the sender and receiver sets are disjoint (no
+  /// receive gates any sender), one per sender otherwise.  Drives the
+  /// contention degradation past the config's free-stream count.
+  SymPoly contention_streams;
+  /// Rank set the exchange runs over; with `inplace_exchange`, detects
+  /// the two-rank swap priced at the pair-exchange efficiency.
+  SymPoly participants;
+  bool inplace_exchange = false;  ///< sender set == receiver set at ref
+
+  /// SequentialRead row pacing: rank 0 reads `rows` rows and fires each
+  /// at `io_destinations` owners as per-element messages.
+  bool io_paced = false;
+  SymPoly rows;
+  SymPoly per_row_elements;
+  SymPoly io_destinations;
+  double row_io_seconds = 0.0;
+  std::size_t element_bytes = 0;
+};
+
+/// The envelope at one concrete (N, P) binding.
+struct TrafficEnvelope {
+  double iteration_seconds = 0.0;
+  double period_seconds = 0.0;   ///< c
+  double fundamental_hz = 0.0;   ///< 1 / c
+  double local_seconds = 0.0;    ///< l
+  double burst_bytes = 0.0;      ///< b
+  double bytes_per_iteration = 0.0;
+  double mean_bandwidth_kbs = 0.0;
+};
+
+/// The whole-program symbolic traffic model.
+struct SymbolicTraffic {
+  std::string program;
+  int ref_processors = 0;   ///< P the coefficients were calibrated at
+  int iterations = 0;
+  std::size_t n_binding = 0;  ///< extent bound to N (0: no arrays)
+  /// Structural repeats per iteration: the fundamental is m times the
+  /// iteration rate (2DFFT's two identical halves give m = 2).
+  int period_divisor = 1;
+  /// Period set by SEQ's row slot instead of the structural divisor.
+  bool io_paced = false;
+  CommShape dominant_shape = CommShape::kNone;
+  PredictorConfig config;
+  std::vector<SymbolicPhase> phases;
+
+  // Closed forms over (N, P).  The smooth polynomials replace ceil()
+  // segmentation and the single/multi-sender branch with the dominant
+  // branch at the reference binding; evaluate() keeps the exact
+  // branches and is what validation compares against the simulator.
+  SymPoly bytes_per_iteration;
+  SymPoly local_poly;   ///< l(N, P)
+  SymPoly burst_poly;   ///< b(N, P)
+  SymPoly period_poly;  ///< c(N, P)
+
+  /// Exact-arithmetic evaluation (ceil segmentation, per-step
+  /// efficiency branches) at a concrete processor count, N at binding.
+  [[nodiscard]] TrafficEnvelope evaluate(int processors) const;
+  [[nodiscard]] TrafficEnvelope evaluate(double n, int processors) const;
+
+  /// Multi-line human-readable summary (per-phase polynomials plus the
+  /// l/b/c closed forms) for fxc-lint --symbolic.
+  [[nodiscard]] std::string describe() const;
+};
+
+/// Runs the abstract interpretation.  Throws SemaError when the program
+/// fails sema (same gate as predict_traffic) and AnalysisError via the
+/// analysis layer when a phase is infeasible at the declared P.
+[[nodiscard]] SymbolicTraffic analyze_symbolic(
+    const SourceProgram& program, const PredictorConfig& config = {});
+
+}  // namespace fxtraf::fxc

@@ -1,0 +1,96 @@
+// Fix-it round-trip: every machine-applicable edit the safety checkers
+// attach must actually repair the program.  For each seeded mutant we
+// apply the edits carried by its expected diagnostic, re-parse, re-run
+// sema, and require (a) the original rule is gone and (b) no new rule
+// appeared that the clean base did not have.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+#include "apps/source_registry.hpp"
+#include "fxc/parser.hpp"
+#include "fxc/sema/passes.hpp"
+
+namespace fxtraf::fxc {
+namespace {
+
+std::set<std::string> rules_of(const DiagnosticSink& sink) {
+  std::set<std::string> rules;
+  for (const Diagnostic& d : sink.diagnostics()) rules.insert(d.rule);
+  return rules;
+}
+
+DiagnosticSink analyze(const std::string& source, const std::string& label) {
+  DiagnosticSink sink;
+  const auto program = parse_source(source, sink);
+  EXPECT_TRUE(program.has_value())
+      << label << " failed to parse:\n"
+      << sink.render_all();
+  if (program) run_sema(*program, sink);
+  return sink;
+}
+
+TEST(FixItRoundTripTest, EveryMutantFixItRepairsTheProgram) {
+  for (const apps::MutantKernel& mutant : apps::mutant_kernels()) {
+    const DiagnosticSink before = analyze(mutant.source, mutant.name);
+    const Diagnostic* hit = before.find(mutant.expected_rule);
+    ASSERT_NE(hit, nullptr) << mutant.name << ":\n" << before.render_all();
+    ASSERT_FALSE(hit->edits.empty())
+        << mutant.name << ": diagnostic has no machine-applicable edits";
+
+    const std::string repaired = apply_edits(mutant.source, hit->edits);
+    ASSERT_NE(repaired, mutant.source) << mutant.name;
+    const DiagnosticSink after = analyze(repaired, mutant.name + " (fixed)");
+
+    EXPECT_EQ(after.find(mutant.expected_rule), nullptr)
+        << mutant.name << ": rule survived its own fix-it.\nrepaired:\n"
+        << repaired << "\ndiagnostics:\n"
+        << after.render_all();
+    for (const std::string& rule : rules_of(after)) {
+      EXPECT_TRUE(rules_of(before).count(rule))
+          << mutant.name << ": fix-it introduced new rule " << rule
+          << "\nrepaired:\n"
+          << repaired << "\ndiagnostics:\n"
+          << after.render_all();
+    }
+  }
+}
+
+TEST(FixItRoundTripTest, RepairedMutantsHaveNoErrors) {
+  // Stronger than rule-disappearance: after applying ALL error fix-its
+  // (bottom-up, as apply_edits guarantees), the program passes sema.
+  for (const apps::MutantKernel& mutant : apps::mutant_kernels()) {
+    const DiagnosticSink before = analyze(mutant.source, mutant.name);
+    std::vector<FixItEdit> edits;
+    for (const Diagnostic& d : before.diagnostics()) {
+      if (d.severity == Severity::kError) {
+        edits.insert(edits.end(), d.edits.begin(), d.edits.end());
+      }
+    }
+    ASSERT_FALSE(edits.empty()) << mutant.name;
+    const std::string repaired = apply_edits(mutant.source, edits);
+    const DiagnosticSink after = analyze(repaired, mutant.name + " (fixed)");
+    EXPECT_FALSE(after.has_errors())
+        << mutant.name << "\nrepaired:\n"
+        << repaired << "\ndiagnostics:\n"
+        << after.render_all();
+  }
+}
+
+TEST(FixItRoundTripTest, ApplyEditsHandlesEachKind) {
+  const std::string source = "line one\nline two\nline three\n";
+  EXPECT_EQ(apply_edits(source, {{FixItEdit::Kind::kReplaceLine, 2, "TWO"}}),
+            "line one\nTWO\nline three\n");
+  EXPECT_EQ(apply_edits(source, {{FixItEdit::Kind::kDeleteLine, 2, ""}}),
+            "line one\nline three\n");
+  EXPECT_EQ(apply_edits(source, {{FixItEdit::Kind::kInsertAfter, 2, "mid"}}),
+            "line one\nline two\nmid\nline three\n");
+  // Bottom-up application keeps earlier line numbers valid.
+  EXPECT_EQ(apply_edits(source, {{FixItEdit::Kind::kDeleteLine, 1, ""},
+                                 {FixItEdit::Kind::kReplaceLine, 3, "III"}}),
+            "line two\nIII\n");
+}
+
+}  // namespace
+}  // namespace fxtraf::fxc

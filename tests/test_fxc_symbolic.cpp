@@ -1,0 +1,304 @@
+// Tests for the symbolic traffic engine: SymPoly algebra, phase-graph
+// structure, agreement with the numeric predictor across a P sweep, the
+// smooth closed forms, and the acceptance gate — symbolic envelopes at
+// P in {2, 4, 8} within 10% of the simulator-measured fundamentals for
+// every registered kernel.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "apps/source_registry.hpp"
+#include "apps/testbed.hpp"
+#include "core/characterization.hpp"
+#include "fx/runtime.hpp"
+#include "fxc/lower.hpp"
+#include "fxc/parser.hpp"
+#include "fxc/sema/phase_graph.hpp"
+#include "fxc/sema/predictor.hpp"
+#include "fxc/sema/symbolic.hpp"
+
+namespace fxtraf::fxc {
+namespace {
+
+SourceProgram kernel_program(const char* name) {
+  const auto kernel = apps::source_kernel_by_name(name);
+  EXPECT_TRUE(kernel.has_value()) << name;
+  return parse_source(kernel->source);
+}
+
+void expect_rel_near(double expected, double actual, double rel,
+                     const std::string& what) {
+  const double scale = std::max(std::abs(expected), 1e-12);
+  EXPECT_NEAR(actual, expected, rel * scale)
+      << what << ": expected " << expected << ", got " << actual;
+}
+
+// --- SymPoly ----------------------------------------------------------
+
+TEST(SymPolyTest, ArithmeticAndEvaluation) {
+  const SymPoly f = SymPoly::n() * SymPoly::n() + SymPoly::p().scaled(3.0) +
+                    SymPoly(2.0);
+  EXPECT_DOUBLE_EQ(f.eval(10.0, 4.0), 100.0 + 12.0 + 2.0);
+  const SymPoly g = f * SymPoly::p();
+  EXPECT_DOUBLE_EQ(g.eval(10.0, 4.0), (100.0 + 12.0 + 2.0) * 4.0);
+}
+
+TEST(SymPolyTest, LikeTermsMergeAndCancel) {
+  const SymPoly two_n = SymPoly::n() + SymPoly::n();
+  ASSERT_EQ(two_n.terms().size(), 1u);
+  EXPECT_DOUBLE_EQ(two_n.terms().front().coeff, 2.0);
+  EXPECT_TRUE((SymPoly::n() - SymPoly::n()).is_zero());
+  EXPECT_TRUE(SymPoly(0.0).is_zero());
+}
+
+TEST(SymPolyTest, NegativeExponentsAndMonomialDivision) {
+  // T / P^2: the transpose tile.
+  const SymPoly tile =
+      (SymPoly::n() * SymPoly::n()).scaled(8.0).divided_by(
+          SymPoly::p() * SymPoly::p());
+  EXPECT_DOUBLE_EQ(tile.eval(512.0, 4.0), 512.0 * 512.0 * 8.0 / 16.0);
+  ASSERT_EQ(tile.terms().size(), 1u);
+  EXPECT_EQ(tile.terms().front().p_pow, -2);
+  EXPECT_THROW((void)SymPoly::n().divided_by(SymPoly::n() + SymPoly::p()),
+               std::invalid_argument);
+  EXPECT_THROW((void)SymPoly::n().divided_by(SymPoly(0.0)),
+               std::invalid_argument);
+}
+
+TEST(SymPolyTest, LogTermsCarryTreeDepth) {
+  const SymPoly depth = SymPoly::term(1.0, 0, 0, 1);
+  EXPECT_DOUBLE_EQ(depth.eval(1.0, 8.0), 3.0);
+  EXPECT_DOUBLE_EQ(depth.eval(1.0, 2.0), 1.0);
+}
+
+TEST(SymPolyTest, NearComparesStructurally) {
+  const SymPoly a = SymPoly::n().scaled(2.0) + SymPoly(1.0);
+  const SymPoly b = SymPoly::n().scaled(2.0 + 1e-12) + SymPoly(1.0);
+  EXPECT_TRUE(a.near(b));
+  EXPECT_FALSE(a.near(SymPoly::n().scaled(2.1) + SymPoly(1.0)));
+  EXPECT_FALSE(a.near(SymPoly::p().scaled(2.0) + SymPoly(1.0)));
+}
+
+TEST(SymPolyTest, ToStringNamesTheVariables) {
+  const std::string text =
+      (SymPoly::n() * SymPoly::n()).scaled(1024.0)
+          .divided_by(SymPoly::p() * SymPoly::p())
+          .to_string();
+  EXPECT_NE(text.find("N"), std::string::npos) << text;
+  EXPECT_NE(text.find("P"), std::string::npos) << text;
+}
+
+// --- phase graph ------------------------------------------------------
+
+TEST(PhaseGraphTest, RankSetBasics) {
+  RankSet set = RankSet::range(8, Interval{2, 5});
+  EXPECT_EQ(set.count(), 3);
+  EXPECT_TRUE(set.contains(2));
+  EXPECT_FALSE(set.contains(5));
+  EXPECT_TRUE(set.subset_of(RankSet::range(8, Interval{0, 8})));
+  EXPECT_FALSE(RankSet::range(8, Interval{0, 8}).subset_of(set));
+  EXPECT_TRUE(set.intersects(RankSet::range(8, Interval{4, 6})));
+  EXPECT_FALSE(set.intersects(RankSet::range(8, Interval{5, 8})));
+}
+
+TEST(PhaseGraphTest, Fft2dAlternatesComputeAndTranspose) {
+  const PhaseGraph graph = build_phase_graph(kernel_program("fft2d"));
+  ASSERT_EQ(graph.nodes.size(), 4u);
+  EXPECT_EQ(graph.nodes[0].kind, PhaseKind::kCompute);
+  EXPECT_EQ(graph.nodes[1].kind, PhaseKind::kRedistribute);
+  EXPECT_EQ(graph.nodes[2].kind, PhaseKind::kCompute);
+  EXPECT_EQ(graph.nodes[3].kind, PhaseKind::kRedistribute);
+  EXPECT_EQ(graph.nodes[1].shape, CommShape::kAllToAll);
+  EXPECT_EQ(graph.nodes[1].senders.count(), 4);
+  EXPECT_EQ(graph.nodes[1].receivers.count(), 4);
+  EXPECT_GT(graph.nodes[1].payload_bytes, 0u);
+  EXPECT_EQ(graph.nodes[1].payload_bytes, graph.nodes[3].payload_bytes);
+  // Every rank participates in every phase, in program order.
+  ASSERT_EQ(graph.rank_sequence.size(), 4u);
+  for (const auto& sequence : graph.rank_sequence) {
+    EXPECT_EQ(sequence.size(), 4u);
+  }
+}
+
+TEST(PhaseGraphTest, SendAndRecvAreMatched) {
+  const SourceProgram program = parse_source(
+      "program p\nprocessors 4\niterations 2\n"
+      "array a real8 (256, 256) distribute (block, *) on 0..2\n"
+      "local 1e6\n"
+      "send a to 2..4\n"
+      "recv a from 0..2 on 2..4\n");
+  const PhaseGraph graph = build_phase_graph(program);
+  ASSERT_EQ(graph.nodes.size(), 3u);
+  EXPECT_EQ(graph.nodes[1].kind, PhaseKind::kSend);
+  EXPECT_EQ(graph.nodes[2].kind, PhaseKind::kRecv);
+  ASSERT_EQ(graph.match.size(), 3u);
+  EXPECT_EQ(graph.match[1], 2u);
+  EXPECT_EQ(graph.match[2], 1u);
+  bool found_match_edge = false;
+  for (const PhaseEdge& edge : graph.edges) {
+    found_match_edge |= edge.kind == PhaseEdge::Kind::kMatch &&
+                        edge.from == 1 && edge.to == 2;
+  }
+  EXPECT_TRUE(found_match_edge);
+}
+
+TEST(PhaseGraphTest, UnpairedSendHasNoMatch) {
+  const SourceProgram program = parse_source(
+      "program p\nprocessors 4\niterations 1\n"
+      "array a real8 (256, 256) distribute (block, *) on 0..2\n"
+      "send a to 2..4\n");
+  const PhaseGraph graph = build_phase_graph(program);
+  ASSERT_EQ(graph.nodes.size(), 1u);
+  EXPECT_EQ(graph.match[0], kNoMatch);
+}
+
+// --- symbolic engine vs the numeric predictor -------------------------
+
+TEST(SymbolicTest, ReproducesNumericPredictorAtReferenceBinding) {
+  for (const apps::SourceKernel& kernel : apps::source_kernels()) {
+    const SourceProgram program = parse_source(kernel.source);
+    const SymbolicTraffic model = analyze_symbolic(program);
+    const TrafficPrediction numeric = predict_traffic(program);
+    const TrafficEnvelope env = model.evaluate(model.ref_processors);
+
+    const std::string tag = kernel.name + " @ref";
+    expect_rel_near(numeric.iteration_seconds, env.iteration_seconds, 1e-6,
+                    tag + " iteration");
+    expect_rel_near(numeric.period_seconds, env.period_seconds, 1e-6,
+                    tag + " period");
+    expect_rel_near(numeric.local_seconds, env.local_seconds, 1e-6,
+                    tag + " local");
+    expect_rel_near(numeric.burst_bytes, env.burst_bytes, 1e-6,
+                    tag + " burst");
+    expect_rel_near(static_cast<double>(numeric.bytes_per_iteration),
+                    env.bytes_per_iteration, 1e-6, tag + " bytes");
+    EXPECT_EQ(model.dominant_shape, numeric.dominant_shape) << kernel.name;
+  }
+}
+
+TEST(SymbolicTest, TracksNumericPredictorAcrossProcessorSweep) {
+  // The numeric predictor re-derives everything from exact matrices at
+  // each P; the symbolic envelope extrapolates from the P=4 calibration.
+  for (const apps::SourceKernel& kernel : apps::source_kernels()) {
+    const SourceProgram program = parse_source(kernel.source);
+    const SymbolicTraffic model = analyze_symbolic(program);
+    for (int p : {2, 4, 8}) {
+      const TrafficPrediction numeric =
+          predict_traffic(scale_to_processors(program, p));
+      const TrafficEnvelope env = model.evaluate(p);
+      const std::string tag = kernel.name + " @P=" + std::to_string(p);
+      expect_rel_near(numeric.iteration_seconds, env.iteration_seconds, 0.05,
+                      tag + " iteration");
+      expect_rel_near(numeric.period_seconds, env.period_seconds, 0.05,
+                      tag + " period");
+      expect_rel_near(numeric.local_seconds, env.local_seconds, 0.05,
+                      tag + " local");
+      expect_rel_near(numeric.burst_bytes, env.burst_bytes, 0.05,
+                      tag + " burst");
+      expect_rel_near(static_cast<double>(numeric.bytes_per_iteration),
+                      env.bytes_per_iteration, 0.05, tag + " bytes");
+    }
+  }
+}
+
+TEST(SymbolicTest, ClosedFormsTrackExactEvaluation) {
+  // The smooth polynomials replace ceil() segmentation and frozen
+  // efficiency branches; they must stay close to the exact arithmetic.
+  for (const apps::SourceKernel& kernel : apps::source_kernels()) {
+    const SymbolicTraffic model =
+        analyze_symbolic(parse_source(kernel.source));
+    const double n = static_cast<double>(model.n_binding);
+    for (int p : {4, 8}) {
+      const TrafficEnvelope env = model.evaluate(p);
+      const std::string tag = kernel.name + " poly @P=" + std::to_string(p);
+      expect_rel_near(env.local_seconds, model.local_poly.eval(n, p), 0.10,
+                      tag + " l");
+      expect_rel_near(env.burst_bytes, model.burst_poly.eval(n, p), 0.10,
+                      tag + " b");
+      expect_rel_near(env.period_seconds, model.period_poly.eval(n, p), 0.10,
+                      tag + " c");
+      expect_rel_near(env.bytes_per_iteration,
+                      model.bytes_per_iteration.eval(n, p), 0.10,
+                      tag + " bytes");
+    }
+  }
+}
+
+TEST(SymbolicTest, StructuralPeriodDivisorsMatchThePaper) {
+  EXPECT_EQ(analyze_symbolic(kernel_program("fft2d")).period_divisor, 2);
+  EXPECT_EQ(analyze_symbolic(kernel_program("t2dfft")).period_divisor, 2);
+  EXPECT_EQ(analyze_symbolic(kernel_program("airshed")).period_divisor, 2);
+  EXPECT_EQ(analyze_symbolic(kernel_program("sor")).period_divisor, 1);
+  EXPECT_EQ(analyze_symbolic(kernel_program("hist")).period_divisor, 1);
+  EXPECT_TRUE(analyze_symbolic(kernel_program("seq")).io_paced);
+}
+
+TEST(SymbolicTest, DescribeListsTheClosedForms) {
+  const std::string text =
+      analyze_symbolic(kernel_program("fft2d")).describe();
+  EXPECT_NE(text.find("l(N,P)"), std::string::npos) << text;
+  EXPECT_NE(text.find("b(N,P)"), std::string::npos) << text;
+  EXPECT_NE(text.find("c(N,P)"), std::string::npos) << text;
+}
+
+TEST(SymbolicTest, SemaGateStillApplies) {
+  const SourceProgram program = parse_source(
+      "program p\nprocessors 8\n"
+      "array u real4 (16, 16) distribute (block, *)\n"
+      "stencil u offsets (3, 0)\n");
+  EXPECT_THROW((void)analyze_symbolic(program), SemaError);
+}
+
+// --- acceptance gate: symbolic envelope vs the simulator --------------
+
+struct MeasuredTraffic {
+  double dominant_peak_hz = 0.0;
+  double mean_kbs = 0.0;
+};
+
+MeasuredTraffic measure(const CompiledProgram& compiled) {
+  sim::Simulator simulator(321);
+  apps::TestbedConfig config;
+  config.workstations = compiled.processors;
+  config.pvm.keepalives_enabled = false;
+  apps::Testbed testbed(simulator, config);
+  testbed.start();
+  fx::run_program(testbed.vm(), compiled.executable);
+  const auto c = core::characterize(testbed.capture().view());
+  MeasuredTraffic measured;
+  measured.mean_kbs = c.avg_bandwidth_kbs;
+  double max_power = 0.0;
+  for (const auto& peak : c.peaks) {
+    if (peak.power > max_power) {
+      max_power = peak.power;
+      measured.dominant_peak_hz = peak.frequency_hz;
+    }
+  }
+  return measured;
+}
+
+TEST(SymbolicValidationTest, EnvelopeWithinTenPercentOfSimulatorAcrossP) {
+  for (const apps::SourceKernel& kernel : apps::source_kernels()) {
+    const SourceProgram program = parse_source(kernel.source);
+    const SymbolicTraffic model = analyze_symbolic(program);
+    for (int p : {2, 4, 8}) {
+      const MeasuredTraffic measured =
+          measure(compile(scale_to_processors(program, p)));
+      const TrafficEnvelope env = model.evaluate(p);
+      const std::string tag = kernel.name + " @P=" + std::to_string(p);
+
+      ASSERT_GT(measured.dominant_peak_hz, 0.0) << tag;
+      EXPECT_NEAR(env.fundamental_hz, measured.dominant_peak_hz,
+                  0.10 * measured.dominant_peak_hz)
+          << tag << ": symbolic " << env.fundamental_hz << " Hz, measured "
+          << measured.dominant_peak_hz << " Hz";
+      EXPECT_NEAR(env.mean_bandwidth_kbs, measured.mean_kbs,
+                  0.15 * measured.mean_kbs)
+          << tag << ": symbolic " << env.mean_bandwidth_kbs
+          << " KB/s, measured " << measured.mean_kbs << " KB/s";
+    }
+  }
+}
+
+}  // namespace
+}  // namespace fxtraf::fxc

@@ -23,8 +23,11 @@ stencil u offsets (2, 0) flops 7.5
 local 3.25e6
 redistribute u (*, block) on 0..4
 read v element 8 row_io 120ms
-reduce bytes 1024 flops 2e6
+reduce bytes 1024 flops 2e6 root 1
 broadcast bytes 512 root 1
+send u to 2..4 on 0..2
+recv u from 0..2 on 2..4
+sync
 )";
 
 TEST(PrinterTest, SourceRoundTripsThroughPrint) {
