@@ -1,0 +1,147 @@
+// Link-rate / topology sweep: how much of the paper's measured traffic
+// shape is an artifact of the shared 10 Mb/s segment?
+//
+// Runs every kernel at P in {2, 4, 8, 16} across three layouts:
+//
+//   shared-10Mb   the measured testbed: one CSMA/CD collision domain
+//   star-100Mb    one learning bridge, full-duplex 100 Mb/s access links
+//   tree2-100Mb   two leaf bridges back to back, hosts block-assigned
+//
+// Each cell is a small seed campaign (mean +- 95% CI over seeds) of
+// completion time, offered bandwidth, and the loss/forwarding counters,
+// so the speedup numbers carry error bars like every other experiment.
+//
+//   switched_sweep [--scale=0.05] [--seeds=3] [--kernels=sor,2dfft,...]
+#include <cstdio>
+#include <cstring>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "campaign/engine.hpp"
+#include "ethernet/topology.hpp"
+
+namespace {
+
+using namespace fxtraf;
+
+struct Layout {
+  const char* label;
+  eth::TopologySpec spec;
+};
+
+std::vector<Layout> layouts() {
+  std::vector<Layout> out;
+  {
+    Layout l;
+    l.label = "shared-10Mb";
+    out.push_back(l);  // defaults: kSharedBus, 10 Mb/s CSMA/CD
+  }
+  {
+    Layout l;
+    l.label = "star-100Mb";
+    l.spec.kind = eth::TopologySpec::Kind::kStar;
+    l.spec.link_rate_bps = 100e6;
+    out.push_back(l);
+  }
+  {
+    Layout l;
+    l.label = "tree2-100Mb";
+    l.spec.kind = eth::TopologySpec::Kind::kTree;
+    l.spec.switches = 2;
+    l.spec.link_rate_bps = 100e6;
+    out.push_back(l);
+  }
+  return out;
+}
+
+campaign::CampaignResult run_cell(const std::string& kernel, int processors,
+                                  const eth::TopologySpec& spec, double scale,
+                                  std::size_t seeds) {
+  campaign::TrialSpec base;
+  base.scenario.kernel = kernel;
+  base.scenario.scale = scale;
+  base.scenario.processors = processors;
+  base.scenario.testbed.topology = spec;
+  base.scenario.testbed.host.deschedule_probability = 0.01;
+  base.label = kernel;
+  campaign::CampaignOptions options;
+  options.characterize = false;  // completion time + counters only
+  return campaign::run_campaign(
+      campaign::seed_sweep(base, seeds, 0x5eed5 + processors), options);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  double scale = 0.05;
+  std::size_t seeds = 3;
+  std::vector<std::string> kernels = {"sor",  "2dfft", "t2dfft",
+                                      "seq", "hist",  "airshed"};
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--scale=", 0) == 0) {
+      scale = std::stod(arg.substr(8));
+    } else if (arg.rfind("--seeds=", 0) == 0) {
+      seeds = std::stoul(arg.substr(8));
+    } else if (arg.rfind("--kernels=", 0) == 0) {
+      kernels.clear();
+      std::istringstream in(arg.substr(10));
+      for (std::string k; std::getline(in, k, ',');) kernels.push_back(k);
+    } else {
+      std::fprintf(stderr, "unknown argument: %s\n", arg.c_str());
+      return 2;
+    }
+  }
+
+  std::printf("==================================================\n");
+  std::printf("Topology / link-rate sweep (scale %.2f, %zu seeds)\n", scale,
+              seeds);
+  std::printf("completion time, mean +- 95%% CI over seeds; speedup\n");
+  std::printf("is each layout vs shared-10Mb at the same P\n");
+  std::printf("==================================================\n");
+
+  const auto lay = layouts();
+  for (const std::string& kernel : kernels) {
+    std::printf("\n%s\n", kernel.c_str());
+    std::printf("  %3s  %-12s %18s %9s %12s %10s %8s\n", "P", "topology",
+                "sim_seconds", "speedup", "kB/s", "fwd/flood", "drops");
+    for (int p : {2, 4, 8, 16}) {
+      double shared_mean = 0.0;
+      for (const Layout& layout : lay) {
+        const auto result = run_cell(kernel, p, layout.spec, scale, seeds);
+        if (result.failures != 0) {
+          std::printf("  %3d  %-12s FAILED (%zu trials)\n", p, layout.label,
+                      result.failures);
+          continue;
+        }
+        const auto& t = result.metric("sim_seconds");
+        if (layout.spec.kind == eth::TopologySpec::Kind::kSharedBus) {
+          shared_mean = t.stats.mean;
+        }
+        const double speedup =
+            t.stats.mean > 0.0 ? shared_mean / t.stats.mean : 0.0;
+        const double drops =
+            result.metric("drops_collision").stats.mean +
+            result.metric("drops_queue").stats.mean;
+        std::printf(
+            "  %3d  %-12s %9.3f +- %-6.3f %8.2fx %12.1f %5.0f/%-4.0f %8.1f\n",
+            p, layout.label, t.stats.mean, t.ci95_half_width, speedup,
+            result.metric("avg_bandwidth_kbs").stats.mean,
+            result.metric("bridge_forwarded").stats.mean,
+            result.metric("bridge_flooded").stats.mean, drops);
+      }
+    }
+  }
+  std::printf(
+      "\nreading guide:\n"
+      "  - speedup > 1 means the switched fabric shortens the run: the\n"
+      "    kernel was bandwidth- or contention-bound on the shared bus;\n"
+      "  - speedup ~ 1 with fwd > 0 means the program is latency- or\n"
+      "    compute-bound: a faster network does not help it;\n"
+      "  - flood counts stay tiny after warmup (learning works);\n"
+      "  - drops on the shared bus are excessive-collision give-ups, on\n"
+      "    switched layouts port-FIFO tail drops (none at these loads\n"
+      "    unless --port-queue is shrunk).\n");
+  return 0;
+}

@@ -10,6 +10,11 @@
 //   campaign_sweep --kernel=2dfft --ber=1e-5 --daemon-crash=1:0.2:0.3
 //   campaign_sweep --faults            # the issue's acceptance preset
 //
+// Topology (DESIGN.md §13): shared 10 Mb/s bus by default, or switched
+// layouts with per-host full-duplex links at --link-rate:
+//   campaign_sweep --kernel=2dfft --topology=star --link-rate=100
+//   campaign_sweep --topology=tree --switches=2 --port-queue=64
+//
 // Streaming telemetry (DESIGN.md §10):
 //   campaign_sweep --telemetry --metrics-out=metrics.prom
 //   campaign_sweep --no-store-packets --metrics-out=metrics.json
@@ -26,6 +31,7 @@
 
 #include "campaign/engine.hpp"
 #include "campaign/report.hpp"
+#include "ethernet/topology.hpp"
 #include "fault/plan.hpp"
 #include "telemetry/exporters.hpp"
 
@@ -47,6 +53,7 @@ struct Cli {
   std::string metrics_path;
   std::string flight_prefix;
   fxtraf::fault::FaultPlan faults;
+  fxtraf::eth::TopologySpec topology;
 };
 
 /// Parses "HOST:START:DURATION" triples (e.g. --daemon-crash=1:0.2:0.3).
@@ -96,6 +103,22 @@ bool parse(int argc, char** argv, Cli& cli) {
     } else if (const char* v = val("--flight-dump=")) {
       cli.telemetry = true;
       cli.flight_prefix = v;
+    } else if (const char* v = val("--topology=")) {
+      const auto kind = fxtraf::eth::parse_topology_kind(v);
+      if (!kind) {
+        std::fprintf(stderr, "--topology wants shared|star|tree\n");
+        return false;
+      }
+      cli.topology.kind = *kind;
+    } else if (const char* v = val("--link-rate=")) {
+      // Megabits per second (10, 100, 1000).
+      cli.topology.link_rate_bps = std::stod(v) * 1e6;
+    } else if (const char* v = val("--uplink-rate=")) {
+      cli.topology.uplink_rate_bps = std::stod(v) * 1e6;
+    } else if (const char* v = val("--switches=")) {
+      cli.topology.switches = std::stoi(v);
+    } else if (const char* v = val("--port-queue=")) {
+      cli.topology.port_queue_frames = std::stoul(v);
     } else if (const char* v = val("--ber=")) {
       cli.faults.frame_ber = std::stod(v);
     } else if (const char* v = val("--fcs-every=")) {
@@ -150,6 +173,7 @@ int main(int argc, char** argv) {
   base.scenario.scale = cli.scale;
   base.scenario.processors = cli.processors;
   base.scenario.cross_traffic_bytes_per_s = cli.cross_kbs * 1024.0;
+  base.scenario.testbed.topology = cli.topology;
   base.scenario.faults = cli.faults;
   base.scenario.telemetry.enabled = cli.telemetry;
   base.scenario.telemetry.store_packets = cli.store_packets;
@@ -163,8 +187,9 @@ int main(int argc, char** argv) {
   options.threads = cli.threads;
   const auto result = campaign::run_campaign(specs, options);
 
-  std::printf("campaign: %s x %zu seeds (scale %.2f)%s\n", cli.kernel.c_str(),
-              cli.trials, cli.scale,
+  std::printf("campaign: %s x %zu seeds (scale %.2f, %s)%s\n",
+              cli.kernel.c_str(), cli.trials, cli.scale,
+              eth::describe(cli.topology).c_str(),
               cli.faults.active() ? " [faults active]" : "");
   campaign::write_table(std::cout, result);
   if (cli.faults.active()) {

@@ -1,18 +1,35 @@
 #include "apps/testbed.hpp"
 
+#include <stdexcept>
+
 namespace fxtraf::apps {
 
 Testbed::Testbed(sim::Simulator& simulator, const TestbedConfig& config)
-    : segment_(simulator), capture_(segment_) {
+    : topology_(simulator, config.topology, config.workstations) {
+  // Workstations construct in host-id order; on the shared bus this
+  // reproduces the pre-topology RNG fork sequence exactly (the topology
+  // itself creates no NICs there), keeping the trace goldens bitwise.
   hosts_.reserve(static_cast<std::size_t>(config.workstations));
   std::vector<host::Workstation*> raw;
   for (int i = 0; i < config.workstations; ++i) {
     hosts_.push_back(std::make_unique<host::Workstation>(
-        simulator, segment_, static_cast<net::HostId>(i), config.host));
+        simulator, topology_.host_link(static_cast<net::HostId>(i)),
+        static_cast<net::HostId>(i), config.host));
     raw.push_back(hosts_.back().get());
   }
   vm_ = std::make_unique<pvm::VirtualMachine>(simulator, std::move(raw),
                                               config.pvm);
+  // End-to-end deliveries only: the capture records each frame once, at
+  // its final hop, on any topology.
+  topology_.add_delivery_tap(capture_.tap());
+}
+
+eth::Segment& Testbed::segment() {
+  eth::Segment* segment = topology_.shared_segment();
+  if (segment == nullptr) {
+    throw std::logic_error("Testbed::segment(): topology is switched");
+  }
+  return *segment;
 }
 
 Testbed::~Testbed() = default;

@@ -1,12 +1,13 @@
 // Assembles the paper's measurement environment: DEC Alpha workstations
-// on one shared Ethernet, a PVM virtual machine across them, and a
-// promiscuous capture station.
+// on an Ethernet topology (the measured shared segment by default, or a
+// switched star/tree), a PVM virtual machine across them, and a
+// promiscuous capture station observing end-to-end deliveries.
 #pragma once
 
 #include <memory>
 #include <vector>
 
-#include "ethernet/segment.hpp"
+#include "ethernet/topology.hpp"
 #include "host/workstation.hpp"
 #include "pvm/vm.hpp"
 #include "simcore/simulator.hpp"
@@ -16,6 +17,9 @@ namespace fxtraf::apps {
 
 struct TestbedConfig {
   int workstations = 4;
+  /// Network layout; the default shared bus reproduces the paper's
+  /// testbed bit-for-bit.
+  eth::TopologySpec topology;
   host::WorkstationConfig host;
   pvm::PvmConfig pvm;
 };
@@ -28,7 +32,11 @@ class Testbed {
   Testbed(const Testbed&) = delete;
   Testbed& operator=(const Testbed&) = delete;
 
-  [[nodiscard]] eth::Segment& segment() { return segment_; }
+  [[nodiscard]] eth::Topology& topology() { return topology_; }
+  /// The shared bus; throws std::logic_error on switched topologies
+  /// (callers that care about the collision domain must check
+  /// topology().switched() first).
+  [[nodiscard]] eth::Segment& segment();
   [[nodiscard]] pvm::VirtualMachine& vm() { return *vm_; }
   [[nodiscard]] trace::Capture& capture() { return capture_; }
   [[nodiscard]] const trace::Capture& capture() const { return capture_; }
@@ -41,7 +49,7 @@ class Testbed {
   void start() { vm_->start(); }
 
  private:
-  eth::Segment segment_;
+  eth::Topology topology_;
   std::vector<std::unique_ptr<host::Workstation>> hosts_;
   std::unique_ptr<pvm::VirtualMachine> vm_;
   trace::Capture capture_;

@@ -81,12 +81,21 @@ Trial::Trial(const TrialScenario& scenario)
           });
     }
   }
-  // The auditor's tap must be registered before any frame moves, so it
+  if (telemetry_.enabled) {
+    for (const auto& bridge : testbed_->topology().bridges()) {
+      bridge->set_transit_observer([this](int, sim::Duration transit) {
+        transit_hist_.observe(
+            static_cast<std::uint64_t>(transit.ns() / 1000));
+      });
+    }
+  }
+  // The auditor's taps must be registered before any frame moves, so it
   // is built here rather than lazily at audit time.
-  auditor_ = std::make_unique<fault::Auditor>(testbed_->segment());
+  auditor_ = std::make_unique<fault::Auditor>(testbed_->topology());
   if (faults_.active()) {
     fault::Injector::Wiring wiring;
-    wiring.segment = &testbed_->segment();
+    wiring.segment = testbed_->topology().shared_segment();
+    wiring.links = testbed_->topology().links();
     for (int i = 0; i < testbed_->size(); ++i) {
       wiring.hosts.push_back(&testbed_->workstation(i));
     }
@@ -124,7 +133,7 @@ fault::AuditReport Trial::audit() {
   for (int i = 0; i < testbed_->size(); ++i) {
     hosts.push_back(&testbed_->workstation(i));
   }
-  return auditor_->audit(hosts, testbed_->segment(), &testbed_->vm());
+  return auditor_->audit(hosts, testbed_->topology(), &testbed_->vm());
 }
 
 void Trial::on_tcp_abort(sim::SimTime at, net::HostId local,
@@ -159,22 +168,64 @@ void Trial::scrape_metrics() {
   reg.gauge("fxtraf_sim_allocations_per_event", GaugeMerge::kMax)
       .set(sched.allocations_per_event());
 
-  const eth::SegmentStats& seg = testbed_->segment().stats();
-  reg.counter("fxtraf_segment_frames_delivered_total")
-      .add(seg.frames_delivered);
-  reg.counter("fxtraf_segment_bytes_delivered_total").add(seg.bytes_delivered);
-  reg.counter("fxtraf_segment_collisions_total").add(seg.collisions);
-  reg.counter(telemetry::labeled("fxtraf_segment_frames_dropped_total",
-                                 "cause", "injected"))
-      .add(seg.frames_dropped_injected);
-  reg.counter(telemetry::labeled("fxtraf_segment_frames_dropped_total",
-                                 "cause", "bit_error"))
-      .add(seg.frames_dropped_ber);
-  reg.counter(telemetry::labeled("fxtraf_segment_frames_dropped_total",
-                                 "cause", "fcs"))
-      .add(seg.frames_dropped_fcs);
-  reg.gauge("fxtraf_segment_utilization", GaugeMerge::kMax)
-      .set(testbed_->segment().utilization(simulator_->now()));
+  eth::Topology& topology = testbed_->topology();
+  if (eth::Segment* shared = topology.shared_segment()) {
+    const eth::SegmentStats& seg = shared->stats();
+    reg.counter("fxtraf_segment_frames_delivered_total")
+        .add(seg.frames_delivered);
+    reg.counter("fxtraf_segment_bytes_delivered_total")
+        .add(seg.bytes_delivered);
+    reg.counter("fxtraf_segment_collisions_total").add(seg.collisions);
+    reg.counter(telemetry::labeled("fxtraf_segment_frames_dropped_total",
+                                   "cause", "injected"))
+        .add(seg.frames_dropped_injected);
+    reg.counter(telemetry::labeled("fxtraf_segment_frames_dropped_total",
+                                   "cause", "bit_error"))
+        .add(seg.frames_dropped_ber);
+    reg.counter(telemetry::labeled("fxtraf_segment_frames_dropped_total",
+                                   "cause", "fcs"))
+        .add(seg.frames_dropped_fcs);
+    reg.gauge("fxtraf_segment_utilization", GaugeMerge::kMax)
+        .set(shared->utilization(simulator_->now()));
+  } else {
+    // Switched topology: per-hop wire totals across every link, plus the
+    // bridges' forwarding and queueing view.
+    std::uint64_t link_frames = 0, link_bytes = 0;
+    double peak_utilization = 0.0;
+    for (const eth::Link* link : topology.links()) {
+      link_frames += link->stats().frames_delivered;
+      link_bytes += link->stats().bytes_delivered;
+      peak_utilization =
+          std::max(peak_utilization, link->utilization(simulator_->now()));
+    }
+    reg.counter("fxtraf_link_frames_delivered_total").add(link_frames);
+    reg.counter("fxtraf_link_bytes_delivered_total").add(link_bytes);
+    reg.gauge("fxtraf_link_utilization_max", GaugeMerge::kMax)
+        .set(peak_utilization);
+
+    std::uint64_t forwarded = 0, flooded = 0, filtered = 0, tail_drops = 0;
+    for (std::size_t b = 0; b < topology.bridges().size(); ++b) {
+      const eth::Bridge& bridge = *topology.bridges()[b];
+      forwarded += bridge.stats().frames_forwarded;
+      flooded += bridge.stats().flood_copies;
+      filtered += bridge.stats().frames_filtered;
+      for (std::size_t p = 0; p < bridge.port_count(); ++p) {
+        const eth::NicStats& port =
+            bridge.port_nic(static_cast<int>(p)).stats();
+        tail_drops += port.queue_tail_drops;
+        reg.gauge(telemetry::labeled(
+                      "fxtraf_bridge_port_queue_high_water_frames", "port",
+                      "sw" + std::to_string(b) + ":" + std::to_string(p)),
+                  GaugeMerge::kMax)
+            .set(static_cast<double>(port.queue_high_water));
+      }
+    }
+    reg.counter("fxtraf_bridge_frames_forwarded_total").add(forwarded);
+    reg.counter("fxtraf_bridge_frames_flooded_total").add(flooded);
+    reg.counter("fxtraf_bridge_frames_filtered_total").add(filtered);
+    reg.counter("fxtraf_bridge_port_tail_drops_total").add(tail_drops);
+    reg.histogram("fxtraf_bridge_transit_us").merge(transit_hist_);
+  }
 
   net::TcpStats tcp;
   std::uint64_t nic_deferrals = 0;

@@ -189,6 +189,11 @@ class Trial {
   /// Digest observer state for max_packets without telemetry (the
   /// streaming analyzer owns the digest otherwise).
   trace::TraceDigest capped_digest_;
+  /// Store-and-forward transit latency (us) across every bridge port,
+  /// fed by the bridges' transit observers during the run.  Lives here
+  /// rather than in the registry because scrape_metrics() rebuilds the
+  /// registry from scratch on every call.
+  telemetry::Histogram transit_hist_;
   std::string kernel_;
   fault::FaultPlan faults_;
   TelemetryConfig telemetry_;

@@ -51,8 +51,14 @@ TrialResult run_one(const TrialSpec& spec, std::size_t index,
     // from the extra (all-zero) rows.
     result.metrics["drops_collision"] =
         static_cast<double>(run.audit.drops_collision);
+    result.metrics["drops_queue"] =
+        static_cast<double>(run.audit.drops_queue);
     result.metrics["drops_ber"] = static_cast<double>(run.audit.drops_ber);
     result.metrics["drops_fcs"] = static_cast<double>(run.audit.drops_fcs);
+    result.metrics["bridge_forwarded"] =
+        static_cast<double>(run.audit.bridge_frames_forwarded);
+    result.metrics["bridge_flooded"] =
+        static_cast<double>(run.audit.bridge_flood_copies);
     result.metrics["drops_crash"] =
         static_cast<double>(run.audit.drops_crash);
     result.metrics["tcp_retransmissions"] =

@@ -1,0 +1,119 @@
+#include "ethernet/bridge.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "simcore/log.hpp"
+
+namespace fxtraf::eth {
+
+Bridge::Bridge(sim::Simulator& simulator, BridgeConfig config)
+    : sim_(simulator), config_(config) {}
+
+int Bridge::add_port(Link& link) {
+  const int port = static_cast<int>(ports_.size());
+  const StationId station =
+      config_.station_base + static_cast<StationId>(port);
+  Port entry;
+  entry.nic = std::make_unique<Nic>(sim_, link, station);
+  Nic& nic = *entry.nic;
+  nic.set_promiscuous(true);
+  nic.set_queue_limit(config_.port_queue_frames);
+  nic.set_receive_handler(
+      [this, port](const Frame& frame) { on_frame(port, frame); });
+  nic.set_sent_hook([this, port](const Frame&) {
+    Port& p = ports_[static_cast<std::size_t>(port)];
+    assert(!p.arrivals.empty());
+    const sim::Duration transit = sim_.now() - p.arrivals.front();
+    p.arrivals.pop_front();
+    ++p.stats.transit_frames;
+    p.stats.transit_ns_sum += static_cast<std::uint64_t>(transit.ns());
+    p.stats.transit_ns_max =
+        std::max<std::uint64_t>(p.stats.transit_ns_max,
+                                static_cast<std::uint64_t>(transit.ns()));
+    if (transit_observer_) transit_observer_(port, transit);
+  });
+  nic.set_drop_hook([this, port](const Frame&, NicDropReason reason) {
+    Port& p = ports_[static_cast<std::size_t>(port)];
+    assert(!p.arrivals.empty());
+    if (reason == NicDropReason::kQueueOverflow) {
+      // The rejected frame's timestamp was pushed just before send().
+      p.arrivals.pop_back();
+    } else {
+      // Excessive collisions drop the frame at the head of the FIFO.
+      p.arrivals.pop_front();
+    }
+  });
+  ports_.push_back(std::move(entry));
+  return port;
+}
+
+std::optional<int> Bridge::lookup(StationId station) const {
+  const auto it = macs_.find(station);
+  if (it == macs_.end()) return std::nullopt;
+  if (sim_.now() - it->second.seen > config_.mac_age) return std::nullopt;
+  return it->second.port;
+}
+
+void Bridge::learn(StationId src, int in_port) {
+  auto [it, inserted] = macs_.try_emplace(src, MacEntry{in_port, sim_.now()});
+  if (inserted) {
+    ++stats_.macs_learned;
+    return;
+  }
+  MacEntry& entry = it->second;
+  if (sim_.now() - entry.seen > config_.mac_age) {
+    ++stats_.macs_aged;
+    ++stats_.macs_learned;  // expired entries re-learn from scratch
+  } else if (entry.port != in_port) {
+    ++stats_.macs_moved;
+  }
+  entry.port = in_port;
+  entry.seen = sim_.now();
+}
+
+void Bridge::on_frame(int in_port, const Frame& frame) {
+  ++stats_.frames_received;
+  Port& ingress = ports_[static_cast<std::size_t>(in_port)];
+  ++ingress.stats.frames_in;
+  ingress.stats.bytes_in += frame.recorded_bytes();
+
+  learn(frame.src, in_port);
+
+  const std::optional<int> out = lookup(frame.dst);
+  if (out && *out == in_port) {
+    // Destination lives on the ingress segment; it already heard the
+    // frame there.
+    ++stats_.frames_filtered;
+    return;
+  }
+  if (out) {
+    ++stats_.frames_forwarded;
+    forward_to(*out, frame, /*flooded=*/false);
+    return;
+  }
+  ++stats_.floods;
+  for (std::size_t p = 0; p < ports_.size(); ++p) {
+    if (static_cast<int>(p) == in_port) continue;
+    ++stats_.flood_copies;
+    forward_to(static_cast<int>(p), frame, /*flooded=*/true);
+  }
+}
+
+void Bridge::forward_to(int out_port, Frame frame, bool flooded) {
+  const sim::SimTime arrived = sim_.now();
+  ++stats_.forwards_pending;
+  sim_.schedule_in(
+      config_.forward_latency,
+      [this, out_port, flooded, arrived, f = std::move(frame)]() mutable {
+        --stats_.forwards_pending;
+        Port& port = ports_[static_cast<std::size_t>(out_port)];
+        ++port.stats.frames_out;
+        port.stats.bytes_out += f.recorded_bytes();
+        if (flooded) ++port.stats.flood_out;
+        port.arrivals.push_back(arrived);
+        port.nic->send(std::move(f));
+      });
+}
+
+}  // namespace fxtraf::eth

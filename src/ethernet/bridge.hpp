@@ -1,0 +1,132 @@
+// Transparent learning bridge (IEEE 802.1D forwarding, no spanning tree
+// — the topology layer only builds loop-free layouts).
+//
+// Each port is a promiscuous `Nic` attached to some `Link`, so a port
+// speaks CSMA/CD on a shared segment and full duplex on a point-to-point
+// link with the exact same MAC code as a host.  Frames received on one
+// port are looked up in the learned MAC table and either filtered (same
+// port), forwarded (known port), or flooded (unknown/aged destination),
+// after a fixed store-and-forward latency.  Output contention is the
+// port NIC's bounded transmit FIFO: frames offered to a full queue are
+// tail-dropped and attributed per port.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "ethernet/frame.hpp"
+#include "ethernet/nic.hpp"
+#include "simcore/simulator.hpp"
+
+namespace fxtraf::eth {
+
+struct BridgeConfig {
+  /// Store-and-forward processing delay per frame (lookup + copy).
+  sim::Duration forward_latency = sim::micros(10.0);
+  /// MAC table entries unused for this long are forgotten (aged out
+  /// lazily, on the next lookup or learn that touches them).
+  sim::Duration mac_age = sim::seconds(300.0);
+  /// Per-port output FIFO bound, in frames (0 = unbounded).
+  std::size_t port_queue_frames = 64;
+  /// Station id of port 0; ports number consecutively from here.  Must
+  /// not collide with host ids (hosts are small integers).
+  StationId station_base = 0x8000;
+};
+
+struct BridgeStats {
+  std::uint64_t frames_received = 0;  ///< frames heard across all ports
+  std::uint64_t frames_forwarded = 0; ///< unicast to a learned port
+  std::uint64_t floods = 0;           ///< lookups that missed
+  std::uint64_t flood_copies = 0;     ///< copies emitted by those floods
+  std::uint64_t frames_filtered = 0;  ///< destination on the ingress port
+  std::uint64_t macs_learned = 0;
+  std::uint64_t macs_moved = 0;  ///< station reappeared on another port
+  std::uint64_t macs_aged = 0;   ///< entries expired by mac_age
+  /// Forward decisions whose store-and-forward delay has not elapsed yet
+  /// (nonzero only when the simulation stops mid-forward; closes the
+  /// bridge audit equation).
+  std::uint64_t forwards_pending = 0;
+};
+
+struct BridgePortStats {
+  std::uint64_t frames_in = 0;
+  std::uint64_t bytes_in = 0;
+  std::uint64_t frames_out = 0;  ///< offered to the port's transmit FIFO
+  std::uint64_t bytes_out = 0;
+  std::uint64_t flood_out = 0;   ///< of frames_out, flooded copies
+  /// Store-and-forward transit (ingress arrival to egress wire-out) over
+  /// frames that made it out; queueing and serialization included.
+  std::uint64_t transit_frames = 0;
+  std::uint64_t transit_ns_sum = 0;
+  std::uint64_t transit_ns_max = 0;
+};
+
+class Bridge {
+ public:
+  /// Observer of each completed store-and-forward transit (telemetry
+  /// feeds its latency histogram from this).
+  using TransitObserver = std::function<void(int out_port, sim::Duration)>;
+
+  Bridge(sim::Simulator& simulator, BridgeConfig config);
+
+  Bridge(const Bridge&) = delete;
+  Bridge& operator=(const Bridge&) = delete;
+
+  /// Creates the next port and attaches it to `link`.  Returns the port
+  /// number (dense, starting at 0).
+  int add_port(Link& link);
+
+  [[nodiscard]] std::size_t port_count() const { return ports_.size(); }
+  [[nodiscard]] Nic& port_nic(int port) {
+    return *ports_[static_cast<std::size_t>(port)].nic;
+  }
+  [[nodiscard]] const Nic& port_nic(int port) const {
+    return *ports_[static_cast<std::size_t>(port)].nic;
+  }
+  [[nodiscard]] const BridgePortStats& port_stats(int port) const {
+    return ports_[static_cast<std::size_t>(port)].stats;
+  }
+  [[nodiscard]] const BridgeStats& stats() const { return stats_; }
+
+  /// The learned port for `station`, if present and not aged.
+  [[nodiscard]] std::optional<int> lookup(StationId station) const;
+  [[nodiscard]] std::size_t mac_table_size() const { return macs_.size(); }
+
+  void set_transit_observer(TransitObserver observer) {
+    transit_observer_ = std::move(observer);
+  }
+
+  [[nodiscard]] const BridgeConfig& config() const { return config_; }
+
+ private:
+  struct MacEntry {
+    int port = 0;
+    sim::SimTime seen;
+  };
+  struct Port {
+    std::unique_ptr<Nic> nic;
+    /// Ingress timestamps of the frames currently in (or offered to) the
+    /// NIC's transmit FIFO, front == next to finish; parallel to the FIFO
+    /// so transit latency can be measured at wire-out.
+    std::deque<sim::SimTime> arrivals;
+    BridgePortStats stats;
+  };
+
+  void on_frame(int in_port, const Frame& frame);
+  void learn(StationId src, int in_port);
+  void forward_to(int out_port, Frame frame, bool flooded);
+
+  sim::Simulator& sim_;
+  BridgeConfig config_;
+  std::vector<Port> ports_;
+  std::map<StationId, MacEntry> macs_;
+  BridgeStats stats_;
+  TransitObserver transit_observer_;
+};
+
+}  // namespace fxtraf::eth

@@ -1,0 +1,116 @@
+#include "ethernet/duplex_link.hpp"
+
+#include <cassert>
+#include <utility>
+
+#include "ethernet/nic.hpp"
+#include "simcore/log.hpp"
+
+namespace fxtraf::eth {
+
+DuplexLink::DuplexLink(sim::Simulator& simulator, DuplexLinkConfig config)
+    : sim_(simulator), config_(config) {}
+
+void DuplexLink::attach(Nic& nic) {
+  assert(attached_count_ < 2 && "a point-to-point link has two endpoints");
+  ends_[attached_count_++] = &nic;
+}
+
+std::size_t DuplexLink::index_of(const Nic& nic) const {
+  assert(ends_[0] == &nic || ends_[1] == &nic);
+  return ends_[0] == &nic ? 0 : 1;
+}
+
+Nic* DuplexLink::peer_of(const Nic& nic) const {
+  return ends_[1 - index_of(nic)];
+}
+
+bool DuplexLink::appears_busy(const Nic& nic) const {
+  // Each endpoint owns its transmit direction outright: the peer's
+  // traffic is invisible to carrier sense and collisions cannot occur.
+  return dirs_[index_of(nic)].busy;
+}
+
+sim::SimTime DuplexLink::idle_since(const Nic& nic) const {
+  return dirs_[index_of(nic)].idle_since;
+}
+
+void DuplexLink::begin_transmission(Nic& nic, Frame frame) {
+  const std::size_t which = index_of(nic);
+  Direction& dir = dirs_[which];
+  assert(!dir.busy && "full duplex: a direction has exactly one sender");
+  dir.busy = true;
+  dir.in_flight = std::move(frame);
+  sim_.schedule_in(dir.in_flight.transmission_time_at(config_.bit_rate_bps),
+                   [this, which] { finish_transmission(which); });
+}
+
+void DuplexLink::register_waiter(Nic& nic) {
+  dirs_[index_of(nic)].waiters.push_back(&nic);
+}
+
+void DuplexLink::finish_transmission(std::size_t which) {
+  Direction& dir = dirs_[which];
+  assert(dir.busy);
+  const sim::SimTime end = sim_.now();
+  Frame frame = std::move(dir.in_flight);
+  dir.busy = false;
+  dir.idle_since = end;
+
+  const auto tx_ns = static_cast<std::uint64_t>(
+      frame.transmission_time_at(config_.bit_rate_bps).ns());
+  dir.stats.busy_ns += tx_ns;
+  stats_.busy_ns += tx_ns;
+  ++dir.stats.frames;
+  dir.stats.bytes += frame.recorded_bytes();
+
+  // The loss model is consulted exactly once per completed transmission
+  // (same determinism contract as Segment): on a multi-hop path each
+  // traversed link draws independently, as real bit errors would.
+  DropCause cause = loss_model_ ? loss_model_(frame) : DropCause::kNone;
+  if (cause == DropCause::kNone && fault_injector_ && fault_injector_(frame)) {
+    cause = DropCause::kInjected;
+  }
+  if (cause != DropCause::kNone) {
+    switch (cause) {
+      case DropCause::kInjected: ++stats_.frames_dropped_injected; break;
+      case DropCause::kBitError: ++stats_.frames_dropped_ber; break;
+      case DropCause::kForcedFcs: ++stats_.frames_dropped_fcs; break;
+      case DropCause::kNone: break;
+    }
+    stats_.bytes_dropped += frame.recorded_bytes();
+    sim::Logger::log(sim::LogLevel::kDebug, end, "eth",
+                     "fault (cause %d): dropping %u -> %u",
+                     static_cast<int>(cause), frame.src, frame.dst);
+  } else {
+    sim::Logger::log(sim::LogLevel::kTrace, end, "eth", "%u -> %u, %zu bytes",
+                     frame.src, frame.dst, frame.recorded_bytes());
+    // The frame reaches the far end one propagation delay after its last
+    // bit; delivery counters and taps fire there, like a capture adaptor
+    // at the receiver.  Until then the frame is accounted in flight (the
+    // simulation may stop with the event undrained).
+    ++stats_.frames_in_flight;
+    stats_.bytes_in_flight += frame.recorded_bytes();
+    Nic* peer = ends_[1 - which];
+    sim_.schedule_at(end + config_.propagation,
+                     [this, peer, f = std::move(frame)] {
+                       --stats_.frames_in_flight;
+                       stats_.bytes_in_flight -= f.recorded_bytes();
+                       ++stats_.frames_delivered;
+                       stats_.bytes_delivered += f.recorded_bytes();
+                       for (const Tap& tap : taps_) tap(sim_.now(), f);
+                       peer->deliver(f);
+                     });
+  }
+
+  // No other station contends on this direction, so the waiter list is
+  // normally empty; drain it anyway for interface parity with Segment.
+  std::vector<Nic*> waiters;
+  waiters.swap(dir.waiters);
+  for (Nic* nic : waiters) {
+    sim_.schedule_at(end, [nic] { nic->on_medium_idle(); });
+  }
+  ends_[which]->on_transmit_complete();
+}
+
+}  // namespace fxtraf::eth

@@ -1,0 +1,106 @@
+// Point-to-point full-duplex Ethernet link at a configurable bit rate.
+//
+// The switched-topology medium: each of the two attached NICs owns an
+// independent transmit direction, so there is no carrier sense against
+// the peer and no collision path — appears_busy() is true only while
+// the asking NIC's own frame is on the wire.  Frames are delivered to
+// the opposite endpoint one propagation delay after the last bit; the
+// receiving NIC performs the address filter (bridge ports attach in
+// promiscuous mode and hear everything).
+//
+// SegmentStats::busy_ns on this link sums the two directions' occupied
+// time (each direction is its own wire), so Link::utilization() divides
+// by directions() == 2; per-direction accounting is exposed through
+// direction_stats().
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "ethernet/frame.hpp"
+#include "ethernet/link.hpp"
+#include "simcore/simulator.hpp"
+
+namespace fxtraf::eth {
+
+struct DuplexLinkConfig {
+  double bit_rate_bps = 100e6;
+  /// One-way propagation delay (also the natural PDES lookahead).
+  sim::Duration propagation = sim::micros(0.5);
+};
+
+/// Per-direction wire accounting, indexed by the transmitting endpoint
+/// (0 = first attached NIC, 1 = second).
+struct DirectionStats {
+  std::uint64_t frames = 0;
+  std::uint64_t bytes = 0;    ///< recorded bytes that completed on the wire
+  std::uint64_t busy_ns = 0;  ///< this direction's occupied time
+};
+
+class DuplexLink final : public Link {
+ public:
+  DuplexLink(sim::Simulator& simulator, DuplexLinkConfig config);
+
+  DuplexLink(const DuplexLink&) = delete;
+  DuplexLink& operator=(const DuplexLink&) = delete;
+
+  /// Exactly two endpoints, in attachment order.
+  void attach(Nic& nic) override;
+  void add_tap(Tap tap) override { taps_.push_back(std::move(tap)); }
+  void set_fault_injector(FaultInjector injector) override {
+    fault_injector_ = std::move(injector);
+  }
+  void set_loss_model(LossModel model) override {
+    loss_model_ = std::move(model);
+  }
+
+  [[nodiscard]] bool appears_busy(const Nic& nic) const override;
+  [[nodiscard]] sim::SimTime idle_since(const Nic& nic) const override;
+  void begin_transmission(Nic& nic, Frame frame) override;
+  void register_waiter(Nic& nic) override;
+
+  [[nodiscard]] sim::Duration interframe_gap() const override {
+    return bit_times_at(96, config_.bit_rate_bps);
+  }
+  [[nodiscard]] sim::Duration slot_time() const override {
+    return bit_times_at(512, config_.bit_rate_bps);
+  }
+  [[nodiscard]] int directions() const override { return 2; }
+
+  [[nodiscard]] const SegmentStats& stats() const override { return stats_; }
+  [[nodiscard]] std::span<Nic* const> attached() const override {
+    return {ends_.data(), attached_count_};
+  }
+
+  [[nodiscard]] const DuplexLinkConfig& config() const { return config_; }
+  [[nodiscard]] const DirectionStats& direction_stats(int endpoint) const {
+    return dirs_[static_cast<std::size_t>(endpoint)].stats;
+  }
+  /// The NIC on the other end of `nic`'s wire.
+  [[nodiscard]] Nic* peer_of(const Nic& nic) const;
+
+ private:
+  struct Direction {
+    bool busy = false;
+    Frame in_flight;
+    sim::SimTime idle_since = sim::SimTime::zero();
+    std::vector<Nic*> waiters;
+    DirectionStats stats;
+  };
+
+  [[nodiscard]] std::size_t index_of(const Nic& nic) const;
+  void finish_transmission(std::size_t which);
+
+  sim::Simulator& sim_;
+  DuplexLinkConfig config_;
+  std::array<Nic*, 2> ends_{};
+  std::size_t attached_count_ = 0;
+  std::array<Direction, 2> dirs_;
+  std::vector<Tap> taps_;
+  FaultInjector fault_injector_;
+  LossModel loss_model_;
+  SegmentStats stats_;
+};
+
+}  // namespace fxtraf::eth

@@ -38,6 +38,23 @@ inline constexpr int kMaxTransmitAttempts = 16;
   return sim::Duration{static_cast<std::int64_t>(bytes) * 800};
 }
 
+/// Serialization time for `bytes` at an arbitrary bit rate (switched
+/// links run at 10/100/1000 Mb/s; the 10 Mb/s case reproduces
+/// byte_time() exactly).
+[[nodiscard]] inline sim::Duration byte_time_at(std::size_t bytes,
+                                                double bit_rate_bps) {
+  return sim::Duration{static_cast<std::int64_t>(
+      static_cast<double>(bytes) * 8.0 * 1e9 / bit_rate_bps + 0.5)};
+}
+
+/// A MAC interval measured in bit times, scaled to the link rate (the
+/// interframe gap is 96 bit times, the slot 512, the jam 32).
+[[nodiscard]] inline sim::Duration bit_times_at(int bits,
+                                                double bit_rate_bps) {
+  return sim::Duration{
+      static_cast<std::int64_t>(bits * 1e9 / bit_rate_bps + 0.5)};
+}
+
 struct Frame {
   StationId src = 0;
   StationId dst = 0;
@@ -58,6 +75,11 @@ struct Frame {
   /// Time to clock the frame (with preamble) onto the wire.
   [[nodiscard]] sim::Duration transmission_time() const {
     return byte_time(wire_bytes() + kPreambleBytes);
+  }
+
+  /// Same, at an arbitrary link rate (switched topologies).
+  [[nodiscard]] sim::Duration transmission_time_at(double bit_rate_bps) const {
+    return byte_time_at(wire_bytes() + kPreambleBytes, bit_rate_bps);
   }
 };
 

@@ -1,0 +1,126 @@
+// Link: the attachment-point abstraction every NIC transmits through.
+//
+// Two media implement it: the shared CSMA/CD `Segment` (the paper's one
+// 10 Mb/s collision domain) and the point-to-point full-duplex
+// `DuplexLink` (switched Ethernet at 10/100/1000 Mb/s).  The NIC's MAC
+// state machine is written against this interface only, so the same
+// host code runs unchanged on either medium — and the shared-bus path
+// stays bit-identical to the pre-refactor Segment (the regression
+// goldens in test_determinism pin that).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+
+#include "ethernet/frame.hpp"
+#include "simcore/simulator.hpp"
+
+namespace fxtraf::eth {
+
+class Nic;
+
+/// Observer of every successfully delivered frame (promiscuous capture).
+using Tap = std::function<void(sim::SimTime end_of_frame, const Frame&)>;
+
+/// Why a transmitted frame was not delivered (fault::Injector speaks
+/// this to the link through the loss model).
+enum class DropCause : std::uint8_t {
+  kNone = 0,
+  kInjected,   ///< legacy test predicate
+  kBitError,   ///< Bernoulli per-frame draw from the BER stream
+  kForcedFcs,  ///< scheduled FCS corruption
+};
+
+struct SegmentStats {
+  std::uint64_t frames_delivered = 0;
+  std::uint64_t bytes_delivered = 0;  ///< recorded (unpadded) bytes
+  std::uint64_t collisions = 0;
+  /// Cumulative wire-occupied time.  Semantics depend on duplexity:
+  /// on a half-duplex shared segment there is one wire, so busy_ns is
+  /// bounded by elapsed time and busy_ns / elapsed is the classic
+  /// utilization.  On a full-duplex link each direction is an
+  /// independent wire: busy_ns sums the per-direction occupied time and
+  /// can reach 2x elapsed; utilization() divides by the direction count
+  /// so it stays in [0, 1] on both media.  Per-direction figures live in
+  /// DuplexLink::direction_stats().
+  std::uint64_t busy_ns = 0;
+  /// Frames transmitted but not yet at the far end (propagation still in
+  /// progress).  Always 0 on the shared segment, whose delivery is
+  /// synchronous with end-of-frame; on full-duplex links it is nonzero
+  /// only when the simulation stops with a frame mid-flight, and closes
+  /// the per-link audit equation sent == delivered + dropped + in_flight.
+  std::uint64_t frames_in_flight = 0;
+  std::uint64_t bytes_in_flight = 0;
+  // Frames that occupied the wire but were not delivered, by cause
+  // (fault-injection subsystem; all zero on a clean link).
+  std::uint64_t frames_dropped_injected = 0;  ///< legacy bool injector
+  std::uint64_t frames_dropped_ber = 0;       ///< bit-error-rate model
+  std::uint64_t frames_dropped_fcs = 0;       ///< forced FCS corruption
+  std::uint64_t bytes_dropped = 0;  ///< recorded bytes across all causes
+
+  [[nodiscard]] std::uint64_t frames_dropped() const {
+    return frames_dropped_injected + frames_dropped_ber + frames_dropped_fcs;
+  }
+};
+
+class Link {
+ public:
+  /// Fault injection for tests: frames for which the predicate returns
+  /// true are corrupted in flight — they occupy the wire but are not
+  /// delivered to the destination (nor to taps, as a bad FCS frame is
+  /// discarded by the capture adaptor too).
+  using FaultInjector = std::function<bool(const Frame&)>;
+
+  /// Cause-aware loss model (fault::Injector).  Consulted exactly once
+  /// per completed transmission, so the model's RNG stream position
+  /// depends only on the frame-completion order — the determinism
+  /// contract.  On a multi-hop path each traversed link consults the
+  /// model once (bit errors strike each wire independently).
+  using LossModel = std::function<DropCause(const Frame&)>;
+
+  virtual ~Link() = default;
+
+  virtual void attach(Nic& nic) = 0;
+  virtual void add_tap(Tap tap) = 0;
+  virtual void set_fault_injector(FaultInjector injector) = 0;
+  virtual void set_loss_model(LossModel model) = 0;
+
+  /// True if a transmission is already visible to `nic` on the wire it
+  /// would transmit on (its own direction for full-duplex links).
+  [[nodiscard]] virtual bool appears_busy(const Nic& nic) const = 0;
+
+  /// Instant `nic`'s transmit wire last became (or will become) idle;
+  /// stations must additionally wait one interframe gap past this.
+  [[nodiscard]] virtual sim::SimTime idle_since(const Nic& nic) const = 0;
+
+  /// Called by a NIC that sensed its medium idle.
+  virtual void begin_transmission(Nic& nic, Frame frame) = 0;
+
+  /// Registers `nic` to be woken (via Nic::on_medium_idle) when the
+  /// current activity ends.
+  virtual void register_waiter(Nic& nic) = 0;
+
+  /// MAC timing parameters, scaled to the link's bit rate (96 / 512 bit
+  /// times; the 10 Mb/s values are the classic 9.6 us and 51.2 us).
+  [[nodiscard]] virtual sim::Duration interframe_gap() const = 0;
+  [[nodiscard]] virtual sim::Duration slot_time() const = 0;
+
+  /// Independent wire directions: 1 for half duplex, 2 for full duplex.
+  [[nodiscard]] virtual int directions() const = 0;
+
+  [[nodiscard]] virtual const SegmentStats& stats() const = 0;
+
+  /// NICs transmitting on this link, in attachment order (the audit
+  /// walks these to close the per-link conservation equation).
+  [[nodiscard]] virtual std::span<Nic* const> attached() const = 0;
+
+  /// Fraction of wire capacity occupied over `over`, normalized by the
+  /// direction count so full-duplex links also report in [0, 1].
+  [[nodiscard]] double utilization(sim::SimTime over) const {
+    const auto elapsed = static_cast<double>(over.ns()) * directions();
+    return elapsed > 0 ? static_cast<double>(stats().busy_ns) / elapsed : 0.0;
+  }
+};
+
+}  // namespace fxtraf::eth

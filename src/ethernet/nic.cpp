@@ -3,23 +3,33 @@
 #include <algorithm>
 #include <cassert>
 
-#include "ethernet/segment.hpp"
 #include "simcore/log.hpp"
 
 namespace fxtraf::eth {
 
-Nic::Nic(sim::Simulator& simulator, Segment& segment, StationId station)
+Nic::Nic(sim::Simulator& simulator, Link& link, StationId station)
     : sim_(simulator),
-      segment_(segment),
+      link_(link),
       station_(station),
       backoff_rng_(simulator.rng().fork(0x4e1cULL + station)) {
-  segment_.attach(*this);
+  link_.attach(*this);
 }
 
 void Nic::send(Frame frame) {
-  frame.src = station_;
+  // A bridge port forwards on behalf of the original sender; only a
+  // host NIC stamps its own station as the source.
+  if (!promiscuous_) frame.src = station_;
   ++stats_.frames_enqueued;
   stats_.bytes_enqueued += frame.recorded_bytes();
+  if (queue_limit_ != 0 && queue_.size() >= queue_limit_) {
+    ++stats_.queue_tail_drops;
+    stats_.queue_tail_drop_bytes += frame.recorded_bytes();
+    sim::Logger::log(sim::LogLevel::kDebug, sim_.now(), "eth",
+                     "station %u tail-dropped %u -> %u (queue full at %zu)",
+                     station_, frame.src, frame.dst, queue_.size());
+    if (drop_hook_) drop_hook_(frame, NicDropReason::kQueueOverflow);
+    return;
+  }
   queue_.push_back(std::move(frame));
   stats_.queue_high_water =
       std::max<std::uint64_t>(stats_.queue_high_water, queue_.size());
@@ -41,25 +51,31 @@ void Nic::start_next_frame() {
 
 void Nic::attempt_transmission() {
   assert(!queue_.empty());
-  if (segment_.appears_busy()) {
+  if (link_.appears_busy(*this)) {
     if (!waiting_registered_) {
       ++stats_.deferrals;
       waiting_registered_ = true;
-      segment_.register_waiter(*this);
+      link_.register_waiter(*this);
     }
     return;
   }
   // 1-persistent: the medium must have been idle for a full interframe gap.
-  const sim::SimTime earliest = segment_.idle_since() + kInterframeGap;
+  const sim::SimTime earliest = link_.idle_since(*this) + link_.interframe_gap();
   if (sim_.now() < earliest) {
     sim_.schedule_at(earliest, [this] { attempt_transmission(); });
     return;
   }
   state_ = State::kTransmitting;
-  segment_.begin_transmission(*this, queue_.front());
+  link_.begin_transmission(*this, queue_.front());
 }
 
 void Nic::deliver(const Frame& frame) {
+  if (!promiscuous_ && frame.dst != station_) {
+    // Full-duplex links hand the NIC everything on the wire (flooded
+    // copies included); the address filter lives here.
+    ++stats_.frames_filtered;
+    return;
+  }
   ++stats_.frames_received;
   if (receive_handler_) receive_handler_(frame);
 }
@@ -82,6 +98,9 @@ void Nic::on_collision() {
     sim::Logger::log(sim::LogLevel::kWarn, sim_.now(), "eth",
                      "station %u dropped frame after %d attempts", station_,
                      attempts_);
+    if (drop_hook_) {
+      drop_hook_(queue_.front(), NicDropReason::kExcessiveCollisions);
+    }
     queue_.pop_front();
     if (!queue_.empty()) {
       start_next_frame();
@@ -94,7 +113,7 @@ void Nic::on_collision() {
   const int exponent = std::min(attempts_, kMaxBackoffExponent);
   const std::uint64_t slots =
       backoff_rng_.next_below(std::uint64_t{1} << exponent);
-  sim_.schedule_in(kSlotTime * static_cast<std::int64_t>(slots),
+  sim_.schedule_in(link_.slot_time() * static_cast<std::int64_t>(slots),
                    [this] { attempt_transmission(); });
 }
 
@@ -102,6 +121,7 @@ void Nic::on_transmit_complete() {
   assert(state_ == State::kTransmitting);
   ++stats_.frames_sent;
   stats_.bytes_sent += queue_.front().recorded_bytes();
+  if (sent_hook_) sent_hook_(queue_.front());
   queue_.pop_front();
   if (!queue_.empty()) {
     start_next_frame();

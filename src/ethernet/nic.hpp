@@ -1,4 +1,14 @@
 // Network interface with transmit queue and CSMA/CD MAC state machine.
+//
+// Written against the generic `Link` interface: the same MAC drives the
+// shared half-duplex Segment (carrier sense, collisions, backoff) and a
+// full-duplex DuplexLink (where appears_busy() is false outside the
+// NIC's own transmissions, so the collision branches never run).
+//
+// Bridge ports reuse this class in promiscuous mode: they receive every
+// frame on their link, transmit on behalf of other stations (send() does
+// not rewrite frame.src), and bound their transmit FIFO with tail-drop
+// accounting — the switched-Ethernet per-port output queue.
 #pragma once
 
 #include <cstdint>
@@ -6,23 +16,29 @@
 #include <functional>
 
 #include "ethernet/frame.hpp"
+#include "ethernet/link.hpp"
 #include "net/link.hpp"
 #include "simcore/rng.hpp"
 #include "simcore/simulator.hpp"
 
 namespace fxtraf::eth {
 
-class Segment;
-
 struct NicStats {
-  std::uint64_t frames_enqueued = 0;  ///< accepted from the IP stack
-  std::uint64_t bytes_enqueued = 0;   ///< recorded bytes accepted
+  std::uint64_t frames_enqueued = 0;  ///< offered by the upper layer
+  std::uint64_t bytes_enqueued = 0;   ///< recorded bytes offered
   std::uint64_t frames_sent = 0;
   std::uint64_t bytes_sent = 0;  ///< recorded bytes on the wire
   std::uint64_t frames_received = 0;
+  /// Frames heard on the wire but not for this station (nonzero only on
+  /// full-duplex links, where the NIC itself does the address filter).
+  std::uint64_t frames_filtered = 0;
   std::uint64_t collisions = 0;
   std::uint64_t excessive_collision_drops = 0;
   std::uint64_t excessive_collision_drop_bytes = 0;
+  /// Offered frames rejected because the bounded transmit FIFO was full
+  /// (per-port output queue tail-drop; zero while the queue is unbounded).
+  std::uint64_t queue_tail_drops = 0;
+  std::uint64_t queue_tail_drop_bytes = 0;
   /// Transmission attempts that found the medium busy and had to wait
   /// (the classic "deferred transmissions" MIB counter).
   std::uint64_t deferrals = 0;
@@ -30,11 +46,22 @@ struct NicStats {
   std::uint64_t queue_high_water = 0;
 };
 
+/// Why a frame left the transmit queue without reaching the wire.
+enum class NicDropReason : std::uint8_t {
+  kQueueOverflow,        ///< bounded FIFO full at enqueue (tail-drop)
+  kExcessiveCollisions,  ///< 16-attempt CSMA/CD give-up
+};
+
 class Nic final : public net::LinkLayer {
  public:
   using ReceiveHandler = net::LinkLayer::ReceiveHandler;
+  /// Observer of frames dropped from the transmit path (the bridge uses
+  /// it for per-port drop attribution and queue bookkeeping).
+  using DropHook = std::function<void(const Frame&, NicDropReason)>;
+  /// Observer of frames whose transmission completed (wire end time).
+  using SentHook = std::function<void(const Frame&)>;
 
-  Nic(sim::Simulator& simulator, Segment& segment, StationId station);
+  Nic(sim::Simulator& simulator, Link& link, StationId station);
 
   Nic(const Nic&) = delete;
   Nic& operator=(const Nic&) = delete;
@@ -47,6 +74,19 @@ class Nic final : public net::LinkLayer {
     receive_handler_ = std::move(handler);
   }
 
+  /// Promiscuous (bridge-port) mode: receive every frame on the link and
+  /// transmit frames without rewriting their source address.
+  void set_promiscuous(bool on) { promiscuous_ = on; }
+  [[nodiscard]] bool promiscuous() const { return promiscuous_; }
+
+  /// Bounds the transmit FIFO at `frames` (0 = unbounded, the default).
+  /// Frames offered beyond the bound are tail-dropped and attributed.
+  void set_queue_limit(std::size_t frames) { queue_limit_ = frames; }
+  [[nodiscard]] std::size_t queue_limit() const { return queue_limit_; }
+
+  void set_drop_hook(DropHook hook) { drop_hook_ = std::move(hook); }
+  void set_sent_hook(SentHook hook) { sent_hook_ = std::move(hook); }
+
   /// Enqueues a frame for transmission; the MAC drains the queue FIFO.
   void send(Frame frame) override;
 
@@ -56,8 +96,8 @@ class Nic final : public net::LinkLayer {
   [[nodiscard]] std::uint64_t queued_bytes() const;
   [[nodiscard]] const NicStats& stats() const { return stats_; }
 
-  // --- Segment-facing interface -------------------------------------
-  void deliver(const Frame& frame);  ///< successful frame addressed to us
+  // --- Link-facing interface ----------------------------------------
+  void deliver(const Frame& frame);  ///< frame arrived at this station
   void on_medium_idle();             ///< deferred transmission may resume
   void on_collision();               ///< our transmission collided
   void on_transmit_complete();       ///< our transmission succeeded
@@ -69,14 +109,18 @@ class Nic final : public net::LinkLayer {
   void start_next_frame();
 
   sim::Simulator& sim_;
-  Segment& segment_;
+  Link& link_;
   StationId station_;
   sim::Rng backoff_rng_;
   ReceiveHandler receive_handler_;
+  DropHook drop_hook_;
+  SentHook sent_hook_;
   std::deque<Frame> queue_;
+  std::size_t queue_limit_ = 0;
   State state_ = State::kIdle;
   int attempts_ = 0;
   bool waiting_registered_ = false;
+  bool promiscuous_ = false;
   NicStats stats_;
 };
 

@@ -87,8 +87,13 @@ void Segment::finish_transmission() {
     sim::Logger::log(sim::LogLevel::kTrace, end, "eth", "%u -> %u, %zu bytes",
                      tx.frame.src, tx.frame.dst, tx.frame.recorded_bytes());
     for (const Tap& tap : taps_) tap(end, tx.frame);
+    // Promiscuous attachments (bridge ports) hear every frame except
+    // their own transmissions; ordinary stations only their own address.
     for (Nic* nic : nics_) {
-      if (nic->station() == tx.frame.dst) nic->deliver(tx.frame);
+      if (nic->station() == tx.frame.dst ||
+          (nic->promiscuous() && nic != tx.nic)) {
+        nic->deliver(tx.frame);
+      }
     }
   }
   // Record idleness before letting the sender contend again, so its next

@@ -4,96 +4,72 @@
 // propagation-delay visibility window, collisions with jam, and successful
 // frames delivered to the destination NIC and to promiscuous taps at
 // end-of-frame time (as tcpdump timestamps them).
+//
+// Implements the generic `Link` attachment-point interface, so hosts and
+// bridge ports written against `Link` run on the shared bus unchanged.
+// Every timing decision is identical to the pre-refactor Segment; the
+// shared-bus trace digests are pinned bitwise by regression goldens.
 #pragma once
 
 #include <cstdint>
-#include <functional>
 #include <vector>
 
 #include "ethernet/frame.hpp"
+#include "ethernet/link.hpp"
 #include "simcore/simulator.hpp"
 
 namespace fxtraf::eth {
 
-class Nic;
-
-/// Observer of every successfully delivered frame (promiscuous capture).
-using Tap = std::function<void(sim::SimTime end_of_frame, const Frame&)>;
-
-struct SegmentStats {
-  std::uint64_t frames_delivered = 0;
-  std::uint64_t bytes_delivered = 0;  ///< recorded (unpadded) bytes
-  std::uint64_t collisions = 0;
-  std::uint64_t busy_ns = 0;  ///< cumulative wire-occupied time
-  // Frames that occupied the wire but were not delivered, by cause
-  // (fault-injection subsystem; all zero on a clean segment).
-  std::uint64_t frames_dropped_injected = 0;  ///< legacy bool injector
-  std::uint64_t frames_dropped_ber = 0;       ///< bit-error-rate model
-  std::uint64_t frames_dropped_fcs = 0;       ///< forced FCS corruption
-  std::uint64_t bytes_dropped = 0;  ///< recorded bytes across all causes
-
-  [[nodiscard]] std::uint64_t frames_dropped() const {
-    return frames_dropped_injected + frames_dropped_ber + frames_dropped_fcs;
-  }
-};
-
-/// Why a transmitted frame was not delivered (fault::Injector speaks
-/// this to the Segment through the loss model).
-enum class DropCause : std::uint8_t {
-  kNone = 0,
-  kInjected,   ///< legacy test predicate
-  kBitError,   ///< Bernoulli per-frame draw from the BER stream
-  kForcedFcs,  ///< scheduled FCS corruption
-};
-
-class Segment {
+class Segment final : public Link {
  public:
   explicit Segment(sim::Simulator& simulator) : sim_(simulator) {}
 
   Segment(const Segment&) = delete;
   Segment& operator=(const Segment&) = delete;
 
-  void attach(Nic& nic);
-  void add_tap(Tap tap) { taps_.push_back(std::move(tap)); }
+  void attach(Nic& nic) override;
+  void add_tap(Tap tap) override { taps_.push_back(std::move(tap)); }
 
-  /// Fault injection for tests: frames for which the predicate returns
-  /// true are corrupted in flight — they occupy the wire but are not
-  /// delivered to the destination (nor to taps, as a bad FCS frame is
-  /// discarded by the capture adaptor too).
-  using FaultInjector = std::function<bool(const Frame&)>;
-  void set_fault_injector(FaultInjector injector) {
+  void set_fault_injector(FaultInjector injector) override {
     fault_injector_ = std::move(injector);
   }
 
-  /// Cause-aware loss model (fault::Injector).  Consulted once per
-  /// completed transmission, *before* the legacy bool injector, and
-  /// always exactly once per frame so the model's RNG stream position
-  /// depends only on the frame index — the determinism contract.
-  using LossModel = std::function<DropCause(const Frame&)>;
-  void set_loss_model(LossModel model) { loss_model_ = std::move(model); }
+  void set_loss_model(LossModel model) override {
+    loss_model_ = std::move(model);
+  }
 
   /// True if a transmission is already visible at the station's location
   /// (started at least a propagation delay ago, or jam in progress).
+  /// One shared wire: the answer is the same for every station.
+  [[nodiscard]] bool appears_busy(const Nic&) const override {
+    return appears_busy();
+  }
   [[nodiscard]] bool appears_busy() const;
 
   /// Instant the medium last became (or will become) idle; stations must
   /// additionally wait one interframe gap past this before transmitting.
+  [[nodiscard]] sim::SimTime idle_since(const Nic&) const override {
+    return idle_since_;
+  }
   [[nodiscard]] sim::SimTime idle_since() const { return idle_since_; }
 
   /// Called by a NIC that sensed the medium idle.  May still collide with
   /// a transmission younger than the propagation delay.
-  void begin_transmission(Nic& nic, Frame frame);
+  void begin_transmission(Nic& nic, Frame frame) override;
 
   /// Registers `nic` to be woken (via Nic::on_medium_idle) when the
   /// current activity ends.
-  void register_waiter(Nic& nic);
+  void register_waiter(Nic& nic) override;
 
-  [[nodiscard]] const SegmentStats& stats() const { return stats_; }
-  [[nodiscard]] double utilization(sim::SimTime over) const {
-    return over.ns() > 0
-               ? static_cast<double>(stats_.busy_ns) /
-                     static_cast<double>(over.ns())
-               : 0.0;
+  [[nodiscard]] sim::Duration interframe_gap() const override {
+    return kInterframeGap;
+  }
+  [[nodiscard]] sim::Duration slot_time() const override { return kSlotTime; }
+  [[nodiscard]] int directions() const override { return 1; }
+
+  [[nodiscard]] const SegmentStats& stats() const override { return stats_; }
+  [[nodiscard]] std::span<Nic* const> attached() const override {
+    return nics_;
   }
 
  private:

@@ -1,0 +1,150 @@
+#include "ethernet/topology.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <stdexcept>
+
+namespace fxtraf::eth {
+
+std::string to_string(TopologySpec::Kind kind) {
+  switch (kind) {
+    case TopologySpec::Kind::kSharedBus: return "shared";
+    case TopologySpec::Kind::kStar: return "star";
+    case TopologySpec::Kind::kTree: return "tree";
+  }
+  return "?";
+}
+
+std::optional<TopologySpec::Kind> parse_topology_kind(std::string_view name) {
+  if (name == "shared" || name == "bus") return TopologySpec::Kind::kSharedBus;
+  if (name == "star" || name == "switch") return TopologySpec::Kind::kStar;
+  if (name == "tree") return TopologySpec::Kind::kTree;
+  return std::nullopt;
+}
+
+std::string describe(const TopologySpec& spec) {
+  const auto mb = [](double bps) {
+    return static_cast<int>(bps / 1e6 + 0.5);
+  };
+  switch (spec.kind) {
+    case TopologySpec::Kind::kSharedBus:
+      return "shared-10Mb";
+    case TopologySpec::Kind::kStar: {
+      char buf[48];
+      std::snprintf(buf, sizeof buf, "star-%dMb", mb(spec.link_rate_bps));
+      return buf;
+    }
+    case TopologySpec::Kind::kTree: {
+      char buf[64];
+      if (spec.uplink_rate() != spec.link_rate_bps) {
+        std::snprintf(buf, sizeof buf, "tree%d-%dMb-up%dMb", spec.switches,
+                      mb(spec.link_rate_bps), mb(spec.uplink_rate()));
+      } else {
+        std::snprintf(buf, sizeof buf, "tree%d-%dMb", spec.switches,
+                      mb(spec.link_rate_bps));
+      }
+      return buf;
+    }
+  }
+  return "?";
+}
+
+Topology::Topology(sim::Simulator& simulator, TopologySpec spec, int hosts)
+    : sim_(simulator), spec_(spec), hosts_(hosts) {
+  if (hosts < 1) throw std::invalid_argument("Topology: hosts < 1");
+
+  if (spec_.kind == TopologySpec::Kind::kSharedBus) {
+    segment_ = std::make_unique<Segment>(sim_);
+    links_.push_back(segment_.get());
+    return;
+  }
+
+  const BridgeConfig bridge_base{spec_.forward_latency, spec_.mac_age,
+                                 spec_.port_queue_frames, StationId{0x8000}};
+  const DuplexLinkConfig access_cfg{spec_.link_rate_bps, spec_.propagation};
+  const DuplexLinkConfig uplink_cfg{spec_.uplink_rate(), spec_.propagation};
+
+  // Per-bridge station bases keep port ids globally unique (and fork
+  // stream ids distinct), 256 ports apart.
+  const auto bridge_config = [&](int index) {
+    BridgeConfig cfg = bridge_base;
+    cfg.station_base =
+        static_cast<StationId>(0x8000 + 0x100 * index);
+    return cfg;
+  };
+  const auto new_access = [&](Bridge& bridge) {
+    duplex_.push_back(std::make_unique<DuplexLink>(sim_, access_cfg));
+    DuplexLink* link = duplex_.back().get();
+    links_.push_back(link);
+    access_.push_back(link);
+    bridge.add_port(*link);  // endpoint 0: bridge; endpoint 1: the host
+    return link;
+  };
+
+  if (spec_.kind == TopologySpec::Kind::kStar) {
+    bridges_.push_back(std::make_unique<Bridge>(sim_, bridge_config(0)));
+    for (int h = 0; h < hosts_; ++h) new_access(*bridges_.front());
+    return;
+  }
+
+  // kTree: hosts block-assigned to leaf bridges in id order.
+  spec_.switches = std::clamp(spec_.switches, 2, std::max(2, hosts_));
+  const int leaves = spec_.switches;
+  for (int s = 0; s < leaves; ++s) {
+    bridges_.push_back(std::make_unique<Bridge>(sim_, bridge_config(s)));
+  }
+  for (int h = 0; h < hosts_; ++h) {
+    new_access(*bridges_[static_cast<std::size_t>(
+        leaf_of(static_cast<StationId>(h)))]);
+  }
+  if (leaves == 2) {
+    // Two switches connect back to back.
+    duplex_.push_back(std::make_unique<DuplexLink>(sim_, uplink_cfg));
+    DuplexLink* uplink = duplex_.back().get();
+    links_.push_back(uplink);
+    bridges_[0]->add_port(*uplink);
+    bridges_[1]->add_port(*uplink);
+    return;
+  }
+  // More than two: a root bridge aggregates one uplink per leaf.
+  bridges_.push_back(std::make_unique<Bridge>(sim_, bridge_config(leaves)));
+  Bridge& root = *bridges_.back();
+  for (int s = 0; s < leaves; ++s) {
+    duplex_.push_back(std::make_unique<DuplexLink>(sim_, uplink_cfg));
+    DuplexLink* uplink = duplex_.back().get();
+    links_.push_back(uplink);
+    bridges_[static_cast<std::size_t>(s)]->add_port(*uplink);
+    root.add_port(*uplink);
+  }
+}
+
+Link& Topology::host_link(StationId host) {
+  if (segment_) return *segment_;
+  return *access_.at(host);
+}
+
+int Topology::leaf_of(StationId host) const {
+  if (spec_.kind != TopologySpec::Kind::kTree) return 0;
+  const int per_leaf = (hosts_ + spec_.switches - 1) / spec_.switches;
+  return static_cast<int>(host) / per_leaf;
+}
+
+void Topology::add_delivery_tap(Tap tap) {
+  if (segment_) {
+    segment_->add_tap(std::move(tap));
+    return;
+  }
+  // Final-hop filter: a frame reaches its destination exactly when it is
+  // delivered on that host's own access link with dst == host, so each
+  // end-to-end delivery fires the tap once (flooded copies down other
+  // access links carry a different dst and are ignored).
+  for (int h = 0; h < hosts_; ++h) {
+    const auto host = static_cast<StationId>(h);
+    access_[static_cast<std::size_t>(h)]->add_tap(
+        [tap, host](sim::SimTime t, const Frame& f) {
+          if (f.dst == host) tap(t, f);
+        });
+  }
+}
+
+}  // namespace fxtraf::eth

@@ -1,0 +1,115 @@
+// Topology descriptions and the wiring layer that realizes them.
+//
+// Three layouts cover the paper's measured configuration and the
+// switched upgrades its motivation section anticipates:
+//
+//   kSharedBus — one CSMA/CD Segment, every host on the same collision
+//                domain (the measured 10 Mb/s testbed; bit-identical to
+//                the pre-topology code path).
+//   kStar      — one learning bridge; each host on its own full-duplex
+//                point-to-point access link at `link_rate_bps`.
+//   kTree      — `switches` leaf bridges with hosts block-assigned;
+//                two leaves connect back-to-back, more hang off a root
+//                bridge, uplinks at `uplink_rate_bps`.
+//
+// The Topology owns every Link and Bridge; hosts obtain their attachment
+// point through host_link(), so Workstation construction (and its RNG
+// fork order) is byte-for-byte the same on the shared bus as before the
+// topology layer existed.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "ethernet/bridge.hpp"
+#include "ethernet/duplex_link.hpp"
+#include "ethernet/segment.hpp"
+
+namespace fxtraf::eth {
+
+struct TopologySpec {
+  enum class Kind { kSharedBus, kStar, kTree };
+
+  Kind kind = Kind::kSharedBus;
+  /// Host access-link bit rate (ignored on the shared bus, which is the
+  /// classic 10 Mb/s CSMA/CD segment).
+  double link_rate_bps = kBitRateBps;
+  /// Switch-to-switch uplink rate for kTree (0 = same as link_rate_bps).
+  double uplink_rate_bps = 0.0;
+  /// Leaf switch count for kTree (clamped to [2, hosts]).
+  int switches = 2;
+  /// Per-port output FIFO bound, in frames (0 = unbounded).
+  std::size_t port_queue_frames = 64;
+  sim::Duration forward_latency = sim::micros(10.0);
+  sim::Duration mac_age = sim::seconds(300.0);
+  /// One-way propagation on point-to-point links.
+  sim::Duration propagation = sim::micros(0.5);
+
+  [[nodiscard]] double uplink_rate() const {
+    return uplink_rate_bps > 0.0 ? uplink_rate_bps : link_rate_bps;
+  }
+};
+
+[[nodiscard]] std::string to_string(TopologySpec::Kind kind);
+[[nodiscard]] std::optional<TopologySpec::Kind> parse_topology_kind(
+    std::string_view name);
+/// Compact human label, e.g. "star-100Mb" or "tree2-100Mb-up1000Mb".
+[[nodiscard]] std::string describe(const TopologySpec& spec);
+
+class Topology {
+ public:
+  Topology(sim::Simulator& simulator, TopologySpec spec, int hosts);
+
+  Topology(const Topology&) = delete;
+  Topology& operator=(const Topology&) = delete;
+
+  [[nodiscard]] const TopologySpec& spec() const { return spec_; }
+  [[nodiscard]] int hosts() const { return hosts_; }
+  [[nodiscard]] bool switched() const {
+    return spec_.kind != TopologySpec::Kind::kSharedBus;
+  }
+
+  /// The shared bus, or nullptr on switched layouts.
+  [[nodiscard]] Segment* shared_segment() { return segment_.get(); }
+
+  /// The link host `host`'s NIC must attach to.
+  [[nodiscard]] Link& host_link(StationId host);
+
+  /// Host `host`'s point-to-point access link (switched layouts only).
+  [[nodiscard]] DuplexLink& access_link(StationId host) {
+    return *access_.at(host);
+  }
+
+  /// Every link in the topology (bus or access + uplinks), in a fixed
+  /// deterministic order; the audit closes conservation per entry.
+  [[nodiscard]] const std::vector<Link*>& links() const { return links_; }
+
+  [[nodiscard]] const std::vector<std::unique_ptr<Bridge>>& bridges() const {
+    return bridges_;
+  }
+
+  /// Leaf bridge index serving `host` (kTree block assignment).
+  [[nodiscard]] int leaf_of(StationId host) const;
+
+  /// Registers an observer of end-to-end deliveries: it fires exactly
+  /// once per frame that reaches its destination host, at final-hop
+  /// delivery time.  On the shared bus this is a plain segment tap; on
+  /// switched layouts it is a destination-filtered tap on each host's
+  /// access link.
+  void add_delivery_tap(Tap tap);
+
+ private:
+  sim::Simulator& sim_;
+  TopologySpec spec_;
+  int hosts_;
+  std::unique_ptr<Segment> segment_;
+  std::vector<std::unique_ptr<DuplexLink>> duplex_;
+  std::vector<std::unique_ptr<Bridge>> bridges_;
+  std::vector<DuplexLink*> access_;  ///< per host, switched layouts
+  std::vector<Link*> links_;
+};
+
+}  // namespace fxtraf::eth

@@ -2,16 +2,78 @@
 
 #include <sstream>
 
+#include "ethernet/bridge.hpp"
 #include "ethernet/nic.hpp"
 #include "pvm/daemon.hpp"
 
 namespace fxtraf::fault {
 
 Auditor::Auditor(eth::Segment& segment) {
+  taps_.resize(1);
   segment.add_tap([this](sim::SimTime, const eth::Frame& frame) {
-    ++tap_frames_;
-    tap_bytes_ += frame.recorded_bytes();
+    ++taps_[0].frames;
+    taps_[0].bytes += frame.recorded_bytes();
   });
+}
+
+Auditor::Auditor(eth::Topology& topology) {
+  const std::vector<eth::Link*>& links = topology.links();
+  taps_.resize(links.size());
+  for (std::size_t i = 0; i < links.size(); ++i) {
+    links[i]->add_tap([this, i](sim::SimTime, const eth::Frame& frame) {
+      ++taps_[i].frames;
+      taps_[i].bytes += frame.recorded_bytes();
+    });
+  }
+}
+
+namespace {
+
+/// Per-NIC conservation: accepted == transmitted + dropped + queued.
+void check_nic(AuditReport& report, const eth::Nic& nic,
+               const std::string& who,
+               std::vector<std::string>* violations) {
+  const eth::NicStats& s = nic.stats();
+  const std::uint64_t frames_accounted = s.frames_sent +
+                                         s.excessive_collision_drops +
+                                         s.queue_tail_drops + nic.queue_depth();
+  if (frames_accounted != s.frames_enqueued) {
+    report.ok = false;
+    violations->push_back(
+        who + ": " + std::to_string(s.frames_enqueued) +
+        " frames enqueued but " + std::to_string(frames_accounted) +
+        " accounted (sent + collision drops + tail drops + queued)");
+  }
+  const std::uint64_t bytes_accounted =
+      s.bytes_sent + s.excessive_collision_drop_bytes +
+      s.queue_tail_drop_bytes + nic.queued_bytes();
+  if (bytes_accounted != s.bytes_enqueued) {
+    report.ok = false;
+    violations->push_back(who + ": " + std::to_string(s.bytes_enqueued) +
+                          " bytes enqueued but " +
+                          std::to_string(bytes_accounted) + " accounted");
+  }
+}
+
+}  // namespace
+
+void Auditor::gather_transport(AuditReport& report,
+                               const std::vector<host::Workstation*>& hosts,
+                               pvm::VirtualMachine* vm) const {
+  for (host::Workstation* ws : hosts) {
+    const net::TcpStats tcp = ws->stack().tcp_totals();
+    report.tcp_retransmissions += tcp.retransmissions;
+    report.tcp_timeouts += tcp.timeouts;
+    report.tcp_fast_retransmits += tcp.fast_retransmits;
+    report.drops_crash += ws->stack().inbound_filtered();
+  }
+  if (vm != nullptr) {
+    for (host::Workstation* ws : hosts) {
+      const pvm::DaemonStats& d = vm->daemon_of(ws->id()).stats();
+      report.daemon_retransmissions += d.retransmissions;
+      report.daemon_drops_while_down += d.dropped_while_down;
+    }
+  }
 }
 
 AuditReport Auditor::audit(const std::vector<host::Workstation*>& hosts,
@@ -33,32 +95,11 @@ AuditReport Auditor::audit(const std::vector<host::Workstation*>& hosts,
     report.frames_in_queue += nic.queue_depth();
     report.bytes_in_queue += nic.queued_bytes();
     report.drops_collision += s.excessive_collision_drops;
+    report.drops_queue += s.queue_tail_drops;
     report.collision_drops_by_station.push_back(s.excessive_collision_drops);
     frames_sent_total += s.frames_sent;
-
-    // Per-NIC conservation: accepted == transmitted + dropped + queued.
-    const std::uint64_t frames_accounted =
-        s.frames_sent + s.excessive_collision_drops + nic.queue_depth();
-    if (frames_accounted != s.frames_enqueued) {
-      violate("station " + std::to_string(i) + ": " +
-              std::to_string(s.frames_enqueued) + " frames enqueued but " +
-              std::to_string(frames_accounted) +
-              " accounted (sent + collision drops + queued)");
-    }
-    const std::uint64_t bytes_accounted = s.bytes_sent +
-                                          s.excessive_collision_drop_bytes +
-                                          nic.queued_bytes();
-    if (bytes_accounted != s.bytes_enqueued) {
-      violate("station " + std::to_string(i) + ": " +
-              std::to_string(s.bytes_enqueued) + " bytes enqueued but " +
-              std::to_string(bytes_accounted) + " accounted");
-    }
-
-    const net::TcpStats tcp = hosts[i]->stack().tcp_totals();
-    report.tcp_retransmissions += tcp.retransmissions;
-    report.tcp_timeouts += tcp.timeouts;
-    report.tcp_fast_retransmits += tcp.fast_retransmits;
-    report.drops_crash += hosts[i]->stack().inbound_filtered();
+    check_nic(report, nic, "station " + std::to_string(i),
+              &report.violations);
   }
 
   const eth::SegmentStats& seg = segment.stats();
@@ -78,24 +119,120 @@ AuditReport Auditor::audit(const std::vector<host::Workstation*>& hosts,
   }
   // Independent cross-check: the auditor's own promiscuous tap must have
   // seen exactly the frames the segment claims it delivered.
-  if (tap_frames_ != seg.frames_delivered) {
-    violate("tap: saw " + std::to_string(tap_frames_) +
+  if (taps_[0].frames != seg.frames_delivered) {
+    violate("tap: saw " + std::to_string(taps_[0].frames) +
             " frames, segment claims " +
             std::to_string(seg.frames_delivered) + " delivered");
   }
-  if (tap_bytes_ != seg.bytes_delivered) {
-    violate("tap: saw " + std::to_string(tap_bytes_) +
+  if (taps_[0].bytes != seg.bytes_delivered) {
+    violate("tap: saw " + std::to_string(taps_[0].bytes) +
             " bytes, segment claims " +
             std::to_string(seg.bytes_delivered) + " delivered");
   }
 
-  if (vm != nullptr) {
-    for (host::Workstation* ws : hosts) {
-      const pvm::DaemonStats& d = vm->daemon_of(ws->id()).stats();
-      report.daemon_retransmissions += d.retransmissions;
-      report.daemon_drops_while_down += d.dropped_while_down;
+  gather_transport(report, hosts, vm);
+  return report;
+}
+
+AuditReport Auditor::audit(const std::vector<host::Workstation*>& hosts,
+                           eth::Topology& topology,
+                           pvm::VirtualMachine* vm) const {
+  AuditReport report;
+  auto violate = [&report](std::string what) {
+    report.ok = false;
+    report.violations.push_back(std::move(what));
+  };
+
+  // End hosts: offered load, queue residue, per-station drops.
+  report.collision_drops_by_station.reserve(hosts.size());
+  for (std::size_t i = 0; i < hosts.size(); ++i) {
+    const eth::Nic& nic = hosts[i]->nic();
+    const eth::NicStats& s = nic.stats();
+    report.frames_enqueued += s.frames_enqueued;
+    report.bytes_enqueued += s.bytes_enqueued;
+    report.frames_in_queue += nic.queue_depth();
+    report.bytes_in_queue += nic.queued_bytes();
+    report.drops_collision += s.excessive_collision_drops;
+    report.drops_queue += s.queue_tail_drops;
+    report.collision_drops_by_station.push_back(s.excessive_collision_drops);
+    check_nic(report, nic, "station " + std::to_string(i),
+              &report.violations);
+  }
+
+  // Bridges: per-port conservation plus forwarding conservation.
+  for (std::size_t b = 0; b < topology.bridges().size(); ++b) {
+    const eth::Bridge& bridge = *topology.bridges()[b];
+    const eth::BridgeStats& bs = bridge.stats();
+    report.bridge_frames_forwarded += bs.frames_forwarded;
+    report.bridge_flood_copies += bs.flood_copies;
+    report.bridge_frames_filtered += bs.frames_filtered;
+    const std::string who = "bridge " + std::to_string(b);
+
+    // Every frame heard is exactly one of forwarded, flooded, filtered.
+    if (bs.frames_received !=
+        bs.frames_forwarded + bs.floods + bs.frames_filtered) {
+      violate(who + ": received " + std::to_string(bs.frames_received) +
+              " but forwarded+floods+filtered = " +
+              std::to_string(bs.frames_forwarded + bs.floods +
+                             bs.frames_filtered));
+    }
+    std::uint64_t offered = 0;
+    for (std::size_t p = 0; p < bridge.port_count(); ++p) {
+      const eth::Nic& nic = bridge.port_nic(static_cast<int>(p));
+      const eth::NicStats& s = nic.stats();
+      offered += s.frames_enqueued;
+      report.frames_in_queue += nic.queue_depth();
+      report.bytes_in_queue += nic.queued_bytes();
+      report.drops_collision += s.excessive_collision_drops;
+      report.drops_queue += s.queue_tail_drops;
+      check_nic(report, nic, who + " port " + std::to_string(p),
+                &report.violations);
+    }
+    // Every forward decision became a port offer, minus the ones whose
+    // store-and-forward delay had not elapsed when the sim stopped.
+    if (bs.frames_forwarded + bs.flood_copies !=
+        offered + bs.forwards_pending) {
+      violate(who + ": " +
+              std::to_string(bs.frames_forwarded + bs.flood_copies) +
+              " forward decisions but " + std::to_string(offered) +
+              " port offers + " + std::to_string(bs.forwards_pending) +
+              " pending");
     }
   }
+
+  // Per-link conservation with the independent tap cross-check.
+  const std::vector<eth::Link*>& links = topology.links();
+  for (std::size_t i = 0; i < links.size(); ++i) {
+    const eth::Link& link = *links[i];
+    const eth::SegmentStats& ls = link.stats();
+    report.frames_delivered += ls.frames_delivered;
+    report.bytes_delivered += ls.bytes_delivered;
+    report.drops_ber += ls.frames_dropped_ber;
+    report.drops_fcs += ls.frames_dropped_fcs;
+    report.drops_injected += ls.frames_dropped_injected;
+
+    std::uint64_t sent = 0;
+    for (const eth::Nic* nic : link.attached()) sent += nic->stats().frames_sent;
+    const std::uint64_t accounted =
+        ls.frames_delivered + ls.frames_dropped() + ls.frames_in_flight;
+    if (sent != accounted) {
+      violate("link " + std::to_string(i) + ": " + std::to_string(sent) +
+              " frames transmitted but " + std::to_string(accounted) +
+              " delivered-or-dropped-or-in-flight");
+    }
+    if (i < taps_.size() && taps_[i].frames != ls.frames_delivered) {
+      violate("link " + std::to_string(i) + " tap: saw " +
+              std::to_string(taps_[i].frames) + " frames, link claims " +
+              std::to_string(ls.frames_delivered) + " delivered");
+    }
+    if (i < taps_.size() && taps_[i].bytes != ls.bytes_delivered) {
+      violate("link " + std::to_string(i) + " tap: saw " +
+              std::to_string(taps_[i].bytes) + " bytes, link claims " +
+              std::to_string(ls.bytes_delivered) + " delivered");
+    }
+  }
+
+  gather_transport(report, hosts, vm);
   return report;
 }
 
@@ -103,10 +240,16 @@ std::string AuditReport::summary() const {
   std::ostringstream out;
   out << "frames " << frames_enqueued << " enqueued / " << frames_delivered
       << " delivered / " << drops_total() << " dropped (" << drops_collision
-      << " collision, " << drops_ber << " ber, " << drops_fcs << " fcs, "
-      << drops_injected << " injected) / " << frames_in_queue
-      << " in flight; crash-discards " << drops_crash
-      << "; tcp rexmit " << tcp_retransmissions << " (fast "
+      << " collision, " << drops_queue << " queue, " << drops_ber << " ber, "
+      << drops_fcs << " fcs, " << drops_injected << " injected) / "
+      << frames_in_queue << " in flight; crash-discards " << drops_crash;
+  if (bridge_frames_forwarded + bridge_flood_copies + bridge_frames_filtered >
+      0) {
+    out << "; bridged " << bridge_frames_forwarded << " fwd / "
+        << bridge_flood_copies << " flooded / " << bridge_frames_filtered
+        << " filtered";
+  }
+  out << "; tcp rexmit " << tcp_retransmissions << " (fast "
       << tcp_fast_retransmits << ", rto " << tcp_timeouts
       << "); daemon rexmit " << daemon_retransmissions;
   if (!ok) {

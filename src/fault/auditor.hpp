@@ -1,13 +1,16 @@
-// Invariant auditor: an independent tap on the segment plus an
-// end-of-run conservation audit.
+// Invariant auditor: independent taps on every link plus an end-of-run
+// conservation audit.
 //
 // The invariant: every recorded byte a NIC accepted from its stack is,
 // at end of sim, exactly one of delivered on the wire, dropped with an
-// attributed cause (excessive collisions, BER, forced FCS, legacy
-// injection), or still sitting in a transmit queue.  The tap
-// cross-checks the segment's own delivery counters, so a bug in either
-// bookkeeping path fails the audit rather than silently skewing the
-// measured traffic.
+// attributed cause (excessive collisions, queue tail-drop, BER, forced
+// FCS, legacy injection), or still sitting in a transmit queue / in
+// flight.  On switched topologies the equation closes per link and per
+// bridge as well: every frame a bridge hears is forwarded, flooded, or
+// filtered, and every copy it offers a port is accounted by that port's
+// NIC.  The taps cross-check each link's own delivery counters, so a
+// bug in either bookkeeping path fails the audit rather than silently
+// skewing the measured traffic.
 #pragma once
 
 #include <cstdint>
@@ -15,6 +18,7 @@
 #include <vector>
 
 #include "ethernet/segment.hpp"
+#include "ethernet/topology.hpp"
 #include "host/workstation.hpp"
 #include "pvm/vm.hpp"
 
@@ -24,7 +28,10 @@ struct AuditReport {
   bool ok = true;
   std::vector<std::string> violations;
 
-  // Link-layer conservation terms (recorded bytes).
+  // Link-layer conservation terms (recorded bytes).  Enqueued terms
+  // cover the end hosts' offered load; on switched topologies delivered
+  // terms sum per-hop wire deliveries (a forwarded frame counts once per
+  // traversed link).
   std::uint64_t frames_enqueued = 0;
   std::uint64_t frames_delivered = 0;
   std::uint64_t frames_in_queue = 0;
@@ -34,6 +41,7 @@ struct AuditReport {
 
   // Drops by cause.
   std::uint64_t drops_collision = 0;  ///< NIC 16-attempt give-ups
+  std::uint64_t drops_queue = 0;      ///< bounded FIFO tail-drops
   std::uint64_t drops_ber = 0;
   std::uint64_t drops_fcs = 0;
   std::uint64_t drops_injected = 0;  ///< legacy bool injector (tests)
@@ -41,6 +49,11 @@ struct AuditReport {
   /// Excessive-collision drops per station, indexed like the testbed's
   /// workstations (the paper's per-host view of MAC-layer loss).
   std::vector<std::uint64_t> collision_drops_by_station;
+
+  // Bridge forwarding activity (zero on the shared bus).
+  std::uint64_t bridge_frames_forwarded = 0;
+  std::uint64_t bridge_flood_copies = 0;
+  std::uint64_t bridge_frames_filtered = 0;
 
   // Recovery activity (how hard the transports worked).
   std::uint64_t tcp_retransmissions = 0;
@@ -50,21 +63,29 @@ struct AuditReport {
   std::uint64_t daemon_drops_while_down = 0;
 
   [[nodiscard]] std::uint64_t drops_total() const {
-    return drops_collision + drops_ber + drops_fcs + drops_injected;
+    return drops_collision + drops_queue + drops_ber + drops_fcs +
+           drops_injected;
   }
   [[nodiscard]] std::string summary() const;
 };
 
 /// Attach before the run (the constructor registers a promiscuous tap on
-/// the segment); call audit() after the simulator stops.
+/// every link); call audit() after the simulator stops.
 class Auditor {
  public:
   explicit Auditor(eth::Segment& segment);
+  /// One counting tap per topology link (including the shared bus when
+  /// the topology is kSharedBus — this generalizes the Segment ctor).
+  explicit Auditor(eth::Topology& topology);
 
   Auditor(const Auditor&) = delete;
   Auditor& operator=(const Auditor&) = delete;
 
-  [[nodiscard]] std::uint64_t tap_frames() const { return tap_frames_; }
+  [[nodiscard]] std::uint64_t tap_frames() const {
+    std::uint64_t total = 0;
+    for (const TapCount& t : taps_) total += t.frames;
+    return total;
+  }
 
   /// Checks conservation per NIC and across the segment, and gathers the
   /// drop/recovery counters.  `hosts` must be the Ethernet-backed
@@ -73,9 +94,26 @@ class Auditor {
                                   const eth::Segment& segment,
                                   pvm::VirtualMachine* vm = nullptr) const;
 
+  /// Topology-wide audit: per-host-NIC and per-bridge-port conservation,
+  /// per-link conservation with the independent tap cross-check, and
+  /// bridge forwarding conservation.  The auditor must have been built
+  /// from the same topology.
+  [[nodiscard]] AuditReport audit(const std::vector<host::Workstation*>& hosts,
+                                  eth::Topology& topology,
+                                  pvm::VirtualMachine* vm = nullptr) const;
+
  private:
-  std::uint64_t tap_frames_ = 0;
-  std::uint64_t tap_bytes_ = 0;
+  struct TapCount {
+    std::uint64_t frames = 0;
+    std::uint64_t bytes = 0;
+  };
+
+  void gather_transport(AuditReport& report,
+                        const std::vector<host::Workstation*>& hosts,
+                        pvm::VirtualMachine* vm) const;
+
+  /// One entry per tapped link (one total for the Segment ctor).
+  std::vector<TapCount> taps_;
 };
 
 }  // namespace fxtraf::fault

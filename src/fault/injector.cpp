@@ -35,6 +35,29 @@ void Injector::install_frame_faults() {
       plan_.corrupt_frames.empty()) {
     return;
   }
+  if (!wiring_.links.empty()) {
+    for (const int index : plan_.frame_fault_links) {
+      if (index < 0 || index >= static_cast<int>(wiring_.links.size())) {
+        throw std::invalid_argument("FaultPlan: frame_fault_links index " +
+                                    std::to_string(index) + " out of range");
+      }
+    }
+    // One shared classification stream: its position advances in global
+    // frame-completion order across the faulted links, which the
+    // single-threaded event loop makes deterministic.
+    for (std::size_t i = 0; i < wiring_.links.size(); ++i) {
+      const bool selected =
+          plan_.frame_fault_links.empty() ||
+          std::find(plan_.frame_fault_links.begin(),
+                    plan_.frame_fault_links.end(),
+                    static_cast<int>(i)) != plan_.frame_fault_links.end();
+      if (selected) {
+        wiring_.links[i]->set_loss_model(
+            [this](const eth::Frame& frame) { return classify(frame); });
+      }
+    }
+    return;
+  }
   if (wiring_.segment == nullptr) {
     throw std::invalid_argument(
         "FaultPlan: frame faults require a wired segment");

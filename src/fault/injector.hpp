@@ -25,9 +25,14 @@ struct InjectorStats {
 class Injector {
  public:
   /// The testbed surfaces the plan acts on.  vm may be null (no daemon
-  /// outages possible then).
+  /// outages possible then).  When `links` is non-empty it supersedes
+  /// `segment` for frame faults: the loss model installs on the links
+  /// selected by FaultPlan::frame_fault_links (all of them by default),
+  /// sharing one classification stream across them in frame-completion
+  /// order.
   struct Wiring {
     eth::Segment* segment = nullptr;
+    std::vector<eth::Link*> links;
     std::vector<host::Workstation*> hosts;
     pvm::VirtualMachine* vm = nullptr;
   };

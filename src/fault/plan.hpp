@@ -71,8 +71,13 @@ struct FaultPlan {
   /// (1-based cadence; 0 disables).  Deterministic, RNG-free.
   std::uint64_t corrupt_every_nth = 0;
   /// Force-corrupt specific frame indices (0-based order of completed
-  /// transmissions on the segment).  Must be sorted ascending.
+  /// transmissions across every faulted link).  Must be sorted ascending.
   std::vector<std::uint64_t> corrupt_frames;
+  /// Restricts frame faults (BER / FCS) to these indices into the
+  /// topology's link list (Topology::links() order: shared bus, or the
+  /// per-host access links followed by uplinks).  Empty = every link.
+  /// Ignored when the injector is wired to a bare segment.
+  std::vector<int> frame_fault_links;
   std::vector<HostFaultWindow> host_faults;
   std::vector<DaemonOutage> daemon_outages;
   /// Mixed into every stream seed so two plans on the same trial seed

@@ -7,10 +7,10 @@
 
 namespace fxtraf::host {
 
-Workstation::Workstation(sim::Simulator& simulator, eth::Segment& segment,
+Workstation::Workstation(sim::Simulator& simulator, eth::Link& link,
                          net::HostId id, const WorkstationConfig& config)
     : sim_(simulator),
-      link_(std::make_unique<eth::Nic>(simulator, segment, id)),
+      link_(std::make_unique<eth::Nic>(simulator, link, id)),
       stack_(simulator, *link_, config.tcp),
       config_(config),
       sched_rng_(simulator.rng().fork(0x5c4edULL + id)) {}

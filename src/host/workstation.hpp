@@ -11,8 +11,8 @@
 #include <memory>
 #include <vector>
 
+#include "ethernet/link.hpp"
 #include "ethernet/nic.hpp"
-#include "ethernet/segment.hpp"
 #include "net/stack.hpp"
 #include "simcore/coro.hpp"
 #include "simcore/rng.hpp"
@@ -48,8 +48,9 @@ struct CpuFaultWindow {
 
 class Workstation {
  public:
-  /// Workstation on the shared Ethernet (constructs its own NIC).
-  Workstation(sim::Simulator& simulator, eth::Segment& segment, net::HostId id,
+  /// Workstation on an Ethernet link — the shared segment or a switched
+  /// access link (constructs its own NIC).
+  Workstation(sim::Simulator& simulator, eth::Link& link, net::HostId id,
               const WorkstationConfig& config);
 
   /// Workstation on an externally built link layer (e.g. a port of the

@@ -1,0 +1,293 @@
+// Learning-bridge and switched-topology tests: MAC learning/aging,
+// flood-then-learn, store-and-forward latency arithmetic, bounded
+// per-port FIFO tail-drop, multi-hop conservation under faults, and the
+// campaign replay contract on a switched layout.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "apps/trial.hpp"
+#include "campaign/engine.hpp"
+#include "campaign/seed.hpp"
+#include "ethernet/bridge.hpp"
+#include "ethernet/duplex_link.hpp"
+#include "ethernet/topology.hpp"
+#include "simcore/simulator.hpp"
+#include "trace/digest.hpp"
+
+namespace fxtraf {
+namespace {
+
+eth::Frame make_frame(net::HostId src, net::HostId dst, std::size_t payload) {
+  net::IpDatagram d;
+  d.src = src;
+  d.dst = dst;
+  d.proto = net::IpProto::kTcp;
+  d.payload_bytes = payload;
+  eth::Frame f;
+  f.src = src;
+  f.dst = dst;
+  f.datagram = std::make_shared<const net::IpDatagram>(d);
+  return f;
+}
+
+/// Two hosts on a single-bridge star at 100 Mb/s.
+struct Star {
+  sim::Simulator sim{4242};
+  eth::TopologySpec spec = [] {
+    eth::TopologySpec s;
+    s.kind = eth::TopologySpec::Kind::kStar;
+    s.link_rate_bps = 100e6;
+    return s;
+  }();
+  eth::Topology topo{sim, spec, 2};
+  eth::Nic h0{sim, topo.host_link(0), 0};
+  eth::Nic h1{sim, topo.host_link(1), 1};
+  eth::Bridge& bridge = *topo.bridges().front();
+};
+
+TEST(BridgeTest, FloodsUnknownThenLearnsAndForwards) {
+  Star star;
+  int at1 = 0;
+  star.h1.set_receive_handler([&](const eth::Frame&) { ++at1; });
+  star.h0.send(make_frame(0, 1, 200));
+  star.sim.run();
+  EXPECT_EQ(at1, 1);
+  // Destination 1 was unknown: the frame flooded.  Source 0 was learned
+  // from the same frame.
+  EXPECT_EQ(star.bridge.stats().floods, 1u);
+  EXPECT_EQ(star.bridge.stats().flood_copies, 1u);
+  EXPECT_EQ(star.bridge.stats().frames_forwarded, 0u);
+  ASSERT_TRUE(star.bridge.lookup(0).has_value());
+  EXPECT_EQ(*star.bridge.lookup(0), 0);
+  EXPECT_FALSE(star.bridge.lookup(1).has_value());
+
+  // The reply goes to a learned address: forwarded, not flooded.
+  star.h1.send(make_frame(1, 0, 200));
+  star.sim.run();
+  EXPECT_EQ(star.bridge.stats().floods, 1u);
+  EXPECT_EQ(star.bridge.stats().frames_forwarded, 1u);
+  ASSERT_TRUE(star.bridge.lookup(1).has_value());
+  EXPECT_EQ(*star.bridge.lookup(1), 1);
+}
+
+TEST(BridgeTest, MacEntriesAgeOutAndRefloodOnStaleLookup) {
+  sim::Simulator sim{4242};
+  eth::TopologySpec spec;
+  spec.kind = eth::TopologySpec::Kind::kStar;
+  spec.link_rate_bps = 100e6;
+  spec.mac_age = sim::millis(1);
+  eth::Topology topo{sim, spec, 2};
+  eth::Nic h0{sim, topo.host_link(0), 0};
+  eth::Nic h1{sim, topo.host_link(1), 1};
+  eth::Bridge& bridge = *topo.bridges().front();
+
+  h0.send(make_frame(0, 1, 200));
+  sim.run();
+  h1.send(make_frame(1, 0, 200));  // learns 1, forwards to learned 0
+  sim.run();
+  EXPECT_EQ(bridge.stats().floods, 1u);
+  EXPECT_EQ(bridge.stats().frames_forwarded, 1u);
+
+  // Well past mac_age both entries are stale: the next send floods
+  // again, and re-learning the source counts as an aged replacement.
+  sim.schedule_in(sim::millis(10), [&] { h0.send(make_frame(0, 1, 200)); });
+  sim.run();
+  EXPECT_EQ(bridge.stats().floods, 2u);
+  EXPECT_GE(bridge.stats().macs_aged, 1u);
+  EXPECT_FALSE(bridge.lookup(1).has_value());  // stale entry stays dead
+}
+
+TEST(BridgeTest, StoreAndForwardLatencyIsExact) {
+  // Idle single-switch star, known path, links idle well past the IFG:
+  // the end-to-end delivery time is
+  //   tx + prop         (host serializes onto its access link)
+  //   + forward_latency (store-and-forward lookup/copy)
+  //   + tx + prop       (egress port serializes, no queueing)
+  // with both serializations at the 100 Mb/s access rate.
+  Star star;
+  // Teach the bridge both addresses so the measured frame is forwarded.
+  star.h0.send(make_frame(0, 1, 100));
+  star.sim.run();
+  star.h1.send(make_frame(1, 0, 100));
+  star.sim.run();
+
+  std::vector<sim::SimTime> deliveries;
+  star.topo.add_delivery_tap(
+      [&](sim::SimTime t, const eth::Frame&) { deliveries.push_back(t); });
+  const sim::SimTime start = star.sim.now();
+  star.h0.send(make_frame(0, 1, 1000));
+  star.sim.run();
+
+  ASSERT_EQ(deliveries.size(), 1u);
+  const eth::Frame probe = make_frame(0, 1, 1000);
+  const sim::Duration tx = probe.transmission_time_at(100e6);
+  const sim::Duration expected = tx + star.spec.propagation +
+                                 star.spec.forward_latency + tx +
+                                 star.spec.propagation;
+  EXPECT_EQ((deliveries.front() - start).ns(), expected.ns());
+
+  // The bridge's own transit accounting covers ingress-arrival to
+  // egress-wire-out: everything except the final propagation hop and the
+  // initial serialization.
+  const eth::BridgePortStats& out = star.bridge.port_stats(1);
+  EXPECT_EQ(out.transit_frames, 2u);  // learned reply + measured frame
+  EXPECT_EQ(out.transit_ns_max,
+            static_cast<std::uint64_t>(
+                (star.spec.forward_latency + tx).ns()));
+}
+
+TEST(BridgeTest, PortFifoOverflowTailDropsWithAttribution) {
+  // Rate mismatch: gigabit ingress, 10 Mb/s egress, 4-frame port FIFO.
+  // The egress port must shed load by tail-drop, with every loss
+  // attributed, and its NIC conservation must still close.
+  sim::Simulator sim{99};
+  eth::DuplexLink fast{sim, eth::DuplexLinkConfig{1000e6, sim::micros(0.5)}};
+  eth::DuplexLink slow{sim, eth::DuplexLinkConfig{10e6, sim::micros(0.5)}};
+  eth::BridgeConfig cfg;
+  cfg.port_queue_frames = 4;
+  eth::Bridge bridge{sim, cfg};
+  bridge.add_port(fast);
+  bridge.add_port(slow);
+  eth::Nic h0{sim, fast, 0};
+  eth::Nic h1{sim, slow, 1};
+  int received = 0;
+  h1.set_receive_handler([&](const eth::Frame&) { ++received; });
+
+  constexpr int kOffered = 50;
+  for (int i = 0; i < kOffered; ++i) h0.send(make_frame(0, 1, 1000));
+  sim.run();
+
+  const eth::NicStats& out = bridge.port_nic(1).stats();
+  EXPECT_GT(out.queue_tail_drops, 0u);
+  EXPECT_EQ(out.frames_enqueued, static_cast<std::uint64_t>(kOffered));
+  EXPECT_EQ(out.frames_sent + out.queue_tail_drops,
+            static_cast<std::uint64_t>(kOffered));
+  EXPECT_EQ(static_cast<std::uint64_t>(received), out.frames_sent);
+  // The FIFO bound held: depth never exceeded the configured limit.
+  EXPECT_LE(out.queue_high_water, 4u);
+  // And the drop bytes line up with the drop count (1058-byte frames).
+  EXPECT_EQ(out.queue_tail_drop_bytes,
+            out.queue_tail_drops * make_frame(0, 1, 1000).recorded_bytes());
+}
+
+TEST(TopologyTest, SpecParsingAndDescription) {
+  EXPECT_EQ(eth::parse_topology_kind("shared"),
+            eth::TopologySpec::Kind::kSharedBus);
+  EXPECT_EQ(eth::parse_topology_kind("star"), eth::TopologySpec::Kind::kStar);
+  EXPECT_EQ(eth::parse_topology_kind("tree"), eth::TopologySpec::Kind::kTree);
+  EXPECT_FALSE(eth::parse_topology_kind("ring").has_value());
+  eth::TopologySpec spec;
+  EXPECT_EQ(eth::describe(spec), "shared-10Mb");
+  spec.kind = eth::TopologySpec::Kind::kStar;
+  spec.link_rate_bps = 100e6;
+  EXPECT_EQ(eth::describe(spec), "star-100Mb");
+  spec.kind = eth::TopologySpec::Kind::kTree;
+  spec.switches = 2;
+  spec.uplink_rate_bps = 1000e6;
+  EXPECT_EQ(eth::describe(spec), "tree2-100Mb-up1000Mb");
+}
+
+TEST(TopologyTest, TreeAssignsHostsToLeavesInBlocks) {
+  sim::Simulator sim{1};
+  eth::TopologySpec spec;
+  spec.kind = eth::TopologySpec::Kind::kTree;
+  spec.switches = 2;
+  eth::Topology topo{sim, spec, 8};
+  for (int h = 0; h < 4; ++h) EXPECT_EQ(topo.leaf_of(h), 0) << h;
+  for (int h = 4; h < 8; ++h) EXPECT_EQ(topo.leaf_of(h), 1) << h;
+  // Two leaves connect back to back: 8 access links + 1 uplink.
+  EXPECT_EQ(topo.links().size(), 9u);
+  EXPECT_EQ(topo.bridges().size(), 2u);
+  // Each leaf: 4 access ports + 1 uplink port.
+  EXPECT_EQ(topo.bridges()[0]->port_count(), 5u);
+  EXPECT_EQ(topo.bridges()[1]->port_count(), 5u);
+}
+
+apps::TrialScenario switched_scenario(eth::TopologySpec::Kind kind,
+                                      std::uint64_t seed) {
+  apps::TrialScenario scenario;
+  scenario.kernel = "2dfft";
+  scenario.scale = 0.05;
+  scenario.processors = 4;
+  scenario.seed = seed;
+  scenario.testbed.topology.kind = kind;
+  scenario.testbed.topology.link_rate_bps = 100e6;
+  scenario.testbed.host.deschedule_probability = 0.01;
+  return scenario;
+}
+
+TEST(SwitchedTrials, StarTrialIsDeterministic) {
+  const auto a = apps::run_trial(
+      switched_scenario(eth::TopologySpec::Kind::kStar, 31337));
+  const auto b = apps::run_trial(
+      switched_scenario(eth::TopologySpec::Kind::kStar, 31337));
+  EXPECT_GT(a.digest.packet_count, 0u);
+  EXPECT_EQ(a.digest, b.digest);
+  EXPECT_DOUBLE_EQ(a.sim_seconds, b.sim_seconds);
+  // And the bridge actually carried the traffic.
+  EXPECT_GT(a.audit.bridge_frames_forwarded, 0u);
+}
+
+TEST(SwitchedTrials, SerialAndParallelCampaignsMatchOnStar) {
+  campaign::TrialSpec base;
+  base.scenario = switched_scenario(eth::TopologySpec::Kind::kStar, 0);
+  base.label = "2dfft-star";
+  const auto specs = campaign::seed_sweep(base, 4, 0xace0fba5e);
+  campaign::CampaignOptions serial;
+  serial.threads = 1;
+  serial.characterize = false;
+  campaign::CampaignOptions parallel = serial;
+  parallel.threads = 4;
+  const auto a = campaign::run_campaign(specs, serial);
+  const auto b = campaign::run_campaign(specs, parallel);
+  ASSERT_EQ(a.failures + b.failures, 0u);
+  ASSERT_EQ(a.trials.size(), b.trials.size());
+  for (std::size_t i = 0; i < a.trials.size(); ++i) {
+    EXPECT_EQ(a.trials[i].digest, b.trials[i].digest) << a.trials[i].label;
+  }
+}
+
+// Conservation property tests: Trial::finish() throws on any audit
+// violation, so a clean return IS the multi-hop byte-conservation
+// assertion (per NIC, per link with independent taps, per bridge).
+
+TEST(SwitchedConservation, StarUnderBitErrorsStaysConserved) {
+  auto scenario = switched_scenario(eth::TopologySpec::Kind::kStar, 7);
+  scenario.faults.frame_ber = 5e-6;  // bites on every link independently
+  const auto run = apps::run_trial(scenario);
+  EXPECT_TRUE(run.audit.ok) << run.audit.summary();
+  EXPECT_GT(run.audit.drops_ber, 0u) << "plan never bit: " +
+                                            run.audit.summary();
+  // Transport recovered the losses end to end.
+  EXPECT_GT(run.audit.tcp_retransmissions + run.audit.daemon_retransmissions,
+            0u);
+}
+
+TEST(SwitchedConservation, TreeUnderHostCrashStaysConserved) {
+  auto scenario = switched_scenario(eth::TopologySpec::Kind::kTree, 11);
+  scenario.testbed.topology.switches = 2;
+  scenario.faults.host_faults.push_back(
+      {/*host=*/2, /*start_s=*/0.2, /*duration_s=*/0.4, /*cpu_factor=*/0.0,
+       /*network_down=*/true});
+  scenario.faults.watchdog_s = 300.0;
+  const auto run = apps::run_trial(scenario);
+  EXPECT_TRUE(run.audit.ok) << run.audit.summary();
+  EXPECT_GT(run.audit.drops_crash, 0u);
+}
+
+TEST(SwitchedConservation, TinyPortQueuesShedLoadButStayConserved) {
+  auto scenario = switched_scenario(eth::TopologySpec::Kind::kStar, 3);
+  scenario.testbed.topology.link_rate_bps = 10e6;
+  scenario.testbed.topology.port_queue_frames = 1;
+  const auto run = apps::run_trial(scenario);
+  EXPECT_TRUE(run.audit.ok) << run.audit.summary();
+  // With single-frame egress FIFOs under all-to-all traffic the bridge
+  // must shed load — and every shed frame is attributed, or finish()
+  // would have thrown.
+  EXPECT_GT(run.audit.drops_queue, 0u) << run.audit.summary();
+}
+
+}  // namespace
+}  // namespace fxtraf

@@ -118,6 +118,40 @@ TEST(CampaignDeterminism, FaultedSerialAndParallelDigestsMatch) {
   EXPECT_GT(drops, 0.0);
 }
 
+TEST(SharedBusGoldens, DigestsBitwiseStableAcrossLinkRefactor) {
+  // Pinned digests captured on the pre-Link-interface Segment (seed
+  // 20260808, scale 0.05, default hosts).  The shared-bus code path must
+  // stay bit-identical behind the Link/Topology abstraction: any timing,
+  // RNG-order, or delivery-order change in the refactored stack shows up
+  // here as a digest mismatch.  Re-pin ONLY for an intentional
+  // model-behavior change, never to make a refactor pass.
+  struct Golden {
+    const char* kernel;
+    std::uint64_t packets;
+    std::uint64_t bytes;
+    std::uint64_t fnv1a;
+  };
+  static constexpr Golden kGoldens[] = {
+      {"sor", 108u, 68664u, 0x1fb5c825a9c3e237ULL},
+      {"2dfft", 8554u, 8674220u, 0x5f92a1956d61b2e2ULL},
+      {"t2dfft", 5809u, 5580442u, 0x1e8c4d99d8794a5eULL},
+      {"seq", 7209u, 590922u, 0xfdb46216d7fc27f5ULL},
+      {"hist", 72u, 41616u, 0x5a70ced59488209fULL},
+      {"airshed", 14559u, 11674698u, 0xf8c63a9ea4cb3179ULL},
+  };
+  for (const Golden& golden : kGoldens) {
+    apps::TrialScenario scenario;
+    scenario.kernel = golden.kernel;
+    scenario.scale = 0.05;
+    scenario.seed = 20260808;
+    const auto run = apps::run_trial(scenario);
+    EXPECT_EQ(run.digest.packet_count, golden.packets) << golden.kernel;
+    EXPECT_EQ(run.digest.total_bytes, golden.bytes) << golden.kernel;
+    EXPECT_EQ(run.digest.fnv1a, golden.fnv1a)
+        << golden.kernel << ": got " << trace::to_string(run.digest);
+  }
+}
+
 TEST(CampaignDeterminism, SixteenTrialSweepSpeedup) {
   // Acceptance criterion: a 16-trial 2DFFT seed sweep on >= 8 hardware
   // threads completes >= 4x faster than the serial loop with identical
