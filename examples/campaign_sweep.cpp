@@ -22,6 +22,14 @@
 // --metrics-out writes the campaign-merged registry, Prometheus text or
 // JSON by extension; --no-store-packets runs bounded-memory trials (the
 // digests and fundamentals still come out identical to buffered runs).
+//
+// Fidelity (DESIGN.md §14): full packet stack by default, or the fluid
+// flow fast path for topology-scale sweeps:
+//   campaign_sweep --fidelity=flow --topology=star --hosts=10000
+// Flow mode rejects the packet-only knobs (--ber, --fcs-every,
+// --daemon-crash, --max-packets, --flight-dump, --port-queue) up front;
+// --hosts is flow-only (packet trials size the segment by
+// processors/workstations).
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -54,6 +62,9 @@ struct Cli {
   std::string flight_prefix;
   fxtraf::fault::FaultPlan faults;
   fxtraf::eth::TopologySpec topology;
+  fxtraf::apps::Fidelity fidelity = fxtraf::apps::Fidelity::kPacket;
+  int hosts = 0;
+  bool port_queue_set = false;
 };
 
 /// Parses "HOST:START:DURATION" triples (e.g. --daemon-crash=1:0.2:0.3).
@@ -119,6 +130,18 @@ bool parse(int argc, char** argv, Cli& cli) {
       cli.topology.switches = std::stoi(v);
     } else if (const char* v = val("--port-queue=")) {
       cli.topology.port_queue_frames = std::stoul(v);
+      cli.port_queue_set = true;
+    } else if (const char* v = val("--fidelity=")) {
+      if (std::strcmp(v, "packet") == 0) {
+        cli.fidelity = fxtraf::apps::Fidelity::kPacket;
+      } else if (std::strcmp(v, "flow") == 0) {
+        cli.fidelity = fxtraf::apps::Fidelity::kFlow;
+      } else {
+        std::fprintf(stderr, "--fidelity wants packet|flow\n");
+        return false;
+      }
+    } else if (const char* v = val("--hosts=")) {
+      cli.hosts = std::stoi(v);
     } else if (const char* v = val("--ber=")) {
       cli.faults.frame_ber = std::stod(v);
     } else if (const char* v = val("--fcs-every=")) {
@@ -158,6 +181,34 @@ bool parse(int argc, char** argv, Cli& cli) {
       return false;
     }
   }
+
+  // Cross-mode validation up front: one clear message beats N failed
+  // trials all throwing the same std::invalid_argument.
+  if (cli.fidelity == fxtraf::apps::Fidelity::kFlow) {
+    const auto flow_rejects = [](bool set, const char* flag) {
+      if (set) {
+        std::fprintf(stderr,
+                     "%s is packet-only (fluid flows have no frames, "
+                     "daemons, or packet captures); drop it or run "
+                     "--fidelity=packet\n",
+                     flag);
+      }
+      return set;
+    };
+    if (flow_rejects(cli.faults.frame_ber > 0, "--ber") ||
+        flow_rejects(cli.faults.corrupt_every_nth != 0, "--fcs-every") ||
+        flow_rejects(!cli.faults.daemon_outages.empty(), "--daemon-crash") ||
+        flow_rejects(cli.max_packets > 0, "--max-packets") ||
+        flow_rejects(!cli.flight_prefix.empty(), "--flight-dump") ||
+        flow_rejects(cli.port_queue_set, "--port-queue")) {
+      return false;
+    }
+  } else if (cli.hosts != 0) {
+    std::fprintf(stderr,
+                 "--hosts is flow-only (packet trials size the segment by "
+                 "processors/workstations); use --fidelity=flow\n");
+    return false;
+  }
   return true;
 }
 
@@ -173,6 +224,8 @@ int main(int argc, char** argv) {
   base.scenario.scale = cli.scale;
   base.scenario.processors = cli.processors;
   base.scenario.cross_traffic_bytes_per_s = cli.cross_kbs * 1024.0;
+  base.scenario.fidelity = cli.fidelity;
+  base.scenario.hosts = cli.hosts;
   base.scenario.testbed.topology = cli.topology;
   base.scenario.faults = cli.faults;
   base.scenario.telemetry.enabled = cli.telemetry;

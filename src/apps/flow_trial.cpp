@@ -1,0 +1,164 @@
+#include "apps/flow_trial.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+#include "apps/source_registry.hpp"
+#include "flow/lowering.hpp"
+#include "flow/measure.hpp"
+#include "flow/network.hpp"
+#include "flow/simulation.hpp"
+#include "fxc/parser.hpp"
+#include "fxc/sema/predictor.hpp"
+#include "simcore/simulator.hpp"
+
+namespace fxtraf::apps {
+
+namespace {
+
+/// Registry display names -> source-registry keys (the packet registry
+/// spells two kernels differently).
+[[nodiscard]] std::string source_key(const std::string& kernel) {
+  std::string key;
+  key.reserve(kernel.size());
+  for (char c : kernel) {
+    key.push_back(static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+  }
+  if (key == "2dfft") return "fft2d";
+  if (key == "tfft2d" || key == "tfft") return "t2dfft";
+  return key;
+}
+
+void reject_unsupported(const TrialScenario& scenario) {
+  const auto bad = [](const std::string& what) {
+    throw std::invalid_argument("flow fidelity: " + what +
+                                " is packet-only (run with packet fidelity)");
+  };
+  if (scenario.make_program) bad("a custom program factory");
+  if (scenario.faults.frame_ber > 0) bad("frame BER injection");
+  if (scenario.faults.corrupt_every_nth != 0 ||
+      !scenario.faults.corrupt_frames.empty()) {
+    bad("FCS corruption");
+  }
+  if (!scenario.faults.daemon_outages.empty()) bad("daemon outages");
+  if (scenario.telemetry.capture_max_packets > 0) bad("a packet-capture cap");
+  if (!scenario.telemetry.flight_dump_prefix.empty()) {
+    bad("flight-recorder dumps");
+  }
+}
+
+}  // namespace
+
+TrialRun run_flow_trial(const TrialScenario& scenario) {
+  reject_unsupported(scenario);
+
+  const auto kernel = source_kernel_by_name(source_key(scenario.kernel));
+  if (!kernel) {
+    throw std::invalid_argument("flow fidelity: no source-form kernel for: " +
+                                scenario.kernel);
+  }
+  fxc::SourceProgram program = fxc::parse_source(kernel->source);
+  if (scenario.processors > 0) {
+    program = fxc::scale_to_processors(program, scenario.processors);
+  }
+  if (scenario.scale != 1.0) {
+    program.iterations = std::max(
+        1, static_cast<int>(std::llround(program.iterations * scenario.scale)));
+  }
+
+  // Network size follows the packet trial's derivation, with the
+  // flow-only `hosts` override for topology-scale sweeps.
+  const bool cross = scenario.cross_traffic_bytes_per_s > 0;
+  int hosts = scenario.workstations > 0 ? scenario.workstations
+                                        : program.processors;
+  if (cross && scenario.workstations == 0) ++hosts;
+  if (scenario.hosts > 0) hosts = scenario.hosts;
+  if (hosts < program.processors) {
+    throw std::invalid_argument("flow fidelity: fewer hosts than processors");
+  }
+  const flow::FlowNetwork network(scenario.testbed.topology, hosts);
+
+  flow::FlowLoweringOptions lowering;
+  lowering.shared_medium = network.shared_bus();
+  flow::FlowProgram flows = flow::lower_to_flows(program, lowering);
+  flows.name = scenario.kernel;
+  const int iterations = flows.iterations;
+
+  flow::FlowSimOptions options;
+  options.bandwidth_bin = scenario.telemetry.bandwidth_bin;
+  options.keep_bandwidth_series = scenario.telemetry.enabled;
+  options.cross_traffic_bytes_per_s = scenario.cross_traffic_bytes_per_s;
+  options.cross_traffic_payload_bytes = scenario.cross_traffic_payload_bytes;
+  options.host_faults = scenario.faults.host_faults;
+
+  sim::Simulator simulator(scenario.seed);
+  flow::FlowSimulation sim(simulator, network, std::move(flows),
+                           std::move(options));
+  sim.start();
+  simulator.run();
+  flow::FlowSimResult flow_result = sim.finish();
+
+  TrialRun run;
+  run.kernel = scenario.kernel;
+  run.sim_seconds = flow_result.sim_seconds;
+  run.events_executed = simulator.events_executed();
+  run.allocations_per_event =
+      simulator.scheduler_stats().allocations_per_event();
+  run.digest = flow_result.digest;
+  run.packets_seen = flow_result.flows_completed;
+
+  if (!scenario.telemetry.enabled) return run;
+
+  telemetry::StreamSummary stream;
+  stream.packets = flow_result.flows_completed;
+  stream.bytes =
+      static_cast<std::uint64_t>(std::llround(flow_result.capture_bytes));
+  stream.span_s =
+      std::max(0.0, flow_result.sim_seconds - flow_result.first_traffic_s);
+  stream.digest = flow_result.digest;
+  stream.bandwidth_bins = flow_result.bandwidth_kbs.size();
+  if (stream.span_s > 0) {
+    stream.avg_bandwidth_kbs =
+        flow_result.capture_bytes / 1024.0 / stream.span_s;
+  }
+  stream.connections = flow_result.connections;
+
+  std::vector<double> pair_bytes;
+  pair_bytes.reserve(flow_result.pairs.size());
+  for (const flow::PairBytes& p : flow_result.pairs) {
+    pair_bytes.push_back(p.capture_bytes);
+  }
+  flow::FundamentalsInput measure_in;
+  measure_in.bandwidth_kbs = flow_result.bandwidth_kbs;
+  measure_in.bin_seconds = scenario.telemetry.bandwidth_bin.seconds();
+  measure_in.pair_capture_bytes = pair_bytes;
+  measure_in.iterations = iterations;
+  const flow::MeasuredFundamentals fundamentals =
+      flow::measure_fundamentals(measure_in);
+  stream.spectral_segments = 1;
+  stream.fundamental_hz = fundamentals.fundamental_hz;
+  stream.harmonic_power_fraction = fundamentals.harmonic_power_fraction;
+  if (scenario.telemetry.keep_bandwidth_series) {
+    stream.bandwidth_series = flow_result.bandwidth_kbs;
+  }
+  run.stream = std::move(stream);
+  run.streamed = true;
+
+  auto metrics = std::make_shared<telemetry::MetricRegistry>();
+  metrics->counter("fxtraf_sim_events_total").add(run.events_executed);
+  metrics->gauge("fxtraf_trial_sim_seconds", telemetry::GaugeMerge::kMax)
+      .set(run.sim_seconds);
+  metrics->counter("fxtraf_flow_flows_completed_total")
+      .add(flow_result.flows_completed);
+  metrics->gauge("fxtraf_flow_peak_concurrent", telemetry::GaugeMerge::kMax)
+      .set(static_cast<double>(flow_result.peak_concurrent_flows));
+  telemetry::StreamingAnalyzer::export_metrics(run.stream, *metrics);
+  run.metrics = std::move(metrics);
+  return run;
+}
+
+}  // namespace fxtraf::apps

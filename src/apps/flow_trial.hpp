@@ -1,0 +1,25 @@
+// Flow-fidelity trial driver: the glue between TrialScenario and the
+// src/flow fluid simulator.
+//
+// Produces a TrialRun shaped exactly like a packet trial's so the
+// campaign engine, benches, and exporters run unchanged: sim_seconds is
+// the program finish time, digest folds one pseudo packet record per
+// completed flow, and (with telemetry enabled) `stream` carries the
+// binned bandwidth series, per-connection accounting, and the measured
+// fundamental — all through the same measurement pipeline the
+// cross-validation applies to packet runs.  Packet buffers stay empty:
+// there are no frames to capture at this fidelity.
+#pragma once
+
+#include "apps/trial.hpp"
+
+namespace fxtraf::apps {
+
+/// Runs `scenario` on the fluid simulator.  Throws std::invalid_argument
+/// for scenarios the flow model cannot honour: custom program factories,
+/// kernels without a source-form twin, frame-level faults (BER / FCS
+/// corruption), daemon outages, and packet-capture knobs
+/// (capture_max_packets, flight dumps).
+[[nodiscard]] TrialRun run_flow_trial(const TrialScenario& scenario);
+
+}  // namespace fxtraf::apps

@@ -4,6 +4,7 @@
 #include <stdexcept>
 #include <utility>
 
+#include "apps/flow_trial.hpp"
 #include "apps/registry.hpp"
 #include "net/stack.hpp"
 #include "pvm/daemon.hpp"
@@ -13,6 +14,17 @@ namespace fxtraf::apps {
 
 Trial::Trial(const TrialScenario& scenario)
     : faults_(scenario.faults), telemetry_(scenario.telemetry) {
+  if (scenario.fidelity != Fidelity::kPacket) {
+    // Mid-run access (taps, per-host stats) has no fluid counterpart;
+    // flow scenarios go through run_trial / run_flow_trial.
+    throw std::invalid_argument(
+        "Trial: flow fidelity has no packet-level testbed; use run_trial()");
+  }
+  if (scenario.hosts != 0) {
+    throw std::invalid_argument(
+        "Trial: `hosts` is a flow-fidelity knob; packet trials size the "
+        "segment with `workstations`");
+  }
   TestbedConfig config = scenario.testbed;
   if (scenario.make_program) {
     program_ = scenario.make_program();
@@ -362,6 +374,7 @@ TrialRun Trial::finish() {
 }
 
 TrialRun run_trial(const TrialScenario& scenario) {
+  if (scenario.fidelity == Fidelity::kFlow) return run_flow_trial(scenario);
   return Trial(scenario).finish();
 }
 

@@ -67,6 +67,13 @@ struct TelemetryConfig {
   std::string flight_dump_prefix;
 };
 
+/// Which simulator runs the trial.  kPacket is the full Ethernet / TCP /
+/// PVM stack; kFlow is the fluid fast path (src/flow): max-min fair
+/// shared flows, no frames or collisions, validated against packet mode
+/// on the measured (l, b, c) fundamentals and used for 10k–1M-host
+/// sweeps far beyond what per-frame events can reach.
+enum class Fidelity : std::uint8_t { kPacket, kFlow };
+
 /// Scenario for one trial.
 struct TrialScenario {
   /// Kernel registry key ("sor", "2dfft", ...).  When `make_program` is
@@ -79,6 +86,16 @@ struct TrialScenario {
   /// Workstations on the segment; 0 = exactly the processors the program
   /// uses (+1 when cross traffic is enabled).
   int workstations = 0;
+  /// Simulation fidelity.  Flow mode accepts only the registry kernels
+  /// with a source-form twin (every paper kernel) and rejects scenario
+  /// features the fluid model cannot honour (frame faults, daemon
+  /// outages, packet captures) instead of silently mispricing them.
+  Fidelity fidelity = Fidelity::kPacket;
+  /// Flow-only network size override: hosts on the topology, independent
+  /// of the program's processor count (the 10k–1M scale sweep).  0 =
+  /// derived from processors/workstations as in packet mode; packet
+  /// trials reject a nonzero value (workstations already serves there).
+  int hosts = 0;
   std::uint64_t seed = 1;
   /// Host / PVM knobs.  `testbed.workstations` is ignored — the count is
   /// derived as above — and when the program comes from the registry its

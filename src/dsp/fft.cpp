@@ -11,6 +11,14 @@ namespace {
 
 constexpr double kTwoPi = 2.0 * std::numbers::pi;
 
+/// Finite-operand complex multiply.  std::complex's operator* routes
+/// through __muldc3 for Inf/NaN fixup, a libgcc call that dominates the
+/// butterfly loop; spectra of finite signals never need the fixup.
+[[nodiscard]] inline Complex cmul(Complex a, Complex b) {
+  return Complex{a.real() * b.real() - a.imag() * b.imag(),
+                 a.real() * b.imag() + a.imag() * b.real()};
+}
+
 void bit_reverse_permute(std::span<Complex> a) {
   const std::size_t n = a.size();
   for (std::size_t i = 1, j = 0; i < n; ++i) {
@@ -41,17 +49,17 @@ std::vector<Complex> bluestein(std::span<const Complex> x, bool inverse) {
   const std::size_t m = next_pow2(2 * n - 1);
   std::vector<Complex> a(m, Complex{});
   std::vector<Complex> b(m, Complex{});
-  for (std::size_t k = 0; k < n; ++k) a[k] = x[k] * w[k];
+  for (std::size_t k = 0; k < n; ++k) a[k] = cmul(x[k], w[k]);
   b[0] = std::conj(w[0]);
   for (std::size_t k = 1; k < n; ++k) b[k] = b[m - k] = std::conj(w[k]);
 
   fft_pow2_inplace(a, /*inverse=*/false);
   fft_pow2_inplace(b, /*inverse=*/false);
-  for (std::size_t k = 0; k < m; ++k) a[k] *= b[k];
+  for (std::size_t k = 0; k < m; ++k) a[k] = cmul(a[k], b[k]);
   fft_pow2_inplace(a, /*inverse=*/true);
 
   std::vector<Complex> result(n);
-  for (std::size_t k = 0; k < n; ++k) result[k] = a[k] * w[k];
+  for (std::size_t k = 0; k < n; ++k) result[k] = cmul(a[k], w[k]);
   if (inverse) {
     for (auto& v : result) v /= static_cast<double>(n);
   }
@@ -65,19 +73,53 @@ void fft_pow2_inplace(std::span<Complex> data, bool inverse) {
   if (n <= 1) return;
   if (!is_pow2(n)) throw std::invalid_argument("fft_pow2: size not 2^k");
 
+  // Precomputed per-stage twiddles, each stage's w_len^j contiguous so
+  // the butterfly loop streams them sequentially.  A running product
+  // (w *= wlen) would both drift and serialize the loop behind a
+  // complex-multiply latency chain.  The deepest stage's half-table is
+  // built with a two-level coarse*fine split (exact to one multiply,
+  // 64 + n/128 trig evaluations); every shallower stage is its stride-2
+  // subsample, so the whole cascade costs one pass of copies.
+  const std::size_t half = n / 2;
+  const double step = (inverse ? kTwoPi : -kTwoPi) / static_cast<double>(n);
+  std::vector<Complex> twiddle(2 * half - 1);  // stage tables, deepest first
+  {
+    constexpr std::size_t kFine = 64;
+    Complex fine[kFine];
+    const std::size_t fine_used = std::min(half, kFine);
+    for (std::size_t j = 0; j < fine_used; ++j) {
+      const double a = step * static_cast<double>(j);
+      fine[j] = Complex{std::cos(a), std::sin(a)};
+    }
+    for (std::size_t base = 0; base < half; base += kFine) {
+      const double a = step * static_cast<double>(base);
+      const Complex coarse{std::cos(a), std::sin(a)};
+      const std::size_t end = std::min(half, base + kFine);
+      for (std::size_t j = base; j < end; ++j) {
+        twiddle[j] = cmul(coarse, fine[j - base]);
+      }
+    }
+    std::size_t src = 0;
+    for (std::size_t count = half / 2; count >= 1; count /= 2) {
+      const std::size_t dst = src + 2 * count;
+      for (std::size_t j = 0; j < count; ++j) {
+        twiddle[dst + j] = twiddle[src + 2 * j];
+      }
+      src = dst;
+    }
+  }
+
   bit_reverse_permute(data);
+  std::size_t stage = twiddle.size();  // walk tables shallowest-first
   for (std::size_t len = 2; len <= n; len <<= 1) {
-    const double angle = (inverse ? kTwoPi : -kTwoPi) /
-                         static_cast<double>(len);
-    const Complex wlen{std::cos(angle), std::sin(angle)};
+    stage -= len / 2;
+    const Complex* w = twiddle.data() + stage;
     for (std::size_t i = 0; i < n; i += len) {
-      Complex w{1.0, 0.0};
       for (std::size_t j = 0; j < len / 2; ++j) {
         const Complex u = data[i + j];
-        const Complex v = data[i + j + len / 2] * w;
+        const Complex v = cmul(data[i + j + len / 2], w[j]);
         data[i + j] = u + v;
         data[i + j + len / 2] = u - v;
-        w *= wlen;
       }
     }
   }

@@ -42,7 +42,8 @@ std::vector<Peak> find_peaks(const Spectrum& spectrum,
 
 FundamentalEstimate estimate_fundamental(const std::vector<Peak>& all_peaks,
                                          double frequency_tolerance_hz,
-                                         double min_relative_power) {
+                                         double min_relative_power,
+                                         int max_divisor) {
   FundamentalEstimate best;
   if (all_peaks.empty()) return best;
 
@@ -62,7 +63,7 @@ FundamentalEstimate estimate_fundamental(const std::vector<Peak>& all_peaks,
   // tolerance widths of separation between multiples.
   std::vector<double> candidates;
   for (const Peak& p : peaks) {
-    for (int divisor = 1; divisor <= 4; ++divisor) {
+    for (int divisor = 1; divisor <= std::max(1, max_divisor); ++divisor) {
       const double f = p.frequency_hz / divisor;
       if (f > 3.0 * frequency_tolerance_hz) candidates.push_back(f);
     }

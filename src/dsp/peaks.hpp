@@ -47,11 +47,14 @@ struct FundamentalEstimate {
 /// Only peaks holding at least `min_relative_power` of the strongest
 /// peak's power participate (weaker maxima are broadband noise, not comb
 /// lines).  Candidate fundamentals are each strong peak's frequency and
-/// its integer subdivisions; the candidate explaining the most peak power
-/// through its harmonic series wins, weighted by how many of its first
-/// few harmonics actually carry peaks (subharmonic guard).
+/// its integer subdivisions up to `max_divisor`; the candidate explaining
+/// the most peak power through its harmonic series wins, weighted by how
+/// many of its first few harmonics actually carry peaks (subharmonic
+/// guard).  Callers who know the fundamental line itself must be present
+/// (bandwidth combs always carry it) pass max_divisor = 1, which removes
+/// the subharmonic ambiguity entirely.
 [[nodiscard]] FundamentalEstimate estimate_fundamental(
     const std::vector<Peak>& peaks, double frequency_tolerance_hz,
-    double min_relative_power = 0.05);
+    double min_relative_power = 0.05, int max_divisor = 4);
 
 }  // namespace fxtraf::dsp

@@ -67,6 +67,9 @@ class DuplexLink final : public Link {
     return bit_times_at(512, config_.bit_rate_bps);
   }
   [[nodiscard]] int directions() const override { return 2; }
+  [[nodiscard]] double capacity_bps() const override {
+    return config_.bit_rate_bps;
+  }
 
   [[nodiscard]] const SegmentStats& stats() const override { return stats_; }
   [[nodiscard]] std::span<Nic* const> attached() const override {

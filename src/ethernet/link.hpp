@@ -109,6 +109,21 @@ class Link {
   /// Independent wire directions: 1 for half duplex, 2 for full duplex.
   [[nodiscard]] virtual int directions() const = 0;
 
+  /// Nominal bit rate of each wire direction, in bits per second.  With
+  /// directions() this is the uniform capacity query the flow-level
+  /// simulator (src/flow) builds its rate model from — no downcasts to
+  /// Segment/DuplexLink are needed to price a link.
+  [[nodiscard]] virtual double capacity_bps() const = 0;
+
+  /// Flow-layer attachment hook: an opaque slot index the flow-level
+  /// network model assigns when it mirrors this link (kNoFlowSlot until
+  /// attached).  Lives on the base so flow code can map Link* -> its
+  /// rate-model entry without downcasts or side tables; the packet-level
+  /// machinery never reads it.
+  static constexpr int kNoFlowSlot = -1;
+  void set_flow_slot(int slot) { flow_slot_ = slot; }
+  [[nodiscard]] int flow_slot() const { return flow_slot_; }
+
   [[nodiscard]] virtual const SegmentStats& stats() const = 0;
 
   /// NICs transmitting on this link, in attachment order (the audit
@@ -121,6 +136,9 @@ class Link {
     const auto elapsed = static_cast<double>(over.ns()) * directions();
     return elapsed > 0 ? static_cast<double>(stats().busy_ns) / elapsed : 0.0;
   }
+
+ private:
+  int flow_slot_ = kNoFlowSlot;
 };
 
 }  // namespace fxtraf::eth

@@ -66,6 +66,7 @@ class Segment final : public Link {
   }
   [[nodiscard]] sim::Duration slot_time() const override { return kSlotTime; }
   [[nodiscard]] int directions() const override { return 1; }
+  [[nodiscard]] double capacity_bps() const override { return kBitRateBps; }
 
   [[nodiscard]] const SegmentStats& stats() const override { return stats_; }
   [[nodiscard]] std::span<Nic* const> attached() const override {

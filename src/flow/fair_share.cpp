@@ -1,0 +1,150 @@
+#include "flow/fair_share.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+#include <stdexcept>
+
+namespace fxtraf::flow {
+
+void max_min_rates(const FairShareProblem& problem, std::span<double> rates,
+                   FairShareWorkspace& workspace) {
+  const std::size_t flows = problem.route_begin.empty()
+                                ? 0
+                                : problem.route_begin.size() - 1;
+  if (rates.size() != flows) {
+    throw std::invalid_argument("max_min_rates: rates span size mismatch");
+  }
+  if (!problem.rate_cap.empty() && problem.rate_cap.size() != flows) {
+    throw std::invalid_argument("max_min_rates: rate_cap size mismatch");
+  }
+
+  const auto cap_of = [&](std::size_t f) {
+    return problem.rate_cap.empty() ? kUncapped : problem.rate_cap[f];
+  };
+
+  // Only resources actually crossed by some flow participate; `load`
+  // counts unfrozen flows per touched resource, `headroom` its remaining
+  // capacity.  Index resources through a dense touched list so a huge
+  // network with a small active set costs O(active), not O(network):
+  // the workspace arrays grow to the network once and only the touched
+  // entries are written (and reset on the way out).
+  std::vector<int>& touched = workspace.touched;
+  std::vector<double>& headroom = workspace.headroom;
+  std::vector<std::uint32_t>& load = workspace.load;
+  std::vector<bool>& is_touched = workspace.is_touched;
+  touched.clear();
+  if (headroom.size() < problem.capacity.size()) {
+    headroom.resize(problem.capacity.size(), 0.0);
+    load.resize(problem.capacity.size(), 0);
+    is_touched.resize(problem.capacity.size(), false);
+  }
+
+  std::vector<bool> frozen(flows, false);
+  std::size_t unfrozen = 0;
+  for (std::size_t f = 0; f < flows; ++f) {
+    rates[f] = 0.0;
+    const auto begin = problem.route_begin[f];
+    const auto end = problem.route_begin[f + 1];
+    if (begin == end || cap_of(f) <= 0.0) {
+      // No wire in the way: the flow runs at its cap.  A zero/negative
+      // cap freezes the flow at rate zero immediately.
+      rates[f] = std::max(0.0, std::min(cap_of(f), kUncapped));
+      frozen[f] = true;
+      if (begin == end) continue;
+    }
+    if (!frozen[f]) ++unfrozen;
+    for (auto i = begin; i < end; ++i) {
+      const int r = problem.route_data[i];
+      assert(r >= 0 && static_cast<std::size_t>(r) < problem.capacity.size());
+      if (!is_touched[static_cast<std::size_t>(r)]) {
+        is_touched[static_cast<std::size_t>(r)] = true;
+        touched.push_back(r);
+        headroom[static_cast<std::size_t>(r)] =
+            problem.capacity[static_cast<std::size_t>(r)];
+      }
+      if (!frozen[f]) ++load[static_cast<std::size_t>(r)];
+    }
+  }
+
+  // Progressive filling: each round raises every unfrozen flow by the
+  // largest uniform increment no resource or cap can refuse, then
+  // freezes the flows that hit the binding constraint.
+  while (unfrozen > 0) {
+    double delta = std::numeric_limits<double>::infinity();
+    for (const int r : touched) {
+      const auto ri = static_cast<std::size_t>(r);
+      if (load[ri] > 0) {
+        delta = std::min(delta, headroom[ri] / static_cast<double>(load[ri]));
+      }
+    }
+    for (std::size_t f = 0; f < flows; ++f) {
+      if (!frozen[f]) delta = std::min(delta, cap_of(f) - rates[f]);
+    }
+    if (!(delta < std::numeric_limits<double>::infinity())) break;
+    delta = std::max(delta, 0.0);
+
+    for (std::size_t f = 0; f < flows; ++f) {
+      if (frozen[f]) continue;
+      rates[f] += delta;
+      for (auto i = problem.route_begin[f]; i < problem.route_begin[f + 1];
+           ++i) {
+        headroom[static_cast<std::size_t>(problem.route_data[i])] -= delta;
+      }
+    }
+
+    // Saturation test with a relative tolerance: repeated subtraction
+    // leaves O(eps) residue that must still read as "full".
+    const auto saturated = [&](int r) {
+      const auto ri = static_cast<std::size_t>(r);
+      return headroom[ri] <= 1e-9 * problem.capacity[ri] + 1e-12;
+    };
+    for (std::size_t f = 0; f < flows; ++f) {
+      if (frozen[f]) continue;
+      bool freeze = rates[f] >= cap_of(f) - 1e-12;
+      for (auto i = problem.route_begin[f];
+           !freeze && i < problem.route_begin[f + 1]; ++i) {
+        freeze = saturated(problem.route_data[i]);
+      }
+      if (!freeze) continue;
+      frozen[f] = true;
+      --unfrozen;
+      for (auto i = problem.route_begin[f]; i < problem.route_begin[f + 1];
+           ++i) {
+        --load[static_cast<std::size_t>(problem.route_data[i])];
+      }
+    }
+  }
+
+  // Restore the workspace invariant in O(touched): loads zeroed (flows
+  // frozen by the cap-only break above may still hold counts), marks
+  // cleared.  Headroom needs no reset — it is assigned on first touch.
+  for (const int r : touched) {
+    load[static_cast<std::size_t>(r)] = 0;
+    is_touched[static_cast<std::size_t>(r)] = false;
+  }
+}
+
+void max_min_rates(const FairShareProblem& problem, std::span<double> rates) {
+  FairShareWorkspace workspace;
+  max_min_rates(problem, rates, workspace);
+}
+
+std::vector<double> max_min_rates(std::span<const double> capacity,
+                                  const std::vector<std::vector<int>>& routes,
+                                  std::span<const double> rate_cap) {
+  std::vector<std::uint32_t> begin;
+  std::vector<int> data;
+  begin.reserve(routes.size() + 1);
+  begin.push_back(0);
+  for (const std::vector<int>& route : routes) {
+    data.insert(data.end(), route.begin(), route.end());
+    begin.push_back(static_cast<std::uint32_t>(data.size()));
+  }
+  std::vector<double> rates(routes.size(), 0.0);
+  FairShareProblem problem{capacity, begin, data, rate_cap};
+  max_min_rates(problem, rates);
+  return rates;
+}
+
+}  // namespace fxtraf::flow

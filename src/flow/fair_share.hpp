@@ -1,0 +1,70 @@
+// Max-min fair-share bandwidth allocation (progressive filling).
+//
+// The flow-level simulator's rate model: every active flow crosses a
+// set of directional link resources, each with a fixed capacity, and
+// receives the max-min fair rate — all flows rise together until a
+// resource saturates, flows bottlenecked there freeze, and the rest
+// keep rising (Bertsekas & Gallager's progressive filling).  Per-flow
+// rate caps model sources that cannot saturate a wire on their own
+// (CBR cross traffic, hosts inside a network-down fault window, which
+// cap to zero).
+//
+// The allocation is the fluid steady state between two flow events; the
+// simulator recomputes it whenever the active set changes.  Two
+// interfaces: a flat-array form the hot path uses without per-call
+// allocation, and a vector-of-vectors convenience wrapper for tests.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace fxtraf::flow {
+
+/// Uncapped sentinel for per-flow rate limits.
+inline constexpr double kUncapped = 1e300;
+
+/// Flat CSR-style description of one allocation problem.  Flow f crosses
+/// resources route_data[route_begin[f] .. route_begin[f+1]); rate_cap may
+/// be empty (every flow uncapped).  Capacities and caps share one unit
+/// (the simulator uses bytes of wire work per second).
+struct FairShareProblem {
+  std::span<const double> capacity;            ///< per resource
+  std::span<const std::uint32_t> route_begin;  ///< size = flows + 1
+  std::span<const int> route_data;             ///< concatenated routes
+  std::span<const double> rate_cap;            ///< per flow, may be empty
+};
+
+/// Per-resource scratch state, reusable across allocation calls.  The
+/// arrays are sized to the network once and reset O(touched) per call,
+/// so a million-resource topology is paid for at first use, not on
+/// every reallocation event.  Invariant between calls: every entry of
+/// `load` is 0 and every entry of `is_touched` is false.
+struct FairShareWorkspace {
+  std::vector<int> touched;
+  std::vector<double> headroom;
+  std::vector<std::uint32_t> load;
+  std::vector<bool> is_touched;
+};
+
+/// Computes the max-min fair allocation into `rates` (size = flows).
+/// A flow crossing no resource gets its cap (kUncapped if uncapped —
+/// the caller models a pure source with no wire in between).
+/// Guarantees: feasibility (no resource above capacity), and Pareto
+/// optimality (every flow is either at its cap or crosses a saturated
+/// resource).  O(rounds * (flows + touched resources)); rounds is the
+/// number of distinct bottleneck levels, 1 for homogeneous traffic.
+void max_min_rates(const FairShareProblem& problem, std::span<double> rates,
+                   FairShareWorkspace& workspace);
+
+/// Single-shot form: allocates a fresh workspace per call (tests,
+/// callers without a hot loop).
+void max_min_rates(const FairShareProblem& problem, std::span<double> rates);
+
+/// Test-friendly wrapper: one vector<int> route per flow.
+[[nodiscard]] std::vector<double> max_min_rates(
+    std::span<const double> capacity,
+    const std::vector<std::vector<int>>& routes,
+    std::span<const double> rate_cap = {});
+
+}  // namespace fxtraf::flow

@@ -1,0 +1,408 @@
+#include "flow/lowering.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <set>
+#include <stdexcept>
+#include <variant>
+
+#include "fxc/analysis.hpp"
+#include "fxc/sema/passes.hpp"
+
+namespace fxtraf::flow {
+
+namespace {
+
+using fxc::PredictorConfig;
+
+/// Efficiency of a lone stream on the configured medium.
+double single_stream_efficiency(const FlowLoweringOptions& options) {
+  return options.shared_medium ? options.predictor.single_stream_efficiency
+                               : options.switched_stream_efficiency;
+}
+
+double compute_seconds(double flops, const PredictorConfig& config) {
+  return flops / (config.mflops * 1e6);
+}
+
+/// Prices one communication matrix the way sema/predictor's
+/// priced_exchange does, but keeps the per-message structure: the shift
+/// schedule's steps stay serialized, each step's messages become
+/// concurrent fluid demands with the step's stream efficiency folded
+/// into their work, and shared-bus contention inflates captured bytes
+/// by the implied retransmissions.
+FlowPhase lower_exchange(const fxc::CommMatrix& matrix, double flops,
+                         bool compute_first,
+                         const FlowLoweringOptions& options) {
+  const PredictorConfig& config = options.predictor;
+  const int p = matrix.processors();
+
+  struct Step {
+    std::set<int> senders;
+    std::vector<FlowDemand> demands;
+  };
+  std::map<int, Step> steps;  // keyed by schedule shift, ascending
+  std::set<int> senders;
+  std::set<int> receivers;
+  int messages = 0;
+  for (int s = 0; s < p; ++s) {
+    for (int d = 0; d < p; ++d) {
+      const std::size_t bytes = matrix.at(s, d);
+      if (s == d || bytes == 0) continue;
+      const fxc::MessageWireCost cost = priced_message(bytes, config);
+      Step& step = steps[(d - s + p) % p];
+      step.senders.insert(s);
+      step.demands.push_back({s, d, static_cast<double>(cost.wire),
+                              static_cast<double>(cost.capture)});
+      senders.insert(s);
+      receivers.insert(d);
+      ++messages;
+    }
+  }
+
+  FlowPhase phase;
+  phase.compute_seconds = compute_seconds(flops, config);
+  phase.compute_first = compute_first;
+  if (messages == 0) return phase;
+
+  // Exactly two ranks swapping tiles: both streams run concurrently at
+  // the calibrated bidirectional-interplay efficiency, one turnaround
+  // per schedule shift.
+  if (senders == receivers && senders.size() == 2 && messages == 2) {
+    const double efficiency = options.shared_medium
+                                  ? config.pair_exchange_efficiency
+                                  : options.switched_stream_efficiency;
+    FlowStep out;
+    out.overhead_seconds =
+        static_cast<double>(steps.size()) * config.per_message_seconds +
+        static_cast<double>(messages) * config.send_overhead_seconds;
+    for (auto& [shift, step] : steps) {
+      for (FlowDemand& demand : step.demands) {
+        demand.work_bytes /= efficiency;
+        out.demands.push_back(demand);
+      }
+    }
+    phase.steps.push_back(std::move(out));
+    return phase;
+  }
+
+  bool disjoint = true;
+  for (const int s : senders) {
+    if (receivers.count(s) != 0) {
+      disjoint = false;
+      break;
+    }
+  }
+  std::size_t step_senders = 0;
+  for (const auto& [shift, step] : steps) {
+    step_senders = std::max(step_senders, step.senders.size());
+  }
+  const double streams = disjoint ? static_cast<double>(messages)
+                                  : static_cast<double>(step_senders);
+  const double contention =
+      options.shared_medium
+          ? std::clamp(1.0 - config.contention_per_stream *
+                                 (streams - config.contention_free_streams),
+                       config.contention_floor, 1.0)
+          : 1.0;
+
+  bool has_multi = false;
+  for (auto& [shift, step] : steps) {
+    const bool multi = step.senders.size() > 1;
+    has_multi |= multi;
+    double efficiency;
+    if (options.shared_medium) {
+      efficiency = multi ? config.medium_efficiency * contention
+                         : config.single_stream_efficiency;
+    } else {
+      efficiency = options.switched_stream_efficiency;
+    }
+    FlowStep out;
+    out.overhead_seconds =
+        config.per_message_seconds +
+        static_cast<double>(step.demands.size()) *
+            config.send_overhead_seconds;
+    for (FlowDemand& demand : step.demands) {
+      // Concurrent one-way bulk streams ride with opened windows and
+      // every sender pushing flat out, so collisions cost captured
+      // retransmissions on top of the contention scaling.  All-to-all
+      // steps are exempt: each host interleaves its send with receive
+      // processing, which keeps windows small (measured <4% retx vs
+      // 10-25% for disjoint bulk transfers).
+      if (options.shared_medium && multi && disjoint &&
+          demand.work_bytes >= options.bulk_stream_wire_bytes) {
+        demand.capture_bytes *= 1.0 + options.bulk_collision_retrans;
+      }
+      demand.work_bytes /= efficiency;
+      out.demands.push_back(demand);
+    }
+    phase.steps.push_back(std::move(out));
+  }
+
+  // Collision losses on the shared bus reappear in the capture as
+  // retransmissions (predictor's capture_scale); the wire work already
+  // carries them through the contention-degraded efficiency.  The
+  // inflation fades linearly below one bulk window's worth of stream:
+  // small messages never open the windows whose losses collisions turn
+  // into retransmissions (sor's 2 KB halos capture flat across P in the
+  // packet runs while 100 KB redistributes inflate fully).
+  if (options.shared_medium && has_multi && contention < 1.0) {
+    const double scale = 1.0 / contention;
+    for (FlowStep& step : phase.steps) {
+      for (FlowDemand& demand : step.demands) {
+        const double bulk = std::min(
+            1.0, demand.capture_bytes / options.bulk_stream_wire_bytes);
+        demand.capture_bytes *= 1.0 + (scale - 1.0) * bulk;
+      }
+    }
+  }
+  return phase;
+}
+
+/// SEQ's sequential read: rank 0 reads a row, then fires per-element
+/// messages at every other owner; slots advance by max(io, drain) as in
+/// the predictor's row pacing.
+FlowPhase lower_sequential_read(const fxc::SequentialRead& read,
+                                const fxc::SourceProgram& state,
+                                const FlowLoweringOptions& options) {
+  const PredictorConfig& config = options.predictor;
+  const fxc::ArrayDecl& decl = state.array(read.array);
+  const std::size_t rows = decl.extents.front();
+  const std::size_t per_row = decl.total_elements() / rows;
+
+  std::vector<int> dests;
+  for (std::size_t q = decl.processors.lo; q < decl.processors.hi; ++q) {
+    if (q != 0) dests.push_back(static_cast<int>(q));
+  }
+
+  const std::size_t frame = read.element_message_bytes +
+                            config.message_header_bytes +
+                            config.frame_overhead_bytes;
+  const std::size_t acks_per_dest =
+      (per_row + static_cast<std::size_t>(config.ack_every_segments) - 1) /
+      static_cast<std::size_t>(config.ack_every_segments);
+  const std::size_t wire_per_dest =
+      per_row * (frame + config.frame_gap_bytes) +
+      acks_per_dest * config.ack_wire_bytes;
+  const std::size_t capture_per_dest =
+      per_row * frame + acks_per_dest * config.ack_capture_bytes;
+
+  const double efficiency = single_stream_efficiency(options);
+  const std::size_t row_segments = per_row * dests.size();
+  const double row_wire =
+      static_cast<double>(wire_per_dest) * static_cast<double>(dests.size());
+  const double row_comm = row_wire / (config.wire_bytes_per_s * efficiency);
+  const double row_io =
+      read.io_time_per_row.seconds() +
+      static_cast<double>(row_segments) * config.send_overhead_seconds;
+
+  FlowPhase phase;
+  phase.rows = static_cast<int>(rows);
+  phase.row_io_seconds = row_io;
+  phase.row_slot_seconds = std::max(row_io, row_comm);
+  FlowStep step;  // re-injected once per row slot
+  for (const int dest : dests) {
+    step.demands.push_back({0, dest,
+                            static_cast<double>(wire_per_dest) / efficiency,
+                            static_cast<double>(capture_per_dest)});
+  }
+  phase.steps.push_back(std::move(step));
+  return phase;
+}
+
+FlowProgram lower_dense(const fxc::SourceProgram& program,
+                        const FlowLoweringOptions& options) {
+  fxc::DiagnosticSink sink;
+  if (!fxc::run_sema(program, sink)) {
+    throw fxc::SemaError(sink.diagnostics());
+  }
+  const std::vector<fxc::PhaseAnalysis> analyses =
+      fxc::analyze_program(program);
+
+  FlowProgram out;
+  out.name = program.name;
+  out.processors = program.processors;
+  out.iterations = program.iterations;
+
+  // Redistribute changes where arrays live for later statements, which
+  // only SequentialRead reads outside the precomputed analyses.
+  fxc::SourceProgram state = program;
+  for (std::size_t i = 0; i < program.body.size(); ++i) {
+    const fxc::Statement& statement = program.body[i];
+    if (const auto* read = std::get_if<fxc::SequentialRead>(&statement)) {
+      out.phases.push_back(lower_sequential_read(*read, state, options));
+    } else {
+      out.phases.push_back(lower_exchange(
+          analyses[i].matrix, analyses[i].flops_per_processor,
+          std::holds_alternative<fxc::Reduction>(statement), options));
+    }
+    if (const auto* redist = std::get_if<fxc::Redistribute>(&statement)) {
+      fxc::ArrayDecl& decl = state.array(redist->array);
+      decl.distribution = redist->to;
+      decl.processors = redist->to_processors;
+    }
+  }
+  return out;
+}
+
+/// Sparse synthesis for processor counts where the dense P x P matrix
+/// is intractable.  Only patterns whose message count is O(P) per
+/// statement have a sparse form.
+FlowProgram lower_sparse(const fxc::SourceProgram& program,
+                         const FlowLoweringOptions& options) {
+  program.validate();
+  const PredictorConfig& config = options.predictor;
+  const int p = program.processors;
+
+  FlowProgram out;
+  out.name = program.name;
+  out.processors = p;
+  out.iterations = program.iterations;
+
+  const auto step_contention = [&](double streams) {
+    return options.shared_medium
+               ? std::clamp(1.0 - config.contention_per_stream *
+                                      (streams -
+                                       config.contention_free_streams),
+                            config.contention_floor, 1.0)
+               : 1.0;
+  };
+
+  for (const fxc::Statement& statement : program.body) {
+    FlowPhase phase;
+    if (const auto* work = std::get_if<fxc::LocalWork>(&statement)) {
+      phase.compute_seconds = compute_seconds(work->flops, config);
+    } else if (const auto* stencil =
+                   std::get_if<fxc::StencilAssign>(&statement)) {
+      // Boundary exchange: the halo is max_offsets[bdim] planes of the
+      // non-distributed extents — a P-independent byte count per
+      // neighbor direction, which is what makes stencils scalable.
+      const fxc::ArrayDecl& decl = program.array(stencil->array);
+      const int bdim = std::max(0, decl.distribution.block_dim());
+      const std::size_t plane =
+          decl.total_elements() / decl.extents[static_cast<std::size_t>(bdim)];
+      const std::size_t halo_bytes =
+          static_cast<std::size_t>(
+              stencil->max_offsets[static_cast<std::size_t>(bdim)]) *
+          plane * fxc::elem_bytes(decl.type);
+      phase.compute_seconds = compute_seconds(
+          stencil->flops_per_point *
+              static_cast<double>(decl.total_elements()) / p,
+          config);
+      if (halo_bytes > 0 && p > 1) {
+        const fxc::MessageWireCost cost = priced_message(halo_bytes, config);
+        const double contention =
+            step_contention(static_cast<double>(p - 1));
+        const double efficiency =
+            options.shared_medium ? config.medium_efficiency * contention
+                                  : options.switched_stream_efficiency;
+        const double capture_scale =
+            options.shared_medium
+                ? 1.0 + (1.0 / contention - 1.0) *
+                            std::min(1.0, static_cast<double>(cost.capture) /
+                                              options.bulk_stream_wire_bytes)
+                : 1.0;
+        // Shift +1 and shift -1, each a multi-sender step of P-1 halos.
+        for (const int shift : {1, p - 1}) {
+          FlowStep step;
+          step.overhead_seconds =
+              config.per_message_seconds +
+              static_cast<double>(p - 1) * config.send_overhead_seconds;
+          step.demands.reserve(static_cast<std::size_t>(p - 1));
+          for (int s = 0; s < p; ++s) {
+            const int d = (s + shift) % p;
+            // Block distribution: no wraparound halo between the ends.
+            if ((shift == 1 && d == 0) || (shift == p - 1 && s == 0)) {
+              continue;
+            }
+            step.demands.push_back(
+                {s, d, static_cast<double>(cost.wire) / efficiency,
+                 static_cast<double>(cost.capture) * capture_scale});
+          }
+          phase.steps.push_back(std::move(step));
+        }
+      }
+    } else if (const auto* reduce = std::get_if<fxc::Reduction>(&statement)) {
+      // Binomial tree toward rank 0: level l pairs rank r (odd multiple
+      // of 2^l) with r - 2^l; each level is one schedule step.
+      phase.compute_first = true;
+      phase.compute_seconds = compute_seconds(reduce->flops, config);
+      const fxc::MessageWireCost cost =
+          priced_message(reduce->vector_bytes, config);
+      for (int span = 1; span < p; span *= 2) {
+        FlowStep step;
+        int level_senders = 0;
+        for (int r = span; r < p; r += 2 * span) {
+          step.demands.push_back({r, r - span, 0.0, 0.0});
+          ++level_senders;
+        }
+        const double contention =
+            step_contention(static_cast<double>(level_senders));
+        double efficiency;
+        if (options.shared_medium) {
+          efficiency = level_senders > 1
+                           ? config.medium_efficiency * contention
+                           : config.single_stream_efficiency;
+        } else {
+          efficiency = options.switched_stream_efficiency;
+        }
+        const double capture_scale =
+            options.shared_medium && level_senders > 1
+                ? 1.0 + (1.0 / contention - 1.0) *
+                            std::min(1.0, static_cast<double>(cost.capture) /
+                                              options.bulk_stream_wire_bytes)
+                : 1.0;
+        for (FlowDemand& demand : step.demands) {
+          demand.work_bytes = static_cast<double>(cost.wire) / efficiency;
+          demand.capture_bytes =
+              static_cast<double>(cost.capture) * capture_scale;
+        }
+        step.overhead_seconds =
+            config.per_message_seconds +
+            static_cast<double>(level_senders) * config.send_overhead_seconds;
+        phase.steps.push_back(std::move(step));
+      }
+    } else if (const auto* bcast =
+                   std::get_if<fxc::BroadcastStmt>(&statement)) {
+      // One fan-out step: the root's P-1 single-stream sends share its
+      // uplink under fair share (serialized on a shared bus anyway).
+      const fxc::MessageWireCost cost = priced_message(bcast->bytes, config);
+      const double efficiency = single_stream_efficiency(options);
+      FlowStep step;
+      step.overhead_seconds =
+          static_cast<double>(p - 1) *
+          (config.per_message_seconds + config.send_overhead_seconds);
+      step.demands.reserve(static_cast<std::size_t>(p - 1));
+      for (int d = 0; d < p; ++d) {
+        if (d == bcast->root) continue;
+        step.demands.push_back({bcast->root, d,
+                                static_cast<double>(cost.wire) / efficiency,
+                                static_cast<double>(cost.capture)});
+      }
+      phase.steps.push_back(std::move(step));
+    } else if (std::holds_alternative<fxc::SyncStmt>(statement)) {
+      // Barriers are implicit in step serialization.
+    } else {
+      throw std::invalid_argument(
+          "flow lowering: statement has no sparse form past "
+          "dense_processor_limit (redistributes, sends/recvs, and "
+          "sequential reads are inherently dense) in program " +
+          program.name);
+    }
+    out.phases.push_back(std::move(phase));
+  }
+  return out;
+}
+
+}  // namespace
+
+FlowProgram lower_to_flows(const fxc::SourceProgram& program,
+                           const FlowLoweringOptions& options) {
+  if (program.processors <= options.dense_processor_limit) {
+    return lower_dense(program, options);
+  }
+  return lower_sparse(program, options);
+}
+
+}  // namespace fxtraf::flow

@@ -1,0 +1,69 @@
+// fxc -> flow lowering: turns an Fx source program into the fluid
+// FlowProgram the flow-level simulator executes.
+//
+// Two paths share the calibrated PredictorConfig machine model:
+//
+//   Dense (P <= dense_processor_limit): runs the same analyze_program
+//   pass as fxc lowering and the traffic predictor, then prices every
+//   communication matrix exactly as sema/predictor's priced_exchange
+//   does — shift-schedule step serialization, pair-swap / disjoint /
+//   contention stream efficiencies, per-step turnaround, retransmission
+//   inflation of captured bytes on the shared bus.  By construction a
+//   flow run on the shared bus reproduces the predictor's (10%-gated)
+//   phase timing, which is what the flow-vs-packet cross-validation
+//   leans on.
+//
+//   Sparse (P above the limit): the dense CommMatrix is O(P^2) bytes,
+//   so scalable patterns are synthesized per statement instead —
+//   stencils become fixed-size neighbor halo pairs (the halo is a
+//   boundary plane, independent of P), reductions become binomial-tree
+//   levels, broadcasts one fan-out step.  Statements whose traffic is
+//   inherently all-to-all (redistributes, sends/recvs, sequential
+//   reads) throw: they have no bounded sparse form and the scale sweep
+//   must not silently misprice them.
+#pragma once
+
+#include "flow/program.hpp"
+#include "fxc/ir.hpp"
+#include "fxc/sema/predictor.hpp"
+
+namespace fxtraf::flow {
+
+struct FlowLoweringOptions {
+  /// Calibrated machine model (efficiencies, framing, overheads) —
+  /// defaults mirror the simulated 10 Mb/s testbed.
+  fxc::PredictorConfig predictor;
+  /// True for the CSMA/CD shared bus: multi-sender steps pay the
+  /// calibrated contention degradation and captured bytes inflate by
+  /// the implied retransmissions.  False for switched (full-duplex)
+  /// topologies, which have no collision path.
+  bool shared_medium = true;
+  /// Per-stream efficiency on switched links (fraction of nominal rate
+  /// one TCP stream sustains).  The micro-RTT full-duplex path keeps
+  /// the pipe essentially full; calibrated against star-100 packet
+  /// runs.
+  double switched_stream_efficiency = 0.93;
+  /// Above this processor count the dense P x P analysis is replaced by
+  /// the sparse per-pattern synthesis.
+  int dense_processor_limit = 512;
+  /// Collision-retransmission capture inflation for concurrent *bulk*
+  /// streams on the shared bus.  Long concurrent transfers ride with
+  /// fully opened TCP windows, so collision losses trigger segment
+  /// retransmissions that tcpdump counts (measured on the packet
+  /// testbed: ~10-25% of segments for half-megabyte concurrent pair
+  /// streams, inflating the dominant pair's capture ~17%; short
+  /// streams stay in slow-start and see almost none).  Applied to
+  /// demands whose wire bytes exceed `bulk_stream_wire_bytes` in steps
+  /// with two or more concurrent senders.
+  double bulk_collision_retrans = 0.175;
+  double bulk_stream_wire_bytes = 64.0 * 1024.0;
+};
+
+/// Lowers `program` to the fluid representation.  Throws fxc::SemaError
+/// for structurally unsound programs (dense path; same gate as
+/// compile()) and std::invalid_argument for statements with no sparse
+/// form past the dense limit.
+[[nodiscard]] FlowProgram lower_to_flows(const fxc::SourceProgram& program,
+                                         const FlowLoweringOptions& options);
+
+}  // namespace fxtraf::flow

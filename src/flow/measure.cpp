@@ -1,0 +1,119 @@
+#include "flow/measure.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <utility>
+
+#include "dsp/peaks.hpp"
+#include "dsp/periodogram.hpp"
+
+namespace fxtraf::flow {
+
+MeasuredFundamentals measure_fundamentals(const FundamentalsInput& input) {
+  MeasuredFundamentals out;
+
+  double max_pair = 0.0;
+  for (double bytes : input.pair_capture_bytes) {
+    max_pair = std::max(max_pair, bytes);
+  }
+  out.burst_bytes = max_pair / std::max(1, input.iterations);
+
+  const std::span<const double> series = input.bandwidth_kbs;
+  if (series.size() < 4 || input.bin_seconds <= 0) return out;
+
+  const dsp::Spectrum spectrum =
+      dsp::periodogram(series, input.bin_seconds);
+  std::vector<dsp::Peak> peaks = dsp::find_peaks(spectrum);
+  if (input.min_fundamental_hz > 0) {
+    std::erase_if(peaks, [&](const dsp::Peak& p) {
+      return p.frequency_hz < input.min_fundamental_hz;
+    });
+  }
+  if (peaks.empty()) return out;
+
+  // A bandwidth comb always carries its fundamental line, so candidates
+  // are the admissible peaks themselves (max_divisor = 1): integer
+  // subdivisions would reintroduce sub-floor subharmonics that trivially
+  // explain every peak.  2.5 bins of harmonic tolerance, because period
+  // jitter (collision-randomized iterations) puts real harmonics a bin
+  // or two off the exact comb.
+  const double tolerance = 2.5 * spectrum.resolution_hz();
+  const dsp::FundamentalEstimate fundamental =
+      dsp::estimate_fundamental(peaks, tolerance, 0.05, /*max_divisor=*/1);
+  double hz = fundamental.frequency_hz;
+  if (hz < input.min_fundamental_hz) hz = 0.0;
+  if (hz <= 0) hz = peaks.front().frequency_hz;
+  if (hz <= 0) return out;
+
+  // Octave-error correction (the standard pitch-detection fix): period
+  // jitter in a real capture smears power into a weak line at a
+  // subharmonic, whose comb then trivially explains every true line.
+  // The tell is that almost all of its matched power sits on slots
+  // divisible by k — promote to k*f0 while that holds, then snap to the
+  // strongest actual spectral line there.
+  // Only the low harmonics of the strong lines discriminate: past a few
+  // slots the comb's tolerance windows tile a third of the axis and
+  // jitter peaks land on/off at random.
+  double strongest = 0.0;
+  for (const dsp::Peak& p : peaks) strongest = std::max(strongest, p.power);
+  for (bool promoted = true; promoted;) {
+    promoted = false;
+    for (int k : {2, 3}) {
+      double on = 0.0;   // power at harmonic slots divisible by k
+      double off = 0.0;  // power the promotion would orphan
+      for (const dsp::Peak& p : peaks) {
+        if (p.power < 0.05 * strongest) continue;
+        const double slot = std::round(p.frequency_hz / hz);
+        if (slot < 1.0 || slot > 6.0 ||
+            std::abs(p.frequency_hz - slot * hz) > tolerance) {
+          continue;
+        }
+        (std::fmod(slot, static_cast<double>(k)) == 0.0 ? on : off) +=
+            p.power;
+      }
+      if (on > 0.0 && off < 0.35 * (on + off)) {
+        hz *= k;
+        promoted = true;
+        break;
+      }
+    }
+  }
+  const dsp::Peak* line = nullptr;
+  for (const dsp::Peak& p : peaks) {
+    if (std::abs(p.frequency_hz - hz) <= tolerance &&
+        (line == nullptr || p.power > line->power)) {
+      line = &p;
+    }
+  }
+  if (line != nullptr) hz = line->frequency_hz;
+  out.fundamental_hz = hz;
+  out.harmonic_power_fraction = fundamental.harmonic_power_fraction;
+  out.period_s = 1.0 / hz;
+
+  const double peak_kbs = *std::max_element(series.begin(), series.end());
+  const double threshold = peak_kbs * input.idle_threshold_fraction;
+  std::size_t idle_bins = 0;
+  for (double kbs : series) {
+    if (kbs <= threshold) ++idle_bins;
+  }
+  out.idle_s_per_period = out.period_s * static_cast<double>(idle_bins) /
+                          static_cast<double>(series.size());
+  return out;
+}
+
+std::vector<double> unordered_pair_bytes(
+    std::span<const telemetry::ConnectionAccount> connections) {
+  std::map<std::pair<int, int>, double> pairs;
+  for (const telemetry::ConnectionAccount& conn : connections) {
+    const int a = std::min<int>(conn.src, conn.dst);
+    const int b = std::max<int>(conn.src, conn.dst);
+    pairs[{a, b}] += static_cast<double>(conn.bytes);
+  }
+  std::vector<double> out;
+  out.reserve(pairs.size());
+  for (const auto& [key, bytes] : pairs) out.push_back(bytes);
+  return out;
+}
+
+}  // namespace fxtraf::flow

@@ -1,0 +1,61 @@
+// The shared l/b/c measurement pipeline for flow-vs-packet validation.
+//
+// The paper characterizes each program's traffic by three fundamentals:
+// c, the period of the bandwidth signal; b, the bytes the dominant
+// machine pair exchanges per period; and l, the idle time within a
+// period.  The cross-validation gate compares the two fidelities on
+// these *measured* values, so both must be measured by exactly one
+// pipeline: the same 10 ms binned KiB/s series through the same
+// periodogram, peak extraction, and harmonic fundamental estimate, and
+// the same unordered-pair byte accounting.  Any per-fidelity shortcut
+// (reading c off the program structure, say) would make the comparison
+// circular.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "telemetry/streaming.hpp"
+
+namespace fxtraf::flow {
+
+struct FundamentalsInput {
+  /// Binned bandwidth series (KiB/s per bin, anchored at first traffic).
+  std::span<const double> bandwidth_kbs;
+  double bin_seconds = 0.01;
+  /// Captured bytes per unordered host pair over the whole run.
+  std::span<const double> pair_capture_bytes;
+  /// Program iterations in the run (b is per iteration = per period).
+  int iterations = 1;
+  /// A bin is idle when below this fraction of the series maximum
+  /// (absorbs straggling ACK tails that are not "traffic" in the
+  /// paper's sense).
+  double idle_threshold_fraction = 0.02;
+  /// Lower bound on admissible fundamentals.  A finite trace makes every
+  /// peak a trivial harmonic of 1/span, so an unconstrained estimator
+  /// can lock onto the run length; the program's iteration count bounds
+  /// the true period from above (c <= span/iterations, up to slack), and
+  /// callers that know it should pass 0.8 * iterations / span here.
+  /// 0 = unconstrained.
+  double min_fundamental_hz = 0.0;
+};
+
+struct MeasuredFundamentals {
+  double period_s = 0.0;          ///< c — 0 when no periodicity found
+  double idle_s_per_period = 0.0; ///< l
+  double burst_bytes = 0.0;       ///< b — max pair bytes per iteration
+  double fundamental_hz = 0.0;
+  double harmonic_power_fraction = 0.0;
+};
+
+/// Measures (l, b, c) from a binned bandwidth series and pair totals.
+[[nodiscard]] MeasuredFundamentals measure_fundamentals(
+    const FundamentalsInput& input);
+
+/// Folds simplex connection accounts into unordered-pair captured-byte
+/// totals (data and reverse-channel ACK attribution cancel on unordered
+/// pairs, which is what makes b comparable across fidelities).
+[[nodiscard]] std::vector<double> unordered_pair_bytes(
+    std::span<const telemetry::ConnectionAccount> connections);
+
+}  // namespace fxtraf::flow

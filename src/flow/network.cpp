@@ -1,0 +1,103 @@
+#include "flow/network.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace fxtraf::flow {
+
+namespace {
+
+constexpr double bytes_per_s(double bps) { return bps / 8.0; }
+
+}  // namespace
+
+FlowNetwork::FlowNetwork(const eth::TopologySpec& spec, int hosts)
+    : spec_(spec), hosts_(hosts) {
+  if (hosts < 1) throw std::invalid_argument("FlowNetwork: hosts < 1");
+
+  switch (spec_.kind) {
+    case eth::TopologySpec::Kind::kSharedBus:
+      capacity_.assign(1, bytes_per_s(eth::kBitRateBps));
+      return;
+    case eth::TopologySpec::Kind::kStar:
+      capacity_.assign(2 * static_cast<std::size_t>(hosts_),
+                       bytes_per_s(spec_.link_rate_bps));
+      return;
+    case eth::TopologySpec::Kind::kTree:
+      break;
+  }
+
+  leaves_ = std::clamp(spec_.switches, 2, std::max(2, hosts_));
+  spec_.switches = leaves_;
+  uplink_base_ = 2 * hosts_;
+  capacity_.assign(static_cast<std::size_t>(uplink_base_),
+                   bytes_per_s(spec_.link_rate_bps));
+  // Two leaves share one back-to-back uplink (two directions); more
+  // leaves each own an uplink pair to the root bridge.
+  const std::size_t uplink_dirs =
+      leaves_ == 2 ? 2 : 2 * static_cast<std::size_t>(leaves_);
+  capacity_.insert(capacity_.end(), uplink_dirs,
+                   bytes_per_s(spec_.uplink_rate()));
+}
+
+FlowNetwork FlowNetwork::from_topology(eth::Topology& topology) {
+  FlowNetwork net(topology.spec(), topology.hosts());
+  // Re-derive every capacity through the uniform Link interface and
+  // stamp each link's flow attachment slot; the layout (and therefore
+  // the slot arithmetic) is fixed by the links() order contract.
+  std::size_t slot = 0;
+  for (eth::Link* link : topology.links()) {
+    link->set_flow_slot(static_cast<int>(slot));
+    const double per_direction = bytes_per_s(link->capacity_bps());
+    for (int d = 0; d < link->directions(); ++d) {
+      net.capacity_.at(slot++) = per_direction;
+    }
+  }
+  if (slot != net.capacity_.size()) {
+    throw std::logic_error(
+        "FlowNetwork: topology link directions disagree with the fluid "
+        "layout");
+  }
+  return net;
+}
+
+FlowRoute FlowNetwork::route(int src, int dst) const {
+  FlowRoute r;
+  if (src == dst) return r;
+
+  if (spec_.kind == eth::TopologySpec::Kind::kSharedBus) {
+    r.resources[r.count++] = 0;
+    return r;
+  }
+
+  const double prop = spec_.propagation.seconds();
+  const double forward = spec_.forward_latency.seconds();
+  r.resources[r.count++] = 2 * src;  // src's transmit direction
+
+  if (spec_.kind == eth::TopologySpec::Kind::kTree) {
+    const int src_leaf = leaf_of(src);
+    const int dst_leaf = leaf_of(dst);
+    if (src_leaf != dst_leaf) {
+      if (leaves_ == 2) {
+        r.resources[r.count++] = uplink_base_ + (src_leaf == 0 ? 0 : 1);
+        r.latency_s += prop + forward;  // one extra hop, one extra bridge
+      } else {
+        r.resources[r.count++] = uplink_base_ + 2 * src_leaf;
+        r.resources[r.count++] = uplink_base_ + 2 * dst_leaf + 1;
+        r.latency_s += 2 * prop + 2 * forward;  // via the root bridge
+      }
+    }
+  }
+
+  r.resources[r.count++] = 2 * dst + 1;  // dst's receive direction
+  r.latency_s += 2 * prop + forward;     // access hops + the shared bridge
+  return r;
+}
+
+int FlowNetwork::leaf_of(int host) const {
+  if (spec_.kind != eth::TopologySpec::Kind::kTree) return 0;
+  const int per_leaf = (hosts_ + leaves_ - 1) / leaves_;
+  return host / per_leaf;
+}
+
+}  // namespace fxtraf::flow

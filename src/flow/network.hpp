@@ -1,0 +1,88 @@
+// Fluid mirror of the ethernet topology layer: directional link
+// capacities and host-to-host routes, with no frames, NICs, or bridges.
+//
+// Every Link direction becomes one fair-share resource in a fixed
+// deterministic order mirroring Topology::links():
+//
+//   shared bus — one resource (the half-duplex collision domain).
+//   star       — per host h, resource 2h is h's transmit direction
+//                (host -> bridge) and 2h + 1 its receive direction.
+//   tree       — the per-host access pairs first, then the uplink
+//                directions (leaf i -> peer at base + 2i, reverse at
+//                base + 2i + 1; two leaves share the single back-to-back
+//                uplink).
+//
+// Capacities are in bytes of wire work per second (bit rate / 8); the
+// lowering inflates each flow's work by its calibrated protocol
+// inefficiency so a pure rate allocation at nominal capacity reproduces
+// the packet simulator's phase timing.  Routes are computed on demand
+// (at most four resources per path), so a million-host network costs
+// only its capacity array.
+//
+// `from_topology` builds the same model by querying the uniform
+// Link::capacity_bps()/directions() interface — no downcasts — and
+// stamps each Link's flow attachment slot with its first resource index
+// so packet-level telemetry can join against the flow-level view.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ethernet/topology.hpp"
+
+namespace fxtraf::flow {
+
+/// A host-to-host path: up to four directional resources plus the
+/// store-and-forward latency a message experiences end to end.
+struct FlowRoute {
+  int resources[4] = {-1, -1, -1, -1};
+  int count = 0;
+  double latency_s = 0.0;
+};
+
+class FlowNetwork {
+ public:
+  /// Builds the fluid model straight from a spec (no packet-level
+  /// objects; this is what the scale sweep uses at 10k–1M hosts).
+  FlowNetwork(const eth::TopologySpec& spec, int hosts);
+
+  /// Builds the model from a realized packet-level topology via the
+  /// uniform capacity/direction queries, and stamps every Link's
+  /// flow_slot() with its first resource index.
+  [[nodiscard]] static FlowNetwork from_topology(eth::Topology& topology);
+
+  [[nodiscard]] const eth::TopologySpec& spec() const { return spec_; }
+  [[nodiscard]] int hosts() const { return hosts_; }
+  [[nodiscard]] bool shared_bus() const {
+    return spec_.kind == eth::TopologySpec::Kind::kSharedBus;
+  }
+
+  [[nodiscard]] std::size_t resource_count() const {
+    return capacity_.size();
+  }
+  /// Capacity in bytes of wire work per second.
+  [[nodiscard]] const std::vector<double>& capacities() const {
+    return capacity_;
+  }
+  [[nodiscard]] double capacity_bytes_per_s(int resource) const {
+    return capacity_[static_cast<std::size_t>(resource)];
+  }
+
+  /// Route for src -> dst (src != dst, both in [0, hosts)).
+  [[nodiscard]] FlowRoute route(int src, int dst) const;
+
+  /// Leaf bridge serving `host` (tree layouts; 0 otherwise) — mirrors
+  /// Topology::leaf_of's block assignment.
+  [[nodiscard]] int leaf_of(int host) const;
+
+ private:
+  FlowNetwork() = default;
+
+  eth::TopologySpec spec_;
+  int hosts_ = 0;
+  int leaves_ = 0;           ///< tree leaf count (0 unless kTree)
+  int uplink_base_ = 0;      ///< first uplink resource index (tree)
+  std::vector<double> capacity_;
+};
+
+}  // namespace fxtraf::flow

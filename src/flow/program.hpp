@@ -1,0 +1,82 @@
+// The flow-level program representation: what the fxc lowering emits
+// and the fluid simulator executes.
+//
+// A FlowProgram is the SPMD timeline of one kernel, already priced by
+// the calibrated machine model.  Each iteration walks the phases in
+// order; a phase is either compute (a pure delay), an I/O-paced message
+// storm (SEQ), or a sequence of serialized communication steps (the
+// shift schedule lowering uses on the wire).  Within one step every
+// demand drains concurrently under max-min fair share.
+//
+// Rates are expressed in *wire work*: each demand's work_bytes is its
+// wire footprint inflated by 1 / (calibrated stream efficiency), so
+// draining work at the nominal link capacity reproduces the packet
+// simulator's protocol-limited phase timing without modelling windows,
+// ACK clocks, or collisions.  capture_bytes is what a tcpdump of the
+// same phase would record (retransmission inflation included) — it
+// feeds the binned-bandwidth telemetry, the digest, and the b()
+// fundamental, never the timing.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace fxtraf::flow {
+
+/// One point-to-point transfer inside a schedule step.
+struct FlowDemand {
+  int src = 0;
+  int dst = 0;
+  double work_bytes = 0.0;     ///< wire bytes / stream efficiency
+  double capture_bytes = 0.0;  ///< recorded bytes incl. retransmissions
+};
+
+/// One serialized schedule step: a turnaround overhead, then all
+/// demands drain concurrently to completion.
+struct FlowStep {
+  double overhead_seconds = 0.0;
+  std::vector<FlowDemand> demands;
+};
+
+/// One body statement, lowered.
+struct FlowPhase {
+  double compute_seconds = 0.0;
+  /// Reduction computes its local histogram before the sweep; stencils
+  /// exchange halos before computing (mirrors fxc lowering order).
+  bool compute_first = false;
+  std::vector<FlowStep> steps;
+
+  // I/O-paced phase (SEQ): `rows` bursts of steps[0]'s demands, one per
+  // row slot; each row's demands inject row_io_seconds into its slot
+  // (the read), and slots advance every row_slot_seconds regardless of
+  // drain completion (the wire drains in the next read's shadow).
+  int rows = 0;
+  double row_io_seconds = 0.0;
+  double row_slot_seconds = 0.0;
+
+  [[nodiscard]] bool io_paced() const { return rows > 0; }
+};
+
+struct FlowProgram {
+  std::string name;
+  int processors = 0;
+  int iterations = 1;
+  std::vector<FlowPhase> phases;
+
+  [[nodiscard]] double capture_bytes_per_iteration() const {
+    double total = 0.0;
+    for (const FlowPhase& phase : phases) {
+      double once = 0.0;
+      for (const FlowStep& step : phase.steps) {
+        for (const FlowDemand& demand : step.demands) {
+          once += demand.capture_bytes;
+        }
+      }
+      total += phase.io_paced() ? once * phase.rows : once;
+    }
+    return total;
+  }
+};
+
+}  // namespace fxtraf::flow

@@ -1,0 +1,618 @@
+#include "flow/simulation.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "ethernet/frame.hpp"
+#include "flow/fair_share.hpp"
+
+namespace fxtraf::flow {
+
+namespace {
+
+/// Flows closer to done than this are complete.  Guards the half-ns
+/// rounding of event times: a finish check that fires 0.5 ns early
+/// leaves rate * 0.5e-9 work behind, which must not spawn a zero-length
+/// follow-up event.  Both bounds are far below one wire byte.
+[[nodiscard]] bool drained(double remaining, double rate) {
+  return remaining <= 1e-3 || remaining <= rate * 2e-9;
+}
+
+[[nodiscard]] std::uint64_t pair_key(int a, int b) {
+  const auto lo = static_cast<std::uint64_t>(std::min(a, b));
+  const auto hi = static_cast<std::uint64_t>(std::max(a, b));
+  return (lo << 32) | hi;
+}
+
+[[nodiscard]] std::uint64_t conn_key(int src, int dst) {
+  return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(src)) << 32) |
+         static_cast<std::uint64_t>(static_cast<std::uint32_t>(dst));
+}
+
+/// Two mirrored demands between one host pair — the pair-swap exchange
+/// the lowering prices separately (its streams never retransmit; each
+/// fills most of the other's ack gaps).
+[[nodiscard]] bool pair_swap_step(const std::vector<FlowDemand>& demands) {
+  return demands.size() == 2 && demands[0].src == demands[1].dst &&
+         demands[0].dst == demands[1].src;
+}
+
+[[nodiscard]] bool multi_sender_step(const std::vector<FlowDemand>& demands) {
+  for (std::size_t i = 1; i < demands.size(); ++i) {
+    if (demands[i].src != demands[0].src) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+FlowSimulation::FlowSimulation(sim::Simulator& simulator,
+                               const FlowNetwork& network, FlowProgram program,
+                               FlowSimOptions options)
+    : sim_(simulator),
+      network_(network),
+      program_(std::move(program)),
+      options_(std::move(options)) {
+  resource_work_.assign(network_.resource_count(), 0.0);
+  track_pairs_ = options_.pair_tracking_host_limit > 0 &&
+                 network_.hosts() <= options_.pair_tracking_host_limit;
+}
+
+void FlowSimulation::start() {
+  if (started_) throw std::logic_error("FlowSimulation: start() twice");
+  started_ = true;
+  last_advance_ = sim_.now();
+
+  if (options_.cross_traffic_bytes_per_s > 0 && network_.hosts() >= 2) {
+    // The packet trials' background workstation: CBR UDP toward host 0.
+    // Wire work carries the full per-frame occupancy (header, trailer,
+    // preamble, interframe gap); the capture ratio drops the preamble
+    // and gap, which tcpdump never sees.
+    const double payload =
+        static_cast<double>(options_.cross_traffic_payload_bytes);
+    const double capture =
+        payload + net::kUdpHeaderBytes + net::kIpHeaderBytes +
+        eth::kHeaderBytes + eth::kTrailerBytes;
+    const double wire = capture + eth::kPreambleBytes + 12.0;  // + the gap
+    ActiveFlow bg;
+    bg.remaining_work = 1e300;
+    bg.capture_per_work = capture / wire;
+    bg.cap = options_.cross_traffic_bytes_per_s * (wire / payload);
+    bg.src = network_.hosts() - 1;
+    bg.dst = 0;
+    const FlowRoute route = network_.route(bg.src, bg.dst);
+    for (int i = 0; i < route.count; ++i) bg.resources[i] = route.resources[i];
+    bg.resource_count = route.count;
+    bg.latency_s = route.latency_s;
+    bg.program_flow = false;
+    active_.push_back(bg);
+  }
+
+  // Fault-window boundaries must wake the allocator: rates change when a
+  // window opens and again when it closes.  Foreground events, so a run
+  // stalled inside a network_down window stays alive until recovery.
+  for (const fault::HostFaultWindow& w : options_.host_faults) {
+    if (w.start_s > 0) {
+      sim_.schedule_in(sim::seconds(w.start_s), [this] { mark_dirty(); });
+    }
+    sim_.schedule_in(sim::seconds(w.start_s + w.duration_s),
+                     [this] { mark_dirty(); });
+  }
+
+  if (program_.phases.empty() || program_.iterations <= 0) {
+    done_ = true;
+    end_s_ = sim_.now().seconds();
+    if (!active_.empty()) mark_dirty();
+    return;
+  }
+  start_phase();
+  if (!active_.empty()) mark_dirty();
+}
+
+// --- program state machine -------------------------------------------
+
+void FlowSimulation::start_phase() {
+  const FlowPhase& phase = program_.phases[phase_];
+  step_ = 0;
+  rows_injected_ = 0;
+  phase_start_s_ = sim_.now().seconds();
+  configure_phase_texture();
+
+  if (phase.io_paced()) {
+    if (phase.steps.empty() || phase.rows <= 0) {
+      after_steps();
+      return;
+    }
+    sim_.schedule_in(sim::seconds(phase.row_io_seconds),
+                     [this] { inject_row(); });
+    return;
+  }
+  if (phase.compute_first && phase.compute_seconds > 0) {
+    schedule_compute(phase.compute_seconds, &FlowSimulation::run_steps);
+    return;
+  }
+  run_steps();
+}
+
+void FlowSimulation::run_steps() {
+  if (program_.phases[phase_].steps.empty()) {
+    after_steps();
+    return;
+  }
+  start_step();
+}
+
+void FlowSimulation::start_step() {
+  const FlowStep& step = program_.phases[phase_].steps[step_];
+  const auto fire = [this] {
+    const FlowStep& s = program_.phases[phase_].steps[step_];
+    if (s.demands.empty()) {
+      on_step_drained();
+      return;
+    }
+    inject(s, /*program_flows=*/true);
+  };
+  if (step.overhead_seconds > 0) {
+    sim_.schedule_in(sim::seconds(step.overhead_seconds), fire);
+  } else {
+    fire();
+  }
+}
+
+void FlowSimulation::configure_phase_texture() {
+  phase_pool_ = 0.0;
+  phase_tail_s_ = 0.0;
+  phase_withhold_frac_ = 0.0;
+  stall_stride_ = 0;
+  withholding_ = false;
+  const FlowPhase& phase = program_.phases[phase_];
+  if (!network_.shared_bus() || phase.io_paced()) return;
+  double contended_capture = 0.0;
+  double max_stream_capture = 0.0;
+  for (const FlowStep& step : phase.steps) {
+    if (!multi_sender_step(step.demands) || pair_swap_step(step.demands)) {
+      continue;
+    }
+    for (const FlowDemand& demand : step.demands) {
+      contended_capture += demand.capture_bytes;
+      max_stream_capture = std::max(max_stream_capture, demand.capture_bytes);
+    }
+  }
+  if (contended_capture <= 0) return;
+  phase_tail_s_ =
+      options_.skew_tail_seconds *
+      std::min(1.0, max_stream_capture / options_.skew_tail_full_capture);
+  const double pool_target =
+      options_.skew_trickle_bytes_per_s * phase_tail_s_;
+  phase_withhold_frac_ = std::min(0.05, pool_target / contended_capture);
+}
+
+void FlowSimulation::emit_phase_tail() {
+  // The straggler pool withheld from this phase's contended steps
+  // trickles out over the tail window that erodes the compute idle
+  // block, exactly conserving the series integral.
+  if (phase_pool_ <= 0) return;
+  const double now_s = sim_.now().seconds();
+  deposit_bins(now_s, now_s + phase_tail_s_, phase_pool_);
+  phase_pool_ = 0.0;
+}
+
+void FlowSimulation::on_step_drained() {
+  stall_stride_ = 0;
+  withholding_ = false;
+  const FlowPhase& phase = program_.phases[phase_];
+  if (phase.io_paced()) {
+    if (rows_injected_ < phase.rows) return;  // later rows still coming
+    const double min_end =
+        phase_start_s_ + phase.rows * phase.row_slot_seconds;
+    const double now_s = sim_.now().seconds();
+    if (now_s + 1e-12 >= min_end) {
+      after_steps();
+    } else {
+      sim_.schedule_in(sim::seconds(min_end - now_s),
+                       [this] { after_steps(); });
+    }
+    return;
+  }
+  ++step_;
+  if (step_ < phase.steps.size()) {
+    start_step();
+  } else {
+    after_steps();
+  }
+}
+
+void FlowSimulation::after_steps() {
+  emit_phase_tail();  // stragglers trail the phase's last contended step
+  const FlowPhase& phase = program_.phases[phase_];
+  if (!phase.compute_first && phase.compute_seconds > 0) {
+    schedule_compute(phase.compute_seconds, &FlowSimulation::end_phase);
+    return;
+  }
+  end_phase();
+}
+
+void FlowSimulation::end_phase() {
+  ++phase_;
+  if (phase_ < program_.phases.size()) {
+    start_phase();
+    return;
+  }
+  ++iteration_;
+  if (iteration_ < program_.iterations) {
+    phase_ = 0;
+    start_phase();
+    return;
+  }
+  done_ = true;
+  end_s_ = sim_.now().seconds();
+}
+
+void FlowSimulation::inject_row() {
+  const FlowPhase& phase = program_.phases[phase_];
+  ++rows_injected_;
+  inject(phase.steps.front(), /*program_flows=*/true);
+  if (rows_injected_ < phase.rows) {
+    // The next row's injection lands one I/O read into its slot,
+    // anchored at the phase start so slot pacing never drifts.
+    const double next = phase_start_s_ +
+                        rows_injected_ * phase.row_slot_seconds +
+                        phase.row_io_seconds;
+    sim_.schedule_in(sim::seconds(next - sim_.now().seconds()),
+                     [this] { inject_row(); });
+  }
+}
+
+void FlowSimulation::schedule_compute(double seconds,
+                                      void (FlowSimulation::*next)()) {
+  if (seconds <= 0) {
+    (this->*next)();
+    return;
+  }
+  const double now_s = sim_.now().seconds();
+  const double end = compute_end_seconds(now_s, seconds);
+  sim_.schedule_in(sim::seconds(end - now_s), [this, next] { (this->*next)(); });
+}
+
+double FlowSimulation::compute_end_seconds(double start_s,
+                                           double work_s) const {
+  // The SPMD barrier at the end of every phase means the slowest rank's
+  // compute time gates the program; a cpu_factor window on any
+  // participating host scales the whole fleet's progress while open.
+  std::vector<double> bounds;
+  bool any = false;
+  for (const fault::HostFaultWindow& w : options_.host_faults) {
+    if (w.host >= program_.processors || w.cpu_factor >= 1.0) continue;
+    any = true;
+    bounds.push_back(w.start_s);
+    bounds.push_back(w.start_s + w.duration_s);
+  }
+  if (!any) return start_s + work_s;
+  std::sort(bounds.begin(), bounds.end());
+
+  const auto factor_at = [&](double t) {
+    double f = 1.0;
+    for (const fault::HostFaultWindow& w : options_.host_faults) {
+      if (w.host >= program_.processors || w.cpu_factor >= 1.0) continue;
+      if (t >= w.start_s && t < w.start_s + w.duration_s) {
+        f = std::min(f, std::max(0.0, w.cpu_factor));
+      }
+    }
+    return f;
+  };
+
+  double t = start_s;
+  double remaining = work_s;
+  for (double b : bounds) {
+    if (b <= t) continue;
+    const double f = factor_at(t);
+    if (f > 0) {
+      const double need = remaining / f;
+      if (t + need <= b) return t + need;
+      remaining -= (b - t) * f;
+    }
+    t = b;
+  }
+  return t + remaining / std::max(factor_at(t), 1e-300);
+}
+
+// --- fluid machinery --------------------------------------------------
+
+void FlowSimulation::inject(const FlowStep& step, bool program_flows) {
+  if (program_flows && network_.shared_bus() &&
+      !program_.phases[phase_].io_paced()) {
+    const bool pair_swap = pair_swap_step(step.demands);
+    stall_stride_ = 0;
+    withholding_ = false;
+    if (step.demands.size() == 1 || pair_swap) {
+      stall_stride_ = pair_swap ? options_.stall_stride_pair
+                                : options_.stall_stride_single;
+      const double width = options_.bandwidth_bin.seconds();
+      const double rel = have_first_traffic_
+                             ? std::max(0.0, sim_.now().seconds() -
+                                                 first_traffic_s_)
+                             : 0.0;
+      stall_anchor_bin_ = static_cast<std::size_t>(rel / width);
+    } else if (multi_sender_step(step.demands)) {
+      withholding_ = phase_withhold_frac_ > 0;
+    }
+  }
+  for (const FlowDemand& demand : step.demands) {
+    if (demand.work_bytes <= 0 || demand.src == demand.dst) continue;
+    ActiveFlow f;
+    f.remaining_work = demand.work_bytes;
+    f.capture_per_work = demand.capture_bytes / demand.work_bytes;
+    f.total_capture = demand.capture_bytes;
+    f.cap = kUncapped;
+    const FlowRoute route = network_.route(demand.src, demand.dst);
+    for (int i = 0; i < route.count; ++i) f.resources[i] = route.resources[i];
+    f.resource_count = route.count;
+    f.latency_s = route.latency_s;
+    f.src = demand.src;
+    f.dst = demand.dst;
+    f.program_flow = program_flows;
+    active_.push_back(f);
+    if (program_flows) ++outstanding_;
+  }
+  peak_active_ = std::max(peak_active_, active_.size());
+  mark_dirty();
+}
+
+void FlowSimulation::mark_dirty() {
+  if (refresh_scheduled_) return;
+  refresh_scheduled_ = true;
+  // schedule_now runs after every event already due at this instant, so
+  // N same-time finishes or injections coalesce into one recompute.
+  sim_.schedule_now([this] { refresh(); });
+}
+
+void FlowSimulation::refresh() {
+  refresh_scheduled_ = false;
+  advance_to_now();
+
+  // Retire drained flows first (compacting in place), then run their
+  // completion effects: record_completion can re-enter inject() and
+  // push onto active_, which must not race the compaction scan.
+  struct Done {
+    int src, dst;
+    double capture, latency_s;
+    bool program;
+  };
+  std::vector<Done> finished;
+  std::size_t w = 0;
+  for (std::size_t i = 0; i < active_.size(); ++i) {
+    ActiveFlow& f = active_[i];
+    if (drained(f.remaining_work, f.rate)) {
+      finished.push_back({f.src, f.dst, f.total_capture, f.latency_s,
+                          f.program_flow});
+    } else {
+      if (w != i) active_[w] = f;
+      ++w;
+    }
+  }
+  active_.resize(w);
+
+  for (const Done& d : finished) {
+    ++flows_completed_;
+    if (d.latency_s > 0) {
+      // The receiver learns of the last byte one store-and-forward
+      // latency after the wire drains; program progress (and the
+      // pseudo capture record's timestamp) follow the receive side.
+      sim_.schedule_in(sim::seconds(d.latency_s),
+                       [this, d] {
+                         record_completion(d.src, d.dst, d.capture, d.program);
+                       });
+    } else {
+      record_completion(d.src, d.dst, d.capture, d.program);
+    }
+  }
+
+  recompute_rates();
+  schedule_next_finish();
+}
+
+void FlowSimulation::record_completion(int src, int dst, double capture,
+                                       bool program) {
+  trace::PacketRecord record;
+  record.timestamp = sim_.now();
+  record.bytes = static_cast<std::uint32_t>(std::llround(
+      std::min(capture, 4.0e9)));
+  record.proto = net::IpProto::kTcp;
+  record.src = static_cast<net::HostId>(src);
+  record.dst = static_cast<net::HostId>(dst);
+  trace::fold_packet(digest_, record);
+
+  if (track_pairs_) {
+    pair_bytes_[pair_key(src, dst)] += capture;
+    telemetry::ConnectionAccount& conn = conns_[conn_key(src, dst)];
+    if (conn.packets == 0) {
+      conn.src = record.src;
+      conn.dst = record.dst;
+      conn.first = record.timestamp;
+    }
+    ++conn.packets;
+    ++conn.tcp_packets;
+    conn.bytes += record.bytes;
+    conn.last = record.timestamp;
+  }
+
+  if (program) {
+    if (outstanding_ == 0) {
+      throw std::logic_error("FlowSimulation: completion underflow");
+    }
+    if (--outstanding_ == 0) on_step_drained();
+  }
+}
+
+void FlowSimulation::advance_to_now() {
+  const sim::SimTime now = sim_.now();
+  const double dt = (now - last_advance_).seconds();
+  if (dt <= 0) {
+    last_advance_ = now;
+    return;
+  }
+  double capture = 0.0;
+  for (ActiveFlow& f : active_) {
+    if (f.rate <= 0) continue;
+    double delta = f.rate * dt;
+    if (delta > f.remaining_work) delta = f.remaining_work;
+    f.remaining_work -= delta;
+    capture += delta * f.capture_per_work;
+    for (int i = 0; i < f.resource_count; ++i) {
+      resource_work_[static_cast<std::size_t>(f.resources[i])] += delta;
+    }
+  }
+  if (capture > 0) deposit(last_advance_.seconds(), now.seconds(), capture);
+  last_advance_ = now;
+}
+
+void FlowSimulation::recompute_rates() {
+  const std::size_t n = active_.size();
+  scratch_begin_.clear();
+  scratch_routes_.clear();
+  scratch_caps_.clear();
+  scratch_begin_.reserve(n + 1);
+  scratch_caps_.reserve(n);
+  scratch_begin_.push_back(0);
+  for (const ActiveFlow& f : active_) {
+    for (int i = 0; i < f.resource_count; ++i) {
+      scratch_routes_.push_back(f.resources[i]);
+    }
+    scratch_begin_.push_back(
+        static_cast<std::uint32_t>(scratch_routes_.size()));
+    double cap = f.cap;
+    if (host_down_now(f.src) || host_down_now(f.dst)) cap = 0.0;
+    scratch_caps_.push_back(cap);
+  }
+  scratch_rates_.assign(n, 0.0);
+  const FairShareProblem problem{network_.capacities(), scratch_begin_,
+                                 scratch_routes_, scratch_caps_};
+  max_min_rates(problem, scratch_rates_, fair_share_workspace_);
+  for (std::size_t i = 0; i < n; ++i) active_[i].rate = scratch_rates_[i];
+}
+
+bool FlowSimulation::host_down_now(int host) const {
+  if (options_.host_faults.empty()) return false;
+  const double now_s = sim_.now().seconds();
+  for (const fault::HostFaultWindow& w : options_.host_faults) {
+    if (!w.network_down || w.host != host) continue;
+    if (now_s >= w.start_s && now_s < w.start_s + w.duration_s) return true;
+  }
+  return false;
+}
+
+void FlowSimulation::schedule_next_finish() {
+  if (finish_check_valid_) {
+    sim_.cancel(finish_check_);
+    finish_check_valid_ = false;
+  }
+  double t_min = std::numeric_limits<double>::infinity();
+  for (const ActiveFlow& f : active_) {
+    if (f.rate <= 0) continue;
+    t_min = std::min(t_min, f.remaining_work / f.rate);
+  }
+  // The background flow's horizon is ~1e290 s; anything that far out is
+  // "never" (a real program finish re-dirties the allocator first).
+  if (t_min < 1e200) {
+    finish_check_ = sim_.schedule_in(sim::seconds(t_min), [this] {
+      finish_check_valid_ = false;
+      mark_dirty();
+    });
+    finish_check_valid_ = true;
+  }
+}
+
+void FlowSimulation::deposit(double t0_s, double t1_s, double capture) {
+  capture_total_ += capture;
+  if (!options_.keep_bandwidth_series) return;
+  if (withholding_ && phase_withhold_frac_ > 0) {
+    const double held = capture * phase_withhold_frac_;
+    phase_pool_ += held;
+    capture -= held;
+  }
+  deposit_bins(t0_s, t1_s, capture);
+}
+
+void FlowSimulation::deposit_bins(double t0_s, double t1_s, double capture) {
+  if (!have_first_traffic_) {
+    have_first_traffic_ = true;
+    first_traffic_s_ = t0_s;
+  }
+  const double width = options_.bandwidth_bin.seconds();
+  const double rel0 = std::max(0.0, t0_s - first_traffic_s_);
+  const double rel1 = std::max(rel0, t1_s - first_traffic_s_);
+  const auto b0 = static_cast<std::size_t>(rel0 / width);
+  auto b1 = static_cast<std::size_t>(rel1 / width);
+  if (b1 > b0 && rel1 <= b1 * width + 1e-12) --b1;  // right-open bins
+  // An active stall stride silences one bin per stride (counted from
+  // the step's anchor), shifting its bytes into the following bin —
+  // the stalled sender catches up at full rate once the ack arrives.
+  const auto add = [&](std::size_t b, double bytes) {
+    if (stall_stride_ > 0 && b >= stall_anchor_bin_ &&
+        (b - stall_anchor_bin_) % static_cast<std::size_t>(stall_stride_) ==
+            static_cast<std::size_t>(stall_stride_) - 1) {
+      ++b;
+    }
+    if (bin_bytes_.size() <= b) bin_bytes_.resize(b + 1, 0.0);
+    bin_bytes_[b] += bytes;
+  };
+  if (b0 == b1 || rel1 <= rel0) {
+    add(b0, capture);
+    return;
+  }
+  const double rate = capture / (rel1 - rel0);
+  for (std::size_t b = b0; b <= b1; ++b) {
+    const double lo = std::max(rel0, static_cast<double>(b) * width);
+    const double hi = std::min(rel1, static_cast<double>(b + 1) * width);
+    if (hi > lo) add(b, rate * (hi - lo));
+  }
+}
+
+FlowSimResult FlowSimulation::finish() {
+  if (!done_) {
+    throw std::runtime_error(
+        "FlowSimulation: program did not run to completion (event loop "
+        "drained mid-program)");
+  }
+  FlowSimResult result;
+  result.completed = true;
+  result.sim_seconds = end_s_;
+  result.flows_completed = flows_completed_;
+  result.peak_concurrent_flows = peak_active_;
+  result.capture_bytes = capture_total_;
+  result.digest = digest_;
+  result.first_traffic_s = first_traffic_s_;
+  result.resource_work_bytes = resource_work_;
+
+  const double width = options_.bandwidth_bin.seconds();
+  result.bandwidth_kbs.reserve(bin_bytes_.size());
+  for (double bytes : bin_bytes_) {
+    result.bandwidth_kbs.push_back(bytes / 1024.0 / width);
+  }
+
+  result.pairs.reserve(pair_bytes_.size());
+  for (const auto& [key, bytes] : pair_bytes_) {
+    PairBytes p;
+    p.low = static_cast<int>(key >> 32);
+    p.high = static_cast<int>(key & 0xffffffffu);
+    p.capture_bytes = bytes;
+    result.pairs.push_back(p);
+  }
+  std::sort(result.pairs.begin(), result.pairs.end(),
+            [](const PairBytes& a, const PairBytes& b) {
+              return a.low != b.low ? a.low < b.low : a.high < b.high;
+            });
+
+  result.connections.reserve(conns_.size());
+  for (const auto& [key, conn] : conns_) result.connections.push_back(conn);
+  std::sort(result.connections.begin(), result.connections.end(),
+            [](const telemetry::ConnectionAccount& a,
+               const telemetry::ConnectionAccount& b) {
+              return a.src != b.src ? a.src < b.src : a.dst < b.dst;
+            });
+  return result;
+}
+
+}  // namespace fxtraf::flow

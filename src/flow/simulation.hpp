@@ -1,0 +1,223 @@
+// The flow-level (fluid) simulation engine.
+//
+// Executes a FlowProgram on a FlowNetwork atop the ordinary simcore
+// event loop: per-flow start/finish events on the slab EventQueue, with
+// the piecewise-constant rate allocation recomputed by max-min fair
+// share whenever the active set changes.  Between two events every
+// active flow drains at its allocated rate; finishes are found by
+// scheduling one check at the earliest projected completion, and
+// simultaneous finishes coalesce into a single recompute (the dirty
+// flag + schedule_now refresh), so a step of N identical flows costs
+// O(N) events and one O(N + links) allocation pass — the property that
+// carries trials to 10k–1M hosts.
+//
+// Telemetry mirrors the packet pipeline where the cross-validation
+// needs it to: captured bytes deposit into the same 10 ms bandwidth
+// bins (KiB/s, anchored at first traffic), completed flows fold pseudo
+// packet records into a TraceDigest (one record per flow: finish time,
+// captured bytes, endpoints), and per-resource wire-work totals give
+// link utilization.  Host fault windows translate to flow-rate cuts:
+// network_down zeroes the rate of every flow touching the host for the
+// window, cpu_factor stretches compute phases (the slowest rank gates
+// the SPMD barrier).  Everything is RNG-free: a flow trial is bitwise
+// deterministic and identical under serial and parallel campaigns.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "fault/plan.hpp"
+#include "flow/fair_share.hpp"
+#include "flow/network.hpp"
+#include "flow/program.hpp"
+#include "simcore/simulator.hpp"
+#include "telemetry/streaming.hpp"
+#include "trace/digest.hpp"
+
+namespace fxtraf::flow {
+
+struct FlowSimOptions {
+  /// Bandwidth bin width — keep equal to the packet-mode telemetry bin
+  /// so the binned series are directly comparable.
+  sim::Duration bandwidth_bin = sim::millis(10);
+  /// Retain the binned series in the result (the l and c fundamentals
+  /// are measured from it; an hour of 10 ms bins is ~3 MB).
+  bool keep_bandwidth_series = true;
+  /// Per-pair and per-connection byte accounting (the b fundamental).
+  /// Auto-disabled above this host count to keep mega-host sweeps
+  /// bounded; 0 forces it off.
+  int pair_tracking_host_limit = 65536;
+  /// Persistent CBR background flow toward host 0 from the last host
+  /// (the packet trials' cross-traffic workstation).  Payload rate;
+  /// framing overhead is added like the UDP source's.
+  double cross_traffic_bytes_per_s = 0.0;
+  std::size_t cross_traffic_payload_bytes = 1024;
+  /// Host crash/slow windows (fault::FaultPlan::host_faults).
+  std::vector<fault::HostFaultWindow> host_faults;
+
+  // Shared-bus capture texture, calibrated against packet captures so
+  // the l fundamental (idle seconds per period) cross-validates.  Both
+  // effects reshape the deposited bandwidth series ONLY: flow timing,
+  // capture totals, pair accounting, and the digest are untouched, so
+  // the c and b fundamentals keep their own calibration.
+  //
+  /// Lone and pair-swap bulk drains on the bus show scattered 1–4 bin
+  /// ack-stall gaps in packet captures (the sender idles a window
+  /// round-trip); one deposit bin in `stall_stride_single` (lone
+  /// stream) or `stall_stride_pair` (pair swap, whose two streams fill
+  /// most of each other's gaps) goes silent, its bytes landing in the
+  /// next bin.
+  int stall_stride_single = 10;
+  int stall_stride_pair = 13;
+  /// Multi-sender steps leave RTO-delayed straggler retransmissions
+  /// that trickle through the compute window after the phase's last
+  /// step.  A sliver of the contended steps' capture is withheld and
+  /// re-deposited over `skew_tail_seconds` once the steps drain, scaled
+  /// down linearly when per-stream capture is below
+  /// `skew_tail_full_capture` (slow-start-bound streams never open the
+  /// windows whose losses take an RTO to repair).
+  double skew_tail_seconds = 0.20;
+  double skew_tail_full_capture = 64.0 * 1024.0;
+  double skew_trickle_bytes_per_s = 64.0 * 1024.0;
+};
+
+/// Captured bytes between an unordered host pair over the whole run
+/// (data and reverse-channel ACK attribution cancel on unordered
+/// pairs, which is what makes b comparable across fidelities).
+struct PairBytes {
+  int low = 0;
+  int high = 0;
+  double capture_bytes = 0.0;
+};
+
+struct FlowSimResult {
+  bool completed = false;
+  double sim_seconds = 0.0;          ///< program finish time
+  std::uint64_t flows_completed = 0;
+  std::size_t peak_concurrent_flows = 0;
+  double capture_bytes = 0.0;
+  trace::TraceDigest digest;         ///< over per-flow pseudo records
+  double first_traffic_s = 0.0;
+  std::vector<double> bandwidth_kbs;         ///< 10 ms bins, KiB/s
+  std::vector<double> resource_work_bytes;   ///< per network resource
+  std::vector<PairBytes> pairs;              ///< unordered, sorted
+  std::vector<telemetry::ConnectionAccount> connections;  ///< simplex
+};
+
+class FlowSimulation {
+ public:
+  FlowSimulation(sim::Simulator& simulator, const FlowNetwork& network,
+                 FlowProgram program, FlowSimOptions options = {});
+
+  FlowSimulation(const FlowSimulation&) = delete;
+  FlowSimulation& operator=(const FlowSimulation&) = delete;
+
+  /// Schedules the program's first phase (and the background flow and
+  /// fault boundaries).  Drive the run with simulator.run().
+  void start();
+
+  /// Collects results after the event loop drains.  Throws
+  /// std::runtime_error if the program did not run to completion (every
+  /// route dead under faults with no window ever ending, say).
+  [[nodiscard]] FlowSimResult finish();
+
+  [[nodiscard]] bool completed() const { return done_; }
+
+ private:
+  struct ActiveFlow {
+    double remaining_work = 0.0;
+    double capture_per_work = 0.0;  ///< captured bytes per work byte
+    double total_capture = 0.0;
+    double rate = 0.0;              ///< work bytes/s, current allocation
+    double cap = 0.0;               ///< per-flow rate cap
+    double latency_s = 0.0;         ///< store-and-forward tail
+    int src = 0;
+    int dst = 0;
+    int resources[4] = {-1, -1, -1, -1};
+    int resource_count = 0;
+    bool program_flow = true;
+  };
+
+  // --- program state machine -----------------------------------------
+  void start_phase();
+  void run_steps();
+  void start_step();
+  void on_step_drained();
+  void after_steps();
+  void end_phase();
+  void inject_row();
+  void configure_phase_texture();
+  void emit_phase_tail();
+  void schedule_compute(double seconds, void (FlowSimulation::*next)());
+  [[nodiscard]] double compute_end_seconds(double start_s,
+                                           double work_s) const;
+
+  // --- fluid machinery ------------------------------------------------
+  void inject(const FlowStep& step, bool program_flows);
+  void mark_dirty();
+  void refresh();
+  void advance_to_now();
+  void recompute_rates();
+  void schedule_next_finish();
+  void record_completion(int src, int dst, double capture, bool program);
+  void deposit(double t0_s, double t1_s, double capture);
+  void deposit_bins(double t0_s, double t1_s, double capture);
+  [[nodiscard]] bool host_down_now(int host) const;
+
+  sim::Simulator& sim_;
+  const FlowNetwork& network_;
+  FlowProgram program_;
+  FlowSimOptions options_;
+
+  std::vector<ActiveFlow> active_;
+  std::size_t outstanding_ = 0;   ///< program flows still draining
+  std::size_t peak_active_ = 0;
+
+  // Program counter.
+  int iteration_ = 0;
+  std::size_t phase_ = 0;
+  std::size_t step_ = 0;
+  int rows_injected_ = 0;
+  double phase_start_s_ = 0.0;
+  bool started_ = false;
+  bool done_ = false;
+  double end_s_ = 0.0;
+
+  // Rate refresh coalescing.
+  bool refresh_scheduled_ = false;
+  bool finish_check_valid_ = false;
+  sim::EventId finish_check_{};
+  sim::SimTime last_advance_{};
+
+  // Fair-share scratch (reused across recomputes).
+  std::vector<std::uint32_t> scratch_begin_;
+  std::vector<int> scratch_routes_;
+  std::vector<double> scratch_caps_;
+  std::vector<double> scratch_rates_;
+  FairShareWorkspace fair_share_workspace_;
+
+  // Shared-bus capture texture (see FlowSimOptions): the active step's
+  // stall stride (0 = none) with its anchor bin, and the phase's
+  // straggler pool withheld from contended steps' deposits.
+  int stall_stride_ = 0;
+  std::size_t stall_anchor_bin_ = 0;
+  bool withholding_ = false;
+  double phase_pool_ = 0.0;
+  double phase_tail_s_ = 0.0;
+  double phase_withhold_frac_ = 0.0;
+
+  // Telemetry.
+  bool have_first_traffic_ = false;
+  double first_traffic_s_ = 0.0;
+  std::vector<double> bin_bytes_;
+  std::vector<double> resource_work_;
+  trace::TraceDigest digest_;
+  std::uint64_t flows_completed_ = 0;
+  double capture_total_ = 0.0;
+  bool track_pairs_ = false;
+  std::unordered_map<std::uint64_t, double> pair_bytes_;
+  std::unordered_map<std::uint64_t, telemetry::ConnectionAccount> conns_;
+};
+
+}  // namespace fxtraf::flow

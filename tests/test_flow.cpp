@@ -1,0 +1,410 @@
+// Flow-level fast path: max-min fair share, the fluid network model,
+// the fxc lowering, and the flow trial driver.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+#include "apps/flow_trial.hpp"
+#include "apps/source_registry.hpp"
+#include "apps/trial.hpp"
+#include "ethernet/topology.hpp"
+#include "flow/fair_share.hpp"
+#include "flow/lowering.hpp"
+#include "flow/measure.hpp"
+#include "flow/network.hpp"
+#include "flow/simulation.hpp"
+#include "fxc/parser.hpp"
+#include "fxc/sema/predictor.hpp"
+#include "simcore/simulator.hpp"
+
+namespace fxtraf {
+namespace {
+
+using Routes = std::vector<std::vector<int>>;
+
+// --- max-min fair share: hand-computed fixtures ------------------------
+
+TEST(FairShare, SingleBottleneckSplitsEvenly) {
+  const std::vector<double> capacity{10.0};
+  const Routes routes{{0}, {0}, {0}, {0}};
+  const std::vector<double> rates = flow::max_min_rates(capacity, routes);
+  ASSERT_EQ(rates.size(), 4u);
+  for (double r : rates) EXPECT_NEAR(r, 2.5, 1e-9);
+}
+
+TEST(FairShare, TwoBottleneckChain) {
+  // The classic parking-lot: A crosses both links, B only the first,
+  // C only the second.  Link 1 (capacity 8) saturates first at rate 4,
+  // freezing A and C; B then takes link 0's remaining headroom.
+  const std::vector<double> capacity{10.0, 8.0};
+  const Routes routes{{0, 1}, {0}, {1}};
+  const std::vector<double> rates = flow::max_min_rates(capacity, routes);
+  EXPECT_NEAR(rates[0], 4.0, 1e-9);
+  EXPECT_NEAR(rates[1], 6.0, 1e-9);
+  EXPECT_NEAR(rates[2], 4.0, 1e-9);
+}
+
+TEST(FairShare, StarUplinkOversubscription) {
+  // Three senders into one receiver port: the receive direction is the
+  // bottleneck; every transmit direction keeps headroom.
+  const std::vector<double> capacity{10.0, 10.0, 10.0, 10.0};
+  const Routes routes{{0, 3}, {1, 3}, {2, 3}};
+  const std::vector<double> rates = flow::max_min_rates(capacity, routes);
+  for (double r : rates) EXPECT_NEAR(r, 10.0 / 3.0, 1e-9);
+}
+
+TEST(FairShare, RateCapFreedCapacityRedistributes) {
+  const std::vector<double> capacity{12.0};
+  const Routes routes{{0}, {0}, {0}};
+  const std::vector<double> caps{2.0, flow::kUncapped, flow::kUncapped};
+  const std::vector<double> rates = flow::max_min_rates(capacity, routes, caps);
+  EXPECT_NEAR(rates[0], 2.0, 1e-9);
+  EXPECT_NEAR(rates[1], 5.0, 1e-9);
+  EXPECT_NEAR(rates[2], 5.0, 1e-9);
+}
+
+TEST(FairShare, ZeroCapMeansStalled) {
+  const std::vector<double> capacity{10.0};
+  const Routes routes{{0}, {0}};
+  const std::vector<double> caps{0.0, flow::kUncapped};
+  const std::vector<double> rates = flow::max_min_rates(capacity, routes, caps);
+  EXPECT_EQ(rates[0], 0.0);
+  EXPECT_NEAR(rates[1], 10.0, 1e-9);
+}
+
+// --- max-min fair share: allocation properties ------------------------
+
+TEST(FairShare, AllocationIsFeasibleAndMaxMin) {
+  // Deterministic pseudo-random problems; for each, the allocation must
+  // be feasible and max-min optimal: every flow is either at its cap or
+  // crosses a saturated resource on which it holds a maximal rate.
+  std::uint64_t state = 0x9e3779b97f4a7c15ull;
+  const auto next = [&state] {
+    state ^= state << 13;
+    state ^= state >> 7;
+    state ^= state << 17;
+    return state;
+  };
+  for (int trial = 0; trial < 50; ++trial) {
+    const int resources = 1 + static_cast<int>(next() % 12);
+    const int flows = 1 + static_cast<int>(next() % 40);
+    std::vector<double> capacity;
+    for (int r = 0; r < resources; ++r) {
+      capacity.push_back(1.0 + static_cast<double>(next() % 1000) / 10.0);
+    }
+    Routes routes(static_cast<std::size_t>(flows));
+    std::vector<double> caps(static_cast<std::size_t>(flows),
+                             flow::kUncapped);
+    for (int f = 0; f < flows; ++f) {
+      const int hops = 1 + static_cast<int>(next() % 4);
+      for (int h = 0; h < hops; ++h) {
+        const int r = static_cast<int>(next() % resources);
+        auto& route = routes[static_cast<std::size_t>(f)];
+        if (std::find(route.begin(), route.end(), r) == route.end()) {
+          route.push_back(r);
+        }
+      }
+      if (next() % 4 == 0) {
+        caps[static_cast<std::size_t>(f)] =
+            static_cast<double>(next() % 200) / 10.0;
+      }
+    }
+    const std::vector<double> rates =
+        flow::max_min_rates(capacity, routes, caps);
+
+    std::vector<double> load(capacity.size(), 0.0);
+    for (int f = 0; f < flows; ++f) {
+      for (int r : routes[static_cast<std::size_t>(f)]) {
+        load[static_cast<std::size_t>(r)] += rates[static_cast<std::size_t>(f)];
+      }
+    }
+    for (std::size_t r = 0; r < capacity.size(); ++r) {
+      EXPECT_LE(load[r], capacity[r] * (1.0 + 1e-7) + 1e-7);
+    }
+    for (int f = 0; f < flows; ++f) {
+      const auto fi = static_cast<std::size_t>(f);
+      if (rates[fi] >= caps[fi] - 1e-7) continue;  // cap-limited
+      bool bottlenecked = false;
+      for (int r : routes[fi]) {
+        const auto ri = static_cast<std::size_t>(r);
+        if (load[ri] < capacity[ri] - 1e-6 * capacity[ri] - 1e-7) continue;
+        double max_rate = 0.0;
+        for (int g = 0; g < flows; ++g) {
+          const auto gi = static_cast<std::size_t>(g);
+          const auto& route = routes[gi];
+          if (std::find(route.begin(), route.end(), r) != route.end()) {
+            max_rate = std::max(max_rate, rates[gi]);
+          }
+        }
+        if (rates[fi] >= max_rate - 1e-6 * max_rate - 1e-7) {
+          bottlenecked = true;
+          break;
+        }
+      }
+      EXPECT_TRUE(bottlenecked)
+          << "flow " << f << " rate " << rates[fi]
+          << " neither capped nor bottlenecked (trial " << trial << ")";
+    }
+  }
+}
+
+// --- the fluid network model ------------------------------------------
+
+TEST(FlowNetwork, SharedBusIsOneResource) {
+  const flow::FlowNetwork net(eth::TopologySpec{}, 8);
+  EXPECT_TRUE(net.shared_bus());
+  EXPECT_EQ(net.resource_count(), 1u);
+  const flow::FlowRoute route = net.route(2, 5);
+  EXPECT_EQ(route.count, 1);
+  EXPECT_EQ(route.resources[0], 0);
+  EXPECT_EQ(route.latency_s, 0.0);
+}
+
+TEST(FlowNetwork, StarRoutesThroughPerHostDirections) {
+  eth::TopologySpec spec;
+  spec.kind = eth::TopologySpec::Kind::kStar;
+  const flow::FlowNetwork net(spec, 8);
+  EXPECT_EQ(net.resource_count(), 16u);
+  const flow::FlowRoute route = net.route(3, 6);
+  ASSERT_EQ(route.count, 2);
+  EXPECT_EQ(route.resources[0], 6);   // host 3 transmit
+  EXPECT_EQ(route.resources[1], 13);  // host 6 receive
+  EXPECT_GT(route.latency_s, 0.0);
+}
+
+TEST(FlowNetwork, TreeCrossLeafTakesUplinks) {
+  eth::TopologySpec spec;
+  spec.kind = eth::TopologySpec::Kind::kTree;
+  spec.switches = 4;
+  const flow::FlowNetwork net(spec, 16);  // 4 hosts per leaf
+  const flow::FlowRoute same = net.route(0, 3);
+  EXPECT_EQ(same.count, 2);
+  const flow::FlowRoute cross = net.route(0, 15);
+  ASSERT_EQ(cross.count, 4);
+  EXPECT_EQ(cross.resources[0], 0);            // host 0 transmit
+  EXPECT_EQ(cross.resources[1], 32 + 2 * 0);   // leaf 0 -> root
+  EXPECT_EQ(cross.resources[2], 32 + 2 * 3 + 1);  // root -> leaf 3
+  EXPECT_EQ(cross.resources[3], 2 * 15 + 1);   // host 15 receive
+  EXPECT_GT(cross.latency_s, same.latency_s);
+}
+
+TEST(FlowNetwork, FromTopologyMatchesSpecModelAndStampsSlots) {
+  for (auto kind : {eth::TopologySpec::Kind::kStar,
+                    eth::TopologySpec::Kind::kTree}) {
+    eth::TopologySpec spec;
+    spec.kind = kind;
+    spec.switches = 3;
+    sim::Simulator simulator(1);
+    eth::Topology topology(simulator, spec, 9);
+    const flow::FlowNetwork from_links =
+        flow::FlowNetwork::from_topology(topology);
+    const flow::FlowNetwork from_spec(spec, 9);
+    EXPECT_EQ(from_links.capacities(), from_spec.capacities());
+    int expected_slot = 0;
+    for (const eth::Link* link : topology.links()) {
+      EXPECT_EQ(link->flow_slot(), expected_slot);
+      expected_slot += link->directions();
+    }
+  }
+}
+
+// --- lowering consistency against the traffic predictor ---------------
+
+TEST(FlowLowering, SharedBusIterationMatchesPredictor) {
+  // The lowering prices communication exactly as the predictor does, so
+  // a fluid run on an idle shared bus must land on the predictor's
+  // iteration period.  (Not a tautology: the simulator really drains
+  // flows through max-min allocation and real event scheduling.)
+  for (const apps::SourceKernel& kernel : apps::source_kernels()) {
+    const fxc::SourceProgram program = fxc::parse_source(kernel.source);
+    const fxc::TrafficPrediction prediction = fxc::predict_traffic(program);
+
+    const flow::FlowNetwork net(eth::TopologySpec{}, program.processors);
+    flow::FlowLoweringOptions options;
+    options.shared_medium = true;
+    sim::Simulator simulator(1);
+    flow::FlowSimulation sim(simulator, net,
+                             flow::lower_to_flows(program, options), {});
+    sim.start();
+    simulator.run();
+    const flow::FlowSimResult result = sim.finish();
+    ASSERT_TRUE(result.completed) << kernel.name;
+    const double per_iteration =
+        result.sim_seconds / std::max(1, program.iterations);
+    EXPECT_NEAR(per_iteration, prediction.iteration_seconds,
+                0.05 * prediction.iteration_seconds)
+        << kernel.name;
+  }
+}
+
+TEST(FlowLowering, SparseSynthesisMatchesDenseAtSmallP) {
+  // At P below the dense limit both paths are available; force the
+  // sparse one and check it reproduces the dense totals for the
+  // patterns it supports (stencil, reduction, broadcast).
+  for (const char* name : {"sor", "hist"}) {
+    const auto kernel = apps::source_kernel_by_name(name);
+    ASSERT_TRUE(kernel.has_value());
+    const fxc::SourceProgram program = fxc::parse_source(kernel->source);
+
+    flow::FlowLoweringOptions dense;
+    flow::FlowLoweringOptions sparse;
+    sparse.dense_processor_limit = 1;  // everything through the sparse path
+    const flow::FlowProgram from_dense =
+        flow::lower_to_flows(program, dense);
+    const flow::FlowProgram from_sparse =
+        flow::lower_to_flows(program, sparse);
+    // The tree reduction serializes differently than the dense step
+    // schedule, so compare total captured bytes, not step structure.
+    EXPECT_NEAR(from_sparse.capture_bytes_per_iteration(),
+                from_dense.capture_bytes_per_iteration(),
+                0.25 * from_dense.capture_bytes_per_iteration())
+        << name;
+  }
+}
+
+TEST(FlowLowering, AllToAllPatternsHaveNoSparseForm) {
+  const auto kernel = apps::source_kernel_by_name("fft2d");
+  ASSERT_TRUE(kernel.has_value());
+  fxc::SourceProgram program = fxc::parse_source(kernel->source);
+  program = fxc::scale_to_processors(program, 1024);
+  flow::FlowLoweringOptions options;
+  EXPECT_THROW((void)flow::lower_to_flows(program, options),
+               std::invalid_argument);
+}
+
+// --- the flow trial driver --------------------------------------------
+
+apps::TrialScenario flow_scenario(const std::string& kernel, int processors) {
+  apps::TrialScenario scenario;
+  scenario.kernel = kernel;
+  scenario.fidelity = apps::Fidelity::kFlow;
+  scenario.processors = processors;
+  scenario.scale = 0.25;
+  scenario.telemetry.enabled = true;
+  scenario.telemetry.store_packets = false;
+  scenario.telemetry.keep_bandwidth_series = true;
+  return scenario;
+}
+
+TEST(FlowTrial, IsDeterministic) {
+  const apps::TrialScenario scenario = flow_scenario("sor", 4);
+  const apps::TrialRun a = apps::run_trial(scenario);
+  const apps::TrialRun b = apps::run_trial(scenario);
+  EXPECT_EQ(a.sim_seconds, b.sim_seconds);
+  EXPECT_EQ(a.digest, b.digest);
+  EXPECT_EQ(a.packets_seen, b.packets_seen);
+  EXPECT_EQ(a.events_executed, b.events_executed);
+  EXPECT_GT(a.packets_seen, 0u);
+  EXPECT_TRUE(a.streamed);
+  EXPECT_GT(a.stream.fundamental_hz, 0.0);
+}
+
+TEST(FlowTrial, RegistryAliasesResolve) {
+  for (const char* kernel : {"2dfft", "t2dfft"}) {
+    const apps::TrialRun run = apps::run_trial(flow_scenario(kernel, 4));
+    EXPECT_GT(run.sim_seconds, 0.0) << kernel;
+    EXPECT_GT(run.packets_seen, 0u) << kernel;
+  }
+}
+
+TEST(FlowTrial, RejectsPacketOnlyFeatures) {
+  {
+    apps::TrialScenario scenario = flow_scenario("sor", 4);
+    scenario.faults.frame_ber = 1e-6;
+    EXPECT_THROW((void)apps::run_trial(scenario), std::invalid_argument);
+  }
+  {
+    apps::TrialScenario scenario = flow_scenario("sor", 4);
+    scenario.telemetry.capture_max_packets = 10;
+    EXPECT_THROW((void)apps::run_trial(scenario), std::invalid_argument);
+  }
+  {
+    apps::TrialScenario scenario = flow_scenario("sor", 4);
+    scenario.faults.daemon_outages.push_back({1, 0.1, 0.1});
+    EXPECT_THROW((void)apps::run_trial(scenario), std::invalid_argument);
+  }
+  {
+    // And the reverse: packet trials reject the flow-only hosts knob.
+    apps::TrialScenario scenario;
+    scenario.kernel = "sor";
+    scenario.processors = 4;
+    scenario.hosts = 64;
+    EXPECT_THROW((void)apps::run_trial(scenario), std::invalid_argument);
+  }
+}
+
+TEST(FlowTrial, CpuFaultWindowStretchesTheRun) {
+  const apps::TrialScenario base = flow_scenario("sor", 4);
+  const double healthy = apps::run_trial(base).sim_seconds;
+
+  apps::TrialScenario slowed = base;
+  fault::HostFaultWindow window;
+  window.host = 2;
+  window.start_s = 0.0;
+  window.duration_s = 3600.0;
+  window.cpu_factor = 0.5;
+  slowed.faults.host_faults.push_back(window);
+  const double degraded = apps::run_trial(slowed).sim_seconds;
+  EXPECT_GT(degraded, healthy * 1.05);
+}
+
+TEST(FlowTrial, NetworkDownWindowDelaysCompletion) {
+  const apps::TrialScenario base = flow_scenario("sor", 4);
+  const double healthy = apps::run_trial(base).sim_seconds;
+
+  apps::TrialScenario faulted = base;
+  fault::HostFaultWindow window;
+  window.host = 1;
+  window.start_s = 0.0;
+  window.duration_s = healthy;  // dead for the healthy run's whole span
+  window.cpu_factor = 1.0;
+  window.network_down = true;
+  faulted.faults.host_faults.push_back(window);
+  const apps::TrialRun run = apps::run_trial(faulted);
+  EXPECT_GT(run.sim_seconds, healthy * 1.5);
+  EXPECT_GT(run.packets_seen, 0u);
+}
+
+TEST(FlowTrial, TenThousandHostStarSmoke) {
+  // The acceptance point: a >= 10k-host star trial completes with
+  // bounded memory (no telemetry series, no pair tracking) and real
+  // traffic on the sparse lowering path.
+  apps::TrialScenario scenario;
+  scenario.kernel = "sor";
+  scenario.fidelity = apps::Fidelity::kFlow;
+  scenario.processors = 10000;
+  scenario.hosts = 10000;
+  scenario.scale = 0.1;  // two iterations
+  scenario.testbed.topology.kind = eth::TopologySpec::Kind::kStar;
+  const apps::TrialRun run = apps::run_trial(scenario);
+  EXPECT_GT(run.sim_seconds, 0.0);
+  EXPECT_GT(run.packets_seen, 10000u);
+  EXPECT_GT(run.events_executed, 0u);
+}
+
+// --- the shared measurement pipeline ----------------------------------
+
+TEST(FlowMeasure, RecoversASyntheticPeriod) {
+  // 2 s of 10 ms bins: 250 ms period, 100 ms bursts of 80 KiB/s.
+  std::vector<double> series(200, 0.0);
+  for (std::size_t i = 0; i < series.size(); ++i) {
+    if ((i % 25) < 10) series[i] = 80.0;
+  }
+  const std::vector<double> pair_bytes{32000.0, 64000.0};
+  flow::FundamentalsInput input;
+  input.bandwidth_kbs = series;
+  input.bin_seconds = 0.01;
+  input.pair_capture_bytes = pair_bytes;
+  input.iterations = 8;
+  const flow::MeasuredFundamentals m = flow::measure_fundamentals(input);
+  EXPECT_NEAR(m.period_s, 0.25, 0.03);
+  EXPECT_NEAR(m.idle_s_per_period, 0.15, 0.03);
+  EXPECT_NEAR(m.burst_bytes, 8000.0, 1e-6);
+}
+
+}  // namespace
+}  // namespace fxtraf

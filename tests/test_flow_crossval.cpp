@@ -1,0 +1,174 @@
+// Flow-vs-packet cross-validation: the acceptance gate for the fluid
+// fast path.
+//
+// Every source kernel runs in BOTH fidelities on the shared bus and on
+// a 100 Mb/s star, and the measured fundamentals — l (idle seconds per
+// period), b (dominant machine-pair bytes per period), c (the period) —
+// must agree within 10%, mirroring the fxc predictor's acceptance gate.
+// Both sides are measured by exactly one pipeline (flow::
+// measure_fundamentals over the 10 ms binned KiB/s series and the
+// unordered-pair byte totals), so the comparison tests the fluid
+// *model*, not a measurement artifact.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "apps/source_registry.hpp"
+#include "apps/trial.hpp"
+#include "ethernet/topology.hpp"
+#include "flow/measure.hpp"
+#include "fxc/lower.hpp"
+#include "fxc/parser.hpp"
+#include "fxc/sema/predictor.hpp"
+
+namespace fxtraf {
+namespace {
+
+struct Fundamentals {
+  double l = 0.0;
+  double b = 0.0;
+  double c = 0.0;
+};
+
+/// Collision outcomes make the packet side's l genuinely stochastic: on
+/// the contended FFT configurations it wanders across seeds by more
+/// than the 10% band itself (t2dfft @P=8 spans 0.28–0.39 s over seeds
+/// 1–5), so the deterministic fluid model is gated against a small seed
+/// ensemble rather than one seed's noise.  The component-wise median is
+/// the robust pick: an occasional octave jump in one seed's period
+/// estimate would poison a mean but not the majority mode.
+constexpr unsigned kPacketSeeds[] = {1, 2, 3};
+
+Fundamentals measure(const apps::TrialRun& run, int iterations) {
+  const std::vector<double> pair_bytes =
+      flow::unordered_pair_bytes(run.stream.connections);
+  flow::FundamentalsInput input;
+  input.bandwidth_kbs = run.stream.bandwidth_series;
+  input.bin_seconds = 0.01;
+  input.pair_capture_bytes = pair_bytes;
+  input.iterations = iterations;
+  const double span_s =
+      static_cast<double>(run.stream.bandwidth_series.size()) * 0.01;
+  if (span_s > 0) input.min_fundamental_hz = 0.8 * iterations / span_s;
+  const flow::MeasuredFundamentals m = flow::measure_fundamentals(input);
+  return {m.idle_s_per_period, m.burst_bytes, m.period_s};
+}
+
+/// Both fidelities must execute the SAME program: the flow side lowers
+/// the source kernel, so the packet side runs the fxc-compiled
+/// executable of that source (not the hand-written registry twin, whose
+/// iteration counts and phase structure differ).
+apps::TrialScenario scenario_for(const std::string& kernel, int processors,
+                                 apps::Fidelity fidelity,
+                                 const eth::TopologySpec& topology,
+                                 unsigned seed = 1) {
+  apps::TrialScenario scenario;
+  scenario.kernel = kernel;
+  scenario.processors = processors;
+  scenario.fidelity = fidelity;
+  scenario.seed = seed;
+  scenario.testbed.topology = topology;
+  scenario.telemetry.enabled = true;
+  scenario.telemetry.store_packets = false;  // bounded memory both sides
+  scenario.telemetry.keep_bandwidth_series = true;
+  if (fidelity == apps::Fidelity::kPacket) {
+    const auto source = apps::source_kernel_by_name(kernel);
+    const fxc::SourceProgram program =
+        fxc::scale_to_processors(fxc::parse_source(source->source), processors);
+    scenario.make_program = [program] {
+      return fxc::compile(program).executable;
+    };
+  }
+  return scenario;
+}
+
+Fundamentals packet_ensemble(const std::string& kernel, int processors,
+                             const eth::TopologySpec& topology,
+                             int iterations) {
+  std::vector<double> l, b, c;
+  for (unsigned seed : kPacketSeeds) {
+    const apps::TrialRun run = apps::run_trial(scenario_for(
+        kernel, processors, apps::Fidelity::kPacket, topology, seed));
+    const Fundamentals f = measure(run, iterations);
+    l.push_back(f.l);
+    b.push_back(f.b);
+    c.push_back(f.c);
+  }
+  const auto median = [](std::vector<double>& v) {
+    std::sort(v.begin(), v.end());
+    return v[v.size() / 2];
+  };
+  return {median(l), median(b), median(c)};
+}
+
+void expect_agreement(const std::string& tag, const Fundamentals& want,
+                      const Fundamentals& got) {
+  ASSERT_GT(want.c, 0.0) << tag;
+  ASSERT_GT(got.c, 0.0) << tag;
+  EXPECT_NEAR(got.c, want.c, 0.10 * want.c)
+      << tag << ": c flow=" << got.c << "s packet=" << want.c << "s";
+  EXPECT_NEAR(got.b, want.b, 0.10 * want.b)
+      << tag << ": b flow=" << got.b << " packet=" << want.b;
+  // l carries the 10 ms bin quantization of both series (two bin edges
+  // per idle block, several blocks per period), so the 10% band gets
+  // one and a half bins of absolute slack.
+  EXPECT_NEAR(got.l, want.l, std::max(0.10 * want.l, 0.015))
+      << tag << ": l flow=" << got.l << "s packet=" << want.l << "s";
+}
+
+void expect_agreement(const eth::TopologySpec& topology,
+                      const std::vector<int>& processor_counts) {
+  for (const apps::SourceKernel& kernel : apps::source_kernels()) {
+    const fxc::SourceProgram program = fxc::parse_source(kernel.source);
+    for (int p : processor_counts) {
+      const std::string tag = kernel.name + " @P=" + std::to_string(p) +
+                              " on " + eth::describe(topology);
+      const Fundamentals want =
+          packet_ensemble(kernel.name, p, topology, program.iterations);
+      const apps::TrialRun flow = apps::run_trial(
+          scenario_for(kernel.name, p, apps::Fidelity::kFlow, topology));
+      const Fundamentals got = measure(flow, program.iterations);
+      expect_agreement(tag, want, got);
+    }
+  }
+}
+
+TEST(FlowCrossValidation, SharedBusWithinTenPercent) {
+  expect_agreement(eth::TopologySpec{}, {2, 4, 8});
+}
+
+TEST(FlowCrossValidation, StarHundredMbitWithinTenPercent) {
+  eth::TopologySpec star;
+  star.kind = eth::TopologySpec::Kind::kStar;
+  star.link_rate_bps = 100e6;
+  expect_agreement(star, {2, 4, 8});
+}
+
+TEST(FlowCrossValidation, SixteenProcessorsOnTheStar) {
+  // P=16 coverage runs on the 100 Mb star, where per-port capacity
+  // scales with the host count.  Sixteen hosts saturate the 10 Mb
+  // shared bus outside every model's regime: the packet executables
+  // there either overlap fine-grained messages with compute (sor, hist)
+  // or collapse under collision retransmissions (t2dfft's capture
+  // triples and its period nearly does too) — a known model boundary
+  // documented in DESIGN.md.
+  eth::TopologySpec star;
+  star.kind = eth::TopologySpec::Kind::kStar;
+  star.link_rate_bps = 100e6;
+  for (const char* name : {"fft2d", "t2dfft"}) {
+    const auto kernel = apps::source_kernel_by_name(name);
+    ASSERT_TRUE(kernel.has_value());
+    const fxc::SourceProgram program = fxc::parse_source(kernel->source);
+    const Fundamentals want =
+        packet_ensemble(name, 16, star, program.iterations);
+    const apps::TrialRun flow = apps::run_trial(
+        scenario_for(name, 16, apps::Fidelity::kFlow, star));
+    const Fundamentals got = measure(flow, program.iterations);
+    expect_agreement(std::string(name) + " @P=16", want, got);
+  }
+}
+
+}  // namespace
+}  // namespace fxtraf
