@@ -1,0 +1,266 @@
+// Parallel-in-trial PDES scale sweep: how much wall time conservative
+// sharding buys on one large packet trial, and proof it buys it without
+// giving up determinism.
+//
+// One scenario — a 10k-host 100 Mb star running a staggered neighbor
+// ring (every host sends one message leftward per round, start times
+// spread by 500 ns per rank so the fabric sees a pipeline instead of a
+// synchronized flood) — run at each worker count in the sweep.  Every
+// run must produce the bitwise-identical FNV trace digest: the shard
+// plan, per-shard seeds, and cross-shard merge order are functions of
+// (topology, seed), never of the worker count.
+//
+// CI smoke (the perf-pdes job):
+//
+//   pdes_scale_sweep --assert-speedup=2 --json=BENCH_pdes.json
+//
+// exits nonzero if sim_threads=4 is not at least 2x faster than
+// sim_threads=1 on the 10k-host trial, or if any digest differs.
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "apps/trial.hpp"
+#include "core/json.hpp"
+#include "ethernet/topology.hpp"
+#include "fx/runtime.hpp"
+#include "pdes/shard_plan.hpp"
+#include "pvm/task.hpp"
+#include "simcore/coro.hpp"
+#include "trace/digest.hpp"
+
+namespace fxtraf {
+namespace {
+
+struct Options {
+  int hosts = 10'000;
+  int rounds = 3;
+  std::size_t message_bytes = 1024;
+  std::uint64_t seed = 1;
+  std::vector<int> threads = {1, 2, 4};
+  double assert_speedup_x = 0.0;  ///< wall(1)/wall(max threads) gate
+  std::string json_path;
+};
+
+/// One staggered ring round-trip: rank r computes-delays r * 500 ns,
+/// then sends `bytes` to rank r-1 and receives from r+1 each round.
+/// O(hosts) messages per round with no global synchronization — the
+/// traffic pattern a shard-parallel simulator should eat for breakfast.
+fx::FxProgram make_ring(int hosts, int rounds, std::size_t bytes) {
+  fx::FxProgram program;
+  program.name = "pdes-ring";
+  program.processors = hosts;
+  program.rank_body = [rounds, bytes](fx::FxContext& ctx,
+                                      int rank) -> sim::Co<void> {
+    const int p = ctx.processors();
+    pvm::Task& task = ctx.vm().task(rank);
+    sim::Simulator& sim = ctx.workstation(rank).simulator();
+    co_await sim::delay(sim, sim::nanos(500) * rank);
+    const int dst = (rank + p - 1) % p;
+    const int src = (rank + 1) % p;
+    for (int round = 0; round < rounds; ++round) {
+      pvm::MessageBuilder builder = task.make_builder();
+      builder.pack_bytes(bytes);
+      co_await task.send(dst, builder.finish(/*tag=*/1 + round));
+      co_await task.recv(src, /*tag=*/1 + round);
+    }
+  };
+  return program;
+}
+
+[[nodiscard]] apps::TrialScenario scenario_for(const Options& opt,
+                                               int sim_threads) {
+  apps::TrialScenario scenario;
+  scenario.kernel = "pdes-ring";
+  scenario.processors = opt.hosts;
+  scenario.seed = opt.seed;
+  scenario.sim_threads = sim_threads;
+  scenario.testbed.topology.kind = eth::TopologySpec::Kind::kStar;
+  scenario.testbed.topology.link_rate_bps = 100e6;
+  const Options o = opt;
+  scenario.make_program = [o] {
+    return make_ring(o.hosts, o.rounds, o.message_bytes);
+  };
+  return scenario;
+}
+
+struct Sample {
+  int threads = 0;
+  double wall_s = 0.0;
+  double sim_seconds = 0.0;
+  std::uint64_t events = 0;
+  std::uint64_t packets = 0;
+  std::uint64_t windows = 0;
+  int shards = 0;
+  std::string digest;
+
+  [[nodiscard]] double events_per_s() const {
+    return wall_s > 0 ? static_cast<double>(events) / wall_s : 0.0;
+  }
+};
+
+[[nodiscard]] Sample run_once(const Options& opt, int sim_threads) {
+  const auto start = std::chrono::steady_clock::now();
+  const apps::TrialRun run = apps::run_trial(scenario_for(opt, sim_threads));
+  Sample s;
+  s.threads = sim_threads;
+  s.wall_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  s.sim_seconds = run.sim_seconds;
+  s.events = run.events_executed;
+  s.packets = run.packets_seen;
+  s.windows = run.pdes_windows;
+  s.shards = run.pdes_shards;
+  s.digest = trace::to_string(run.digest);
+  return s;
+}
+
+void print_usage() {
+  std::printf(
+      "pdes_scale_sweep [--hosts=N] [--rounds=N] [--bytes=N] [--seed=N]\n"
+      "                 [--threads=1,2,4] [--assert-speedup=X]\n"
+      "                 [--json=PATH]\n");
+}
+
+}  // namespace
+}  // namespace fxtraf
+
+int main(int argc, char** argv) {
+  using namespace fxtraf;
+  Options opt;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--hosts=", 0) == 0) {
+      opt.hosts = std::atoi(arg.c_str() + 8);
+    } else if (arg.rfind("--rounds=", 0) == 0) {
+      opt.rounds = std::max(1, std::atoi(arg.c_str() + 9));
+    } else if (arg.rfind("--bytes=", 0) == 0) {
+      opt.message_bytes = std::strtoull(arg.c_str() + 8, nullptr, 10);
+    } else if (arg.rfind("--seed=", 0) == 0) {
+      opt.seed = std::strtoull(arg.c_str() + 7, nullptr, 10);
+    } else if (arg.rfind("--threads=", 0) == 0) {
+      opt.threads.clear();
+      for (const char* c = arg.c_str() + 10; *c != '\0';) {
+        opt.threads.push_back(std::atoi(c));
+        while (*c != '\0' && *c != ',') ++c;
+        if (*c == ',') ++c;
+      }
+    } else if (arg.rfind("--assert-speedup=", 0) == 0) {
+      opt.assert_speedup_x = std::atof(arg.c_str() + 17);
+    } else if (arg.rfind("--json=", 0) == 0) {
+      opt.json_path = arg.substr(7);
+    } else {
+      print_usage();
+      return arg == "--help" ? 0 : 2;
+    }
+  }
+  if (opt.threads.empty() || opt.hosts < 2) {
+    print_usage();
+    return 2;
+  }
+
+  eth::TopologySpec star;
+  star.kind = eth::TopologySpec::Kind::kStar;
+  star.link_rate_bps = 100e6;
+  const pdes::ShardPlan plan = pdes::plan_shards(star, opt.hosts);
+  std::printf(
+      "pdes scale sweep: %d-host %s, %d rounds x %zu B ring, %d shards, "
+      "lookahead %.2f us\n",
+      opt.hosts, eth::describe(star).c_str(), opt.rounds, opt.message_bytes,
+      plan.shards, static_cast<double>(plan.lookahead.ns()) / 1000.0);
+
+  const unsigned cores = std::thread::hardware_concurrency();
+  const int max_threads =
+      *std::max_element(opt.threads.begin(), opt.threads.end());
+  if (cores != 0 && cores < static_cast<unsigned>(max_threads)) {
+    std::fprintf(stderr,
+                 "WARNING: %u hardware threads for a sim_threads=%d run; "
+                 "wall-clock speedup cannot materialize here (digests "
+                 "still must match).\n",
+                 cores, max_threads);
+  }
+
+  std::vector<Sample> samples;
+  for (const int threads : opt.threads) {
+    const Sample s = run_once(opt, threads);
+    samples.push_back(s);
+    std::printf(
+        "  sim_threads=%d  %8.3f s wall  %10llu events  %11.0f events/s  "
+        "%8llu packets  %6llu windows  digest %s\n",
+        s.threads, s.wall_s, static_cast<unsigned long long>(s.events),
+        s.events_per_s(), static_cast<unsigned long long>(s.packets),
+        static_cast<unsigned long long>(s.windows), s.digest.c_str());
+  }
+
+  int failures = 0;
+  for (const Sample& s : samples) {
+    if (s.digest != samples.front().digest ||
+        s.packets != samples.front().packets) {
+      std::fprintf(stderr,
+                   "FAIL: sim_threads=%d digest %s (%llu packets) differs "
+                   "from sim_threads=%d digest %s (%llu packets)\n",
+                   s.threads, s.digest.c_str(),
+                   static_cast<unsigned long long>(s.packets),
+                   samples.front().threads, samples.front().digest.c_str(),
+                   static_cast<unsigned long long>(samples.front().packets));
+      ++failures;
+    }
+  }
+
+  const Sample& base = samples.front();
+  const Sample& peak = samples.back();
+  const double speedup_x = peak.wall_s > 0 ? base.wall_s / peak.wall_s : 0.0;
+  std::printf("speedup: %.2fx at sim_threads=%d over sim_threads=%d\n",
+              speedup_x, peak.threads, base.threads);
+  if (opt.assert_speedup_x > 0 && speedup_x < opt.assert_speedup_x) {
+    std::fprintf(stderr, "FAIL: speedup %.2fx below required %.2fx\n",
+                 speedup_x, opt.assert_speedup_x);
+    ++failures;
+  }
+
+  if (!opt.json_path.empty()) {
+    std::ofstream out(opt.json_path);
+    if (!out) {
+      std::fprintf(stderr, "cannot write %s\n", opt.json_path.c_str());
+      return 1;
+    }
+    core::JsonWriter json(out);
+    json.begin_object();
+    json.field("benchmark", "pdes_scale_sweep");
+    json.field("hosts", opt.hosts);
+    json.field("rounds", opt.rounds);
+    json.field("message_bytes", static_cast<std::uint64_t>(opt.message_bytes));
+    json.field("topology", eth::describe(star));
+    json.field("shards", plan.shards);
+    json.field("lookahead_ns", static_cast<std::int64_t>(plan.lookahead.ns()));
+    json.field("seed", opt.seed);
+    json.key("sweep").begin_array();
+    for (const Sample& s : samples) {
+      json.begin_object();
+      json.field("sim_threads", s.threads);
+      json.field("wall_s", s.wall_s);
+      json.field("sim_seconds", s.sim_seconds);
+      json.field("events", s.events);
+      json.field("events_per_s", s.events_per_s());
+      json.field("packets", s.packets);
+      json.field("windows", s.windows);
+      json.field("digest", s.digest);
+      json.end_object();
+    }
+    json.end_array();
+    json.field("speedup_x", speedup_x);
+    json.field("digests_identical", failures == 0);
+    json.end_object();
+    out << "\n";
+    std::printf("  written to %s\n", opt.json_path.c_str());
+  }
+
+  return failures > 0 ? 1 : 0;
+}

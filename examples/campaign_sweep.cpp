@@ -26,10 +26,17 @@
 // Fidelity (DESIGN.md §14): full packet stack by default, or the fluid
 // flow fast path for topology-scale sweeps:
 //   campaign_sweep --fidelity=flow --topology=star --hosts=10000
+//
+// Parallel-in-trial PDES (DESIGN.md §15): shard each packet trial
+// across N worker threads (switched topologies only; digests identical
+// for every N >= 1 but not comparable to the serial scheduler, so a
+// campaign should use one engine throughout):
+//   campaign_sweep --topology=star --sim-threads=4
 // Flow mode rejects the packet-only knobs (--ber, --fcs-every,
 // --daemon-crash, --max-packets, --flight-dump, --port-queue) up front;
 // --hosts is flow-only (packet trials size the segment by
 // processors/workstations).
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -37,10 +44,12 @@
 #include <sstream>
 #include <string>
 
+#include "apps/registry.hpp"
 #include "campaign/engine.hpp"
 #include "campaign/report.hpp"
 #include "ethernet/topology.hpp"
 #include "fault/plan.hpp"
+#include "pdes/shard_plan.hpp"
 #include "telemetry/exporters.hpp"
 
 namespace {
@@ -64,6 +73,7 @@ struct Cli {
   fxtraf::eth::TopologySpec topology;
   fxtraf::apps::Fidelity fidelity = fxtraf::apps::Fidelity::kPacket;
   int hosts = 0;
+  int sim_threads = 0;
   bool port_queue_set = false;
 };
 
@@ -142,6 +152,8 @@ bool parse(int argc, char** argv, Cli& cli) {
       }
     } else if (const char* v = val("--hosts=")) {
       cli.hosts = std::stoi(v);
+    } else if (const char* v = val("--sim-threads=")) {
+      cli.sim_threads = std::stoi(v);
     } else if (const char* v = val("--ber=")) {
       cli.faults.frame_ber = std::stod(v);
     } else if (const char* v = val("--fcs-every=")) {
@@ -200,7 +212,8 @@ bool parse(int argc, char** argv, Cli& cli) {
         flow_rejects(!cli.faults.daemon_outages.empty(), "--daemon-crash") ||
         flow_rejects(cli.max_packets > 0, "--max-packets") ||
         flow_rejects(!cli.flight_prefix.empty(), "--flight-dump") ||
-        flow_rejects(cli.port_queue_set, "--port-queue")) {
+        flow_rejects(cli.port_queue_set, "--port-queue") ||
+        flow_rejects(cli.sim_threads > 0, "--sim-threads")) {
       return false;
     }
   } else if (cli.hosts != 0) {
@@ -226,6 +239,7 @@ int main(int argc, char** argv) {
   base.scenario.cross_traffic_bytes_per_s = cli.cross_kbs * 1024.0;
   base.scenario.fidelity = cli.fidelity;
   base.scenario.hosts = cli.hosts;
+  base.scenario.sim_threads = cli.sim_threads;
   base.scenario.testbed.topology = cli.topology;
   base.scenario.faults = cli.faults;
   base.scenario.telemetry.enabled = cli.telemetry;
@@ -233,6 +247,35 @@ int main(int argc, char** argv) {
   base.scenario.telemetry.capture_max_packets = cli.max_packets;
   base.scenario.telemetry.flight_dump_prefix = cli.flight_prefix;
   base.label = cli.kernel;
+
+  if (cli.sim_threads > 0) {
+    // The shard plan is fixed by (topology, host count), so starvation
+    // is knowable before any trial runs: warn loudly instead of letting
+    // the user wonder where the speedup went.
+    int p = cli.processors;
+    if (p <= 0) {
+      if (const auto kernel = apps::kernel_by_name(cli.kernel)) {
+        p = kernel->program.processors;
+      }
+    }
+    if (p > 0) {
+      const auto plan = pdes::plan_shards(cli.topology, p);
+      const int workers = std::min(cli.sim_threads, plan.shards);
+      if (workers < cli.sim_threads) {
+        std::fprintf(
+            stderr,
+            "WARNING: --sim-threads=%d, but %s with %d hosts partitions "
+            "into only %d shard%s; %d worker thread%s will run and the "
+            "rest would idle.%s\n",
+            cli.sim_threads, eth::describe(cli.topology).c_str(), p,
+            plan.shards, plan.shards == 1 ? "" : "s", workers,
+            workers == 1 ? "" : "s",
+            plan.sharded ? "" : "  (The shared bus is one collision "
+                                "domain: it cannot shard at all.)");
+      }
+    }
+  }
+
   const auto specs =
       campaign::seed_sweep(base, cli.trials, cli.master_seed);
 

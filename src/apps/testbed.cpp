@@ -4,7 +4,8 @@
 
 namespace fxtraf::apps {
 
-Testbed::Testbed(sim::Simulator& simulator, const TestbedConfig& config)
+Testbed::Testbed(sim::Simulator& simulator, const TestbedConfig& config,
+                 const ShardBinding* binding)
     : topology_(simulator, config.topology, config.workstations) {
   // Workstations construct in host-id order; on the shared bus this
   // reproduces the pre-topology RNG fork sequence exactly (the topology
@@ -12,8 +13,11 @@ Testbed::Testbed(sim::Simulator& simulator, const TestbedConfig& config)
   hosts_.reserve(static_cast<std::size_t>(config.workstations));
   std::vector<host::Workstation*> raw;
   for (int i = 0; i < config.workstations; ++i) {
+    sim::Simulator& host_sim = binding != nullptr && binding->host_simulator
+                                   ? binding->host_simulator(i)
+                                   : simulator;
     hosts_.push_back(std::make_unique<host::Workstation>(
-        simulator, topology_.host_link(static_cast<net::HostId>(i)),
+        host_sim, topology_.host_link(static_cast<net::HostId>(i)),
         static_cast<net::HostId>(i), config.host));
     raw.push_back(hosts_.back().get());
   }
@@ -21,7 +25,9 @@ Testbed::Testbed(sim::Simulator& simulator, const TestbedConfig& config)
                                               config.pvm);
   // End-to-end deliveries only: the capture records each frame once, at
   // its final hop, on any topology.
-  topology_.add_delivery_tap(capture_.tap());
+  topology_.add_delivery_tap(binding != nullptr && binding->delivery_tap
+                                 ? binding->delivery_tap
+                                 : capture_.tap());
 }
 
 eth::Segment& Testbed::segment() {

@@ -4,6 +4,7 @@
 // promiscuous capture station observing end-to-end deliveries.
 #pragma once
 
+#include <functional>
 #include <memory>
 #include <vector>
 
@@ -24,9 +25,23 @@ struct TestbedConfig {
   pvm::PvmConfig pvm;
 };
 
+/// PDES wiring: maps each host onto its owning shard's simulator and
+/// reroutes end-to-end delivery observation through the engine's
+/// per-shard sinks (which feed Capture::observe between windows)
+/// instead of tapping the capture directly from link threads.
+struct ShardBinding {
+  std::function<sim::Simulator&(int host)> host_simulator;
+  eth::Tap delivery_tap;
+};
+
 class Testbed {
  public:
-  Testbed(sim::Simulator& simulator, const TestbedConfig& config);
+  /// `simulator` drives the network fabric (topology, bridges, VM
+  /// services); with a `binding`, each workstation instead runs on
+  /// binding->host_simulator(id) — the serial trial passes nullptr and
+  /// everything shares one clock.
+  Testbed(sim::Simulator& simulator, const TestbedConfig& config,
+          const ShardBinding* binding = nullptr);
   ~Testbed();
 
   Testbed(const Testbed&) = delete;

@@ -25,6 +25,9 @@ Trial::Trial(const TrialScenario& scenario)
         "Trial: `hosts` is a flow-fidelity knob; packet trials size the "
         "segment with `workstations`");
   }
+  if (scenario.sim_threads < 0) {
+    throw std::invalid_argument("Trial: sim_threads must be >= 0");
+  }
   TestbedConfig config = scenario.testbed;
   if (scenario.make_program) {
     program_ = scenario.make_program();
@@ -68,8 +71,54 @@ Trial::Trial(const TrialScenario& scenario)
     };
   }
 
-  simulator_ = std::make_unique<sim::Simulator>(scenario.seed);
-  testbed_ = std::make_unique<Testbed>(*simulator_, config);
+  ShardBinding binding;
+  const ShardBinding* binding_ptr = nullptr;
+  if (scenario.sim_threads > 0) {
+    engine_ = std::make_unique<pdes::Engine>(
+        pdes::plan_shards(config.topology, config.workstations),
+        scenario.seed, scenario.sim_threads);
+    binding.host_simulator = [this](int h) -> sim::Simulator& {
+      return engine_->host_sim(h);
+    };
+    binding.delivery_tap = engine_->delivery_tap();
+    binding_ptr = &binding;
+  } else {
+    simulator_ = std::make_unique<sim::Simulator>(scenario.seed);
+  }
+  testbed_ = std::make_unique<Testbed>(root_sim(), config, binding_ptr);
+  if (engine_) {
+    // The engine merges its per-shard record sinks between windows and
+    // replays them, time-ordered, into the capture's normal pipeline.
+    engine_->set_record_consumer(
+        [cap = &testbed_->capture()](sim::SimTime t,
+                                     const trace::PacketRecord& r) {
+          cap->observe(t, r);
+        });
+    const pdes::ShardPlan& plan = engine_->shard_plan();
+    if (plan.sharded) {
+      // Cut the access links: each direction of a host's link gets the
+      // hop toward the other side's shard.
+      for (int h = 0; h < config.workstations; ++h) {
+        const int host_shard = plan.shard_of(h);
+        eth::DuplexLink& link = testbed_->topology().access_link(
+            static_cast<eth::StationId>(h));
+        const eth::Nic* host_nic = &testbed_->workstation(h).nic();
+        const int host_end = link.attached()[0] == host_nic ? 0 : 1;
+        link.set_remote_hop(host_end,
+                            &engine_->hop(host_shard, plan.fabric_shard));
+        link.set_remote_hop(1 - host_end,
+                            &engine_->hop(plan.fabric_shard, host_shard));
+      }
+      // Zero-delay host-to-host control calls (descriptor pushes,
+      // daemon expects) must hop shards through the engine.
+      testbed_->vm().set_remote_post(
+          [this](net::HostId dst, sim::UniqueAction action) {
+            engine_->post_control(
+                engine_->shard_plan().shard_of(static_cast<int>(dst)),
+                std::move(action));
+          });
+    }
+  }
   if (telemetry_.enabled) {
     trace::Capture& capture = testbed_->capture();
     capture.set_store_packets(telemetry_.store_packets);
@@ -112,8 +161,12 @@ Trial::Trial(const TrialScenario& scenario)
       wiring.hosts.push_back(&testbed_->workstation(i));
     }
     wiring.vm = &testbed_->vm();
+    // Sharded trials need per-direction fault streams: the shared BER
+    // stream would be drawn from two shards' threads on a cut link.
+    wiring.per_direction_streams =
+        engine_ != nullptr && testbed_->topology().switched();
     injector_ = std::make_unique<fault::Injector>(
-        *simulator_, std::move(wiring), faults_, scenario.seed);
+        root_sim(), std::move(wiring), faults_, scenario.seed);
   }
   if (cross) {
     host::CrossTrafficConfig load;
@@ -136,7 +189,28 @@ sim::SimTime Trial::run() {
     limits.watchdog = sim::seconds(faults_.watchdog_s);
   }
   if (telemetry_.enabled) limits.activity = &activity_;
+  if (engine_) {
+    limits.driver = [this](sim::Duration watchdog) {
+      return engine_->run(watchdog);
+    };
+  }
   return fx::run_program(testbed_->vm(), program_, limits);
+}
+
+sim::Simulator& Trial::root_sim() {
+  return engine_ ? engine_->fabric_sim() : *simulator_;
+}
+
+std::uint64_t Trial::total_events() const {
+  return engine_ ? engine_->events_executed() : simulator_->events_executed();
+}
+
+sim::EventQueueStats Trial::sched_stats() const {
+  return engine_ ? engine_->scheduler_stats() : simulator_->scheduler_stats();
+}
+
+sim::SimTime Trial::now_time() const {
+  return engine_ ? engine_->now() : simulator_->now();
 }
 
 fault::AuditReport Trial::audit() {
@@ -151,10 +225,33 @@ fault::AuditReport Trial::audit() {
 void Trial::on_tcp_abort(sim::SimTime at, net::HostId local,
                          net::HostId remote, const std::string& reason) {
   if (!recorder_) return;
-  recorder_->note(at, "tcp abort " + std::to_string(local) + "->" +
-                          std::to_string(remote) + ": " + reason);
+  const std::string note = "tcp abort " + std::to_string(local) + "->" +
+                           std::to_string(remote) + ": " + reason;
+  if (engine_) {
+    // Fired on a worker thread mid-window; the recorder and the metric
+    // scrape behind dump_flight are single-threaded, so queue the event
+    // and replay it once the engine has quiesced.
+    const std::lock_guard<std::mutex> lock(abort_mu_);
+    deferred_aborts_.emplace_back(at, note);
+    return;
+  }
+  recorder_->note(at, note);
   ++abort_dumps_;
   dump_flight("tcpabort" + std::to_string(abort_dumps_), reason);
+}
+
+void Trial::replay_deferred_aborts() {
+  std::vector<std::pair<sim::SimTime, std::string>> aborts;
+  {
+    const std::lock_guard<std::mutex> lock(abort_mu_);
+    aborts.swap(deferred_aborts_);
+  }
+  if (!recorder_) return;
+  for (const auto& [at, note] : aborts) {
+    recorder_->note(at, note);
+    ++abort_dumps_;
+    dump_flight("tcpabort" + std::to_string(abort_dumps_), note);
+  }
 }
 
 void Trial::dump_flight(const std::string& trigger,
@@ -171,14 +268,22 @@ void Trial::scrape_metrics() {
   *metrics_ = telemetry::MetricRegistry{};
   telemetry::MetricRegistry& reg = *metrics_;
 
-  reg.counter("fxtraf_sim_events_total").add(simulator_->events_executed());
-  const sim::EventQueueStats& sched = simulator_->scheduler_stats();
+  reg.counter("fxtraf_sim_events_total").add(total_events());
+  const sim::EventQueueStats sched = sched_stats();
   reg.counter("fxtraf_sim_events_scheduled_total").add(sched.scheduled);
   reg.counter("fxtraf_sim_events_cancelled_total").add(sched.cancelled);
   reg.counter("fxtraf_sim_heap_backed_actions_total")
       .add(sched.heap_backed_actions);
   reg.gauge("fxtraf_sim_allocations_per_event", GaugeMerge::kMax)
       .set(sched.allocations_per_event());
+  if (engine_) {
+    // Mergeable across a campaign: windows sum, shape gauges take max.
+    reg.counter("fxtraf_pdes_windows_total").add(engine_->windows());
+    reg.gauge("fxtraf_pdes_shards", GaugeMerge::kMax)
+        .set(static_cast<double>(engine_->shard_plan().shards));
+    reg.gauge("fxtraf_pdes_workers", GaugeMerge::kMax)
+        .set(static_cast<double>(engine_->workers()));
+  }
 
   eth::Topology& topology = testbed_->topology();
   if (eth::Segment* shared = topology.shared_segment()) {
@@ -198,7 +303,7 @@ void Trial::scrape_metrics() {
                                    "cause", "fcs"))
         .add(seg.frames_dropped_fcs);
     reg.gauge("fxtraf_segment_utilization", GaugeMerge::kMax)
-        .set(shared->utilization(simulator_->now()));
+        .set(shared->utilization(now_time()));
   } else {
     // Switched topology: per-hop wire totals across every link, plus the
     // bridges' forwarding and queueing view.
@@ -208,7 +313,7 @@ void Trial::scrape_metrics() {
       link_frames += link->stats().frames_delivered;
       link_bytes += link->stats().bytes_delivered;
       peak_utilization =
-          std::max(peak_utilization, link->utilization(simulator_->now()));
+          std::max(peak_utilization, link->utilization(now_time()));
     }
     reg.counter("fxtraf_link_frames_delivered_total").add(link_frames);
     reg.counter("fxtraf_link_bytes_delivered_total").add(link_bytes);
@@ -326,10 +431,12 @@ TrialRun Trial::finish() {
   result.kernel = kernel_;
   try {
     const sim::SimTime end = run();
+    replay_deferred_aborts();
     result.sim_seconds = end.seconds();
   } catch (const std::exception& failure) {
+    replay_deferred_aborts();
     if (recorder_) {
-      recorder_->note(simulator_->now(),
+      recorder_->note(now_time(),
                       std::string("run failed: ") + failure.what());
     }
     dump_flight("failure", failure.what());
@@ -338,9 +445,12 @@ TrialRun Trial::finish() {
   result.packets = testbed_->capture().packets();
   result.capture_truncated = testbed_->capture().truncated();
   result.packets_seen = testbed_->capture().seen();
-  result.events_executed = simulator_->events_executed();
-  result.allocations_per_event =
-      simulator_->scheduler_stats().allocations_per_event();
+  result.events_executed = total_events();
+  result.allocations_per_event = sched_stats().allocations_per_event();
+  if (engine_) {
+    result.pdes_windows = engine_->windows();
+    result.pdes_shards = engine_->shard_plan().shards;
+  }
   result.audit = audit();
   if (analyzer_) {
     result.stream = analyzer_->finish();
@@ -364,7 +474,7 @@ TrialRun Trial::finish() {
   }
   if (!result.audit.ok) {
     if (recorder_) {
-      recorder_->note(simulator_->now(),
+      recorder_->note(now_time(),
                       "audit violation: " + result.audit.summary());
     }
     dump_flight("audit", result.audit.summary());
@@ -374,7 +484,14 @@ TrialRun Trial::finish() {
 }
 
 TrialRun run_trial(const TrialScenario& scenario) {
-  if (scenario.fidelity == Fidelity::kFlow) return run_flow_trial(scenario);
+  if (scenario.fidelity == Fidelity::kFlow) {
+    if (scenario.sim_threads > 0) {
+      throw std::invalid_argument(
+          "run_trial: sim_threads shards the packet simulator; flow "
+          "fidelity has no frames to shard");
+    }
+    return run_flow_trial(scenario);
+  }
   return Trial(scenario).finish();
 }
 

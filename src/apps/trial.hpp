@@ -20,10 +20,13 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "apps/testbed.hpp"
+#include "pdes/engine.hpp"
 #include "fault/auditor.hpp"
 #include "fault/injector.hpp"
 #include "fault/plan.hpp"
@@ -97,6 +100,17 @@ struct TrialScenario {
   /// trials reject a nonzero value (workstations already serves there).
   int hosts = 0;
   std::uint64_t seed = 1;
+  /// Parallel-in-trial PDES: 0 (default) runs the classic serial
+  /// simulator, bitwise identical to every earlier release; N >= 1
+  /// shards the topology across logical processes (src/pdes) executed
+  /// by N worker threads under conservative lookahead windows.  The
+  /// trace digest is a pure function of the scenario — identical for
+  /// every N >= 1 — but differs from the serial digest (same physics,
+  /// different cross-shard tie order), so campaigns must not mix
+  /// serial and PDES trials of the same scenario.  Packet fidelity
+  /// only; the useful shard count comes from the topology (a shared
+  /// bus yields one shard and no speedup).
+  int sim_threads = 0;
   /// Host / PVM knobs.  `testbed.workstations` is ignored — the count is
   /// derived as above — and when the program comes from the registry its
   /// preferred assembly mode wins over `testbed.pvm.assembly`.
@@ -147,6 +161,9 @@ struct TrialRun {
   /// Shared so TrialRun stays copyable; each trial's registry is still
   /// private to it until the campaign merges them.
   std::shared_ptr<telemetry::MetricRegistry> metrics;
+  /// PDES execution shape (zero when the trial ran serially).
+  std::uint64_t pdes_windows = 0;
+  int pdes_shards = 0;
 };
 
 class Trial {
@@ -159,7 +176,10 @@ class Trial {
   Trial(const Trial&) = delete;
   Trial& operator=(const Trial&) = delete;
 
-  [[nodiscard]] sim::Simulator& simulator() { return *simulator_; }
+  /// The serial simulator, or the PDES fabric shard's (shard 0).
+  [[nodiscard]] sim::Simulator& simulator() { return root_sim(); }
+  /// Non-null iff the scenario requested sim_threads >= 1.
+  [[nodiscard]] pdes::Engine* engine() { return engine_.get(); }
   [[nodiscard]] Testbed& testbed() { return *testbed_; }
   [[nodiscard]] const fx::FxProgram& program() const { return program_; }
   /// Null unless telemetry is enabled.
@@ -187,8 +207,18 @@ class Trial {
   /// Rebuilds metrics_ from every layer's stats counters (cheap: a
   /// fixed number of map insertions, no per-packet work).
   void scrape_metrics();
+  /// Serial simulator or the engine's fabric shard.
+  [[nodiscard]] sim::Simulator& root_sim();
+  /// Serial/PDES-agnostic aggregates.
+  [[nodiscard]] std::uint64_t total_events() const;
+  [[nodiscard]] sim::EventQueueStats sched_stats() const;
+  [[nodiscard]] sim::SimTime now_time() const;
+  /// Flight-recorder work queued by worker threads during a PDES run
+  /// (the recorder is single-threaded; see on_tcp_abort).
+  void replay_deferred_aborts();
 
-  std::unique_ptr<sim::Simulator> simulator_;
+  std::unique_ptr<sim::Simulator> simulator_;  ///< serial trials only
+  std::unique_ptr<pdes::Engine> engine_;       ///< PDES trials only
   // Streaming consumers are declared before testbed_: the capture (a
   // testbed member) holds observer closures pointing at them, so they
   // must be destroyed after it.
@@ -215,6 +245,9 @@ class Trial {
   fault::FaultPlan faults_;
   TelemetryConfig telemetry_;
   int abort_dumps_ = 0;
+  /// TCP aborts observed on worker threads, replayed after the run.
+  std::mutex abort_mu_;
+  std::vector<std::pair<sim::SimTime, std::string>> deferred_aborts_;
 };
 
 /// One-shot: build, run, and tear down a trial, returning its capture.

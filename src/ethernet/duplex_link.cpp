@@ -25,6 +25,11 @@ Nic* DuplexLink::peer_of(const Nic& nic) const {
   return ends_[1 - index_of(nic)];
 }
 
+sim::Simulator& DuplexLink::tx_sim(std::size_t which) {
+  Nic* end = ends_[which];
+  return end != nullptr ? end->simulator() : sim_;
+}
+
 bool DuplexLink::appears_busy(const Nic& nic) const {
   // Each endpoint owns its transmit direction outright: the peer's
   // traffic is invisible to carrier sense and collisions cannot occur.
@@ -41,8 +46,24 @@ void DuplexLink::begin_transmission(Nic& nic, Frame frame) {
   assert(!dir.busy && "full duplex: a direction has exactly one sender");
   dir.busy = true;
   dir.in_flight = std::move(frame);
-  sim_.schedule_in(dir.in_flight.transmission_time_at(config_.bit_rate_bps),
-                   [this, which] { finish_transmission(which); });
+  sim::Simulator& sim = tx_sim(which);
+  const sim::Duration tx =
+      dir.in_flight.transmission_time_at(config_.bit_rate_bps);
+  if (dir.hop != nullptr) {
+    // Cut link: the frame's fate is decided now (full duplex has no
+    // abort path) so the delivery can be posted to the peer's shard
+    // immediately — the earliest it executes is one minimum-size frame
+    // plus propagation ahead, the engine's lookahead.
+    dir.pending_cause =
+        dir.loss_model ? dir.loss_model(dir.in_flight) : DropCause::kNone;
+    if (dir.pending_cause == DropCause::kNone) {
+      const sim::SimTime arrival = sim.now() + tx + config_.propagation;
+      dir.hop->post(arrival, [this, which, f = dir.in_flight] {
+        deliver_inbound(which, f);
+      });
+    }
+  }
+  sim.schedule_in(tx, [this, which] { finish_transmission(which); });
 }
 
 void DuplexLink::register_waiter(Nic& nic) {
@@ -52,7 +73,8 @@ void DuplexLink::register_waiter(Nic& nic) {
 void DuplexLink::finish_transmission(std::size_t which) {
   Direction& dir = dirs_[which];
   assert(dir.busy);
-  const sim::SimTime end = sim_.now();
+  sim::Simulator& sim = tx_sim(which);
+  const sim::SimTime end = sim.now();
   Frame frame = std::move(dir.in_flight);
   dir.busy = false;
   dir.idle_since = end;
@@ -60,25 +82,37 @@ void DuplexLink::finish_transmission(std::size_t which) {
   const auto tx_ns = static_cast<std::uint64_t>(
       frame.transmission_time_at(config_.bit_rate_bps).ns());
   dir.stats.busy_ns += tx_ns;
-  stats_.busy_ns += tx_ns;
   ++dir.stats.frames;
   dir.stats.bytes += frame.recorded_bytes();
 
-  // The loss model is consulted exactly once per completed transmission
-  // (same determinism contract as Segment): on a multi-hop path each
-  // traversed link draws independently, as real bit errors would.
-  DropCause cause = loss_model_ ? loss_model_(frame) : DropCause::kNone;
-  if (cause == DropCause::kNone && fault_injector_ && fault_injector_(frame)) {
-    cause = DropCause::kInjected;
+  DropCause cause;
+  if (dir.hop != nullptr) {
+    // Cut link: the draw happened at begin_transmission (and the
+    // delivery, if any, is already posted to the peer's shard).
+    cause = dir.pending_cause;
+  } else {
+    // The loss model is consulted exactly once per completed
+    // transmission (same determinism contract as Segment): on a
+    // multi-hop path each traversed link draws independently, as real
+    // bit errors would.  A per-direction model (PDES per-direction
+    // fault streams on non-cut links, e.g. uplinks) takes precedence
+    // over the shared link-wide one.
+    cause = dir.loss_model ? dir.loss_model(frame)
+            : loss_model_  ? loss_model_(frame)
+                           : DropCause::kNone;
+    if (cause == DropCause::kNone && fault_injector_ &&
+        fault_injector_(frame)) {
+      cause = DropCause::kInjected;
+    }
   }
   if (cause != DropCause::kNone) {
     switch (cause) {
-      case DropCause::kInjected: ++stats_.frames_dropped_injected; break;
-      case DropCause::kBitError: ++stats_.frames_dropped_ber; break;
-      case DropCause::kForcedFcs: ++stats_.frames_dropped_fcs; break;
+      case DropCause::kInjected: ++dir.dropped_injected; break;
+      case DropCause::kBitError: ++dir.dropped_ber; break;
+      case DropCause::kForcedFcs: ++dir.dropped_fcs; break;
       case DropCause::kNone: break;
     }
-    stats_.bytes_dropped += frame.recorded_bytes();
+    dir.dropped_bytes += frame.recorded_bytes();
     sim::Logger::log(sim::LogLevel::kDebug, end, "eth",
                      "fault (cause %d): dropping %u -> %u",
                      static_cast<int>(cause), frame.src, frame.dst);
@@ -89,18 +123,12 @@ void DuplexLink::finish_transmission(std::size_t which) {
     // bit; delivery counters and taps fire there, like a capture adaptor
     // at the receiver.  Until then the frame is accounted in flight (the
     // simulation may stop with the event undrained).
-    ++stats_.frames_in_flight;
-    stats_.bytes_in_flight += frame.recorded_bytes();
-    Nic* peer = ends_[1 - which];
-    sim_.schedule_at(end + config_.propagation,
-                     [this, peer, f = std::move(frame)] {
-                       --stats_.frames_in_flight;
-                       stats_.bytes_in_flight -= f.recorded_bytes();
-                       ++stats_.frames_delivered;
-                       stats_.bytes_delivered += f.recorded_bytes();
-                       for (const Tap& tap : taps_) tap(sim_.now(), f);
-                       peer->deliver(f);
-                     });
+    if (dir.hop == nullptr) {
+      sim.schedule_at(end + config_.propagation,
+                      [this, which, f = std::move(frame)] {
+                        deliver_inbound(which, f);
+                      });
+    }
   }
 
   // No other station contends on this direction, so the waiter list is
@@ -108,9 +136,39 @@ void DuplexLink::finish_transmission(std::size_t which) {
   std::vector<Nic*> waiters;
   waiters.swap(dir.waiters);
   for (Nic* nic : waiters) {
-    sim_.schedule_at(end, [nic] { nic->on_medium_idle(); });
+    sim.schedule_at(end, [nic] { nic->on_medium_idle(); });
   }
   ends_[which]->on_transmit_complete();
+}
+
+void DuplexLink::deliver_inbound(std::size_t which, const Frame& frame) {
+  Direction& dir = dirs_[which];
+  Nic* peer = ends_[1 - which];
+  ++dir.delivered_frames;
+  dir.delivered_bytes += frame.recorded_bytes();
+  const sim::SimTime at = peer->simulator().now();
+  for (const Tap& tap : taps_) tap(at, frame);
+  peer->deliver(frame);
+}
+
+const SegmentStats& DuplexLink::stats() const {
+  SegmentStats s;
+  for (const Direction& dir : dirs_) {
+    s.busy_ns += dir.stats.busy_ns;
+    s.frames_delivered += dir.delivered_frames;
+    s.bytes_delivered += dir.delivered_bytes;
+    s.frames_dropped_injected += dir.dropped_injected;
+    s.frames_dropped_ber += dir.dropped_ber;
+    s.frames_dropped_fcs += dir.dropped_fcs;
+    s.bytes_dropped += dir.dropped_bytes;
+    // Completed minus (dropped + delivered) is still propagating.
+    s.frames_in_flight +=
+        dir.stats.frames - dir.dropped_frames() - dir.delivered_frames;
+    s.bytes_in_flight +=
+        dir.stats.bytes - dir.dropped_bytes - dir.delivered_bytes;
+  }
+  stats_ = s;
+  return stats_;
 }
 
 }  // namespace fxtraf::eth

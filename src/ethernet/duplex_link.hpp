@@ -12,6 +12,18 @@
 // time (each direction is its own wire), so Link::utilization() divides
 // by directions() == 2; per-direction accounting is exposed through
 // direction_stats().
+//
+// PDES sharding: every counter is owned by exactly one side of one
+// direction — the transmitting endpoint writes the wire/drop counters,
+// the receiving endpoint writes the delivery counters — so when the two
+// endpoints live on different shards there is no shared mutable word.
+// stats() aggregates the split counters on demand; it is only
+// meaningful between windows (the trial reads it after the run or at a
+// barrier).  A cut link gets a RemoteHop per direction: the loss draw
+// moves to transmission *begin* (full duplex has no abort path, so the
+// frame's fate is sealed there) and the delivery is posted to the
+// peer's shard at end-of-frame + propagation — which is why
+// min-frame tx time + propagation is the engine's lookahead.
 #pragma once
 
 #include <array>
@@ -20,13 +32,14 @@
 
 #include "ethernet/frame.hpp"
 #include "ethernet/link.hpp"
+#include "simcore/remote_hop.hpp"
 #include "simcore/simulator.hpp"
 
 namespace fxtraf::eth {
 
 struct DuplexLinkConfig {
   double bit_rate_bps = 100e6;
-  /// One-way propagation delay (also the natural PDES lookahead).
+  /// One-way propagation delay (part of the natural PDES lookahead).
   sim::Duration propagation = sim::micros(0.5);
 };
 
@@ -55,6 +68,22 @@ class DuplexLink final : public Link {
     loss_model_ = std::move(model);
   }
 
+  /// PDES wiring for a cut link: transmissions *by* endpoint
+  /// `sender_endpoint` deliver to the peer's shard through `hop`
+  /// (posted at transmission begin, executing at end + propagation).
+  /// Serial trials never call this.
+  void set_remote_hop(int sender_endpoint, sim::RemoteHop* hop) {
+    dirs_[static_cast<std::size_t>(sender_endpoint)].hop = hop;
+  }
+
+  /// Per-direction loss stream for PDES: the shared set_loss_model()
+  /// would be drawn from two threads on a cut link.  Only consulted on
+  /// directions that have a RemoteHop; drawn at transmission begin.
+  void set_direction_loss_model(int sender_endpoint, LossModel model) {
+    dirs_[static_cast<std::size_t>(sender_endpoint)].loss_model =
+        std::move(model);
+  }
+
   [[nodiscard]] bool appears_busy(const Nic& nic) const override;
   [[nodiscard]] sim::SimTime idle_since(const Nic& nic) const override;
   void begin_transmission(Nic& nic, Frame frame) override;
@@ -71,7 +100,10 @@ class DuplexLink final : public Link {
     return config_.bit_rate_bps;
   }
 
-  [[nodiscard]] const SegmentStats& stats() const override { return stats_; }
+  /// Aggregated view over the two directions' split counters.  Under
+  /// PDES this must only be read between windows (post-run / barrier);
+  /// the per-direction counters it sums are single-writer.
+  [[nodiscard]] const SegmentStats& stats() const override;
   [[nodiscard]] std::span<Nic* const> attached() const override {
     return {ends_.data(), attached_count_};
   }
@@ -89,11 +121,32 @@ class DuplexLink final : public Link {
     Frame in_flight;
     sim::SimTime idle_since = sim::SimTime::zero();
     std::vector<Nic*> waiters;
+    // Written by the transmitting endpoint's shard only.
     DirectionStats stats;
+    std::uint64_t dropped_injected = 0;
+    std::uint64_t dropped_ber = 0;
+    std::uint64_t dropped_fcs = 0;
+    std::uint64_t dropped_bytes = 0;
+    // Written by the receiving endpoint's shard only.
+    std::uint64_t delivered_frames = 0;
+    std::uint64_t delivered_bytes = 0;
+    // PDES cut-link state (sender side).
+    sim::RemoteHop* hop = nullptr;
+    LossModel loss_model;
+    DropCause pending_cause = DropCause::kNone;
+
+    [[nodiscard]] std::uint64_t dropped_frames() const {
+      return dropped_injected + dropped_ber + dropped_fcs;
+    }
   };
 
   [[nodiscard]] std::size_t index_of(const Nic& nic) const;
+  /// The simulator the `which` direction's transmit events run on: the
+  /// transmitting endpoint's (== the link's own on serial trials).
+  [[nodiscard]] sim::Simulator& tx_sim(std::size_t which);
   void finish_transmission(std::size_t which);
+  /// Runs on the *receiving* endpoint's shard at end + propagation.
+  void deliver_inbound(std::size_t which, const Frame& frame);
 
   sim::Simulator& sim_;
   DuplexLinkConfig config_;
@@ -103,7 +156,7 @@ class DuplexLink final : public Link {
   std::vector<Tap> taps_;
   FaultInjector fault_injector_;
   LossModel loss_model_;
-  SegmentStats stats_;
+  mutable SegmentStats stats_;  ///< aggregation cache for stats()
 };
 
 }  // namespace fxtraf::eth

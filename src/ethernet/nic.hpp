@@ -68,6 +68,10 @@ class Nic final : public net::LinkLayer {
 
   [[nodiscard]] StationId station() const { return station_; }
   [[nodiscard]] net::HostId address() const override { return station_; }
+  /// The simulator this NIC's events run on.  Serial trials have one
+  /// simulator; under PDES each shard owns one, and the link schedules
+  /// transmit completions on the transmitting endpoint's simulator.
+  [[nodiscard]] sim::Simulator& simulator() { return sim_; }
 
   /// Installs the upper-layer (IP stack) delivery callback.
   void set_receive_handler(ReceiveHandler handler) override {

@@ -9,20 +9,22 @@
 namespace fxtraf::fault {
 
 Auditor::Auditor(eth::Segment& segment) {
-  taps_.resize(1);
+  taps_.emplace_back();
   segment.add_tap([this](sim::SimTime, const eth::Frame& frame) {
-    ++taps_[0].frames;
-    taps_[0].bytes += frame.recorded_bytes();
+    taps_[0].frames.fetch_add(1, std::memory_order_relaxed);
+    taps_[0].bytes.fetch_add(frame.recorded_bytes(),
+                             std::memory_order_relaxed);
   });
 }
 
 Auditor::Auditor(eth::Topology& topology) {
   const std::vector<eth::Link*>& links = topology.links();
-  taps_.resize(links.size());
   for (std::size_t i = 0; i < links.size(); ++i) {
+    taps_.emplace_back();
     links[i]->add_tap([this, i](sim::SimTime, const eth::Frame& frame) {
-      ++taps_[i].frames;
-      taps_[i].bytes += frame.recorded_bytes();
+      taps_[i].frames.fetch_add(1, std::memory_order_relaxed);
+      taps_[i].bytes.fetch_add(frame.recorded_bytes(),
+                               std::memory_order_relaxed);
     });
   }
 }
@@ -119,13 +121,17 @@ AuditReport Auditor::audit(const std::vector<host::Workstation*>& hosts,
   }
   // Independent cross-check: the auditor's own promiscuous tap must have
   // seen exactly the frames the segment claims it delivered.
-  if (taps_[0].frames != seg.frames_delivered) {
-    violate("tap: saw " + std::to_string(taps_[0].frames) +
+  const std::uint64_t tap0_frames =
+      taps_[0].frames.load(std::memory_order_relaxed);
+  const std::uint64_t tap0_bytes =
+      taps_[0].bytes.load(std::memory_order_relaxed);
+  if (tap0_frames != seg.frames_delivered) {
+    violate("tap: saw " + std::to_string(tap0_frames) +
             " frames, segment claims " +
             std::to_string(seg.frames_delivered) + " delivered");
   }
-  if (taps_[0].bytes != seg.bytes_delivered) {
-    violate("tap: saw " + std::to_string(taps_[0].bytes) +
+  if (tap0_bytes != seg.bytes_delivered) {
+    violate("tap: saw " + std::to_string(tap0_bytes) +
             " bytes, segment claims " +
             std::to_string(seg.bytes_delivered) + " delivered");
   }
@@ -220,15 +226,21 @@ AuditReport Auditor::audit(const std::vector<host::Workstation*>& hosts,
               " frames transmitted but " + std::to_string(accounted) +
               " delivered-or-dropped-or-in-flight");
     }
-    if (i < taps_.size() && taps_[i].frames != ls.frames_delivered) {
-      violate("link " + std::to_string(i) + " tap: saw " +
-              std::to_string(taps_[i].frames) + " frames, link claims " +
-              std::to_string(ls.frames_delivered) + " delivered");
-    }
-    if (i < taps_.size() && taps_[i].bytes != ls.bytes_delivered) {
-      violate("link " + std::to_string(i) + " tap: saw " +
-              std::to_string(taps_[i].bytes) + " bytes, link claims " +
-              std::to_string(ls.bytes_delivered) + " delivered");
+    if (i < taps_.size()) {
+      const std::uint64_t tap_frames =
+          taps_[i].frames.load(std::memory_order_relaxed);
+      const std::uint64_t tap_bytes =
+          taps_[i].bytes.load(std::memory_order_relaxed);
+      if (tap_frames != ls.frames_delivered) {
+        violate("link " + std::to_string(i) + " tap: saw " +
+                std::to_string(tap_frames) + " frames, link claims " +
+                std::to_string(ls.frames_delivered) + " delivered");
+      }
+      if (tap_bytes != ls.bytes_delivered) {
+        violate("link " + std::to_string(i) + " tap: saw " +
+                std::to_string(tap_bytes) + " bytes, link claims " +
+                std::to_string(ls.bytes_delivered) + " delivered");
+      }
     }
   }
 

@@ -13,7 +13,9 @@
 // skewing the measured traffic.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
+#include <deque>
 #include <string>
 #include <vector>
 
@@ -83,7 +85,9 @@ class Auditor {
 
   [[nodiscard]] std::uint64_t tap_frames() const {
     std::uint64_t total = 0;
-    for (const TapCount& t : taps_) total += t.frames;
+    for (const TapCount& t : taps_) {
+      total += t.frames.load(std::memory_order_relaxed);
+    }
     return total;
   }
 
@@ -103,17 +107,23 @@ class Auditor {
                                   pvm::VirtualMachine* vm = nullptr) const;
 
  private:
+  /// Relaxed atomics: under PDES a cut link's two directions deliver on
+  /// different shards, so both sides bump the same link's tap counter
+  /// concurrently.  The sums are order-independent, and audit() only
+  /// reads them after the run — relaxed increments keep the serial path
+  /// free and the parallel one deterministic.
   struct TapCount {
-    std::uint64_t frames = 0;
-    std::uint64_t bytes = 0;
+    std::atomic<std::uint64_t> frames{0};
+    std::atomic<std::uint64_t> bytes{0};
   };
 
   void gather_transport(AuditReport& report,
                         const std::vector<host::Workstation*>& hosts,
                         pvm::VirtualMachine* vm) const;
 
-  /// One entry per tapped link (one total for the Segment ctor).
-  std::vector<TapCount> taps_;
+  /// One entry per tapped link (one total for the Segment ctor); deque
+  /// because atomics are neither movable nor copyable.
+  std::deque<TapCount> taps_;
 };
 
 }  // namespace fxtraf::fault

@@ -12,12 +12,27 @@
 
 namespace fxtraf::fault {
 
+namespace {
+
+/// Stable stream id for a (link, direction) classification stream.
+/// Part of the replay contract like kBerStream: changing this changes
+/// every PDES faulted golden digest.
+[[nodiscard]] constexpr std::uint64_t direction_stream_id(std::size_t link,
+                                                          int endpoint) {
+  return (kBerStream << 32) |
+         (static_cast<std::uint64_t>(link) << 1) |
+         static_cast<std::uint64_t>(endpoint);
+}
+
+}  // namespace
+
 Injector::Injector(sim::Simulator& simulator, Wiring wiring, FaultPlan plan,
                    std::uint64_t trial_seed)
     : sim_(simulator),
       wiring_(std::move(wiring)),
       plan_(std::move(plan)),
-      ber_rng_(stream_seed(trial_seed, plan_.salt, kBerStream)) {
+      trial_seed_(trial_seed),
+      shared_stream_(stream_seed(trial_seed, plan_.salt, kBerStream)) {
   if (plan_.frame_ber < 0.0 || plan_.frame_ber >= 1.0) {
     throw std::invalid_argument("FaultPlan: frame_ber must be in [0, 1)");
   }
@@ -42,18 +57,39 @@ void Injector::install_frame_faults() {
                                     std::to_string(index) + " out of range");
       }
     }
-    // One shared classification stream: its position advances in global
-    // frame-completion order across the faulted links, which the
-    // single-threaded event loop makes deterministic.
     for (std::size_t i = 0; i < wiring_.links.size(); ++i) {
       const bool selected =
           plan_.frame_fault_links.empty() ||
           std::find(plan_.frame_fault_links.begin(),
                     plan_.frame_fault_links.end(),
                     static_cast<int>(i)) != plan_.frame_fault_links.end();
-      if (selected) {
-        wiring_.links[i]->set_loss_model(
-            [this](const eth::Frame& frame) { return classify(frame); });
+      if (!selected) continue;
+      if (wiring_.per_direction_streams) {
+        // PDES mode: one stream per (link, direction), seeded by stable
+        // indices — the draw sequence each transmitting shard sees is a
+        // pure function of the plan, independent of thread count.
+        auto* duplex = dynamic_cast<eth::DuplexLink*>(wiring_.links[i]);
+        if (duplex == nullptr) {
+          throw std::invalid_argument(
+              "FaultPlan: per-direction fault streams require full-duplex "
+              "links (link " + std::to_string(i) + " is not a DuplexLink)");
+        }
+        for (int endpoint = 0; endpoint < 2; ++endpoint) {
+          direction_streams_.emplace_back(stream_seed(
+              trial_seed_, plan_.salt, direction_stream_id(i, endpoint)));
+          Stream* stream = &direction_streams_.back();
+          duplex->set_direction_loss_model(
+              endpoint, [this, stream](const eth::Frame& frame) {
+                return classify(*stream, frame);
+              });
+        }
+      } else {
+        // One shared classification stream: its position advances in
+        // global frame-completion order across the faulted links, which
+        // the single-threaded event loop makes deterministic.
+        wiring_.links[i]->set_loss_model([this](const eth::Frame& frame) {
+          return classify(shared_stream_, frame);
+        });
       }
     }
     return;
@@ -62,20 +98,23 @@ void Injector::install_frame_faults() {
     throw std::invalid_argument(
         "FaultPlan: frame faults require a wired segment");
   }
-  wiring_.segment->set_loss_model(
-      [this](const eth::Frame& frame) { return classify(frame); });
+  wiring_.segment->set_loss_model([this](const eth::Frame& frame) {
+    return classify(shared_stream_, frame);
+  });
 }
 
-eth::DropCause Injector::classify(const eth::Frame& frame) {
-  const std::uint64_t index = stats_.frames_seen++;
+eth::DropCause Injector::classify(Stream& stream, const eth::Frame& frame) {
+  const std::uint64_t index = stream.stats.frames_seen++;
   // One Bernoulli draw per frame, *unconditionally*, so the BER stream's
   // position is a pure function of the frame index no matter which other
-  // fault sources are configured (the determinism contract).
+  // fault sources are configured (the determinism contract).  Forced
+  // corruption (every-nth / explicit frame indices) counts against the
+  // consulted stream's own index: per link direction in PDES mode.
   bool ber_hit = false;
   if (plan_.frame_ber > 0.0) {
     const double bits = static_cast<double>(frame.wire_bytes()) * 8.0;
     const double drop_p = -std::expm1(bits * std::log1p(-plan_.frame_ber));
-    ber_hit = ber_rng_.next_bool(drop_p);
+    ber_hit = stream.rng.next_bool(drop_p);
   }
   const bool forced =
       (plan_.corrupt_every_nth != 0 &&
@@ -83,14 +122,24 @@ eth::DropCause Injector::classify(const eth::Frame& frame) {
       std::binary_search(plan_.corrupt_frames.begin(),
                          plan_.corrupt_frames.end(), index);
   if (forced) {
-    ++stats_.forced_fcs_drops;
+    ++stream.stats.forced_fcs_drops;
     return eth::DropCause::kForcedFcs;
   }
   if (ber_hit) {
-    ++stats_.ber_drops;
+    ++stream.stats.ber_drops;
     return eth::DropCause::kBitError;
   }
   return eth::DropCause::kNone;
+}
+
+const InjectorStats& Injector::stats() const {
+  aggregated_ = shared_stream_.stats;
+  for (const Stream& stream : direction_streams_) {
+    aggregated_.frames_seen += stream.stats.frames_seen;
+    aggregated_.ber_drops += stream.stats.ber_drops;
+    aggregated_.forced_fcs_drops += stream.stats.forced_fcs_drops;
+  }
+  return aggregated_;
 }
 
 void Injector::install_host_faults() {
@@ -127,9 +176,11 @@ void Injector::install_host_faults() {
     if (any_network_down) {
       // Crash semantics: inbound traffic dies at the interface of a down
       // host.  The filter reads the workstation's installed schedule so
-      // the two views can never drift apart.
-      ws->stack().set_inbound_filter([this, ws](const net::IpDatagram&) {
-        const sim::SimTime now = sim_.now();
+      // the two views can never drift apart.  The clock is the host's
+      // own simulator — the only one whose now() is defined on the
+      // shard where inbound delivery runs.
+      ws->stack().set_inbound_filter([ws](const net::IpDatagram&) {
+        const sim::SimTime now = ws->simulator().now();
         for (const host::CpuFaultWindow& w : ws->fault_windows()) {
           if (w.network_down && now >= w.start && now < w.end) return false;
         }
@@ -152,15 +203,17 @@ void Injector::install_daemon_outages() {
                                   std::to_string(outage.host) +
                                   " out of range");
     }
-    const net::HostId host_id =
-        wiring_.hosts[static_cast<std::size_t>(outage.host)]->id();
-    pvm::Daemon* daemon = &wiring_.vm->daemon_of(host_id);
+    host::Workstation* ws =
+        wiring_.hosts[static_cast<std::size_t>(outage.host)];
+    pvm::Daemon* daemon = &wiring_.vm->daemon_of(ws->id());
     // Background events: a scheduled crash must never keep an otherwise
-    // finished simulation alive.
-    sim_.schedule_in_background(sim::seconds(outage.start_s),
-                                [daemon] { daemon->set_down(true); });
+    // finished simulation alive.  Scheduled on the owning host's
+    // simulator so the outage fires on the daemon's own shard.
+    sim::Simulator& host_sim = ws->simulator();
+    host_sim.schedule_in_background(sim::seconds(outage.start_s),
+                                    [daemon] { daemon->set_down(true); });
     if (outage.down_s > 0.0) {
-      sim_.schedule_in_background(
+      host_sim.schedule_in_background(
           sim::seconds(outage.start_s + outage.down_s),
           [daemon] { daemon->set_down(false); });
     }

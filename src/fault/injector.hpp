@@ -5,8 +5,10 @@
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <vector>
 
+#include "ethernet/duplex_link.hpp"
 #include "ethernet/segment.hpp"
 #include "fault/plan.hpp"
 #include "host/workstation.hpp"
@@ -35,6 +37,16 @@ class Injector {
     std::vector<eth::Link*> links;
     std::vector<host::Workstation*> hosts;
     pvm::VirtualMachine* vm = nullptr;
+    /// PDES mode: give every (link, direction) its own classification
+    /// stream instead of the shared frame-completion-order stream — a
+    /// cut link's two directions complete frames on different shards,
+    /// so a shared stream would race and its position would depend on
+    /// the thread schedule.  Each stream's seed derives statelessly
+    /// from (trial seed, plan salt, link index, endpoint), making the
+    /// draw sequence a pure function of the shard plan — this is what
+    /// keeps sim_threads=1 and sim_threads=N bitwise identical.
+    /// Requires every faulted link to be a DuplexLink.
+    bool per_direction_streams = false;
   };
 
   /// Validates the plan against the wiring and installs every hook.
@@ -48,19 +60,34 @@ class Injector {
   Injector& operator=(const Injector&) = delete;
 
   [[nodiscard]] const FaultPlan& plan() const { return plan_; }
-  [[nodiscard]] const InjectorStats& stats() const { return stats_; }
+  /// Aggregated over the shared stream and any per-direction streams;
+  /// under PDES read only after the run (between windows).
+  [[nodiscard]] const InjectorStats& stats() const;
 
  private:
+  /// One classification stream: RNG position + counters advance
+  /// together in that stream's frame-completion order.
+  struct Stream {
+    sim::Rng rng;
+    InjectorStats stats;
+    explicit Stream(std::uint64_t seed) : rng(seed) {}
+  };
+
   void install_frame_faults();
   void install_host_faults();
   void install_daemon_outages();
-  [[nodiscard]] eth::DropCause classify(const eth::Frame& frame);
+  [[nodiscard]] eth::DropCause classify(Stream& stream,
+                                        const eth::Frame& frame);
 
   sim::Simulator& sim_;
   Wiring wiring_;
   FaultPlan plan_;
-  sim::Rng ber_rng_;
-  InjectorStats stats_;
+  std::uint64_t trial_seed_;
+  Stream shared_stream_;
+  /// Per-(link, direction) streams in PDES mode; deque so the lambdas
+  /// installed on the links can hold stable pointers.
+  std::deque<Stream> direction_streams_;
+  mutable InjectorStats aggregated_;
 };
 
 }  // namespace fxtraf::fault

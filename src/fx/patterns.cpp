@@ -35,8 +35,11 @@ void Collectives::note_comm(int rank, sim::SimTime start) const {
       activity->in_barrier[static_cast<std::size_t>(rank)] != 0) {
     return;
   }
+  // Rank-local clock: under PDES each rank's body runs against its own
+  // host's simulator; serially it is the same single clock.
   activity->comm_ns[static_cast<std::size_t>(rank)] +=
-      static_cast<std::uint64_t>((vm.simulator().now() - start).ns());
+      static_cast<std::uint64_t>(
+          (vm.workstation(rank).simulator().now() - start).ns());
 }
 
 sim::Co<void> Collectives::send_bytes(int from, int to, std::size_t bytes,
@@ -49,7 +52,7 @@ sim::Co<void> Collectives::send_bytes(int from, int to, std::size_t bytes,
 
 sim::Co<void> Collectives::neighbor_exchange(int rank, std::size_t bytes,
                                              int tag) {
-  const sim::SimTime t0 = vm.simulator().now();
+  const sim::SimTime t0 = vm.workstation(rank).simulator().now();
   const int p = processors;
   if (rank > 0) co_await send_bytes(rank, rank - 1, bytes, tag);
   if (rank < p - 1) co_await send_bytes(rank, rank + 1, bytes, tag);
@@ -59,7 +62,7 @@ sim::Co<void> Collectives::neighbor_exchange(int rank, std::size_t bytes,
 }
 
 sim::Co<void> Collectives::all_to_all(int rank, std::size_t bytes, int tag) {
-  const sim::SimTime t0 = vm.simulator().now();
+  const sim::SimTime t0 = vm.workstation(rank).simulator().now();
   const int p = processors;
   for (int s = 1; s < p; ++s) {
     const int dst = (rank + s) % p;
@@ -71,7 +74,7 @@ sim::Co<void> Collectives::all_to_all(int rank, std::size_t bytes, int tag) {
 }
 
 sim::Co<void> Collectives::partition(int rank, std::size_t bytes, int tag) {
-  const sim::SimTime t0 = vm.simulator().now();
+  const sim::SimTime t0 = vm.workstation(rank).simulator().now();
   const int p = processors;
   const int half = p / 2;
   if (rank < half) {
@@ -91,7 +94,7 @@ sim::Co<void> Collectives::partition(int rank, std::size_t bytes, int tag) {
 
 sim::Co<void> Collectives::broadcast(int rank, int root, std::size_t bytes,
                                      int tag) {
-  const sim::SimTime t0 = vm.simulator().now();
+  const sim::SimTime t0 = vm.workstation(rank).simulator().now();
   const int p = processors;
   if (rank == root) {
     for (int dst = 0; dst < p; ++dst) {
@@ -105,7 +108,7 @@ sim::Co<void> Collectives::broadcast(int rank, int root, std::size_t bytes,
 }
 
 sim::Co<void> Collectives::tree_reduce(int rank, std::size_t bytes, int tag) {
-  const sim::SimTime t0 = vm.simulator().now();
+  const sim::SimTime t0 = vm.workstation(rank).simulator().now();
   const int p = processors;
   if ((p & (p - 1)) != 0) {
     throw std::invalid_argument("tree_reduce requires power-of-two P");
@@ -124,21 +127,21 @@ sim::Co<void> Collectives::tree_reduce(int rank, std::size_t bytes, int tag) {
 }
 
 sim::Co<void> Collectives::barrier(int rank, int tag) {
-  const sim::SimTime t0 = vm.simulator().now();
+  const sim::SimTime t0 = vm.workstation(rank).simulator().now();
   const auto r = static_cast<std::size_t>(rank);
   if (activity != nullptr) activity->in_barrier[r] = 1;
   co_await tree_reduce(rank, /*bytes=*/8, tag);
   co_await tree_broadcast(rank, /*bytes=*/8, tag);
   if (activity != nullptr) {
     activity->in_barrier[r] = 0;
-    activity->barrier_wait_ns[r] +=
-        static_cast<std::uint64_t>((vm.simulator().now() - t0).ns());
+    activity->barrier_wait_ns[r] += static_cast<std::uint64_t>(
+        (vm.workstation(rank).simulator().now() - t0).ns());
   }
 }
 
 sim::Co<void> Collectives::tree_broadcast(int rank, std::size_t bytes,
                                           int tag) {
-  const sim::SimTime t0 = vm.simulator().now();
+  const sim::SimTime t0 = vm.workstation(rank).simulator().now();
   const int p = processors;
   if ((p & (p - 1)) != 0) {
     throw std::invalid_argument("tree_broadcast requires power-of-two P");

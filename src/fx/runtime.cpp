@@ -12,7 +12,9 @@ sim::Co<void> tracked_body(
     FxContext& ctx, int rank,
     std::function<sim::Co<void>(FxContext&, int)> body) {
   co_await body(ctx, rank);
-  ctx.note_finish(ctx.simulator().now());
+  // The rank's own host clock: the only now() defined on the shard the
+  // body just finished on.
+  ctx.note_finish(ctx.workstation(rank).simulator().now());
 }
 
 }  // namespace
@@ -42,21 +44,27 @@ RunningProgram launch(pvm::VirtualMachine& vm, const FxProgram& program,
 sim::SimTime run_program(pvm::VirtualMachine& vm, const FxProgram& program,
                          const RunLimits& limits) {
   RunningProgram running = launch(vm, program, limits.activity);
-  sim::Simulator& simulator = vm.simulator();
   bool watchdog_fired = false;
-  if (limits.watchdog.ns() > 0) {
-    // Foreground event so run() cannot drain past it; cancelled the
-    // moment the last rank completes, so a healthy run's capture never
-    // sees watchdog-driven background activity (keepalives etc.).
-    const sim::EventId watchdog =
-        simulator.schedule_in(limits.watchdog, [&simulator, &watchdog_fired] {
-          watchdog_fired = true;
-          simulator.stop();
-        });
-    running.context().set_all_finished_hook(
-        [&simulator, watchdog] { simulator.cancel(watchdog); });
+  if (limits.driver) {
+    // Sharded execution: the PDES engine owns the event loops and
+    // enforces the watchdog at its window barriers.
+    watchdog_fired = limits.driver(limits.watchdog);
+  } else {
+    sim::Simulator& simulator = vm.simulator();
+    if (limits.watchdog.ns() > 0) {
+      // Foreground event so run() cannot drain past it; cancelled the
+      // moment the last rank completes, so a healthy run's capture never
+      // sees watchdog-driven background activity (keepalives etc.).
+      const sim::EventId watchdog = simulator.schedule_in(
+          limits.watchdog, [&simulator, &watchdog_fired] {
+            watchdog_fired = true;
+            simulator.stop();
+          });
+      running.context().set_all_finished_hook(
+          [&simulator, watchdog] { simulator.cancel(watchdog); });
+    }
+    simulator.run();
   }
-  simulator.run();
   running.rethrow_failures();
   if (!running.all_done()) {
     std::string diagnosis =

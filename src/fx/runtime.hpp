@@ -3,6 +3,8 @@
 // barrier, and verifies completion (deadlock detection) after the run.
 #pragma once
 
+#include <atomic>
+#include <cstdint>
 #include <functional>
 #include <memory>
 #include <string>
@@ -39,9 +41,18 @@ class FxContext {
   }
 
   /// Records a rank's completion instant (called by the launch wrapper).
+  /// Atomic: under PDES ranks finish on different shards concurrently;
+  /// the max-fold and the counter are both order-independent, so the
+  /// recorded values stay deterministic.
   void note_finish(sim::SimTime at) {
-    if (at > last_finish_) last_finish_ = at;
-    if (++finished_ == processors_ && all_finished_hook_) {
+    std::int64_t ns = (at - sim::SimTime::zero()).ns();
+    std::int64_t seen = last_finish_ns_.load(std::memory_order_relaxed);
+    while (ns > seen && !last_finish_ns_.compare_exchange_weak(
+                            seen, ns, std::memory_order_relaxed)) {
+    }
+    if (finished_.fetch_add(1, std::memory_order_acq_rel) + 1 ==
+            processors_ &&
+        all_finished_hook_) {
       all_finished_hook_();
     }
   }
@@ -49,11 +60,17 @@ class FxContext {
   /// cancel the livelock watchdog so it never pollutes a healthy run).
   void set_all_finished_hook(std::function<void()> hook) {
     all_finished_hook_ = std::move(hook);
-    if (finished_ == processors_ && all_finished_hook_) all_finished_hook_();
+    if (finished_.load(std::memory_order_acquire) == processors_ &&
+        all_finished_hook_) {
+      all_finished_hook_();
+    }
   }
   /// Instant the last rank finished — the program's runtime, independent
   /// of unrelated traffic still draining from the network afterwards.
-  [[nodiscard]] sim::SimTime last_finish() const { return last_finish_; }
+  [[nodiscard]] sim::SimTime last_finish() const {
+    return sim::SimTime::zero() +
+           sim::Duration{last_finish_ns_.load(std::memory_order_relaxed)};
+  }
 
   /// Local computation phase on `rank`'s workstation (deschedulable).
   [[nodiscard]] sim::Co<void> compute(int rank, double flops) {
@@ -65,8 +82,8 @@ class FxContext {
   Collectives collectives_;
   int processors_;
   std::vector<int> tags_;
-  sim::SimTime last_finish_ = sim::SimTime::zero();
-  int finished_ = 0;
+  std::atomic<std::int64_t> last_finish_ns_{0};
+  std::atomic<int> finished_{0};
   std::function<void()> all_finished_hook_;
 };
 
@@ -133,6 +150,13 @@ struct RunLimits {
   /// by the collectives, so the caller keeps its data even when the run
   /// ends by throwing (watchdog, deadlock, rank failure).
   RankActivity* activity = nullptr;
+  /// PDES driver: when set, run_program delegates execution to it
+  /// instead of running vm.simulator() (which owns no model events in a
+  /// sharded trial).  The driver receives the watchdog budget (zero =
+  /// disabled) and returns true if it stopped because the budget
+  /// expired; the deadlock/livelock diagnosis path is shared with the
+  /// serial run.
+  std::function<bool(sim::Duration watchdog)> driver;
 };
 
 /// Convenience: launch, run the simulator to quiescence, and verify every

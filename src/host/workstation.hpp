@@ -62,6 +62,9 @@ class Workstation {
   Workstation& operator=(const Workstation&) = delete;
 
   [[nodiscard]] net::HostId id() const { return link_->address(); }
+  /// The simulator all of this host's events run on (its shard's under
+  /// PDES).  Host-local code must schedule here, never on a global sim.
+  [[nodiscard]] sim::Simulator& simulator() { return sim_; }
   [[nodiscard]] net::LinkLayer& link() { return *link_; }
   /// Precondition: the workstation is Ethernet-backed.
   [[nodiscard]] eth::Nic& nic();

@@ -1,0 +1,289 @@
+#include "pdes/engine.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+#include <thread>
+#include <utility>
+
+#include "trace/capture.hpp"
+
+namespace fxtraf::pdes {
+
+namespace {
+
+/// splitmix64 finalizer: decorrelates per-shard simulator seeds from the
+/// trial seed.  Purely a function of (seed, shard) — never of workers.
+std::uint64_t shard_seed(std::uint64_t seed, int shard) {
+  std::uint64_t z = seed + 0x9e3779b97f4a7c15ULL *
+                               (static_cast<std::uint64_t>(shard) + 1);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// Shard the current thread is executing a window for (-1 outside the
+/// parallel phase).  Thread-local so link taps and the VM's remote-post
+/// closure can attribute work without plumbing a shard id through every
+/// model layer.
+thread_local int tl_current_shard = -1;
+
+}  // namespace
+
+/// Busy-wait barrier with generation counter.  The window cadence is
+/// microseconds, so parking threads in the kernel between windows would
+/// dominate the run; yield keeps it friendly when workers share cores.
+class SpinBarrier {
+ public:
+  explicit SpinBarrier(int parties) : parties_(parties) {}
+
+  void arrive_and_wait() {
+    const std::uint64_t gen = generation_.load(std::memory_order_acquire);
+    if (arrived_.fetch_add(1, std::memory_order_acq_rel) + 1 == parties_) {
+      arrived_.store(0, std::memory_order_relaxed);
+      generation_.fetch_add(1, std::memory_order_acq_rel);
+    } else {
+      while (generation_.load(std::memory_order_acquire) == gen) {
+        std::this_thread::yield();
+      }
+    }
+  }
+
+ private:
+  int parties_;
+  std::atomic<int> arrived_{0};
+  std::atomic<std::uint64_t> generation_{0};
+};
+
+class Engine::Hop final : public sim::RemoteHop {
+ public:
+  Hop(Engine& engine, int src, int dst)
+      : engine_(engine), src_(src), dst_(dst) {}
+
+  void post(sim::SimTime at, sim::UniqueAction action) override {
+    engine_.post_from(src_, dst_, at, std::move(action));
+  }
+
+ private:
+  Engine& engine_;
+  int src_;
+  int dst_;
+};
+
+Engine::Engine(ShardPlan plan, std::uint64_t seed, int workers)
+    : plan_(std::move(plan)),
+      workers_(std::clamp(workers, 1, plan_.shards)) {
+  shards_.resize(static_cast<std::size_t>(plan_.shards));
+  for (int s = 0; s < plan_.shards; ++s) {
+    Shard& shard = shards_[static_cast<std::size_t>(s)];
+    // Shard 0 (the fabric) keeps the raw trial seed: a single-shard
+    // plan is then seeded exactly like a serial trial's simulator.
+    shard.sim = std::make_unique<sim::Simulator>(
+        s == 0 ? seed : shard_seed(seed, s));
+    shard.outbox.resize(static_cast<std::size_t>(plan_.shards));
+  }
+  hops_.resize(static_cast<std::size_t>(plan_.shards) *
+               static_cast<std::size_t>(plan_.shards));
+}
+
+Engine::~Engine() = default;
+
+sim::RemoteHop& Engine::hop(int src_shard, int dst_shard) {
+  auto& slot =
+      hops_[static_cast<std::size_t>(src_shard) *
+                static_cast<std::size_t>(plan_.shards) +
+            static_cast<std::size_t>(dst_shard)];
+  if (!slot) slot = std::make_unique<Hop>(*this, src_shard, dst_shard);
+  return *slot;
+}
+
+void Engine::post_from(int src_shard, int dst_shard, sim::SimTime at,
+                       sim::UniqueAction action) {
+  assert(tl_current_shard == src_shard &&
+         "cross-shard posts only fire while executing the source shard");
+  shards_[static_cast<std::size_t>(src_shard)]
+      .outbox[static_cast<std::size_t>(dst_shard)]
+      .push_back(RemoteMsg{at, src_shard, std::move(action)});
+}
+
+void Engine::post_control(int dst_shard, sim::UniqueAction action) {
+  const int src = tl_current_shard;
+  if (src < 0) {
+    throw std::logic_error(
+        "Engine::post_control outside the parallel phase");
+  }
+  const sim::SimTime at = shard_sim(src).now() + plan_.lookahead;
+  if (dst_shard == src) {
+    // Same latency as the cross-shard path so 1-vs-N stays bitwise even
+    // when a plan change moves two hosts onto the same shard.
+    shard_sim(src).schedule_at(at, std::move(action));
+  } else {
+    post_from(src, dst_shard, at, std::move(action));
+  }
+}
+
+eth::Tap Engine::delivery_tap() {
+  return [this](sim::SimTime at, const eth::Frame& frame) {
+    assert(tl_current_shard >= 0 &&
+           "deliveries only happen inside the parallel phase");
+    shards_[static_cast<std::size_t>(tl_current_shard)].records.push_back(
+        trace::make_record(at, frame));
+  };
+}
+
+void Engine::stage_injections() {
+  for (Shard& src : shards_) {
+    for (int d = 0; d < plan_.shards; ++d) {
+      auto& out = src.outbox[static_cast<std::size_t>(d)];
+      if (out.empty()) continue;
+      Shard& dst = shards_[static_cast<std::size_t>(d)];
+      dst.inject.insert(dst.inject.end(),
+                        std::make_move_iterator(out.begin()),
+                        std::make_move_iterator(out.end()));
+      out.clear();
+    }
+  }
+  for (Shard& shard : shards_) {
+    if (shard.inject.size() < 2) continue;
+    // Per-source order is already execution order (deterministic), so a
+    // stable sort on (timestamp, source) is a worker-count-independent
+    // total order.
+    std::stable_sort(shard.inject.begin(), shard.inject.end(),
+                     [](const RemoteMsg& a, const RemoteMsg& b) {
+                       return a.ts != b.ts ? a.ts < b.ts : a.src < b.src;
+                     });
+  }
+}
+
+void Engine::flush_records() {
+  if (!consumer_) {
+    for (Shard& shard : shards_) shard.records.clear();
+    return;
+  }
+  struct Tagged {
+    const trace::PacketRecord* record;
+    int shard;
+  };
+  std::vector<Tagged> merged;
+  std::size_t total = 0;
+  for (const Shard& shard : shards_) total += shard.records.size();
+  if (total == 0) return;
+  merged.reserve(total);
+  for (int s = 0; s < plan_.shards; ++s) {
+    for (const trace::PacketRecord& r :
+         shards_[static_cast<std::size_t>(s)].records) {
+      merged.push_back(Tagged{&r, s});
+    }
+  }
+  // Each sink is time-ordered already; stable sort on (time, shard)
+  // yields the same global order for any worker count.  Windows never
+  // overlap in record time, so flushing per window preserves it too.
+  std::stable_sort(merged.begin(), merged.end(),
+                   [](const Tagged& a, const Tagged& b) {
+                     return a.record->timestamp != b.record->timestamp
+                                ? a.record->timestamp < b.record->timestamp
+                                : a.shard < b.shard;
+                   });
+  for (const Tagged& t : merged) {
+    consumer_(t.record->timestamp, *t.record);
+  }
+  for (Shard& shard : shards_) shard.records.clear();
+}
+
+void Engine::worker_loop() {
+  for (;;) {
+    barrier_->arrive_and_wait();
+    if (stop_.load(std::memory_order_acquire)) return;
+    for (;;) {
+      const int s = next_shard_.fetch_add(1, std::memory_order_relaxed);
+      if (s >= plan_.shards) break;
+      Shard& shard = shards_[static_cast<std::size_t>(s)];
+      tl_current_shard = s;
+      for (RemoteMsg& msg : shard.inject) {
+        shard.sim->schedule_at(msg.ts, std::move(msg.action));
+      }
+      shard.inject.clear();
+      shard.sim->run_until(deadline_);
+      tl_current_shard = -1;
+    }
+    barrier_->arrive_and_wait();
+  }
+}
+
+bool Engine::run(sim::Duration watchdog) {
+  if (ran_) throw std::logic_error("Engine::run called twice");
+  ran_ = true;
+  const bool budgeted = watchdog.ns() > 0;
+  const sim::SimTime budget_end = budgeted
+                                      ? sim::SimTime::zero() + watchdog
+                                      : sim::SimTime::infinity();
+  bool watchdog_fired = false;
+  stop_.store(false, std::memory_order_release);
+  barrier_ = std::make_unique<SpinBarrier>(workers_ + 1);
+  std::vector<std::thread> pool;
+  pool.reserve(static_cast<std::size_t>(workers_));
+  for (int w = 0; w < workers_; ++w) {
+    pool.emplace_back([this] { worker_loop(); });
+  }
+
+  const sim::Duration ns1{1};
+  for (;;) {
+    // Coordinator section: workers are parked at the start barrier, so
+    // every shard's queues, outboxes, and sinks are safe to touch.
+    stage_injections();
+    flush_records();
+    std::size_t fg = 0;
+    sim::SimTime m = sim::SimTime::infinity();
+    for (Shard& shard : shards_) {
+      fg += shard.sim->foreground_count() + shard.inject.size();
+      m = std::min(m, shard.sim->next_event_time());
+      if (!shard.inject.empty()) m = std::min(m, shard.inject.front().ts);
+    }
+    if (fg == 0) break;  // global quiescence (serial run() semantics)
+    if (m >= budget_end) {
+      // Matches the serial watchdog event: work at or past the budget
+      // instant never executes.
+      watchdog_fired = true;
+      break;
+    }
+    sim::SimTime deadline = m + plan_.lookahead - ns1;
+    if (budgeted) deadline = std::min(deadline, budget_end - ns1);
+    deadline_ = deadline;
+    next_shard_.store(0, std::memory_order_relaxed);
+    ++windows_;
+    barrier_->arrive_and_wait();  // open the window
+    barrier_->arrive_and_wait();  // wait for every shard to finish it
+  }
+
+  stop_.store(true, std::memory_order_release);
+  barrier_->arrive_and_wait();  // release workers into the stop check
+  for (std::thread& t : pool) t.join();
+  return watchdog_fired;
+}
+
+std::uint64_t Engine::events_executed() const {
+  std::uint64_t total = 0;
+  for (const Shard& shard : shards_) total += shard.sim->events_executed();
+  return total;
+}
+
+sim::EventQueueStats Engine::scheduler_stats() const {
+  sim::EventQueueStats total;
+  for (const Shard& shard : shards_) {
+    const sim::EventQueueStats& s = shard.sim->scheduler_stats();
+    total.scheduled += s.scheduled;
+    total.cancelled += s.cancelled;
+    total.heap_backed_actions += s.heap_backed_actions;
+  }
+  return total;
+}
+
+sim::SimTime Engine::now() const {
+  sim::SimTime latest = sim::SimTime::zero();
+  for (const Shard& shard : shards_) {
+    latest = std::max(latest, shard.sim->now());
+  }
+  return latest;
+}
+
+}  // namespace fxtraf::pdes

@@ -1,0 +1,146 @@
+// Conservative parallel discrete-event engine: one Simulator per shard,
+// lock-step safe windows bounded by the shard plan's lookahead.
+//
+// Window protocol (two barriers per window, coordinator = calling
+// thread, T worker threads executing shards):
+//
+//   coordinator (workers parked):
+//     1. drain every shard's outbox of cross-shard messages into the
+//        destination shards' injection lists, sorted by (timestamp,
+//        source shard) — a total order independent of worker count;
+//     2. flush the per-shard delivery-record sinks, merged by
+//        (timestamp, shard), into the single-threaded record consumer;
+//     3. fg := sum of foreground events + staged injections.  fg == 0
+//        terminates (background-only heartbeats never keep a trial
+//        alive, matching the serial run() contract);
+//     4. m := earliest event or injection anywhere.  m past the
+//        watchdog budget stops the run with watchdog_fired;
+//     5. window deadline := m + lookahead - 1ns.
+//   barrier; workers pull shards off an atomic index, schedule that
+//   shard's injections, and run_until(deadline); barrier.
+//
+// Safety: every cross-shard message is stamped at least `lookahead`
+// after the instant it was posted, and posts only happen while
+// executing events at time >= m, so no message can land inside the
+// window that produced it — each shard's window is causally closed.
+//
+// Determinism: shard boundaries, per-shard seeds, injection order, and
+// record merge order are all pure functions of (plan, trial seed); the
+// worker count only changes which OS thread executes a shard's
+// (internally sequential) window.  Hence digest(sim_threads=1) ==
+// digest(sim_threads=N), bitwise — the property test_pdes.cpp locks in.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "ethernet/link.hpp"
+#include "pdes/shard_plan.hpp"
+#include "simcore/remote_hop.hpp"
+#include "simcore/simulator.hpp"
+#include "trace/record.hpp"
+
+namespace fxtraf::pdes {
+
+class SpinBarrier;
+
+class Engine {
+ public:
+  /// Single-threaded sink for the merged delivery records (the trial
+  /// points it at Capture::observe).
+  using RecordConsumer =
+      std::function<void(sim::SimTime, const trace::PacketRecord&)>;
+
+  /// `workers` is clamped to [1, plan.shards]; a plan with fewer shards
+  /// than requested threads cannot use the extras.
+  Engine(ShardPlan plan, std::uint64_t seed, int workers);
+  ~Engine();
+
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  [[nodiscard]] const ShardPlan& shard_plan() const { return plan_; }
+  [[nodiscard]] int workers() const { return workers_; }
+
+  [[nodiscard]] sim::Simulator& shard_sim(int shard) {
+    return *shards_[static_cast<std::size_t>(shard)].sim;
+  }
+  [[nodiscard]] sim::Simulator& fabric_sim() {
+    return shard_sim(plan_.fabric_shard);
+  }
+  [[nodiscard]] sim::Simulator& host_sim(int host) {
+    return shard_sim(plan_.shard_of(host));
+  }
+
+  /// The RemoteHop carrying events from `src_shard` to `dst_shard`
+  /// (installed on the matching direction of each cut access link).
+  [[nodiscard]] sim::RemoteHop& hop(int src_shard, int dst_shard);
+
+  /// Zero-delay control call into `dst_shard` (the VM's remote_post):
+  /// stamped `lookahead` after the posting shard's current instant, so
+  /// it still precedes any data that needs a full wire traversal.
+  void post_control(int dst_shard, sim::UniqueAction action);
+
+  /// End-to-end delivery tap: records into the executing shard's sink
+  /// (single-writer); the coordinator merges sinks between windows.
+  [[nodiscard]] eth::Tap delivery_tap();
+  void set_record_consumer(RecordConsumer consumer) {
+    consumer_ = std::move(consumer);
+  }
+
+  /// Runs windows until global quiescence, or until the earliest
+  /// remaining work passes `watchdog` (zero = no budget).  Returns true
+  /// if the watchdog stopped the run.  Call at most once per Engine.
+  bool run(sim::Duration watchdog);
+
+  /// Aggregates over every shard (read between windows / post-run).
+  [[nodiscard]] std::uint64_t events_executed() const;
+  [[nodiscard]] sim::EventQueueStats scheduler_stats() const;
+  /// Furthest shard clock — the trial's notion of "now" post-run.
+  [[nodiscard]] sim::SimTime now() const;
+  [[nodiscard]] std::uint64_t windows() const { return windows_; }
+
+ private:
+  class Hop;
+
+  /// One cross-shard message; `src` breaks timestamp ties (total order).
+  struct RemoteMsg {
+    sim::SimTime ts;
+    int src = 0;
+    sim::UniqueAction action;
+  };
+
+  struct Shard {
+    std::unique_ptr<sim::Simulator> sim;
+    /// Outgoing messages per destination shard, appended only by the
+    /// worker executing this shard, drained only between barriers.
+    std::vector<std::vector<RemoteMsg>> outbox;
+    /// Messages staged by the coordinator for the next window.
+    std::vector<RemoteMsg> inject;
+    /// Delivery records observed on this shard, time-ordered.
+    std::vector<trace::PacketRecord> records;
+  };
+
+  void post_from(int src_shard, int dst_shard, sim::SimTime at,
+                 sim::UniqueAction action);
+  void stage_injections();
+  void flush_records();
+  void worker_loop();
+
+  ShardPlan plan_;
+  int workers_;
+  std::vector<Shard> shards_;
+  std::vector<std::unique_ptr<Hop>> hops_;
+  RecordConsumer consumer_;
+  std::unique_ptr<SpinBarrier> barrier_;
+  std::atomic<int> next_shard_{0};
+  std::atomic<bool> stop_{false};
+  sim::SimTime deadline_ = sim::SimTime::zero();
+  std::uint64_t windows_ = 0;
+  bool ran_ = false;
+};
+
+}  // namespace fxtraf::pdes

@@ -1,0 +1,42 @@
+#include "pdes/shard_plan.hpp"
+
+#include <algorithm>
+
+#include "ethernet/frame.hpp"
+
+namespace fxtraf::pdes {
+
+ShardPlan plan_shards(const eth::TopologySpec& spec, int hosts) {
+  ShardPlan plan;
+  plan.host_shard.assign(static_cast<std::size_t>(std::max(hosts, 0)), 0);
+  if (spec.kind == eth::TopologySpec::Kind::kSharedBus || hosts < 2) {
+    // One collision domain (or a trivial host count) is one sequential
+    // process; the fallback lookahead only sets the barrier cadence.
+    return plan;
+  }
+
+  // Host groups sized so small trials don't drown in barrier overhead
+  // and huge ones don't serialize on too-few shards.  The group count —
+  // like everything else here — depends only on the topology, never on
+  // the worker count, so shard-local RNG streams and injection order
+  // are identical for any sim_threads.
+  const int groups = std::clamp(hosts / 4, 1, 64);
+  plan.shards = groups + 1;  // fabric + host blocks
+  plan.sharded = true;
+  const int block = (hosts + groups - 1) / groups;
+  for (int h = 0; h < hosts; ++h) {
+    plan.host_shard[static_cast<std::size_t>(h)] = 1 + h / block;
+  }
+
+  // Cut edges are exactly the host access links: a frame crossing one
+  // needs at least a minimum-size transmission (preamble included —
+  // deliveries are posted at transmission begin for end + propagation)
+  // plus the propagation delay.
+  plan.lookahead =
+      eth::byte_time_at(eth::kMinWireBytes + eth::kPreambleBytes,
+                        spec.link_rate_bps) +
+      spec.propagation;
+  return plan;
+}
+
+}  // namespace fxtraf::pdes

@@ -1,0 +1,55 @@
+// Topology partitioning for the parallel-in-trial PDES engine.
+//
+// The plan maps every component of a trial's Topology to a logical
+// process ("shard"), each owning its own Simulator and event queue:
+//
+//   shard 0              — the fabric: every bridge, every uplink, and
+//                          the bridge-side endpoint of each access link.
+//   shards 1..S-1        — contiguous blocks of hosts, each host with
+//                          its NIC, stack, task, daemon, and the
+//                          host-side endpoint of its access link.
+//
+// Only access links are cut by this partition, so the conservative
+// lookahead is their minimum latency: no event executed on one shard at
+// time t can affect another shard before t + lookahead (a frame needs
+// at least a minimum-size transmission plus propagation to cross, and
+// the engine posts cross-shard deliveries at transmission *begin*).
+//
+// The plan is a pure function of (TopologySpec, hosts): worker count
+// never changes the shard boundaries, the per-shard seeds, or the
+// cross-shard injection order, which is why a trial's trace digest is
+// bitwise identical for any sim_threads >= 1.
+#pragma once
+
+#include <vector>
+
+#include "ethernet/topology.hpp"
+#include "simcore/time.hpp"
+
+namespace fxtraf::pdes {
+
+struct ShardPlan {
+  /// Total logical processes, fabric included.  1 means the topology
+  /// yields no parallelism (shared bus, or too few hosts).
+  int shards = 1;
+  int fabric_shard = 0;
+  /// Owning shard per host id (fabric_shard when not sharded).
+  std::vector<int> host_shard;
+  /// Conservative window width: minimum cross-shard latency.
+  sim::Duration lookahead = sim::millis(1);
+  /// False when the whole trial collapsed into one shard — the engine
+  /// still runs (and still matches serial physics), it just cannot use
+  /// more than one worker productively.
+  bool sharded = false;
+
+  [[nodiscard]] int shard_of(int host) const {
+    return host_shard[static_cast<std::size_t>(host)];
+  }
+};
+
+/// Builds the shard plan for `hosts` stations on `spec`.  Shared-bus
+/// topologies (one collision domain = one indivisible process) and
+/// degenerate host counts produce a single-shard plan.
+[[nodiscard]] ShardPlan plan_shards(const eth::TopologySpec& spec, int hosts);
+
+}  // namespace fxtraf::pdes

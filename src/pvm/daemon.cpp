@@ -34,7 +34,7 @@ sim::Duration Daemon::ipc_time(std::size_t bytes) const {
 }
 
 sim::Co<void> Daemon::keepalive_loop() {
-  sim::Simulator& simulator = vm_.simulator();
+  sim::Simulator& simulator = ws_.simulator();
   const PvmConfig& cfg = vm_.config();
   // Stagger daemons so their keepalive bursts don't align artificially.
   // Background delays: the daemons' heartbeat must never keep the
@@ -62,7 +62,7 @@ Daemon::PerSource& Daemon::per_source(net::HostId peer) {
 void Daemon::set_down(bool down) {
   if (down && !down_) ++stats_.outages;
   down_ = down;
-  sim::Logger::log(sim::LogLevel::kInfo, vm_.simulator().now(), "pvmd",
+  sim::Logger::log(sim::LogLevel::kInfo, ws_.simulator().now(), "pvmd",
                    "host %u daemon %s", host(), down ? "down" : "restarted");
 }
 
@@ -83,12 +83,18 @@ std::vector<std::string> Daemon::service_failures() const {
 }
 
 void Daemon::expect(net::HostId from, const Message& message) {
-  per_source(from).expected.push_back(message);
+  PerSource& flow = per_source(from);
+  flow.expected.push_back(message);
+  // Under PDES the descriptor hops shards and can arrive after the
+  // fragments it describes started (or finished) accumulating; settle
+  // anything already complete.  Serial registration always precedes the
+  // first fragment, so this is a no-op there.
+  maybe_complete(flow);
 }
 
 sim::Co<void> Daemon::route(Message message, int dst_tid) {
   const PvmConfig& cfg = vm_.config();
-  sim::Simulator& simulator = vm_.simulator();
+  sim::Simulator& simulator = ws_.simulator();
   ++stats_.messages_routed;
 
   // Task -> daemon IPC copy.
@@ -96,7 +102,18 @@ sim::Co<void> Daemon::route(Message message, int dst_tid) {
 
   const net::HostId peer_host = vm_.host_of(dst_tid);
   Daemon& peer = vm_.daemon_of(peer_host);
-  peer.expect(host(), message);
+  if (const pvm::VirtualMachine::RemotePost& remote = vm_.remote_post();
+      remote) {
+    // PDES: expect() mutates the receiving daemon's flow state, so it
+    // must run on the peer's shard.  It lands one lookahead later —
+    // still ahead of the first fragment, which needs two wire
+    // traversals plus bridge store-and-forward latency.
+    remote(peer_host, [&peer, from = host(), m = message] {
+      peer.expect(from, m);
+    });
+  } else {
+    peer.expect(host(), message);
+  }
 
   // pvmd's reliable UDP: sequence-numbered fragments sent a window at a
   // time, each window acknowledged cumulatively and retransmitted on ack
@@ -195,6 +212,16 @@ void Daemon::on_data(const net::IpDatagram& d) {
   flow.next_expected_seq = d.app_seq + 1;
   flow.bytes_accumulated += d.payload_bytes - cfg.daemon_fragment_header;
 
+  const bool completed = maybe_complete(flow);
+
+  if (++flow.fragments_since_ack >=
+          static_cast<std::size_t>(cfg.daemon_window) ||
+      completed) {
+    send_ack();
+  }
+}
+
+bool Daemon::maybe_complete(PerSource& flow) {
   bool completed = false;
   while (!flow.expected.empty() &&
          flow.bytes_accumulated >= flow.expected.front().wire_bytes()) {
@@ -204,12 +231,7 @@ void Daemon::on_data(const net::IpDatagram& d) {
     service_.push_back(sim::spawn(complete_delivery(std::move(complete))));
     completed = true;
   }
-
-  if (++flow.fragments_since_ack >=
-          static_cast<std::size_t>(cfg.daemon_window) ||
-      completed) {
-    send_ack();
-  }
+  return completed;
 }
 
 sim::Co<void> Daemon::complete_delivery(Message message) {

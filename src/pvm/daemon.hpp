@@ -73,6 +73,11 @@ class Daemon {
 
   [[nodiscard]] sim::Co<void> keepalive_loop();
   [[nodiscard]] sim::Co<void> complete_delivery(Message message);
+  /// Spawns deliveries for every expected message whose bytes have fully
+  /// arrived.  Returns true if anything completed.  Called from on_data
+  /// and from expect() — under PDES the descriptor may be registered
+  /// after fragments started accumulating.
+  bool maybe_complete(PerSource& flow);
   void on_data(const net::IpDatagram& datagram);
   void on_ack(const net::IpDatagram& datagram);
   [[nodiscard]] PerSource& per_source(net::HostId peer);

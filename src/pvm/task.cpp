@@ -31,7 +31,7 @@ sim::Co<void> Task::accept_loop() {
 }
 
 sim::Co<void> Task::connection_reader(net::TcpConnection* conn) {
-  sim::Simulator& simulator = vm_.simulator();
+  sim::Simulator& simulator = ws_.simulator();
   auto& descriptors = inbound_descriptors(conn->remote_host());
   const PvmConfig& cfg = vm_.config();
   for (;;) {
@@ -58,7 +58,7 @@ sim::CoQueue<Message>& Task::mailbox(int src_tid, int tag) {
 void Task::deliver(Message message) {
   ++stats_.messages_received;
   mailbox(message.source_tid, message.tag)
-      .push(vm_.simulator(), std::move(message));
+      .push(ws_.simulator(), std::move(message));
 }
 
 sim::Co<net::TcpConnection*> Task::direct_connection(int dst_tid) {
@@ -82,10 +82,10 @@ sim::Co<net::TcpConnection*> Task::direct_connection(int dst_tid) {
   } catch (const net::ConnectionAborted& e) {
     slot.failed = true;
     slot.error = e.what();
-    slot.ready.set(vm_.simulator());
+    slot.ready.set(ws_.simulator());
     co_return nullptr;
   }
-  slot.ready.set(vm_.simulator());
+  slot.ready.set(ws_.simulator());
   co_return &conn;
 }
 
@@ -148,14 +148,29 @@ sim::Co<void> Task::send(int dst_tid, Message message) {
                                " failed and fallback is disabled");
     }
     ++stats_.direct_fallbacks;
-    sim::Logger::log(sim::LogLevel::kInfo, vm_.simulator().now(), "pvm",
+    sim::Logger::log(sim::LogLevel::kInfo, ws_.simulator().now(), "pvm",
                      "task %d: direct route to %d failed, using daemon route",
                      tid_, dst_tid);
     co_await vm_.daemon_of(ws_.id()).route(std::move(message), dst_tid);
     co_return;
   }
   Task& peer = vm_.task(dst_tid);
-  peer.inbound_descriptors(ws_.id()).push(vm_.simulator(), message);
+  if (const pvm::VirtualMachine::RemotePost& remote = vm_.remote_post();
+      remote) {
+    // PDES: the descriptor push is a zero-delay call into the peer
+    // host's state, so it must hop shards.  It lands one lookahead
+    // later — still strictly before the first data fragment, which
+    // needs at least two wire traversals plus bridge latency.  The
+    // mailbox lookup also runs on the peer's shard (it lazily mutates
+    // the peer's descriptor map).
+    sim::Simulator& peer_sim = vm_.workstation(dst_tid).simulator();
+    remote(vm_.host_of(dst_tid),
+           [&peer, &peer_sim, from = ws_.id(), m = message]() mutable {
+             peer.inbound_descriptors(from).push(peer_sim, std::move(m));
+           });
+  } else {
+    peer.inbound_descriptors(ws_.id()).push(ws_.simulator(), message);
+  }
 
   // Hand each fragment to the socket layer independently; the message
   // header travels in front of the first fragment.  write() blocks when

@@ -13,10 +13,12 @@ VirtualMachine::VirtualMachine(sim::Simulator& simulator,
     : sim_(simulator), hosts_(std::move(hosts)), config_(config) {
   tasks_.reserve(hosts_.size());
   daemons_.reserve(hosts_.size());
+  tid_by_host_.reserve(hosts_.size());
   for (std::size_t i = 0; i < hosts_.size(); ++i) {
     tasks_.push_back(
         std::make_unique<Task>(*this, *hosts_[i], static_cast<int>(i)));
     daemons_.push_back(std::make_unique<Daemon>(*this, *hosts_[i]));
+    tid_by_host_.emplace(hosts_[i]->id(), static_cast<int>(i));
   }
 }
 
@@ -32,10 +34,11 @@ Task& VirtualMachine::task(int tid) {
 }
 
 Daemon& VirtualMachine::daemon_of(net::HostId host) {
-  for (std::size_t i = 0; i < hosts_.size(); ++i) {
-    if (hosts_[i]->id() == host) return *daemons_[i];
+  const auto it = tid_by_host_.find(host);
+  if (it == tid_by_host_.end()) {
+    throw std::out_of_range("daemon_of: host not in virtual machine");
   }
-  throw std::out_of_range("daemon_of: host not in virtual machine");
+  return *daemons_[static_cast<std::size_t>(it->second)];
 }
 
 Daemon& VirtualMachine::daemon_for_tid(int tid) {
@@ -56,10 +59,11 @@ std::vector<std::string> VirtualMachine::service_failures() const {
 }
 
 int VirtualMachine::tid_of(net::HostId host) const {
-  for (std::size_t i = 0; i < hosts_.size(); ++i) {
-    if (hosts_[i]->id() == host) return static_cast<int>(i);
+  const auto it = tid_by_host_.find(host);
+  if (it == tid_by_host_.end()) {
+    throw std::out_of_range("tid_of: host not in virtual machine");
   }
-  throw std::out_of_range("tid_of: host not in virtual machine");
+  return it->second;
 }
 
 }  // namespace fxtraf::pvm

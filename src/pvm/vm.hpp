@@ -3,12 +3,15 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "host/workstation.hpp"
 #include "pvm/message.hpp"
+#include "simcore/action.hpp"
 #include "simcore/simulator.hpp"
 #include "simcore/time.hpp"
 
@@ -86,6 +89,19 @@ class VirtualMachine {
   /// running the simulator.
   void start();
 
+  /// Cross-shard control posting for PDES trials.  The PVM has two
+  /// zero-delay host-to-host calls (the direct-route descriptor push
+  /// and the daemon-route expect registration); when a hook is
+  /// installed they travel through it instead, executing `action` on
+  /// `dst_host`'s shard one engine lookahead later — always strictly
+  /// before the data they describe, which needs at least two wire
+  /// traversals plus store-and-forward latency.  Serial trials leave
+  /// the hook empty and keep the synchronous call path.
+  using RemotePost =
+      std::function<void(net::HostId dst_host, sim::UniqueAction action)>;
+  void set_remote_post(RemotePost post) { remote_post_ = std::move(post); }
+  [[nodiscard]] const RemotePost& remote_post() const { return remote_post_; }
+
   [[nodiscard]] sim::Simulator& simulator() { return sim_; }
   [[nodiscard]] const PvmConfig& config() const { return config_; }
   [[nodiscard]] int ntasks() const { return static_cast<int>(hosts_.size()); }
@@ -111,6 +127,11 @@ class VirtualMachine {
   PvmConfig config_;
   std::vector<std::unique_ptr<Task>> tasks_;
   std::vector<std::unique_ptr<Daemon>> daemons_;
+  /// host id -> tid index; daemon_of/tid_of sit on per-message paths
+  /// (keepalive fan-out, daemon delivery), which linear scans would
+  /// make quadratic at 10k hosts.
+  std::unordered_map<net::HostId, int> tid_by_host_;
+  RemotePost remote_post_;
 };
 
 }  // namespace fxtraf::pvm

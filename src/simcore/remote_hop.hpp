@@ -1,0 +1,31 @@
+// Cross-shard event posting for parallel-in-trial (PDES) execution.
+//
+// A RemoteHop is the one-way door between two logical-process shards:
+// model code running on the sending shard hands over a closure stamped
+// with an absolute execution time, and the PDES engine injects it into
+// the receiving shard's EventQueue at the next window barrier.  The
+// timestamp must be at least the engine's lookahead ahead of the
+// sender's clock — that is what makes the conservative window protocol
+// safe — and implementations assert it.
+//
+// Model layers (ethernet, pvm) depend only on this interface; the
+// engine in src/pdes provides the implementation, and serial trials
+// never see a hop at all.
+#pragma once
+
+#include "simcore/action.hpp"
+#include "simcore/time.hpp"
+
+namespace fxtraf::sim {
+
+class RemoteHop {
+ public:
+  virtual ~RemoteHop() = default;
+
+  /// Enqueues `action` to run at absolute time `at` on the receiving
+  /// shard.  Must be called only from the owning (sending) shard's
+  /// worker thread, with `at >= sender now + engine lookahead`.
+  virtual void post(SimTime at, UniqueAction action) = 0;
+};
+
+}  // namespace fxtraf::sim

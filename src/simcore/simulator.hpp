@@ -57,6 +57,16 @@ class Simulator {
   [[nodiscard]] bool pending_events() { return !queue_.empty(); }
   [[nodiscard]] std::uint64_t events_executed() const { return executed_; }
 
+  /// Timestamp of the earliest live event (infinity when empty).  The
+  /// PDES coordinator polls this at window barriers to compute the next
+  /// global safe window.
+  [[nodiscard]] SimTime next_event_time() { return queue_.next_time(); }
+  /// Live foreground events — the run()-keeps-going count.  Summed
+  /// across shards by the PDES coordinator for the termination check.
+  [[nodiscard]] std::size_t foreground_count() const {
+    return queue_.foreground_count();
+  }
+
   /// Scheduler health: how many events were scheduled/cancelled and how
   /// many closures spilled past the inline action buffer.  A steady
   /// allocations_per_event() near zero is the hot-path contract; campaign

@@ -10,8 +10,7 @@ Capture::Capture(eth::Segment& segment) : Capture() {
   segment.add_tap(tap());
 }
 
-void Capture::on_frame(sim::SimTime end_of_frame, const eth::Frame& frame) {
-  if (!enabled_) return;
+PacketRecord make_record(sim::SimTime end_of_frame, const eth::Frame& frame) {
   const net::IpDatagram& d = *frame.datagram;
   PacketRecord r;
   r.timestamp = end_of_frame;
@@ -21,7 +20,16 @@ void Capture::on_frame(sim::SimTime end_of_frame, const eth::Frame& frame) {
   r.dst = d.dst;
   r.src_port = d.src_port;
   r.dst_port = d.dst_port;
+  return r;
+}
 
+void Capture::on_frame(sim::SimTime end_of_frame, const eth::Frame& frame) {
+  if (!enabled_) return;
+  observe(end_of_frame, make_record(end_of_frame, frame));
+}
+
+void Capture::observe(sim::SimTime end_of_frame, const PacketRecord& r) {
+  if (!enabled_) return;
   ++seen_;
   for (const CaptureObserver& observer : observers_) {
     observer(end_of_frame, r);

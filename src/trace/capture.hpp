@@ -28,6 +28,12 @@ namespace fxtraf::trace {
 /// mode or truncation).
 using CaptureObserver = std::function<void(sim::SimTime, const PacketRecord&)>;
 
+/// Builds the record on_frame would buffer for `frame` delivered at
+/// `end_of_frame` — shared with the PDES engine, whose per-shard sinks
+/// record frames off-thread and merge them into the capture later.
+[[nodiscard]] PacketRecord make_record(sim::SimTime end_of_frame,
+                                       const eth::Frame& frame);
+
 class Capture {
  public:
   /// Unattached capture: register `tap()` with any frame source (shared
@@ -82,6 +88,12 @@ class Capture {
     std::vector<PacketRecord>().swap(packets_);
     truncated_ = false;
   }
+
+  /// Feeds one already-built record through the full pipeline (seen
+  /// count, observers, storage) exactly as the tap would.  The PDES
+  /// coordinator calls this single-threaded with the time-ordered merge
+  /// of its per-shard sinks, so observers and storage never need locks.
+  void observe(sim::SimTime at, const PacketRecord& record);
 
  private:
   void on_frame(sim::SimTime end_of_frame, const eth::Frame& frame);

@@ -146,6 +146,39 @@ TEST(FlowCrossValidation, StarHundredMbitWithinTenPercent) {
   expect_agreement(star, {2, 4, 8});
 }
 
+TEST(FlowCrossValidation, TreeTwoSwitchesHundredMbitWithinTenPercent) {
+  // Two-switch tree at 100 Mb: same per-port capacity as the star, but
+  // cross-leaf pairs share the inter-switch trunk and pay one extra
+  // store-and-forward hop.  The flow model has to agree anyway.
+  //
+  // One excluded cell: t2dfft @P=8 block-assigns its entire row stage
+  // to leaf 0 and its column stage to leaf 1, so 100% of its bytes
+  // cross the trunk.  The packet pipeline (no barriers) spreads that
+  // load under compute and never saturates the trunk; the flow model's
+  // synchronized per-shift steps stack all four streams on it at once
+  // and predict ~2.5x the period — a known model boundary of the
+  // phase-serialized fluid schedule (DESIGN.md §14), the tree analogue
+  // of the P=16 shared-bus boundary below.
+  eth::TopologySpec tree;
+  tree.kind = eth::TopologySpec::Kind::kTree;
+  tree.switches = 2;
+  tree.link_rate_bps = 100e6;
+  for (const apps::SourceKernel& kernel : apps::source_kernels()) {
+    const fxc::SourceProgram program = fxc::parse_source(kernel.source);
+    for (int p : {2, 4, 8}) {
+      if (kernel.name == "t2dfft" && p == 8) continue;
+      const std::string tag = kernel.name + " @P=" + std::to_string(p) +
+                              " on " + eth::describe(tree);
+      const Fundamentals want =
+          packet_ensemble(kernel.name, p, tree, program.iterations);
+      const apps::TrialRun flow = apps::run_trial(
+          scenario_for(kernel.name, p, apps::Fidelity::kFlow, tree));
+      const Fundamentals got = measure(flow, program.iterations);
+      expect_agreement(tag, want, got);
+    }
+  }
+}
+
 TEST(FlowCrossValidation, SixteenProcessorsOnTheStar) {
   // P=16 coverage runs on the 100 Mb star, where per-port capacity
   // scales with the host count.  Sixteen hosts saturate the 10 Mb

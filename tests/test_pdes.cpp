@@ -1,0 +1,179 @@
+// Parallel-in-trial PDES: shard-plan geometry, and the engine's core
+// promise — the trace digest is bitwise identical for every worker
+// count (sim_threads 1 vs N), clean and under fault plans, because
+// shard boundaries, seeds, and cross-shard injection order are pure
+// functions of (topology, trial seed).
+//
+// Run under -DFXTRAF_SANITIZE=thread this is also the data-race gate
+// for the whole sharded stack (links, injector streams, capture merge).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "apps/trial.hpp"
+#include "ethernet/frame.hpp"
+#include "ethernet/topology.hpp"
+#include "pdes/shard_plan.hpp"
+#include "pvm/vm.hpp"
+#include "trace/digest.hpp"
+
+namespace fxtraf {
+namespace {
+
+TEST(ShardPlanTest, SharedBusIsOneShard) {
+  eth::TopologySpec spec;  // kSharedBus
+  const pdes::ShardPlan plan = pdes::plan_shards(spec, 8);
+  EXPECT_EQ(plan.shards, 1);
+  EXPECT_FALSE(plan.sharded);
+  for (int h = 0; h < 8; ++h) EXPECT_EQ(plan.shard_of(h), 0);
+}
+
+TEST(ShardPlanTest, StarPartitionsHostsContiguously) {
+  eth::TopologySpec spec;
+  spec.kind = eth::TopologySpec::Kind::kStar;
+  spec.link_rate_bps = 100e6;
+  const pdes::ShardPlan plan = pdes::plan_shards(spec, 16);
+  // 16 hosts / 4 = 4 host groups + the fabric shard.
+  EXPECT_EQ(plan.shards, 5);
+  EXPECT_TRUE(plan.sharded);
+  EXPECT_EQ(plan.fabric_shard, 0);
+  int prev = plan.shard_of(0);
+  EXPECT_EQ(prev, 1);
+  for (int h = 1; h < 16; ++h) {
+    const int s = plan.shard_of(h);
+    EXPECT_GE(s, prev);          // contiguous blocks
+    EXPECT_LE(s, prev + 1);
+    EXPECT_GE(s, 1);             // never on the fabric
+    EXPECT_LT(s, plan.shards);
+    prev = s;
+  }
+  EXPECT_EQ(prev, 4);  // every shard actually used
+  // Lookahead = minimum-size frame serialization + propagation.
+  const sim::Duration wire = eth::byte_time_at(
+      eth::kMinWireBytes + eth::kPreambleBytes, spec.link_rate_bps);
+  EXPECT_EQ(plan.lookahead.ns(), (wire + spec.propagation).ns());
+}
+
+TEST(ShardPlanTest, WorkerCountNeverChangesThePlan) {
+  eth::TopologySpec spec;
+  spec.kind = eth::TopologySpec::Kind::kTree;
+  spec.switches = 4;
+  const pdes::ShardPlan a = pdes::plan_shards(spec, 32);
+  const pdes::ShardPlan b = pdes::plan_shards(spec, 32);
+  EXPECT_EQ(a.shards, b.shards);
+  EXPECT_EQ(a.host_shard, b.host_shard);
+  EXPECT_EQ(a.lookahead.ns(), b.lookahead.ns());
+}
+
+apps::TrialScenario star_scenario(std::uint64_t seed, int threads) {
+  apps::TrialScenario s;
+  s.kernel = "2dfft";
+  s.scale = 0.05;
+  s.processors = 8;  // two host shards + fabric: control posts cross too
+  s.seed = seed;
+  s.sim_threads = threads;
+  s.testbed.topology.kind = eth::TopologySpec::Kind::kStar;
+  s.testbed.topology.link_rate_bps = 100e6;
+  return s;
+}
+
+TEST(PdesDeterminismTest, StarDigestIdenticalAcrossWorkerCounts) {
+  const apps::TrialRun one = apps::run_trial(star_scenario(7, 1));
+  const apps::TrialRun two = apps::run_trial(star_scenario(7, 2));
+  const apps::TrialRun four = apps::run_trial(star_scenario(7, 4));
+  ASSERT_GT(one.packets_seen, 0u);
+  EXPECT_GT(one.pdes_windows, 0u);
+  EXPECT_EQ(one.pdes_shards, 3);
+  EXPECT_EQ(trace::to_string(one.digest), trace::to_string(two.digest));
+  EXPECT_EQ(trace::to_string(one.digest), trace::to_string(four.digest));
+  EXPECT_EQ(one.packets_seen, two.packets_seen);
+  EXPECT_EQ(one.packets_seen, four.packets_seen);
+  EXPECT_EQ(one.sim_seconds, four.sim_seconds);
+  EXPECT_EQ(one.events_executed, four.events_executed);
+  EXPECT_EQ(one.pdes_windows, four.pdes_windows);
+}
+
+TEST(PdesDeterminismTest, StarFaultGoldenAcrossWorkerCounts) {
+  // BER + forced-FCS frame faults and a mid-run host crash window: the
+  // per-direction fault streams and the seed-split host schedules must
+  // land on the owning shards identically for any worker count.
+  auto faulted = [](int threads) {
+    apps::TrialScenario s = star_scenario(11, threads);
+    s.faults.frame_ber = 1e-5;
+    s.faults.corrupt_every_nth = 50;
+    s.faults.host_faults.push_back(
+        {/*host=*/2, /*start_s=*/0.02, /*duration_s=*/0.05,
+         /*cpu_factor=*/0.0, /*network_down=*/true});
+    return apps::run_trial(s);
+  };
+  const apps::TrialRun one = faulted(1);
+  const apps::TrialRun four = faulted(4);
+  ASSERT_GT(one.packets_seen, 0u);
+  EXPECT_EQ(trace::to_string(one.digest), trace::to_string(four.digest));
+  EXPECT_EQ(one.packets_seen, four.packets_seen);
+  EXPECT_EQ(one.events_executed, four.events_executed);
+  // finish() already threw if the conservation audit failed.
+  EXPECT_TRUE(one.audit.ok);
+  EXPECT_TRUE(four.audit.ok);
+}
+
+TEST(PdesDeterminismTest, TreeDaemonRouteGoldenAcrossWorkerCounts) {
+  // Daemon-routed messaging on a tree exercises the remote expect()
+  // path (cross-shard control posts) plus a daemon crash/restart.
+  auto daemons = [](int threads) {
+    apps::TrialScenario s = star_scenario(13, threads);
+    s.testbed.topology.kind = eth::TopologySpec::Kind::kTree;
+    s.testbed.topology.switches = 2;
+    s.testbed.pvm.route = pvm::RouteMode::kDaemon;
+    s.faults.daemon_outages.push_back(
+        {/*host=*/1, /*start_s=*/0.05, /*down_s=*/0.4});
+    return apps::run_trial(s);
+  };
+  const apps::TrialRun one = daemons(1);
+  const apps::TrialRun four = daemons(4);
+  ASSERT_GT(one.packets_seen, 0u);
+  EXPECT_EQ(trace::to_string(one.digest), trace::to_string(four.digest));
+  EXPECT_EQ(one.packets_seen, four.packets_seen);
+  EXPECT_EQ(one.events_executed, four.events_executed);
+}
+
+TEST(PdesPhysicsTest, SerialAndShardedAgreeOnTrafficVolume) {
+  // PDES is not bitwise-comparable to the serial scheduler (cross-shard
+  // same-instant ties fold into the digest in a different order, and
+  // control posts ride one lookahead of latency), but it must simulate
+  // the same physics: same program, almost the same traffic.
+  apps::TrialScenario serial = star_scenario(5, 0);
+  apps::TrialScenario sharded = star_scenario(5, 2);
+  const apps::TrialRun a = apps::run_trial(serial);
+  const apps::TrialRun b = apps::run_trial(sharded);
+  ASSERT_GT(a.packets_seen, 0u);
+  ASSERT_GT(b.packets_seen, 0u);
+  const double packets_ratio = static_cast<double>(b.packets_seen) /
+                               static_cast<double>(a.packets_seen);
+  EXPECT_NEAR(packets_ratio, 1.0, 0.05);
+  EXPECT_NEAR(b.sim_seconds / a.sim_seconds, 1.0, 0.05);
+}
+
+TEST(PdesPhysicsTest, SharedBusFallsBackToOneShard) {
+  // sim_threads on the measured shared bus: one collision domain is one
+  // shard, so the engine runs (deterministically) without parallelism.
+  apps::TrialScenario s;
+  s.kernel = "2dfft";
+  s.scale = 0.05;
+  s.seed = 3;
+  s.sim_threads = 4;
+  const apps::TrialRun run = apps::run_trial(s);
+  ASSERT_GT(run.packets_seen, 0u);
+  EXPECT_EQ(run.pdes_shards, 1);
+}
+
+TEST(PdesPhysicsTest, FlowFidelityRejectsSimThreads) {
+  apps::TrialScenario s;
+  s.kernel = "2dfft";
+  s.fidelity = apps::Fidelity::kFlow;
+  s.sim_threads = 2;
+  EXPECT_THROW((void)apps::run_trial(s), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace fxtraf
